@@ -1,0 +1,65 @@
+//! Interfaces the analyzer needs from the catalog and from the provenance
+//! rewriter.
+//!
+//! The algebra crate defines the *traits*; `perm-storage` implements
+//! [`CatalogProvider`] and `perm-rewrite` implements
+//! [`ProvenanceTransform`]. This mirrors the paper's architecture
+//! (Figure 3): the Parser & Analyzer stage hands the query tree to the
+//! Provenance Rewriter, which returns an ordinary query tree.
+
+use perm_sql::{ContributionSemantics, Query};
+use perm_types::{Result, Schema};
+
+use crate::plan::LogicalPlan;
+
+/// What the analyzer needs to know about a base table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseTableMeta {
+    pub schema: Schema,
+    /// Positions of columns recorded as provenance attributes (eager
+    /// provenance metadata); empty for ordinary tables.
+    pub provenance_cols: Vec<usize>,
+}
+
+/// Catalog lookups performed during analysis.
+pub trait CatalogProvider {
+    /// Base-table metadata, or `None` if `name` is not a base table.
+    fn base_table(&self, name: &str) -> Option<BaseTableMeta>;
+
+    /// A view's defining query, or `None` if `name` is not a view.
+    fn view_definition(&self, name: &str) -> Option<Query>;
+}
+
+/// An empty catalog (tests, expression-only binding).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmptyCatalog;
+
+impl CatalogProvider for EmptyCatalog {
+    fn base_table(&self, _name: &str) -> Option<BaseTableMeta> {
+        None
+    }
+
+    fn view_definition(&self, _name: &str) -> Option<Query> {
+        None
+    }
+}
+
+/// The provenance of a plan: the rewritten plan plus the positions of its
+/// provenance attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenancePlan {
+    pub plan: LogicalPlan,
+    /// Positions (in `plan.schema()`) of the provenance attributes.
+    pub prov_attrs: Vec<usize>,
+}
+
+/// The provenance rewriter as seen by the analyzer: invoked when a
+/// `SELECT PROVENANCE` clause is encountered, it transforms the bound plan
+/// `q` into `q+`.
+pub trait ProvenanceTransform {
+    fn rewrite_provenance(
+        &self,
+        plan: LogicalPlan,
+        semantics: Option<ContributionSemantics>,
+    ) -> Result<ProvenancePlan>;
+}

@@ -1,0 +1,60 @@
+//! Lazy vs eager provenance (paper §1: "decide whether he will store the
+//! provenance of a query for later reuse or let the system compute it on
+//! the fly").
+//!
+//! Expected shape: retrieving eagerly-stored provenance is a plain table
+//! read and far cheaper per retrieval; lazy recomputation pays the whole
+//! rewrite + execution every time (but needs no storage and always sees
+//! fresh base data). The crossover is the number of retrievals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use perm_bench::{star, STAR_REPORT};
+use perm_core::materialize_provenance;
+
+fn lazy_vs_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazy_vs_eager");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let prov_sql = format!(
+        "SELECT PROVENANCE {}",
+        STAR_REPORT.trim_start_matches("SELECT ")
+    );
+    for scale in [500usize, 5_000] {
+        // Lazy: recompute q+ per retrieval.
+        let mut db = star(scale, 42);
+        group.bench_with_input(BenchmarkId::new("lazy", scale), &scale, |b, _| {
+            b.iter(|| black_box(db.query(&prov_sql).expect("valid")));
+        });
+
+        // Eager: materialize once, then read the stored relation.
+        let mut db = star(scale, 42);
+        materialize_provenance(&mut db, "stored_report", &prov_sql).expect("materialize");
+        group.bench_with_input(BenchmarkId::new("eager_read", scale), &scale, |b, _| {
+            b.iter(|| black_box(db.query("SELECT * FROM stored_report").expect("valid")));
+        });
+
+        // The one-time materialization cost itself.
+        group.bench_with_input(
+            BenchmarkId::new("eager_materialize", scale),
+            &scale,
+            |b, _| {
+                b.iter_with_setup(
+                    || star(scale, 42),
+                    |mut db| {
+                        materialize_provenance(&mut db, "stored_report", &prov_sql)
+                            .expect("materialize");
+                        black_box(db)
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lazy_vs_eager);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Overhead of provenance computation: `q+` vs `q`, per query class and
+//! scale — the shape of the companion ICDE'09 evaluation (the demo paper
+//! itself reports no numbers).
+//!
+//! Expected shape: SPJ / set-operation / nested-sublink provenance costs a
+//! small constant factor over the original query; aggregation provenance
+//! is the most expensive class because the rewrite recomputes the
+//! aggregate *and* joins it back against the rewritten input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use perm_bench::{forum, QueryClass};
+
+fn overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_overhead");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for scale in [100usize, 1_000, 5_000] {
+        let mut db = forum(scale, 42);
+        for class in QueryClass::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/original", class.name()), scale),
+                &scale,
+                |b, _| {
+                    b.iter(|| black_box(db.query(class.original_sql()).expect("valid")));
+                },
+            );
+            let prov_sql = class.provenance_sql();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/provenance", class.name()), scale),
+                &scale,
+                |b, _| {
+                    b.iter(|| black_box(db.query(&prov_sql).expect("valid")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+criterion_main!(benches);

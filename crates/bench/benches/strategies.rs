@@ -1,0 +1,71 @@
+//! Rewrite-strategy ablations (DESIGN.md "design decisions called out for
+//! ablation benches"):
+//!
+//! 1. **Union strategy** — padded UNION ALL of rewritten branches vs
+//!    join-back against the original result, plus the heuristic and
+//!    cost-based choosers. Expected: padded wins; both choosers match it.
+//! 2. **Aggregation join-back implementation** — the NULL-safe hash join
+//!    the executor picks vs a forced nested loop. Expected: hash join wins
+//!    and the gap grows with scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use perm_bench::{forum, QueryClass};
+use perm_core::{SessionOptions, StrategyMode, UnionStrategy};
+use perm_exec::{optimize, Executor};
+
+fn union_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_setop");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let sql = QueryClass::SetOperation.provenance_sql();
+    for scale in [500usize, 5_000] {
+        for (name, mode) in [
+            ("padded_union", StrategyMode::Fixed(UnionStrategy::PaddedUnion)),
+            ("join_back", StrategyMode::Fixed(UnionStrategy::JoinBack)),
+            ("heuristic", StrategyMode::Heuristic),
+            ("cost_based", StrategyMode::CostBased),
+        ] {
+            let mut db = forum(scale, 42);
+            db.set_options(SessionOptions::default().with_union_strategy(mode));
+            group.bench_with_input(BenchmarkId::new(name, scale), &scale, |b, _| {
+                b.iter(|| black_box(db.query(&sql).expect("valid")));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn aggregation_join_back(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_agg_join");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let sql = QueryClass::Aggregation.provenance_sql();
+    for scale in [200usize, 1_000] {
+        let db = {
+            let db = forum(scale, 42);
+            // Bind once; benchmark execution only, so the ablation isolates
+            // the join implementation.
+            let plan = db.bind_sql(&sql).expect("valid");
+            let optimized = optimize(plan);
+            (db, optimized)
+        };
+        let (db, plan) = db;
+        group.bench_with_input(BenchmarkId::new("hash_join", scale), &scale, |b, _| {
+            let exec = Executor::new(db.catalog());
+            b.iter(|| black_box(exec.run(&plan).expect("runs")));
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loop", scale), &scale, |b, _| {
+            let exec = Executor::new_nested_loop_only(db.catalog());
+            b.iter(|| black_box(exec.run(&plan).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, union_strategies, aggregation_join_back);
+criterion_main!(benches);

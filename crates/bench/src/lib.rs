@@ -1,0 +1,58 @@
+//! # perm-bench
+//!
+//! Workload generators and measurement helpers for the Perm reproduction's
+//! evaluation harness. See `src/bin/harness.rs` for the per-figure
+//! reproduction binary and `benches/` for the Criterion benchmarks.
+
+pub mod tpch;
+pub mod workload;
+
+use std::time::{Duration, Instant};
+
+use perm_core::PermDb;
+
+pub use tpch::{tpch, TpchQuery};
+pub use workload::{forum, star, QueryClass, STAR_REPORT};
+
+/// Median wall-clock time of `runs` executions of `sql` (the first run is
+/// discarded as warm-up).
+pub fn time_query(db: &mut PermDb, sql: &str, runs: usize) -> Duration {
+    let _ = db.query(sql).expect("query is valid");
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let _ = db.query(sql).expect("query is valid");
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Overhead factor of the provenance query over the original query.
+pub fn overhead_factor(
+    db: &mut PermDb,
+    class: QueryClass,
+    runs: usize,
+) -> (Duration, Duration, f64) {
+    let orig = time_query(db, class.original_sql(), runs);
+    let prov = time_query(db, &class.provenance_sql(), runs);
+    let factor = prov.as_secs_f64() / orig.as_secs_f64().max(1e-9);
+    (orig, prov, factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_helpers_return_positive_durations() {
+        let mut db = forum(50, 5);
+        let t = time_query(&mut db, "SELECT count(*) FROM messages", 3);
+        assert!(t.as_nanos() > 0);
+        let (orig, prov, factor) = overhead_factor(&mut db, QueryClass::Spj, 3);
+        assert!(orig.as_nanos() > 0);
+        assert!(prov.as_nanos() > 0);
+        assert!(factor > 0.0);
+    }
+}

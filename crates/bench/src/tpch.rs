@@ -1,0 +1,193 @@
+//! A TPC-H-shaped workload.
+//!
+//! The companion ICDE'09 paper evaluates Perm's provenance-computation
+//! overhead on TPC-H. We reproduce that setting with a scaled-down,
+//! self-generated subset of the schema (`customer`, `orders`, `lineitem`,
+//! `nation`) and provenance variants of three TPC-H-flavoured queries:
+//!
+//! * **Q1-ish** — pricing summary: grand aggregation over a filtered
+//!   `lineitem` scan;
+//! * **Q3-ish** — shipping priority: 3-way join + GROUP BY;
+//! * **Q4-ish** — order priority checking: aggregation over an `IN`
+//!   sublink.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use perm_core::PermDb;
+use perm_types::{Tuple, Value};
+
+/// TPC-H-flavoured queries, original and provenance form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpchQuery {
+    PricingSummary,
+    ShippingPriority,
+    OrderPriority,
+}
+
+impl TpchQuery {
+    pub const ALL: [TpchQuery; 3] = [
+        TpchQuery::PricingSummary,
+        TpchQuery::ShippingPriority,
+        TpchQuery::OrderPriority,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TpchQuery::PricingSummary => "Q1 pricing summary",
+            TpchQuery::ShippingPriority => "Q3 shipping priority",
+            TpchQuery::OrderPriority => "Q4 order priority",
+        }
+    }
+
+    pub fn original_sql(self) -> &'static str {
+        match self {
+            TpchQuery::PricingSummary => {
+                "SELECT returnflag, count(*), sum(extendedprice), avg(discount) \
+                 FROM lineitem WHERE shipdate <= 90 GROUP BY returnflag"
+            }
+            TpchQuery::ShippingPriority => {
+                "SELECT o.okey, sum(l.extendedprice), o.odate \
+                 FROM customer c JOIN orders o ON c.ckey = o.ckey \
+                      JOIN lineitem l ON o.okey = l.okey \
+                 WHERE c.segment = 'BUILDING' AND o.odate < 50 \
+                 GROUP BY o.okey, o.odate"
+            }
+            TpchQuery::OrderPriority => {
+                "SELECT o.priority, count(*) FROM orders o \
+                 WHERE o.okey IN (SELECT okey FROM lineitem WHERE commitdate < receiptdate) \
+                 GROUP BY o.priority"
+            }
+        }
+    }
+
+    pub fn provenance_sql(self) -> String {
+        format!(
+            "SELECT PROVENANCE {}",
+            self.original_sql().trim_start_matches("SELECT ")
+        )
+    }
+}
+
+/// Generate the TPC-H-lite database with `scale` lineitems.
+pub fn tpch(scale: usize, seed: u64) -> PermDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = PermDb::new();
+    db.run_script(
+        "CREATE TABLE nation (nkey int NOT NULL, name text);
+         CREATE TABLE customer (ckey int NOT NULL, name text, nkey int, segment text);
+         CREATE TABLE orders (okey int NOT NULL, ckey int, odate int, priority text);
+         CREATE TABLE lineitem (lkey int NOT NULL, okey int, extendedprice int,
+                                discount float, returnflag text, shipdate int,
+                                commitdate int, receiptdate int);",
+    )
+    .expect("schema script is valid");
+
+    let n_nations = 8usize;
+    let n_customers = (scale / 10).max(2);
+    let n_orders = (scale / 4).max(2);
+    let segments = ["BUILDING", "AUTOMOBILE", "MACHINERY"];
+    let priorities = ["1-URGENT", "3-MEDIUM", "5-LOW"];
+    let flags = ["A", "N", "R"];
+
+    {
+        let nation = db.catalog_mut().table_mut("nation").expect("nation");
+        for n in 0..n_nations {
+            nation.push_raw(Tuple::new(vec![
+                Value::Int(n as i64),
+                Value::Text(format!("nation{n}")),
+            ]));
+        }
+    }
+    {
+        let customer = db.catalog_mut().table_mut("customer").expect("customer");
+        for c in 0..n_customers {
+            customer.push_raw(Tuple::new(vec![
+                Value::Int(c as i64),
+                Value::Text(format!("customer{c}")),
+                Value::Int(rng.random_range(0..n_nations) as i64),
+                Value::text(segments[rng.random_range(0..segments.len())]),
+            ]));
+        }
+    }
+    {
+        let orders = db.catalog_mut().table_mut("orders").expect("orders");
+        for o in 0..n_orders {
+            orders.push_raw(Tuple::new(vec![
+                Value::Int(o as i64),
+                Value::Int(rng.random_range(0..n_customers) as i64),
+                Value::Int(rng.random_range(0..100)),
+                Value::text(priorities[rng.random_range(0..priorities.len())]),
+            ]));
+        }
+    }
+    {
+        let lineitem = db.catalog_mut().table_mut("lineitem").expect("lineitem");
+        for l in 0..scale {
+            let commit = rng.random_range(0..100);
+            let receipt = commit + rng.random_range(0..10) - 4;
+            lineitem.push_raw(Tuple::new(vec![
+                Value::Int(l as i64),
+                Value::Int(rng.random_range(0..n_orders) as i64),
+                Value::Int(rng.random_range(100..10_000)),
+                Value::Float(rng.random_range(0..10) as f64 / 100.0),
+                Value::text(flags[rng.random_range(0..flags.len())]),
+                Value::Int(rng.random_range(0..120)),
+                Value::Int(commit),
+                Value::Int(receipt),
+            ]));
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_sizes() {
+        let mut db = tpch(400, 9);
+        let count = |db: &mut PermDb, t: &str| {
+            match db
+                .query(&format!("SELECT count(*) FROM {t}"))
+                .unwrap()
+                .row(0)[0]
+            {
+                Value::Int(n) => n,
+                ref other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(count(&mut db, "lineitem"), 400);
+        assert_eq!(count(&mut db, "orders"), 100);
+        assert_eq!(count(&mut db, "customer"), 40);
+    }
+
+    #[test]
+    fn all_queries_run_with_and_without_provenance() {
+        let mut db = tpch(300, 13);
+        for q in TpchQuery::ALL {
+            let orig = db
+                .query(q.original_sql())
+                .unwrap_or_else(|e| panic!("{} original failed: {e}", q.name()));
+            let prov = db
+                .query(&q.provenance_sql())
+                .unwrap_or_else(|e| panic!("{} provenance failed: {e}", q.name()));
+            assert!(
+                prov.columns.len() > orig.columns.len(),
+                "{}: provenance adds attributes",
+                q.name()
+            );
+            // Aggregation provenance: at least one witness per result row.
+            assert!(prov.row_count() >= orig.row_count(), "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn q4_witnesses_come_from_both_relations() {
+        let mut db = tpch(300, 13);
+        let prov = db.query(&TpchQuery::OrderPriority.provenance_sql()).unwrap();
+        assert!(prov.column_index("prov_public_orders_okey").is_some());
+        assert!(prov.column_index("prov_public_lineitem_lkey").is_some());
+    }
+}

@@ -1,0 +1,268 @@
+//! Synthetic workload generators for the overhead and strategy studies.
+//!
+//! The demo paper reports no numbers (demo papers don't); the companion
+//! ICDE'09 paper evaluates provenance-computation overhead per query class
+//! on TPC-H. We reproduce the *shape* of that study on two synthetic
+//! schemas the repository can generate at any scale:
+//!
+//! * a **forum** shaped like Figure 1 (messages / users / imports /
+//!   approved), scaled up;
+//! * a **star schema** (sales facts with product/region dimensions), the
+//!   warehouse setting the paper's intro cites.
+//!
+//! Generators are deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use perm_core::PermDb;
+use perm_types::{Tuple, Value};
+
+/// Query classes of the overhead study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Select-project-join.
+    Spj,
+    /// Join + GROUP BY aggregation (join-back rewrite).
+    Aggregation,
+    /// Set operation (padded-union rewrite).
+    SetOperation,
+    /// Uncorrelated IN sublink (unnesting rewrite).
+    Nested,
+}
+
+impl QueryClass {
+    pub const ALL: [QueryClass; 4] = [
+        QueryClass::Spj,
+        QueryClass::Aggregation,
+        QueryClass::SetOperation,
+        QueryClass::Nested,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Spj => "SPJ",
+            QueryClass::Aggregation => "AGG",
+            QueryClass::SetOperation => "SETOP",
+            QueryClass::Nested => "NESTED",
+        }
+    }
+
+    /// The original (provenance-free) query of this class over the forum
+    /// schema.
+    pub fn original_sql(self) -> &'static str {
+        match self {
+            QueryClass::Spj => {
+                "SELECT m.text, u.name FROM messages m JOIN users u ON m.uid = u.uid \
+                 WHERE m.mid % 4 = 0"
+            }
+            QueryClass::Aggregation => {
+                "SELECT a.mid, count(*) FROM messages m JOIN approved a ON m.mid = a.mid \
+                 GROUP BY a.mid"
+            }
+            QueryClass::SetOperation => {
+                "SELECT mid, text FROM messages UNION SELECT mid, text FROM imports"
+            }
+            QueryClass::Nested => {
+                "SELECT text FROM messages WHERE mid IN (SELECT mid FROM approved)"
+            }
+        }
+    }
+
+    /// The same query under `SELECT PROVENANCE`.
+    pub fn provenance_sql(self) -> String {
+        match self {
+            // Set operations carry the clause on the leftmost branch.
+            QueryClass::SetOperation => {
+                "SELECT PROVENANCE mid, text FROM messages \
+                 UNION SELECT mid, text FROM imports"
+                    .to_string()
+            }
+            other => format!(
+                "SELECT PROVENANCE {}",
+                other.original_sql().trim_start_matches("SELECT ")
+            ),
+        }
+    }
+}
+
+/// Build a forum database with `scale` messages (plus proportionally sized
+/// companion tables).
+pub fn forum(scale: usize, seed: u64) -> PermDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = PermDb::new();
+    db.run_script(
+        "CREATE TABLE messages (mId int NOT NULL, text text, uId int);
+         CREATE TABLE users (uId int NOT NULL, name text);
+         CREATE TABLE imports (mId int NOT NULL, text text, origin text);
+         CREATE TABLE approved (uId int NOT NULL, mId int NOT NULL);",
+    )
+    .expect("schema script is valid");
+
+    let n_users = (scale / 10).max(3);
+    let n_imports = scale / 2;
+    let n_approved = scale * 2;
+    let origins = ["superForum", "HiBoard", "spamHub", "oldSite"];
+
+    {
+        let users = db.catalog_mut().table_mut("users").expect("users exists");
+        for u in 0..n_users {
+            users.push_raw(Tuple::new(vec![
+                Value::Int(u as i64),
+                Value::Text(format!("user{u}")),
+            ]));
+        }
+    }
+    {
+        let messages = db.catalog_mut().table_mut("messages").expect("messages exists");
+        for m in 0..scale {
+            let uid = rng.random_range(0..n_users) as i64;
+            messages.push_raw(Tuple::new(vec![
+                Value::Int(m as i64),
+                Value::Text(format!("message body {m}")),
+                Value::Int(uid),
+            ]));
+        }
+    }
+    {
+        let imports = db.catalog_mut().table_mut("imports").expect("imports exists");
+        for m in 0..n_imports {
+            let origin = origins[rng.random_range(0..origins.len())];
+            imports.push_raw(Tuple::new(vec![
+                Value::Int((scale + m) as i64),
+                Value::Text(format!("imported body {m}")),
+                Value::text(origin),
+            ]));
+        }
+    }
+    {
+        let approved = db.catalog_mut().table_mut("approved").expect("approved exists");
+        for _ in 0..n_approved {
+            let uid = rng.random_range(0..n_users) as i64;
+            let mid = rng.random_range(0..scale.max(1)) as i64;
+            approved.push_raw(Tuple::new(vec![Value::Int(uid), Value::Int(mid)]));
+        }
+    }
+    db.execute(
+        "CREATE VIEW v1 AS SELECT mId, text FROM messages \
+         UNION SELECT mId, text FROM imports",
+    )
+    .expect("v1 is valid");
+    db
+}
+
+/// Build a star-schema database with `scale` fact rows.
+pub fn star(scale: usize, seed: u64) -> PermDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = PermDb::new();
+    db.run_script(
+        "CREATE TABLE sales (sid int NOT NULL, pid int, rid int, amount int);
+         CREATE TABLE products (pid int NOT NULL, name text, category text);
+         CREATE TABLE regions (rid int NOT NULL, name text);",
+    )
+    .expect("schema script is valid");
+
+    let n_products = (scale / 20).max(2);
+    let n_regions = 8usize;
+    {
+        let products = db.catalog_mut().table_mut("products").expect("products");
+        for p in 0..n_products {
+            products.push_raw(Tuple::new(vec![
+                Value::Int(p as i64),
+                Value::Text(format!("product{p}")),
+                Value::Text(format!("cat{}", p % 5)),
+            ]));
+        }
+    }
+    {
+        let regions = db.catalog_mut().table_mut("regions").expect("regions");
+        for r in 0..n_regions {
+            regions.push_raw(Tuple::new(vec![
+                Value::Int(r as i64),
+                Value::Text(format!("region{r}")),
+            ]));
+        }
+    }
+    {
+        let sales = db.catalog_mut().table_mut("sales").expect("sales");
+        for s in 0..scale {
+            sales.push_raw(Tuple::new(vec![
+                Value::Int(s as i64),
+                Value::Int(rng.random_range(0..n_products) as i64),
+                Value::Int(rng.random_range(0..n_regions) as i64),
+                Value::Int(rng.random_range(1..1000)),
+            ]));
+        }
+    }
+    db
+}
+
+/// The star-schema report query (used by the lazy-vs-eager study).
+pub const STAR_REPORT: &str =
+    "SELECT p.category, r.name, sum(s.amount) \
+     FROM sales s JOIN products p ON s.pid = p.pid \
+                  JOIN regions r ON s.rid = r.rid \
+     GROUP BY p.category, r.name";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forum_generator_is_deterministic() {
+        let mut a = forum(100, 7);
+        let mut b = forum(100, 7);
+        let ra = a.query("SELECT count(*), sum(uid) FROM messages").unwrap();
+        let rb = b.query("SELECT count(*), sum(uid) FROM messages").unwrap();
+        assert_eq!(ra.rows, rb.rows);
+    }
+
+    #[test]
+    fn forum_tables_have_expected_sizes() {
+        let mut db = forum(200, 1);
+        assert_eq!(
+            db.query("SELECT count(*) FROM messages").unwrap().row(0),
+            &[Value::Int(200)]
+        );
+        assert_eq!(
+            db.query("SELECT count(*) FROM imports").unwrap().row(0),
+            &[Value::Int(100)]
+        );
+        assert_eq!(
+            db.query("SELECT count(*) FROM approved").unwrap().row(0),
+            &[Value::Int(400)]
+        );
+    }
+
+    #[test]
+    fn every_query_class_runs_with_and_without_provenance() {
+        let mut db = forum(60, 3);
+        for class in QueryClass::ALL {
+            let orig = db
+                .query(class.original_sql())
+                .unwrap_or_else(|e| panic!("{} original failed: {e}", class.name()));
+            let prov = db
+                .query(&class.provenance_sql())
+                .unwrap_or_else(|e| panic!("{} provenance failed: {e}", class.name()));
+            assert!(
+                prov.columns.len() > orig.columns.len(),
+                "{}: provenance adds attributes",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn star_report_runs() {
+        let mut db = star(500, 11);
+        let r = db.query(STAR_REPORT).unwrap();
+        assert!(!r.is_empty());
+        let p = db
+            .query(&format!(
+                "SELECT PROVENANCE {}",
+                STAR_REPORT.trim_start_matches("SELECT ")
+            ))
+            .unwrap();
+        assert_eq!(p.row_count(), 500, "one witness per fact row");
+    }
+}

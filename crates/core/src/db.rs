@@ -1,0 +1,310 @@
+//! `PermDb`: the end-to-end Perm pipeline of the paper's Figure 3 —
+//! parse → analyze (view unfolding) → provenance rewrite → plan → execute.
+
+use perm_algebra::{bind_statement, BoundStatement, LogicalPlan};
+use perm_exec::{optimize, CatalogAdapter, Executor};
+use perm_rewrite::{CardinalityEstimator, Rewriter};
+use perm_sql::{parse_statement, parse_statements, ObjectKind, Statement};
+use perm_storage::{Catalog, Table};
+use perm_types::{Column, PermError, Result, Schema, Tuple};
+
+use crate::options::SessionOptions;
+use crate::result::{QueryResult, StatementResult};
+
+/// A Perm database session: an in-memory catalog plus the session options
+/// controlling the provenance rewriter.
+#[derive(Default)]
+pub struct PermDb {
+    catalog: Catalog,
+    options: SessionOptions,
+}
+
+/// Exposes exact table row counts to the rewriter's cost-based strategy
+/// chooser.
+pub struct CatalogCardinalities<'a>(pub &'a Catalog);
+
+impl CardinalityEstimator for CatalogCardinalities<'_> {
+    fn table_rows(&self, table: &str) -> Option<f64> {
+        self.0.table(table).ok().map(|t| t.row_count() as f64)
+    }
+}
+
+impl PermDb {
+    /// An empty database with default options.
+    pub fn new() -> PermDb {
+        PermDb::default()
+    }
+
+    /// An empty database with explicit session options.
+    pub fn with_options(options: SessionOptions) -> PermDb {
+        PermDb {
+            catalog: Catalog::new(),
+            options,
+        }
+    }
+
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Change the session options (the browser's strategy / semantics
+    /// toggles).
+    pub fn set_options(&mut self, options: SessionOptions) {
+        self.options = options;
+    }
+
+    /// Read-only access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (index creation, direct table loads).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    /// Execute one SQL / SQL-PLE statement.
+    pub fn execute(&mut self, sql: &str) -> Result<StatementResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>> {
+        let stmts = parse_statements(sql)?;
+        stmts.iter().map(|s| self.execute_statement(s)).collect()
+    }
+
+    /// Convenience: execute a query and return its rows.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        match self.execute(sql)? {
+            StatementResult::Rows(r) => Ok(r),
+            other => Err(PermError::Execution(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+
+    fn execute_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        let bound = self.bind(stmt)?;
+        match bound {
+            BoundStatement::Query(plan) => {
+                let (schema, rows) = self.run_plan(plan)?;
+                Ok(StatementResult::Rows(QueryResult::new(&schema, rows)))
+            }
+            BoundStatement::Explain(plan) => {
+                let optimized = optimize(plan);
+                Ok(StatementResult::Explain(perm_algebra::plan_tree(
+                    &optimized,
+                )))
+            }
+            BoundStatement::CreateTable { name, schema } => {
+                self.catalog.create_table(Table::new(name.clone(), schema))?;
+                Ok(StatementResult::TableCreated { name, rows: 0 })
+            }
+            BoundStatement::CreateTableAs {
+                name,
+                plan,
+                provenance_attrs,
+            } => {
+                let (schema, rows) = self.run_plan(plan)?;
+                // Stored column set loses the source qualifiers.
+                let columns: Vec<Column> = schema
+                    .iter()
+                    .map(|c| {
+                        let mut c = c.clone();
+                        c.qualifier = None;
+                        c
+                    })
+                    .collect();
+                let mut table = Table::new(name.clone(), Schema::new(columns));
+                // Eager provenance: remember which columns are provenance so
+                // later provenance queries over this table propagate them
+                // as external provenance (paper §1: "store the provenance
+                // of a query for later reuse").
+                if let Some(attrs) = provenance_attrs {
+                    table.set_provenance_columns(attrs)?;
+                }
+                let n = rows.len();
+                for r in rows {
+                    table.push_raw(r);
+                }
+                self.catalog.create_table(table)?;
+                Ok(StatementResult::TableCreated { name, rows: n })
+            }
+            BoundStatement::CreateView { name, definition } => {
+                self.catalog.create_view(name.clone(), definition)?;
+                Ok(StatementResult::ViewCreated { name })
+            }
+            BoundStatement::Insert { table, rows } => {
+                // Evaluate the bound row expressions (no input tuple).
+                let tuples: Vec<Tuple> = {
+                    let executor = Executor::new(&self.catalog);
+                    let empty = Tuple::empty();
+                    rows.iter()
+                        .map(|row| {
+                            let env = perm_exec::eval::Env::new(&empty, &[]);
+                            let vals = row
+                                .iter()
+                                .map(|e| perm_exec::eval::eval(&executor, e, &env))
+                                .collect::<Result<Vec<_>>>()?;
+                            Ok(Tuple::new(vals))
+                        })
+                        .collect::<Result<_>>()?
+                };
+                let t = self.catalog.table_mut(&table)?;
+                let n = t.insert_all(tuples)?;
+                Ok(StatementResult::Inserted(n))
+            }
+            BoundStatement::Drop {
+                kind,
+                name,
+                if_exists,
+            } => {
+                let dropped = match kind {
+                    ObjectKind::Table => self.catalog.drop_table(&name, if_exists)?,
+                    ObjectKind::View => self.catalog.drop_view(&name, if_exists)?,
+                };
+                Ok(StatementResult::Dropped(dropped))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline stages (also used by the stage trace / browser)
+    // ------------------------------------------------------------------
+
+    /// Parse + analyze (+ provenance-rewrite when requested): the bound
+    /// plan, pre-optimization.
+    pub fn bind_sql(&self, sql: &str) -> Result<LogicalPlan> {
+        let stmt = parse_statement(sql)?;
+        match self.bind(&stmt)? {
+            BoundStatement::Query(p) | BoundStatement::Explain(p) => Ok(p),
+            other => Err(PermError::Analysis(format!(
+                "expected a query, got {other:?}"
+            ))),
+        }
+    }
+
+    fn bind(&self, stmt: &Statement) -> Result<BoundStatement> {
+        let estimator = CatalogCardinalities(&self.catalog);
+        let rewriter = Rewriter::new(self.options.rewrite, &estimator);
+        let adapter = CatalogAdapter(&self.catalog);
+        bind_statement(stmt, &adapter, Some(&rewriter))
+    }
+
+    /// Optimize and execute a bound plan.
+    pub fn run_plan(&self, plan: LogicalPlan) -> Result<(Schema, Vec<Tuple>)> {
+        let optimized = optimize(plan);
+        let schema = optimized.schema().clone();
+        let rows = Executor::new(&self.catalog).run(&optimized)?;
+        Ok((schema, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_types::Value;
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut db = PermDb::new();
+        db.execute("CREATE TABLE t (x int NOT NULL, y text)").unwrap();
+        let r = db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        assert_eq!(r, StatementResult::Inserted(2));
+        let rows = db.query("SELECT x, y FROM t ORDER BY x DESC").unwrap();
+        assert_eq!(rows.row(0), &[Value::Int(2), Value::text("b")]);
+    }
+
+    #[test]
+    fn insert_with_expression_values() {
+        let mut db = PermDb::new();
+        db.execute("CREATE TABLE t (x int)").unwrap();
+        db.execute("INSERT INTO t VALUES (1 + 2 * 3)").unwrap();
+        let rows = db.query("SELECT x FROM t").unwrap();
+        assert_eq!(rows.row(0), &[Value::Int(7)]);
+    }
+
+    #[test]
+    fn create_table_as_materializes() {
+        let mut db = PermDb::new();
+        db.execute("CREATE TABLE t (x int)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        let r = db
+            .execute("CREATE TABLE big AS SELECT x * 10 AS x10 FROM t WHERE x > 1")
+            .unwrap();
+        assert_eq!(
+            r,
+            StatementResult::TableCreated {
+                name: "big".into(),
+                rows: 2
+            }
+        );
+        let rows = db.query("SELECT x10 FROM big ORDER BY x10").unwrap();
+        assert_eq!(rows.row(0), &[Value::Int(20)]);
+    }
+
+    #[test]
+    fn views_create_and_drop() {
+        let mut db = PermDb::new();
+        db.execute("CREATE TABLE t (x int)").unwrap();
+        db.execute("CREATE VIEW v AS SELECT x FROM t").unwrap();
+        assert!(db.query("SELECT * FROM v").unwrap().is_empty());
+        assert_eq!(
+            db.execute("DROP VIEW v").unwrap(),
+            StatementResult::Dropped(true)
+        );
+        assert!(db.execute("SELECT * FROM v").is_err());
+        assert_eq!(
+            db.execute("DROP TABLE IF EXISTS nope").unwrap(),
+            StatementResult::Dropped(false)
+        );
+    }
+
+    #[test]
+    fn explain_returns_a_tree() {
+        let mut db = PermDb::new();
+        db.execute("CREATE TABLE t (x int)").unwrap();
+        let r = db.execute("EXPLAIN SELECT x FROM t WHERE x > 1").unwrap();
+        match r {
+            StatementResult::Explain(tree) => {
+                assert!(tree.contains("Scan(t)"), "{tree}");
+                assert!(tree.contains("Filter"), "{tree}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_on_ddl_is_an_error() {
+        let mut db = PermDb::new();
+        assert!(db.query("CREATE TABLE t (x int)").is_err());
+    }
+
+    #[test]
+    fn run_script_executes_in_order() {
+        let mut db = PermDb::new();
+        let results = db
+            .run_script(
+                "CREATE TABLE t (x int); INSERT INTO t VALUES (5); SELECT x FROM t;",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            results[2].clone().expect_rows().row(0),
+            &[Value::Int(5)]
+        );
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut db = PermDb::new();
+        let err = db.execute("SELEC 1").unwrap_err();
+        assert_eq!(err.kind(), "parse");
+    }
+}

@@ -1,0 +1,60 @@
+//! # perm-core
+//!
+//! The Perm provenance management system (PMS) facade: the end-to-end
+//! pipeline of the SIGMOD'09 demo paper's Figure 3.
+//!
+//! ```text
+//! SQL/SQL-PLE ─▶ Parser & Analyzer ─▶ Provenance Rewriter ─▶ Planner ─▶ Executor
+//!                (perm-sql,            (perm-rewrite)          (perm-exec)
+//!                 perm-algebra)
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use perm_core::fixtures::forum_db;
+//!
+//! let mut db = forum_db(); // the paper's Figure 1 database
+//! let result = db
+//!     .query("SELECT PROVENANCE mId, text FROM messages")
+//!     .unwrap();
+//! assert_eq!(
+//!     result.columns,
+//!     vec![
+//!         "mid",
+//!         "text",
+//!         "prov_public_messages_mid",
+//!         "prov_public_messages_text",
+//!         "prov_public_messages_uid"
+//!     ]
+//! );
+//! ```
+//!
+//! Features, per the paper: lazy and eager provenance ([`eager`]), the
+//! `INFLUENCE` / `COPY` / `LINEAGE` contribution semantics, external
+//! provenance, `BASERELATION`, rewrite-strategy toggles
+//! ([`options::SessionOptions`]), the stage trace of Figure 3
+//! ([`pipeline::StageTrace`]) and the browser panels of Figure 4
+//! ([`browser::BrowserPanels`]).
+
+pub mod browser;
+pub mod db;
+pub mod eager;
+pub mod fixtures;
+pub mod options;
+pub mod pipeline;
+pub mod result;
+pub mod sqlgen;
+
+pub use browser::BrowserPanels;
+pub use db::{CatalogCardinalities, PermDb};
+pub use eager::materialize_provenance;
+pub use options::SessionOptions;
+pub use pipeline::{Stage, StageTrace};
+pub use result::{QueryResult, StatementResult};
+
+// Re-export the pieces users touch through the facade.
+pub use perm_rewrite::{
+    ContributionSemantics, CopyMode, RewriteOptions, StrategyMode, UnionStrategy,
+};
+pub use perm_types::{PermError, Result, Tuple, Value};

@@ -1,0 +1,54 @@
+//! Session options — the knobs the Perm-browser exposes (activate or
+//! deactivate rewrite strategies, choose contribution semantics).
+
+use perm_rewrite::{ContributionSemantics, RewriteOptions, StrategyMode, UnionStrategy};
+
+/// Per-session configuration of the provenance pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionOptions {
+    pub rewrite: RewriteOptions,
+}
+
+impl SessionOptions {
+    /// Set the default contribution semantics (used when a
+    /// `SELECT PROVENANCE` carries no `ON CONTRIBUTION` clause).
+    pub fn with_default_semantics(mut self, s: ContributionSemantics) -> SessionOptions {
+        self.rewrite.default_semantics = s;
+        self
+    }
+
+    /// Choose how the union rewrite strategy is selected.
+    pub fn with_union_strategy(mut self, m: StrategyMode) -> SessionOptions {
+        self.rewrite.union_strategy = m;
+        self
+    }
+
+    /// Force a specific union strategy (browser toggle / ablations).
+    pub fn force_union_strategy(self, s: UnionStrategy) -> SessionOptions {
+        self.with_union_strategy(StrategyMode::Fixed(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let o = SessionOptions::default()
+            .with_default_semantics(ContributionSemantics::Lineage)
+            .force_union_strategy(UnionStrategy::JoinBack);
+        assert_eq!(o.rewrite.default_semantics, ContributionSemantics::Lineage);
+        assert_eq!(
+            o.rewrite.union_strategy,
+            StrategyMode::Fixed(UnionStrategy::JoinBack)
+        );
+    }
+
+    #[test]
+    fn defaults_are_perms_defaults() {
+        let o = SessionOptions::default();
+        assert_eq!(o.rewrite.default_semantics, ContributionSemantics::Influence);
+        assert_eq!(o.rewrite.union_strategy, StrategyMode::Heuristic);
+    }
+}

@@ -1,0 +1,176 @@
+//! Query results and their textual rendering (the browser's result panel,
+//! Figure 4 marker 5).
+
+use std::fmt;
+
+use perm_types::{Schema, Tuple, Value};
+
+/// A materialized query result: column names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Tuple>,
+}
+
+impl QueryResult {
+    pub fn new(schema: &Schema, rows: Vec<Tuple>) -> QueryResult {
+        QueryResult {
+            columns: schema.names().iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The raw values of one row.
+    pub fn row(&self, i: usize) -> &[Value] {
+        self.rows[i].values()
+    }
+
+    /// Index of a column by (case-insensitive) name, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// psql-style ASCII table, NULLs rendered as `null` (as the paper's
+    /// Figure 2 does).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut out = String::new();
+        // Header.
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:^w$} ", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("|"));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+        out.push_str(&sep.join("+"));
+        out.push('\n');
+        for row in &rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!(" {:<w$} ", s, w = widths[i]))
+                .collect();
+            out.push_str(&cells.join("|"));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "({} row{})\n",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        ));
+        out
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// SELECT / provenance query.
+    Rows(QueryResult),
+    /// CREATE TABLE / CREATE TABLE AS (with the number of rows
+    /// materialized).
+    TableCreated { name: String, rows: usize },
+    /// CREATE VIEW.
+    ViewCreated { name: String },
+    /// INSERT (rows inserted).
+    Inserted(usize),
+    /// DROP (whether anything was dropped — false only with IF EXISTS).
+    Dropped(bool),
+    /// EXPLAIN output: the optimized algebra tree.
+    Explain(String),
+}
+
+impl StatementResult {
+    /// The rows of a SELECT result; panics for other statements (test and
+    /// example convenience).
+    pub fn expect_rows(self) -> QueryResult {
+        match self {
+            StatementResult::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_types::{Column, DataType};
+
+    fn result() -> QueryResult {
+        QueryResult::new(
+            &Schema::new(vec![
+                Column::new("mid", DataType::Int),
+                Column::new("text", DataType::Text),
+            ]),
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::text("lorem ipsum ...")]),
+                Tuple::new(vec![Value::Int(2), Value::Null]),
+            ],
+        )
+    }
+
+    #[test]
+    fn table_rendering_contains_all_cells() {
+        let t = result().to_table();
+        assert!(t.contains("mid"), "{t}");
+        assert!(t.contains("lorem ipsum ..."), "{t}");
+        assert!(t.contains("null"), "{t}");
+        assert!(t.contains("(2 rows)"), "{t}");
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let r = result();
+        assert_eq!(r.column_index("TEXT"), Some(1));
+        assert_eq!(r.column_index("nope"), None);
+    }
+
+    #[test]
+    fn expect_rows_unwraps() {
+        let r = StatementResult::Rows(result());
+        assert_eq!(r.expect_rows().row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected rows")]
+    fn expect_rows_panics_on_ddl() {
+        StatementResult::Dropped(true).expect_rows();
+    }
+}

@@ -1,0 +1,378 @@
+//! AST → SQL serialization.
+//!
+//! Renders a parsed (and possibly transformed) [`Query`] back to SQL text.
+//! Used by the stage trace to re-analyze the provenance-stripped original
+//! query, and generally handy for tooling. The output always re-parses to
+//! an equal AST (see the round-trip tests).
+
+use perm_sql::{
+    ContributionSemantics, CopyMode, Expr, JoinKind, Query, QueryBody, Select, SelectItem,
+    SetOpKind, TableRef,
+};
+use perm_types::Value;
+
+/// Render a query as SQL.
+pub fn query_to_sql(q: &Query) -> String {
+    let mut s = body_to_sql(&q.body);
+    if !q.order_by.is_empty() {
+        let items: Vec<String> = q
+            .order_by
+            .iter()
+            .map(|o| {
+                format!(
+                    "{}{}",
+                    expr_to_sql(&o.expr),
+                    if o.desc { " DESC" } else { "" }
+                )
+            })
+            .collect();
+        s.push_str(&format!(" ORDER BY {}", items.join(", ")));
+    }
+    if let Some(l) = q.limit {
+        s.push_str(&format!(" LIMIT {l}"));
+    }
+    if let Some(o) = q.offset {
+        s.push_str(&format!(" OFFSET {o}"));
+    }
+    s
+}
+
+fn body_to_sql(b: &QueryBody) -> String {
+    match b {
+        QueryBody::Select(s) => select_to_sql(s),
+        QueryBody::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let kw = match op {
+                SetOpKind::Union => "UNION",
+                SetOpKind::Intersect => "INTERSECT",
+                SetOpKind::Except => "EXCEPT",
+            };
+            format!(
+                "({}) {kw}{} ({})",
+                body_to_sql(left),
+                if *all { " ALL" } else { "" },
+                body_to_sql(right)
+            )
+        }
+    }
+}
+
+fn select_to_sql(s: &Select) -> String {
+    let mut out = String::from("SELECT ");
+    if let Some(p) = &s.provenance {
+        out.push_str("PROVENANCE ");
+        if let Some(sem) = p.semantics {
+            let kw = match sem {
+                ContributionSemantics::Influence => "INFLUENCE".to_string(),
+                ContributionSemantics::Lineage => "LINEAGE".to_string(),
+                ContributionSemantics::Copy(CopyMode::Partial) => "COPY PARTIAL".to_string(),
+                ContributionSemantics::Copy(CopyMode::Complete) => "COPY COMPLETE".to_string(),
+            };
+            out.push_str(&format!("ON CONTRIBUTION ({kw}) "));
+        }
+    }
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    let items: Vec<String> = s.items.iter().map(item_to_sql).collect();
+    out.push_str(&items.join(", "));
+    if !s.from.is_empty() {
+        let froms: Vec<String> = s.from.iter().map(table_ref_to_sql).collect();
+        out.push_str(&format!(" FROM {}", froms.join(", ")));
+    }
+    if let Some(w) = &s.where_clause {
+        out.push_str(&format!(" WHERE {}", expr_to_sql(w)));
+    }
+    if !s.group_by.is_empty() {
+        let gs: Vec<String> = s.group_by.iter().map(expr_to_sql).collect();
+        out.push_str(&format!(" GROUP BY {}", gs.join(", ")));
+    }
+    if let Some(h) = &s.having {
+        out.push_str(&format!(" HAVING {}", expr_to_sql(h)));
+    }
+    out
+}
+
+fn item_to_sql(i: &SelectItem) -> String {
+    match i {
+        SelectItem::Wildcard => "*".into(),
+        SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
+        SelectItem::Expr { expr, alias } => match alias {
+            Some(a) => format!("{} AS {a}", expr_to_sql(expr)),
+            None => expr_to_sql(expr),
+        },
+    }
+}
+
+fn table_ref_to_sql(t: &TableRef) -> String {
+    match t {
+        TableRef::Relation {
+            name,
+            alias,
+            column_aliases,
+            modifiers,
+        } => {
+            let mut s = name.clone();
+            if let Some(a) = alias {
+                s.push_str(&format!(" AS {a}"));
+            }
+            if let Some(cols) = column_aliases {
+                s.push_str(&format!("({})", cols.join(", ")));
+            }
+            s.push_str(&modifiers_to_sql(modifiers));
+            s
+        }
+        TableRef::Subquery {
+            query,
+            alias,
+            column_aliases,
+            modifiers,
+        } => {
+            let mut s = format!("({}) AS {alias}", query_to_sql(query));
+            if let Some(cols) = column_aliases {
+                s.push_str(&format!("({})", cols.join(", ")));
+            }
+            s.push_str(&modifiers_to_sql(modifiers));
+            s
+        }
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let kw = match kind {
+                JoinKind::Inner => "JOIN",
+                JoinKind::Left => "LEFT JOIN",
+                JoinKind::Right => "RIGHT JOIN",
+                JoinKind::Full => "FULL JOIN",
+                JoinKind::Cross => "CROSS JOIN",
+            };
+            // Nested join operands are parenthesized so associativity and
+            // the binding of ON clauses survive the round trip.
+            let operand = |t: &TableRef| -> String {
+                let s = table_ref_to_sql(t);
+                if matches!(t, TableRef::Join { .. }) {
+                    format!("({s})")
+                } else {
+                    s
+                }
+            };
+            let mut s = format!("{} {kw} {}", operand(left), operand(right));
+            if let Some(c) = on {
+                s.push_str(&format!(" ON {}", expr_to_sql(c)));
+            }
+            s
+        }
+    }
+}
+
+fn modifiers_to_sql(m: &perm_sql::FromModifiers) -> String {
+    let mut s = String::new();
+    if let Some(attrs) = &m.provenance_attrs {
+        s.push_str(&format!(" PROVENANCE ({})", attrs.join(", ")));
+    }
+    if m.baserelation {
+        s.push_str(" BASERELATION");
+    }
+    s
+}
+
+/// Render an AST expression as SQL.
+pub fn expr_to_sql(e: &Expr) -> String {
+    match e {
+        Expr::Literal(v) => match v {
+            Value::Null => "NULL".into(),
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => b.to_string().to_uppercase(),
+            other => other.to_string(),
+        },
+        Expr::Column { qualifier, name } => match qualifier {
+            Some(q) => format!("{q}.{name}"),
+            None => name.clone(),
+        },
+        Expr::Binary { op, left, right } => {
+            use perm_sql::BinaryOp::*;
+            let o = match op {
+                Eq => "=",
+                NotEq => "<>",
+                Lt => "<",
+                LtEq => "<=",
+                Gt => ">",
+                GtEq => ">=",
+                And => "AND",
+                Or => "OR",
+                Add => "+",
+                Sub => "-",
+                Mul => "*",
+                Div => "/",
+                Mod => "%",
+                Concat => "||",
+            };
+            format!("({} {o} {})", expr_to_sql(left), expr_to_sql(right))
+        }
+        Expr::Unary { op, expr } => match op {
+            perm_sql::UnaryOp::Not => format!("(NOT {})", expr_to_sql(expr)),
+            perm_sql::UnaryOp::Neg => format!("(-{})", expr_to_sql(expr)),
+            perm_sql::UnaryOp::Plus => expr_to_sql(expr),
+        },
+        Expr::IsNull { expr, negated } => format!(
+            "({} IS {}NULL)",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::IsDistinctFrom {
+            left,
+            right,
+            negated,
+        } => format!(
+            "({} IS {}DISTINCT FROM {})",
+            expr_to_sql(left),
+            if *negated { "" } else { "NOT " },
+            expr_to_sql(right)
+        ),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
+            "({} {}LIKE {})",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" },
+            expr_to_sql(pattern)
+        ),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => format!(
+            "({} {}BETWEEN {} AND {})",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" },
+            expr_to_sql(low),
+            expr_to_sql(high)
+        ),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let items: Vec<String> = list.iter().map(expr_to_sql).collect();
+            format!(
+                "({} {}IN ({}))",
+                expr_to_sql(expr),
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            )
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => format!(
+            "({} {}IN ({}))",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" },
+            query_to_sql(query)
+        ),
+        Expr::Exists { query, negated } => format!(
+            "({}EXISTS ({}))",
+            if *negated { "NOT " } else { "" },
+            query_to_sql(query)
+        ),
+        Expr::ScalarSubquery(q) => format!("({})", query_to_sql(q)),
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            let mut s = String::from("CASE");
+            if let Some(o) = operand {
+                s.push_str(&format!(" {}", expr_to_sql(o)));
+            }
+            for (c, r) in branches {
+                s.push_str(&format!(" WHEN {} THEN {}", expr_to_sql(c), expr_to_sql(r)));
+            }
+            if let Some(el) = else_branch {
+                s.push_str(&format!(" ELSE {}", expr_to_sql(el)));
+            }
+            s.push_str(" END");
+            s
+        }
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
+            if *star {
+                return format!("{name}(*)");
+            }
+            let rendered: Vec<String> = args.iter().map(expr_to_sql).collect();
+            format!(
+                "{name}({}{})",
+                if *distinct { "DISTINCT " } else { "" },
+                rendered.join(", ")
+            )
+        }
+        Expr::Cast { expr, ty } => format!("CAST({} AS {ty})", expr_to_sql(expr)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_sql::{parse_statement, Statement};
+
+    fn roundtrip(sql: &str) {
+        let q1 = match parse_statement(sql).unwrap() {
+            Statement::Query(q) => q,
+            _ => panic!("query expected"),
+        };
+        let rendered = query_to_sql(&q1);
+        let q2 = match parse_statement(&rendered)
+            .unwrap_or_else(|e| panic!("rendered SQL does not re-parse: {rendered}\n{e}"))
+        {
+            Statement::Query(q) => q,
+            _ => panic!("query expected"),
+        };
+        assert_eq!(q1, q2, "round-trip changed the AST for {sql:?}:\n{rendered}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for sql in [
+            "SELECT 1",
+            "SELECT DISTINCT a, b AS c FROM t WHERE x > 1 GROUP BY a, b HAVING count(*) > 2",
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y",
+            "SELECT mId, text FROM messages UNION SELECT mId, text FROM imports",
+            "SELECT * FROM t ORDER BY 1 DESC LIMIT 3 OFFSET 1",
+            "SELECT CASE WHEN x > 0 THEN 'p' ELSE 'n' END FROM t",
+            "SELECT * FROM t WHERE x IN (SELECT y FROM u) AND EXISTS (SELECT 1 FROM v)",
+            "SELECT * FROM t WHERE x BETWEEN 1 AND 2 OR name LIKE 'a%'",
+            "SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE) count(*), text \
+             FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId",
+            "SELECT PROVENANCE text FROM v1 BASERELATION WHERE mid > 3",
+            "SELECT PROVENANCE * FROM imported PROVENANCE (src_id, src_origin)",
+            "SELECT CAST(x AS int), -y, NOT z, a IS NOT DISTINCT FROM b FROM t",
+            "SELECT sum(DISTINCT x) FROM t",
+            "SELECT (SELECT max(x) FROM u) FROM t WHERE y IS NOT NULL",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        let q = match parse_statement("SELECT 'it''s'").unwrap() {
+            Statement::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert!(query_to_sql(&q).contains("'it''s'"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Adapter exposing the storage catalog to the analyzer.
+
+use perm_algebra::catalog::{BaseTableMeta, CatalogProvider};
+use perm_sql::Query;
+use perm_storage::{Catalog, Relation};
+
+/// Wraps [`perm_storage::Catalog`] as the analyzer's
+/// [`CatalogProvider`].
+pub struct CatalogAdapter<'a>(pub &'a Catalog);
+
+impl CatalogProvider for CatalogAdapter<'_> {
+    fn base_table(&self, name: &str) -> Option<BaseTableMeta> {
+        match self.0.get(name) {
+            Some(Relation::Table(t)) => Some(BaseTableMeta {
+                schema: t.schema().clone(),
+                provenance_cols: t.provenance_columns().to_vec(),
+            }),
+            _ => None,
+        }
+    }
+
+    fn view_definition(&self, name: &str) -> Option<Query> {
+        match self.0.get(name) {
+            Some(Relation::View(v)) => Some(v.definition().clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_sql::parse_statement;
+    use perm_storage::Table;
+    use perm_types::{Column, DataType, Schema};
+
+    #[test]
+    fn adapter_reports_tables_views_and_provenance_metadata() {
+        let mut cat = Catalog::new();
+        let mut t = Table::new(
+            "p",
+            Schema::new(vec![
+                Column::new("x", DataType::Int),
+                Column::new("prov_public_t_x", DataType::Int),
+            ]),
+        );
+        t.set_provenance_columns(vec![1]).unwrap();
+        cat.create_table(t).unwrap();
+        let q = match parse_statement("SELECT x FROM p").unwrap() {
+            perm_sql::Statement::Query(q) => q,
+            _ => unreachable!(),
+        };
+        cat.create_view("v", q).unwrap();
+
+        let a = CatalogAdapter(&cat);
+        let meta = a.base_table("p").unwrap();
+        assert_eq!(meta.provenance_cols, vec![1]);
+        assert!(a.base_table("v").is_none());
+        assert!(a.view_definition("v").is_some());
+        assert!(a.view_definition("p").is_none());
+        assert!(a.base_table("missing").is_none());
+    }
+}

@@ -1,0 +1,321 @@
+//! The executor ("Executor" stage of Figure 3): interprets an optimized
+//! [`LogicalPlan`] against the storage catalog, operator at a time.
+//!
+//! Join and set-operation implementations live in [`crate::operators`];
+//! this module provides the dispatch loop, scans (with hash-index
+//! point-lookup acceleration), filters, projections, sorting, limits and
+//! the subquery result cache.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use perm_types::{PermError, Result, Tuple, Value};
+
+use perm_algebra::expr::{BinOp, ScalarExpr};
+use perm_algebra::plan::LogicalPlan;
+use perm_storage::Catalog;
+
+use crate::eval::{eval, Env};
+use crate::operators::{aggregate, join, setop};
+
+/// Cached first-column set of an uncorrelated IN subquery: the hashed
+/// non-NULL values plus whether a NULL was present.
+type InSet = Rc<(HashSet<Value>, bool)>;
+
+/// Safety valve against runaway plans (cross products of cross products).
+/// Generous enough for every workload in the repository; prevents a demo
+/// query from eating the machine.
+const MAX_ROWS: usize = 50_000_000;
+
+/// The executor. Holds the catalog, the stack of outer tuples (for
+/// correlated subplans) and a cache of uncorrelated sublink results.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    outer: RefCell<Vec<Tuple>>,
+    subquery_cache: RefCell<HashMap<usize, Rc<Vec<Tuple>>>>,
+    /// Hashed first-column sets of uncorrelated IN subqueries
+    /// (`(values, has_null)`), keyed by plan identity.
+    in_set_cache: RefCell<HashMap<usize, InSet>>,
+    /// Disable hash joins (ablation benches measuring the join-back
+    /// implementation choice of the aggregation rewrite).
+    nested_loop_only: bool,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(catalog: &'a Catalog) -> Executor<'a> {
+        Executor {
+            catalog,
+            outer: RefCell::new(Vec::new()),
+            subquery_cache: RefCell::new(HashMap::new()),
+            in_set_cache: RefCell::new(HashMap::new()),
+            nested_loop_only: false,
+        }
+    }
+
+    /// An executor that runs every join as a nested loop (ablations).
+    pub fn new_nested_loop_only(catalog: &'a Catalog) -> Executor<'a> {
+        Executor {
+            nested_loop_only: true,
+            ..Executor::new(catalog)
+        }
+    }
+
+    /// True if hash joins are disabled.
+    pub fn nested_loop_only(&self) -> bool {
+        self.nested_loop_only
+    }
+
+    /// Execute a plan and materialize its result.
+    pub fn run(&self, plan: &LogicalPlan) -> Result<Vec<Tuple>> {
+        match plan {
+            LogicalPlan::Scan { table, schema, .. } => {
+                let t = self.catalog.table(table)?;
+                if t.schema().len() != schema.len() {
+                    return Err(PermError::Execution(format!(
+                        "table '{table}' changed arity since planning"
+                    )));
+                }
+                Ok(t.rows().to_vec())
+            }
+            LogicalPlan::Values { rows, .. } => {
+                let empty = Tuple::empty();
+                let env_outer = self.outer.borrow().clone();
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let env = Env::new(&empty, &env_outer);
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        vals.push(eval(self, e, &env)?);
+                    }
+                    out.push(Tuple::new(vals));
+                }
+                Ok(out)
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                let rows = self.run(input)?;
+                let outer = self.outer.borrow().clone();
+                let mut out = Vec::with_capacity(rows.len());
+                for t in &rows {
+                    let env = Env::new(t, &outer);
+                    let mut vals = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        vals.push(eval(self, e, &env)?);
+                    }
+                    out.push(Tuple::new(vals));
+                }
+                Ok(out)
+            }
+            LogicalPlan::Filter { input, predicate } => self.run_filter(input, predicate),
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                condition,
+                ..
+            } => join::run_join(self, left, right, *kind, condition.as_ref()),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => aggregate::run_aggregate(self, input, group_by, aggs),
+            LogicalPlan::Distinct { input } => {
+                let rows = self.run(input)?;
+                let mut seen = std::collections::HashSet::with_capacity(rows.len());
+                let mut out = Vec::new();
+                for t in rows {
+                    if seen.insert(t.clone()) {
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+            LogicalPlan::SetOp {
+                op,
+                all,
+                left,
+                right,
+                ..
+            } => setop::run_setop(self, *op, *all, left, right),
+            LogicalPlan::Sort { input, keys } => {
+                let rows = self.run(input)?;
+                let outer = self.outer.borrow().clone();
+                // Precompute sort keys, then sort stably.
+                let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(rows.len());
+                for t in rows {
+                    let env = Env::new(&t, &outer);
+                    let mut ks = Vec::with_capacity(keys.len());
+                    for k in keys {
+                        ks.push(eval(self, &k.expr, &env)?);
+                    }
+                    keyed.push((ks, t));
+                }
+                keyed.sort_by(|(a, _), (b, _)| {
+                    for (i, k) in keys.iter().enumerate() {
+                        let ord = a[i].sort_cmp(&b[i]);
+                        let ord = if k.desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(keyed.into_iter().map(|(_, t)| t).collect())
+            }
+            LogicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => {
+                let rows = self.run(input)?;
+                let start = (*offset as usize).min(rows.len());
+                let end = match limit {
+                    Some(l) => (start + *l as usize).min(rows.len()),
+                    None => rows.len(),
+                };
+                Ok(rows[start..end].to_vec())
+            }
+            // Boundaries are stripped by the planner, but execute
+            // transparently if a caller runs an unoptimized plan.
+            LogicalPlan::Boundary { input, .. } => self.run(input),
+        }
+    }
+
+    /// A filter, with hash-index point-lookup acceleration for
+    /// `indexed_column = literal` conjuncts directly over a base-table scan.
+    fn run_filter(&self, input: &LogicalPlan, predicate: &ScalarExpr) -> Result<Vec<Tuple>> {
+        let outer = self.outer.borrow().clone();
+        // Index fast path.
+        if let LogicalPlan::Scan { table, .. } = input {
+            if let Some((rows, residual)) = self.try_index_scan(table, predicate)? {
+                return self.filter_rows(rows, residual.as_ref(), &outer);
+            }
+        }
+        let rows = self.run(input)?;
+        self.filter_rows(rows, Some(predicate), &outer)
+    }
+
+    fn filter_rows(
+        &self,
+        rows: Vec<Tuple>,
+        predicate: Option<&ScalarExpr>,
+        outer: &[Tuple],
+    ) -> Result<Vec<Tuple>> {
+        let Some(pred) = predicate else {
+            return Ok(rows);
+        };
+        let mut out = Vec::new();
+        for t in rows {
+            let env = Env::new(&t, outer);
+            if eval(self, pred, &env)?.as_bool()? == Some(true) {
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+
+    /// If the predicate has an `col = literal` conjunct on an indexed
+    /// column, fetch candidates through the index. Returns the candidate
+    /// rows and the residual predicate still to apply.
+    fn try_index_scan(
+        &self,
+        table: &str,
+        predicate: &ScalarExpr,
+    ) -> Result<Option<(Vec<Tuple>, Option<ScalarExpr>)>> {
+        let t = self.catalog.table(table)?;
+        let conjuncts = predicate.split_conjunction();
+        for (i, c) in conjuncts.iter().enumerate() {
+            let ScalarExpr::Binary { op: BinOp::Eq, left, right } = c else {
+                continue;
+            };
+            let (col, key) = match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::Column(c), ScalarExpr::Literal(v))
+                | (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => (*c, v),
+                _ => continue,
+            };
+            if key.is_null() {
+                continue; // `col = NULL` matches nothing; let eval handle it.
+            }
+            let Some(row_ids) = t.index_lookup(col, key) else {
+                continue;
+            };
+            let rows: Vec<Tuple> = row_ids.iter().map(|&r| t.rows()[r].clone()).collect();
+            let residual: Vec<ScalarExpr> = conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, e)| (*e).clone())
+                .collect();
+            let residual = if residual.is_empty() {
+                None
+            } else {
+                Some(ScalarExpr::conjunction(residual))
+            };
+            return Ok(Some((rows, residual)));
+        }
+        Ok(None)
+    }
+
+    /// Execute a (correlated) subplan with an explicit outer-tuple stack.
+    pub fn run_with_outer(&self, plan: &LogicalPlan, outer: &[Tuple]) -> Result<Vec<Tuple>> {
+        let saved = std::mem::replace(&mut *self.outer.borrow_mut(), outer.to_vec());
+        let result = self.run(plan);
+        *self.outer.borrow_mut() = saved;
+        result
+    }
+
+    /// The hashed set of first-column values of an uncorrelated IN
+    /// subquery (executed and hashed once). Returns the set and whether it
+    /// contains NULL (needed for IN's three-valued semantics).
+    pub fn run_cached_in_set(&self, plan: &LogicalPlan) -> Result<InSet> {
+        let key = plan as *const LogicalPlan as usize;
+        if let Some(hit) = self.in_set_cache.borrow().get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        let rows = self.run_cached(plan)?;
+        let mut set = HashSet::with_capacity(rows.len());
+        let mut has_null = false;
+        for t in rows.iter() {
+            let v = t.get(0);
+            if v.is_null() {
+                has_null = true;
+            } else {
+                set.insert(v.clone());
+            }
+        }
+        let entry = Rc::new((set, has_null));
+        self.in_set_cache.borrow_mut().insert(key, Rc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Execute an uncorrelated subplan once, caching by plan identity.
+    pub fn run_cached(&self, plan: &LogicalPlan) -> Result<Rc<Vec<Tuple>>> {
+        let key = plan as *const LogicalPlan as usize;
+        if let Some(hit) = self.subquery_cache.borrow().get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        // Uncorrelated plans must not observe outer scopes.
+        let rows = Rc::new(self.run_with_outer(plan, &[])?);
+        self.subquery_cache
+            .borrow_mut()
+            .insert(key, Rc::clone(&rows));
+        Ok(rows)
+    }
+
+    /// Current outer-tuple stack (operators that evaluate expressions need
+    /// it to build `Env`s).
+    pub fn outer_stack(&self) -> Vec<Tuple> {
+        self.outer.borrow().clone()
+    }
+
+    /// Guard helper for operators that multiply cardinalities.
+    pub fn check_row_budget(&self, n: usize) -> Result<()> {
+        if n > MAX_ROWS {
+            return Err(PermError::Execution(format!(
+                "intermediate result exceeds {MAX_ROWS} rows; aborting"
+            )));
+        }
+        Ok(())
+    }
+}

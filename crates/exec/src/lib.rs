@@ -1,0 +1,26 @@
+//! # perm-exec
+//!
+//! The "Planner" and "Executor" stages of the Perm pipeline (paper
+//! Figure 3).
+//!
+//! Because Perm represents provenance computations as ordinary relational
+//! queries, the rewritten plan needs no provenance-specific machinery here:
+//! the planner applies standard rewrites (boundary elimination, projection
+//! merging, filter pushdown) and the executor interprets the plan with
+//! hash joins — including NULL-safe keys for the aggregation join-back —
+//! hash aggregation and hash set operations. Correlated sublinks in
+//! ordinary (non-provenance) queries are evaluated through an outer-tuple
+//! stack with caching for uncorrelated subplans.
+
+pub mod adapter;
+pub mod eval;
+pub mod executor;
+pub mod operators;
+pub mod planner;
+
+pub use adapter::CatalogAdapter;
+pub use executor::Executor;
+pub use planner::optimize;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,239 @@
+//! Hash aggregation with SQL NULL semantics, `DISTINCT` aggregates and the
+//! `any_value` leniency aggregate.
+
+use std::collections::{HashMap, HashSet};
+
+use perm_types::ops::{self, ArithOp};
+use perm_types::{PermError, Result, Tuple, Value};
+
+use perm_algebra::expr::{AggCall, AggFunc, ScalarExpr};
+use perm_algebra::plan::LogicalPlan;
+
+use crate::eval::{eval, Env};
+use crate::executor::Executor;
+
+/// Running state of one aggregate within one group.
+enum AggState {
+    Count(i64),
+    /// sum and avg share the accumulator; `is_float` tracks output typing.
+    Sum {
+        total: f64,
+        is_float: bool,
+        seen: i64,
+        avg: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+    AnyValue(Option<Value>),
+}
+
+impl AggState {
+    fn new(call: &AggCall) -> AggState {
+        match call.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                is_float: false,
+                seen: 0,
+                avg: false,
+            },
+            AggFunc::Avg => AggState::Sum {
+                total: 0.0,
+                is_float: true,
+                seen: 0,
+                avg: true,
+            },
+            AggFunc::Min => AggState::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => AggState::MinMax {
+                best: None,
+                is_min: false,
+            },
+            AggFunc::AnyValue => AggState::AnyValue(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(c) => {
+                // count(*) gets v = None (counts rows); count(x) skips NULL.
+                match v {
+                    None => *c += 1,
+                    Some(x) if !x.is_null() => *c += 1,
+                    Some(_) => {}
+                }
+            }
+            AggState::Sum {
+                total,
+                is_float,
+                seen,
+                ..
+            } => {
+                let x = v.expect("sum/avg have an argument");
+                if x.is_null() {
+                    return Ok(());
+                }
+                match x {
+                    Value::Int(i) => *total += *i as f64,
+                    Value::Float(f) => {
+                        *total += f;
+                        *is_float = true;
+                    }
+                    other => {
+                        return Err(PermError::Value(format!(
+                            "sum/avg over non-numeric value {other}"
+                        )))
+                    }
+                }
+                *seen += 1;
+            }
+            AggState::MinMax { best, is_min } => {
+                let x = v.expect("min/max have an argument");
+                if x.is_null() {
+                    return Ok(());
+                }
+                match best {
+                    None => *best = Some(x.clone()),
+                    Some(b) => {
+                        if let Some(ord) = ops::sql_compare(x, b)? {
+                            let better = if *is_min {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            };
+                            if better {
+                                *best = Some(x.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            AggState::AnyValue(slot) => {
+                let x = v.expect("any_value has an argument");
+                if slot.is_none() && !x.is_null() {
+                    *slot = Some(x.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Sum {
+                total,
+                is_float,
+                seen,
+                avg,
+            } => {
+                if seen == 0 {
+                    return Value::Null;
+                }
+                if avg {
+                    Value::Float(total / seen as f64)
+                } else if is_float {
+                    Value::Float(total)
+                } else {
+                    // Integer sum; reject silent precision loss.
+                    if total.abs() < i64::MAX as f64 {
+                        Value::Int(total as i64)
+                    } else {
+                        Value::Float(total)
+                    }
+                }
+            }
+            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            AggState::AnyValue(slot) => slot.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// One group's accumulators plus per-aggregate DISTINCT filters.
+struct GroupState {
+    states: Vec<AggState>,
+    distinct_seen: Vec<Option<HashSet<Value>>>,
+}
+
+impl GroupState {
+    fn new(calls: &[AggCall]) -> GroupState {
+        GroupState {
+            states: calls.iter().map(AggState::new).collect(),
+            distinct_seen: calls
+                .iter()
+                .map(|c| if c.distinct { Some(HashSet::new()) } else { None })
+                .collect(),
+        }
+    }
+}
+
+pub fn run_aggregate(
+    exec: &Executor<'_>,
+    input: &LogicalPlan,
+    group_by: &[ScalarExpr],
+    aggs: &[AggCall],
+) -> Result<Vec<Tuple>> {
+    let rows = exec.run(input)?;
+    let outer = exec.outer_stack();
+
+    // Group order: first appearance (deterministic output for tests; final
+    // ordering comes from ORDER BY anyway).
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut groups: HashMap<Tuple, GroupState> = HashMap::new();
+
+    for t in &rows {
+        let env = Env::new(t, &outer);
+        let mut key_vals = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            key_vals.push(eval(exec, g, &env)?);
+        }
+        let key = Tuple::new(key_vals);
+        let state = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups.entry(key.clone()).or_insert_with(|| GroupState::new(aggs))
+            }
+        };
+        for (i, call) in aggs.iter().enumerate() {
+            let arg = match &call.arg {
+                Some(e) => Some(eval(exec, e, &env)?),
+                None => None,
+            };
+            if let (Some(seen), Some(v)) = (&mut state.distinct_seen[i], &arg) {
+                if v.is_null() || !seen.insert(v.clone()) {
+                    continue; // duplicate (or NULL) under DISTINCT
+                }
+            }
+            state.states[i].update(arg.as_ref())?;
+        }
+    }
+
+    // A global aggregate over an empty input still yields one row.
+    if group_by.is_empty() && order.is_empty() {
+        let empty_key = Tuple::empty();
+        order.push(empty_key.clone());
+        groups.insert(empty_key, GroupState::new(aggs));
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let state = groups.remove(&key).expect("group registered");
+        let mut vals = key.into_values();
+        for s in state.states {
+            vals.push(s.finish());
+        }
+        out.push(Tuple::new(vals));
+    }
+    Ok(out)
+}
+
+/// Integer-preserving addition used by tests to pin sum semantics.
+#[allow(dead_code)]
+pub(crate) fn add_values(a: &Value, b: &Value) -> Result<Value> {
+    ops::arith(ArithOp::Add, a, b)
+}

@@ -1,0 +1,261 @@
+//! Join execution: hash join for equi-conditions (including the NULL-safe
+//! `IS NOT DISTINCT FROM` keys that Perm's aggregation join-back emits),
+//! nested-loop join for everything else.
+
+use std::collections::HashMap;
+
+use perm_types::{Result, Tuple, Value};
+
+use perm_algebra::expr::{BinOp, ScalarExpr};
+use perm_algebra::plan::{JoinType, LogicalPlan};
+
+use crate::eval::{eval, Env};
+use crate::executor::Executor;
+
+/// One extracted equi-key pair: `left_expr ⋈ right_expr`, NULL-safe or not.
+struct EquiKey {
+    left: ScalarExpr,
+    /// Right expression, rebased to the right input's columns.
+    right: ScalarExpr,
+    null_safe: bool,
+}
+
+pub fn run_join(
+    exec: &Executor<'_>,
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    kind: JoinType,
+    condition: Option<&ScalarExpr>,
+) -> Result<Vec<Tuple>> {
+    let lrows = exec.run(left)?;
+    let rrows = exec.run(right)?;
+    let nl = left.arity();
+    let nr = right.arity();
+
+    let (keys, residual) = condition
+        .map(|c| extract_equi_keys(c, nl))
+        .unwrap_or((vec![], None));
+
+    if keys.is_empty() || exec.nested_loop_only() {
+        nested_loop(exec, lrows, rrows, nl, nr, kind, condition)
+    } else {
+        hash_join(exec, lrows, rrows, nl, nr, kind, &keys, residual.as_ref())
+    }
+}
+
+/// Split an ON condition into hashable equi-key pairs and a residual.
+///
+/// A conjunct qualifies if it is `a = b` or `a IS NOT DISTINCT FROM b`
+/// where one side references only left columns and the other only right
+/// columns (and neither contains a sublink).
+fn extract_equi_keys(cond: &ScalarExpr, nl: usize) -> (Vec<EquiKey>, Option<ScalarExpr>) {
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    for c in cond.split_conjunction() {
+        let (op_null_safe, l, r) = match c {
+            ScalarExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => (false, left, right),
+            ScalarExpr::Binary {
+                op: BinOp::NotDistinctFrom,
+                left,
+                right,
+            } => (true, left, right),
+            other => {
+                residual.push(other.clone());
+                continue;
+            }
+        };
+        if l.contains_subquery() || r.contains_subquery() {
+            residual.push(c.clone());
+            continue;
+        }
+        let side = |e: &ScalarExpr| -> Option<bool> {
+            // Some(true) = pure left, Some(false) = pure right.
+            let cols = e.referenced_columns();
+            if cols.is_empty() {
+                return None; // constant; not usable as a key side marker
+            }
+            if cols.iter().all(|&i| i < nl) {
+                Some(true)
+            } else if cols.iter().all(|&i| i >= nl) {
+                Some(false)
+            } else {
+                None
+            }
+        };
+        match (side(l), side(r)) {
+            (Some(true), Some(false)) => keys.push(EquiKey {
+                left: (**l).clone(),
+                right: r.map_columns(&|i| i - nl),
+                null_safe: op_null_safe,
+            }),
+            (Some(false), Some(true)) => keys.push(EquiKey {
+                left: (**r).clone(),
+                right: l.map_columns(&|i| i - nl),
+                null_safe: op_null_safe,
+            }),
+            _ => residual.push(c.clone()),
+        }
+    }
+    let residual = if residual.is_empty() {
+        None
+    } else {
+        Some(ScalarExpr::conjunction(residual))
+    };
+    (keys, residual)
+}
+
+/// Sentinel wrapper distinguishing "key contains NULL under SQL equality"
+/// (never matches) from a NULL-safe key (NULL matches NULL).
+#[derive(PartialEq, Eq, Hash)]
+struct Key(Vec<Value>);
+
+fn build_key(
+    exec: &Executor<'_>,
+    exprs: &[&ScalarExpr],
+    null_safe: &[bool],
+    env: &Env<'_>,
+) -> Result<Option<Key>> {
+    let mut vals = Vec::with_capacity(exprs.len());
+    for (e, &ns) in exprs.iter().zip(null_safe) {
+        let v = eval(exec, e, env)?;
+        if v.is_null() && !ns {
+            // SQL equality with NULL never matches: this row joins nothing.
+            return Ok(None);
+        }
+        vals.push(v);
+    }
+    Ok(Some(Key(vals)))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    exec: &Executor<'_>,
+    lrows: Vec<Tuple>,
+    rrows: Vec<Tuple>,
+    nl: usize,
+    nr: usize,
+    kind: JoinType,
+    keys: &[EquiKey],
+    residual: Option<&ScalarExpr>,
+) -> Result<Vec<Tuple>> {
+    let outer = exec.outer_stack();
+    let left_exprs: Vec<&ScalarExpr> = keys.iter().map(|k| &k.left).collect();
+    let right_exprs: Vec<&ScalarExpr> = keys.iter().map(|k| &k.right).collect();
+    let null_safe: Vec<bool> = keys.iter().map(|k| k.null_safe).collect();
+
+    // Build on the right side.
+    let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(rrows.len());
+    for (i, r) in rrows.iter().enumerate() {
+        let env = Env::new(r, &outer);
+        if let Some(k) = build_key(exec, &right_exprs, &null_safe, &env)? {
+            table.entry(k).or_default().push(i);
+        }
+    }
+
+    let mut right_matched = vec![false; rrows.len()];
+    let mut out = Vec::new();
+    for l in &lrows {
+        let lenv = Env::new(l, &outer);
+        let key = build_key(exec, &left_exprs, &null_safe, &lenv)?;
+        let mut matched = false;
+        if let Some(key) = key {
+            if let Some(cands) = table.get(&key) {
+                for &ri in cands {
+                    let combined = l.concat(&rrows[ri]);
+                    if let Some(pred) = residual {
+                        let env = Env::new(&combined, &outer);
+                        if eval(exec, pred, &env)?.as_bool()? != Some(true) {
+                            continue;
+                        }
+                    }
+                    matched = true;
+                    right_matched[ri] = true;
+                    match kind {
+                        JoinType::Semi | JoinType::Anti => {}
+                        _ => out.push(combined),
+                    }
+                    exec.check_row_budget(out.len())?;
+                    if matches!(kind, JoinType::Semi) {
+                        break;
+                    }
+                }
+            }
+        }
+        match kind {
+            JoinType::Semi if matched => out.push(l.clone()),
+            JoinType::Anti if !matched => out.push(l.clone()),
+            JoinType::Left | JoinType::Full if !matched => {
+                out.push(l.concat(&Tuple::nulls(nr)));
+            }
+            _ => {}
+        }
+    }
+    if matches!(kind, JoinType::Full) {
+        for (i, r) in rrows.iter().enumerate() {
+            if !right_matched[i] {
+                out.push(Tuple::nulls(nl).concat(r));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn nested_loop(
+    exec: &Executor<'_>,
+    lrows: Vec<Tuple>,
+    rrows: Vec<Tuple>,
+    nl: usize,
+    nr: usize,
+    kind: JoinType,
+    condition: Option<&ScalarExpr>,
+) -> Result<Vec<Tuple>> {
+    let outer = exec.outer_stack();
+    let mut right_matched = vec![false; rrows.len()];
+    let mut out = Vec::new();
+    for l in &lrows {
+        let mut matched = false;
+        for (ri, r) in rrows.iter().enumerate() {
+            let combined = l.concat(r);
+            let ok = match condition {
+                None => true,
+                Some(c) => {
+                    let env = Env::new(&combined, &outer);
+                    eval(exec, c, &env)?.as_bool()? == Some(true)
+                }
+            };
+            if !ok {
+                continue;
+            }
+            matched = true;
+            right_matched[ri] = true;
+            match kind {
+                JoinType::Semi | JoinType::Anti => {}
+                _ => out.push(combined),
+            }
+            exec.check_row_budget(out.len())?;
+            if matches!(kind, JoinType::Semi) {
+                break;
+            }
+        }
+        match kind {
+            JoinType::Semi if matched => out.push(l.clone()),
+            JoinType::Anti if !matched => out.push(l.clone()),
+            JoinType::Left | JoinType::Full if !matched => {
+                out.push(l.concat(&Tuple::nulls(nr)));
+            }
+            _ => {}
+        }
+    }
+    if matches!(kind, JoinType::Full) {
+        for (i, r) in rrows.iter().enumerate() {
+            if !right_matched[i] {
+                out.push(Tuple::nulls(nl).concat(r));
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,5 @@
+//! Physical operator implementations.
+
+pub mod aggregate;
+pub mod join;
+pub mod setop;

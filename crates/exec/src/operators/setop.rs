@@ -1,0 +1,86 @@
+//! Set operations with both set (`DISTINCT`) and bag (`ALL`) semantics.
+//!
+//! Tuple equality here is grouping equality (NULL == NULL), matching SQL's
+//! treatment of NULLs in set operations.
+
+use std::collections::{HashMap, HashSet};
+
+use perm_types::{Result, Tuple};
+
+use perm_algebra::plan::{LogicalPlan, SetOpType};
+
+use crate::executor::Executor;
+
+pub fn run_setop(
+    exec: &Executor<'_>,
+    op: SetOpType,
+    all: bool,
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+) -> Result<Vec<Tuple>> {
+    let l = exec.run(left)?;
+    let r = exec.run(right)?;
+    Ok(match (op, all) {
+        (SetOpType::Union, true) => {
+            let mut out = l;
+            out.extend(r);
+            out
+        }
+        (SetOpType::Union, false) => {
+            let mut seen = HashSet::with_capacity(l.len() + r.len());
+            let mut out = Vec::new();
+            for t in l.into_iter().chain(r) {
+                if seen.insert(t.clone()) {
+                    out.push(t);
+                }
+            }
+            out
+        }
+        (SetOpType::Intersect, false) => {
+            let rset: HashSet<Tuple> = r.into_iter().collect();
+            let mut seen = HashSet::new();
+            l.into_iter()
+                .filter(|t| rset.contains(t) && seen.insert(t.clone()))
+                .collect()
+        }
+        (SetOpType::Intersect, true) => {
+            // Bag intersection: each tuple appears min(countL, countR) times.
+            let mut rcount: HashMap<Tuple, usize> = HashMap::new();
+            for t in r {
+                *rcount.entry(t).or_insert(0) += 1;
+            }
+            let mut out = Vec::new();
+            for t in l {
+                if let Some(c) = rcount.get_mut(&t) {
+                    if *c > 0 {
+                        *c -= 1;
+                        out.push(t);
+                    }
+                }
+            }
+            out
+        }
+        (SetOpType::Except, false) => {
+            let rset: HashSet<Tuple> = r.into_iter().collect();
+            let mut seen = HashSet::new();
+            l.into_iter()
+                .filter(|t| !rset.contains(t) && seen.insert(t.clone()))
+                .collect()
+        }
+        (SetOpType::Except, true) => {
+            // Bag difference: countL - countR occurrences survive.
+            let mut rcount: HashMap<Tuple, usize> = HashMap::new();
+            for t in r {
+                *rcount.entry(t).or_insert(0) += 1;
+            }
+            let mut out = Vec::new();
+            for t in l {
+                match rcount.get_mut(&t) {
+                    Some(c) if *c > 0 => *c -= 1,
+                    _ => out.push(t),
+                }
+            }
+            out
+        }
+    })
+}

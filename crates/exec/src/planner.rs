@@ -1,0 +1,477 @@
+//! The logical optimizer ("Planner" stage of the paper's Figure 3).
+//!
+//! Perm deliberately leaves optimization to the host DBMS: the rewritten
+//! provenance query is an ordinary query, so ordinary rewrites apply. This
+//! module implements the standard cleanups that matter most for the plans
+//! the provenance rewriter produces:
+//!
+//! * **boundary elimination** — SQL-PLE markers are meaningless after the
+//!   rewrite;
+//! * **projection merging** — the rewrite rules stack projections
+//!   (duplicate-as-provenance, normalization, padding), which fold into
+//!   one;
+//! * **filter pushdown** — through projections, past sorts, into
+//!   inner/cross join sides and union branches;
+//! * **filter merging** — adjacent filters combine into one conjunction.
+
+use perm_algebra::expr::ScalarExpr;
+use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType};
+
+/// Number of optimization passes. The rules are applied bottom-up; two
+/// passes reach a fixpoint for everything the rewriter emits.
+const PASSES: usize = 3;
+
+/// Optimize a bound plan.
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let mut p = strip_boundaries(plan);
+    for _ in 0..PASSES {
+        p = rewrite_bottom_up(p);
+    }
+    p
+}
+
+/// Remove SQL-PLE boundary markers (no-ops for execution).
+fn strip_boundaries(plan: LogicalPlan) -> LogicalPlan {
+    map_children(plan, &|p| match p {
+        LogicalPlan::Boundary { input, .. } => *input,
+        other => other,
+    })
+}
+
+fn rewrite_bottom_up(plan: LogicalPlan) -> LogicalPlan {
+    map_children(plan, &|p| {
+        let p = merge_filters(p);
+        let p = push_filter(p);
+        merge_projects(p)
+    })
+}
+
+/// Rebuild the plan bottom-up, applying `f` at every node after its
+/// children were processed.
+fn map_children(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let rebuilt = match plan {
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => plan,
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(map_children(*input, f)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(map_children(*input, f)),
+            predicate,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            condition,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(map_children(*left, f)),
+            right: Box::new(map_children(*right, f)),
+            kind,
+            condition,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(map_children(*input, f)),
+            group_by,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(map_children(*input, f)),
+        },
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
+            op,
+            all,
+            left: Box::new(map_children(*left, f)),
+            right: Box::new(map_children(*right, f)),
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(map_children(*input, f)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(map_children(*input, f)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Boundary { input, name, kind } => LogicalPlan::Boundary {
+            input: Box::new(map_children(*input, f)),
+            name,
+            kind,
+        },
+    };
+    f(rebuilt)
+}
+
+/// `Filter(Filter(T, a), b)` → `Filter(T, b AND a)`.
+fn merge_filters(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => match *input {
+            LogicalPlan::Filter {
+                input: inner,
+                predicate: inner_pred,
+            } => LogicalPlan::Filter {
+                input: inner,
+                predicate: ScalarExpr::conjunction(vec![predicate, inner_pred]),
+            },
+            other => LogicalPlan::Filter {
+                input: Box::new(other),
+                predicate,
+            },
+        },
+        other => other,
+    }
+}
+
+/// Push a filter's conjuncts as close to the scans as safely possible.
+fn push_filter(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalPlan::Filter { input, predicate } = plan else {
+        return plan;
+    };
+    // Subquery predicates are never pushed (their evaluation cost profile
+    // is unclear and pushing past joins changes how often they run).
+    if predicate.contains_subquery() {
+        return LogicalPlan::Filter { input, predicate };
+    }
+    match *input {
+        // Filter over Project: substitute and push when every output column
+        // referenced is a plain column or literal.
+        LogicalPlan::Project {
+            input: pin,
+            exprs,
+            schema,
+        } => {
+            let substitutable = predicate.referenced_columns().iter().all(|&i| {
+                matches!(
+                    exprs[i],
+                    ScalarExpr::Column(_) | ScalarExpr::Literal(_)
+                )
+            });
+            if substitutable {
+                let pushed = predicate.transform(&|e| match e {
+                    ScalarExpr::Column(i) => exprs[i].clone(),
+                    other => other,
+                });
+                LogicalPlan::Project {
+                    input: Box::new(push_filter(LogicalPlan::Filter {
+                        input: pin,
+                        predicate: pushed,
+                    })),
+                    exprs,
+                    schema,
+                }
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(LogicalPlan::Project {
+                        input: pin,
+                        exprs,
+                        schema,
+                    }),
+                    predicate,
+                }
+            }
+        }
+        // Filter over inner/cross join: route side-local conjuncts.
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: kind @ (JoinType::Inner | JoinType::Cross),
+            condition,
+            schema,
+        } => {
+            let nl = left.arity();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut keep = Vec::new();
+            for c in predicate.split_conjunction() {
+                let cols = c.referenced_columns();
+                if cols.iter().all(|&i| i < nl) {
+                    to_left.push(c.clone());
+                } else if cols.iter().all(|&i| i >= nl) {
+                    to_right.push(c.map_columns(&|i| i - nl));
+                } else {
+                    keep.push(c.clone());
+                }
+            }
+            let left = if to_left.is_empty() {
+                left
+            } else {
+                Box::new(push_filter(LogicalPlan::Filter {
+                    input: left,
+                    predicate: ScalarExpr::conjunction(to_left),
+                }))
+            };
+            let right = if to_right.is_empty() {
+                right
+            } else {
+                Box::new(push_filter(LogicalPlan::Filter {
+                    input: right,
+                    predicate: ScalarExpr::conjunction(to_right),
+                }))
+            };
+            let join = LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                condition,
+                schema,
+            };
+            if keep.is_empty() {
+                join
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(join),
+                    predicate: ScalarExpr::conjunction(keep),
+                }
+            }
+        }
+        // Filter over union: apply to both branches (positions agree).
+        LogicalPlan::SetOp {
+            op: SetOpType::Union,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
+            op: SetOpType::Union,
+            all,
+            left: Box::new(push_filter(LogicalPlan::Filter {
+                input: left,
+                predicate: predicate.clone(),
+            })),
+            right: Box::new(push_filter(LogicalPlan::Filter {
+                input: right,
+                predicate,
+            })),
+            schema,
+        },
+        // Filter past sort (sort doesn't change values).
+        LogicalPlan::Sort { input: sin, keys } => LogicalPlan::Sort {
+            input: Box::new(push_filter(LogicalPlan::Filter {
+                input: sin,
+                predicate,
+            })),
+            keys,
+        },
+        other => LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate,
+        },
+    }
+}
+
+/// `Project(Project(T, inner), outer)` → one Project, when safe.
+fn merge_projects(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalPlan::Project {
+        input,
+        exprs,
+        schema,
+    } = plan
+    else {
+        return plan;
+    };
+    let LogicalPlan::Project {
+        input: inner_input,
+        exprs: inner_exprs,
+        schema: inner_schema,
+    } = *input
+    else {
+        return LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        };
+    };
+    // Safe when inner expressions are cheap (columns/literals), or each
+    // inner column is referenced at most once and contains no subquery.
+    let cheap = inner_exprs
+        .iter()
+        .all(|e| matches!(e, ScalarExpr::Column(_) | ScalarExpr::Literal(_)));
+    let mergeable = cheap || {
+        let mut counts = vec![0usize; inner_exprs.len()];
+        for e in &exprs {
+            e.for_each_column(&mut |i| counts[i] += 1);
+        }
+        counts
+            .iter()
+            .zip(&inner_exprs)
+            .all(|(&c, e)| c <= 1 && !e.contains_subquery())
+    };
+    if !mergeable {
+        return LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Project {
+                input: inner_input,
+                exprs: inner_exprs,
+                schema: inner_schema,
+            }),
+            exprs,
+            schema,
+        };
+    }
+    let merged: Vec<ScalarExpr> = exprs
+        .iter()
+        .map(|e| {
+            e.transform(&|x| match x {
+                ScalarExpr::Column(i) => inner_exprs[i].clone(),
+                other => other,
+            })
+        })
+        .collect();
+    LogicalPlan::Project {
+        input: inner_input,
+        exprs: merged,
+        schema,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::expr::BinOp;
+    use perm_algebra::plan_tree;
+    use perm_types::{Column, DataType, Schema, Value};
+
+    fn scan(name: &str, cols: usize) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: name.into(),
+            schema: Schema::new(
+                (0..cols)
+                    .map(|i| Column::new(format!("c{i}"), DataType::Int).with_qualifier(name))
+                    .collect(),
+            ),
+            provenance_cols: vec![],
+        }
+    }
+
+    fn col_gt(i: usize, v: i64) -> ScalarExpr {
+        ScalarExpr::binary(
+            BinOp::Gt,
+            ScalarExpr::Column(i),
+            ScalarExpr::Literal(Value::Int(v)),
+        )
+    }
+
+    #[test]
+    fn boundaries_are_stripped() {
+        let p = LogicalPlan::Boundary {
+            input: Box::new(scan("t", 1)),
+            name: "t".into(),
+            kind: perm_algebra::plan::BoundaryKind::BaseRelation,
+        };
+        let o = optimize(p);
+        assert!(matches!(o, LogicalPlan::Scan { .. }));
+    }
+
+    #[test]
+    fn adjacent_filters_merge() {
+        let p = LogicalPlan::filter(LogicalPlan::filter(scan("t", 2), col_gt(0, 1)), col_gt(1, 2));
+        let o = optimize(p);
+        let tree = plan_tree(&o);
+        assert_eq!(tree.matches("Filter").count(), 1, "{tree}");
+    }
+
+    #[test]
+    fn filter_pushes_into_join_sides() {
+        let join = LogicalPlan::join(scan("a", 2), scan("b", 2), JoinType::Cross, None).unwrap();
+        // c0 belongs to a, c2 (position 2) belongs to b.
+        let p = LogicalPlan::filter(
+            join,
+            ScalarExpr::conjunction(vec![col_gt(0, 1), col_gt(2, 5)]),
+        );
+        let o = optimize(p);
+        let tree = plan_tree(&o);
+        // Both filters below the join now.
+        let join_pos = tree.find("CrossJoin").unwrap();
+        for f in ["(#0 > 1)", "(#0 > 5)"] {
+            let fp = tree.find(f).unwrap_or_else(|| panic!("{f} missing:\n{tree}"));
+            assert!(fp > join_pos, "{tree}");
+        }
+    }
+
+    #[test]
+    fn join_spanning_conjunct_stays_above() {
+        let join = LogicalPlan::join(scan("a", 1), scan("b", 1), JoinType::Cross, None).unwrap();
+        let pred = ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Column(1));
+        let o = optimize(LogicalPlan::filter(join, pred));
+        let tree = plan_tree(&o);
+        let filter_pos = tree.find("Filter").expect("filter kept");
+        let join_pos = tree.find("CrossJoin").unwrap();
+        assert!(filter_pos < join_pos, "{tree}");
+    }
+
+    #[test]
+    fn filter_does_not_push_into_left_join() {
+        let join = LogicalPlan::join(
+            scan("a", 1),
+            scan("b", 1),
+            JoinType::Left,
+            Some(ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Column(1))),
+        )
+        .unwrap();
+        let o = optimize(LogicalPlan::filter(join, col_gt(1, 0)));
+        let tree = plan_tree(&o);
+        let filter_pos = tree.find("Filter").expect("filter kept");
+        let join_pos = tree.find("LeftJoin").unwrap();
+        assert!(filter_pos < join_pos, "outer-join filters must not move:\n{tree}");
+    }
+
+    #[test]
+    fn stacked_projections_merge() {
+        let inner = LogicalPlan::project_positions(scan("t", 3), &[2, 0]);
+        let outer = LogicalPlan::project_positions(inner, &[1]);
+        let o = optimize(outer);
+        match &o {
+            LogicalPlan::Project { input, exprs, .. } => {
+                assert!(matches!(**input, LogicalPlan::Scan { .. }));
+                assert_eq!(exprs, &vec![ScalarExpr::Column(0)]);
+            }
+            other => panic!("expected merged project, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_pushes_through_identity_projection() {
+        let proj = LogicalPlan::project_positions(scan("t", 2), &[1, 0]);
+        let o = optimize(LogicalPlan::filter(proj, col_gt(0, 7)));
+        let tree = plan_tree(&o);
+        let proj_pos = tree.find("Project").unwrap();
+        let filter_pos = tree.find("Filter").unwrap();
+        assert!(filter_pos > proj_pos, "{tree}");
+        // The predicate was rewritten to the underlying column (#1).
+        assert!(tree.contains("(#1 > 7)"), "{tree}");
+    }
+
+    #[test]
+    fn union_filters_push_into_branches() {
+        let u = LogicalPlan::SetOp {
+            op: SetOpType::Union,
+            all: true,
+            left: Box::new(scan("a", 1)),
+            right: Box::new(scan("b", 1)),
+            schema: Schema::new(vec![Column::new("c0", DataType::Int)]),
+        };
+        let o = optimize(LogicalPlan::filter(u, col_gt(0, 3)));
+        let tree = plan_tree(&o);
+        assert_eq!(tree.matches("Filter").count(), 2, "{tree}");
+        assert!(tree.starts_with("UnionAll"), "{tree}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Provenance rewrite rule for aggregation.
+//!
+//! PI-CS defines every input tuple of a group as a witness of that group's
+//! result tuple. The rewrite therefore **joins the original aggregate
+//! output back** to the rewritten input on the group-by expressions, using
+//! NULL-safe equality (`IS NOT DISTINCT FROM`) because `GROUP BY` groups
+//! NULLs together:
+//!
+//! ```text
+//! (α_{G,agg}(T))+ = Π_{A, P(T+)}( α_{G,agg}(T) ⟕_{G ≡ G(T+)} T+ )
+//! ```
+//!
+//! A global aggregate (no GROUP BY) joins its single result row to every
+//! input tuple (`ON true`); the outer join keeps the `count(*) = 0` row of
+//! an empty input with NULL provenance.
+
+use std::collections::BTreeSet;
+
+use perm_types::{Result, Schema, Value};
+
+use perm_algebra::expr::{AggCall, ScalarExpr};
+use perm_algebra::plan::{JoinType, LogicalPlan};
+
+use crate::rules::{expr_copy_set, Ctx, Rewritten};
+
+pub fn rewrite_aggregate(
+    ctx: &Ctx,
+    original: &LogicalPlan,
+    input: &LogicalPlan,
+    group_by: &[ScalarExpr],
+    aggs: &[AggCall],
+    schema: &Schema,
+) -> Result<Rewritten> {
+    let rt = ctx.rewrite(input)?.normalized();
+    let n_out = schema.len();
+    let n_in = rt.n_orig();
+    let p = rt.prov.len();
+
+    // Join condition: group column i of the aggregate output (position i —
+    // group columns come first) must be NULL-safe-equal to the group
+    // expression evaluated over the rewritten input (shifted by n_out).
+    let cond = if group_by.is_empty() {
+        ScalarExpr::Literal(Value::Bool(true))
+    } else {
+        let preds: Vec<ScalarExpr> = group_by
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let right = rt.remap(g).map_columns(&|c| c + n_out);
+                ScalarExpr::not_distinct(ScalarExpr::Column(i), right)
+            })
+            .collect();
+        ScalarExpr::conjunction(preds)
+    };
+
+    // Copy map: group columns copy whatever their group expression copied;
+    // aggregate results are computed values and copy nothing. (`min`/`max`
+    // do return an input value, but not one attributable to the *aligned*
+    // witness row, so Copy-CS conservatively drops them.)
+    let mut copy_sets: Vec<BTreeSet<usize>> = group_by
+        .iter()
+        .map(|g| expr_copy_set(&rt.remap(g), &rt.copy_sets))
+        .collect();
+
+    let join = LogicalPlan::join(original.clone(), rt.plan, JoinType::Left, Some(cond))?;
+    // Join schema: [aggregate output 0..n_out][T+ n_out..n_out+n_in+p].
+    let positions: Vec<usize> = (0..n_out)
+        .chain(n_out + n_in..n_out + n_in + p)
+        .collect();
+    let plan = LogicalPlan::project_positions(join, &positions);
+    copy_sets.resize(n_out, BTreeSet::new());
+    debug_assert_eq!(copy_sets.len(), n_out);
+    let _ = aggs;
+
+    Ok(Rewritten {
+        plan,
+        orig: (0..n_out).collect(),
+        prov: (n_out..n_out + p).collect(),
+        attrs: rt.attrs,
+        copy_sets,
+    })
+}

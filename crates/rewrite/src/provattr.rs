@@ -1,0 +1,118 @@
+//! Provenance attribute descriptors and the Perm naming scheme.
+
+use perm_types::Column;
+
+/// Default schema name used in provenance attribute names. Perm names
+/// provenance attributes `prov_<schema>_<relation>_<attribute>`; PostgreSQL's
+/// default schema is `public`, which is how the paper's Figure 4 sample
+/// output shows `prov_public_s_i` and `prov_public_r_i`.
+pub const DEFAULT_SCHEMA: &str = "public";
+
+/// Metadata about one provenance attribute of a rewritten plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvAttrInfo {
+    /// The output column (name follows the Perm scheme, always nullable —
+    /// non-contributing sides are padded with NULL).
+    pub column: Column,
+    /// The base relation (or BASERELATION/external FROM-item) the attribute
+    /// derives from.
+    pub relation: String,
+    /// The source attribute's name within that relation.
+    pub attribute: String,
+    /// Relation-*instance* id: all attributes produced by one base-access
+    /// (or boundary) share a group. Distinguishes the two sides of a
+    /// self-join, which Copy-CS `COMPLETE` mode needs.
+    pub group: usize,
+}
+
+impl ProvAttrInfo {
+    /// Build the provenance attribute for `source` of relation `relation`.
+    pub fn for_attribute(relation: &str, source: &Column, group: usize) -> ProvAttrInfo {
+        let column = Column::new(provenance_name(relation, &source.name), source.ty);
+        ProvAttrInfo {
+            column,
+            relation: relation.to_string(),
+            attribute: source.name.clone(),
+            group,
+        }
+    }
+
+    /// An external provenance attribute keeps its existing column name
+    /// (the rewrite rules "propagate provenance information that was not
+    /// produced by Perm" untouched — paper §2.2).
+    pub fn external(relation: &str, source: &Column, group: usize) -> ProvAttrInfo {
+        ProvAttrInfo {
+            column: source.clone().with_qualifier(relation).nullable_external(),
+            relation: relation.to_string(),
+            attribute: source.name.clone(),
+            group,
+        }
+    }
+}
+
+/// The Perm provenance attribute name:
+/// `prov_<schema>_<relation>_<attribute>` with the default `public` schema.
+pub fn provenance_name(relation: &str, attribute: &str) -> String {
+    format!(
+        "prov_{DEFAULT_SCHEMA}_{}_{}",
+        relation.to_ascii_lowercase(),
+        attribute.to_ascii_lowercase()
+    )
+}
+
+/// True if `name` looks like a Perm-generated provenance attribute.
+pub fn is_provenance_name(name: &str) -> bool {
+    name.starts_with("prov_")
+}
+
+/// Small extension to mark external columns nullable (padding on
+/// non-contributing branches may introduce NULLs).
+trait NullableExt {
+    fn nullable_external(self) -> Column;
+}
+
+impl NullableExt for Column {
+    fn nullable_external(mut self) -> Column {
+        self.nullable = true;
+        self.qualifier = None;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_types::DataType;
+
+    #[test]
+    fn naming_matches_figure_4() {
+        // Figure 4 marker 5 shows columns `prov_public_s_i` and
+        // `prov_public_r_i` for `SELECT PROVENANCE … FROM s JOIN r`.
+        assert_eq!(provenance_name("s", "i"), "prov_public_s_i");
+        assert_eq!(provenance_name("R", "I"), "prov_public_r_i");
+    }
+
+    #[test]
+    fn for_attribute_builds_nullable_prov_column() {
+        let src = Column::new("mid", DataType::Int).not_null().with_qualifier("m");
+        let p = ProvAttrInfo::for_attribute("messages", &src, 0);
+        assert_eq!(p.column.name, "prov_public_messages_mid");
+        assert!(p.column.nullable);
+        assert_eq!(p.relation, "messages");
+        assert_eq!(p.attribute, "mid");
+    }
+
+    #[test]
+    fn external_keeps_original_name() {
+        let src = Column::new("src_origin", DataType::Text);
+        let p = ProvAttrInfo::external("imported", &src, 1);
+        assert_eq!(p.column.name, "src_origin");
+        assert!(p.column.nullable);
+    }
+
+    #[test]
+    fn provenance_name_detection() {
+        assert!(is_provenance_name("prov_public_messages_mid"));
+        assert!(!is_provenance_name("mid"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # perm-sql
+//!
+//! Hand-written SQL lexer and recursive-descent parser for the Perm
+//! provenance management system, including the **SQL-PLE** provenance
+//! language extension of the SIGMOD'09 demo paper (Section 2.4):
+//!
+//! * `SELECT PROVENANCE …` — compute the provenance of the query.
+//! * `SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE | COPY | LINEAGE) …` —
+//!   choose the contribution semantics.
+//! * `FROM x BASERELATION` — stop the rewrite at `x` and treat its output
+//!   as base tuples.
+//! * `FROM x PROVENANCE (a, b, …)` — declare existing attributes of `x` as
+//!   (externally produced) provenance attributes to be propagated as-is.
+//!
+//! All ordinary SQL features remain available and composable with the
+//! extension, as the paper requires ("a user cannot just receive provenance
+//! information, but also query provenance information, store it as a view,
+//! etc.").
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::*;
+pub use parser::{parse_expression, parse_statement, parse_statements};

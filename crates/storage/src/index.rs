@@ -1,0 +1,104 @@
+//! Hash indexes over heap tables.
+
+use std::collections::HashMap;
+
+use perm_types::{Tuple, Value};
+
+/// An equality hash index on a single column.
+///
+/// The index maps a column value to the row ids holding it, in insertion
+/// order. NULL keys are indexed too (under [`Value::Null`], which hashes and
+/// compares as equal to itself in grouping semantics) — this matters for the
+/// NULL-safe (`IS NOT DISTINCT FROM`) joins that Perm's aggregation rewrite
+/// produces, where an index point-lookup on NULL must find NULL rows.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    column: usize,
+    entries: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    pub fn new(column: usize) -> HashIndex {
+        HashIndex {
+            column,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The indexed column position.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Register `tuple` (stored at `row_id`) in the index.
+    pub fn insert(&mut self, tuple: &Tuple, row_id: usize) {
+        self.entries
+            .entry(tuple.get(self.column).clone())
+            .or_default()
+            .push(row_id);
+    }
+
+    /// The row ids whose indexed column equals `key` (grouping equality:
+    /// NULL finds NULL, `Int(2)` finds `Float(2.0)`).
+    pub fn lookup(&self, key: &Value) -> &[usize] {
+        self.entries.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(v: Value) -> Tuple {
+        Tuple::new(vec![Value::Int(0), v])
+    }
+
+    #[test]
+    fn lookup_returns_matching_row_ids_in_order() {
+        let mut idx = HashIndex::new(1);
+        idx.insert(&tup(Value::Int(5)), 0);
+        idx.insert(&tup(Value::Int(7)), 1);
+        idx.insert(&tup(Value::Int(5)), 2);
+        assert_eq!(idx.lookup(&Value::Int(5)), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Int(7)), &[1]);
+        assert_eq!(idx.lookup(&Value::Int(9)), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn null_keys_are_indexed() {
+        let mut idx = HashIndex::new(1);
+        idx.insert(&tup(Value::Null), 0);
+        idx.insert(&tup(Value::Int(1)), 1);
+        idx.insert(&tup(Value::Null), 2);
+        assert_eq!(idx.lookup(&Value::Null), &[0, 2]);
+    }
+
+    #[test]
+    fn mixed_numeric_keys_unify() {
+        let mut idx = HashIndex::new(1);
+        idx.insert(&tup(Value::Int(2)), 0);
+        idx.insert(&tup(Value::Float(2.0)), 1);
+        assert_eq!(idx.lookup(&Value::Int(2)), &[0, 1]);
+        assert_eq!(idx.lookup(&Value::Float(2.0)), &[0, 1]);
+    }
+
+    #[test]
+    fn clear_empties_the_index() {
+        let mut idx = HashIndex::new(0);
+        idx.insert(&Tuple::new(vec![Value::Int(1)]), 0);
+        idx.clear();
+        assert_eq!(idx.lookup(&Value::Int(1)), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # perm-storage
+//!
+//! In-memory storage substrate for the Perm provenance management system:
+//! the catalog of tables and views, heap tables, hash indexes and table
+//! statistics.
+//!
+//! Two storage-level features exist specifically for Perm:
+//!
+//! * **Provenance column metadata** ([`table::Table::provenance_columns`]):
+//!   when a `SELECT PROVENANCE` result is materialized (*eager* provenance,
+//!   `CREATE TABLE p AS SELECT PROVENANCE …`), the catalog records which of
+//!   the table's columns are provenance attributes. A later provenance query
+//!   over `p` then propagates these columns as *external provenance* instead
+//!   of rewriting — the incremental computation path of the demo paper.
+//! * **Views** ([`view::View`]) store their defining query un-analyzed; the
+//!   analyzer unfolds them per use, which is what lets the rewriter either
+//!   descend into the view (default) or stop at it (`BASERELATION`).
+
+pub mod catalog;
+pub mod index;
+pub mod stats;
+pub mod table;
+pub mod view;
+
+pub use catalog::{Catalog, Relation};
+pub use index::HashIndex;
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;
+pub use view::View;

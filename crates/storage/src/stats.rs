@@ -1,0 +1,157 @@
+//! Table statistics feeding the planner's cost model.
+//!
+//! The statistics are deliberately simple (exact row counts, exact distinct
+//! counts, null counts, min/max) because tables are in-memory and modest in
+//! size; what matters for Perm is that the **cost-based rewrite-strategy
+//! chooser** and the join planner share one source of cardinality truth.
+
+use std::collections::HashSet;
+
+use perm_types::{Schema, Tuple, Value};
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub n_distinct: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+    /// Minimum non-null value (by SQL sort order), if any.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any.
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    fn empty() -> ColumnStats {
+        ColumnStats {
+            n_distinct: 0,
+            null_count: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Estimated selectivity of `col = <literal>`: `1 / n_distinct`,
+    /// clamped to (0, 1].
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.n_distinct == 0 {
+            1.0
+        } else {
+            1.0 / self.n_distinct as f64
+        }
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// An empty-table statistics object with the right number of columns.
+    pub fn empty(n_columns: usize) -> TableStats {
+        TableStats {
+            row_count: 0,
+            columns: vec![ColumnStats::empty(); n_columns],
+        }
+    }
+
+    /// Scan `rows` once and compute exact statistics.
+    pub fn compute(schema: &Schema, rows: &[Tuple]) -> TableStats {
+        let n = schema.len();
+        let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); n];
+        let mut stats = TableStats::empty(n);
+        stats.row_count = rows.len();
+        for row in rows {
+            for (i, v) in row.values().iter().enumerate().take(n) {
+                let cs = &mut stats.columns[i];
+                if v.is_null() {
+                    cs.null_count += 1;
+                    continue;
+                }
+                distinct[i].insert(v.clone());
+                match &cs.min {
+                    None => cs.min = Some(v.clone()),
+                    Some(m) if v.sort_cmp(m).is_lt() => cs.min = Some(v.clone()),
+                    _ => {}
+                }
+                match &cs.max {
+                    None => cs.max = Some(v.clone()),
+                    Some(m) if v.sort_cmp(m).is_gt() => cs.max = Some(v.clone()),
+                    _ => {}
+                }
+            }
+        }
+        for (i, set) in distinct.into_iter().enumerate() {
+            stats.columns[i].n_distinct = set.len();
+        }
+        stats
+    }
+
+    /// Estimated selectivity of an equality predicate on column `col`.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        self.columns
+            .get(col)
+            .map_or(0.1, ColumnStats::eq_selectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_types::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("tag", DataType::Text),
+        ])
+    }
+
+    fn rows() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![Value::Int(1), Value::text("a")]),
+            Tuple::new(vec![Value::Int(2), Value::Null]),
+            Tuple::new(vec![Value::Int(2), Value::text("b")]),
+            Tuple::new(vec![Value::Int(3), Value::text("a")]),
+        ]
+    }
+
+    #[test]
+    fn counts_and_distincts() {
+        let s = TableStats::compute(&schema(), &rows());
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.columns[0].n_distinct, 3);
+        assert_eq!(s.columns[0].null_count, 0);
+        assert_eq!(s.columns[1].n_distinct, 2);
+        assert_eq!(s.columns[1].null_count, 1);
+    }
+
+    #[test]
+    fn min_max_follow_sql_sort_order() {
+        let s = TableStats::compute(&schema(), &rows());
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+        assert_eq!(s.columns[1].min, Some(Value::text("a")));
+        assert_eq!(s.columns[1].max, Some(Value::text("b")));
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let s = TableStats::compute(&schema(), &[]);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns[0].n_distinct, 0);
+        assert_eq!(s.columns[0].min, None);
+        assert_eq!(s.eq_selectivity(0), 1.0);
+    }
+
+    #[test]
+    fn selectivity_is_inverse_distinct() {
+        let s = TableStats::compute(&schema(), &rows());
+        assert!((s.eq_selectivity(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.eq_selectivity(9), 0.1, "unknown column falls back");
+    }
+}

@@ -1,0 +1,330 @@
+//! In-memory heap tables.
+
+use perm_types::{PermError, Result, Schema, Tuple, Value};
+
+use crate::index::HashIndex;
+use crate::stats::TableStats;
+
+/// An in-memory heap table: a schema plus a vector of tuples.
+///
+/// Tables optionally carry **provenance column metadata**: the positions of
+/// columns that hold provenance attributes. This is how eagerly-materialized
+/// provenance (`CREATE TABLE p AS SELECT PROVENANCE …`) is remembered, so
+/// that a later `SELECT PROVENANCE … FROM p` treats those columns as
+/// external provenance and propagates them untouched instead of duplicating
+/// `p`'s columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    provenance_columns: Vec<usize>,
+    indexes: Vec<HashIndex>,
+    /// Cached statistics; invalidated on mutation.
+    stats: Option<TableStats>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            provenance_columns: Vec::new(),
+            indexes: Vec::new(),
+            stats: None,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The positions of this table's provenance columns (empty for ordinary
+    /// tables).
+    pub fn provenance_columns(&self) -> &[usize] {
+        &self.provenance_columns
+    }
+
+    /// Record which columns are provenance attributes (eager provenance).
+    pub fn set_provenance_columns(&mut self, cols: Vec<usize>) -> Result<()> {
+        for &c in &cols {
+            if c >= self.schema.len() {
+                return Err(PermError::Catalog(format!(
+                    "provenance column index {c} out of range for table '{}' with {} columns",
+                    self.name,
+                    self.schema.len()
+                )));
+            }
+        }
+        self.provenance_columns = cols;
+        Ok(())
+    }
+
+    /// Append a tuple after validating arity, types (with implicit
+    /// coercion) and NOT NULL constraints.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        let coerced = self.check_tuple(tuple)?;
+        self.push_raw(coerced);
+        Ok(())
+    }
+
+    /// Append many tuples; stops at the first invalid one.
+    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<usize> {
+        let mut n = 0;
+        for t in tuples {
+            self.insert(t)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Append a tuple that is already known to match the schema
+    /// (engine-internal materialization). Indexes and stats stay coherent.
+    pub fn push_raw(&mut self, tuple: Tuple) {
+        let row_id = self.rows.len();
+        for idx in &mut self.indexes {
+            idx.insert(&tuple, row_id);
+        }
+        self.rows.push(tuple);
+        self.stats = None;
+    }
+
+    fn check_tuple(&self, tuple: Tuple) -> Result<Tuple> {
+        if tuple.len() != self.schema.len() {
+            return Err(PermError::Catalog(format!(
+                "table '{}' expects {} values, got {}",
+                self.name,
+                self.schema.len(),
+                tuple.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(tuple.len());
+        for (i, v) in tuple.into_values().into_iter().enumerate() {
+            let col = self.schema.column(i);
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(PermError::Catalog(format!(
+                        "null value in column '{}' of table '{}' violates NOT NULL",
+                        col.name, self.name
+                    )));
+                }
+                values.push(v);
+                continue;
+            }
+            if col.ty.accepts(v.data_type()) {
+                // Implicit Int -> Float widening still normalizes storage.
+                if col.ty != v.data_type() && col.ty != perm_types::DataType::Unknown {
+                    values.push(v.cast(col.ty)?);
+                } else {
+                    values.push(v);
+                }
+            } else {
+                // One cast attempt (e.g. text column receiving an int).
+                values.push(v.cast(col.ty).map_err(|_| {
+                    PermError::Catalog(format!(
+                        "column '{}' of table '{}' is {}, got {} ({})",
+                        col.name,
+                        self.name,
+                        col.ty,
+                        v,
+                        v.data_type()
+                    ))
+                })?);
+            }
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Remove all rows.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+        self.stats = None;
+    }
+
+    /// Create a hash index on `column` (idempotent).
+    pub fn create_index(&mut self, column: usize) -> Result<()> {
+        if column >= self.schema.len() {
+            return Err(PermError::Catalog(format!(
+                "cannot index column {column} of table '{}' ({} columns)",
+                self.name,
+                self.schema.len()
+            )));
+        }
+        if self.index_on(column).is_some() {
+            return Ok(());
+        }
+        let mut idx = HashIndex::new(column);
+        for (row_id, t) in self.rows.iter().enumerate() {
+            idx.insert(t, row_id);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// The hash index on `column`, if one exists.
+    pub fn index_on(&self, column: usize) -> Option<&HashIndex> {
+        self.indexes.iter().find(|i| i.column() == column)
+    }
+
+    /// Row ids matching `column = key` via index, or `None` if unindexed.
+    pub fn index_lookup(&self, column: usize, key: &Value) -> Option<&[usize]> {
+        self.index_on(column).map(|i| i.lookup(key))
+    }
+
+    /// Current statistics, computing and caching them if necessary.
+    pub fn stats(&mut self) -> &TableStats {
+        if self.stats.is_none() {
+            self.stats = Some(TableStats::compute(&self.schema, &self.rows));
+        }
+        self.stats.as_ref().expect("just computed")
+    }
+
+    /// Statistics without caching (read-only access).
+    pub fn stats_snapshot(&self) -> TableStats {
+        match &self.stats {
+            Some(s) => s.clone(),
+            None => TableStats::compute(&self.schema, &self.rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_types::{Column, DataType};
+
+    fn users() -> Table {
+        Table::new(
+            "users",
+            Schema::new(vec![
+                Column::new("uid", DataType::Int).not_null(),
+                Column::new("name", DataType::Text),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut t = users();
+        let err = t.insert(Tuple::new(vec![Value::Int(1)])).unwrap_err();
+        assert_eq!(err.kind(), "catalog");
+        assert!(err.message().contains("expects 2 values"));
+    }
+
+    #[test]
+    fn insert_enforces_not_null() {
+        let mut t = users();
+        let err = t
+            .insert(Tuple::new(vec![Value::Null, Value::text("Bert")]))
+            .unwrap_err();
+        assert!(err.message().contains("NOT NULL"));
+    }
+
+    #[test]
+    fn insert_allows_null_in_nullable_column() {
+        let mut t = users();
+        t.insert(Tuple::new(vec![Value::Int(1), Value::Null])).unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn insert_coerces_int_to_float() {
+        let mut t = Table::new(
+            "m",
+            Schema::new(vec![Column::new("score", DataType::Float)]),
+        );
+        t.insert(Tuple::new(vec![Value::Int(3)])).unwrap();
+        assert_eq!(t.rows()[0].get(0), &Value::Float(3.0));
+    }
+
+    #[test]
+    fn insert_casts_to_text_column() {
+        let mut t = Table::new("m", Schema::new(vec![Column::new("s", DataType::Text)]));
+        t.insert(Tuple::new(vec![Value::Int(42)])).unwrap();
+        assert_eq!(t.rows()[0].get(0), &Value::text("42"));
+    }
+
+    #[test]
+    fn insert_rejects_uncastable_value() {
+        let mut t = Table::new("m", Schema::new(vec![Column::new("x", DataType::Int)]));
+        assert!(t.insert(Tuple::new(vec![Value::text("abc")])).is_err());
+    }
+
+    #[test]
+    fn provenance_columns_are_recorded_and_validated() {
+        let mut t = users();
+        t.set_provenance_columns(vec![1]).unwrap();
+        assert_eq!(t.provenance_columns(), &[1]);
+        assert!(t.set_provenance_columns(vec![9]).is_err());
+    }
+
+    #[test]
+    fn index_is_maintained_across_inserts() {
+        let mut t = users();
+        t.create_index(0).unwrap();
+        t.insert(Tuple::new(vec![Value::Int(1), Value::text("Bert")]))
+            .unwrap();
+        t.insert(Tuple::new(vec![Value::Int(2), Value::text("Gert")]))
+            .unwrap();
+        t.insert(Tuple::new(vec![Value::Int(1), Value::text("Bert2")]))
+            .unwrap();
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap(), &[0, 2]);
+        assert_eq!(t.index_lookup(0, &Value::Int(3)).unwrap(), &[] as &[usize]);
+        assert!(t.index_lookup(1, &Value::text("Bert")).is_none());
+    }
+
+    #[test]
+    fn index_built_over_existing_rows() {
+        let mut t = users();
+        t.insert(Tuple::new(vec![Value::Int(7), Value::Null])).unwrap();
+        t.create_index(0).unwrap();
+        assert_eq!(t.index_lookup(0, &Value::Int(7)).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn create_index_out_of_range() {
+        assert!(users().create_index(5).is_err());
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut t = users();
+        t.create_index(0).unwrap();
+        t.insert(Tuple::new(vec![Value::Int(1), Value::Null])).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn stats_cache_invalidates_on_insert() {
+        let mut t = users();
+        t.insert(Tuple::new(vec![Value::Int(1), Value::text("a")]))
+            .unwrap();
+        assert_eq!(t.stats().row_count, 1);
+        t.insert(Tuple::new(vec![Value::Int(2), Value::text("b")]))
+            .unwrap();
+        assert_eq!(t.stats().row_count, 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on the storage substrate: index/scan agreement and
+//! insert validation under random data.
+
+use proptest::prelude::*;
+
+use perm_storage::{Catalog, Table};
+use perm_types::{Column, DataType, Schema, Tuple, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("v", DataType::Text),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// An index point-lookup returns exactly the rows a scan finds,
+    /// regardless of whether the index was built before or after loading.
+    #[test]
+    fn index_agrees_with_scan(
+        rows in prop::collection::vec((-10i64..10, "[a-c]{0,2}"), 0..60),
+        probe in -12i64..12,
+        build_first in any::<bool>(),
+    ) {
+        let mut t = Table::new("t", schema());
+        if build_first {
+            t.create_index(0).unwrap();
+        }
+        for (k, v) in &rows {
+            t.insert(Tuple::new(vec![Value::Int(*k), Value::text(v.as_str())]))
+                .unwrap();
+        }
+        if !build_first {
+            t.create_index(0).unwrap();
+        }
+        let key = Value::Int(probe);
+        let via_index: Vec<&Tuple> = t
+            .index_lookup(0, &key)
+            .unwrap()
+            .iter()
+            .map(|&r| &t.rows()[r])
+            .collect();
+        let via_scan: Vec<&Tuple> = t.rows().iter().filter(|r| r.get(0) == &key).collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    /// Statistics are exact for row counts, null counts and distincts.
+    #[test]
+    fn stats_are_exact(rows in prop::collection::vec(
+        proptest::option::of(-5i64..5), 0..50,
+    )) {
+        let mut t = Table::new("t", Schema::new(vec![Column::new("k", DataType::Int)]));
+        for k in &rows {
+            let v = k.map(Value::Int).unwrap_or(Value::Null);
+            t.insert(Tuple::new(vec![v])).unwrap();
+        }
+        let stats = t.stats_snapshot();
+        prop_assert_eq!(stats.row_count, rows.len());
+        let nulls = rows.iter().filter(|k| k.is_none()).count();
+        prop_assert_eq!(stats.columns[0].null_count, nulls);
+        let mut distinct: Vec<i64> = rows.iter().flatten().copied().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(stats.columns[0].n_distinct, distinct.len());
+        if let Some(&min) = distinct.first() {
+            prop_assert_eq!(stats.columns[0].min.clone(), Some(Value::Int(min)));
+            prop_assert_eq!(
+                stats.columns[0].max.clone(),
+                Some(Value::Int(*distinct.last().unwrap()))
+            );
+        }
+    }
+
+    /// Catalog create/drop round-trips never corrupt other relations.
+    #[test]
+    fn catalog_is_isolated_per_relation(names in prop::collection::vec("[a-e]{1,3}", 1..8)) {
+        let mut cat = Catalog::new();
+        let mut live: Vec<String> = Vec::new();
+        for n in &names {
+            if cat.get(n).is_none() {
+                cat.create_table(Table::new(n.clone(), schema())).unwrap();
+                live.push(n.to_ascii_lowercase());
+            } else {
+                // Duplicate create must fail and change nothing.
+                prop_assert!(cat.create_table(Table::new(n.clone(), schema())).is_err());
+            }
+        }
+        live.sort();
+        live.dedup();
+        prop_assert_eq!(cat.len(), live.len());
+        for n in &live {
+            prop_assert!(cat.table(n).is_ok());
+        }
+        // Drop them all; catalog ends empty.
+        for n in &live {
+            prop_assert!(cat.drop_table(n, false).unwrap());
+        }
+        prop_assert!(cat.is_empty());
+    }
+}

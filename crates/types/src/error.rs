@@ -1,0 +1,92 @@
+//! The error type shared by every layer of the engine.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, PermError>;
+
+/// Errors raised by any stage of the Perm pipeline
+/// (parse → analyze → rewrite → plan → execute).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// Lexing or grammar error, with a human-readable position.
+    Parse(String),
+    /// Name resolution / typing error found by the analyzer.
+    Analysis(String),
+    /// A provenance rewrite rule could not be applied.
+    Rewrite(String),
+    /// The planner could not produce a physical plan.
+    Plan(String),
+    /// Runtime failure while executing a plan.
+    Execution(String),
+    /// Catalog-level failure (unknown table, duplicate table, ...).
+    Catalog(String),
+    /// Value-level failure (overflow, division by zero, bad cast, ...).
+    Value(String),
+}
+
+impl PermError {
+    /// Short machine-readable category name, used in tests and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PermError::Parse(_) => "parse",
+            PermError::Analysis(_) => "analysis",
+            PermError::Rewrite(_) => "rewrite",
+            PermError::Plan(_) => "plan",
+            PermError::Execution(_) => "execution",
+            PermError::Catalog(_) => "catalog",
+            PermError::Value(_) => "value",
+        }
+    }
+
+    /// The human-readable message, without the category prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            PermError::Parse(m)
+            | PermError::Analysis(m)
+            | PermError::Rewrite(m)
+            | PermError::Plan(m)
+            | PermError::Execution(m)
+            | PermError::Catalog(m)
+            | PermError::Value(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for PermError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = PermError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let errs = [
+            PermError::Parse(String::new()),
+            PermError::Analysis(String::new()),
+            PermError::Rewrite(String::new()),
+            PermError::Plan(String::new()),
+            PermError::Execution(String::new()),
+            PermError::Catalog(String::new()),
+            PermError::Value(String::new()),
+        ];
+        let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), errs.len());
+    }
+}

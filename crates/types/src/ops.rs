@@ -1,0 +1,408 @@
+//! SQL operator semantics: three-valued logic, comparisons, arithmetic,
+//! `LIKE` pattern matching.
+//!
+//! These free functions are shared by the analyzer's constant folding and
+//! the executor's expression evaluator, so both agree on NULL propagation.
+//! Every comparison or arithmetic function returns `Value::Null` whenever an
+//! operand is NULL, per SQL; the logical connectives implement Kleene
+//! three-valued logic (`NULL AND FALSE = FALSE`, `NULL OR TRUE = TRUE`).
+
+use crate::error::{PermError, Result};
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Three-valued `AND`.
+pub fn and(a: &Value, b: &Value) -> Result<Value> {
+    let (a, b) = (a.as_bool()?, b.as_bool()?);
+    Ok(match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    })
+}
+
+/// Three-valued `OR`.
+pub fn or(a: &Value, b: &Value) -> Result<Value> {
+    let (a, b) = (a.as_bool()?, b.as_bool()?);
+    Ok(match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    })
+}
+
+/// Three-valued `NOT`.
+pub fn not(a: &Value) -> Result<Value> {
+    Ok(match a.as_bool()? {
+        Some(b) => Value::Bool(!b),
+        None => Value::Null,
+    })
+}
+
+/// SQL comparison between two non-logical values.
+///
+/// Returns `None` when either side is NULL (the comparison is *unknown*),
+/// otherwise the ordering. Mixed Int/Float comparisons go through `f64`.
+pub fn sql_compare(a: &Value, b: &Value) -> Result<Option<Ordering>> {
+    use Value::*;
+    Ok(match (a, b) {
+        (Null, _) | (_, Null) => None,
+        (Bool(x), Bool(y)) => Some(x.cmp(y)),
+        (Int(x), Int(y)) => Some(x.cmp(y)),
+        (Text(x), Text(y)) => Some(x.cmp(y)),
+        (x, y) if x.data_type().is_numeric() && y.data_type().is_numeric() => {
+            let (fx, fy) = (x.as_f64()?, y.as_f64()?);
+            fx.partial_cmp(&fy)
+        }
+        (x, y) => {
+            return Err(PermError::Value(format!(
+                "cannot compare {} ({}) with {} ({})",
+                x,
+                x.data_type(),
+                y,
+                y.data_type()
+            )))
+        }
+    })
+}
+
+/// `=` with SQL semantics: NULL if either side is NULL.
+pub fn eq(a: &Value, b: &Value) -> Result<Value> {
+    Ok(match sql_compare(a, b)? {
+        None => Value::Null,
+        Some(ord) => Value::Bool(ord == Ordering::Equal),
+    })
+}
+
+/// `<>` with SQL semantics.
+pub fn neq(a: &Value, b: &Value) -> Result<Value> {
+    Ok(match sql_compare(a, b)? {
+        None => Value::Null,
+        Some(ord) => Value::Bool(ord != Ordering::Equal),
+    })
+}
+
+/// `<`, `<=`, `>`, `>=` helpers.
+pub fn lt(a: &Value, b: &Value) -> Result<Value> {
+    ord_pred(a, b, |o| o == Ordering::Less)
+}
+pub fn lte(a: &Value, b: &Value) -> Result<Value> {
+    ord_pred(a, b, |o| o != Ordering::Greater)
+}
+pub fn gt(a: &Value, b: &Value) -> Result<Value> {
+    ord_pred(a, b, |o| o == Ordering::Greater)
+}
+pub fn gte(a: &Value, b: &Value) -> Result<Value> {
+    ord_pred(a, b, |o| o != Ordering::Less)
+}
+
+fn ord_pred(a: &Value, b: &Value, f: impl Fn(Ordering) -> bool) -> Result<Value> {
+    Ok(match sql_compare(a, b)? {
+        None => Value::Null,
+        Some(ord) => Value::Bool(f(ord)),
+    })
+}
+
+/// `IS NOT DISTINCT FROM`: NULL-safe equality, never returns NULL.
+///
+/// This is the comparison Perm's aggregation rewrite rule uses to join the
+/// aggregate output back to the rewritten input on the group-by attributes,
+/// because `GROUP BY` groups NULLs together.
+pub fn not_distinct(a: &Value, b: &Value) -> Value {
+    // Grouping equality on Value already treats NULL == NULL.
+    Value::Bool(a == b)
+}
+
+/// `IS DISTINCT FROM`: NULL-safe inequality.
+pub fn distinct(a: &Value, b: &Value) -> Value {
+    Value::Bool(a != b)
+}
+
+/// Binary arithmetic. Integer op integer stays integer (with `/` truncating
+/// as in PostgreSQL); any float operand promotes to float; NULL propagates.
+pub fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
+    use Value::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Null);
+    }
+    match (a, b) {
+        (Int(x), Int(y)) => arith_int(op, *x, *y),
+        (x, y) if x.data_type().is_numeric() && y.data_type().is_numeric() => {
+            arith_float(op, x.as_f64()?, y.as_f64()?)
+        }
+        // Text concatenation through `+` is not SQL; reject.
+        (x, y) => Err(PermError::Value(format!(
+            "cannot apply {op:?} to {} and {}",
+            x.data_type(),
+            y.data_type()
+        ))),
+    }
+}
+
+/// The arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+fn arith_int(op: ArithOp, x: i64, y: i64) -> Result<Value> {
+    let checked = match op {
+        ArithOp::Add => x.checked_add(y),
+        ArithOp::Sub => x.checked_sub(y),
+        ArithOp::Mul => x.checked_mul(y),
+        ArithOp::Div => {
+            if y == 0 {
+                return Err(PermError::Value("division by zero".into()));
+            }
+            x.checked_div(y)
+        }
+        ArithOp::Mod => {
+            if y == 0 {
+                return Err(PermError::Value("division by zero".into()));
+            }
+            x.checked_rem(y)
+        }
+    };
+    checked
+        .map(Value::Int)
+        .ok_or_else(|| PermError::Value(format!("integer overflow in {x} {op:?} {y}")))
+}
+
+fn arith_float(op: ArithOp, x: f64, y: f64) -> Result<Value> {
+    let r = match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => {
+            if y == 0.0 {
+                return Err(PermError::Value("division by zero".into()));
+            }
+            x / y
+        }
+        ArithOp::Mod => {
+            if y == 0.0 {
+                return Err(PermError::Value("division by zero".into()));
+            }
+            x % y
+        }
+    };
+    Ok(Value::Float(r))
+}
+
+/// Unary minus.
+pub fn neg(a: &Value) -> Result<Value> {
+    match a {
+        Value::Null => Ok(Value::Null),
+        Value::Int(i) => i
+            .checked_neg()
+            .map(Value::Int)
+            .ok_or_else(|| PermError::Value("integer overflow in negation".into())),
+        Value::Float(f) => Ok(Value::Float(-f)),
+        other => Err(PermError::Value(format!(
+            "cannot negate {}",
+            other.data_type()
+        ))),
+    }
+}
+
+/// String concatenation (`||`); NULL propagates.
+pub fn concat(a: &Value, b: &Value) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(Value::Text(format!("{a}{b}")))
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (any single char) wildcards.
+///
+/// NULL operands yield NULL. Matching is over Unicode scalar values.
+pub fn like(value: &Value, pattern: &Value) -> Result<Value> {
+    let (v, p) = match (value, pattern) {
+        (Value::Null, _) | (_, Value::Null) => return Ok(Value::Null),
+        (Value::Text(v), Value::Text(p)) => (v, p),
+        (v, p) => {
+            return Err(PermError::Value(format!(
+                "LIKE requires text operands, got {} and {}",
+                v.data_type(),
+                p.data_type()
+            )))
+        }
+    };
+    Ok(Value::Bool(like_match(v, p)))
+}
+
+fn like_match(v: &str, p: &str) -> bool {
+    let vc: Vec<char> = v.chars().collect();
+    let pc: Vec<char> = p.chars().collect();
+    // Classic iterative wildcard matcher with backtracking for '%'.
+    let (mut vi, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_v): (Option<usize>, usize) = (None, 0);
+    while vi < vc.len() {
+        if pi < pc.len() && (pc[pi] == '_' || pc[pi] == vc[vi]) {
+            vi += 1;
+            pi += 1;
+        } else if pi < pc.len() && pc[pi] == '%' {
+            star_p = Some(pi);
+            star_v = vi;
+            pi += 1;
+        } else if let Some(sp) = star_p {
+            pi = sp + 1;
+            star_v += 1;
+            vi = star_v;
+        } else {
+            return false;
+        }
+    }
+    while pi < pc.len() && pc[pi] == '%' {
+        pi += 1;
+    }
+    pi == pc.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Value = Value::Bool(true);
+    const F: Value = Value::Bool(false);
+    const N: Value = Value::Null;
+
+    #[test]
+    fn kleene_and() {
+        assert_eq!(and(&T, &T).unwrap(), T);
+        assert_eq!(and(&T, &F).unwrap(), F);
+        assert_eq!(and(&N, &F).unwrap(), F);
+        assert_eq!(and(&N, &T).unwrap(), N);
+        assert_eq!(and(&N, &N).unwrap(), N);
+    }
+
+    #[test]
+    fn kleene_or() {
+        assert_eq!(or(&F, &F).unwrap(), F);
+        assert_eq!(or(&N, &T).unwrap(), T);
+        assert_eq!(or(&N, &F).unwrap(), N);
+        assert_eq!(or(&N, &N).unwrap(), N);
+    }
+
+    #[test]
+    fn kleene_not() {
+        assert_eq!(not(&T).unwrap(), F);
+        assert_eq!(not(&F).unwrap(), T);
+        assert_eq!(not(&N).unwrap(), N);
+    }
+
+    #[test]
+    fn null_comparisons_are_null() {
+        assert_eq!(eq(&N, &Value::Int(1)).unwrap(), N);
+        assert_eq!(lt(&Value::Int(1), &N).unwrap(), N);
+        assert_eq!(neq(&N, &N).unwrap(), N);
+    }
+
+    #[test]
+    fn null_safe_comparisons_never_null() {
+        assert_eq!(not_distinct(&N, &N), T);
+        assert_eq!(not_distinct(&N, &Value::Int(1)), F);
+        assert_eq!(distinct(&N, &N), F);
+        assert_eq!(distinct(&Value::Int(1), &Value::Int(2)), T);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(lt(&Value::Int(1), &Value::Float(1.5)).unwrap(), T);
+        assert_eq!(gte(&Value::Float(2.0), &Value::Int(2)).unwrap(), T);
+    }
+
+    #[test]
+    fn text_comparison_is_lexicographic() {
+        assert_eq!(lt(&Value::text("abc"), &Value::text("abd")).unwrap(), T);
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        assert!(eq(&Value::Int(1), &Value::text("1")).is_err());
+        assert!(lt(&Value::Bool(true), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(
+            arith(ArithOp::Add, &Value::Int(2), &Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3),
+            "integer division truncates like PostgreSQL"
+        );
+        assert_eq!(
+            arith(ArithOp::Mod, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn arithmetic_errors() {
+        assert!(arith(ArithOp::Div, &Value::Int(1), &Value::Int(0)).is_err());
+        assert!(arith(ArithOp::Add, &Value::Int(i64::MAX), &Value::Int(1)).is_err());
+        assert!(arith(ArithOp::Add, &Value::text("a"), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn float_promotion() {
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Float(7.0), &Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        assert_eq!(arith(ArithOp::Add, &N, &Value::Int(1)).unwrap(), N);
+        assert_eq!(neg(&N).unwrap(), N);
+        assert_eq!(concat(&N, &Value::text("x")).unwrap(), N);
+    }
+
+    #[test]
+    fn concat_values() {
+        assert_eq!(
+            concat(&Value::text("a"), &Value::Int(1)).unwrap(),
+            Value::text("a1")
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        let cases = [
+            ("hello", "hello", true),
+            ("hello", "h%", true),
+            ("hello", "%llo", true),
+            ("hello", "h_llo", true),
+            ("hello", "h__lo", true),
+            ("hello", "h_lo", false),
+            ("hello", "%", true),
+            ("", "%", true),
+            ("", "_", false),
+            ("abc", "a%c", true),
+            ("abc", "a%b", false),
+            ("superForum", "super%", true),
+            ("aXbXc", "a%b%c", true),
+        ];
+        for (v, p, expect) in cases {
+            assert_eq!(
+                like(&Value::text(v), &Value::text(p)).unwrap(),
+                Value::Bool(expect),
+                "'{v}' LIKE '{p}'"
+            );
+        }
+    }
+
+    #[test]
+    fn like_null_and_type_errors() {
+        assert_eq!(like(&N, &Value::text("%")).unwrap(), N);
+        assert!(like(&Value::Int(1), &Value::text("%")).is_err());
+    }
+}

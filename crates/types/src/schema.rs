@@ -1,0 +1,309 @@
+//! Relation schemas.
+
+use std::fmt;
+
+use crate::error::{PermError, Result};
+use crate::types::DataType;
+
+/// One column of a relation schema.
+///
+/// The optional `qualifier` is the table alias the column is visible under
+/// during name resolution (`v1.mId`). Provenance attributes produced by the
+/// Perm rewriter are ordinary columns whose names follow the
+/// `prov_<schema>_<relation>_<attribute>` convention; the rewriter tracks
+/// them positionally, not through the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+    pub qualifier: Option<String>,
+}
+
+impl Column {
+    /// A nullable, unqualified column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+            qualifier: None,
+        }
+    }
+
+    /// Set the table qualifier.
+    pub fn with_qualifier(mut self, q: impl Into<String>) -> Column {
+        self.qualifier = Some(q.into());
+        self
+    }
+
+    /// Mark the column NOT NULL.
+    pub fn not_null(mut self) -> Column {
+        self.nullable = false;
+        self
+    }
+
+    /// `qualifier.name` if qualified, else just the name.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    pub fn empty() -> Schema {
+        Schema { columns: vec![] }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Resolve a possibly-qualified column reference to its index.
+    ///
+    /// Matching is case-insensitive on both qualifier and name, like
+    /// PostgreSQL's folding of unquoted identifiers. Ambiguity (two visible
+    /// columns with the same name and no disambiguating qualifier) is an
+    /// analysis error.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if !c.name.eq_ignore_ascii_case(name) {
+                continue;
+            }
+            if let Some(q) = qualifier {
+                match &c.qualifier {
+                    Some(cq) if cq.eq_ignore_ascii_case(q) => {}
+                    _ => continue,
+                }
+            }
+            if let Some(prev) = found {
+                return Err(PermError::Analysis(format!(
+                    "ambiguous column reference '{}' (matches positions {prev} and {i})",
+                    display_ref(qualifier, name)
+                )));
+            }
+            found = Some(i);
+        }
+        found.ok_or_else(|| {
+            PermError::Analysis(format!(
+                "column '{}' does not exist",
+                display_ref(qualifier, name)
+            ))
+        })
+    }
+
+    /// Like [`Schema::resolve`], but distinguishes "not found" (`Ok(None)`)
+    /// from "ambiguous" (`Err`). Name resolution across nested query scopes
+    /// needs this: a name missing from the inner scope falls through to the
+    /// outer scope, but an ambiguous inner name is an immediate error.
+    pub fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Option<usize>> {
+        let mut found: Option<usize> = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if !c.name.eq_ignore_ascii_case(name) {
+                continue;
+            }
+            if let Some(q) = qualifier {
+                match &c.qualifier {
+                    Some(cq) if cq.eq_ignore_ascii_case(q) => {}
+                    _ => continue,
+                }
+            }
+            if found.is_some() {
+                return Err(PermError::Analysis(format!(
+                    "ambiguous column reference '{}'",
+                    display_ref(qualifier, name)
+                )));
+            }
+            found = Some(i);
+        }
+        Ok(found)
+    }
+
+    /// All indexes of columns visible under `qualifier` (for `t.*`).
+    pub fn indexes_for_qualifier(&self, qualifier: &str) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.qualifier
+                    .as_deref()
+                    .is_some_and(|q| q.eq_ignore_ascii_case(qualifier))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(right.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Re-qualify every column under a new alias (subquery/view alias),
+    /// dropping prior qualifiers.
+    pub fn requalify(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone();
+                    c.qualifier = Some(alias.to_string());
+                    c
+                })
+                .collect(),
+        }
+    }
+
+    /// Make every column nullable (outer-join padding side).
+    pub fn nullable(&self) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone();
+                    c.nullable = true;
+                    c
+                })
+                .collect(),
+        }
+    }
+
+    /// Column names, unqualified (result header).
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Column> {
+        self.columns.iter()
+    }
+}
+
+fn display_ref(qualifier: Option<&str>, name: &str) -> String {
+    match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.qualified_name(), c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::new(vec![
+            Column::new("mid", DataType::Int).with_qualifier("messages"),
+            Column::new("text", DataType::Text).with_qualifier("messages"),
+            Column::new("mid", DataType::Int).with_qualifier("approved"),
+            Column::new("uid", DataType::Int).with_qualifier("approved"),
+        ])
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        assert_eq!(s().resolve(Some("messages"), "mid").unwrap(), 0);
+        assert_eq!(s().resolve(Some("approved"), "mid").unwrap(), 2);
+        assert_eq!(s().resolve(Some("APPROVED"), "MID").unwrap(), 2);
+    }
+
+    #[test]
+    fn resolve_unqualified_unique() {
+        assert_eq!(s().resolve(None, "text").unwrap(), 1);
+        assert_eq!(s().resolve(None, "uid").unwrap(), 3);
+    }
+
+    #[test]
+    fn resolve_unqualified_ambiguous() {
+        let err = s().resolve(None, "mid").unwrap_err();
+        assert_eq!(err.kind(), "analysis");
+        assert!(err.message().contains("ambiguous"));
+    }
+
+    #[test]
+    fn resolve_missing() {
+        let err = s().resolve(None, "nope").unwrap_err();
+        assert!(err.message().contains("does not exist"));
+        assert!(s().resolve(Some("users"), "mid").is_err());
+    }
+
+    #[test]
+    fn star_expansion_per_qualifier() {
+        assert_eq!(s().indexes_for_qualifier("messages"), vec![0, 1]);
+        assert_eq!(s().indexes_for_qualifier("approved"), vec![2, 3]);
+        assert!(s().indexes_for_qualifier("nobody").is_empty());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let l = Schema::new(vec![Column::new("a", DataType::Int)]);
+        let r = Schema::new(vec![Column::new("b", DataType::Text)]);
+        let j = l.join(&r);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.column(1).name, "b");
+    }
+
+    #[test]
+    fn requalify_replaces_qualifiers() {
+        let q = s().requalify("v");
+        for c in q.columns() {
+            assert_eq!(c.qualifier.as_deref(), Some("v"));
+        }
+        assert_eq!(q.resolve(Some("v"), "uid").unwrap(), 3);
+    }
+
+    #[test]
+    fn nullable_marks_all_columns() {
+        let sch = Schema::new(vec![Column::new("a", DataType::Int).not_null()]);
+        assert!(!sch.column(0).nullable);
+        assert!(sch.nullable().column(0).nullable);
+    }
+
+    #[test]
+    fn display_shows_qualified_names_and_types() {
+        let sch = Schema::new(vec![
+            Column::new("a", DataType::Int).with_qualifier("t"),
+            Column::new("b", DataType::Text),
+        ]);
+        assert_eq!(sch.to_string(), "(t.a: int, b: text)");
+    }
+}

@@ -1,0 +1,126 @@
+//! Runtime tuples.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A row of values.
+///
+/// Equality and hashing inherit [`Value`]'s grouping semantics
+/// (NULL == NULL), which is what hash-based grouping, duplicate elimination
+/// and NULL-safe provenance join-backs require.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// The empty tuple (used by aggregates without GROUP BY).
+    pub fn empty() -> Tuple {
+        Tuple { values: vec![] }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Concatenate two tuples (join output).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Project onto the given positions.
+    pub fn project(&self, indexes: &[usize]) -> Tuple {
+        Tuple {
+            values: indexes.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// A tuple of `n` NULLs — the padding Perm's set-operation and outer-join
+    /// rewrites attach for non-contributing provenance attributes.
+    pub fn nulls(n: usize) -> Tuple {
+        Tuple {
+            values: vec![Value::Null; n],
+        }
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.values.iter()
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let a = Tuple::new(vec![Value::Int(1), Value::text("x")]);
+        let b = Tuple::new(vec![Value::Bool(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.project(&[2, 0]).values(), &[Value::Bool(true), Value::Int(1)]);
+    }
+
+    #[test]
+    fn nulls_padding() {
+        let t = Tuple::nulls(3);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn grouping_equality_includes_nulls() {
+        let a = Tuple::new(vec![Value::Null, Value::Int(1)]);
+        let b = Tuple::new(vec![Value::Null, Value::Int(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Null, Value::text("hi")]);
+        assert_eq!(t.to_string(), "(1, null, hi)");
+    }
+}

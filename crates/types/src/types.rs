@@ -1,0 +1,127 @@
+//! SQL data types supported by the engine.
+
+use std::fmt;
+
+use crate::error::{PermError, Result};
+
+/// The SQL data types the engine supports.
+///
+/// `Unknown` is the type of the bare `NULL` literal before coercion: it is
+/// compatible with every other type, mirroring how PostgreSQL types untyped
+/// NULLs. Set-operation schema padding (Perm's union rewrite pads the
+/// non-contributing side's provenance attributes with NULLs) relies on this
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Text,
+    /// The type of an untyped NULL; unifies with anything.
+    Unknown,
+}
+
+impl DataType {
+    /// True if a value of type `other` can be used where `self` is expected
+    /// without an explicit cast.
+    pub fn accepts(self, other: DataType) -> bool {
+        if self == other || other == DataType::Unknown || self == DataType::Unknown {
+            return true;
+        }
+        // Implicit numeric widening, as in standard SQL.
+        matches!((self, other), (DataType::Float, DataType::Int))
+    }
+
+    /// Whether this is a numeric type.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// The common type two operands unify to, if any.
+    ///
+    /// Used for comparison operands, `CASE` branches, set-operation column
+    /// alignment and `COALESCE` arguments.
+    pub fn unify(self, other: DataType) -> Result<DataType> {
+        match (self, other) {
+            (a, b) if a == b => Ok(a),
+            (DataType::Unknown, b) => Ok(b),
+            (a, DataType::Unknown) => Ok(a),
+            (DataType::Int, DataType::Float) | (DataType::Float, DataType::Int) => {
+                Ok(DataType::Float)
+            }
+            (a, b) => Err(PermError::Analysis(format!(
+                "cannot unify types {a} and {b}"
+            ))),
+        }
+    }
+
+    /// Parse a type name as written in `CREATE TABLE`.
+    pub fn parse(name: &str) -> Result<DataType> {
+        match name.to_ascii_lowercase().as_str() {
+            "int" | "integer" | "bigint" | "smallint" | "int4" | "int8" => Ok(DataType::Int),
+            "float" | "double" | "real" | "float8" | "numeric" | "decimal" => Ok(DataType::Float),
+            "text" | "varchar" | "char" | "string" => Ok(DataType::Text),
+            "bool" | "boolean" => Ok(DataType::Bool),
+            other => Err(PermError::Parse(format!("unknown type name '{other}'"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_unifies_with_everything() {
+        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Text] {
+            assert_eq!(DataType::Unknown.unify(t).unwrap(), t);
+            assert_eq!(t.unify(DataType::Unknown).unwrap(), t);
+            assert!(t.accepts(DataType::Unknown));
+        }
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(
+            DataType::Int.unify(DataType::Float).unwrap(),
+            DataType::Float
+        );
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Float));
+    }
+
+    #[test]
+    fn incompatible_types_fail_to_unify() {
+        assert!(DataType::Text.unify(DataType::Int).is_err());
+        assert!(DataType::Bool.unify(DataType::Float).is_err());
+    }
+
+    #[test]
+    fn parse_type_names() {
+        assert_eq!(DataType::parse("INTEGER").unwrap(), DataType::Int);
+        assert_eq!(DataType::parse("varchar").unwrap(), DataType::Text);
+        assert_eq!(DataType::parse("Boolean").unwrap(), DataType::Bool);
+        assert_eq!(DataType::parse("double").unwrap(), DataType::Float);
+        assert!(DataType::parse("blob").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Text] {
+            assert_eq!(DataType::parse(&t.to_string()).unwrap(), t);
+        }
+    }
+}

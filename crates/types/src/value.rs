@@ -1,0 +1,344 @@
+//! Runtime SQL values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{PermError, Result};
+use crate::types::DataType;
+
+/// A single SQL value.
+///
+/// `Value` implements [`Eq`]/[`Hash`]/[`Ord`] with *grouping semantics*:
+/// `Null == Null`, and NaN floats are normalized so equal keys hash equally.
+/// These are the semantics SQL uses for `GROUP BY`, `DISTINCT`, set
+/// operations and — crucially for Perm — the NULL-safe join-back of the
+/// aggregation rewrite rule (`IS NOT DISTINCT FROM`). Predicate evaluation
+/// uses the three-valued [`crate::ops`] functions instead, where any
+/// comparison with NULL yields NULL.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+}
+
+impl Value {
+    /// The value's runtime type; `NULL` reports [`DataType::Unknown`].
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Unknown,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Text(_) => DataType::Text,
+        }
+    }
+
+    /// True if this is the SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Extract a boolean, treating NULL as `None` (SQL's "unknown").
+    pub fn as_bool(&self) -> Result<Option<bool>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(PermError::Value(format!(
+                "expected bool, got {} ({})",
+                other,
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Numeric view as `f64` for mixed-type arithmetic and comparisons.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(PermError::Value(format!("expected number, got {other}"))),
+        }
+    }
+
+    /// Cast to a target type following SQL cast rules.
+    pub fn cast(&self, to: DataType) -> Result<Value> {
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, to) {
+            (v, t) if v.data_type() == t => Ok(v.clone()),
+            (_, DataType::Unknown) => Ok(self.clone()),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Float(f), DataType::Int) => {
+                if f.is_finite() && (i64::MIN as f64..=i64::MAX as f64).contains(f) {
+                    Ok(Value::Int(*f as i64))
+                } else {
+                    Err(PermError::Value(format!("float {f} out of int range")))
+                }
+            }
+            (Value::Int(i), DataType::Text) => Ok(Value::Text(i.to_string())),
+            (Value::Float(f), DataType::Text) => Ok(Value::Text(format_float(*f))),
+            (Value::Bool(b), DataType::Text) => Ok(Value::Text(b.to_string())),
+            (Value::Text(s), DataType::Int) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| PermError::Value(format!("cannot cast '{s}' to int"))),
+            (Value::Text(s), DataType::Float) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| PermError::Value(format!("cannot cast '{s}' to float"))),
+            (Value::Text(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+                "t" | "true" | "yes" | "1" => Ok(Value::Bool(true)),
+                "f" | "false" | "no" | "0" => Ok(Value::Bool(false)),
+                _ => Err(PermError::Value(format!("cannot cast '{s}' to bool"))),
+            },
+            (Value::Int(i), DataType::Bool) => Ok(Value::Bool(*i != 0)),
+            (v, t) => Err(PermError::Value(format!(
+                "cannot cast {} ({}) to {t}",
+                v,
+                v.data_type()
+            ))),
+        }
+    }
+
+    /// Normalized float bits: all NaNs collapse to one pattern, -0.0 to +0.0,
+    /// so that grouping equality and hashing agree.
+    fn float_key(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// Total order used for `ORDER BY` and sort-based operators:
+    /// NULLs sort last (as in PostgreSQL's default), numbers compare
+    /// cross-type, and values of different non-numeric types compare by a
+    /// fixed type rank so the order is total.
+    pub fn sort_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Greater,
+            (_, Null) => Ordering::Less,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or_else(|| {
+                Self::float_key(*a).cmp(&Self::float_key(*b))
+            }),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Less),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Greater),
+            (Text(a), Text(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 4,
+        Value::Bool(_) => 0,
+        Value::Int(_) | Value::Float(_) => 1,
+        Value::Text(_) => 2,
+    }
+}
+
+/// Grouping equality: NULL equals NULL, Int and Float with the same numeric
+/// value are equal (so `GROUP BY` over mixed arithmetic behaves sanely).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => Self::float_key(*a) == Self::float_key(*b),
+            (Int(a), Float(b)) | (Float(b), Int(a)) => {
+                Self::float_key(*a as f64) == Self::float_key(*b)
+            }
+            (Text(a), Text(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints hash through their float key so Int(2) == Float(2.0)
+            // implies equal hashes.
+            Value::Int(i) => {
+                2u8.hash(state);
+                Value::float_key(*i as f64).hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                Value::float_key(*f).hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+/// Render a float the way PostgreSQL's text output does for round numbers.
+pub fn format_float(f: f64) -> String {
+    if f.is_finite() && f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => f.write_str(&format_float(*x)),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_equals_null_for_grouping() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(hash_of(&Value::Null), hash_of(&Value::Null));
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_hash_agree() {
+        let a = Value::Int(42);
+        let b = Value::Float(42.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn nan_is_self_equal_for_grouping() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_groups_with_positive_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn sort_order_puts_nulls_last() {
+        let mut vs = vec![Value::Null, Value::Int(1), Value::Int(-5)];
+        vs.sort_by(|a, b| a.sort_cmp(b));
+        assert_eq!(vs, vec![Value::Int(-5), Value::Int(1), Value::Null]);
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            Value::Int(3).cast(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Text("17".into()).cast(DataType::Int).unwrap(),
+            Value::Int(17)
+        );
+        assert_eq!(
+            Value::Float(2.9).cast(DataType::Int).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(Value::Null.cast(DataType::Int).unwrap(), Value::Null);
+        assert!(Value::Text("abc".into()).cast(DataType::Int).is_err());
+        assert!(Value::Float(f64::INFINITY).cast(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn bool_casts() {
+        assert_eq!(
+            Value::Text("true".into()).cast(DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::Int(0).cast(DataType::Bool).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::text("hi").to_string(), "hi");
+    }
+
+    #[test]
+    fn as_bool_distinguishes_null_and_error() {
+        assert_eq!(Value::Null.as_bool().unwrap(), None);
+        assert_eq!(Value::Bool(true).as_bool().unwrap(), Some(true));
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+}

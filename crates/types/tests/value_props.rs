@@ -1,0 +1,128 @@
+//! Property tests on the value substrate: the grouping-equality /
+//! hash / sort-order invariants everything above (hash joins, GROUP BY,
+//! set operations, the NULL-safe provenance join-back) relies on.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+
+use perm_types::ops;
+use perm_types::{DataType, Tuple, Value};
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Includes NaN, infinities and -0.0.
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Text),
+    ]
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Eq/Hash agreement (the HashMap contract).
+    #[test]
+    fn equal_values_hash_equally(a in value(), b in value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// Grouping equality is reflexive even for NaN and NULL.
+    #[test]
+    fn grouping_equality_is_reflexive(a in value()) {
+        prop_assert_eq!(&a, &a);
+        prop_assert_eq!(hash_of(&a), hash_of(&a));
+    }
+
+    /// sort_cmp is a total order: antisymmetric and transitive.
+    #[test]
+    fn sort_cmp_is_total(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering::*;
+        // Antisymmetry.
+        match a.sort_cmp(&b) {
+            Less => prop_assert_eq!(b.sort_cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.sort_cmp(&a), Less),
+            Equal => prop_assert_eq!(b.sort_cmp(&a), Equal),
+        }
+        // Transitivity (≤).
+        if a.sort_cmp(&b) != Greater && b.sort_cmp(&c) != Greater {
+            prop_assert_ne!(a.sort_cmp(&c), Greater);
+        }
+    }
+
+    /// NULLs always sort last.
+    #[test]
+    fn nulls_sort_last(a in value()) {
+        if !a.is_null() {
+            prop_assert_eq!(a.sort_cmp(&Value::Null), std::cmp::Ordering::Less);
+        }
+    }
+
+    /// NULL-safe comparison agrees with grouping equality and never
+    /// errors — the invariant the aggregation join-back depends on.
+    #[test]
+    fn not_distinct_matches_grouping_equality(a in value(), b in value()) {
+        let nd = ops::not_distinct(&a, &b);
+        prop_assert_eq!(nd, Value::Bool(a == b));
+        let d = ops::distinct(&a, &b);
+        prop_assert_eq!(d, Value::Bool(a != b));
+    }
+
+    /// SQL equality implies grouping equality for non-NULL comparable
+    /// values (so hash-join buckets never split SQL-equal keys).
+    #[test]
+    fn sql_eq_implies_grouping_eq(a in value(), b in value()) {
+        if let Ok(Value::Bool(true)) = ops::eq(&a, &b) {
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// Tuple equality is pointwise grouping equality.
+    #[test]
+    fn tuple_equality_is_pointwise(vs in prop::collection::vec(value(), 0..5)) {
+        let t1 = Tuple::new(vs.clone());
+        let t2 = Tuple::new(vs);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(hash_of(&t1), hash_of(&t2));
+    }
+
+    /// Casting to a type then re-casting is idempotent.
+    #[test]
+    fn cast_is_idempotent(a in value(), ty in prop_oneof![
+        Just(DataType::Int),
+        Just(DataType::Float),
+        Just(DataType::Text),
+        Just(DataType::Bool),
+    ]) {
+        if let Ok(once) = a.cast(ty) {
+            let twice = once.cast(ty).expect("cast to own type succeeds");
+            // NaN-safe comparison via grouping equality.
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// Three-valued logic: AND/OR are commutative and NOT is an
+    /// involution on non-error inputs.
+    #[test]
+    fn three_valued_logic_laws(
+        a in prop_oneof![Just(Value::Null), any::<bool>().prop_map(Value::Bool)],
+        b in prop_oneof![Just(Value::Null), any::<bool>().prop_map(Value::Bool)],
+    ) {
+        prop_assert_eq!(ops::and(&a, &b).unwrap(), ops::and(&b, &a).unwrap());
+        prop_assert_eq!(ops::or(&a, &b).unwrap(), ops::or(&b, &a).unwrap());
+        let n = ops::not(&a).unwrap();
+        prop_assert_eq!(ops::not(&n).unwrap(), a);
+    }
+}

@@ -1,0 +1,259 @@
+//! Property test: random ASTs rendered to SQL by `perm_core::sqlgen`
+//! re-parse to the identical AST.
+//!
+//! The generator produces only parser-canonical shapes (e.g. no unary `+`,
+//! which the parser folds away; no negative integer literals, which it
+//! represents as unary minus), so structural equality is the right oracle.
+
+use proptest::prelude::*;
+
+use perm_core::sqlgen::query_to_sql;
+use perm_sql::{
+    parse_statement, BinaryOp, Expr, FromModifiers, JoinKind, OrderItem, Query, QueryBody,
+    Select, SelectItem, SetOpKind, Statement, TableRef, UnaryOp,
+};
+use perm_types::Value;
+
+fn ident() -> impl Strategy<Value = String> {
+    // `c_`-prefixed to dodge reserved words; lexer folds to lowercase.
+    "[a-z]{1,6}".prop_map(|s| format!("c_{s}"))
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
+        "[a-z ']{0,8}".prop_map(|s| Expr::Literal(Value::Text(s))),
+        Just(Expr::Literal(Value::Bool(true))),
+        Just(Expr::Literal(Value::Bool(false))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+fn column() -> impl Strategy<Value = Expr> {
+    (proptest::option::of(ident()), ident()).prop_map(|(qualifier, name)| Expr::Column {
+        qualifier,
+        name,
+    })
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), column()];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Binary operators.
+            (
+                prop_oneof![
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::NotEq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::LtEq),
+                    Just(BinaryOp::Gt),
+                    Just(BinaryOp::GtEq),
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                    Just(BinaryOp::Mod),
+                    Just(BinaryOp::Concat),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }),
+            // NOT / unary minus.
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            }),
+            // IS [NOT] NULL, IS [NOT] DISTINCT FROM.
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(l, r, negated)| Expr::IsDistinctFrom {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    negated,
+                }
+            ),
+            // [NOT] LIKE / BETWEEN / IN (...).
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, p, negated)| Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(p),
+                    negated,
+                }
+            ),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            // CASE.
+            (
+                proptest::option::of(inner.clone()),
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone())
+            )
+                .prop_map(|(operand, branches, else_branch)| Expr::Case {
+                    operand: operand.map(Box::new),
+                    branches,
+                    else_branch: else_branch.map(Box::new),
+                }),
+            // Functions (scalar-ish names; parse does not resolve).
+            (ident(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(name, args)| {
+                Expr::Function {
+                    name,
+                    args,
+                    distinct: false,
+                    star: false,
+                }
+            }),
+            // CAST.
+            (
+                inner,
+                prop_oneof![
+                    Just(perm_types::DataType::Int),
+                    Just(perm_types::DataType::Float),
+                    Just(perm_types::DataType::Text),
+                    Just(perm_types::DataType::Bool)
+                ]
+            )
+                .prop_map(|(e, ty)| Expr::Cast {
+                    expr: Box::new(e),
+                    ty,
+                }),
+        ]
+    })
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    let relation = (ident(), proptest::option::of(ident()), any::<bool>()).prop_map(
+        |(name, alias, baserelation)| TableRef::Relation {
+            name,
+            alias,
+            column_aliases: None,
+            modifiers: FromModifiers {
+                baserelation,
+                provenance_attrs: None,
+            },
+        },
+    );
+    relation.prop_recursive(2, 6, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(JoinKind::Inner),
+                Just(JoinKind::Left),
+                Just(JoinKind::Full)
+            ],
+            expr(),
+        )
+            .prop_map(|(l, r, kind, on)| TableRef::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                kind,
+                on: Some(on),
+            })
+    })
+}
+
+fn select() -> impl Strategy<Value = Select> {
+    (
+        prop::collection::vec(
+            (expr(), proptest::option::of(ident()))
+                .prop_map(|(e, alias)| SelectItem::Expr { expr: e, alias }),
+            1..4,
+        ),
+        prop::collection::vec(table_ref(), 0..2),
+        proptest::option::of(expr()),
+        prop::collection::vec(expr(), 0..2),
+        any::<bool>(),
+    )
+        .prop_map(|(items, from, where_clause, group_by, distinct)| Select {
+            provenance: None,
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having: None,
+        })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        select(),
+        proptest::option::of((
+            select(),
+            prop_oneof![
+                Just(SetOpKind::Union),
+                Just(SetOpKind::Intersect),
+                Just(SetOpKind::Except)
+            ],
+            any::<bool>(),
+        )),
+        prop::collection::vec((expr(), any::<bool>()), 0..2),
+        proptest::option::of(0u64..100),
+    )
+        .prop_map(|(first, set_op, order, limit)| {
+            let body = match set_op {
+                None => QueryBody::Select(Box::new(first)),
+                Some((second, op, all)) => QueryBody::SetOp {
+                    op,
+                    all,
+                    left: Box::new(QueryBody::Select(Box::new(first))),
+                    right: Box::new(QueryBody::Select(Box::new(second))),
+                },
+            };
+            Query {
+                body,
+                order_by: order
+                    .into_iter()
+                    .map(|(e, desc)| OrderItem { expr: e, desc })
+                    .collect(),
+                limit,
+                offset: None,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_queries_roundtrip_through_sqlgen(q in query()) {
+        let sql = query_to_sql(&q);
+        let reparsed = parse_statement(&sql)
+            .unwrap_or_else(|e| panic!("generated SQL does not parse: {sql}\n{e}"));
+        let Statement::Query(q2) = reparsed else {
+            panic!("expected a query back for {sql}");
+        };
+        prop_assert_eq!(q, q2, "round-trip changed the AST for: {}", sql);
+    }
+}

@@ -1,0 +1,123 @@
+//! Optimizer soundness: the planner's rewrites (boundary elimination,
+//! projection merging, filter pushdown, filter merging) must never change
+//! results. Every query shape in the repertoire — and randomly generated
+//! filters — is executed both unoptimized and optimized and compared as a
+//! bag of rows.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use perm_core::fixtures::{forum_db, Q1, Q3, SEC24_PROVENANCE_AGG};
+use perm_core::{PermDb, Tuple};
+use perm_exec::{optimize, Executor};
+
+/// Execute `sql` with and without the optimizer; return both row bags.
+fn both_ways(db: &mut PermDb, sql: &str) -> (Vec<Tuple>, Vec<Tuple>) {
+    let plan = db.bind_sql(sql).expect("binds");
+    let raw = Executor::new(db.catalog()).run(&plan).expect("raw runs");
+    let optimized_plan = optimize(plan);
+    let optimized = Executor::new(db.catalog())
+        .run(&optimized_plan)
+        .expect("optimized runs");
+    (raw, optimized)
+}
+
+/// Compare as bags (the optimizer may legally reorder rows of unsorted
+/// queries).
+fn bag(rows: &[Tuple]) -> HashMap<&Tuple, usize> {
+    let mut m = HashMap::new();
+    for t in rows {
+        *m.entry(t).or_insert(0) += 1;
+    }
+    m
+}
+
+fn assert_equivalent(db: &mut PermDb, sql: &str) {
+    let (raw, optimized) = both_ways(db, sql);
+    assert_eq!(
+        bag(&raw),
+        bag(&optimized),
+        "optimizer changed the result of {sql:?}"
+    );
+}
+
+#[test]
+fn repertoire_of_query_shapes() {
+    let mut db = forum_db();
+    db.run_script(
+        "CREATE TABLE extra (x int, y int);
+         INSERT INTO extra VALUES (1, 10), (2, 20), (NULL, 30);",
+    )
+    .unwrap();
+    let queries: Vec<String> = vec![
+        // Plain shapes.
+        "SELECT * FROM messages".into(),
+        "SELECT mid + 1, upper(text) FROM messages WHERE mid > 1".into(),
+        "SELECT m.text, u.name FROM messages m JOIN users u ON m.uid = u.uid WHERE u.uid >= 2"
+            .into(),
+        "SELECT * FROM messages m LEFT JOIN approved a ON m.mid = a.mid WHERE m.mid > 0".into(),
+        "SELECT * FROM users, approved WHERE users.uid = approved.uid AND approved.mid > 2".into(),
+        "SELECT count(*), uid FROM approved GROUP BY uid HAVING count(*) >= 1".into(),
+        "SELECT DISTINCT uid FROM approved WHERE mid = 4".into(),
+        Q1.into(),
+        format!("{Q3} ORDER BY 1 DESC"),
+        "SELECT mid FROM messages EXCEPT SELECT mid FROM approved".into(),
+        "SELECT x FROM extra WHERE x IS NOT NULL ORDER BY x LIMIT 1".into(),
+        "SELECT name FROM users u WHERE EXISTS (SELECT 1 FROM approved a WHERE a.uid = u.uid)"
+            .into(),
+        "SELECT mid FROM messages WHERE mid IN (SELECT mid FROM approved)".into(),
+        // Provenance shapes (the optimizer sees the rewritten plans).
+        "SELECT PROVENANCE mid, text FROM messages WHERE mid > 1".into(),
+        format!("SELECT PROVENANCE * FROM ({Q1}) q1"),
+        SEC24_PROVENANCE_AGG.into(),
+        "SELECT PROVENANCE text FROM v1 BASERELATION".into(),
+        "SELECT PROVENANCE m.text FROM messages m JOIN approved a ON m.mid = a.mid".into(),
+        "SELECT PROVENANCE ON CONTRIBUTION (COPY) text FROM messages".into(),
+        "SELECT PROVENANCE ON CONTRIBUTION (LINEAGE) * FROM \
+         (SELECT mid FROM messages EXCEPT SELECT mid FROM imports) d"
+            .into(),
+        "SELECT PROVENANCE text FROM messages WHERE mid IN (SELECT mid FROM approved)".into(),
+    ];
+    for sql in queries {
+        assert_equivalent(&mut db, &sql);
+    }
+}
+
+#[test]
+fn boundary_nodes_are_transparent_to_execution() {
+    // A BASERELATION boundary outside a provenance context must be a
+    // no-op for both the raw and the optimized path.
+    let mut db = forum_db();
+    let (raw, optimized) = both_ways(&mut db, "SELECT text FROM v1 BASERELATION");
+    assert_eq!(bag(&raw), bag(&optimized));
+    assert_eq!(raw.len(), 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random conjunctive filters over a join: pushdown must be sound.
+    #[test]
+    fn random_filters_survive_pushdown(
+        rows in prop::collection::vec((-8i64..8, -8i64..8), 0..30),
+        a_lo in -10i64..10,
+        b_hi in -10i64..10,
+        use_provenance in any::<bool>(),
+    ) {
+        let mut db = PermDb::new();
+        db.run_script("CREATE TABLE t (a int, b int); CREATE TABLE u (a int, c int);")
+            .unwrap();
+        for (a, b) in &rows {
+            db.execute(&format!("INSERT INTO t VALUES ({a}, {b})")).unwrap();
+            db.execute(&format!("INSERT INTO u VALUES ({b}, {a})")).unwrap();
+        }
+        let kw = if use_provenance { "PROVENANCE " } else { "" };
+        let sql = format!(
+            "SELECT {kw}t.a, u.c FROM t JOIN u ON t.b = u.a \
+             WHERE t.a > {a_lo} AND u.c <= {b_hi} AND t.b IS NOT NULL"
+        );
+        let (raw, optimized) = both_ways(&mut db, &sql);
+        prop_assert_eq!(bag(&raw), bag(&optimized));
+    }
+}
