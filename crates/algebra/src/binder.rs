@@ -19,7 +19,9 @@ use perm_sql::{
 use perm_types::{Column, DataType, PermError, Result, Schema, Value};
 
 use crate::catalog::{CatalogProvider, ProvenanceTransform};
-use crate::expr::{AggCall, AggFunc, BinOp, ScalarExpr, ScalarFunc, SubqueryExpr, SubqueryKind, UnOp};
+use crate::expr::{
+    AggCall, AggFunc, BinOp, ScalarExpr, ScalarFunc, SubqueryExpr, SubqueryKind, UnOp,
+};
 use crate::plan::{BoundaryKind, JoinType, LogicalPlan, SetOpType, SortKey};
 use crate::typecheck::{agg_type, expr_type};
 
@@ -120,7 +122,12 @@ impl<'a> Binder<'a> {
     fn bind_query_body(&mut self, body: &QueryBody) -> Result<LogicalPlan> {
         match body {
             QueryBody::Select(s) => self.bind_select(s),
-            QueryBody::SetOp { op, all, left, right } => {
+            QueryBody::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 // As in Perm, `SELECT PROVENANCE … UNION …` computes the
                 // provenance of the *whole* set operation (Figure 2 shows
                 // exactly this for q1): a provenance clause on the leftmost
@@ -376,17 +383,11 @@ impl<'a> Binder<'a> {
                         let AstExpr::Column { qualifier, name } = &item.expr else {
                             return Err(output_err);
                         };
-                        let bound = self.resolve_column(
-                            qualifier.as_deref(),
-                            name,
-                            &pre_schema,
-                        )?;
+                        let bound = self.resolve_column(qualifier.as_deref(), name, &pre_schema)?;
                         // Reuse a select item computing the same value.
                         if let Some(i) = items.iter().position(|(e, _)| *e == bound) {
                             ScalarExpr::Column(i)
-                        } else if let Some(h) =
-                            hidden.iter().position(|(e, _)| *e == bound)
-                        {
+                        } else if let Some(h) = hidden.iter().position(|(e, _)| *e == bound) {
                             ScalarExpr::Column(n + h)
                         } else {
                             let col = match &bound {
@@ -529,8 +530,7 @@ impl<'a> Binder<'a> {
                             qualifier: c.qualifier.clone(),
                             name: c.name.clone(),
                         };
-                        let bound =
-                            self.bind_agg_scoped(&ScalarExpr::Column(i), &ast, &mut agg)?;
+                        let bound = self.bind_agg_scoped(&ScalarExpr::Column(i), &ast, &mut agg)?;
                         items.push((ast, None, bound));
                     }
                 }
@@ -706,9 +706,8 @@ impl<'a> Binder<'a> {
                 ty: *ty,
             }),
             AstExpr::Function { name, args, .. } => {
-                let func = ScalarFunc::from_name(name).ok_or_else(|| {
-                    PermError::Analysis(format!("unknown function '{name}'"))
-                })?;
+                let func = ScalarFunc::from_name(name)
+                    .ok_or_else(|| PermError::Analysis(format!("unknown function '{name}'")))?;
                 Ok(ScalarExpr::ScalarFn {
                     func,
                     args: args
@@ -773,7 +772,9 @@ impl<'a> Binder<'a> {
         let ty = agg_type(&call, &agg.input_schema, &self.outer_refs())?;
         let col = Column::new(func.name(), ty);
         agg.aggs.push((e.clone(), call, col));
-        Ok(ScalarExpr::Column(agg.group_exprs.len() + agg.aggs.len() - 1))
+        Ok(ScalarExpr::Column(
+            agg.group_exprs.len() + agg.aggs.len() - 1,
+        ))
     }
 
     fn add_any_value(
@@ -801,7 +802,9 @@ impl<'a> Binder<'a> {
             distinct: false,
         };
         agg.aggs.push((ast.clone(), call, Column::new(name, ty)));
-        Ok(ScalarExpr::Column(agg.group_exprs.len() + agg.aggs.len() - 1))
+        Ok(ScalarExpr::Column(
+            agg.group_exprs.len() + agg.aggs.len() - 1,
+        ))
     }
 
     // ==================================================================
@@ -907,8 +910,7 @@ impl<'a> Binder<'a> {
                         let bound = self.bind_expr(cond, &combined)?;
                         self.expect_bool(&bound, &combined, "JOIN condition")?;
                         let swapped = LogicalPlan::join(r, l, JoinType::Left, Some(bound))?;
-                        let order: Vec<usize> =
-                            (nr..nr + nl).chain(0..nr).collect();
+                        let order: Vec<usize> = (nr..nr + nl).chain(0..nr).collect();
                         Ok(LogicalPlan::project_positions(swapped, &order))
                     }
                 }
@@ -1457,7 +1459,9 @@ pub fn bind_statement(
         Statement::Explain(q) => Ok(BoundStatement::Explain(binder.bind_query(q)?)),
         Statement::CreateTable { name, columns } => {
             if columns.is_empty() {
-                return Err(PermError::Analysis("a table needs at least one column".into()));
+                return Err(PermError::Analysis(
+                    "a table needs at least one column".into(),
+                ));
             }
             let mut cols = Vec::with_capacity(columns.len());
             for c in columns {
@@ -1497,9 +1501,9 @@ pub fn bind_statement(
             columns,
             rows,
         } => {
-            let meta = catalog.base_table(table).ok_or_else(|| {
-                PermError::Analysis(format!("relation '{table}' does not exist"))
-            })?;
+            let meta = catalog
+                .base_table(table)
+                .ok_or_else(|| PermError::Analysis(format!("relation '{table}' does not exist")))?;
             let schema = meta.schema;
             // Map the INSERT column list to table positions.
             let targets: Vec<usize> = match columns {

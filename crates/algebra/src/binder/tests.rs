@@ -167,7 +167,9 @@ fn inner_join_binds_condition_positionally() {
     }
     let j = find_join(&p).expect("join node");
     match j {
-        LogicalPlan::Join { kind, condition, .. } => {
+        LogicalPlan::Join {
+            kind, condition, ..
+        } => {
             assert_eq!(*kind, JoinType::Inner);
             let cond = condition.as_ref().unwrap();
             // u.uid is position 0, a.uid is position 2 (users has 2 cols).
@@ -248,7 +250,12 @@ fn aggregate_node_shape() {
         p.children().into_iter().find_map(find_agg)
     }
     match find_agg(&p).expect("aggregate node") {
-        LogicalPlan::Aggregate { group_by, aggs, schema, .. } => {
+        LogicalPlan::Aggregate {
+            group_by,
+            aggs,
+            schema,
+            ..
+        } => {
             assert_eq!(group_by.len(), 1);
             assert_eq!(aggs.len(), 2);
             assert_eq!(schema.names(), vec!["uid", "count", "sum"]);
@@ -269,9 +276,7 @@ fn having_filters_above_aggregate() {
 
 #[test]
 fn shared_aggregate_is_deduplicated() {
-    let p = bind_ok(
-        "SELECT uid, count(*) FROM approved GROUP BY uid HAVING count(*) > 1",
-    );
+    let p = bind_ok("SELECT uid, count(*) FROM approved GROUP BY uid HAVING count(*) > 1");
     fn find_agg(p: &LogicalPlan) -> Option<&LogicalPlan> {
         if matches!(p, LogicalPlan::Aggregate { .. }) {
             return Some(p);
@@ -351,7 +356,14 @@ fn union_incompatible_types_error() {
 #[test]
 fn q1_binds_with_set_op() {
     let p = bind_ok("SELECT mId, text FROM messages UNION SELECT mId, text FROM imports");
-    assert!(matches!(p, LogicalPlan::SetOp { op: SetOpType::Union, all: false, .. }));
+    assert!(matches!(
+        p,
+        LogicalPlan::SetOp {
+            op: SetOpType::Union,
+            all: false,
+            ..
+        }
+    ));
     assert_eq!(p.schema().names(), vec!["mid", "text"]);
 }
 
@@ -465,7 +477,11 @@ fn provenance_attrs_modifier_resolves_names() {
         p.children().into_iter().find_map(find_boundary)
     }
     match find_boundary(&p).expect("boundary") {
-        LogicalPlan::Boundary { kind: BoundaryKind::External { attrs }, name, .. } => {
+        LogicalPlan::Boundary {
+            kind: BoundaryKind::External { attrs },
+            name,
+            ..
+        } => {
             assert_eq!(name, "imports");
             assert_eq!(attrs, &[2]);
         }

@@ -102,7 +102,11 @@ impl Deparser {
                     names,
                 }
             }
-            LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
                 let (fi, _alias, in_names) = self.render_from_item(input);
                 let out_names = unique_names(&schema.names());
                 let items: Vec<String> = exprs
@@ -155,7 +159,11 @@ impl Deparser {
                             .as_ref()
                             .map(|c| render_expr(c, &qualified, self))
                             .unwrap_or_else(|| "true".into());
-                        let neg = if matches!(kind, JoinType::Anti) { "NOT " } else { "" };
+                        let neg = if matches!(kind, JoinType::Anti) {
+                            "NOT "
+                        } else {
+                            ""
+                        };
                         return Rel {
                             sql: format!(
                                 "SELECT * FROM {lfi} WHERE {neg}EXISTS \
@@ -323,10 +331,7 @@ fn unique_names(names: &[&str]) -> Vec<String> {
 fn render_expr(e: &ScalarExpr, names: &[String], d: &mut Deparser) -> String {
     match e {
         ScalarExpr::Literal(v) => render_value(v),
-        ScalarExpr::Column(i) => names
-            .get(*i)
-            .cloned()
-            .unwrap_or_else(|| format!("_c{i}")),
+        ScalarExpr::Column(i) => names.get(*i).cloned().unwrap_or_else(|| format!("_c{i}")),
         ScalarExpr::OuterColumn { levels_up, index } => {
             format!("outer_{levels_up}_{index}")
         }
@@ -410,11 +415,7 @@ fn render_expr(e: &ScalarExpr, names: &[String], d: &mut Deparser) -> String {
                 SubqueryKind::Scalar => format!("({inner})"),
                 SubqueryKind::Exists => format!("{neg}EXISTS ({inner})"),
                 SubqueryKind::In => {
-                    let op = render_expr(
-                        sq.operand.as_deref().expect("IN has operand"),
-                        names,
-                        d,
-                    );
+                    let op = render_expr(sq.operand.as_deref().expect("IN has operand"), names, d);
                     format!("({op} {neg}IN ({inner}))")
                 }
             }

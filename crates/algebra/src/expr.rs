@@ -22,7 +22,10 @@ pub enum ScalarExpr {
     Column(usize),
     /// A reference to a column of an enclosing query's tuple (correlated
     /// subqueries). `levels_up >= 1`.
-    OuterColumn { levels_up: usize, index: usize },
+    OuterColumn {
+        levels_up: usize,
+        index: usize,
+    },
     Binary {
         op: BinOp,
         left: Box<ScalarExpr>,
@@ -736,7 +739,10 @@ mod tests {
     #[test]
     fn scalar_func_resolution() {
         assert_eq!(ScalarFunc::from_name("UPPER"), Some(ScalarFunc::Upper));
-        assert_eq!(ScalarFunc::from_name("char_length"), Some(ScalarFunc::Length));
+        assert_eq!(
+            ScalarFunc::from_name("char_length"),
+            Some(ScalarFunc::Length)
+        );
         assert_eq!(ScalarFunc::from_name("nope"), None);
         assert!(AggFunc::is_aggregate_name("Count"));
         assert!(!AggFunc::is_aggregate_name("upper"));

@@ -24,7 +24,9 @@ pub mod printer;
 pub mod typecheck;
 
 pub use binder::{bind_statement, Binder, BoundStatement};
-pub use catalog::{BaseTableMeta, CatalogProvider, EmptyCatalog, ProvenancePlan, ProvenanceTransform};
+pub use catalog::{
+    BaseTableMeta, CatalogProvider, EmptyCatalog, ProvenancePlan, ProvenanceTransform,
+};
 pub use deparse::deparse;
 pub use expr::{AggCall, AggFunc, BinOp, ScalarExpr, ScalarFunc, SubqueryExpr, SubqueryKind, UnOp};
 pub use plan::{BoundaryKind, JoinType, LogicalPlan, SetOpType, SortKey};

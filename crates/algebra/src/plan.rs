@@ -388,7 +388,11 @@ impl LogicalPlan {
     }
 
     /// A projection from explicit expressions and output columns.
-    pub fn project(input: LogicalPlan, exprs: Vec<ScalarExpr>, columns: Vec<Column>) -> LogicalPlan {
+    pub fn project(
+        input: LogicalPlan,
+        exprs: Vec<ScalarExpr>,
+        columns: Vec<Column>,
+    ) -> LogicalPlan {
         debug_assert_eq!(exprs.len(), columns.len());
         LogicalPlan::Project {
             input: Box::new(input),

@@ -68,7 +68,11 @@ fn render_node(
 /// One-line operator description including its key expressions.
 fn describe(plan: &LogicalPlan) -> String {
     match plan {
-        LogicalPlan::Scan { table, provenance_cols, .. } => {
+        LogicalPlan::Scan {
+            table,
+            provenance_cols,
+            ..
+        } => {
             if provenance_cols.is_empty() {
                 format!("Scan({table})")
             } else {
@@ -81,7 +85,9 @@ fn describe(plan: &LogicalPlan) -> String {
             format!("Project [{}]", rendered.join(", "))
         }
         LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
-        LogicalPlan::Join { kind, condition, .. } => match condition {
+        LogicalPlan::Join {
+            kind, condition, ..
+        } => match condition {
             Some(c) => format!("{}Join on {c}", kind.name()),
             None => format!("{}Join", kind.name()),
         },

@@ -159,9 +159,8 @@ fn binary_type(op: BinOp, lt: DataType, rt: DataType) -> Result<DataType> {
         return Ok(DataType::Bool);
     }
     if op.is_comparison() {
-        lt.unify(rt).map_err(|_| {
-            PermError::Analysis(format!("cannot compare {lt} {} {rt}", op.sql()))
-        })?;
+        lt.unify(rt)
+            .map_err(|_| PermError::Analysis(format!("cannot compare {lt} {} {rt}", op.sql())))?;
         return Ok(DataType::Bool);
     }
     match op {
@@ -258,13 +257,17 @@ pub fn agg_type(call: &AggCall, schema: &Schema, outer: &[&Schema]) -> Result<Da
             DataType::Int => DataType::Int,
             DataType::Float | DataType::Unknown => DataType::Float,
             t => {
-                return Err(PermError::Analysis(format!("sum() requires numbers, got {t}")));
+                return Err(PermError::Analysis(format!(
+                    "sum() requires numbers, got {t}"
+                )));
             }
         },
         AggFunc::Avg => {
             let t = arg_ty.expect("avg has an argument");
             if !t.is_numeric() && t != DataType::Unknown {
-                return Err(PermError::Analysis(format!("avg() requires numbers, got {t}")));
+                return Err(PermError::Analysis(format!(
+                    "avg() requires numbers, got {t}"
+                )));
             }
             DataType::Float
         }

@@ -8,8 +8,8 @@
 //! fresh base data). The crossover is the number of retrievals.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use perm_bench::{star, STAR_REPORT};
 use perm_core::materialize_provenance;

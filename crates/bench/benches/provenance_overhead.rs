@@ -8,8 +8,8 @@
 //! aggregate *and* joins it back against the rewritten input.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use perm_bench::{forum, QueryClass};
 

@@ -9,8 +9,8 @@
 //!    and the gap grows with scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use perm_bench::{forum, QueryClass};
 use perm_core::{SessionOptions, StrategyMode, UnionStrategy};
@@ -24,7 +24,10 @@ fn union_strategies(c: &mut Criterion) {
     let sql = QueryClass::SetOperation.provenance_sql();
     for scale in [500usize, 5_000] {
         for (name, mode) in [
-            ("padded_union", StrategyMode::Fixed(UnionStrategy::PaddedUnion)),
+            (
+                "padded_union",
+                StrategyMode::Fixed(UnionStrategy::PaddedUnion),
+            ),
             ("join_back", StrategyMode::Fixed(UnionStrategy::JoinBack)),
             ("heuristic", StrategyMode::Heuristic),
             ("cost_based", StrategyMode::CostBased),

@@ -14,8 +14,7 @@ use perm_core::fixtures::{
     SEC24_QUERY_PROVENANCE,
 };
 use perm_core::{
-    materialize_provenance, BrowserPanels, SessionOptions, StageTrace, StrategyMode,
-    UnionStrategy,
+    materialize_provenance, BrowserPanels, SessionOptions, StageTrace, StrategyMode, UnionStrategy,
 };
 
 fn main() {
@@ -108,7 +107,10 @@ fn sec24() {
     banner("Section 2.4 — SQL-PLE listings");
     let mut db = forum_db();
     for (name, sql) in [
-        ("ON CONTRIBUTION (INFLUENCE) aggregation", SEC24_PROVENANCE_AGG),
+        (
+            "ON CONTRIBUTION (INFLUENCE) aggregation",
+            SEC24_PROVENANCE_AGG,
+        ),
         ("querying provenance with plain SQL", SEC24_QUERY_PROVENANCE),
         ("BASERELATION", SEC24_BASERELATION),
     ] {
@@ -173,7 +175,10 @@ fn strategy() {
 /// TPC-H-shaped overhead (the companion ICDE'09 evaluation's substrate).
 fn tpch_overhead() {
     banner("TPC-H-lite overhead — q+ vs q (median of 5 runs)");
-    println!("{:<24} {:>8} {:>14} {:>14} {:>9}", "query", "scale", "orig", "provenance", "factor");
+    println!(
+        "{:<24} {:>8} {:>14} {:>14} {:>9}",
+        "query", "scale", "orig", "provenance", "factor"
+    );
     for scale in [1_000usize, 10_000] {
         let mut db = tpch(scale, 42);
         for q in TpchQuery::ALL {
@@ -183,7 +188,11 @@ fn tpch_overhead() {
             let factor = prov.as_secs_f64() / orig.as_secs_f64().max(1e-9);
             println!(
                 "{:<24} {:>8} {:>12.2?} {:>12.2?} {:>8.2}x",
-                q.name(), scale, orig, prov, factor
+                q.name(),
+                scale,
+                orig,
+                prov,
+                factor
             );
         }
     }

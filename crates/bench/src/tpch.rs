@@ -148,15 +148,13 @@ mod tests {
     #[test]
     fn generator_sizes() {
         let mut db = tpch(400, 9);
-        let count = |db: &mut PermDb, t: &str| {
-            match db
-                .query(&format!("SELECT count(*) FROM {t}"))
-                .unwrap()
-                .row(0)[0]
-            {
-                Value::Int(n) => n,
-                ref other => panic!("unexpected {other:?}"),
-            }
+        let count = |db: &mut PermDb, t: &str| match db
+            .query(&format!("SELECT count(*) FROM {t}"))
+            .unwrap()
+            .row(0)[0]
+        {
+            Value::Int(n) => n,
+            ref other => panic!("unexpected {other:?}"),
         };
         assert_eq!(count(&mut db, "lineitem"), 400);
         assert_eq!(count(&mut db, "orders"), 100);
@@ -186,7 +184,9 @@ mod tests {
     #[test]
     fn q4_witnesses_come_from_both_relations() {
         let mut db = tpch(300, 13);
-        let prov = db.query(&TpchQuery::OrderPriority.provenance_sql()).unwrap();
+        let prov = db
+            .query(&TpchQuery::OrderPriority.provenance_sql())
+            .unwrap();
         assert!(prov.column_index("prov_public_orders_okey").is_some());
         assert!(prov.column_index("prov_public_lineitem_lkey").is_some());
     }

@@ -73,11 +73,9 @@ impl QueryClass {
     pub fn provenance_sql(self) -> String {
         match self {
             // Set operations carry the clause on the leftmost branch.
-            QueryClass::SetOperation => {
-                "SELECT PROVENANCE mid, text FROM messages \
+            QueryClass::SetOperation => "SELECT PROVENANCE mid, text FROM messages \
                  UNION SELECT mid, text FROM imports"
-                    .to_string()
-            }
+                .to_string(),
             other => format!(
                 "SELECT PROVENANCE {}",
                 other.original_sql().trim_start_matches("SELECT ")
@@ -114,7 +112,10 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let messages = db.catalog_mut().table_mut("messages").expect("messages exists");
+        let messages = db
+            .catalog_mut()
+            .table_mut("messages")
+            .expect("messages exists");
         for m in 0..scale {
             let uid = rng.random_range(0..n_users) as i64;
             messages.push_raw(Tuple::new(vec![
@@ -125,7 +126,10 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let imports = db.catalog_mut().table_mut("imports").expect("imports exists");
+        let imports = db
+            .catalog_mut()
+            .table_mut("imports")
+            .expect("imports exists");
         for m in 0..n_imports {
             let origin = origins[rng.random_range(0..origins.len())];
             imports.push_raw(Tuple::new(vec![
@@ -136,7 +140,10 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let approved = db.catalog_mut().table_mut("approved").expect("approved exists");
+        let approved = db
+            .catalog_mut()
+            .table_mut("approved")
+            .expect("approved exists");
         for _ in 0..n_approved {
             let uid = rng.random_range(0..n_users) as i64;
             let mid = rng.random_range(0..scale.max(1)) as i64;
@@ -198,8 +205,7 @@ pub fn star(scale: usize, seed: u64) -> PermDb {
 }
 
 /// The star-schema report query (used by the lazy-vs-eager study).
-pub const STAR_REPORT: &str =
-    "SELECT p.category, r.name, sum(s.amount) \
+pub const STAR_REPORT: &str = "SELECT p.category, r.name, sum(s.amount) \
      FROM sales s JOIN products p ON s.pid = p.pid \
                   JOIN regions r ON s.rid = r.rid \
      GROUP BY p.category, r.name";

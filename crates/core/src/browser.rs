@@ -47,7 +47,10 @@ impl BrowserPanels {
         format!(
             "[1] query\n{}\n\n[2] rewritten SQL\n{}\n\n[3] original algebra tree\n{}\n\
              [4] rewritten algebra tree\n{}\n[5] results\n{}",
-            self.input, self.rewritten_sql, self.original_tree, self.rewritten_tree,
+            self.input,
+            self.rewritten_sql,
+            self.original_tree,
+            self.rewritten_tree,
             self.results.to_table()
         )
     }
@@ -68,14 +71,14 @@ mod tests {
         //  2 |               2 |               2
         let mut db = forum_db();
         add_figure4_tables(&mut db);
-        let p =
-            BrowserPanels::capture(&mut db, "SELECT PROVENANCE s.i FROM s JOIN r ON s.i = r.i")
-                .unwrap();
+        let p = BrowserPanels::capture(&mut db, "SELECT PROVENANCE s.i FROM s JOIN r ON s.i = r.i")
+            .unwrap();
         assert_eq!(
             p.results.columns,
             vec!["i", "prov_public_s_i", "prov_public_r_i"]
         );
-        let mut rows: Vec<Vec<Value>> = p.results.rows.iter().map(|t| t.values().to_vec()).collect();
+        let mut rows: Vec<Vec<Value>> =
+            p.results.rows.iter().map(|t| t.values().to_vec()).collect();
         rows.sort_by(|a, b| a[0].sort_cmp(&b[0]));
         assert_eq!(
             rows,
@@ -90,7 +93,11 @@ mod tests {
     fn all_five_panels_are_populated() {
         let mut db = forum_db();
         let p = BrowserPanels::capture(&mut db, "SELECT PROVENANCE mid FROM messages").unwrap();
-        assert!(p.rewritten_sql.contains("prov_public_messages_mid"), "{}", p.rewritten_sql);
+        assert!(
+            p.rewritten_sql.contains("prov_public_messages_mid"),
+            "{}",
+            p.rewritten_sql
+        );
         assert!(p.original_tree.contains("Scan(messages)"));
         assert!(p.rewritten_tree.contains("Project"));
         assert_eq!(p.results.row_count(), 2);

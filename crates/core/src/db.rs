@@ -103,7 +103,8 @@ impl PermDb {
                 )))
             }
             BoundStatement::CreateTable { name, schema } => {
-                self.catalog.create_table(Table::new(name.clone(), schema))?;
+                self.catalog
+                    .create_table(Table::new(name.clone(), schema))?;
                 Ok(StatementResult::TableCreated { name, rows: 0 })
             }
             BoundStatement::CreateTableAs {
@@ -214,8 +215,11 @@ mod tests {
     #[test]
     fn create_insert_select_roundtrip() {
         let mut db = PermDb::new();
-        db.execute("CREATE TABLE t (x int NOT NULL, y text)").unwrap();
-        let r = db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        db.execute("CREATE TABLE t (x int NOT NULL, y text)")
+            .unwrap();
+        let r = db
+            .execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
         assert_eq!(r, StatementResult::Inserted(2));
         let rows = db.query("SELECT x, y FROM t ORDER BY x DESC").unwrap();
         assert_eq!(rows.row(0), &[Value::Int(2), Value::text("b")]);
@@ -290,15 +294,10 @@ mod tests {
     fn run_script_executes_in_order() {
         let mut db = PermDb::new();
         let results = db
-            .run_script(
-                "CREATE TABLE t (x int); INSERT INTO t VALUES (5); SELECT x FROM t;",
-            )
+            .run_script("CREATE TABLE t (x int); INSERT INTO t VALUES (5); SELECT x FROM t;")
             .unwrap();
         assert_eq!(results.len(), 3);
-        assert_eq!(
-            results[2].clone().expect_rows().row(0),
-            &[Value::Int(5)]
-        );
+        assert_eq!(results[2].clone().expect_rows().row(0), &[Value::Int(5)]);
     }
 
     #[test]

@@ -19,7 +19,11 @@ use crate::result::StatementResult;
 ///
 /// Equivalent to executing `CREATE TABLE <name> AS SELECT PROVENANCE …`,
 /// returning the number of materialized rows.
-pub fn materialize_provenance(db: &mut PermDb, name: &str, provenance_query: &str) -> Result<usize> {
+pub fn materialize_provenance(
+    db: &mut PermDb,
+    name: &str,
+    provenance_query: &str,
+) -> Result<usize> {
     let sql = format!("CREATE TABLE {name} AS {provenance_query}");
     match db.execute(&sql)? {
         StatementResult::TableCreated { rows, .. } => Ok(rows),
@@ -66,7 +70,9 @@ mod tests {
         // Eager reuse: read the stored provenance. The recorded provenance
         // columns are propagated untouched — no prov_public_msg_prov_*
         // duplication.
-        let eager = db.query("SELECT PROVENANCE mid, text FROM msg_prov").unwrap();
+        let eager = db
+            .query("SELECT PROVENANCE mid, text FROM msg_prov")
+            .unwrap();
         assert_eq!(eager.columns, lazy.columns);
         let sort = |r: &crate::result::QueryResult| {
             let mut v: Vec<_> = r.rows.clone();
@@ -83,7 +89,8 @@ mod tests {
         // storing it).
         let mut db = forum_db();
         materialize_provenance(&mut db, "p", "SELECT PROVENANCE mid FROM messages").unwrap();
-        db.execute("INSERT INTO messages VALUES (9, 'new', 1)").unwrap();
+        db.execute("INSERT INTO messages VALUES (9, 'new', 1)")
+            .unwrap();
         let stored = db.query("SELECT * FROM p").unwrap();
         assert_eq!(stored.row_count(), 2, "snapshot unchanged");
         let lazy = db.query("SELECT PROVENANCE mid FROM messages").unwrap();

@@ -33,8 +33,7 @@ pub const SEC24_PROVENANCE_AGG: &str =
 /// The paper's §2.4 "query the provenance" listing (adapted only in that
 /// the provenance attribute is written with its full generated name —
 /// the paper abbreviates it as `p_origin`).
-pub const SEC24_QUERY_PROVENANCE: &str =
-    "SELECT text, prov_public_imports_origin FROM \
+pub const SEC24_QUERY_PROVENANCE: &str = "SELECT text, prov_public_imports_origin FROM \
      (SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mId = a.mId \
       GROUP BY v1.mId) AS prov \
      WHERE count > 5 AND prov_public_imports_origin = 'superForum'";
@@ -42,8 +41,7 @@ pub const SEC24_QUERY_PROVENANCE: &str =
 /// The paper's §2.4 BASERELATION listing. (`v1` has columns `mid, text`;
 /// the paper's `WHERE count > 3` refers to a hypothetical aggregated view —
 /// we keep the exact structure with v1's real columns.)
-pub const SEC24_BASERELATION: &str =
-    "SELECT PROVENANCE text FROM v1 BASERELATION WHERE mid > 3";
+pub const SEC24_BASERELATION: &str = "SELECT PROVENANCE text FROM v1 BASERELATION WHERE mid > 3";
 
 /// Build the Figure 1 database: schema, rows and the view v1, exactly as
 /// printed in the paper.
@@ -95,8 +93,26 @@ pub fn figure2_expected() -> Vec<Vec<Value>> {
             n(),
             n(),
         ],
-        vec![i(2), t("hello ..."), n(), n(), n(), i(2), t("hello ..."), t("superForum")],
-        vec![i(3), t("I don't ..."), n(), n(), n(), i(3), t("I don't ..."), t("HiBoard")],
+        vec![
+            i(2),
+            t("hello ..."),
+            n(),
+            n(),
+            n(),
+            i(2),
+            t("hello ..."),
+            t("superForum"),
+        ],
+        vec![
+            i(3),
+            t("I don't ..."),
+            n(),
+            n(),
+            n(),
+            i(3),
+            t("I don't ..."),
+            t("HiBoard"),
+        ],
         vec![
             i(4),
             t("hi there ..."),
@@ -127,11 +143,7 @@ pub fn figure2_columns() -> Vec<&'static str> {
 
 /// Sort rows by the first column (mId) for stable golden comparisons.
 pub fn sorted_by_first(result: &QueryResult) -> Vec<Vec<Value>> {
-    let mut rows: Vec<Vec<Value>> = result
-        .rows
-        .iter()
-        .map(|t| t.values().to_vec())
-        .collect();
+    let mut rows: Vec<Vec<Value>> = result.rows.iter().map(|t| t.values().to_vec()).collect();
     rows.sort_by(|a, b| a[0].sort_cmp(&b[0]));
     rows
 }

@@ -48,7 +48,10 @@ mod tests {
     #[test]
     fn defaults_are_perms_defaults() {
         let o = SessionOptions::default();
-        assert_eq!(o.rewrite.default_semantics, ContributionSemantics::Influence);
+        assert_eq!(
+            o.rewrite.default_semantics,
+            ContributionSemantics::Influence
+        );
         assert_eq!(o.rewrite.union_strategy, StrategyMode::Heuristic);
     }
 }

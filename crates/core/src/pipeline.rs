@@ -9,9 +9,7 @@
 
 use perm_algebra::{deparse, plan_tree, plan_tree_with_schema, LogicalPlan};
 use perm_exec::optimize;
-use perm_sql::{
-    parse_statement, Query, QueryBody, Select, Statement, TableRef,
-};
+use perm_sql::{parse_statement, Query, QueryBody, Select, Statement, TableRef};
 use perm_types::{PermError, Result};
 
 use crate::db::PermDb;
@@ -118,7 +116,10 @@ impl StageTrace {
     pub fn render(&self) -> String {
         let mut out = format!("input: {}\n\n", self.sql);
         for s in self.stages() {
-            out.push_str(&format!("== {} — {} ==\n{}\n", s.name, s.description, s.artifact));
+            out.push_str(&format!(
+                "== {} — {} ==\n{}\n",
+                s.name, s.description, s.artifact
+            ));
         }
         out
     }

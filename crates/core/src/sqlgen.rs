@@ -341,7 +341,10 @@ mod tests {
             Statement::Query(q) => q,
             _ => panic!("query expected"),
         };
-        assert_eq!(q1, q2, "round-trip changed the AST for {sql:?}:\n{rendered}");
+        assert_eq!(
+            q1, q2,
+            "round-trip changed the AST for {sql:?}:\n{rendered}"
+        );
     }
 
     #[test]

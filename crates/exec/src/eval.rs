@@ -173,10 +173,7 @@ fn eval_binary(
 }
 
 /// SQL `IN` three-valued semantics over a list of candidate values.
-fn in_semantics<'v>(
-    needle: &Value,
-    candidates: impl Iterator<Item = &'v Value>,
-) -> Result<Value> {
+fn in_semantics<'v>(needle: &Value, candidates: impl Iterator<Item = &'v Value>) -> Result<Value> {
     if needle.is_null() {
         return Ok(Value::Null);
     }
@@ -270,14 +267,20 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
                 .map(Value::Int)
                 .ok_or_else(|| PermError::Value("integer overflow in abs".into())),
             Value::Float(f) => Ok(Value::Float(f.abs())),
-            v => Err(PermError::Value(format!("abs() requires a number, got {v}"))),
+            v => Err(PermError::Value(format!(
+                "abs() requires a number, got {v}"
+            ))),
         },
         Round => {
             let x = args[0].as_f64()?;
             if args.len() == 2 {
                 let digits = match &args[1] {
                     Value::Int(d) => *d,
-                    v => return Err(PermError::Value(format!("round() digits must be int, got {v}"))),
+                    v => {
+                        return Err(PermError::Value(format!(
+                            "round() digits must be int, got {v}"
+                        )))
+                    }
                 };
                 let factor = 10f64.powi(digits as i32);
                 Ok(Value::Float((x * factor).round() / factor))
@@ -317,7 +320,11 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
             };
             let start = match &args[1] {
                 Value::Int(i) => *i,
-                v => return Err(PermError::Value(format!("substr() start must be int, got {v}"))),
+                v => {
+                    return Err(PermError::Value(format!(
+                        "substr() start must be int, got {v}"
+                    )))
+                }
             };
             let chars: Vec<char> = s.chars().collect();
             // SQL substr is 1-based; clamp like PostgreSQL.
@@ -325,9 +332,7 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
             let len = if args.len() == 3 {
                 match &args[2] {
                     Value::Int(l) if *l >= 0 => *l as usize,
-                    Value::Int(_) => {
-                        return Err(PermError::Value("negative substr length".into()))
-                    }
+                    Value::Int(_) => return Err(PermError::Value("negative substr length".into())),
                     v => {
                         return Err(PermError::Value(format!(
                             "substr() length must be int, got {v}"
@@ -343,7 +348,11 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
         Replace => {
             let (s, from, to) = match (&args[0], &args[1], &args[2]) {
                 (Value::Text(s), Value::Text(f), Value::Text(t)) => (s, f, t),
-                _ => return Err(PermError::Value("replace() requires three text arguments".into())),
+                _ => {
+                    return Err(PermError::Value(
+                        "replace() requires three text arguments".into(),
+                    ))
+                }
             };
             Ok(Value::Text(s.replace(from.as_str(), to)))
         }

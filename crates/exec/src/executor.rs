@@ -226,7 +226,12 @@ impl<'a> Executor<'a> {
         let t = self.catalog.table(table)?;
         let conjuncts = predicate.split_conjunction();
         for (i, c) in conjuncts.iter().enumerate() {
-            let ScalarExpr::Binary { op: BinOp::Eq, left, right } = c else {
+            let ScalarExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = c
+            else {
                 continue;
             };
             let (col, key) = match (left.as_ref(), right.as_ref()) {
@@ -285,7 +290,9 @@ impl<'a> Executor<'a> {
             }
         }
         let entry = Rc::new((set, has_null));
-        self.in_set_cache.borrow_mut().insert(key, Rc::clone(&entry));
+        self.in_set_cache
+            .borrow_mut()
+            .insert(key, Rc::clone(&entry));
         Ok(entry)
     }
 

@@ -165,7 +165,13 @@ impl GroupState {
             states: calls.iter().map(AggState::new).collect(),
             distinct_seen: calls
                 .iter()
-                .map(|c| if c.distinct { Some(HashSet::new()) } else { None })
+                .map(|c| {
+                    if c.distinct {
+                        Some(HashSet::new())
+                    } else {
+                        None
+                    }
+                })
                 .collect(),
         }
     }
@@ -196,7 +202,9 @@ pub fn run_aggregate(
             Some(s) => s,
             None => {
                 order.push(key.clone());
-                groups.entry(key.clone()).or_insert_with(|| GroupState::new(aggs))
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| GroupState::new(aggs))
             }
         };
         for (i, call) in aggs.iter().enumerate() {

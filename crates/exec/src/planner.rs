@@ -51,7 +51,11 @@ fn rewrite_bottom_up(plan: LogicalPlan) -> LogicalPlan {
 fn map_children(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
     let rebuilt = match plan {
         LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => plan,
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
             input: Box::new(map_children(*input, f)),
             exprs,
             schema,
@@ -160,12 +164,10 @@ fn push_filter(plan: LogicalPlan) -> LogicalPlan {
             exprs,
             schema,
         } => {
-            let substitutable = predicate.referenced_columns().iter().all(|&i| {
-                matches!(
-                    exprs[i],
-                    ScalarExpr::Column(_) | ScalarExpr::Literal(_)
-                )
-            });
+            let substitutable = predicate
+                .referenced_columns()
+                .iter()
+                .all(|&i| matches!(exprs[i], ScalarExpr::Column(_) | ScalarExpr::Literal(_)));
             if substitutable {
                 let pushed = predicate.transform(&|e| match e {
                     ScalarExpr::Column(i) => exprs[i].clone(),
@@ -383,7 +385,10 @@ mod tests {
 
     #[test]
     fn adjacent_filters_merge() {
-        let p = LogicalPlan::filter(LogicalPlan::filter(scan("t", 2), col_gt(0, 1)), col_gt(1, 2));
+        let p = LogicalPlan::filter(
+            LogicalPlan::filter(scan("t", 2), col_gt(0, 1)),
+            col_gt(1, 2),
+        );
         let o = optimize(p);
         let tree = plan_tree(&o);
         assert_eq!(tree.matches("Filter").count(), 1, "{tree}");
@@ -402,7 +407,9 @@ mod tests {
         // Both filters below the join now.
         let join_pos = tree.find("CrossJoin").unwrap();
         for f in ["(#0 > 1)", "(#0 > 5)"] {
-            let fp = tree.find(f).unwrap_or_else(|| panic!("{f} missing:\n{tree}"));
+            let fp = tree
+                .find(f)
+                .unwrap_or_else(|| panic!("{f} missing:\n{tree}"));
             assert!(fp > join_pos, "{tree}");
         }
     }
@@ -431,7 +438,10 @@ mod tests {
         let tree = plan_tree(&o);
         let filter_pos = tree.find("Filter").expect("filter kept");
         let join_pos = tree.find("LeftJoin").unwrap();
-        assert!(filter_pos < join_pos, "outer-join filters must not move:\n{tree}");
+        assert!(
+            filter_pos < join_pos,
+            "outer-join filters must not move:\n{tree}"
+        );
     }
 
     #[test]

@@ -87,14 +87,13 @@ fn forum_catalog() -> Catalog {
     cat.create_table(approved).unwrap();
 
     // q2: CREATE VIEW v1 AS q1.
-    let q1 = match parse_statement(
-        "SELECT mid, text FROM messages UNION SELECT mid, text FROM imports",
-    )
-    .unwrap()
-    {
-        perm_sql::Statement::Query(q) => q,
-        _ => unreachable!(),
-    };
+    let q1 =
+        match parse_statement("SELECT mid, text FROM messages UNION SELECT mid, text FROM imports")
+            .unwrap()
+        {
+            perm_sql::Statement::Query(q) => q,
+            _ => unreachable!(),
+        };
     cat.create_view("v1", q1).unwrap();
 
     cat
@@ -143,10 +142,7 @@ fn filter_and_project() {
     let rows = run("SELECT name FROM users WHERE uid >= 2 ORDER BY name");
     assert_eq!(
         rows,
-        vec![
-            Tuple::new(vec![t("Gert")]),
-            Tuple::new(vec![t("Gertrud")]),
-        ]
+        vec![Tuple::new(vec![t("Gert")]), Tuple::new(vec![t("Gertrud")]),]
     );
 }
 
@@ -206,9 +202,8 @@ fn run_stmt(cat: &mut Catalog, sql: &str) {
 
 #[test]
 fn case_expressions_execute() {
-    let rows = run(
-        "SELECT name, CASE WHEN uid < 2 THEN 'low' ELSE 'high' END FROM users ORDER BY uid",
-    );
+    let rows =
+        run("SELECT name, CASE WHEN uid < 2 THEN 'low' ELSE 'high' END FROM users ORDER BY uid");
     assert_eq!(rows[0], Tuple::new(vec![t("Bert"), t("low")]));
     assert_eq!(rows[2], Tuple::new(vec![t("Gertrud"), t("high")]));
 }
@@ -270,9 +265,7 @@ fn right_join_works_via_normalization() {
 
 #[test]
 fn full_join_pads_both_sides() {
-    let rows = run(
-        "SELECT m.mid, i.mid FROM messages m FULL JOIN imports i ON m.mid = i.mid",
-    );
+    let rows = run("SELECT m.mid, i.mid FROM messages m FULL JOIN imports i ON m.mid = i.mid");
     // No overlap between {1,4} and {2,3}: 4 rows, all half-padded.
     assert_eq!(rows.len(), 4);
     assert!(rows
@@ -282,9 +275,7 @@ fn full_join_pads_both_sides() {
 
 #[test]
 fn non_equi_join_uses_nested_loop() {
-    let rows = run(
-        "SELECT u1.uid, u2.uid FROM users u1 JOIN users u2 ON u1.uid < u2.uid",
-    );
+    let rows = run("SELECT u1.uid, u2.uid FROM users u1 JOIN users u2 ON u1.uid < u2.uid");
     assert_eq!(rows.len(), 3); // (1,2) (1,3) (2,3)
 }
 
@@ -298,7 +289,11 @@ fn null_keys_do_not_match_under_plain_equality() {
     let rows = run_on(&cat, "SELECT * FROM l JOIN r ON l.x = r.x").unwrap();
     assert_eq!(rows.len(), 1, "only the 1=1 pair matches");
     // NULL-safe comparison *does* match the NULL pair.
-    let rows = run_on(&cat, "SELECT * FROM l JOIN r ON l.x IS NOT DISTINCT FROM r.x").unwrap();
+    let rows = run_on(
+        &cat,
+        "SELECT * FROM l JOIN r ON l.x IS NOT DISTINCT FROM r.x",
+    )
+    .unwrap();
     assert_eq!(rows.len(), 2);
 }
 
@@ -330,7 +325,8 @@ fn q3_of_the_paper() {
 
 #[test]
 fn aggregate_functions() {
-    let rows = run("SELECT count(*), count(uid), sum(uid), min(uid), max(uid), avg(uid) FROM approved");
+    let rows =
+        run("SELECT count(*), count(uid), sum(uid), min(uid), max(uid), avg(uid) FROM approved");
     assert_eq!(
         rows,
         vec![Tuple::new(vec![
@@ -389,9 +385,7 @@ fn group_by_treats_nulls_as_one_group() {
 
 #[test]
 fn having_filters_groups() {
-    let rows = run(
-        "SELECT mid, count(*) FROM approved GROUP BY mid HAVING count(*) > 1",
-    );
+    let rows = run("SELECT mid, count(*) FROM approved GROUP BY mid HAVING count(*) > 1");
     assert_eq!(rows, vec![Tuple::new(vec![i(4), i(3)])]);
 }
 
@@ -432,7 +426,14 @@ fn union_dedups_but_union_all_does_not() {
 #[test]
 fn intersect_and_except() {
     let inter = run("SELECT uid FROM users INTERSECT SELECT uid FROM approved");
-    assert_eq!(sorted(inter), vec![Tuple::new(vec![i(1)]), Tuple::new(vec![i(2)]), Tuple::new(vec![i(3)])]);
+    assert_eq!(
+        sorted(inter),
+        vec![
+            Tuple::new(vec![i(1)]),
+            Tuple::new(vec![i(2)]),
+            Tuple::new(vec![i(3)])
+        ]
+    );
     let exc = run("SELECT mid FROM messages EXCEPT SELECT mid FROM approved");
     assert_eq!(exc, vec![Tuple::new(vec![i(1)])]);
 }
@@ -447,7 +448,10 @@ fn bag_semantics_of_intersect_except_all() {
     let inter = run_on(&cat, "SELECT x FROM b1 INTERSECT ALL SELECT x FROM b2").unwrap();
     assert_eq!(inter.len(), 2, "min(3,2) copies of 1");
     let exc = run_on(&cat, "SELECT x FROM b1 EXCEPT ALL SELECT x FROM b2").unwrap();
-    assert_eq!(sorted(exc), vec![Tuple::new(vec![i(1)]), Tuple::new(vec![i(2)])]);
+    assert_eq!(
+        sorted(exc),
+        vec![Tuple::new(vec![i(1)]), Tuple::new(vec![i(2)])]
+    );
 }
 
 #[test]
@@ -469,9 +473,8 @@ fn order_by_desc_with_limit_offset() {
 
 #[test]
 fn nulls_sort_last() {
-    let rows = run(
-        "SELECT a.uid FROM messages m LEFT JOIN approved a ON m.mid = a.mid ORDER BY a.uid",
-    );
+    let rows =
+        run("SELECT a.uid FROM messages m LEFT JOIN approved a ON m.mid = a.mid ORDER BY a.uid");
     assert!(rows.last().unwrap().get(0).is_null());
 }
 
@@ -487,9 +490,8 @@ fn select_distinct() {
 
 #[test]
 fn derived_table_executes() {
-    let rows = run(
-        "SELECT s.c FROM (SELECT count(*) AS c FROM approved GROUP BY mid) s ORDER BY s.c",
-    );
+    let rows =
+        run("SELECT s.c FROM (SELECT count(*) AS c FROM approved GROUP BY mid) s ORDER BY s.c");
     assert_eq!(rows, vec![Tuple::new(vec![i(1)]), Tuple::new(vec![i(3)])]);
 }
 
@@ -521,19 +523,15 @@ fn not_in_with_nulls_is_three_valued() {
 
 #[test]
 fn correlated_exists() {
-    let rows = run(
-        "SELECT name FROM users u WHERE EXISTS \
-         (SELECT 1 FROM approved a WHERE a.uid = u.uid) ORDER BY name",
-    );
+    let rows = run("SELECT name FROM users u WHERE EXISTS \
+         (SELECT 1 FROM approved a WHERE a.uid = u.uid) ORDER BY name");
     assert_eq!(rows.len(), 3);
 }
 
 #[test]
 fn correlated_not_exists() {
-    let rows = run(
-        "SELECT m.mid FROM messages m WHERE NOT EXISTS \
-         (SELECT 1 FROM approved a WHERE a.mid = m.mid)",
-    );
+    let rows = run("SELECT m.mid FROM messages m WHERE NOT EXISTS \
+         (SELECT 1 FROM approved a WHERE a.mid = m.mid)");
     assert_eq!(rows, vec![Tuple::new(vec![i(1)])]);
 }
 
@@ -558,10 +556,7 @@ fn correlated_scalar_subquery() {
     );
     assert_eq!(
         rows,
-        vec![
-            Tuple::new(vec![i(1), i(0)]),
-            Tuple::new(vec![i(4), i(3)]),
-        ]
+        vec![Tuple::new(vec![i(1), i(0)]), Tuple::new(vec![i(4), i(3)]),]
     );
 }
 
@@ -583,7 +578,10 @@ fn index_with_residual_predicate() {
     let mut cat = forum_catalog();
     cat.table_mut("approved").unwrap().create_index(1).unwrap();
     let rows = run_on(&cat, "SELECT uid FROM approved WHERE mid = 4 AND uid > 1").unwrap();
-    assert_eq!(sorted(rows), vec![Tuple::new(vec![i(2)]), Tuple::new(vec![i(3)])]);
+    assert_eq!(
+        sorted(rows),
+        vec![Tuple::new(vec![i(2)]), Tuple::new(vec![i(3)])]
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -715,11 +713,7 @@ mod semi_anti {
                 let plan = join_on_uid(&cat, kind, null_safe);
                 let hash = Executor::new(&cat).run(&plan).unwrap();
                 let nlj = Executor::new_nested_loop_only(&cat).run(&plan).unwrap();
-                assert_eq!(
-                    sorted(hash),
-                    sorted(nlj),
-                    "{kind:?} null_safe={null_safe}"
-                );
+                assert_eq!(sorted(hash), sorted(nlj), "{kind:?} null_safe={null_safe}");
             }
         }
     }

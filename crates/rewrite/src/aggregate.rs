@@ -64,9 +64,7 @@ pub fn rewrite_aggregate(
 
     let join = LogicalPlan::join(original.clone(), rt.plan, JoinType::Left, Some(cond))?;
     // Join schema: [aggregate output 0..n_out][T+ n_out..n_out+n_in+p].
-    let positions: Vec<usize> = (0..n_out)
-        .chain(n_out + n_in..n_out + n_in + p)
-        .collect();
+    let positions: Vec<usize> = (0..n_out).chain(n_out + n_in..n_out + n_in + p).collect();
     let plan = LogicalPlan::project_positions(join, &positions);
     copy_sets.resize(n_out, BTreeSet::new());
     debug_assert_eq!(copy_sets.len(), n_out);

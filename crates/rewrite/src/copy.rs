@@ -54,7 +54,10 @@ pub fn apply_copy_mode(rw: Rewritten, mode: CopyMode) -> Rewritten {
                         .all(|(k, _)| copied.contains(&k))
                 })
                 .collect();
-            rw.attrs.iter().map(|a| complete.contains(&a.group)).collect()
+            rw.attrs
+                .iter()
+                .map(|a| complete.contains(&a.group))
+                .collect()
         }
     };
 

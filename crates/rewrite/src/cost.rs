@@ -43,7 +43,11 @@ pub fn estimate_rows(plan: &LogicalPlan, est: &dyn CardinalityEstimator) -> f64 
         | LogicalPlan::Boundary { input, .. } => estimate_rows(input, est),
         LogicalPlan::Filter { input, .. } => estimate_rows(input, est) * FILTER_SELECTIVITY,
         LogicalPlan::Join {
-            left, right, kind, condition, ..
+            left,
+            right,
+            kind,
+            condition,
+            ..
         } => {
             let l = estimate_rows(left, est);
             let r = estimate_rows(right, est);
@@ -55,7 +59,9 @@ pub fn estimate_rows(plan: &LogicalPlan, est: &dyn CardinalityEstimator) -> f64 
                 _ => (l * r * JOIN_SELECTIVITY).max(1.0),
             }
         }
-        LogicalPlan::Aggregate { input, group_by, .. } => {
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
             let n = estimate_rows(input, est);
             if group_by.is_empty() {
                 1.0
@@ -65,7 +71,9 @@ pub fn estimate_rows(plan: &LogicalPlan, est: &dyn CardinalityEstimator) -> f64 
             }
         }
         LogicalPlan::Distinct { input } => estimate_rows(input, est) * 0.8,
-        LogicalPlan::SetOp { op, left, right, .. } => {
+        LogicalPlan::SetOp {
+            op, left, right, ..
+        } => {
             let l = estimate_rows(left, est);
             let r = estimate_rows(right, est);
             match op {
@@ -130,12 +138,7 @@ mod tests {
     }
 
     fn fixed(pairs: &[(&str, f64)]) -> FixedCardinalities {
-        FixedCardinalities(
-            pairs
-                .iter()
-                .map(|(k, v)| (k.to_string(), *v))
-                .collect(),
-        )
+        FixedCardinalities(pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect())
     }
 
     #[test]

@@ -43,7 +43,9 @@ use perm_algebra::plan::LogicalPlan;
 use perm_types::Result;
 
 pub use cost::{CardinalityEstimator, FixedCardinalities, UnknownCardinality};
-pub use options::{ContributionSemantics, CopyMode, RewriteOptions, Semantics, StrategyMode, UnionStrategy};
+pub use options::{
+    ContributionSemantics, CopyMode, RewriteOptions, Semantics, StrategyMode, UnionStrategy,
+};
 pub use provattr::{is_provenance_name, provenance_name, ProvAttrInfo};
 pub use rules::{Ctx, Rewritten};
 

@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn for_attribute_builds_nullable_prov_column() {
-        let src = Column::new("mid", DataType::Int).not_null().with_qualifier("m");
+        let src = Column::new("mid", DataType::Int)
+            .not_null()
+            .with_qualifier("m");
         let p = ProvAttrInfo::for_attribute("messages", &src, 0);
         assert_eq!(p.column.name, "prov_public_messages_mid");
         assert!(p.column.nullable);

@@ -78,11 +78,7 @@ impl Rewritten {
     pub fn normalized(self) -> Rewritten {
         let n = self.n_orig();
         let already = self.orig.iter().enumerate().all(|(i, &p)| i == p)
-            && self
-                .prov
-                .iter()
-                .enumerate()
-                .all(|(i, &p)| p == n + i)
+            && self.prov.iter().enumerate().all(|(i, &p)| p == n + i)
             && self.plan.arity() == n + self.prov.len();
         if already {
             return self;
@@ -143,9 +139,11 @@ impl<'a> Ctx<'a> {
             } => Ok(self.rewrite_scan(table, schema, provenance_cols)),
             LogicalPlan::Values { .. } => Ok(Rewritten::identity(plan.clone())),
             LogicalPlan::Boundary { input, name, kind } => self.rewrite_boundary(input, name, kind),
-            LogicalPlan::Project { input, exprs, schema } => {
-                self.rewrite_project(input, exprs, schema)
-            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => self.rewrite_project(input, exprs, schema),
             LogicalPlan::Filter { input, predicate } => self.rewrite_filter(input, predicate),
             LogicalPlan::Join {
                 left,
@@ -232,9 +230,11 @@ impl<'a> Ctx<'a> {
         match kind {
             // Stop the rewrite: the subtree is executed as-is and its
             // output tuples are treated like base tuples.
-            BoundaryKind::BaseRelation => {
-                Ok(duplicate_as_provenance(input.clone(), name, self.next_group()))
-            }
+            BoundaryKind::BaseRelation => Ok(duplicate_as_provenance(
+                input.clone(),
+                name,
+                self.next_group(),
+            )),
             // The listed attributes already are provenance; propagate them.
             BoundaryKind::External { attrs } => {
                 let schema = input.schema();
@@ -495,10 +495,7 @@ pub fn expr_copy_set(e: &ScalarExpr, input_sets: &[BTreeSet<usize>]) -> BTreeSet
     }
 }
 
-fn check_no_sublink<'e>(
-    exprs: impl Iterator<Item = &'e ScalarExpr>,
-    ctx: &str,
-) -> Result<()> {
+fn check_no_sublink<'e>(exprs: impl Iterator<Item = &'e ScalarExpr>, ctx: &str) -> Result<()> {
     for e in exprs {
         if e.contains_subquery() {
             return Err(PermError::Rewrite(format!(

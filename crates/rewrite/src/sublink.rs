@@ -93,9 +93,7 @@ pub fn rewrite_filter_with_sublinks(
                 let cond = ScalarExpr::eq(operand, ScalarExpr::Column(shift));
                 LogicalPlan::join(acc.plan, sub.plan, JoinType::Inner, Some(cond))?
             }
-            SubqueryKind::Exists => {
-                LogicalPlan::join(acc.plan, sub.plan, JoinType::Cross, None)?
-            }
+            SubqueryKind::Exists => LogicalPlan::join(acc.plan, sub.plan, JoinType::Cross, None)?,
             SubqueryKind::Scalar => unreachable!("rejected by check_supported"),
         };
         let mut attrs = std::mem::take(&mut acc.attrs);

@@ -56,9 +56,10 @@ impl Forum {
             },
         );
         let mut views = HashMap::new();
-        views.insert("v1".into(), query(
-            "SELECT mid, text FROM messages UNION SELECT mid, text FROM imports",
-        ));
+        views.insert(
+            "v1".into(),
+            query("SELECT mid, text FROM messages UNION SELECT mid, text FROM imports"),
+        );
         Forum { tables, views }
     }
 }
@@ -154,9 +155,8 @@ fn filter_passes_through() {
 
 #[test]
 fn join_concatenates_provenance_lists() {
-    let p = rewrite_sql(
-        "SELECT PROVENANCE m.text FROM messages m JOIN approved a ON m.mid = a.mid",
-    );
+    let p =
+        rewrite_sql("SELECT PROVENANCE m.text FROM messages m JOIN approved a ON m.mid = a.mid");
     let names = p.schema().names();
     assert_eq!(
         names,
@@ -173,9 +173,7 @@ fn join_concatenates_provenance_lists() {
 
 #[test]
 fn self_join_repeats_relation_names() {
-    let p = rewrite_sql(
-        "SELECT PROVENANCE a.mid FROM messages a JOIN messages b ON a.mid = b.mid",
-    );
+    let p = rewrite_sql("SELECT PROVENANCE a.mid FROM messages a JOIN messages b ON a.mid = b.mid");
     let names = p.schema().names();
     let count = names
         .iter()
@@ -330,9 +328,7 @@ fn except_under_lineage_joins_whole_right_side() {
 
 #[test]
 fn aggregation_joins_back_on_group_attributes() {
-    let p = rewrite_sql(
-        "SELECT PROVENANCE uid, count(*) FROM approved GROUP BY uid",
-    );
+    let p = rewrite_sql("SELECT PROVENANCE uid, count(*) FROM approved GROUP BY uid");
     let tree = plan_tree(&p);
     assert!(
         tree.contains("LeftJoin on (#0 IS NOT DISTINCT FROM"),
@@ -395,9 +391,7 @@ fn baserelation_stops_the_rewrite_at_the_view() {
 
 #[test]
 fn external_provenance_attrs_propagate_untouched() {
-    let p = rewrite_sql(
-        "SELECT PROVENANCE mid, text FROM imports PROVENANCE (origin)",
-    );
+    let p = rewrite_sql("SELECT PROVENANCE mid, text FROM imports PROVENANCE (origin)");
     // `origin` is the (externally produced) provenance; no duplication.
     assert_eq!(p.schema().names(), vec!["mid", "text", "origin"]);
 }
@@ -509,9 +503,7 @@ fn copy_partial_nulls_non_copied_attributes() {
 fn copy_complete_nulls_whole_relation_when_partial() {
     // Not all of messages' attributes are copied -> under COMPLETE the
     // whole relation instance is NULLed.
-    let p = rewrite_sql(
-        "SELECT PROVENANCE ON CONTRIBUTION (COPY COMPLETE) text FROM messages",
-    );
+    let p = rewrite_sql("SELECT PROVENANCE ON CONTRIBUTION (COPY COMPLETE) text FROM messages");
     match &p {
         LogicalPlan::Project { exprs, .. } => {
             use perm_algebra::expr::ScalarExpr;
@@ -576,7 +568,10 @@ fn provenance_subquery_composes_with_normal_sql() {
           GROUP BY v1.mId) AS prov \
          WHERE count > 5 AND prov_public_imports_origin = 'superForum'",
     );
-    assert_eq!(p.schema().names(), vec!["text", "prov_public_imports_origin"]);
+    assert_eq!(
+        p.schema().names(),
+        vec!["text", "prov_public_imports_origin"]
+    );
 }
 
 #[test]

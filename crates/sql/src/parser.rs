@@ -48,12 +48,59 @@ pub fn parse_expression(sql: &str) -> Result<Expr> {
 /// Words that cannot be used as an *implicit* (un-`AS`ed) alias or swallow
 /// the start of the next clause.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "having", "order", "limit", "offset", "union",
-    "intersect", "except", "on", "join", "inner", "left", "right", "full", "cross", "natural",
-    "as", "and", "or", "not", "in", "is", "like", "between", "case", "when", "then", "else",
-    "end", "exists", "distinct", "all", "null", "true", "false", "cast", "provenance",
-    "baserelation", "asc", "desc", "values", "by", "into", "create", "insert", "drop", "table",
-    "view", "explain", "using",
+    "select",
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "offset",
+    "union",
+    "intersect",
+    "except",
+    "on",
+    "join",
+    "inner",
+    "left",
+    "right",
+    "full",
+    "cross",
+    "natural",
+    "as",
+    "and",
+    "or",
+    "not",
+    "in",
+    "is",
+    "like",
+    "between",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "exists",
+    "distinct",
+    "all",
+    "null",
+    "true",
+    "false",
+    "cast",
+    "provenance",
+    "baserelation",
+    "asc",
+    "desc",
+    "values",
+    "by",
+    "into",
+    "create",
+    "insert",
+    "drop",
+    "table",
+    "view",
+    "explain",
+    "using",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -402,17 +449,17 @@ impl Parser {
 
         // SQL-PLE: SELECT PROVENANCE [ON CONTRIBUTION (semantics)] ...
         let provenance = if self.eat_keyword("provenance") {
-            let semantics = if self.check_keyword("on") && self.check_keyword_ahead(1, "contribution")
-            {
-                self.advance(); // on
-                self.advance(); // contribution
-                self.expect(&TokenKind::LParen)?;
-                let sem = self.parse_contribution_semantics()?;
-                self.expect(&TokenKind::RParen)?;
-                Some(sem)
-            } else {
-                None
-            };
+            let semantics =
+                if self.check_keyword("on") && self.check_keyword_ahead(1, "contribution") {
+                    self.advance(); // on
+                    self.advance(); // contribution
+                    self.expect(&TokenKind::LParen)?;
+                    let sem = self.parse_contribution_semantics()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Some(sem)
+                } else {
+                    None
+                };
             Some(ProvenanceClause { semantics })
         } else {
             None

@@ -34,7 +34,9 @@ fn select_star() {
 
 #[test]
 fn select_columns_with_aliases() {
-    let q = query_of(parse_ok("SELECT mId, text AS body, uId author FROM messages m"));
+    let q = query_of(parse_ok(
+        "SELECT mId, text AS body, uId author FROM messages m",
+    ));
     let s = select_of(&q);
     assert_eq!(s.items.len(), 3);
     match &s.items[1] {
@@ -169,7 +171,9 @@ fn derived_table_requires_alias() {
 
 #[test]
 fn parenthesized_join_tree() {
-    let q = query_of(parse_ok("SELECT * FROM (a JOIN b ON a.x = b.x) JOIN c ON c.y = a.x"));
+    let q = query_of(parse_ok(
+        "SELECT * FROM (a JOIN b ON a.x = b.x) JOIN c ON c.y = a.x",
+    ));
     match &select_of(&q).from[0] {
         TableRef::Join { left, .. } => assert!(matches!(**left, TableRef::Join { .. })),
         other => panic!("unexpected {other:?}"),
@@ -276,7 +280,10 @@ fn contribution_semantics_variants() {
     for (kw, sem) in [
         ("INFLUENCE", ContributionSemantics::Influence),
         ("COPY", ContributionSemantics::Copy(CopyMode::Partial)),
-        ("COPY PARTIAL", ContributionSemantics::Copy(CopyMode::Partial)),
+        (
+            "COPY PARTIAL",
+            ContributionSemantics::Copy(CopyMode::Partial),
+        ),
         (
             "COPY COMPLETE",
             ContributionSemantics::Copy(CopyMode::Complete),
@@ -303,7 +310,9 @@ fn baserelation_modifier() {
     ));
     let s = select_of(&q);
     match &s.from[0] {
-        TableRef::Relation { name, modifiers, .. } => {
+        TableRef::Relation {
+            name, modifiers, ..
+        } => {
             assert_eq!(name, "v1");
             assert!(modifiers.baserelation);
         }
@@ -334,7 +343,9 @@ fn baserelation_on_subquery() {
         "SELECT PROVENANCE * FROM (SELECT mid FROM messages) sub BASERELATION",
     ));
     match &select_of(&q).from[0] {
-        TableRef::Subquery { alias, modifiers, .. } => {
+        TableRef::Subquery {
+            alias, modifiers, ..
+        } => {
             assert_eq!(alias, "sub");
             assert!(modifiers.baserelation);
         }
@@ -392,8 +403,18 @@ fn operator_precedence() {
 fn and_binds_tighter_than_or() {
     let e = parse_expression("a OR b AND c").unwrap();
     match e {
-        Expr::Binary { op: BinaryOp::Or, right, .. } => {
-            assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+        Expr::Binary {
+            op: BinaryOp::Or,
+            right,
+            ..
+        } => {
+            assert!(matches!(
+                *right,
+                Expr::Binary {
+                    op: BinaryOp::And,
+                    ..
+                }
+            ));
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -403,8 +424,17 @@ fn and_binds_tighter_than_or() {
 fn not_has_lower_precedence_than_comparison() {
     let e = parse_expression("NOT x = 1").unwrap();
     match e {
-        Expr::Unary { op: UnaryOp::Not, expr } => {
-            assert!(matches!(*expr, Expr::Binary { op: BinaryOp::Eq, .. }));
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => {
+            assert!(matches!(
+                *expr,
+                Expr::Binary {
+                    op: BinaryOp::Eq,
+                    ..
+                }
+            ));
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -490,7 +520,10 @@ fn in_subquery_and_exists() {
     ));
     // NOT EXISTS arrives via the generic NOT unary.
     match parse_expression("NOT EXISTS (SELECT 1)").unwrap() {
-        Expr::Unary { op: UnaryOp::Not, expr } => {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => {
             assert!(matches!(*expr, Expr::Exists { .. }));
         }
         other => panic!("unexpected {other:?}"),
@@ -508,7 +541,11 @@ fn scalar_subquery() {
 #[test]
 fn case_expressions() {
     match parse_expression("CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END").unwrap() {
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             assert!(operand.is_none());
             assert_eq!(branches.len(), 1);
             assert!(else_branch.is_some());
@@ -516,7 +553,11 @@ fn case_expressions() {
         other => panic!("unexpected {other:?}"),
     }
     match parse_expression("CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END").unwrap() {
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             assert!(operand.is_some());
             assert_eq!(branches.len(), 2);
             assert!(else_branch.is_none());
@@ -583,14 +624,20 @@ fn literals() {
         parse_expression("TRUE").unwrap(),
         Expr::Literal(Value::Bool(true))
     );
-    assert_eq!(parse_expression("NULL").unwrap(), Expr::Literal(Value::Null));
+    assert_eq!(
+        parse_expression("NULL").unwrap(),
+        Expr::Literal(Value::Null)
+    );
 }
 
 #[test]
 fn concat_operator() {
     assert!(matches!(
         parse_expression("a || b").unwrap(),
-        Expr::Binary { op: BinaryOp::Concat, .. }
+        Expr::Binary {
+            op: BinaryOp::Concat,
+            ..
+        }
     ));
 }
 
@@ -640,7 +687,11 @@ fn create_table_as_provenance_is_the_eager_path() {
 #[test]
 fn insert_rows() {
     match parse_ok("INSERT INTO users (uid, name) VALUES (1, 'Bert'), (2, 'Gert')") {
-        Statement::Insert { table, columns, rows } => {
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
             assert_eq!(table, "users");
             assert_eq!(columns.unwrap().len(), 2);
             assert_eq!(rows.len(), 2);
@@ -652,7 +703,11 @@ fn insert_rows() {
 #[test]
 fn drop_table_if_exists() {
     match parse_ok("DROP TABLE IF EXISTS t") {
-        Statement::Drop { kind, name, if_exists } => {
+        Statement::Drop {
+            kind,
+            name,
+            if_exists,
+        } => {
             assert_eq!(kind, ObjectKind::Table);
             assert_eq!(name, "t");
             assert!(if_exists);
@@ -671,10 +726,9 @@ fn explain_statement() {
 
 #[test]
 fn parse_script_with_semicolons() {
-    let stmts = parse_statements(
-        "CREATE TABLE t (x int); INSERT INTO t VALUES (1);; SELECT * FROM t;",
-    )
-    .unwrap();
+    let stmts =
+        parse_statements("CREATE TABLE t (x int); INSERT INTO t VALUES (1);; SELECT * FROM t;")
+            .unwrap();
     assert_eq!(stmts.len(), 3);
 }
 

@@ -244,7 +244,8 @@ mod tests {
     #[test]
     fn insert_allows_null_in_nullable_column() {
         let mut t = users();
-        t.insert(Tuple::new(vec![Value::Int(1), Value::Null])).unwrap();
+        t.insert(Tuple::new(vec![Value::Int(1), Value::Null]))
+            .unwrap();
         assert_eq!(t.row_count(), 1);
     }
 
@@ -297,7 +298,8 @@ mod tests {
     #[test]
     fn index_built_over_existing_rows() {
         let mut t = users();
-        t.insert(Tuple::new(vec![Value::Int(7), Value::Null])).unwrap();
+        t.insert(Tuple::new(vec![Value::Int(7), Value::Null]))
+            .unwrap();
         t.create_index(0).unwrap();
         assert_eq!(t.index_lookup(0, &Value::Int(7)).unwrap(), &[0]);
     }
@@ -311,7 +313,8 @@ mod tests {
     fn truncate_clears_rows_and_indexes() {
         let mut t = users();
         t.create_index(0).unwrap();
-        t.insert(Tuple::new(vec![Value::Int(1), Value::Null])).unwrap();
+        t.insert(Tuple::new(vec![Value::Int(1), Value::Null]))
+            .unwrap();
         t.truncate();
         assert!(t.is_empty());
         assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap(), &[] as &[usize]);

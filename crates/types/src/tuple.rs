@@ -101,7 +101,10 @@ mod tests {
         let b = Tuple::new(vec![Value::Bool(true)]);
         let c = a.concat(&b);
         assert_eq!(c.len(), 3);
-        assert_eq!(c.project(&[2, 0]).values(), &[Value::Bool(true), Value::Int(1)]);
+        assert_eq!(
+            c.project(&[2, 0]).values(),
+            &[Value::Bool(true), Value::Int(1)]
+        );
     }
 
     #[test]

@@ -86,7 +86,12 @@ mod tests {
 
     #[test]
     fn unknown_unifies_with_everything() {
-        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Text] {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+        ] {
             assert_eq!(DataType::Unknown.unify(t).unwrap(), t);
             assert_eq!(t.unify(DataType::Unknown).unwrap(), t);
             assert!(t.accepts(DataType::Unknown));
@@ -120,7 +125,12 @@ mod tests {
 
     #[test]
     fn display_roundtrips_through_parse() {
-        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Text] {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+        ] {
             assert_eq!(DataType::parse(&t.to_string()).unwrap(), t);
         }
     }

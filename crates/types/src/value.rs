@@ -136,9 +136,9 @@ impl Value {
             (_, Null) => Ordering::Less,
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
-            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or_else(|| {
-                Self::float_key(*a).cmp(&Self::float_key(*b))
-            }),
+            (Float(a), Float(b)) => a
+                .partial_cmp(b)
+                .unwrap_or_else(|| Self::float_key(*a).cmp(&Self::float_key(*b))),
             (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Less),
             (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Greater),
             (Text(a), Text(b)) => a.cmp(b),

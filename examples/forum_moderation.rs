@@ -77,6 +77,9 @@ fn main() -> Result<()> {
          WHERE p.prov_public_imports_origin = 'spamHub'
          ORDER BY 1",
     )?;
-    println!("ban list (approved spamHub content):\n{}", ban_list.to_table());
+    println!(
+        "ban list (approved spamHub content):\n{}",
+        ban_list.to_table()
+    );
     Ok(())
 }

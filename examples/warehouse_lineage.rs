@@ -46,9 +46,7 @@ fn main() -> Result<()> {
     )?;
     println!("materialized report with provenance: {rows} rows\n");
 
-    let report = db.query(
-        "SELECT DISTINCT category, name, sum FROM report ORDER BY sum DESC",
-    )?;
+    let report = db.query("SELECT DISTINCT category, name, sum FROM report ORDER BY sum DESC")?;
     println!("the report itself:\n{}", report.to_table());
 
     // hardware/north shows 82,750 — suspicious. The provenance is already
@@ -93,9 +91,8 @@ fn main() -> Result<()> {
     // Incremental provenance: a provenance query *over the stored report*
     // propagates the recorded provenance columns instead of re-deriving
     // them (the stored table is treated as externally annotated).
-    let incremental = db.query(
-        "SELECT PROVENANCE category, sum FROM report WHERE name = 'north'",
-    )?;
+    let incremental =
+        db.query("SELECT PROVENANCE category, sum FROM report WHERE name = 'north'")?;
     println!(
         "provenance query over the stored report (external propagation):\n{}",
         incremental.to_table()

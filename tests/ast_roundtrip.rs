@@ -9,8 +9,8 @@ use proptest::prelude::*;
 
 use perm_core::sqlgen::query_to_sql;
 use perm_sql::{
-    parse_statement, BinaryOp, Expr, FromModifiers, JoinKind, OrderItem, Query, QueryBody,
-    Select, SelectItem, SetOpKind, Statement, TableRef, UnaryOp,
+    parse_statement, BinaryOp, Expr, FromModifiers, JoinKind, OrderItem, Query, QueryBody, Select,
+    SelectItem, SetOpKind, Statement, TableRef, UnaryOp,
 };
 use perm_types::Value;
 
@@ -30,10 +30,8 @@ fn literal() -> impl Strategy<Value = Expr> {
 }
 
 fn column() -> impl Strategy<Value = Expr> {
-    (proptest::option::of(ident()), ident()).prop_map(|(qualifier, name)| Expr::Column {
-        qualifier,
-        name,
-    })
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(qualifier, name)| Expr::Column { qualifier, name })
 }
 
 fn expr() -> impl Strategy<Value = Expr> {
@@ -80,21 +78,19 @@ fn expr() -> impl Strategy<Value = Expr> {
                 expr: Box::new(e),
                 negated,
             }),
-            (inner.clone(), inner.clone(), any::<bool>()).prop_map(
-                |(l, r, negated)| Expr::IsDistinctFrom {
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(l, r, negated)| {
+                Expr::IsDistinctFrom {
                     left: Box::new(l),
                     right: Box::new(r),
                     negated,
                 }
-            ),
+            }),
             // [NOT] LIKE / BETWEEN / IN (...).
-            (inner.clone(), inner.clone(), any::<bool>()).prop_map(
-                |(e, p, negated)| Expr::Like {
-                    expr: Box::new(e),
-                    pattern: Box::new(p),
-                    negated,
-                }
-            ),
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(e, p, negated)| Expr::Like {
+                expr: Box::new(e),
+                pattern: Box::new(p),
+                negated,
+            }),
             (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
                 |(e, lo, hi, negated)| Expr::Between {
                     expr: Box::new(e),

@@ -160,18 +160,18 @@ fn provenance_inside_provenance_inside_sql() {
 fn hostile_inputs_error_cleanly() {
     let mut db = forum_db();
     for sql in [
-        "",                                           // empty
-        ";;;",                                        // just separators (script-only)
-        "SELECT",                                     // truncated
-        "SELECT * FROM",                              // truncated FROM
-        "SELECT * FROM messages WHERE",               // truncated WHERE
-        "SELECT * FROM messages GROUP BY",            // truncated GROUP BY
-        "SELECT (((((",                               // unbalanced
-        "INSERT INTO messages VALUES",                // truncated VALUES
-        "CREATE TABLE",                               // truncated DDL
-        "SELECT 'unterminated",                       // bad string literal
-        "SELECT 9999999999999999999999999",           // overflowing int
-        "SELECT * FROM messages ORDER BY 99",         // bad position
+        "",                                                // empty
+        ";;;",                                             // just separators (script-only)
+        "SELECT",                                          // truncated
+        "SELECT * FROM",                                   // truncated FROM
+        "SELECT * FROM messages WHERE",                    // truncated WHERE
+        "SELECT * FROM messages GROUP BY",                 // truncated GROUP BY
+        "SELECT (((((",                                    // unbalanced
+        "INSERT INTO messages VALUES",                     // truncated VALUES
+        "CREATE TABLE",                                    // truncated DDL
+        "SELECT 'unterminated",                            // bad string literal
+        "SELECT 9999999999999999999999999",                // overflowing int
+        "SELECT * FROM messages ORDER BY 99",              // bad position
         "SELECT count(*) FROM messages GROUP BY count(*)", // agg in GROUP BY
     ] {
         let result = db.execute(sql);
@@ -193,7 +193,10 @@ fn self_referencing_view_is_impossible_to_create() {
 #[test]
 fn limit_zero_and_large_offset() {
     let mut db = forum_db();
-    assert!(db.query("SELECT mid FROM messages LIMIT 0").unwrap().is_empty());
+    assert!(db
+        .query("SELECT mid FROM messages LIMIT 0")
+        .unwrap()
+        .is_empty());
     assert!(db
         .query("SELECT mid FROM messages OFFSET 100")
         .unwrap()
@@ -262,7 +265,8 @@ fn type_errors_are_analysis_time_not_runtime() {
 #[test]
 fn insert_type_and_null_violations() {
     let mut db = PermDb::new();
-    db.execute("CREATE TABLE t (a int NOT NULL, b int)").unwrap();
+    db.execute("CREATE TABLE t (a int NOT NULL, b int)")
+        .unwrap();
     assert!(db.execute("INSERT INTO t VALUES (NULL, 1)").is_err());
     assert!(db.execute("INSERT INTO t VALUES ('abc', 1)").is_err());
     assert!(db.execute("INSERT INTO t (a) VALUES (1, 2)").is_err());
@@ -294,11 +298,9 @@ fn text_values_with_quotes_and_unicode() {
         .unwrap();
     assert_eq!(r.row(0)[0], Value::text("naïve — ☃"));
     // The deparsed rewritten SQL survives the quotes too.
-    let p = perm_core::BrowserPanels::capture(
-        &mut db,
-        "SELECT PROVENANCE s FROM t WHERE s = 'it''s'",
-    )
-    .unwrap();
+    let p =
+        perm_core::BrowserPanels::capture(&mut db, "SELECT PROVENANCE s FROM t WHERE s = 'it''s'")
+            .unwrap();
     let re = db.query(&p.rewritten_sql).unwrap();
     assert_eq!(re.rows, p.results.rows);
 }

@@ -50,8 +50,12 @@ fn lazy_and_eager_agree() {
     let lazy = db
         .query("SELECT PROVENANCE mid, text FROM messages")
         .unwrap();
-    materialize_provenance(&mut db, "stored", "SELECT PROVENANCE mid, text FROM messages")
-        .unwrap();
+    materialize_provenance(
+        &mut db,
+        "stored",
+        "SELECT PROVENANCE mid, text FROM messages",
+    )
+    .unwrap();
     let eager = db.query("SELECT * FROM stored").unwrap();
     assert_eq!(lazy.columns, eager.columns);
     let norm = |r: &perm_core::QueryResult| {
@@ -104,17 +108,11 @@ fn union_strategies_produce_identical_results() {
     };
 
     let mut padded = forum_db();
-    padded.set_options(
-        SessionOptions::default().force_union_strategy(UnionStrategy::PaddedUnion),
-    );
+    padded.set_options(SessionOptions::default().force_union_strategy(UnionStrategy::PaddedUnion));
     let mut join_back = forum_db();
-    join_back.set_options(
-        SessionOptions::default().force_union_strategy(UnionStrategy::JoinBack),
-    );
+    join_back.set_options(SessionOptions::default().force_union_strategy(UnionStrategy::JoinBack));
     let mut cost_based = forum_db();
-    cost_based.set_options(
-        SessionOptions::default().with_union_strategy(StrategyMode::CostBased),
-    );
+    cost_based.set_options(SessionOptions::default().with_union_strategy(StrategyMode::CostBased));
 
     let a = norm(&mut padded);
     let b = norm(&mut join_back);
@@ -127,9 +125,10 @@ fn union_strategies_produce_identical_results() {
 fn default_semantics_option_applies() {
     use perm_core::{ContributionSemantics, CopyMode};
     let mut db = forum_db();
-    db.set_options(SessionOptions::default().with_default_semantics(
-        ContributionSemantics::Copy(CopyMode::Partial),
-    ));
+    db.set_options(
+        SessionOptions::default()
+            .with_default_semantics(ContributionSemantics::Copy(CopyMode::Partial)),
+    );
     // No ON CONTRIBUTION clause: session default (COPY) applies, so the
     // non-copied mid/uid provenance is NULL.
     let r = db
@@ -184,10 +183,7 @@ fn provenance_scales_to_thousands_of_rows() {
         .unwrap();
     assert_eq!(r.row_count(), 2000);
     // And the counts are consistent: 100 witnesses per group.
-    assert!(r
-        .rows
-        .iter()
-        .all(|t| t.get(1) == &Value::Int(100)));
+    assert!(r.rows.iter().all(|t| t.get(1) == &Value::Int(100)));
 }
 
 #[test]

@@ -29,10 +29,7 @@ fn fig1_database_contents() {
         &[Value::Int(4), Value::text("hi there ..."), Value::Int(2)]
     );
     let users = db.query("SELECT * FROM users ORDER BY uid").unwrap();
-    assert_eq!(
-        users.row(2),
-        &[Value::Int(3), Value::text("Gertrud")]
-    );
+    assert_eq!(users.row(2), &[Value::Int(3), Value::text("Gertrud")]);
     let imports = db.query("SELECT * FROM imports ORDER BY mid").unwrap();
     assert_eq!(
         imports.row(0),
@@ -42,7 +39,9 @@ fn fig1_database_contents() {
             Value::text("superForum")
         ]
     );
-    let approved = db.query("SELECT * FROM approved ORDER BY mid, uid").unwrap();
+    let approved = db
+        .query("SELECT * FROM approved ORDER BY mid, uid")
+        .unwrap();
     assert_eq!(approved.row_count(), 4);
 }
 

@@ -25,7 +25,8 @@ fn db_from(t_rows: &[(i64, i64)], u_rows: &[i64]) -> PermDb {
     db.run_script("CREATE TABLE t (a int, b int); CREATE TABLE u (a int);")
         .unwrap();
     for (a, b) in t_rows {
-        db.execute(&format!("INSERT INTO t VALUES ({a}, {b})")).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({a}, {b})"))
+            .unwrap();
     }
     for a in u_rows {
         db.execute(&format!("INSERT INTO u VALUES ({a})")).unwrap();

@@ -64,9 +64,7 @@ fn distinct_provenance_dedups_identical_witness_pairs() {
 fn intersect_provenance_pairs_witnesses_from_both_sides() {
     let mut db = db_ab();
     let r = db
-        .query(
-            "SELECT PROVENANCE * FROM (SELECT x FROM a INTERSECT SELECT x FROM b) s",
-        )
+        .query("SELECT PROVENANCE * FROM (SELECT x FROM a INTERSECT SELECT x FROM b) s")
         .unwrap();
     // Result tuples: {2, 3}. Witness pairs: 2 -> (two a-copies? no: a has
     // 2 twice) x (one b-copy) = 2 rows; 3 -> 1 a-copy x 2 b-copies = 2.
@@ -108,12 +106,7 @@ fn nested_set_operations_rewrite_through() {
     // (a ∪ b) ∩ c = {3}. Provenance covers all three relations.
     assert_eq!(
         r.columns,
-        vec![
-            "x",
-            "prov_public_a_x",
-            "prov_public_b_x",
-            "prov_public_c_x"
-        ]
+        vec!["x", "prov_public_a_x", "prov_public_b_x", "prov_public_c_x"]
     );
     assert!(r.rows.iter().all(|t| t.get(0) == &i(3)));
     // Union side: 3 has one a-witness and two b-witnesses (rows 3,3) —
@@ -126,9 +119,7 @@ fn nested_set_operations_rewrite_through() {
 fn union_all_provenance_keeps_duplicates() {
     let mut db = db_ab();
     let r = db
-        .query(
-            "SELECT PROVENANCE * FROM (SELECT x FROM a UNION ALL SELECT x FROM b) s",
-        )
+        .query("SELECT PROVENANCE * FROM (SELECT x FROM a UNION ALL SELECT x FROM b) s")
         .unwrap();
     assert_eq!(r.row_count(), 8, "4 + 4 rows, one witness each");
 }
@@ -301,9 +292,7 @@ fn distinct_aggregate_provenance_keeps_all_witnesses() {
     // row of the group is still a witness under PI-CS.
     let mut db = forum_db();
     let r = db
-        .query(
-            "SELECT PROVENANCE mid, count(DISTINCT uid) FROM approved GROUP BY mid",
-        )
+        .query("SELECT PROVENANCE mid, count(DISTINCT uid) FROM approved GROUP BY mid")
         .unwrap();
     assert_eq!(r.row_count(), 4, "one row per approved tuple");
 }

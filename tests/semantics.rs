@@ -112,7 +112,11 @@ fn influence_keeps_all_attributes_where_copy_does_not() {
         .query("SELECT PROVENANCE text FROM messages WHERE mid = 4")
         .unwrap();
     let mcol = r.column_index("prov_public_messages_mid").unwrap();
-    assert_eq!(r.row(0)[mcol], Value::Int(4), "influence keeps non-copied attrs");
+    assert_eq!(
+        r.row(0)[mcol],
+        Value::Int(4),
+        "influence keeps non-copied attrs"
+    );
 }
 
 #[test]
@@ -121,9 +125,7 @@ fn copy_sees_through_computed_columns() {
     // `mid + 0` is a computation, not a copy: nothing is copied from
     // messages, so all provenance attributes are NULL under COPY.
     let r = db
-        .query(
-            "SELECT PROVENANCE ON CONTRIBUTION (COPY) mid + 0 AS m FROM messages WHERE mid = 4",
-        )
+        .query("SELECT PROVENANCE ON CONTRIBUTION (COPY) mid + 0 AS m FROM messages WHERE mid = 4")
         .unwrap();
     for c in [
         "prov_public_messages_mid",

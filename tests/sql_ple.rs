@@ -25,7 +25,11 @@ fn sec24_provenance_on_contribution_influence() {
         "prov_public_imports_mid",
         "prov_public_approved_uid",
     ] {
-        assert!(r.column_index(col).is_some(), "{col} missing: {:?}", r.columns);
+        assert!(
+            r.column_index(col).is_some(),
+            "{col} missing: {:?}",
+            r.columns
+        );
     }
 }
 
@@ -132,7 +136,13 @@ fn external_provenance_mixes_with_computed_provenance() {
 #[test]
 fn on_contribution_variants_all_run() {
     let mut db = forum_db();
-    for sem in ["INFLUENCE", "COPY", "COPY PARTIAL", "COPY COMPLETE", "LINEAGE"] {
+    for sem in [
+        "INFLUENCE",
+        "COPY",
+        "COPY PARTIAL",
+        "COPY COMPLETE",
+        "LINEAGE",
+    ] {
         let sql =
             format!("SELECT PROVENANCE ON CONTRIBUTION ({sem}) text FROM messages WHERE mid = 4");
         let r = db
@@ -148,10 +158,8 @@ fn provenance_composes_with_views_and_storage() {
     // "a user cannot just receive provenance information, but also query
     // provenance information, store it as a view, etc."
     let mut db = forum_db();
-    db.execute(
-        "CREATE VIEW msg_prov AS SELECT PROVENANCE mid, text FROM messages",
-    )
-    .unwrap();
+    db.execute("CREATE VIEW msg_prov AS SELECT PROVENANCE mid, text FROM messages")
+        .unwrap();
     let r = db
         .query("SELECT count(*) FROM msg_prov WHERE prov_public_messages_uid = 2")
         .unwrap();

@@ -1,0 +1,186 @@
+//! Offline, API-compatible subset of the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of Criterion its benches use: benchmark
+//! groups, `bench_with_input`, `Bencher::iter`/`iter_with_setup`, and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of Criterion's
+//! statistical sampling it times a fixed number of iterations and reports
+//! the median — enough to compare strategies, not to detect 1% regressions.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: function_name.into(),
+            param: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter`/`iter_with_setup` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples: samples.max(1),
+            last_median: None,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        self.last_median = Some(times[times.len() / 2]);
+    }
+
+    pub fn iter_with_setup<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        black_box(routine(setup())); // warm-up, as in `iter`
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        self.last_median = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id.to_string(), b.last_median);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.to_string(), b.last_median);
+        self
+    }
+
+    fn report(&self, id: &str, median: Option<Duration>) {
+        match median {
+            Some(t) => println!("{}/{:<40} median {:>12.2?}", self.name, id, t),
+            None => println!("{}/{:<40} (no measurement)", self.name, id),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== benchmark group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

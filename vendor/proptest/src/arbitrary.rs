@@ -1,0 +1,92 @@
+//! `any::<T>()` for the primitive types, biased toward adversarial
+//! special values (NaN, infinities, -0.0, MIN/MAX, zero).
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy yielding arbitrary values of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // 1-in-8 chance of an edge value, else uniform bits.
+                if rng.below(8) == 0 {
+                    match rng.below(5) {
+                        0 => 0,
+                        1 => 1,
+                        2 => <$ty>::MAX,
+                        3 => <$ty>::MIN,
+                        _ => <$ty>::MAX / 2,
+                    }
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // 1-in-8 chance of a special float the IEEE total-order and
+        // grouping-equality invariants must survive.
+        if rng.below(8) == 0 {
+            match rng.below(6) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                4 => 0.0,
+                _ => f64::MIN_POSITIVE,
+            }
+        } else {
+            // Uniform over bit patterns covers subnormals and NaNs too.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        if rng.next_bool() {
+            // Printable ASCII most of the time.
+            (b' ' + rng.below(95) as u8) as char
+        } else {
+            char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('\u{FFFD}')
+        }
+    }
+}

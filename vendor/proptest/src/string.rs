@@ -1,0 +1,169 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest accepts any regex; this subset supports what the
+//! workspace's tests use — sequences of literal characters and character
+//! classes (`[a-z0-9 ']` with ranges and literals), each optionally
+//! quantified with `{n}`, `{m,n}`, `?`, `*` or `+`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max_inclusive: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed character class in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        if chars[j] == '\\' && j + 1 < close {
+                            j += 1;
+                        }
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+
+        // Optional quantifier.
+        let (min, max_inclusive) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier lower bound"),
+                            hi.trim().parse().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max_inclusive, "inverted quantifier in {pattern:?}");
+        atoms.push(Atom {
+            choices,
+            min,
+            max_inclusive,
+        });
+    }
+    atoms
+}
+
+fn sample_atoms(atoms: &[Atom], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in atoms {
+        let span = atom.max_inclusive - atom.min + 1;
+        let count = atom.min + rng.below(span);
+        for _ in 0..count {
+            out.push(atom.choices[rng.below(atom.choices.len())]);
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_atoms(&parse_pattern(self), rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_atoms(&parse_pattern(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-zA-Z0-9 ]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn quote_and_space_in_class() {
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z ']{0,8}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\''));
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = Strategy::sample(&"[a-c]{3}", &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+}

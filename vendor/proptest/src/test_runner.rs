@@ -1,0 +1,110 @@
+//! Case-loop plumbing for the `proptest!` macro.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property assertion (carried out of the case body by
+/// `prop_assert*!` instead of panicking, as in real proptest).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic generation source (the vendored rand crate's SplitMix64,
+/// wrapped with the sampling helpers strategies need).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    pub fn seed_from_u64(state: u64) -> Self {
+        TestRng {
+            inner: <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(state),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        rand::unit_f64(&mut self.inner)
+    }
+
+    /// Uniform value in `[start, end)`, delegated to the vendored rand
+    /// crate so the span/offset arithmetic lives in one place.
+    pub fn sample_between<T: rand::SampleUniform>(&mut self, start: T, end: T) -> T {
+        T::sample_between(start, end, &mut self.inner)
+    }
+}
+
+/// Runs the case loop for one generated test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Seeded from the test name via FNV-1a (not std's `DefaultHasher`,
+    /// whose algorithm may change between Rust releases), so every run on
+    /// every toolchain generates the same cases.
+    pub fn deterministic(test_name: &str, config: ProptestConfig) -> Self {
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(seed ^ 0x5DEE_CE66_D1CE_4E5B),
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
