@@ -1,0 +1,51 @@
+//! Prepared-statement reuse vs one-shot queries on the TPC-H-style
+//! workload.
+//!
+//! `Session::prepare` caches the parsed, provenance-rewritten, optimized
+//! plan; `Prepared::execute` then only snapshots the catalog and runs it.
+//! One-shot `Session::query` pays parse + analysis + provenance rewrite +
+//! optimization on every call. Expected shape: prepared re-execution wins
+//! on every query class, and the margin grows with rewrite complexity
+//! (joins, aggregation, sublinks) relative to execution cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use perm_bench::{tpch, TpchQuery};
+
+fn prepared_vs_one_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepared_reuse");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let db = tpch(200, 42);
+    let session = db.server().session();
+
+    for q in TpchQuery::ALL {
+        let sql = q.provenance_sql();
+
+        group.bench_with_input(BenchmarkId::new("one_shot", q.name()), &sql, |b, sql| {
+            b.iter(|| black_box(session.query(sql).expect("valid")));
+        });
+
+        let prepared = session.prepare(&sql).expect("prepares");
+        group.bench_with_input(BenchmarkId::new("prepared", q.name()), &sql, |b, _| {
+            b.iter(|| black_box(prepared.execute().expect("valid")));
+        });
+
+        // The one-time preparation cost being amortized.
+        group.bench_with_input(
+            BenchmarkId::new("prepare_only", q.name()),
+            &sql,
+            |b, sql| {
+                b.iter(|| black_box(session.prepare(sql).expect("valid")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, prepared_vs_one_shot);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Multi-threaded throughput of one `PermServer`.
+//!
+//! N threads each run a slice of a fixed batch of provenance queries
+//! through their own `Session`; the benchmark measures the wall-clock of
+//! the whole batch. Read-only sessions execute against lock-free catalog
+//! snapshots, so throughput should scale with threads until the machine
+//! runs out of cores — the contrast is the `threads=1` row. On a
+//! single-core host the informative signal is instead the *absence of
+//! contention overhead*: the batch should take the same wall-clock at
+//! every thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::thread;
+use std::time::Duration;
+
+use perm_bench::{forum, QueryClass};
+
+/// Total queries per measured batch, split across the worker threads.
+const BATCH: usize = 48;
+
+fn concurrent_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_concurrency");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let db = forum(400, 42);
+    let server = db.server();
+    let sql = QueryClass::Spj.provenance_sql();
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("provenance_batch", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    thread::scope(|s| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|_| {
+                                let session = server.session();
+                                let sql = &sql;
+                                s.spawn(move || {
+                                    for _ in 0..BATCH / threads {
+                                        black_box(session.query(sql).expect("valid"));
+                                    }
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            h.join().unwrap();
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, concurrent_throughput);
+criterion_main!(benches);

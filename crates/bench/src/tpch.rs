@@ -91,7 +91,8 @@ pub fn tpch(scale: usize, seed: u64) -> PermDb {
     let flags = ["A", "N", "R"];
 
     {
-        let nation = db.catalog_mut().table_mut("nation").expect("nation");
+        let mut cat = db.catalog_mut();
+        let nation = cat.table_mut("nation").expect("nation");
         for n in 0..n_nations {
             nation.push_raw(Tuple::new(vec![
                 Value::Int(n as i64),
@@ -100,7 +101,8 @@ pub fn tpch(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let customer = db.catalog_mut().table_mut("customer").expect("customer");
+        let mut cat = db.catalog_mut();
+        let customer = cat.table_mut("customer").expect("customer");
         for c in 0..n_customers {
             customer.push_raw(Tuple::new(vec![
                 Value::Int(c as i64),
@@ -111,7 +113,8 @@ pub fn tpch(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let orders = db.catalog_mut().table_mut("orders").expect("orders");
+        let mut cat = db.catalog_mut();
+        let orders = cat.table_mut("orders").expect("orders");
         for o in 0..n_orders {
             orders.push_raw(Tuple::new(vec![
                 Value::Int(o as i64),
@@ -122,7 +125,8 @@ pub fn tpch(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let lineitem = db.catalog_mut().table_mut("lineitem").expect("lineitem");
+        let mut cat = db.catalog_mut();
+        let lineitem = cat.table_mut("lineitem").expect("lineitem");
         for l in 0..scale {
             let commit = rng.random_range(0..100);
             let receipt = commit + rng.random_range(0..10) - 4;

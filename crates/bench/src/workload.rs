@@ -103,7 +103,8 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
     let origins = ["superForum", "HiBoard", "spamHub", "oldSite"];
 
     {
-        let users = db.catalog_mut().table_mut("users").expect("users exists");
+        let mut cat = db.catalog_mut();
+        let users = cat.table_mut("users").expect("users exists");
         for u in 0..n_users {
             users.push_raw(Tuple::new(vec![
                 Value::Int(u as i64),
@@ -112,10 +113,8 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let messages = db
-            .catalog_mut()
-            .table_mut("messages")
-            .expect("messages exists");
+        let mut cat = db.catalog_mut();
+        let messages = cat.table_mut("messages").expect("messages exists");
         for m in 0..scale {
             let uid = rng.random_range(0..n_users) as i64;
             messages.push_raw(Tuple::new(vec![
@@ -126,10 +125,8 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let imports = db
-            .catalog_mut()
-            .table_mut("imports")
-            .expect("imports exists");
+        let mut cat = db.catalog_mut();
+        let imports = cat.table_mut("imports").expect("imports exists");
         for m in 0..n_imports {
             let origin = origins[rng.random_range(0..origins.len())];
             imports.push_raw(Tuple::new(vec![
@@ -140,10 +137,8 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let approved = db
-            .catalog_mut()
-            .table_mut("approved")
-            .expect("approved exists");
+        let mut cat = db.catalog_mut();
+        let approved = cat.table_mut("approved").expect("approved exists");
         for _ in 0..n_approved {
             let uid = rng.random_range(0..n_users) as i64;
             let mid = rng.random_range(0..scale.max(1)) as i64;
@@ -172,7 +167,8 @@ pub fn star(scale: usize, seed: u64) -> PermDb {
     let n_products = (scale / 20).max(2);
     let n_regions = 8usize;
     {
-        let products = db.catalog_mut().table_mut("products").expect("products");
+        let mut cat = db.catalog_mut();
+        let products = cat.table_mut("products").expect("products");
         for p in 0..n_products {
             products.push_raw(Tuple::new(vec![
                 Value::Int(p as i64),
@@ -182,7 +178,8 @@ pub fn star(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let regions = db.catalog_mut().table_mut("regions").expect("regions");
+        let mut cat = db.catalog_mut();
+        let regions = cat.table_mut("regions").expect("regions");
         for r in 0..n_regions {
             regions.push_raw(Tuple::new(vec![
                 Value::Int(r as i64),
@@ -191,7 +188,8 @@ pub fn star(scale: usize, seed: u64) -> PermDb {
         }
     }
     {
-        let sales = db.catalog_mut().table_mut("sales").expect("sales");
+        let mut cat = db.catalog_mut();
+        let sales = cat.table_mut("sales").expect("sales");
         for s in 0..scale {
             sales.push_raw(Tuple::new(vec![
                 Value::Int(s as i64),

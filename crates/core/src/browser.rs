@@ -13,6 +13,7 @@ use perm_types::Result;
 use crate::db::PermDb;
 use crate::pipeline::StageTrace;
 use crate::result::QueryResult;
+use crate::server::Session;
 
 /// The five Figure 4 panels.
 #[derive(Debug, Clone)]
@@ -32,7 +33,13 @@ pub struct BrowserPanels {
 impl BrowserPanels {
     /// Execute `sql` and capture all five panels.
     pub fn capture(db: &mut PermDb, sql: &str) -> Result<BrowserPanels> {
-        let trace = StageTrace::run(db, sql)?;
+        BrowserPanels::capture_on(db.session(), sql)
+    }
+
+    /// Capture the five panels through a server-API [`Session`] (so one
+    /// browser per session can run against a shared catalog).
+    pub fn capture_on(session: &Session, sql: &str) -> Result<BrowserPanels> {
+        let trace = StageTrace::run_on(session, sql)?;
         Ok(BrowserPanels {
             input: sql.to_string(),
             rewritten_sql: deparse(&trace.rewritten_plan),

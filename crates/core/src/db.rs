@@ -1,22 +1,30 @@
-//! `PermDb`: the end-to-end Perm pipeline of the paper's Figure 3 —
-//! parse → analyze (view unfolding) → provenance rewrite → plan → execute.
+//! `PermDb`: the single-session convenience facade — one server, one
+//! session, the end-to-end Perm pipeline of the paper's Figure 3
+//! (parse → analyze (view unfolding) → provenance rewrite → plan →
+//! execute).
+//!
+//! `PermDb` is now a thin shim over [`PermServer`] + one [`Session`]; it
+//! keeps the original embedded-database API (including `&mut self`
+//! receivers) stable for tests, examples and benches. New code that wants
+//! concurrency, prepared statements or streaming results should use
+//! [`PermServer`] directly — see [`crate::server`] and the README's
+//! "Embedding Perm" section for a migration note.
 
-use perm_algebra::{bind_statement, BoundStatement, LogicalPlan};
-use perm_exec::{optimize, CatalogAdapter, Executor};
-use perm_rewrite::{CardinalityEstimator, Rewriter};
-use perm_sql::{parse_statement, parse_statements, ObjectKind, Statement};
-use perm_storage::{Catalog, Table};
-use perm_types::{Column, PermError, Result, Schema, Tuple};
+use std::sync::Arc;
+
+use perm_algebra::LogicalPlan;
+use perm_rewrite::CardinalityEstimator;
+use perm_storage::{Catalog, CatalogWriteGuard};
+use perm_types::{Result, Schema, Tuple};
 
 use crate::options::SessionOptions;
-use crate::result::{QueryResult, StatementResult};
+use crate::result::{QueryResult, RowStream, StatementResult};
+use crate::server::{PermServer, Prepared, Session};
 
-/// A Perm database session: an in-memory catalog plus the session options
-/// controlling the provenance rewriter.
-#[derive(Default)]
+/// A single-session Perm database: an in-memory catalog plus the session
+/// options controlling the provenance rewriter.
 pub struct PermDb {
-    catalog: Catalog,
-    options: SessionOptions,
+    session: Session,
 }
 
 /// Exposes exact table row counts to the rewriter's cost-based strategy
@@ -29,38 +37,61 @@ impl CardinalityEstimator for CatalogCardinalities<'_> {
     }
 }
 
+impl Default for PermDb {
+    fn default() -> PermDb {
+        PermDb::new()
+    }
+}
+
 impl PermDb {
     /// An empty database with default options.
     pub fn new() -> PermDb {
-        PermDb::default()
+        PermDb {
+            session: PermServer::new().session(),
+        }
     }
 
     /// An empty database with explicit session options.
     pub fn with_options(options: SessionOptions) -> PermDb {
         PermDb {
-            catalog: Catalog::new(),
-            options,
+            session: PermServer::new().session_with_options(options),
         }
     }
 
+    /// The underlying session (shareable with the server API).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The server this database's catalog belongs to: hand out more
+    /// sessions with [`PermServer::session`] to query the same catalog
+    /// concurrently.
+    pub fn server(&self) -> PermServer {
+        self.session.server()
+    }
+
     pub fn options(&self) -> &SessionOptions {
-        &self.options
+        self.session.options()
     }
 
     /// Change the session options (the browser's strategy / semantics
     /// toggles).
     pub fn set_options(&mut self, options: SessionOptions) {
-        self.options = options;
+        self.session.set_options(options);
     }
 
-    /// Read-only access to the catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// A consistent snapshot of the catalog (read-only access).
+    ///
+    /// The snapshot does not observe writes made after this call; re-call
+    /// for fresh state.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.session.snapshot()
     }
 
-    /// Mutable catalog access (index creation, direct table loads).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// Exclusive catalog write access (index creation, direct table
+    /// loads). The guard dereferences to [`Catalog`].
+    pub fn catalog_mut(&mut self) -> CatalogWriteGuard<'_> {
+        self.session.catalog_write()
     }
 
     // ------------------------------------------------------------------
@@ -69,110 +100,28 @@ impl PermDb {
 
     /// Execute one SQL / SQL-PLE statement.
     pub fn execute(&mut self, sql: &str) -> Result<StatementResult> {
-        let stmt = parse_statement(sql)?;
-        self.execute_statement(&stmt)
+        self.session.execute(sql)
     }
 
     /// Execute a `;`-separated script, returning one result per statement.
+    /// On failure the error names the 1-based statement that died.
     pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>> {
-        let stmts = parse_statements(sql)?;
-        stmts.iter().map(|s| self.execute_statement(s)).collect()
+        self.session.run_script(sql)
     }
 
     /// Convenience: execute a query and return its rows.
     pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
-        match self.execute(sql)? {
-            StatementResult::Rows(r) => Ok(r),
-            other => Err(PermError::Execution(format!(
-                "statement did not produce rows: {other:?}"
-            ))),
-        }
+        self.session.query(sql)
     }
 
-    fn execute_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
-        let bound = self.bind(stmt)?;
-        match bound {
-            BoundStatement::Query(plan) => {
-                let (schema, rows) = self.run_plan(plan)?;
-                Ok(StatementResult::Rows(QueryResult::new(&schema, rows)))
-            }
-            BoundStatement::Explain(plan) => {
-                let optimized = optimize(plan);
-                Ok(StatementResult::Explain(perm_algebra::plan_tree(
-                    &optimized,
-                )))
-            }
-            BoundStatement::CreateTable { name, schema } => {
-                self.catalog
-                    .create_table(Table::new(name.clone(), schema))?;
-                Ok(StatementResult::TableCreated { name, rows: 0 })
-            }
-            BoundStatement::CreateTableAs {
-                name,
-                plan,
-                provenance_attrs,
-            } => {
-                let (schema, rows) = self.run_plan(plan)?;
-                // Stored column set loses the source qualifiers.
-                let columns: Vec<Column> = schema
-                    .iter()
-                    .map(|c| {
-                        let mut c = c.clone();
-                        c.qualifier = None;
-                        c
-                    })
-                    .collect();
-                let mut table = Table::new(name.clone(), Schema::new(columns));
-                // Eager provenance: remember which columns are provenance so
-                // later provenance queries over this table propagate them
-                // as external provenance (paper §1: "store the provenance
-                // of a query for later reuse").
-                if let Some(attrs) = provenance_attrs {
-                    table.set_provenance_columns(attrs)?;
-                }
-                let n = rows.len();
-                for r in rows {
-                    table.push_raw(r);
-                }
-                self.catalog.create_table(table)?;
-                Ok(StatementResult::TableCreated { name, rows: n })
-            }
-            BoundStatement::CreateView { name, definition } => {
-                self.catalog.create_view(name.clone(), definition)?;
-                Ok(StatementResult::ViewCreated { name })
-            }
-            BoundStatement::Insert { table, rows } => {
-                // Evaluate the bound row expressions (no input tuple).
-                let tuples: Vec<Tuple> = {
-                    let executor = Executor::new(&self.catalog);
-                    let empty = Tuple::empty();
-                    rows.iter()
-                        .map(|row| {
-                            let env = perm_exec::eval::Env::new(&empty, &[]);
-                            let vals = row
-                                .iter()
-                                .map(|e| perm_exec::eval::eval(&executor, e, &env))
-                                .collect::<Result<Vec<_>>>()?;
-                            Ok(Tuple::new(vals))
-                        })
-                        .collect::<Result<_>>()?
-                };
-                let t = self.catalog.table_mut(&table)?;
-                let n = t.insert_all(tuples)?;
-                Ok(StatementResult::Inserted(n))
-            }
-            BoundStatement::Drop {
-                kind,
-                name,
-                if_exists,
-            } => {
-                let dropped = match kind {
-                    ObjectKind::Table => self.catalog.drop_table(&name, if_exists)?,
-                    ObjectKind::View => self.catalog.drop_view(&name, if_exists)?,
-                };
-                Ok(StatementResult::Dropped(dropped))
-            }
-        }
+    /// Execute a query cursor-style (see [`Session::query_stream`]).
+    pub fn query_stream(&self, sql: &str) -> Result<RowStream> {
+        self.session.query_stream(sql)
+    }
+
+    /// Prepare a query for repeated execution (see [`Session::prepare`]).
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        self.session.prepare(sql)
     }
 
     // ------------------------------------------------------------------
@@ -182,28 +131,12 @@ impl PermDb {
     /// Parse + analyze (+ provenance-rewrite when requested): the bound
     /// plan, pre-optimization.
     pub fn bind_sql(&self, sql: &str) -> Result<LogicalPlan> {
-        let stmt = parse_statement(sql)?;
-        match self.bind(&stmt)? {
-            BoundStatement::Query(p) | BoundStatement::Explain(p) => Ok(p),
-            other => Err(PermError::Analysis(format!(
-                "expected a query, got {other:?}"
-            ))),
-        }
-    }
-
-    fn bind(&self, stmt: &Statement) -> Result<BoundStatement> {
-        let estimator = CatalogCardinalities(&self.catalog);
-        let rewriter = Rewriter::new(self.options.rewrite, &estimator);
-        let adapter = CatalogAdapter(&self.catalog);
-        bind_statement(stmt, &adapter, Some(&rewriter))
+        self.session.bind_sql(sql)
     }
 
     /// Optimize and execute a bound plan.
     pub fn run_plan(&self, plan: LogicalPlan) -> Result<(Schema, Vec<Tuple>)> {
-        let optimized = optimize(plan);
-        let schema = optimized.schema().clone();
-        let rows = Executor::new(&self.catalog).run(&optimized)?;
-        Ok((schema, rows))
+        self.session.run_plan(plan)
     }
 }
 
@@ -301,9 +234,30 @@ mod tests {
     }
 
     #[test]
+    fn run_script_errors_name_the_statement() {
+        let mut db = PermDb::new();
+        let err = db
+            .run_script("CREATE TABLE t (x int); SELECT nope FROM t;")
+            .unwrap_err();
+        assert!(err.message().contains("script statement 2 of 2"), "{err}");
+    }
+
+    #[test]
     fn parse_errors_surface() {
         let mut db = PermDb::new();
         let err = db.execute("SELEC 1").unwrap_err();
         assert_eq!(err.kind(), "parse");
+    }
+
+    #[test]
+    fn catalog_mut_guard_allows_direct_loads() {
+        let mut db = PermDb::new();
+        db.execute("CREATE TABLE t (x int)").unwrap();
+        db.catalog_mut()
+            .table_mut("t")
+            .unwrap()
+            .insert(Tuple::new(vec![Value::Int(7)]))
+            .unwrap();
+        assert_eq!(db.query("SELECT x FROM t").unwrap().row_count(), 1);
     }
 }

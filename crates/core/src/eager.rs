@@ -14,6 +14,7 @@ use perm_types::Result;
 
 use crate::db::PermDb;
 use crate::result::StatementResult;
+use crate::server::Session;
 
 /// Materialize the provenance of `query` into table `name`.
 ///
@@ -24,8 +25,18 @@ pub fn materialize_provenance(
     name: &str,
     provenance_query: &str,
 ) -> Result<usize> {
+    materialize_provenance_on(db.session(), name, provenance_query)
+}
+
+/// [`materialize_provenance`] through a server-API [`Session`]; the
+/// materialization takes the catalog write lock like any other DDL.
+pub fn materialize_provenance_on(
+    session: &Session,
+    name: &str,
+    provenance_query: &str,
+) -> Result<usize> {
     let sql = format!("CREATE TABLE {name} AS {provenance_query}");
-    match db.execute(&sql)? {
+    match session.execute(&sql)? {
         StatementResult::TableCreated { rows, .. } => Ok(rows),
         other => unreachable!("CREATE TABLE AS returned {other:?}"),
     }
@@ -47,7 +58,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(n, 2);
-        let t = db.catalog().table("msg_prov").unwrap();
+        let catalog = db.catalog();
+        let t = catalog.table("msg_prov").unwrap();
         assert_eq!(t.provenance_columns(), &[2, 3, 4]);
         for &c in t.provenance_columns() {
             assert!(is_provenance_name(&t.schema().column(c).name));

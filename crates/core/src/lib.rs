@@ -9,7 +9,11 @@
 //!                 perm-algebra)
 //! ```
 //!
-//! # Quick start
+//! # Two ways in
+//!
+//! **Embedded, single session** — [`db::PermDb`], the original API: one
+//! catalog, one session, materialized results. Good for tests, examples
+//! and scripts.
 //!
 //! ```
 //! use perm_core::fixtures::forum_db;
@@ -30,6 +34,29 @@
 //! );
 //! ```
 //!
+//! **Server, many sessions** — [`server::PermServer`], the concurrent API
+//! mirroring how the paper's Perm lives inside PostgreSQL: one shared
+//! catalog, cheap cloneable [`server::Session`] handles (`Send + Sync`,
+//! queries take `&self`), [`server::Prepared`] statements that cache the
+//! provenance-rewritten optimized plan across executions, and pull-based
+//! [`result::RowStream`] results that stop scanning when the consumer
+//! stops pulling.
+//!
+//! ```
+//! use perm_core::PermServer;
+//!
+//! let server = PermServer::new();
+//! let writer = server.session();
+//! writer.run_script("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2);").unwrap();
+//!
+//! let reader = server.session(); // e.g. on another thread
+//! let prepared = reader.prepare("SELECT PROVENANCE x FROM t").unwrap();
+//! assert_eq!(prepared.execute().unwrap().row_count(), 2);
+//!
+//! let first = reader.query_stream("SELECT x FROM t LIMIT 1").unwrap().next();
+//! assert!(first.unwrap().is_ok());
+//! ```
+//!
 //! Features, per the paper: lazy and eager provenance ([`eager`]), the
 //! `INFLUENCE` / `COPY` / `LINEAGE` contribution semantics, external
 //! provenance, `BASERELATION`, rewrite-strategy toggles
@@ -44,6 +71,7 @@ pub mod fixtures;
 pub mod options;
 pub mod pipeline;
 pub mod result;
+pub mod server;
 pub mod sqlgen;
 
 pub use browser::BrowserPanels;
@@ -51,7 +79,8 @@ pub use db::{CatalogCardinalities, PermDb};
 pub use eager::materialize_provenance;
 pub use options::SessionOptions;
 pub use pipeline::{Stage, StageTrace};
-pub use result::{QueryResult, StatementResult};
+pub use result::{QueryResult, RowStream, StatementResult};
+pub use server::{PermServer, Prepared, Session};
 
 // Re-export the pieces users touch through the facade.
 pub use perm_rewrite::{

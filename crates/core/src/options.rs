@@ -1,5 +1,11 @@
 //! Session options — the knobs the Perm-browser exposes (activate or
 //! deactivate rewrite strategies, choose contribution semantics).
+//!
+//! Options are *per session*: every [`crate::server::Session`] carries its
+//! own copy, so two sessions on the same [`crate::server::PermServer`] can
+//! run the same query under different contribution semantics or rewrite
+//! strategies concurrently. `SessionOptions` is `Copy`, which is what
+//! makes session handles cheap to clone and hand across threads.
 
 use perm_rewrite::{ContributionSemantics, RewriteOptions, StrategyMode, UnionStrategy};
 

@@ -14,6 +14,7 @@ use perm_types::{PermError, Result};
 
 use crate::db::PermDb;
 use crate::result::QueryResult;
+use crate::server::Session;
 
 /// One pipeline stage with a human-readable artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,12 @@ pub struct StageTrace {
 impl StageTrace {
     /// Run `sql` through the pipeline, capturing every stage.
     pub fn run(db: &mut PermDb, sql: &str) -> Result<StageTrace> {
+        StageTrace::run_on(db.session(), sql)
+    }
+
+    /// Run `sql` through the pipeline of `session`, capturing every stage
+    /// (the server-API equivalent of [`StageTrace::run`]).
+    pub fn run_on(session: &Session, sql: &str) -> Result<StageTrace> {
         let stmt = parse_statement(sql)?;
         let query = match &stmt {
             Statement::Query(q) => q.clone(),
@@ -56,18 +63,22 @@ impl StageTrace {
             }
         };
 
+        // One snapshot for the whole trace: every stage (both binds and
+        // the execution) sees the same catalog even under concurrent DDL.
+        let snapshot = session.snapshot();
+
         // Stage 1 artifact: the original (provenance-free) analyzed plan.
         let stripped = strip_provenance_query(&query);
-        let original_plan = db.bind_sql(&render_back(&stripped))?;
+        let original_plan = session.bind_sql_on(&snapshot, &render_back(&stripped))?;
 
         // Stage 2: analyze *with* the rewriter attached.
-        let rewritten_plan = db.bind_sql(sql)?;
+        let rewritten_plan = session.bind_sql_on(&snapshot, sql)?;
 
         // Stage 3: optimize.
         let optimized_plan = optimize(rewritten_plan.clone());
 
         // Stage 4: execute.
-        let (schema, rows) = db.run_plan(rewritten_plan.clone())?;
+        let (schema, rows) = session.run_plan_on(snapshot, rewritten_plan.clone())?;
         let result = QueryResult::new(&schema, rows);
 
         Ok(StageTrace {

@@ -1,9 +1,12 @@
-//! Query results and their textual rendering (the browser's result panel,
-//! Figure 4 marker 5).
+//! Query results — materialized ([`QueryResult`], with the textual
+//! rendering of the browser's result panel, Figure 4 marker 5) and
+//! streaming ([`RowStream`], the cursor-style interface of
+//! `Session::query_stream`).
 
 use std::fmt;
 
-use perm_types::{Schema, Tuple, Value};
+use perm_exec::TupleStream;
+use perm_types::{Result, Schema, Tuple, Value};
 
 /// A materialized query result: column names plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +99,70 @@ impl QueryResult {
 impl fmt::Display for QueryResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_table())
+    }
+}
+
+/// A pull-based query result: an `Iterator<Item = Result<Tuple>>` plus the
+/// output schema.
+///
+/// Returned by `Session::query_stream` and `Prepared::execute_stream`.
+/// Rows are produced on demand from a consistent catalog snapshot, so a
+/// consumer that stops early (for example after `LIMIT k` rows, or because
+/// the client disconnected) never pays for the rest of the result. The
+/// stream is fused: after the first error it yields `None` forever.
+pub struct RowStream {
+    columns: Vec<String>,
+    schema: Schema,
+    inner: TupleStream,
+}
+
+impl RowStream {
+    pub(crate) fn new(schema: Schema, inner: TupleStream) -> RowStream {
+        RowStream {
+            columns: schema.names().iter().map(|s| s.to_string()).collect(),
+            schema,
+            inner,
+        }
+    }
+
+    /// The output schema of the query.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// How many base-table rows the stream's scans have pulled so far
+    /// (see [`perm_exec::TupleStream::rows_scanned`]).
+    pub fn rows_scanned(&self) -> usize {
+        self.inner.rows_scanned()
+    }
+
+    /// Drain the stream into a materialized [`QueryResult`].
+    pub fn collect_result(self) -> Result<QueryResult> {
+        let columns = self.columns;
+        let rows = self.inner.collect::<Result<Vec<Tuple>>>()?;
+        Ok(QueryResult { columns, rows })
+    }
+}
+
+impl Iterator for RowStream {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Result<Tuple>> {
+        self.inner.next()
+    }
+}
+
+impl fmt::Debug for RowStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RowStream")
+            .field("columns", &self.columns)
+            .field("rows_scanned", &self.rows_scanned())
+            .finish()
     }
 }
 

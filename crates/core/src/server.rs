@@ -1,0 +1,657 @@
+//! The concurrent server API: [`PermServer`] → [`Session`] → [`Prepared`].
+//!
+//! The paper's Perm runs inside PostgreSQL, where one catalog serves many
+//! backend sessions, plans are prepared once and executed many times, and
+//! results stream to clients cursor-style. This module reproduces that
+//! shape for the embedded engine:
+//!
+//! * [`PermServer`] owns the catalog behind a copy-on-write lock
+//!   ([`perm_storage::SharedCatalog`]). DDL/DML take the write lock; any
+//!   number of sessions read concurrently from immutable snapshots.
+//! * [`Session`] is a cheap, cloneable, `Send + Sync` handle carrying its
+//!   own [`SessionOptions`] (contribution semantics, rewrite-strategy
+//!   toggles). All query methods take `&self`, so one session can be
+//!   shared across threads — or cloned per thread with different options.
+//! * [`Prepared`] caches the parsed, provenance-rewritten, optimized plan
+//!   of one query so repeated execution skips parse + rewrite + optimize
+//!   (the hot path for provenance queries asked many times).
+//! * [`Session::query_stream`] returns a pull-based [`RowStream`] that
+//!   yields tuples on demand instead of materializing the result.
+//!
+//! ```
+//! use perm_core::PermServer;
+//!
+//! let server = PermServer::new();
+//! let session = server.session();
+//! session.execute("CREATE TABLE t (x int)").unwrap();
+//! session.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+//!
+//! // Prepare once, execute many times.
+//! let prepared = session.prepare("SELECT PROVENANCE x FROM t").unwrap();
+//! assert_eq!(prepared.execute().unwrap().row_count(), 2);
+//! assert_eq!(prepared.execute().unwrap().row_count(), 2);
+//!
+//! // Sessions are cloneable handles onto the same catalog.
+//! let other = server.session();
+//! assert_eq!(other.query("SELECT x FROM t").unwrap().row_count(), 2);
+//! ```
+
+use std::sync::Arc;
+
+use perm_algebra::{bind_statement, BoundStatement, LogicalPlan};
+use perm_exec::{optimize, CatalogAdapter, Executor};
+use perm_rewrite::Rewriter;
+use perm_sql::{parse_statement, parse_statements, ObjectKind, Statement};
+use perm_storage::{Catalog, CatalogWriteGuard, SharedCatalog, Table};
+use perm_types::{Column, PermError, Result, Schema, Tuple};
+
+use crate::db::CatalogCardinalities;
+use crate::options::SessionOptions;
+use crate::result::{QueryResult, RowStream, StatementResult};
+
+/// The server: one shared catalog, many sessions.
+///
+/// Cloning a `PermServer` clones the *handle*; both clones serve the same
+/// catalog. Dropping the server does not invalidate live sessions — the
+/// catalog lives as long as any handle to it.
+#[derive(Debug, Default, Clone)]
+pub struct PermServer {
+    catalog: SharedCatalog,
+}
+
+impl PermServer {
+    /// A server over an empty catalog.
+    pub fn new() -> PermServer {
+        PermServer::default()
+    }
+
+    /// A server over an existing catalog (e.g. pre-loaded tables).
+    pub fn with_catalog(catalog: Catalog) -> PermServer {
+        PermServer {
+            catalog: SharedCatalog::new(catalog),
+        }
+    }
+
+    /// A new session with default options.
+    pub fn session(&self) -> Session {
+        self.session_with_options(SessionOptions::default())
+    }
+
+    /// A new session with explicit options.
+    pub fn session_with_options(&self, options: SessionOptions) -> Session {
+        Session {
+            catalog: self.catalog.clone(),
+            options,
+        }
+    }
+
+    /// A consistent snapshot of the current catalog.
+    pub fn snapshot(&self) -> Arc<Catalog> {
+        self.catalog.snapshot()
+    }
+}
+
+/// One session against a [`PermServer`]: the unit of concurrency.
+///
+/// Sessions are cheap to clone and safe to share across threads (`Send +
+/// Sync`); every query method takes `&self`. Reads run lock-free against
+/// a catalog snapshot; [`Session::execute`] takes the catalog write lock
+/// only for DDL/DML.
+#[derive(Debug, Clone)]
+pub struct Session {
+    catalog: SharedCatalog,
+    options: SessionOptions,
+}
+
+impl Session {
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Change this session's options (the browser's strategy / semantics
+    /// toggles). Affects only this handle — clones keep their own options.
+    pub fn set_options(&mut self, options: SessionOptions) {
+        self.options = options;
+    }
+
+    /// Builder-style options change, for `server.session().with_options(…)`.
+    pub fn with_options(mut self, options: SessionOptions) -> Session {
+        self.options = options;
+        self
+    }
+
+    /// The server handle this session belongs to.
+    pub fn server(&self) -> PermServer {
+        PermServer {
+            catalog: self.catalog.clone(),
+        }
+    }
+
+    /// A consistent, immutable snapshot of the catalog as of now.
+    pub fn snapshot(&self) -> Arc<Catalog> {
+        self.catalog.snapshot()
+    }
+
+    /// Exclusive write access to the catalog (index creation, direct
+    /// table loads). Blocks other writers; readers keep their snapshots.
+    ///
+    /// **Drop the guard before querying from the same thread.** Query
+    /// methods take the (non-reentrant) read lock to snapshot, so
+    /// `session.query(..)` while this thread still holds the guard
+    /// deadlocks. Take what you need from [`CatalogWriteGuard::snapshot`]
+    /// instead, or end the guard's scope first.
+    pub fn catalog_write(&self) -> CatalogWriteGuard<'_> {
+        self.catalog.write()
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    /// Execute one SQL / SQL-PLE statement.
+    pub fn execute(&self, sql: &str) -> Result<StatementResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_statement(&self, stmt: &Statement) -> Result<StatementResult> {
+        match stmt {
+            // Queries never take the write lock.
+            Statement::Query(_) | Statement::Explain(_) => self.execute_read(stmt),
+            _ => self.execute_write(stmt),
+        }
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    ///
+    /// Statements run in order; a failure reports the 1-based index of the
+    /// statement that died and how many earlier statements had already
+    /// been applied (their effects are *not* rolled back).
+    pub fn run_script(&self, sql: &str) -> Result<Vec<StatementResult>> {
+        let stmts = parse_statements(sql)?;
+        let total = stmts.len();
+        let mut results = Vec::with_capacity(total);
+        for (idx, stmt) in stmts.iter().enumerate() {
+            let n = idx + 1;
+            results.push(self.execute_statement(stmt).map_err(|e| {
+                let applied = match idx {
+                    0 => "no earlier statements applied".to_string(),
+                    1 => "statement 1 already applied".to_string(),
+                    _ => format!("statements 1-{idx} already applied"),
+                };
+                e.with_context(format!("script statement {n} of {total} ({applied})"))
+            })?);
+        }
+        Ok(results)
+    }
+
+    /// Convenience: execute a query and return its materialized rows.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        match self.execute(sql)? {
+            StatementResult::Rows(r) => Ok(r),
+            other => Err(PermError::Execution(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a query cursor-style: a pull-based [`RowStream`] that
+    /// yields one row per `next()`. With `LIMIT k` over a streamable plan
+    /// the scan stops after producing `k` rows instead of materializing
+    /// the whole table. The stream reads a consistent snapshot — DDL that
+    /// commits after this call does not affect it.
+    pub fn query_stream(&self, sql: &str) -> Result<RowStream> {
+        let stmt = parse_statement(sql)?;
+        let snapshot = self.snapshot();
+        let plan = match self.bind_on(&snapshot, &stmt)? {
+            BoundStatement::Query(plan) => plan,
+            other => {
+                return Err(PermError::Execution(format!(
+                    "statement did not produce rows: {other:?}"
+                )))
+            }
+        };
+        let optimized = optimize(plan);
+        let schema = optimized.schema().clone();
+        let stream = Executor::new(snapshot).into_stream(&optimized)?;
+        Ok(RowStream::new(schema, stream))
+    }
+
+    /// Parse, provenance-rewrite and optimize `sql` once, caching the
+    /// result for repeated execution.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let stmt = parse_statement(sql)?;
+        let snapshot = self.snapshot();
+        let plan = match self.bind_on(&snapshot, &stmt)? {
+            BoundStatement::Query(plan) => plan,
+            other => {
+                return Err(PermError::Analysis(format!(
+                    "only queries can be prepared, got {other:?}"
+                )))
+            }
+        };
+        let optimized = optimize(plan);
+        let schema = optimized.schema().clone();
+        Ok(Prepared {
+            session: self.clone(),
+            sql: sql.to_string(),
+            plan: Arc::new(optimized),
+            schema,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline stages (also used by the stage trace / browser)
+    // ------------------------------------------------------------------
+
+    /// Parse + analyze (+ provenance-rewrite when requested): the bound
+    /// plan, pre-optimization. Binds against a fresh snapshot; multi-step
+    /// clients that bind and execute separately should take one
+    /// [`Session::snapshot`] and use [`Session::bind_sql_on`] /
+    /// [`Session::run_plan_on`] so both steps see the same catalog.
+    pub fn bind_sql(&self, sql: &str) -> Result<LogicalPlan> {
+        self.bind_sql_on(&self.snapshot(), sql)
+    }
+
+    /// [`Session::bind_sql`] against an explicit catalog snapshot.
+    pub fn bind_sql_on(&self, catalog: &Catalog, sql: &str) -> Result<LogicalPlan> {
+        let stmt = parse_statement(sql)?;
+        match self.bind_on(catalog, &stmt)? {
+            BoundStatement::Query(p) | BoundStatement::Explain(p) => Ok(p),
+            other => Err(PermError::Analysis(format!(
+                "expected a query, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Optimize and execute a bound plan against a fresh snapshot.
+    pub fn run_plan(&self, plan: LogicalPlan) -> Result<(Schema, Vec<Tuple>)> {
+        self.run_plan_on(self.snapshot(), plan)
+    }
+
+    /// [`Session::run_plan`] against an explicit catalog snapshot —
+    /// normally the one the plan was bound on.
+    pub fn run_plan_on(
+        &self,
+        catalog: Arc<Catalog>,
+        plan: LogicalPlan,
+    ) -> Result<(Schema, Vec<Tuple>)> {
+        let optimized = optimize(plan);
+        let schema = optimized.schema().clone();
+        let rows = Executor::new(catalog).run(&optimized)?;
+        Ok((schema, rows))
+    }
+
+    fn bind_on(&self, catalog: &Catalog, stmt: &Statement) -> Result<BoundStatement> {
+        let estimator = CatalogCardinalities(catalog);
+        let rewriter = Rewriter::new(self.options.rewrite, &estimator);
+        let adapter = CatalogAdapter(catalog);
+        bind_statement(stmt, &adapter, Some(&rewriter))
+    }
+
+    // ------------------------------------------------------------------
+    // Read / write paths
+    // ------------------------------------------------------------------
+
+    fn execute_read(&self, stmt: &Statement) -> Result<StatementResult> {
+        let snapshot = self.snapshot();
+        match self.bind_on(&snapshot, stmt)? {
+            BoundStatement::Query(plan) => {
+                let optimized = optimize(plan);
+                let schema = optimized.schema().clone();
+                let rows = Executor::new(snapshot).run(&optimized)?;
+                Ok(StatementResult::Rows(QueryResult::new(&schema, rows)))
+            }
+            BoundStatement::Explain(plan) => {
+                let optimized = optimize(plan);
+                Ok(StatementResult::Explain(perm_algebra::plan_tree(
+                    &optimized,
+                )))
+            }
+            other => Err(PermError::Analysis(format!(
+                "query statement bound to {other:?}"
+            ))),
+        }
+    }
+
+    /// DDL/DML under the catalog write lock. The read part of a compound
+    /// statement (the query of `CREATE TABLE AS`, the row expressions of
+    /// `INSERT`) runs against a pre-mutation snapshot taken under the same
+    /// lock, then the mutation applies through copy-on-write — concurrent
+    /// readers keep whatever snapshot they already hold.
+    fn execute_write(&self, stmt: &Statement) -> Result<StatementResult> {
+        let mut guard = self.catalog.write();
+        let bound = self.bind_on(&guard, stmt)?;
+        match bound {
+            BoundStatement::CreateTable { name, schema } => {
+                guard.create_table(Table::new(name.clone(), schema))?;
+                Ok(StatementResult::TableCreated { name, rows: 0 })
+            }
+            BoundStatement::CreateTableAs {
+                name,
+                plan,
+                provenance_attrs,
+            } => {
+                let (schema, rows) = {
+                    // The executor's snapshot is dropped before the
+                    // mutation below, so make_mut stays in place unless
+                    // other sessions hold snapshots.
+                    let optimized = optimize(plan);
+                    let schema = optimized.schema().clone();
+                    let rows = Executor::new(guard.snapshot()).run(&optimized)?;
+                    (schema, rows)
+                };
+                // Stored column set loses the source qualifiers.
+                let columns: Vec<Column> = schema
+                    .iter()
+                    .map(|c| {
+                        let mut c = c.clone();
+                        c.qualifier = None;
+                        c
+                    })
+                    .collect();
+                let mut table = Table::new(name.clone(), Schema::new(columns));
+                // Eager provenance: remember which columns are provenance so
+                // later provenance queries over this table propagate them
+                // as external provenance (paper §1: "store the provenance
+                // of a query for later reuse").
+                if let Some(attrs) = provenance_attrs {
+                    table.set_provenance_columns(attrs)?;
+                }
+                let n = rows.len();
+                for r in rows {
+                    table.push_raw(r);
+                }
+                guard.create_table(table)?;
+                Ok(StatementResult::TableCreated { name, rows: n })
+            }
+            BoundStatement::CreateView { name, definition } => {
+                guard.create_view(name.clone(), definition)?;
+                Ok(StatementResult::ViewCreated { name })
+            }
+            BoundStatement::Insert { table, rows } => {
+                // Evaluate the bound row expressions (no input tuple).
+                let tuples: Vec<Tuple> = {
+                    let executor = Executor::new(guard.snapshot());
+                    let empty = Tuple::empty();
+                    rows.iter()
+                        .map(|row| {
+                            let env = perm_exec::eval::Env::new(&empty, &[]);
+                            let vals = row
+                                .iter()
+                                .map(|e| perm_exec::eval::eval(&executor, e, &env))
+                                .collect::<Result<Vec<_>>>()?;
+                            Ok(Tuple::new(vals))
+                        })
+                        .collect::<Result<_>>()?
+                };
+                let n = guard.table_mut(&table)?.insert_all(tuples)?;
+                Ok(StatementResult::Inserted(n))
+            }
+            BoundStatement::Drop {
+                kind,
+                name,
+                if_exists,
+            } => {
+                let dropped = match kind {
+                    ObjectKind::Table => guard.drop_table(&name, if_exists)?,
+                    ObjectKind::View => guard.drop_view(&name, if_exists)?,
+                };
+                Ok(StatementResult::Dropped(dropped))
+            }
+            BoundStatement::Query(_) | BoundStatement::Explain(_) => {
+                unreachable!("queries take the read path")
+            }
+        }
+    }
+}
+
+/// A prepared statement: the parsed, provenance-rewritten, optimized plan
+/// of one query, cached for repeated execution.
+///
+/// [`Prepared::execute`] skips parse, analysis, the provenance rewrite and
+/// optimization entirely — each call only snapshots the catalog and runs
+/// the cached plan, which is the hot path when the same provenance query
+/// is asked many times (possibly from many threads; `Prepared` is `Send +
+/// Sync` and cheap to clone).
+///
+/// Execution always reads the *current* catalog, so data changes between
+/// calls are visible. Schema changes to a scanned table invalidate the
+/// plan: execution compares the table's column names and types against
+/// the plan's and fails with a schema-mismatch error rather than
+/// returning wrong rows; re-`prepare` after DDL.
+#[derive(Clone)]
+pub struct Prepared {
+    session: Session,
+    sql: String,
+    plan: Arc<LogicalPlan>,
+    schema: Schema,
+}
+
+impl Prepared {
+    /// The SQL this statement was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The cached optimized plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// Run the cached plan against the current catalog, materializing the
+    /// result.
+    pub fn execute(&self) -> Result<QueryResult> {
+        let rows = Executor::new(self.session.snapshot()).run(&self.plan)?;
+        Ok(QueryResult::new(&self.schema, rows))
+    }
+
+    /// Run the cached plan cursor-style (see [`Session::query_stream`]).
+    pub fn execute_stream(&self) -> Result<RowStream> {
+        let stream = Executor::new(self.session.snapshot()).into_stream(&self.plan)?;
+        Ok(RowStream::new(self.schema.clone(), stream))
+    }
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("sql", &self.sql)
+            .field("columns", &self.schema.names())
+            .finish()
+    }
+}
+
+// The whole point of the server API: handles and prepared plans move
+// freely across threads. Enforced at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PermServer>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<LogicalPlan>();
+    const fn assert_send<T: Send>() {}
+    assert_send::<RowStream>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_types::Value;
+
+    fn seeded() -> (PermServer, Session) {
+        let server = PermServer::new();
+        let session = server.session();
+        session
+            .run_script(
+                "CREATE TABLE t (x int NOT NULL, y text);
+                 INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c');",
+            )
+            .unwrap();
+        (server, session)
+    }
+
+    #[test]
+    fn sessions_share_one_catalog() {
+        let (server, s1) = seeded();
+        let s2 = server.session();
+        assert_eq!(s2.query("SELECT x FROM t").unwrap().row_count(), 3);
+        s2.execute("INSERT INTO t VALUES (4, 'd')").unwrap();
+        assert_eq!(s1.query("SELECT x FROM t").unwrap().row_count(), 4);
+    }
+
+    #[test]
+    fn snapshots_survive_writer_activity() {
+        // A reader's snapshot is taken before the writer starts and stays
+        // queryable while (and after) the writer mutates.
+        let (_, session) = seeded();
+        let snapshot = session.snapshot();
+        session.execute("DROP TABLE t").unwrap();
+        assert_eq!(snapshot.table("t").unwrap().row_count(), 3);
+        assert!(session.snapshot().table("t").is_err());
+    }
+
+    #[test]
+    fn prepared_reuse_matches_one_shot_query() {
+        let (_, session) = seeded();
+        let sql = "SELECT PROVENANCE x, y FROM t WHERE x >= 2";
+        let prepared = session.prepare(sql).unwrap();
+        let one_shot = session.query(sql).unwrap();
+        assert_eq!(prepared.execute().unwrap(), one_shot);
+        assert_eq!(prepared.execute().unwrap(), one_shot, "re-execution");
+        assert_eq!(
+            prepared.schema().names(),
+            vec!["x", "y", "prov_public_t_x", "prov_public_t_y"]
+        );
+    }
+
+    #[test]
+    fn prepared_sees_data_changes_but_fails_on_schema_change() {
+        let (_, session) = seeded();
+        let prepared = session.prepare("SELECT x FROM t").unwrap();
+        assert_eq!(prepared.execute().unwrap().row_count(), 3);
+        session.execute("INSERT INTO t VALUES (9, 'z')").unwrap();
+        assert_eq!(prepared.execute().unwrap().row_count(), 4, "fresh data");
+        session.execute("DROP TABLE t").unwrap();
+        session.execute("CREATE TABLE t (x int)").unwrap();
+        let err = prepared.execute().unwrap_err();
+        assert!(err.message().contains("changed schema"), "{err}");
+    }
+
+    #[test]
+    fn prepared_fails_on_same_arity_schema_change() {
+        // A dropped-and-recreated table with the *same* column count but
+        // different names/types must error, not return mislabeled rows.
+        let (_, session) = seeded();
+        let prepared = session.prepare("SELECT x FROM t").unwrap();
+        session.execute("DROP TABLE t").unwrap();
+        session.execute("CREATE TABLE t (a text, b text)").unwrap();
+        session.execute("INSERT INTO t VALUES ('u', 'v')").unwrap();
+        let err = prepared.execute().unwrap_err();
+        assert!(err.message().contains("changed schema"), "{err}");
+        let err = prepared.execute_stream().unwrap_err();
+        assert!(err.message().contains("changed schema"), "{err}");
+    }
+
+    #[test]
+    fn prepare_rejects_ddl() {
+        let (_, session) = seeded();
+        let err = session.prepare("DROP TABLE t").unwrap_err();
+        assert_eq!(err.kind(), "analysis");
+    }
+
+    #[test]
+    fn query_stream_yields_all_rows_in_order() {
+        let (_, session) = seeded();
+        let stream = session
+            .query_stream("SELECT x FROM t ORDER BY x DESC")
+            .unwrap();
+        assert_eq!(stream.columns(), ["x"]);
+        let xs: Vec<Value> = stream.map(|r| r.unwrap().get(0).clone()).collect();
+        assert_eq!(xs, vec![Value::Int(3), Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn query_stream_limit_stops_scanning() {
+        let server = PermServer::new();
+        let session = server.session();
+        session.execute("CREATE TABLE big (x int)").unwrap();
+        {
+            let mut w = session.catalog_write();
+            let t = w.table_mut("big").unwrap();
+            for i in 0..1_000 {
+                t.push_raw(Tuple::new(vec![Value::Int(i)]));
+            }
+        }
+        let mut stream = session
+            .query_stream("SELECT x + 1 FROM big LIMIT 3")
+            .unwrap();
+        let mut got = Vec::new();
+        for r in stream.by_ref() {
+            got.push(r.unwrap());
+        }
+        assert_eq!(got.len(), 3);
+        assert!(
+            stream.rows_scanned() <= 3,
+            "LIMIT 3 pulled {} scan rows",
+            stream.rows_scanned()
+        );
+    }
+
+    #[test]
+    fn streams_read_a_consistent_snapshot_across_ddl() {
+        let (_, session) = seeded();
+        let stream = session.query_stream("SELECT x FROM t").unwrap();
+        session.execute("DROP TABLE t").unwrap();
+        // The stream still drains its pre-DDL snapshot.
+        assert_eq!(stream.count(), 3);
+        assert!(session.query("SELECT x FROM t").is_err());
+    }
+
+    #[test]
+    fn run_script_reports_failing_statement_index() {
+        let (_, session) = seeded();
+        let err = session
+            .run_script(
+                "CREATE TABLE s1 (a int);
+                 INSERT INTO s1 VALUES (1);
+                 INSERT INTO nope VALUES (2);
+                 CREATE TABLE s2 (b int);",
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "analysis");
+        assert!(
+            err.message().starts_with("script statement 3 of 4"),
+            "{err}"
+        );
+        assert!(
+            err.message().contains("statements 1-2 already applied"),
+            "{err}"
+        );
+        // Earlier DDL really did apply.
+        assert_eq!(session.query("SELECT a FROM s1").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn per_session_options_are_independent() {
+        use perm_rewrite::ContributionSemantics;
+        let (server, s1) = seeded();
+        let s2 = server.session_with_options(
+            SessionOptions::default().with_default_semantics(ContributionSemantics::Lineage),
+        );
+        assert_eq!(
+            s1.options().rewrite.default_semantics,
+            ContributionSemantics::Influence
+        );
+        assert_eq!(
+            s2.options().rewrite.default_semantics,
+            ContributionSemantics::Lineage
+        );
+    }
+}

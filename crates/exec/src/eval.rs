@@ -29,7 +29,7 @@ impl<'a> Env<'a> {
 }
 
 /// Evaluate `e` in `env`, executing sublinks through `exec`.
-pub fn eval(exec: &Executor<'_>, e: &ScalarExpr, env: &Env<'_>) -> Result<Value> {
+pub fn eval(exec: &Executor, e: &ScalarExpr, env: &Env<'_>) -> Result<Value> {
     match e {
         ScalarExpr::Literal(v) => Ok(v.clone()),
         ScalarExpr::Column(i) => {
@@ -128,7 +128,7 @@ pub fn eval(exec: &Executor<'_>, e: &ScalarExpr, env: &Env<'_>) -> Result<Value>
 }
 
 fn eval_binary(
-    exec: &Executor<'_>,
+    exec: &Executor,
     op: BinOp,
     left: &ScalarExpr,
     right: &ScalarExpr,
@@ -192,7 +192,7 @@ fn in_semantics<'v>(needle: &Value, candidates: impl Iterator<Item = &'v Value>)
     })
 }
 
-fn eval_subquery(exec: &Executor<'_>, sq: &SubqueryExpr, env: &Env<'_>) -> Result<Value> {
+fn eval_subquery(exec: &Executor, sq: &SubqueryExpr, env: &Env<'_>) -> Result<Value> {
     // Fast path: uncorrelated IN probes a hashed value set instead of
     // scanning the materialized subquery result per outer row.
     if sq.kind == SubqueryKind::In && !sq.correlated {
@@ -213,10 +213,10 @@ fn eval_subquery(exec: &Executor<'_>, sq: &SubqueryExpr, env: &Env<'_>) -> Resul
     }
     // Correlated subplans see the current tuple as their innermost outer
     // scope; uncorrelated ones are executed once and cached.
-    let rows: std::rc::Rc<Vec<Tuple>> = if sq.correlated {
+    let rows: std::sync::Arc<Vec<Tuple>> = if sq.correlated {
         let mut outer: Vec<Tuple> = env.outer.to_vec();
         outer.push(env.tuple.clone());
-        std::rc::Rc::new(exec.run_with_outer(&sq.plan, &outer)?)
+        std::sync::Arc::new(exec.run_with_outer(&sq.plan, &outer)?)
     } else {
         exec.run_cached(&sq.plan)?
     };

@@ -8,7 +8,7 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use perm_types::{PermError, Result, Tuple, Value};
 
@@ -21,19 +21,25 @@ use crate::operators::{aggregate, join, setop};
 
 /// Cached first-column set of an uncorrelated IN subquery: the hashed
 /// non-NULL values plus whether a NULL was present.
-type InSet = Rc<(HashSet<Value>, bool)>;
+type InSet = Arc<(HashSet<Value>, bool)>;
 
 /// Safety valve against runaway plans (cross products of cross products).
 /// Generous enough for every workload in the repository; prevents a demo
 /// query from eating the machine.
 const MAX_ROWS: usize = 50_000_000;
 
-/// The executor. Holds the catalog, the stack of outer tuples (for
+/// The executor. Owns a catalog snapshot, the stack of outer tuples (for
 /// correlated subplans) and a cache of uncorrelated sublink results.
-pub struct Executor<'a> {
-    catalog: &'a Catalog,
+///
+/// The catalog is an [`Arc`] snapshot rather than a borrow so that an
+/// executor — and the streams it produces, see [`crate::stream`] — can be
+/// sent to another thread and can outlive the server's catalog lock.
+/// Results and plans are `Send`, so one prepared plan can be executed from
+/// many threads, each with its own executor.
+pub struct Executor {
+    catalog: Arc<Catalog>,
     outer: RefCell<Vec<Tuple>>,
-    subquery_cache: RefCell<HashMap<usize, Rc<Vec<Tuple>>>>,
+    subquery_cache: RefCell<HashMap<usize, Arc<Vec<Tuple>>>>,
     /// Hashed first-column sets of uncorrelated IN subqueries
     /// (`(values, has_null)`), keyed by plan identity.
     in_set_cache: RefCell<HashMap<usize, InSet>>,
@@ -42,8 +48,8 @@ pub struct Executor<'a> {
     nested_loop_only: bool,
 }
 
-impl<'a> Executor<'a> {
-    pub fn new(catalog: &'a Catalog) -> Executor<'a> {
+impl Executor {
+    pub fn new(catalog: Arc<Catalog>) -> Executor {
         Executor {
             catalog,
             outer: RefCell::new(Vec::new()),
@@ -54,11 +60,16 @@ impl<'a> Executor<'a> {
     }
 
     /// An executor that runs every join as a nested loop (ablations).
-    pub fn new_nested_loop_only(catalog: &'a Catalog) -> Executor<'a> {
+    pub fn new_nested_loop_only(catalog: Arc<Catalog>) -> Executor {
         Executor {
             nested_loop_only: true,
             ..Executor::new(catalog)
         }
+    }
+
+    /// The catalog snapshot this executor reads from.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
     }
 
     /// True if hash joins are disabled.
@@ -71,11 +82,7 @@ impl<'a> Executor<'a> {
         match plan {
             LogicalPlan::Scan { table, schema, .. } => {
                 let t = self.catalog.table(table)?;
-                if t.schema().len() != schema.len() {
-                    return Err(PermError::Execution(format!(
-                        "table '{table}' changed arity since planning"
-                    )));
-                }
+                check_scan_schema(t, table, schema)?;
                 Ok(t.rows().to_vec())
             }
             LogicalPlan::Values { rows, .. } => {
@@ -276,7 +283,7 @@ impl<'a> Executor<'a> {
     pub fn run_cached_in_set(&self, plan: &LogicalPlan) -> Result<InSet> {
         let key = plan as *const LogicalPlan as usize;
         if let Some(hit) = self.in_set_cache.borrow().get(&key) {
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
         let rows = self.run_cached(plan)?;
         let mut set = HashSet::with_capacity(rows.len());
@@ -289,24 +296,24 @@ impl<'a> Executor<'a> {
                 set.insert(v.clone());
             }
         }
-        let entry = Rc::new((set, has_null));
+        let entry = Arc::new((set, has_null));
         self.in_set_cache
             .borrow_mut()
-            .insert(key, Rc::clone(&entry));
+            .insert(key, Arc::clone(&entry));
         Ok(entry)
     }
 
     /// Execute an uncorrelated subplan once, caching by plan identity.
-    pub fn run_cached(&self, plan: &LogicalPlan) -> Result<Rc<Vec<Tuple>>> {
+    pub fn run_cached(&self, plan: &LogicalPlan) -> Result<Arc<Vec<Tuple>>> {
         let key = plan as *const LogicalPlan as usize;
         if let Some(hit) = self.subquery_cache.borrow().get(&key) {
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
         // Uncorrelated plans must not observe outer scopes.
-        let rows = Rc::new(self.run_with_outer(plan, &[])?);
+        let rows = Arc::new(self.run_with_outer(plan, &[])?);
         self.subquery_cache
             .borrow_mut()
-            .insert(key, Rc::clone(&rows));
+            .insert(key, Arc::clone(&rows));
         Ok(rows)
     }
 
@@ -325,4 +332,28 @@ impl<'a> Executor<'a> {
         }
         Ok(())
     }
+}
+
+/// Validate that `table`'s current schema still matches the plan's scan
+/// schema — column names and types, not just arity (qualifiers are
+/// bind-time aliases and may differ). A table dropped and re-created
+/// since planning must fail execution rather than silently return
+/// differently-shaped rows under the old column names.
+pub(crate) fn check_scan_schema(
+    t: &perm_storage::Table,
+    table: &str,
+    schema: &perm_types::Schema,
+) -> Result<()> {
+    let stored = t.schema();
+    let stale = stored.len() != schema.len()
+        || stored
+            .iter()
+            .zip(schema.iter())
+            .any(|(s, p)| s.name != p.name || s.ty != p.ty);
+    if stale {
+        return Err(PermError::Execution(format!(
+            "table '{table}' changed schema since planning; re-plan (or re-prepare) the statement"
+        )));
+    }
+    Ok(())
 }

@@ -11,16 +11,25 @@
 //! hash aggregation and hash set operations. Correlated sublinks in
 //! ordinary (non-provenance) queries are evaluated through an outer-tuple
 //! stack with caching for uncorrelated subplans.
+//!
+//! Results can be consumed two ways: [`Executor::run`] materializes the
+//! whole result, while [`Executor::into_stream`] returns a pull-based
+//! [`stream::TupleStream`] that yields tuples on demand (so `LIMIT k`
+//! over a streamable operator chain reads only the base rows it needs).
+//! The executor owns an `Arc` catalog snapshot, making plans, executors
+//! and streams `Send` — the foundation of the concurrent `PermServer`.
 
 pub mod adapter;
 pub mod eval;
 pub mod executor;
 pub mod operators;
 pub mod planner;
+pub mod stream;
 
 pub use adapter::CatalogAdapter;
 pub use executor::Executor;
 pub use planner::optimize;
+pub use stream::TupleStream;
 
 #[cfg(test)]
 mod tests;

@@ -178,7 +178,7 @@ impl GroupState {
 }
 
 pub fn run_aggregate(
-    exec: &Executor<'_>,
+    exec: &Executor,
     input: &LogicalPlan,
     group_by: &[ScalarExpr],
     aggs: &[AggCall],

@@ -21,7 +21,7 @@ struct EquiKey {
 }
 
 pub fn run_join(
-    exec: &Executor<'_>,
+    exec: &Executor,
     left: &LogicalPlan,
     right: &LogicalPlan,
     kind: JoinType,
@@ -114,7 +114,7 @@ fn extract_equi_keys(cond: &ScalarExpr, nl: usize) -> (Vec<EquiKey>, Option<Scal
 struct Key(Vec<Value>);
 
 fn build_key(
-    exec: &Executor<'_>,
+    exec: &Executor,
     exprs: &[&ScalarExpr],
     null_safe: &[bool],
     env: &Env<'_>,
@@ -133,7 +133,7 @@ fn build_key(
 
 #[allow(clippy::too_many_arguments)]
 fn hash_join(
-    exec: &Executor<'_>,
+    exec: &Executor,
     lrows: Vec<Tuple>,
     rrows: Vec<Tuple>,
     nl: usize,
@@ -205,7 +205,7 @@ fn hash_join(
 }
 
 fn nested_loop(
-    exec: &Executor<'_>,
+    exec: &Executor,
     lrows: Vec<Tuple>,
     rrows: Vec<Tuple>,
     nl: usize,

@@ -12,7 +12,7 @@ use perm_algebra::plan::{LogicalPlan, SetOpType};
 use crate::executor::Executor;
 
 pub fn run_setop(
-    exec: &Executor<'_>,
+    exec: &Executor,
     op: SetOpType,
     all: bool,
     left: &LogicalPlan,

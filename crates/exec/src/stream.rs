@@ -1,0 +1,227 @@
+//! Pull-based execution: a cursor tree that yields tuples one at a time.
+//!
+//! [`TupleStream`] drives a top-level plan cursor-style, the way a
+//! PostgreSQL client consumes a portal: `next()` pulls one row, and the
+//! pipeline-friendly operators — scans, filters, projections, limits —
+//! produce it on demand. A `LIMIT k` over a streamable chain therefore
+//! pulls only as many base-table rows as it needs instead of
+//! materializing the whole input first. Blocking operators (joins,
+//! aggregation, sorts, set operations, DISTINCT) have no incremental
+//! form in this executor; a blocking subtree is materialized through
+//! [`Executor::run`] on first pull and drained from its buffer.
+//!
+//! The stream owns its [`Executor`] — and through it an immutable catalog
+//! snapshot — so it keeps yielding a consistent result however long the
+//! consumer takes, even while concurrent sessions run DDL against the
+//! shared catalog.
+
+use perm_algebra::expr::ScalarExpr;
+use perm_algebra::plan::LogicalPlan;
+use perm_storage::Catalog;
+use perm_types::{Result, Tuple};
+
+use crate::eval::{eval, Env};
+use crate::executor::Executor;
+
+/// A pull-based result: `Iterator<Item = Result<Tuple>>` over a plan.
+///
+/// Created by [`Executor::into_stream`]. The stream is fused: after the
+/// first error (or the natural end) it yields `None` forever.
+pub struct TupleStream {
+    exec: Executor,
+    cursor: Cursor,
+    rows_scanned: usize,
+    done: bool,
+}
+
+impl TupleStream {
+    /// Build a stream over `plan`, validating its base-table scans against
+    /// the executor's catalog snapshot up front.
+    pub fn new(exec: Executor, plan: &LogicalPlan) -> Result<TupleStream> {
+        let cursor = Cursor::build(&exec, plan)?;
+        Ok(TupleStream {
+            exec,
+            cursor,
+            rows_scanned: 0,
+            done: false,
+        })
+    }
+
+    /// How many base-table rows the streamable scans have pulled so far.
+    ///
+    /// Rows read inside materialized (blocking) subtrees are not counted —
+    /// the counter measures exactly the early-termination benefit: a
+    /// `LIMIT k` over a streamable chain stops after pulling the few scan
+    /// rows it needed.
+    pub fn rows_scanned(&self) -> usize {
+        self.rows_scanned
+    }
+}
+
+impl Iterator for TupleStream {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Result<Tuple>> {
+        if self.done {
+            return None;
+        }
+        let item = self.cursor.next(&self.exec, &mut self.rows_scanned);
+        match &item {
+            None | Some(Err(_)) => self.done = true,
+            Some(Ok(_)) => {}
+        }
+        item
+    }
+}
+
+impl Executor {
+    /// Consume this executor into a pull-based stream over `plan`.
+    ///
+    /// The plan must be a *top-level* plan (no outer scopes in flight);
+    /// streams are built per statement, exactly like [`Executor::run`]
+    /// calls at the top level.
+    pub fn into_stream(self, plan: &LogicalPlan) -> Result<TupleStream> {
+        TupleStream::new(self, plan)
+    }
+}
+
+/// One node of the cursor tree. Streamable operators hold just the state
+/// they need (cloned out of the plan, so the stream is self-contained);
+/// everything else lazily materializes via [`Executor::run`].
+enum Cursor {
+    /// Base-table scan: yields `rows()[next]` on each pull. Holds the
+    /// pre-folded catalog key so the per-pull re-resolution (the borrow
+    /// rules forbid caching `&Table` next to the owning snapshot) is an
+    /// allocation-free map lookup.
+    Scan { key: String, next: usize },
+    /// Streaming filter: pulls from the input until the predicate holds.
+    Filter {
+        input: Box<Cursor>,
+        predicate: ScalarExpr,
+    },
+    /// Streaming projection.
+    Project {
+        input: Box<Cursor>,
+        exprs: Vec<ScalarExpr>,
+    },
+    /// Streaming OFFSET/LIMIT: stops pulling once exhausted.
+    Limit {
+        input: Box<Cursor>,
+        skip: usize,
+        remaining: Option<usize>,
+    },
+    /// A blocking subtree, not yet executed.
+    Pending(Box<LogicalPlan>),
+    /// A materialized buffer being drained.
+    Drained(std::vec::IntoIter<Tuple>),
+}
+
+impl Cursor {
+    fn build(exec: &Executor, plan: &LogicalPlan) -> Result<Cursor> {
+        Ok(match plan {
+            LogicalPlan::Scan { table, schema, .. } => {
+                // Same staleness check Executor::run performs, done once at
+                // stream construction (the snapshot cannot change under us).
+                let t = exec.catalog().table(table)?;
+                crate::executor::check_scan_schema(t, table, schema)?;
+                Cursor::Scan {
+                    key: Catalog::key_of(table),
+                    next: 0,
+                }
+            }
+            LogicalPlan::Filter { input, predicate } => Cursor::Filter {
+                input: Box::new(Cursor::build(exec, input)?),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Project { input, exprs, .. } => Cursor::Project {
+                input: Box::new(Cursor::build(exec, input)?),
+                exprs: exprs.clone(),
+            },
+            LogicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => Cursor::Limit {
+                input: Box::new(Cursor::build(exec, input)?),
+                skip: *offset as usize,
+                remaining: limit.map(|l| l as usize),
+            },
+            // Boundaries are transparent, exactly as in Executor::run.
+            LogicalPlan::Boundary { input, .. } => Cursor::build(exec, input)?,
+            // Joins, aggregates, sorts, set ops, DISTINCT and VALUES are
+            // blocking: materialize on first pull.
+            other => Cursor::Pending(Box::new(other.clone())),
+        })
+    }
+
+    fn next(&mut self, exec: &Executor, scanned: &mut usize) -> Option<Result<Tuple>> {
+        match self {
+            Cursor::Scan { key, next } => {
+                let t = match exec.catalog().table_by_key(key) {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e)),
+                };
+                let row = t.rows().get(*next)?.clone();
+                *next += 1;
+                *scanned += 1;
+                Some(Ok(row))
+            }
+            Cursor::Filter { input, predicate } => loop {
+                let t = match input.next(exec, scanned)? {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e)),
+                };
+                // Top-level plans have no outer scopes.
+                let env = Env::new(&t, &[]);
+                match eval(exec, predicate, &env).and_then(|v| v.as_bool()) {
+                    Ok(Some(true)) => return Some(Ok(t)),
+                    Ok(_) => continue,
+                    Err(e) => return Some(Err(e)),
+                }
+            },
+            Cursor::Project { input, exprs } => {
+                let t = match input.next(exec, scanned)? {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e)),
+                };
+                let env = Env::new(&t, &[]);
+                let mut vals = Vec::with_capacity(exprs.len());
+                for e in exprs.iter() {
+                    match eval(exec, e, &env) {
+                        Ok(v) => vals.push(v),
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                Some(Ok(Tuple::new(vals)))
+            }
+            Cursor::Limit {
+                input,
+                skip,
+                remaining,
+            } => {
+                while *skip > 0 {
+                    match input.next(exec, scanned)? {
+                        Ok(_) => *skip -= 1,
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                if let Some(r) = remaining {
+                    if *r == 0 {
+                        return None;
+                    }
+                    *r -= 1;
+                }
+                input.next(exec, scanned)
+            }
+            Cursor::Pending(plan) => {
+                let rows = match exec.run(plan) {
+                    Ok(rows) => rows,
+                    Err(e) => return Some(Err(e)),
+                };
+                *self = Cursor::Drained(rows.into_iter());
+                self.next(exec, scanned)
+            }
+            Cursor::Drained(iter) => iter.next().map(Ok),
+        }
+    }
+}

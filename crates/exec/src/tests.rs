@@ -7,6 +7,8 @@ use perm_sql::parse_statement;
 use perm_storage::{Catalog, Table};
 use perm_types::{Column, DataType, Result, Schema, Tuple, Value};
 
+use std::sync::Arc;
+
 use crate::{optimize, CatalogAdapter, Executor};
 
 fn i(v: i64) -> Value {
@@ -16,6 +18,16 @@ fn t(s: &str) -> Value {
     Value::text(s)
 }
 const NULL: Value = Value::Null;
+
+/// An executor over a snapshot of `cat` (tests mutate catalogs in place,
+/// so each execution snapshots explicitly).
+fn executor(cat: &Catalog) -> Executor {
+    Executor::new(Arc::new(cat.clone()))
+}
+
+fn executor_nlj(cat: &Catalog) -> Executor {
+    Executor::new_nested_loop_only(Arc::new(cat.clone()))
+}
 
 /// The Figure 1 example database, rows verbatim from the paper.
 fn forum_catalog() -> Catalog {
@@ -107,7 +119,7 @@ fn run_on(cat: &Catalog, sql: &str) -> Result<Vec<Tuple>> {
         other => panic!("expected query, got {other:?}"),
     };
     let plan = optimize(plan);
-    Executor::new(cat).run(&plan)
+    executor(cat).run(&plan)
 }
 
 fn run(sql: &str) -> Vec<Tuple> {
@@ -180,7 +192,7 @@ fn run_stmt(cat: &mut Catalog, sql: &str) {
         }
         BoundStatement::Insert { table, rows } => {
             let exec_rows: Vec<Tuple> = {
-                let executor = Executor::new(cat);
+                let executor = executor(cat);
                 rows.iter()
                     .map(|row| {
                         let empty = Tuple::empty();
@@ -645,7 +657,7 @@ mod semi_anti {
         let cat = forum_catalog();
         for null_safe in [false, true] {
             let plan = join_on_uid(&cat, JoinType::Semi, null_safe);
-            let rows = Executor::new(&cat).run(&plan).unwrap();
+            let rows = executor(&cat).run(&plan).unwrap();
             // users 1, 2 and 3 all appear in approved; user 2 twice but
             // the semi join emits each left row once.
             assert_eq!(rows.len(), 3, "null_safe={null_safe}");
@@ -661,7 +673,7 @@ mod semi_anti {
             .insert(Tuple::new(vec![Value::Int(99), Value::text("Norbert")]))
             .unwrap();
         let plan = join_on_uid(&cat, JoinType::Anti, false);
-        let rows = Executor::new(&cat).run(&plan).unwrap();
+        let rows = executor(&cat).run(&plan).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(1), &Value::text("Norbert"));
     }
@@ -671,8 +683,8 @@ mod semi_anti {
         let cat = forum_catalog();
         for kind in [JoinType::Semi, JoinType::Anti] {
             let plan = join_on_uid(&cat, kind, false);
-            let hash = Executor::new(&cat).run(&plan).unwrap();
-            let nlj = Executor::new_nested_loop_only(&cat).run(&plan).unwrap();
+            let hash = executor(&cat).run(&plan).unwrap();
+            let nlj = executor_nlj(&cat).run(&plan).unwrap();
             assert_eq!(sorted(hash), sorted(nlj), "{kind:?}");
         }
     }
@@ -697,8 +709,8 @@ mod semi_anti {
             Some(cond),
         )
         .unwrap();
-        let hash = Executor::new(&cat).run(&plan).unwrap();
-        let nlj = Executor::new_nested_loop_only(&cat).run(&plan).unwrap();
+        let hash = executor(&cat).run(&plan).unwrap();
+        let nlj = executor_nlj(&cat).run(&plan).unwrap();
         assert_eq!(sorted(hash.clone()), sorted(nlj));
         // users 1 and 3 match once each; user 2 is left-padded; approved's
         // two uid=2 rows are right-padded.
@@ -711,8 +723,8 @@ mod semi_anti {
         for kind in [JoinType::Inner, JoinType::Left, JoinType::Full] {
             for null_safe in [false, true] {
                 let plan = join_on_uid(&cat, kind, null_safe);
-                let hash = Executor::new(&cat).run(&plan).unwrap();
-                let nlj = Executor::new_nested_loop_only(&cat).run(&plan).unwrap();
+                let hash = executor(&cat).run(&plan).unwrap();
+                let nlj = executor_nlj(&cat).run(&plan).unwrap();
                 assert_eq!(sorted(hash), sorted(nlj), "{kind:?} null_safe={null_safe}");
             }
         }

@@ -109,13 +109,27 @@ impl Catalog {
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        match self.get(name) {
+        self.table_by_key(&Self::key(name))
+    }
+
+    /// The internal lookup key for `name` (its case-folded form). Pair
+    /// with [`Catalog::table_by_key`] when the same relation is resolved
+    /// many times — e.g. the streaming executor re-resolves its scan
+    /// table on every pull — to avoid re-folding the name per call.
+    pub fn key_of(name: &str) -> String {
+        Self::key(name)
+    }
+
+    /// Table lookup by a pre-computed [`Catalog::key_of`] key
+    /// (allocation-free).
+    pub fn table_by_key(&self, key: &str) -> Result<&Table> {
+        match self.relations.get(key) {
             Some(Relation::Table(t)) => Ok(t),
             Some(Relation::View(_)) => Err(PermError::Catalog(format!(
-                "'{name}' is a view, not a table"
+                "'{key}' is a view, not a table"
             ))),
             None => Err(PermError::Catalog(format!(
-                "relation '{name}' does not exist"
+                "relation '{key}' does not exist"
             ))),
         }
     }

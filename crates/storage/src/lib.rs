@@ -15,15 +15,22 @@
 //! * **Views** ([`view::View`]) store their defining query un-analyzed; the
 //!   analyzer unfolds them per use, which is what lets the rewriter either
 //!   descend into the view (default) or stop at it (`BASERELATION`).
+//!
+//! For concurrent servers, [`shared::SharedCatalog`] wraps a [`Catalog`]
+//! in copy-on-write snapshots behind a reader/writer lock: readers plan
+//! and execute lock-free against immutable snapshots while writers apply
+//! DDL/DML through a write guard.
 
 pub mod catalog;
 pub mod index;
+pub mod shared;
 pub mod stats;
 pub mod table;
 pub mod view;
 
 pub use catalog::{Catalog, Relation};
 pub use index::HashIndex;
+pub use shared::{CatalogWriteGuard, SharedCatalog};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
 pub use view::View;

@@ -1,5 +1,7 @@
 //! In-memory heap tables.
 
+use std::sync::OnceLock;
+
 use perm_types::{PermError, Result, Schema, Tuple, Value};
 
 use crate::index::HashIndex;
@@ -13,15 +15,33 @@ use crate::stats::TableStats;
 /// that a later `SELECT PROVENANCE … FROM p` treats those columns as
 /// external provenance and propagates them untouched instead of duplicating
 /// `p`'s columns.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
     rows: Vec<Tuple>,
     provenance_columns: Vec<usize>,
     indexes: Vec<HashIndex>,
-    /// Cached statistics; invalidated on mutation.
-    stats: Option<TableStats>,
+    /// Lazily computed statistics, cached through a shared reference so
+    /// read-only sessions on a shared catalog can use them; reset on
+    /// mutation.
+    stats: OnceLock<TableStats>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            provenance_columns: self.provenance_columns.clone(),
+            indexes: self.indexes.clone(),
+            stats: match self.stats.get() {
+                Some(s) => OnceLock::from(s.clone()),
+                None => OnceLock::new(),
+            },
+        }
+    }
 }
 
 impl Table {
@@ -33,7 +53,7 @@ impl Table {
             rows: Vec::new(),
             provenance_columns: Vec::new(),
             indexes: Vec::new(),
-            stats: None,
+            stats: OnceLock::new(),
         }
     }
 
@@ -104,7 +124,7 @@ impl Table {
             idx.insert(&tuple, row_id);
         }
         self.rows.push(tuple);
-        self.stats = None;
+        self.stats.take();
     }
 
     fn check_tuple(&self, tuple: Tuple) -> Result<Tuple> {
@@ -159,7 +179,7 @@ impl Table {
         for idx in &mut self.indexes {
             idx.clear();
         }
-        self.stats = None;
+        self.stats.take();
     }
 
     /// Create a hash index on `column` (idempotent).
@@ -192,20 +212,13 @@ impl Table {
         self.index_on(column).map(|i| i.lookup(key))
     }
 
-    /// Current statistics, computing and caching them if necessary.
-    pub fn stats(&mut self) -> &TableStats {
-        if self.stats.is_none() {
-            self.stats = Some(TableStats::compute(&self.schema, &self.rows));
-        }
-        self.stats.as_ref().expect("just computed")
-    }
-
-    /// Statistics without caching (read-only access).
-    pub fn stats_snapshot(&self) -> TableStats {
-        match &self.stats {
-            Some(s) => s.clone(),
-            None => TableStats::compute(&self.schema, &self.rows),
-        }
+    /// Current statistics, computed on first use and cached until the next
+    /// mutation. Works through shared references, so any number of
+    /// concurrent readers of a shared catalog get (and reuse) the same
+    /// cached statistics.
+    pub fn stats(&self) -> &TableStats {
+        self.stats
+            .get_or_init(|| TableStats::compute(&self.schema, &self.rows))
     }
 }
 

@@ -56,7 +56,7 @@ proptest! {
             let v = k.map(Value::Int).unwrap_or(Value::Null);
             t.insert(Tuple::new(vec![v])).unwrap();
         }
-        let stats = t.stats_snapshot();
+        let stats = t.stats();
         prop_assert_eq!(stats.row_count, rows.len());
         let nulls = rows.iter().filter(|k| k.is_none()).count();
         prop_assert_eq!(stats.columns[0].null_count, nulls);

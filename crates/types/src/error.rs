@@ -39,6 +39,22 @@ impl PermError {
         }
     }
 
+    /// The same error with `context` prefixed to its message, keeping the
+    /// category. Used to tag an error with where it happened (for example
+    /// which statement of a script failed).
+    pub fn with_context(self, context: impl fmt::Display) -> PermError {
+        let wrap = |m: String| format!("{context}: {m}");
+        match self {
+            PermError::Parse(m) => PermError::Parse(wrap(m)),
+            PermError::Analysis(m) => PermError::Analysis(wrap(m)),
+            PermError::Rewrite(m) => PermError::Rewrite(wrap(m)),
+            PermError::Plan(m) => PermError::Plan(wrap(m)),
+            PermError::Execution(m) => PermError::Execution(wrap(m)),
+            PermError::Catalog(m) => PermError::Catalog(wrap(m)),
+            PermError::Value(m) => PermError::Value(wrap(m)),
+        }
+    }
+
     /// The human-readable message, without the category prefix.
     pub fn message(&self) -> &str {
         match self {
@@ -71,6 +87,14 @@ mod tests {
         assert_eq!(e.to_string(), "parse error: unexpected token");
         assert_eq!(e.kind(), "parse");
         assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn with_context_prefixes_and_keeps_kind() {
+        let e = PermError::Catalog("relation 't' does not exist".into());
+        let e = e.with_context("statement 2 of 3");
+        assert_eq!(e.kind(), "catalog");
+        assert_eq!(e.message(), "statement 2 of 3: relation 't' does not exist");
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The server API end to end: one `PermServer`, concurrent sessions,
+//! prepared statements and streaming results.
+//!
+//! Run with: `cargo run --example concurrent_server`
+
+use std::thread;
+
+use perm::{PermServer, Result, SessionOptions};
+
+fn main() -> Result<()> {
+    // One server owns the catalog; every session is a cheap handle.
+    let server = PermServer::new();
+    let admin = server.session();
+    admin.run_script(
+        "CREATE TABLE messages (mId int NOT NULL, text text, uId int);
+         CREATE TABLE imports (mId int NOT NULL, text text, origin text);
+         INSERT INTO messages VALUES (1, 'lorem ipsum ...', 3), (4, 'hi there ...', 2);
+         INSERT INTO imports VALUES (2, 'hello ...', 'superForum'),
+                                    (3, 'I don''t ...', 'HiBoard');
+         CREATE VIEW v1 AS SELECT mId, text FROM messages
+                           UNION SELECT mId, text FROM imports;",
+    )?;
+
+    // Prepare once: the provenance rewrite and optimization are cached.
+    let prepared = admin.prepare("SELECT PROVENANCE mid, text FROM v1")?;
+
+    // Fan out: each thread gets its own session (readers never block each
+    // other), re-executing the prepared plan.
+    let totals: Vec<usize> = thread::scope(|s| {
+        (0..4)
+            .map(|_| {
+                let prepared = prepared.clone();
+                s.spawn(move || prepared.execute().unwrap().row_count())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    println!("4 threads, rows per execution: {totals:?}");
+
+    // Meanwhile a writer can evolve the catalog: readers keep consistent
+    // snapshots, later executions see the new data.
+    admin.execute("INSERT INTO messages VALUES (9, 'breaking news', 1)")?;
+    println!(
+        "after insert, prepared sees {} rows",
+        prepared.execute()?.row_count()
+    );
+
+    // Streaming: pull rows cursor-style; LIMIT stops the scan early.
+    let mut stream = server
+        .session()
+        .query_stream("SELECT PROVENANCE mid, text FROM messages LIMIT 1")?;
+    println!("columns: {:?}", stream.columns());
+    if let Some(row) = stream.next() {
+        println!("first row: {:?}", row?);
+    }
+    println!("scan rows pulled: {}", stream.rows_scanned());
+
+    // Per-session options: another analyst wants LINEAGE semantics.
+    let lineage = server.session_with_options(
+        SessionOptions::default().with_default_semantics(perm::ContributionSemantics::Lineage),
+    );
+    let r = lineage.query("SELECT PROVENANCE text FROM messages")?;
+    println!("{}", r.to_table());
+
+    Ok(())
+}

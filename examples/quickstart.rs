@@ -30,5 +30,15 @@ fn main() -> perm_core::Result<()> {
     )?;
     println!("messages that came from another forum, with their origin:\n");
     println!("{}", imported.to_table());
+
+    // The same catalog is a server underneath: hand out concurrent
+    // sessions, prepare hot queries, stream results — see
+    // examples/concurrent_server.rs for the full tour.
+    let session = db.server().session();
+    let prepared = session.prepare("SELECT PROVENANCE text FROM messages")?;
+    println!(
+        "prepared provenance query, re-executed without re-rewriting: {} rows",
+        prepared.execute()?.row_count()
+    );
     Ok(())
 }

@@ -4,8 +4,10 @@
 //! reproduction (Glavic & Alonso, SIGMOD 2009). It re-exports the layered
 //! crates so applications can depend on one name:
 //!
-//! * [`core`] ([`perm_core`]) — the `PermDb` session: parse → analyze →
-//!   provenance-rewrite → plan → execute;
+//! * [`core`] ([`perm_core`]) — the engine facade: the concurrent
+//!   `PermServer` / `Session` / `Prepared` API and the single-session
+//!   `PermDb` shim, both driving parse → analyze → provenance-rewrite →
+//!   plan → execute;
 //! * [`sql`] ([`perm_sql`]) — SQL + SQL-PLE parser;
 //! * [`algebra`] ([`perm_algebra`]) — logical plans, binder, deparser;
 //! * [`rewrite`] ([`perm_rewrite`]) — the provenance rewrite rules;
@@ -20,6 +22,19 @@
 //! let rows = db.query("SELECT PROVENANCE text FROM messages WHERE mid = 4").unwrap();
 //! assert_eq!(rows.columns[1], "prov_public_messages_mid");
 //! ```
+//!
+//! For concurrent embedding — many sessions over one catalog, prepared
+//! statements, streaming results — start from [`PermServer`]:
+//!
+//! ```
+//! use perm::PermServer;
+//!
+//! let server = PermServer::new();
+//! let session = server.session();
+//! session.run_script("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2);").unwrap();
+//! let prepared = session.prepare("SELECT PROVENANCE x FROM t").unwrap();
+//! assert_eq!(prepared.execute().unwrap().row_count(), 2);
+//! ```
 
 pub use perm_algebra as algebra;
 pub use perm_core as core;
@@ -31,7 +46,7 @@ pub use perm_types as types;
 
 // The most common entry points, at the top level.
 pub use perm_core::{
-    BrowserPanels, ContributionSemantics, PermDb, QueryResult, SessionOptions, StageTrace,
-    StatementResult,
+    BrowserPanels, ContributionSemantics, PermDb, PermServer, Prepared, QueryResult, RowStream,
+    Session, SessionOptions, StageTrace, StatementResult,
 };
 pub use perm_types::{PermError, Result, Tuple, Value};

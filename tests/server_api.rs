@@ -1,0 +1,269 @@
+//! Integration tests for the concurrent server API: `PermServer` /
+//! `Session` / `Prepared` / `RowStream`.
+//!
+//! The concurrency smoke test drives 8 threads in debug builds and 16 in
+//! release (`cargo test --release` in CI), all querying one `PermServer` —
+//! including `SELECT PROVENANCE` — while a writer applies DDL/DML.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use perm::{PermServer, Session, SessionOptions, Tuple, Value};
+
+/// The paper's Figure 1 forum database, loaded through a server session.
+fn forum_server() -> PermServer {
+    let server = PermServer::new();
+    server
+        .session()
+        .run_script(
+            "CREATE TABLE messages (mId int NOT NULL, text text, uId int);
+             CREATE TABLE users (uId int NOT NULL, name text);
+             CREATE TABLE imports (mId int NOT NULL, text text, origin text);
+             CREATE TABLE approved (uId int NOT NULL, mId int NOT NULL);
+             INSERT INTO messages VALUES (1, 'lorem ipsum ...', 3), (4, 'hi there ...', 2);
+             INSERT INTO users VALUES (1, 'Bert'), (2, 'Gert'), (3, 'Gertrud');
+             INSERT INTO imports VALUES (2, 'hello ...', 'superForum'),
+                                        (3, 'I don''t ...', 'HiBoard');
+             INSERT INTO approved VALUES (2, 2), (1, 4), (2, 4), (3, 4);
+             CREATE VIEW v1 AS SELECT mId, text FROM messages
+                               UNION SELECT mId, text FROM imports;",
+        )
+        .expect("fixture script is valid");
+    server
+}
+
+/// How many reader threads the smoke tests drive: 8 in debug, 16 in
+/// release (the CI release job exercises the wider fan-out).
+fn reader_threads() -> usize {
+    if cfg!(debug_assertions) {
+        8
+    } else {
+        16
+    }
+}
+
+#[test]
+fn concurrent_sessions_read_correct_results() {
+    let server = forum_server();
+    let n_threads = reader_threads();
+    let iterations = 25;
+
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let session = server.session();
+            handles.push(s.spawn(move || {
+                for _ in 0..iterations {
+                    // Mix provenance and plain queries across threads.
+                    if t % 2 == 0 {
+                        let r = session
+                            .query("SELECT PROVENANCE mid, text FROM messages")
+                            .unwrap();
+                        assert_eq!(
+                            r.columns,
+                            vec![
+                                "mid",
+                                "text",
+                                "prov_public_messages_mid",
+                                "prov_public_messages_text",
+                                "prov_public_messages_uid"
+                            ]
+                        );
+                        assert_eq!(r.row_count(), 2);
+                    } else {
+                        let r = session
+                            .query("SELECT count(*) FROM v1 JOIN approved a ON v1.mId = a.mId")
+                            .unwrap();
+                        assert_eq!(r.row(0), &[Value::Int(4)]);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn readers_run_during_writer_ddl() {
+    let server = forum_server();
+    let n_threads = reader_threads();
+    let errors = AtomicUsize::new(0);
+
+    thread::scope(|s| {
+        // Readers: fixed tables stay queryable and correct throughout.
+        let mut handles = Vec::new();
+        for _ in 0..n_threads {
+            let session = server.session();
+            let errors = &errors;
+            handles.push(s.spawn(move || {
+                for _ in 0..30 {
+                    match session.query("SELECT PROVENANCE mid FROM messages") {
+                        Ok(r) => {
+                            if r.row_count() != 2 {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Writer: churn unrelated tables with DDL + DML while readers run.
+        let writer = server.session();
+        handles.push(s.spawn(move || {
+            for i in 0..15 {
+                writer
+                    .execute(&format!("CREATE TABLE scratch_{i} (x int)"))
+                    .unwrap();
+                writer
+                    .execute(&format!("INSERT INTO scratch_{i} VALUES ({i})"))
+                    .unwrap();
+                writer.execute(&format!("DROP TABLE scratch_{i}")).unwrap();
+            }
+        }));
+
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    assert_eq!(
+        errors.load(Ordering::Relaxed),
+        0,
+        "readers must never see wrong or missing results during DDL"
+    );
+}
+
+#[test]
+fn one_prepared_statement_shared_across_threads() {
+    let server = forum_server();
+    let prepared = server
+        .session()
+        .prepare("SELECT PROVENANCE mid, text FROM messages")
+        .unwrap();
+    let expected = prepared.execute().unwrap();
+
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..reader_threads() {
+            let prepared = prepared.clone();
+            let expected = expected.clone();
+            handles.push(s.spawn(move || {
+                for _ in 0..20 {
+                    assert_eq!(prepared.execute().unwrap(), expected);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn prepared_reuse_returns_identical_rows_to_one_shot_query() {
+    let server = forum_server();
+    let session = server.session();
+    for sql in [
+        "SELECT PROVENANCE mid, text FROM messages",
+        "SELECT PROVENANCE mid FROM v1",
+        "SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mId = a.mId \
+         GROUP BY v1.mId",
+        "SELECT text FROM messages WHERE mid IN (SELECT mid FROM approved)",
+    ] {
+        let prepared = session.prepare(sql).unwrap();
+        let one_shot = session.query(sql).unwrap();
+        assert_eq!(prepared.execute().unwrap(), one_shot, "{sql}");
+        assert_eq!(prepared.execute().unwrap(), one_shot, "{sql} (re-run)");
+    }
+}
+
+#[test]
+fn row_stream_limit_pulls_only_k_rows_from_the_scan() {
+    let server = PermServer::new();
+    let session = server.session();
+    session.execute("CREATE TABLE big (x int)").unwrap();
+    {
+        let mut cat = session.catalog_write();
+        let t = cat.table_mut("big").unwrap();
+        for i in 0..10_000 {
+            t.push_raw(Tuple::new(vec![Value::Int(i)]));
+        }
+    }
+
+    // A provenance query with LIMIT: the rewrite of a base-table query is
+    // a streamable projection over the scan.
+    let mut stream = session
+        .query_stream("SELECT PROVENANCE x FROM big LIMIT 5")
+        .unwrap();
+    let rows: Vec<Tuple> = stream.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].values(), &[Value::Int(0), Value::Int(0)]);
+    assert!(
+        stream.rows_scanned() <= 5,
+        "LIMIT 5 should pull at most 5 of the 10000 scan rows, pulled {}",
+        stream.rows_scanned()
+    );
+
+    // Early termination also works by just dropping the stream.
+    let mut stream = session.query_stream("SELECT x FROM big").unwrap();
+    let first = stream.next().unwrap().unwrap();
+    assert_eq!(first.values(), &[Value::Int(0)]);
+    assert!(stream.rows_scanned() <= 1);
+    drop(stream);
+
+    // And the streamed result matches the materialized one.
+    let streamed = session
+        .query_stream("SELECT x FROM big WHERE x % 1000 = 3")
+        .unwrap()
+        .collect_result()
+        .unwrap();
+    let materialized = session
+        .query("SELECT x FROM big WHERE x % 1000 = 3")
+        .unwrap();
+    assert_eq!(streamed, materialized);
+}
+
+#[test]
+fn sessions_carry_independent_options() {
+    use perm::rewrite::ContributionSemantics;
+    let server = forum_server();
+    let influence: Session = server.session();
+    let lineage = server.session_with_options(
+        SessionOptions::default().with_default_semantics(ContributionSemantics::Lineage),
+    );
+    // Both run concurrently against the same catalog with different
+    // default semantics; each still answers correctly.
+    thread::scope(|s| {
+        let a = s.spawn(|| {
+            influence
+                .query("SELECT PROVENANCE mid FROM messages")
+                .unwrap()
+                .row_count()
+        });
+        let b = s.spawn(|| {
+            lineage
+                .query("SELECT PROVENANCE mid FROM messages")
+                .unwrap()
+                .row_count()
+        });
+        assert_eq!(a.join().unwrap(), 2);
+        assert_eq!(b.join().unwrap(), 2);
+    });
+}
+
+#[test]
+fn permdb_and_server_share_a_catalog() {
+    // The PermDb shim is a server underneath: sessions handed out by
+    // `server()` see (and affect) the same data.
+    let mut db = perm::PermDb::new();
+    db.execute("CREATE TABLE t (x int)").unwrap();
+    let session = db.server().session();
+    session.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert_eq!(db.query("SELECT x FROM t").unwrap().row_count(), 1);
+}

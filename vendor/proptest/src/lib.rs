@@ -3,7 +3,7 @@
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors the slice of proptest its property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_recursive` and `boxed`;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, `prop_recursive` and `boxed`;
 //! * strategies for integer ranges, simple `[class]{m,n}` string patterns,
 //!   tuples, `Just`, `prop_oneof!`, `prop::collection::vec` and
 //!   `prop::option::of`;
