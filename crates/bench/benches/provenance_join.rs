@@ -1,0 +1,33 @@
+//! Executor hot path on provenance queries: the rewrites produce wide,
+//! join-heavy plans (SPJ widening, aggregation join-back, padded set
+//! operations), so per-row value movement dominates.
+//!
+//! Queries are prepared once; the bench times prepared re-execution. This
+//! is the second workload `BENCH_3.json` records before/after numbers for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use perm_bench::hotpath;
+
+fn provenance_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_join");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let db = hotpath::hotpath_db();
+    let session = db.server().session();
+
+    for (name, sql) in hotpath::provenance_join_queries() {
+        let prepared = session.prepare(&sql).expect("hotpath query prepares");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, _| {
+            b.iter(|| black_box(prepared.execute().expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, provenance_join);
+criterion_main!(benches);

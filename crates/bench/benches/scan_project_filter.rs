@@ -1,0 +1,34 @@
+//! Executor hot path on filter/project-heavy queries: scan → filter →
+//! project chains whose cost is per-row expression evaluation.
+//!
+//! Queries are prepared once; the bench times prepared re-execution, so
+//! parse/rewrite/optimize costs are out of the measurement. This is the
+//! workload `BENCH_3.json` records before/after numbers for (see
+//! `src/bin/bench_summary.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use perm_bench::hotpath;
+
+fn scan_project_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_project_filter");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let db = hotpath::hotpath_db();
+    let session = db.server().session();
+
+    for (name, sql) in hotpath::scan_project_filter_queries() {
+        let prepared = session.prepare(&sql).expect("hotpath query prepares");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, _| {
+            b.iter(|| black_box(prepared.execute().expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scan_project_filter);
+criterion_main!(benches);

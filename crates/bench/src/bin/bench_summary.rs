@@ -1,0 +1,146 @@
+//! Machine-readable benchmark summary emitter.
+//!
+//! Runs the hot-path workload (the same queries as the
+//! `scan_project_filter` and `provenance_join` Criterion benches) in a
+//! quick mode and emits results for trajectory tracking:
+//!
+//! ```text
+//! # capture a raw baseline (run at the *old* revision)
+//! cargo run --release -p perm-bench --bin bench_summary -- --raw baseline.txt
+//! # after the change: merge the baseline and write the JSON summary
+//! cargo run --release -p perm-bench --bin bench_summary -- \
+//!     --baseline baseline.txt --out BENCH_3.json
+//! ```
+//!
+//! The raw format is one `group/name=milliseconds` line per query; the
+//! JSON summary records before/after medians and the speedup factor.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use perm_bench::hotpath;
+
+/// Median wall-clock milliseconds of `runs` prepared executions (two
+/// warm-up runs are discarded).
+fn measure(prepared: &perm_core::Prepared, runs: usize) -> f64 {
+    for _ in 0..2 {
+        prepared.execute().expect("warm-up run succeeds");
+    }
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(prepared.execute().expect("measured run succeeds"));
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn run_workload(runs: usize) -> Vec<(String, f64)> {
+    let db = hotpath::hotpath_db();
+    let session = db.server().session();
+    hotpath::all_queries()
+        .into_iter()
+        .map(|(group, name, sql)| {
+            let prepared = session
+                .prepare(&sql)
+                .unwrap_or_else(|e| panic!("{group}/{name} fails to prepare: {e}"));
+            let ms = measure(&prepared, runs);
+            eprintln!("{group}/{name}: {ms:.3} ms");
+            (format!("{group}/{name}"), ms)
+        })
+        .collect()
+}
+
+/// Parse the raw `key=ms` baseline format written by `--raw`.
+fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+    text.lines()
+        .filter_map(|line| {
+            let (k, v) = line.trim().split_once('=')?;
+            Some((k.to_string(), v.parse::<f64>().ok()?))
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut raw_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut runs = 11usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--raw" => raw_out = Some(args.next().expect("--raw takes a path")),
+            "--baseline" => baseline = Some(args.next().expect("--baseline takes a path")),
+            "--out" => out = Some(args.next().expect("--out takes a path")),
+            "--runs" => {
+                runs = args
+                    .next()
+                    .expect("--runs takes a count")
+                    .parse()
+                    .expect("--runs takes an integer")
+            }
+            other => panic!("unknown argument {other:?} (see module docs)"),
+        }
+    }
+
+    let results = run_workload(runs);
+
+    if let Some(path) = raw_out {
+        let body: String = results
+            .iter()
+            .map(|(k, ms)| format!("{k}={ms}\n"))
+            .collect();
+        std::fs::write(&path, body).expect("raw output file is writable");
+        eprintln!("wrote raw numbers to {path}");
+        return;
+    }
+
+    let before: BTreeMap<String, f64> = match &baseline {
+        Some(path) => parse_baseline(
+            &std::fs::read_to_string(path).expect("baseline file exists and is readable"),
+        ),
+        None => BTreeMap::new(),
+    };
+
+    let mut body = String::from("{\n");
+    body.push_str(&format!(
+        "  \"issue\": 3,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"benches\": {{\n",
+        hotpath::HOTPATH_SCALE,
+        hotpath::HOTPATH_SEED,
+        runs
+    ));
+    for (i, (key, after_ms)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        match before.get(key) {
+            Some(before_ms) => body.push_str(&format!(
+                "    \"{}\": {{\"before_ms\": {:.4}, \"after_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+                json_escape(key),
+                before_ms,
+                after_ms,
+                before_ms / after_ms.max(1e-9),
+                sep
+            )),
+            None => body.push_str(&format!(
+                "    \"{}\": {{\"after_ms\": {:.4}}}{}\n",
+                json_escape(key),
+                after_ms,
+                sep
+            )),
+        }
+    }
+    body.push_str("  }\n}\n");
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &body).expect("output file is writable");
+            eprintln!("wrote summary to {path}");
+        }
+        None => print!("{body}"),
+    }
+}

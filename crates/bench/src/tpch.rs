@@ -96,7 +96,7 @@ pub fn tpch(scale: usize, seed: u64) -> PermDb {
         for n in 0..n_nations {
             nation.push_raw(Tuple::new(vec![
                 Value::Int(n as i64),
-                Value::Text(format!("nation{n}")),
+                Value::text(format!("nation{n}")),
             ]));
         }
     }
@@ -106,7 +106,7 @@ pub fn tpch(scale: usize, seed: u64) -> PermDb {
         for c in 0..n_customers {
             customer.push_raw(Tuple::new(vec![
                 Value::Int(c as i64),
-                Value::Text(format!("customer{c}")),
+                Value::text(format!("customer{c}")),
                 Value::Int(rng.random_range(0..n_nations) as i64),
                 Value::text(segments[rng.random_range(0..segments.len())]),
             ]));

@@ -108,7 +108,7 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
         for u in 0..n_users {
             users.push_raw(Tuple::new(vec![
                 Value::Int(u as i64),
-                Value::Text(format!("user{u}")),
+                Value::text(format!("user{u}")),
             ]));
         }
     }
@@ -119,7 +119,7 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
             let uid = rng.random_range(0..n_users) as i64;
             messages.push_raw(Tuple::new(vec![
                 Value::Int(m as i64),
-                Value::Text(format!("message body {m}")),
+                Value::text(format!("message body {m}")),
                 Value::Int(uid),
             ]));
         }
@@ -131,7 +131,7 @@ pub fn forum(scale: usize, seed: u64) -> PermDb {
             let origin = origins[rng.random_range(0..origins.len())];
             imports.push_raw(Tuple::new(vec![
                 Value::Int((scale + m) as i64),
-                Value::Text(format!("imported body {m}")),
+                Value::text(format!("imported body {m}")),
                 Value::text(origin),
             ]));
         }
@@ -172,8 +172,8 @@ pub fn star(scale: usize, seed: u64) -> PermDb {
         for p in 0..n_products {
             products.push_raw(Tuple::new(vec![
                 Value::Int(p as i64),
-                Value::Text(format!("product{p}")),
-                Value::Text(format!("cat{}", p % 5)),
+                Value::text(format!("product{p}")),
+                Value::text(format!("cat{}", p % 5)),
             ]));
         }
     }
@@ -183,7 +183,7 @@ pub fn star(scale: usize, seed: u64) -> PermDb {
         for r in 0..n_regions {
             regions.push_raw(Tuple::new(vec![
                 Value::Int(r as i64),
-                Value::Text(format!("region{r}")),
+                Value::text(format!("region{r}")),
             ]));
         }
     }

@@ -173,7 +173,11 @@ fn eval_binary(
 }
 
 /// SQL `IN` three-valued semantics over a list of candidate values.
-fn in_semantics<'v>(needle: &Value, candidates: impl Iterator<Item = &'v Value>) -> Result<Value> {
+/// Shared with the compiled-expression path ([`crate::compile`]).
+pub(crate) fn in_semantics<'v>(
+    needle: &Value,
+    candidates: impl Iterator<Item = &'v Value>,
+) -> Result<Value> {
     if needle.is_null() {
         return Ok(Value::Null);
     }
@@ -216,7 +220,7 @@ fn eval_subquery(exec: &Executor, sq: &SubqueryExpr, env: &Env<'_>) -> Result<Va
     let rows: std::sync::Arc<Vec<Tuple>> = if sq.correlated {
         let mut outer: Vec<Tuple> = env.outer.to_vec();
         outer.push(env.tuple.clone());
-        std::sync::Arc::new(exec.run_with_outer(&sq.plan, &outer)?)
+        std::sync::Arc::new(exec.run_with_outer(&sq.plan, outer)?)
     } else {
         exec.run_cached(&sq.plan)?
     };
@@ -242,7 +246,9 @@ fn eval_subquery(exec: &Executor, sq: &SubqueryExpr, env: &Env<'_>) -> Result<Va
     }
 }
 
-fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
+/// Built-in scalar function dispatch. Shared with the compiled-expression
+/// path ([`crate::compile`]).
+pub(crate) fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
     use ScalarFunc::*;
     // NULL propagation for the strict single-argument string/number
     // functions.
@@ -343,7 +349,7 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
                 usize::MAX
             };
             let out: String = chars.iter().skip(from).take(len).collect();
-            Ok(Value::Text(out))
+            Ok(Value::text(out))
         }
         Replace => {
             let (s, from, to) = match (&args[0], &args[1], &args[2]) {
@@ -354,7 +360,7 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
                     ))
                 }
             };
-            Ok(Value::Text(s.replace(from.as_str(), to)))
+            Ok(Value::text(s.replace(&**from, to.as_ref())))
         }
         Greatest | Least => {
             let non_null: Vec<&Value> = args.iter().filter(|v| !v.is_null()).collect();
@@ -381,7 +387,7 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
 
 fn text_fn(v: &Value, f: impl Fn(&str) -> String) -> Result<Value> {
     match v {
-        Value::Text(s) => Ok(Value::Text(f(s))),
+        Value::Text(s) => Ok(Value::text(f(s))),
         other => Err(PermError::Value(format!("expected text, got {other}"))),
     }
 }

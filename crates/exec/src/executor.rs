@@ -7,21 +7,23 @@
 //! the subquery result cache.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use perm_types::hash::{set_with_capacity, FxHashSet};
 use perm_types::{PermError, Result, Tuple, Value};
 
 use perm_algebra::expr::{BinOp, ScalarExpr};
 use perm_algebra::plan::LogicalPlan;
 use perm_storage::Catalog;
 
+use crate::compile::{CompiledExpr, CompiledProjection};
 use crate::eval::{eval, Env};
 use crate::operators::{aggregate, join, setop};
 
 /// Cached first-column set of an uncorrelated IN subquery: the hashed
 /// non-NULL values plus whether a NULL was present.
-type InSet = Arc<(HashSet<Value>, bool)>;
+type InSet = Arc<(FxHashSet<Value>, bool)>;
 
 /// Safety valve against runaway plans (cross products of cross products).
 /// Generous enough for every workload in the repository; prevents a demo
@@ -38,7 +40,10 @@ const MAX_ROWS: usize = 50_000_000;
 /// many threads, each with its own executor.
 pub struct Executor {
     catalog: Arc<Catalog>,
-    outer: RefCell<Vec<Tuple>>,
+    /// Outer-tuple stack, shared behind an `Arc` so operators borrow it
+    /// with a refcount bump instead of cloning the whole stack per
+    /// operator call (correlated-free queries share one empty stack).
+    outer: RefCell<Arc<Vec<Tuple>>>,
     subquery_cache: RefCell<HashMap<usize, Arc<Vec<Tuple>>>>,
     /// Hashed first-column sets of uncorrelated IN subqueries
     /// (`(values, has_null)`), keyed by plan identity.
@@ -52,7 +57,7 @@ impl Executor {
     pub fn new(catalog: Arc<Catalog>) -> Executor {
         Executor {
             catalog,
-            outer: RefCell::new(Vec::new()),
+            outer: RefCell::new(Arc::new(Vec::new())),
             subquery_cache: RefCell::new(HashMap::new()),
             in_set_cache: RefCell::new(HashMap::new()),
             nested_loop_only: false,
@@ -86,8 +91,11 @@ impl Executor {
                 Ok(t.rows().to_vec())
             }
             LogicalPlan::Values { rows, .. } => {
+                // Each expression is evaluated exactly once, so the
+                // interpreter is the right tool here — compilation would
+                // only add overhead.
                 let empty = Tuple::empty();
-                let env_outer = self.outer.borrow().clone();
+                let env_outer = self.outer_stack();
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
                     let env = Env::new(&empty, &env_outer);
@@ -99,20 +107,7 @@ impl Executor {
                 }
                 Ok(out)
             }
-            LogicalPlan::Project { input, exprs, .. } => {
-                let rows = self.run(input)?;
-                let outer = self.outer.borrow().clone();
-                let mut out = Vec::with_capacity(rows.len());
-                for t in &rows {
-                    let env = Env::new(t, &outer);
-                    let mut vals = Vec::with_capacity(exprs.len());
-                    for e in exprs {
-                        vals.push(eval(self, e, &env)?);
-                    }
-                    out.push(Tuple::new(vals));
-                }
-                Ok(out)
-            }
+            LogicalPlan::Project { input, exprs, .. } => self.run_project(input, exprs),
             LogicalPlan::Filter { input, predicate } => self.run_filter(input, predicate),
             LogicalPlan::Join {
                 left,
@@ -129,10 +124,16 @@ impl Executor {
             } => aggregate::run_aggregate(self, input, group_by, aggs),
             LogicalPlan::Distinct { input } => {
                 let rows = self.run(input)?;
-                let mut seen = std::collections::HashSet::with_capacity(rows.len());
+                let mut seen = set_with_capacity(rows.len());
                 let mut out = Vec::new();
                 for t in rows {
-                    if seen.insert(t.clone()) {
+                    // Membership first: DISTINCT inputs are duplicate-heavy
+                    // (that is what the operator is for), and a duplicate
+                    // then costs one probe and no clone. Contrast with
+                    // UNION in setop.rs, whose mostly-distinct inputs make
+                    // the single-probe insert the better trade there.
+                    if !seen.contains(&t) {
+                        seen.insert(t.clone());
                         out.push(t);
                     }
                 }
@@ -147,14 +148,18 @@ impl Executor {
             } => setop::run_setop(self, *op, *all, left, right),
             LogicalPlan::Sort { input, keys } => {
                 let rows = self.run(input)?;
-                let outer = self.outer.borrow().clone();
+                let outer = self.outer_stack();
+                let compiled: Vec<CompiledExpr> = keys
+                    .iter()
+                    .map(|k| CompiledExpr::compile(self, &k.expr))
+                    .collect();
                 // Precompute sort keys, then sort stably.
                 let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(rows.len());
                 for t in rows {
                     let env = Env::new(&t, &outer);
-                    let mut ks = Vec::with_capacity(keys.len());
-                    for k in keys {
-                        ks.push(eval(self, &k.expr, &env)?);
+                    let mut ks = Vec::with_capacity(compiled.len());
+                    for c in &compiled {
+                        ks.push(c.eval(self, &env)?);
                     }
                     keyed.push((ks, t));
                 }
@@ -189,15 +194,120 @@ impl Executor {
         }
     }
 
+    /// A projection, fused with its input when that input is a
+    /// `(Filter over)? Scan` chain: base rows are then read *borrowed* and
+    /// only the projected output rows are materialized — the scan copy and
+    /// the filter's intermediate result vanish. This is the shape the
+    /// provenance rewrites produce for every rewritten base relation.
+    fn run_project(&self, input: &LogicalPlan, exprs: &[ScalarExpr]) -> Result<Vec<Tuple>> {
+        let outer = self.outer_stack();
+        let projection = CompiledProjection::compile(self, exprs);
+
+        // Fusion: a slot-only Project over a Join builds the projected
+        // output rows directly inside the join — the combined
+        // `left ++ right` row is never materialized.
+        if let LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            condition,
+            ..
+        } = input
+        {
+            if let CompiledProjection::Slots {
+                slots,
+                width_needed,
+            } = &projection
+            {
+                if *width_needed <= input.arity() {
+                    return join::run_join_projected(
+                        self,
+                        left,
+                        right,
+                        *kind,
+                        condition.as_ref(),
+                        Some(slots),
+                    );
+                }
+            }
+        }
+
+        // Fusion: Project over Filter over Scan.
+        if let LogicalPlan::Filter {
+            input: finput,
+            predicate,
+        } = input
+        {
+            if let LogicalPlan::Scan { table, schema, .. } = finput.as_ref() {
+                // The index fast path materializes its (small) candidate
+                // set; project that directly.
+                if let Some((rows, residual)) = self.try_index_scan(table, predicate)? {
+                    let rows = self.filter_rows(rows, residual.as_ref(), &outer)?;
+                    let mut out = Vec::with_capacity(rows.len());
+                    for t in &rows {
+                        let env = Env::new(t, &outer);
+                        out.push(projection.apply(self, &env)?);
+                    }
+                    return Ok(out);
+                }
+                let t = self.catalog.table(table)?;
+                check_scan_schema(t, table, schema)?;
+                let compiled = CompiledExpr::compile(self, predicate);
+                let mut out = Vec::new();
+                for row in t.rows() {
+                    let env = Env::new(row, &outer);
+                    if compiled.eval_bool(self, &env)? == Some(true) {
+                        out.push(projection.apply(self, &env)?);
+                    }
+                }
+                return Ok(out);
+            }
+        }
+
+        // Fusion: Project directly over Scan.
+        if let LogicalPlan::Scan { table, schema, .. } = input {
+            let t = self.catalog.table(table)?;
+            check_scan_schema(t, table, schema)?;
+            let mut out = Vec::with_capacity(t.row_count());
+            for row in t.rows() {
+                let env = Env::new(row, &outer);
+                out.push(projection.apply(self, &env)?);
+            }
+            return Ok(out);
+        }
+
+        let rows = self.run(input)?;
+        let mut out = Vec::with_capacity(rows.len());
+        for t in &rows {
+            let env = Env::new(t, &outer);
+            out.push(projection.apply(self, &env)?);
+        }
+        Ok(out)
+    }
+
     /// A filter, with hash-index point-lookup acceleration for
-    /// `indexed_column = literal` conjuncts directly over a base-table scan.
+    /// `indexed_column = literal` conjuncts directly over a base-table scan
+    /// and scan fusion (base rows are read borrowed; only passing rows are
+    /// cloned).
     fn run_filter(&self, input: &LogicalPlan, predicate: &ScalarExpr) -> Result<Vec<Tuple>> {
-        let outer = self.outer.borrow().clone();
-        // Index fast path.
-        if let LogicalPlan::Scan { table, .. } = input {
+        let outer = self.outer_stack();
+        if let LogicalPlan::Scan { table, schema, .. } = input {
+            // Index fast path.
             if let Some((rows, residual)) = self.try_index_scan(table, predicate)? {
                 return self.filter_rows(rows, residual.as_ref(), &outer);
             }
+            // Fused scan+filter: clone only the rows that pass.
+            let t = self.catalog.table(table)?;
+            check_scan_schema(t, table, schema)?;
+            let compiled = CompiledExpr::compile(self, predicate);
+            let mut out = Vec::new();
+            for row in t.rows() {
+                let env = Env::new(row, &outer);
+                if compiled.eval_bool(self, &env)? == Some(true) {
+                    out.push(row.clone());
+                }
+            }
+            return Ok(out);
         }
         let rows = self.run(input)?;
         self.filter_rows(rows, Some(predicate), &outer)
@@ -212,10 +322,11 @@ impl Executor {
         let Some(pred) = predicate else {
             return Ok(rows);
         };
+        let compiled = CompiledExpr::compile(self, pred);
         let mut out = Vec::new();
         for t in rows {
             let env = Env::new(&t, outer);
-            if eval(self, pred, &env)?.as_bool()? == Some(true) {
+            if compiled.eval_bool(self, &env)? == Some(true) {
                 out.push(t);
             }
         }
@@ -270,8 +381,8 @@ impl Executor {
     }
 
     /// Execute a (correlated) subplan with an explicit outer-tuple stack.
-    pub fn run_with_outer(&self, plan: &LogicalPlan, outer: &[Tuple]) -> Result<Vec<Tuple>> {
-        let saved = std::mem::replace(&mut *self.outer.borrow_mut(), outer.to_vec());
+    pub fn run_with_outer(&self, plan: &LogicalPlan, outer: Vec<Tuple>) -> Result<Vec<Tuple>> {
+        let saved = std::mem::replace(&mut *self.outer.borrow_mut(), Arc::new(outer));
         let result = self.run(plan);
         *self.outer.borrow_mut() = saved;
         result
@@ -286,7 +397,7 @@ impl Executor {
             return Ok(Arc::clone(hit));
         }
         let rows = self.run_cached(plan)?;
-        let mut set = HashSet::with_capacity(rows.len());
+        let mut set = set_with_capacity(rows.len());
         let mut has_null = false;
         for t in rows.iter() {
             let v = t.get(0);
@@ -310,7 +421,7 @@ impl Executor {
             return Ok(Arc::clone(hit));
         }
         // Uncorrelated plans must not observe outer scopes.
-        let rows = Arc::new(self.run_with_outer(plan, &[])?);
+        let rows = Arc::new(self.run_with_outer(plan, Vec::new())?);
         self.subquery_cache
             .borrow_mut()
             .insert(key, Arc::clone(&rows));
@@ -318,9 +429,10 @@ impl Executor {
     }
 
     /// Current outer-tuple stack (operators that evaluate expressions need
-    /// it to build `Env`s).
-    pub fn outer_stack(&self) -> Vec<Tuple> {
-        self.outer.borrow().clone()
+    /// it to build `Env`s). A refcount bump, not a copy: correlated-free
+    /// queries share one empty stack for the whole execution.
+    pub fn outer_stack(&self) -> Arc<Vec<Tuple>> {
+        Arc::clone(&self.outer.borrow())
     }
 
     /// Guard helper for operators that multiply cardinalities.

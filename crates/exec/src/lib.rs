@@ -12,6 +12,14 @@
 //! ordinary (non-provenance) queries are evaluated through an outer-tuple
 //! stack with caching for uncorrelated subplans.
 //!
+//! The per-row hot path runs on **compiled expressions** ([`compile`]):
+//! each operator lowers its bound expressions once — constants folded,
+//! `AND`/`OR` chains flattened, `LIKE` patterns pre-decoded, literal `IN`
+//! lists pre-hashed, columns resolved to slots — and the executor fuses
+//! projection/filter chains into scans and slot-only projections into
+//! join output. Rows themselves are `Arc`-shared ([`perm_types::Tuple`]),
+//! so operators move references, not values.
+//!
 //! Results can be consumed two ways: [`Executor::run`] materializes the
 //! whole result, while [`Executor::into_stream`] returns a pull-based
 //! [`stream::TupleStream`] that yields tuples on demand (so `LIMIT k`
@@ -20,6 +28,7 @@
 //! and streams `Send` — the foundation of the concurrent `PermServer`.
 
 pub mod adapter;
+pub mod compile;
 pub mod eval;
 pub mod executor;
 pub mod operators;
@@ -27,6 +36,7 @@ pub mod planner;
 pub mod stream;
 
 pub use adapter::CatalogAdapter;
+pub use compile::CompiledExpr;
 pub use executor::Executor;
 pub use planner::optimize;
 pub use stream::TupleStream;

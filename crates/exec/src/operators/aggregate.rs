@@ -1,24 +1,32 @@
 //! Hash aggregation with SQL NULL semantics, `DISTINCT` aggregates and the
 //! `any_value` leniency aggregate.
 
-use std::collections::{HashMap, HashSet};
-
+use perm_types::hash::{FxHashMap, FxHashSet};
 use perm_types::ops::{self, ArithOp};
 use perm_types::{PermError, Result, Tuple, Value};
 
 use perm_algebra::expr::{AggCall, AggFunc, ScalarExpr};
 use perm_algebra::plan::LogicalPlan;
 
-use crate::eval::{eval, Env};
+use crate::compile::{CompiledExpr, CompiledProjection};
+use crate::eval::Env;
 use crate::executor::Executor;
 
 /// Running state of one aggregate within one group.
 enum AggState {
     Count(i64),
-    /// sum and avg share the accumulator; `is_float` tracks output typing.
+    /// sum and avg share the accumulator. Integer inputs accumulate
+    /// exactly in `int_total` (an `i128`, so any realistic number of
+    /// `i64`s sums without precision loss); float inputs go to
+    /// `float_total`. Only a genuine overflow — or a float input —
+    /// promotes the result to `Float`.
     Sum {
-        total: f64,
-        is_float: bool,
+        int_total: i128,
+        float_total: f64,
+        /// A float input was seen: the result is typed `Float`.
+        float_seen: bool,
+        /// `int_total` overflowed i128 and was folded into `float_total`.
+        int_overflow: bool,
         seen: i64,
         avg: bool,
     },
@@ -34,14 +42,18 @@ impl AggState {
         match call.func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum {
-                total: 0.0,
-                is_float: false,
+                int_total: 0,
+                float_total: 0.0,
+                float_seen: false,
+                int_overflow: false,
                 seen: 0,
                 avg: false,
             },
             AggFunc::Avg => AggState::Sum {
-                total: 0.0,
-                is_float: true,
+                int_total: 0,
+                float_total: 0.0,
+                float_seen: true,
+                int_overflow: false,
                 seen: 0,
                 avg: true,
             },
@@ -68,8 +80,10 @@ impl AggState {
                 }
             }
             AggState::Sum {
-                total,
-                is_float,
+                int_total,
+                float_total,
+                float_seen,
+                int_overflow,
                 seen,
                 ..
             } => {
@@ -78,10 +92,25 @@ impl AggState {
                     return Ok(());
                 }
                 match x {
-                    Value::Int(i) => *total += *i as f64,
+                    Value::Int(i) => {
+                        if *int_overflow {
+                            *float_total += *i as f64;
+                        } else {
+                            match int_total.checked_add(i128::from(*i)) {
+                                Some(t) => *int_total = t,
+                                None => {
+                                    // ~2^64 max-magnitude inputs needed;
+                                    // degrade to float rather than error.
+                                    *int_overflow = true;
+                                    *float_total += *int_total as f64 + *i as f64;
+                                    *int_total = 0;
+                                }
+                            }
+                        }
+                    }
                     Value::Float(f) => {
-                        *total += f;
-                        *is_float = true;
+                        *float_total += f;
+                        *float_seen = true;
                     }
                     other => {
                         return Err(PermError::Value(format!(
@@ -126,25 +155,27 @@ impl AggState {
         match self {
             AggState::Count(c) => Value::Int(c),
             AggState::Sum {
-                total,
-                is_float,
+                int_total,
+                float_total,
+                float_seen,
+                int_overflow,
                 seen,
                 avg,
             } => {
                 if seen == 0 {
                     return Value::Null;
                 }
+                let total = int_total as f64 + float_total;
                 if avg {
                     Value::Float(total / seen as f64)
-                } else if is_float {
+                } else if float_seen || int_overflow {
                     Value::Float(total)
+                } else if let Ok(exact) = i64::try_from(int_total) {
+                    // Pure integer sum: exact, no f64 round-trip.
+                    Value::Int(exact)
                 } else {
-                    // Integer sum; reject silent precision loss.
-                    if total.abs() < i64::MAX as f64 {
-                        Value::Int(total as i64)
-                    } else {
-                        Value::Float(total)
-                    }
+                    // Genuine i64 overflow: promote to Float.
+                    Value::Float(int_total as f64)
                 }
             }
             AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
@@ -156,7 +187,7 @@ impl AggState {
 /// One group's accumulators plus per-aggregate DISTINCT filters.
 struct GroupState {
     states: Vec<AggState>,
-    distinct_seen: Vec<Option<HashSet<Value>>>,
+    distinct_seen: Vec<Option<FxHashSet<Value>>>,
 }
 
 impl GroupState {
@@ -167,7 +198,7 @@ impl GroupState {
                 .iter()
                 .map(|c| {
                     if c.distinct {
-                        Some(HashSet::new())
+                        Some(FxHashSet::default())
                     } else {
                         None
                     }
@@ -186,30 +217,34 @@ pub fn run_aggregate(
     let rows = exec.run(input)?;
     let outer = exec.outer_stack();
 
+    // Group-by keys and aggregate arguments are compiled once, evaluated
+    // per row (plain-column group keys build by direct slot copy).
+    let group_c = CompiledProjection::compile(exec, group_by);
+    let arg_c: Vec<Option<CompiledExpr>> = aggs
+        .iter()
+        .map(|call| call.arg.as_ref().map(|e| CompiledExpr::compile(exec, e)))
+        .collect();
+
     // Group order: first appearance (deterministic output for tests; final
     // ordering comes from ORDER BY anyway).
     let mut order: Vec<Tuple> = Vec::new();
-    let mut groups: HashMap<Tuple, GroupState> = HashMap::new();
+    let mut groups: FxHashMap<Tuple, GroupState> = FxHashMap::default();
 
     for t in &rows {
         let env = Env::new(t, &outer);
-        let mut key_vals = Vec::with_capacity(group_by.len());
-        for g in group_by {
-            key_vals.push(eval(exec, g, &env)?);
-        }
-        let key = Tuple::new(key_vals);
-        let state = match groups.get_mut(&key) {
-            Some(s) => s,
-            None => {
-                order.push(key.clone());
-                groups
-                    .entry(key.clone())
-                    .or_insert_with(|| GroupState::new(aggs))
+        let key = group_c.apply(exec, &env)?;
+        // One hash per row: the entry API probes once, and only a *new*
+        // group clones its key (a refcount bump) into the order list.
+        let state = match groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                order.push(v.key().clone());
+                v.insert(GroupState::new(aggs))
             }
         };
-        for (i, call) in aggs.iter().enumerate() {
-            let arg = match &call.arg {
-                Some(e) => Some(eval(exec, e, &env)?),
+        for (i, arg_expr) in arg_c.iter().enumerate() {
+            let arg = match arg_expr {
+                Some(e) => Some(e.eval(exec, &env)?),
                 None => None,
             };
             if let (Some(seen), Some(v)) = (&mut state.distinct_seen[i], &arg) {

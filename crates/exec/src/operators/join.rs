@@ -2,14 +2,14 @@
 //! `IS NOT DISTINCT FROM` keys that Perm's aggregation join-back emits),
 //! nested-loop join for everything else.
 
-use std::collections::HashMap;
-
+use perm_types::hash::{map_with_capacity, FxHashMap};
 use perm_types::{Result, Tuple, Value};
 
 use perm_algebra::expr::{BinOp, ScalarExpr};
 use perm_algebra::plan::{JoinType, LogicalPlan};
 
-use crate::eval::{eval, Env};
+use crate::compile::CompiledExpr;
+use crate::eval::Env;
 use crate::executor::Executor;
 
 /// One extracted equi-key pair: `left_expr ⋈ right_expr`, NULL-safe or not.
@@ -27,6 +27,25 @@ pub fn run_join(
     kind: JoinType,
     condition: Option<&ScalarExpr>,
 ) -> Result<Vec<Tuple>> {
+    run_join_projected(exec, left, right, kind, condition, None)
+}
+
+/// Join with an optional fused slot-only output projection: instead of
+/// materializing each `left ++ right` row and re-projecting it one
+/// operator later, output rows are built directly from the two sides.
+/// The provenance rewrites put a column-shuffling projection on top of
+/// every join they emit, so this removes one full row materialization per
+/// join output row. `out_slots` positions are relative to the join's
+/// output (`0..nl` left, `nl..nl+nr` right; for semi/anti joins the
+/// output is the left side alone).
+pub fn run_join_projected(
+    exec: &Executor,
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    kind: JoinType,
+    condition: Option<&ScalarExpr>,
+    out_slots: Option<&[usize]>,
+) -> Result<Vec<Tuple>> {
     let lrows = exec.run(left)?;
     let rrows = exec.run(right)?;
     let nl = left.arity();
@@ -37,9 +56,57 @@ pub fn run_join(
         .unwrap_or((vec![], None));
 
     if keys.is_empty() || exec.nested_loop_only() {
-        nested_loop(exec, lrows, rrows, nl, nr, kind, condition)
+        nested_loop(exec, lrows, rrows, nl, nr, kind, condition, out_slots)
     } else {
-        hash_join(exec, lrows, rrows, nl, nr, kind, &keys, residual.as_ref())
+        hash_join(
+            exec,
+            lrows,
+            rrows,
+            nl,
+            nr,
+            kind,
+            &keys,
+            residual.as_ref(),
+            out_slots,
+        )
+    }
+}
+
+/// Build an output row of a (possibly projected) join.
+///
+/// `combined` is the already-materialized `left ++ right` row when the
+/// residual predicate forced its construction; otherwise the row is built
+/// directly from the sides — with a fused projection this picks exactly
+/// the projected values and allocates nothing else.
+fn emit_row(
+    l: &Tuple,
+    r: &Tuple,
+    nl: usize,
+    combined: Option<Tuple>,
+    out_slots: Option<&[usize]>,
+) -> Tuple {
+    match (out_slots, combined) {
+        (Some(slots), Some(c)) => c.project(slots),
+        (Some(slots), None) => slots
+            .iter()
+            .map(|&i| {
+                if i < nl {
+                    l.get(i).clone()
+                } else {
+                    r.get(i - nl).clone()
+                }
+            })
+            .collect(),
+        (None, Some(c)) => c,
+        (None, None) => l.concat(r),
+    }
+}
+
+/// Left-side-only output (semi/anti joins).
+fn emit_left(l: &Tuple, out_slots: Option<&[usize]>) -> Tuple {
+    match out_slots {
+        Some(slots) => l.project(slots),
+        None => l.clone(),
     }
 }
 
@@ -109,26 +176,38 @@ fn extract_equi_keys(cond: &ScalarExpr, nl: usize) -> (Vec<EquiKey>, Option<Scal
 }
 
 /// Sentinel wrapper distinguishing "key contains NULL under SQL equality"
-/// (never matches) from a NULL-safe key (NULL matches NULL).
+/// (never matches) from a NULL-safe key (NULL matches NULL). Single-column
+/// keys — the overwhelmingly common case — carry the value inline instead
+/// of allocating a vector per row.
 #[derive(PartialEq, Eq, Hash)]
-struct Key(Vec<Value>);
+enum Key {
+    One(Value),
+    Many(Vec<Value>),
+}
 
 fn build_key(
     exec: &Executor,
-    exprs: &[&ScalarExpr],
+    exprs: &[CompiledExpr],
     null_safe: &[bool],
     env: &Env<'_>,
 ) -> Result<Option<Key>> {
+    if let [e] = exprs {
+        let v = e.eval(exec, env)?;
+        if v.is_null() && !null_safe[0] {
+            // SQL equality with NULL never matches: this row joins nothing.
+            return Ok(None);
+        }
+        return Ok(Some(Key::One(v)));
+    }
     let mut vals = Vec::with_capacity(exprs.len());
     for (e, &ns) in exprs.iter().zip(null_safe) {
-        let v = eval(exec, e, env)?;
+        let v = e.eval(exec, env)?;
         if v.is_null() && !ns {
-            // SQL equality with NULL never matches: this row joins nothing.
             return Ok(None);
         }
         vals.push(v);
     }
-    Ok(Some(Key(vals)))
+    Ok(Some(Key::Many(vals)))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -141,42 +220,72 @@ fn hash_join(
     kind: JoinType,
     keys: &[EquiKey],
     residual: Option<&ScalarExpr>,
+    out_slots: Option<&[usize]>,
 ) -> Result<Vec<Tuple>> {
     let outer = exec.outer_stack();
-    let left_exprs: Vec<&ScalarExpr> = keys.iter().map(|k| &k.left).collect();
-    let right_exprs: Vec<&ScalarExpr> = keys.iter().map(|k| &k.right).collect();
+    // Key expressions and the residual are compiled once per join, then
+    // evaluated per row.
+    let left_exprs: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|k| CompiledExpr::compile(exec, &k.left))
+        .collect();
+    let right_exprs: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|k| CompiledExpr::compile(exec, &k.right))
+        .collect();
     let null_safe: Vec<bool> = keys.iter().map(|k| k.null_safe).collect();
+    let residual = residual.map(|r| CompiledExpr::compile(exec, r));
 
-    // Build on the right side.
-    let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(rrows.len());
+    // Build on the right side. Rows sharing a key are chained through
+    // `next` (one flat array) instead of a per-key vector — the build
+    // pays exactly one hash-map entry per distinct key and no per-row
+    // allocation. Chains are threaded newest-first and emitted in
+    // reverse, preserving right-input order per key.
+    const NIL: usize = usize::MAX;
+    let mut table: FxHashMap<Key, usize> = map_with_capacity(rrows.len());
+    let mut next: Vec<usize> = vec![NIL; rrows.len()];
     for (i, r) in rrows.iter().enumerate() {
         let env = Env::new(r, &outer);
         if let Some(k) = build_key(exec, &right_exprs, &null_safe, &env)? {
-            table.entry(k).or_default().push(i);
+            let head = table.entry(k).or_insert(NIL);
+            next[i] = *head;
+            *head = i;
         }
     }
 
+    let right_nulls = Tuple::nulls(nr);
     let mut right_matched = vec![false; rrows.len()];
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(lrows.len());
+    let mut chain: Vec<usize> = Vec::new();
     for l in &lrows {
         let lenv = Env::new(l, &outer);
         let key = build_key(exec, &left_exprs, &null_safe, &lenv)?;
         let mut matched = false;
         if let Some(key) = key {
-            if let Some(cands) = table.get(&key) {
-                for &ri in cands {
-                    let combined = l.concat(&rrows[ri]);
-                    if let Some(pred) = residual {
-                        let env = Env::new(&combined, &outer);
-                        if eval(exec, pred, &env)?.as_bool()? != Some(true) {
+            if let Some(&head) = table.get(&key) {
+                chain.clear();
+                let mut i = head;
+                while i != NIL {
+                    chain.push(i);
+                    i = next[i];
+                }
+                for &ri in chain.iter().rev() {
+                    // The combined row is only materialized when the
+                    // residual predicate needs an environment to run in.
+                    let mut combined = None;
+                    if let Some(pred) = &residual {
+                        let c = l.concat(&rrows[ri]);
+                        let env = Env::new(&c, &outer);
+                        if pred.eval_bool(exec, &env)? != Some(true) {
                             continue;
                         }
+                        combined = Some(c);
                     }
                     matched = true;
                     right_matched[ri] = true;
                     match kind {
                         JoinType::Semi | JoinType::Anti => {}
-                        _ => out.push(combined),
+                        _ => out.push(emit_row(l, &rrows[ri], nl, combined, out_slots)),
                     }
                     exec.check_row_budget(out.len())?;
                     if matches!(kind, JoinType::Semi) {
@@ -186,24 +295,26 @@ fn hash_join(
             }
         }
         match kind {
-            JoinType::Semi if matched => out.push(l.clone()),
-            JoinType::Anti if !matched => out.push(l.clone()),
+            JoinType::Semi if matched => out.push(emit_left(l, out_slots)),
+            JoinType::Anti if !matched => out.push(emit_left(l, out_slots)),
             JoinType::Left | JoinType::Full if !matched => {
-                out.push(l.concat(&Tuple::nulls(nr)));
+                out.push(emit_row(l, &right_nulls, nl, None, out_slots));
             }
             _ => {}
         }
     }
     if matches!(kind, JoinType::Full) {
+        let left_nulls = Tuple::nulls(nl);
         for (i, r) in rrows.iter().enumerate() {
             if !right_matched[i] {
-                out.push(Tuple::nulls(nl).concat(r));
+                out.push(emit_row(&left_nulls, r, nl, None, out_slots));
             }
         }
     }
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn nested_loop(
     exec: &Executor,
     lrows: Vec<Tuple>,
@@ -212,19 +323,25 @@ fn nested_loop(
     nr: usize,
     kind: JoinType,
     condition: Option<&ScalarExpr>,
+    out_slots: Option<&[usize]>,
 ) -> Result<Vec<Tuple>> {
     let outer = exec.outer_stack();
+    let condition = condition.map(|c| CompiledExpr::compile(exec, c));
+    let right_nulls = Tuple::nulls(nr);
     let mut right_matched = vec![false; rrows.len()];
     let mut out = Vec::new();
     for l in &lrows {
         let mut matched = false;
         for (ri, r) in rrows.iter().enumerate() {
-            let combined = l.concat(r);
-            let ok = match condition {
+            let mut combined = None;
+            let ok = match &condition {
                 None => true,
                 Some(c) => {
-                    let env = Env::new(&combined, &outer);
-                    eval(exec, c, &env)?.as_bool()? == Some(true)
+                    let row = l.concat(r);
+                    let env = Env::new(&row, &outer);
+                    let ok = c.eval_bool(exec, &env)? == Some(true);
+                    combined = Some(row);
+                    ok
                 }
             };
             if !ok {
@@ -234,7 +351,7 @@ fn nested_loop(
             right_matched[ri] = true;
             match kind {
                 JoinType::Semi | JoinType::Anti => {}
-                _ => out.push(combined),
+                _ => out.push(emit_row(l, r, nl, combined, out_slots)),
             }
             exec.check_row_budget(out.len())?;
             if matches!(kind, JoinType::Semi) {
@@ -242,18 +359,19 @@ fn nested_loop(
             }
         }
         match kind {
-            JoinType::Semi if matched => out.push(l.clone()),
-            JoinType::Anti if !matched => out.push(l.clone()),
+            JoinType::Semi if matched => out.push(emit_left(l, out_slots)),
+            JoinType::Anti if !matched => out.push(emit_left(l, out_slots)),
             JoinType::Left | JoinType::Full if !matched => {
-                out.push(l.concat(&Tuple::nulls(nr)));
+                out.push(emit_row(l, &right_nulls, nl, None, out_slots));
             }
             _ => {}
         }
     }
     if matches!(kind, JoinType::Full) {
+        let left_nulls = Tuple::nulls(nl);
         for (i, r) in rrows.iter().enumerate() {
             if !right_matched[i] {
-                out.push(Tuple::nulls(nl).concat(r));
+                out.push(emit_row(&left_nulls, r, nl, None, out_slots));
             }
         }
     }

@@ -3,8 +3,7 @@
 //! Tuple equality here is grouping equality (NULL == NULL), matching SQL's
 //! treatment of NULLs in set operations.
 
-use std::collections::{HashMap, HashSet};
-
+use perm_types::hash::{set_with_capacity, FxHashMap, FxHashSet};
 use perm_types::{Result, Tuple};
 
 use perm_algebra::plan::{LogicalPlan, SetOpType};
@@ -27,7 +26,9 @@ pub fn run_setop(
             out
         }
         (SetOpType::Union, false) => {
-            let mut seen = HashSet::with_capacity(l.len() + r.len());
+            // Single-probe insert: UNION inputs are mostly distinct, so
+            // one hash plus a refcount-bump clone beats a double probe.
+            let mut seen = set_with_capacity(l.len() + r.len());
             let mut out = Vec::new();
             for t in l.into_iter().chain(r) {
                 if seen.insert(t.clone()) {
@@ -37,15 +38,15 @@ pub fn run_setop(
             out
         }
         (SetOpType::Intersect, false) => {
-            let rset: HashSet<Tuple> = r.into_iter().collect();
-            let mut seen = HashSet::new();
+            let rset: FxHashSet<Tuple> = r.into_iter().collect();
+            let mut seen = FxHashSet::default();
             l.into_iter()
                 .filter(|t| rset.contains(t) && seen.insert(t.clone()))
                 .collect()
         }
         (SetOpType::Intersect, true) => {
             // Bag intersection: each tuple appears min(countL, countR) times.
-            let mut rcount: HashMap<Tuple, usize> = HashMap::new();
+            let mut rcount: FxHashMap<Tuple, usize> = FxHashMap::default();
             for t in r {
                 *rcount.entry(t).or_insert(0) += 1;
             }
@@ -61,15 +62,15 @@ pub fn run_setop(
             out
         }
         (SetOpType::Except, false) => {
-            let rset: HashSet<Tuple> = r.into_iter().collect();
-            let mut seen = HashSet::new();
+            let rset: FxHashSet<Tuple> = r.into_iter().collect();
+            let mut seen = FxHashSet::default();
             l.into_iter()
                 .filter(|t| !rset.contains(t) && seen.insert(t.clone()))
                 .collect()
         }
         (SetOpType::Except, true) => {
             // Bag difference: countL - countR occurrences survive.
-            let mut rcount: HashMap<Tuple, usize> = HashMap::new();
+            let mut rcount: FxHashMap<Tuple, usize> = FxHashMap::default();
             for t in r {
                 *rcount.entry(t).or_insert(0) += 1;
             }

@@ -15,12 +15,12 @@
 //! consumer takes, even while concurrent sessions run DDL against the
 //! shared catalog.
 
-use perm_algebra::expr::ScalarExpr;
 use perm_algebra::plan::LogicalPlan;
 use perm_storage::Catalog;
 use perm_types::{Result, Tuple};
 
-use crate::eval::{eval, Env};
+use crate::compile::{CompiledExpr, CompiledProjection};
+use crate::eval::Env;
 use crate::executor::Executor;
 
 /// A pull-based result: `Iterator<Item = Result<Tuple>>` over a plan.
@@ -95,14 +95,15 @@ enum Cursor {
     /// allocation-free map lookup.
     Scan { key: String, next: usize },
     /// Streaming filter: pulls from the input until the predicate holds.
+    /// The predicate is compiled once at stream construction.
     Filter {
         input: Box<Cursor>,
-        predicate: ScalarExpr,
+        predicate: CompiledExpr,
     },
-    /// Streaming projection.
+    /// Streaming projection (expressions compiled once).
     Project {
         input: Box<Cursor>,
-        exprs: Vec<ScalarExpr>,
+        projection: CompiledProjection,
     },
     /// Streaming OFFSET/LIMIT: stops pulling once exhausted.
     Limit {
@@ -131,11 +132,11 @@ impl Cursor {
             }
             LogicalPlan::Filter { input, predicate } => Cursor::Filter {
                 input: Box::new(Cursor::build(exec, input)?),
-                predicate: predicate.clone(),
+                predicate: CompiledExpr::compile(exec, predicate),
             },
             LogicalPlan::Project { input, exprs, .. } => Cursor::Project {
                 input: Box::new(Cursor::build(exec, input)?),
-                exprs: exprs.clone(),
+                projection: CompiledProjection::compile(exec, exprs),
             },
             LogicalPlan::Limit {
                 input,
@@ -173,26 +174,19 @@ impl Cursor {
                 };
                 // Top-level plans have no outer scopes.
                 let env = Env::new(&t, &[]);
-                match eval(exec, predicate, &env).and_then(|v| v.as_bool()) {
+                match predicate.eval_bool(exec, &env) {
                     Ok(Some(true)) => return Some(Ok(t)),
                     Ok(_) => continue,
                     Err(e) => return Some(Err(e)),
                 }
             },
-            Cursor::Project { input, exprs } => {
+            Cursor::Project { input, projection } => {
                 let t = match input.next(exec, scanned)? {
                     Ok(t) => t,
                     Err(e) => return Some(Err(e)),
                 };
                 let env = Env::new(&t, &[]);
-                let mut vals = Vec::with_capacity(exprs.len());
-                for e in exprs.iter() {
-                    match eval(exec, e, &env) {
-                        Ok(v) => vals.push(v),
-                        Err(e) => return Some(Err(e)),
-                    }
-                }
-                Some(Ok(Tuple::new(vals)))
+                Some(projection.apply(exec, &env))
             }
             Cursor::Limit {
                 input,

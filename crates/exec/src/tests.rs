@@ -407,6 +407,46 @@ fn avg_of_ints_is_float() {
     assert_eq!(rows, vec![Tuple::new(vec![Value::Float(3.5)])]);
 }
 
+#[test]
+fn sum_of_large_integers_is_exact() {
+    // 2^53 + 1 is not representable in f64: an f64 accumulator would
+    // silently return 2^53. The i128 accumulator keeps integer sums exact.
+    let mut cat = forum_catalog();
+    run_stmt(&mut cat, "CREATE TABLE big (x int)");
+    run_stmt(
+        &mut cat,
+        "INSERT INTO big VALUES (9007199254740993), (5), (-5)",
+    );
+    let rows = run_on(&cat, "SELECT sum(x) FROM big").unwrap();
+    assert_eq!(rows, vec![Tuple::new(vec![i(9_007_199_254_740_993)])]);
+}
+
+#[test]
+fn sum_cancelling_extremes_is_exact() {
+    let mut cat = forum_catalog();
+    run_stmt(&mut cat, "CREATE TABLE big (x int)");
+    run_stmt(
+        &mut cat,
+        "INSERT INTO big VALUES (9223372036854775807), (9223372036854775807), (-9223372036854775807)",
+    );
+    // Exceeds i64 mid-stream, but the final value fits: stays exact Int.
+    let rows = run_on(&cat, "SELECT sum(x) FROM big").unwrap();
+    assert_eq!(rows, vec![Tuple::new(vec![i(i64::MAX)])]);
+}
+
+#[test]
+fn sum_overflowing_i64_promotes_to_float() {
+    let mut cat = forum_catalog();
+    run_stmt(&mut cat, "CREATE TABLE big (x int)");
+    run_stmt(
+        &mut cat,
+        "INSERT INTO big VALUES (9223372036854775807), (9223372036854775807)",
+    );
+    let rows = run_on(&cat, "SELECT sum(x) FROM big").unwrap();
+    let expected = 2.0 * i64::MAX as f64;
+    assert_eq!(rows, vec![Tuple::new(vec![Value::Float(expected)])]);
+}
+
 // ----------------------------------------------------------------------
 // Set operations
 // ----------------------------------------------------------------------

@@ -917,7 +917,7 @@ impl Parser {
             }
             TokenKind::StringLit(s) => {
                 self.advance();
-                return Ok(Expr::Literal(Value::Text(s)));
+                return Ok(Expr::Literal(Value::text(s)));
             }
             _ => {}
         }

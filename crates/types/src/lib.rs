@@ -13,6 +13,7 @@
 //! positionally by the rewrite layer.
 
 pub mod error;
+pub mod hash;
 pub mod ops;
 pub mod schema;
 pub mod tuple;

@@ -214,7 +214,7 @@ pub fn concat(a: &Value, b: &Value) -> Result<Value> {
     if a.is_null() || b.is_null() {
         return Ok(Value::Null);
     }
-    Ok(Value::Text(format!("{a}{b}")))
+    Ok(Value::text(format!("{a}{b}")))
 }
 
 /// SQL `LIKE` with `%` (any run) and `_` (any single char) wildcards.
@@ -236,31 +236,53 @@ pub fn like(value: &Value, pattern: &Value) -> Result<Value> {
 }
 
 fn like_match(v: &str, p: &str) -> bool {
-    let vc: Vec<char> = v.chars().collect();
-    let pc: Vec<char> = p.chars().collect();
-    // Classic iterative wildcard matcher with backtracking for '%'.
-    let (mut vi, mut pi) = (0usize, 0usize);
-    let (mut star_p, mut star_v): (Option<usize>, usize) = (None, 0);
-    while vi < vc.len() {
-        if pi < pc.len() && (pc[pi] == '_' || pc[pi] == vc[vi]) {
-            vi += 1;
-            pi += 1;
-        } else if pi < pc.len() && pc[pi] == '%' {
-            star_p = Some(pi);
-            star_v = vi;
-            pi += 1;
-        } else if let Some(sp) = star_p {
-            pi = sp + 1;
-            star_v += 1;
-            vi = star_v;
-        } else {
-            return false;
+    LikeMatcher::new(p).matches(v)
+}
+
+/// A pre-compiled `LIKE` pattern: the pattern's scalar values are decoded
+/// once, so matching many rows against a constant pattern — the executor's
+/// compiled-expression path — only pays for the value side per row.
+#[derive(Debug, Clone)]
+pub struct LikeMatcher {
+    pattern: Vec<char>,
+}
+
+impl LikeMatcher {
+    pub fn new(pattern: &str) -> LikeMatcher {
+        LikeMatcher {
+            pattern: pattern.chars().collect(),
         }
     }
-    while pi < pc.len() && pc[pi] == '%' {
-        pi += 1;
+
+    /// True if `v` matches the pattern (`%` = any run, `_` = any single
+    /// char). Matching is over Unicode scalar values.
+    pub fn matches(&self, v: &str) -> bool {
+        let vc: Vec<char> = v.chars().collect();
+        let pc = &self.pattern;
+        // Classic iterative wildcard matcher with backtracking for '%'.
+        let (mut vi, mut pi) = (0usize, 0usize);
+        let (mut star_p, mut star_v): (Option<usize>, usize) = (None, 0);
+        while vi < vc.len() {
+            if pi < pc.len() && (pc[pi] == '_' || pc[pi] == vc[vi]) {
+                vi += 1;
+                pi += 1;
+            } else if pi < pc.len() && pc[pi] == '%' {
+                star_p = Some(pi);
+                star_v = vi;
+                pi += 1;
+            } else if let Some(sp) = star_p {
+                pi = sp + 1;
+                star_v += 1;
+                vi = star_v;
+            } else {
+                return false;
+            }
+        }
+        while pi < pc.len() && pc[pi] == '%' {
+            pi += 1;
+        }
+        pi == pc.len()
     }
-    pi == pc.len()
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Runtime tuples.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use crate::value::Value;
 
@@ -9,19 +10,34 @@ use crate::value::Value;
 /// Equality and hashing inherit [`Value`]'s grouping semantics
 /// (NULL == NULL), which is what hash-based grouping, duplicate elimination
 /// and NULL-safe provenance join-backs require.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Value storage is a shared `Arc<[Value]>`: cloning a tuple — which the
+/// executor does in scans, `LIMIT`/`DISTINCT`, join build sides and sort
+/// buffers — is a single refcount bump, never a per-value copy. Building a
+/// tuple from an exact-size iterator ([`Tuple::from_iter`], used by the
+/// executor's projection fast path) allocates exactly once. Tuples are
+/// immutable once built, so sharing is always safe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
-    values: Vec<Value>,
+    values: Arc<[Value]>,
 }
+
+/// Shared storage for the empty tuple, so `Tuple::empty()` in hot loops
+/// (global aggregates, VALUES evaluation) never allocates.
+static EMPTY: OnceLock<Arc<[Value]>> = OnceLock::new();
 
 impl Tuple {
     pub fn new(values: Vec<Value>) -> Tuple {
-        Tuple { values }
+        Tuple {
+            values: Arc::from(values),
+        }
     }
 
     /// The empty tuple (used by aggregates without GROUP BY).
     pub fn empty() -> Tuple {
-        Tuple { values: vec![] }
+        Tuple {
+            values: Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new()))),
+        }
     }
 
     pub fn values(&self) -> &[Value] {
@@ -40,31 +56,41 @@ impl Tuple {
         &self.values[i]
     }
 
-    /// Concatenate two tuples (join output).
+    /// Concatenate two tuples (join output): the combined storage is
+    /// allocated once and filled in place — no intermediate vector.
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
-        values.extend_from_slice(&self.values);
-        values.extend_from_slice(&other.values);
+        let n = self.values.len() + other.values.len();
+        let mut storage = Arc::new_uninit_slice(n);
+        let slots = Arc::get_mut(&mut storage).expect("freshly allocated, sole owner");
+        for (slot, v) in slots
+            .iter_mut()
+            .zip(self.values.iter().chain(other.values.iter()))
+        {
+            slot.write(v.clone());
+        }
+        // SAFETY: `slots` has exactly `n` elements and the chained
+        // iterator yields exactly `n` values, so every slot was written.
+        let values = unsafe { storage.assume_init() };
         Tuple { values }
     }
 
-    /// Project onto the given positions.
+    /// Project onto the given positions. Allocates once (the iterator's
+    /// length is known up front).
     pub fn project(&self, indexes: &[usize]) -> Tuple {
-        Tuple {
-            values: indexes.iter().map(|&i| self.values[i].clone()).collect(),
-        }
+        indexes.iter().map(|&i| self.values[i].clone()).collect()
     }
 
     /// A tuple of `n` NULLs — the padding Perm's set-operation and outer-join
     /// rewrites attach for non-contributing provenance attributes.
     pub fn nulls(n: usize) -> Tuple {
-        Tuple {
-            values: vec![Value::Null; n],
-        }
+        std::iter::repeat_n(Value::Null, n).collect()
     }
 
+    /// Recover an owned value vector. The values themselves share their
+    /// payloads, so this is an allocation plus refcount bumps, never a
+    /// deep copy.
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.values.to_vec()
     }
 
     pub fn iter(&self) -> std::slice::Iter<'_, Value> {
@@ -72,9 +98,26 @@ impl Tuple {
     }
 }
 
+impl Default for Tuple {
+    fn default() -> Tuple {
+        Tuple::empty()
+    }
+}
+
 impl From<Vec<Value>> for Tuple {
     fn from(values: Vec<Value>) -> Tuple {
-        Tuple { values }
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    /// Collect values into a tuple. With an exact-size iterator (e.g. a
+    /// mapped slice iterator) the `Arc<[Value]>` storage is allocated in
+    /// one step — the executor's hot row-building paths rely on this.
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
+        Tuple {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -125,5 +168,27 @@ mod tests {
     fn display() {
         let t = Tuple::new(vec![Value::Int(1), Value::Null, Value::text("hi")]);
         assert_eq!(t.to_string(), "(1, null, hi)");
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Tuple::new(vec![Value::Int(1), Value::text("payload")]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.values(), b.values()), "clone is a share");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_values_round_trips() {
+        let a = Tuple::new(vec![Value::Int(7), Value::text("x")]);
+        let kept = a.clone();
+        assert_eq!(a.into_values(), vec![Value::Int(7), Value::text("x")]);
+        assert_eq!(kept.get(0), &Value::Int(7));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: Tuple = (0..3).map(Value::Int).collect();
+        assert_eq!(t.values(), &[Value::Int(0), Value::Int(1), Value::Int(2)]);
     }
 }

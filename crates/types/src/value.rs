@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::error::{PermError, Result};
 use crate::types::DataType;
@@ -16,13 +17,18 @@ use crate::types::DataType;
 /// aggregation rewrite rule (`IS NOT DISTINCT FROM`). Predicate evaluation
 /// uses the three-valued [`crate::ops`] functions instead, where any
 /// comparison with NULL yields NULL.
+///
+/// Text is stored as `Arc<str>`: cloning a value — which the executor does
+/// for every scan, projection, join and sort — is a refcount bump instead
+/// of a heap copy, so the wide join-heavy plans Perm's provenance rewrites
+/// produce never duplicate string payloads.
 #[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
     Int(i64),
     Float(f64),
-    Text(String),
+    Text(Arc<str>),
 }
 
 impl Value {
@@ -42,9 +48,18 @@ impl Value {
         matches!(self, Value::Null)
     }
 
-    /// Convenience constructor for text values.
-    pub fn text(s: impl Into<String>) -> Value {
+    /// Convenience constructor for text values (accepts `&str`, `String`
+    /// or an existing `Arc<str>`).
+    pub fn text(s: impl Into<Arc<str>>) -> Value {
         Value::Text(s.into())
+    }
+
+    /// Borrow the text payload, if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
     }
 
     /// Extract a boolean, treating NULL as `None` (SQL's "unknown").
@@ -85,9 +100,9 @@ impl Value {
                     Err(PermError::Value(format!("float {f} out of int range")))
                 }
             }
-            (Value::Int(i), DataType::Text) => Ok(Value::Text(i.to_string())),
-            (Value::Float(f), DataType::Text) => Ok(Value::Text(format_float(*f))),
-            (Value::Bool(b), DataType::Text) => Ok(Value::Text(b.to_string())),
+            (Value::Int(i), DataType::Text) => Ok(Value::text(i.to_string())),
+            (Value::Float(f), DataType::Text) => Ok(Value::text(format_float(*f))),
+            (Value::Bool(b), DataType::Text) => Ok(Value::text(b.to_string())),
             (Value::Text(s), DataType::Int) => s
                 .trim()
                 .parse::<i64>()
@@ -241,11 +256,16 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::Text(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Text(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Text(v)
     }
 }

@@ -17,7 +17,7 @@ fn value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         // Includes NaN, infinities and -0.0.
         any::<f64>().prop_map(Value::Float),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Text),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::text),
     ]
 }
 

@@ -22,7 +22,7 @@ fn ident() -> impl Strategy<Value = String> {
 fn literal() -> impl Strategy<Value = Expr> {
     prop_oneof![
         (0i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
-        "[a-z ']{0,8}".prop_map(|s| Expr::Literal(Value::Text(s))),
+        "[a-z ']{0,8}".prop_map(|s| Expr::Literal(Value::text(s))),
         Just(Expr::Literal(Value::Bool(true))),
         Just(Expr::Literal(Value::Bool(false))),
         Just(Expr::Literal(Value::Null)),
