@@ -1441,7 +1441,22 @@ pub enum BoundStatement {
         name: String,
         if_exists: bool,
     },
-    Explain(LogicalPlan),
+    Delete {
+        table: String,
+        /// Bound over the table's schema.
+        predicate: Option<ScalarExpr>,
+    },
+    Update {
+        table: String,
+        /// `(column position, bound value expression)` pairs, value
+        /// expressions bound over the table's schema.
+        assignments: Vec<(usize, ScalarExpr)>,
+        predicate: Option<ScalarExpr>,
+    },
+    Explain {
+        plan: LogicalPlan,
+        verbose: bool,
+    },
 }
 
 /// Bind any statement.
@@ -1456,7 +1471,46 @@ pub fn bind_statement(
     };
     match stmt {
         Statement::Query(q) => Ok(BoundStatement::Query(binder.bind_query(q)?)),
-        Statement::Explain(q) => Ok(BoundStatement::Explain(binder.bind_query(q)?)),
+        Statement::Explain { query, verbose } => Ok(BoundStatement::Explain {
+            plan: binder.bind_query(query)?,
+            verbose: *verbose,
+        }),
+        Statement::Delete { table, predicate } => {
+            let meta = catalog
+                .base_table(table)
+                .ok_or_else(|| PermError::Analysis(format!("table '{table}' does not exist")))?;
+            let predicate = predicate
+                .as_ref()
+                .map(|p| binder.bind_expr(p, &meta.schema))
+                .transpose()?;
+            Ok(BoundStatement::Delete {
+                table: table.clone(),
+                predicate,
+            })
+        }
+        Statement::Update {
+            table,
+            assignments,
+            predicate,
+        } => {
+            let meta = catalog
+                .base_table(table)
+                .ok_or_else(|| PermError::Analysis(format!("table '{table}' does not exist")))?;
+            let mut bound = Vec::with_capacity(assignments.len());
+            for (col, value) in assignments {
+                let pos = meta.schema.resolve(None, col)?;
+                bound.push((pos, binder.bind_expr(value, &meta.schema)?));
+            }
+            let predicate = predicate
+                .as_ref()
+                .map(|p| binder.bind_expr(p, &meta.schema))
+                .transpose()?;
+            Ok(BoundStatement::Update {
+                table: table.clone(),
+                assignments: bound,
+                predicate,
+            })
+        }
         Statement::CreateTable { name, columns } => {
             if columns.is_empty() {
                 return Err(PermError::Analysis(

@@ -21,6 +21,7 @@ pub mod deparse;
 pub mod expr;
 pub mod plan;
 pub mod printer;
+pub mod stats;
 pub mod typecheck;
 
 pub use binder::{bind_statement, Binder, BoundStatement};
@@ -31,4 +32,5 @@ pub use deparse::deparse;
 pub use expr::{AggCall, AggFunc, BinOp, ScalarExpr, ScalarFunc, SubqueryExpr, SubqueryKind, UnOp};
 pub use plan::{BoundaryKind, JoinType, LogicalPlan, SetOpType, SortKey};
 pub use printer::{plan_tree, plan_tree_with_schema};
+pub use stats::{CardinalityEstimator, FixedCardinalities, UnknownCardinality};
 pub use typecheck::{agg_type, expr_type};

@@ -1,0 +1,73 @@
+//! The two-phase optimizer under the microscope: what do the cost-based
+//! plans buy on multi-join provenance queries, and what does planning
+//! itself cost?
+//!
+//! Three groups over the shared hotpath forum database (which carries
+//! hash indexes on the join columns):
+//!
+//! * `optimizer_plans/exec_optimized` — prepared execution of the
+//!   multi-join provenance queries through the full logical+physical
+//!   optimizer (column pruning, join reordering, strategy selection);
+//! * `optimizer_plans/exec_unoptimized` — the same queries with the
+//!   logical pass skipped (the physical planner still runs, since the
+//!   executor only consumes physical plans): measures what the logical
+//!   rewrites contribute;
+//! * `optimizer_plans/plan` — bind + optimize + physical-plan latency,
+//!   the one-time cost `Session::prepare` pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use perm_bench::hotpath;
+use perm_exec::{optimize_with, plan_physical, Executor};
+
+/// The multi-join shapes where plan choice matters most.
+fn multi_join_queries() -> Vec<(&'static str, String)> {
+    hotpath::provenance_join_queries()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("prov_3") || name.starts_with("prov_4"))
+        .collect()
+}
+
+fn optimizer_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_plans");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let db = hotpath::hotpath_db();
+    let session = db.server().session();
+
+    for (name, sql) in multi_join_queries() {
+        let prepared = session.prepare(&sql).expect("hotpath query prepares");
+        group.bench_with_input(BenchmarkId::new("exec_optimized", name), &sql, |b, _| {
+            b.iter(|| black_box(prepared.execute().expect("valid")));
+        });
+
+        // The same query with the logical optimizer skipped: the raw
+        // bound (provenance-rewritten) plan, lowered and executed.
+        let snapshot = session.snapshot();
+        let raw = session.bind_sql_on(&snapshot, &sql).expect("binds");
+        let physical_raw = plan_physical(&snapshot, &raw);
+        group.bench_with_input(BenchmarkId::new("exec_unoptimized", name), &sql, |b, _| {
+            b.iter(|| {
+                let exec = Executor::new(session.snapshot());
+                black_box(exec.run_physical(&physical_raw).expect("valid"))
+            });
+        });
+
+        // Planning latency: logical pass + physical lowering.
+        group.bench_with_input(BenchmarkId::new("plan", name), &sql, |b, _| {
+            let estimator = perm_exec::CatalogStats(&snapshot);
+            b.iter(|| {
+                let optimized = optimize_with(raw.clone(), &estimator);
+                black_box(plan_physical(&snapshot, &optimized))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, optimizer_plans);
+criterion_main!(benches);

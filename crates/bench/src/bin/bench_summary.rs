@@ -110,7 +110,7 @@ fn main() {
 
     let mut body = String::from("{\n");
     body.push_str(&format!(
-        "  \"issue\": 3,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"benches\": {{\n",
+        "  \"issue\": 4,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"benches\": {{\n",
         hotpath::HOTPATH_SCALE,
         hotpath::HOTPATH_SEED,
         runs

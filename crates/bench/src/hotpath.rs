@@ -17,9 +17,18 @@ pub const HOTPATH_SCALE: usize = 4000;
 /// Generator seed (the workload is deterministic per seed).
 pub const HOTPATH_SEED: u64 = 42;
 
-/// The forum database both bench groups run against.
+/// The forum database both bench groups run against. Carries hash indexes
+/// on the join columns (`users.uid`, `messages.mid`, `approved.mid`) so the
+/// planner's index-aware join strategies have something to work with.
 pub fn hotpath_db() -> PermDb {
-    forum(HOTPATH_SCALE, HOTPATH_SEED)
+    let mut db = forum(HOTPATH_SCALE, HOTPATH_SEED);
+    {
+        let mut cat = db.catalog_mut();
+        cat.table_mut("users").unwrap().create_index(0).unwrap();
+        cat.table_mut("messages").unwrap().create_index(0).unwrap();
+        cat.table_mut("approved").unwrap().create_index(1).unwrap();
+    }
+    db
 }
 
 /// Filter/project-heavy queries without provenance: the raw executor
@@ -69,6 +78,27 @@ pub fn provenance_join_queries() -> Vec<(&'static str, String)> {
         (
             "prov_setop_view",
             "SELECT PROVENANCE mid, text FROM v1 WHERE mid % 3 = 0".to_string(),
+        ),
+        // Multi-join provenance plans: the shapes where join order, column
+        // pruning and index-aware strategies matter most. The selective
+        // predicate sits on the *last* table in FROM order, so a left-deep
+        // in-order execution is the worst order.
+        (
+            "prov_3join",
+            "SELECT PROVENANCE a.mid, m.text, u.name FROM approved a \
+             JOIN messages m ON a.mid = m.mid \
+             JOIN users u ON m.uid = u.uid \
+             WHERE u.uid < 12"
+                .to_string(),
+        ),
+        (
+            "prov_4join",
+            "SELECT PROVENANCE ua.name, m.text FROM approved a \
+             JOIN users ua ON a.uid = ua.uid \
+             JOIN messages m ON a.mid = m.mid \
+             JOIN users um ON m.uid = um.uid \
+             WHERE um.uid < 6"
+                .to_string(),
         ),
     ]
 }

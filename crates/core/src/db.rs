@@ -27,13 +27,22 @@ pub struct PermDb {
     session: Session,
 }
 
-/// Exposes exact table row counts to the rewriter's cost-based strategy
-/// chooser.
+/// Exposes exact table statistics to the pipeline's unified estimator —
+/// the rewriter's cost-based strategy chooser and the executor's physical
+/// planner both read it. Delegates to [`perm_exec::CatalogStats`].
 pub struct CatalogCardinalities<'a>(pub &'a Catalog);
 
 impl CardinalityEstimator for CatalogCardinalities<'_> {
     fn table_rows(&self, table: &str) -> Option<f64> {
-        self.0.table(table).ok().map(|t| t.row_count() as f64)
+        perm_exec::CatalogStats(self.0).table_rows(table)
+    }
+
+    fn column_distinct(&self, table: &str, column: usize) -> Option<f64> {
+        perm_exec::CatalogStats(self.0).column_distinct(table, column)
+    }
+
+    fn has_index(&self, table: &str, column: usize) -> bool {
+        perm_exec::CatalogStats(self.0).has_index(table, column)
     }
 }
 
@@ -204,17 +213,84 @@ mod tests {
     }
 
     #[test]
-    fn explain_returns_a_tree() {
+    fn explain_returns_the_physical_plan() {
         let mut db = PermDb::new();
         db.execute("CREATE TABLE t (x int)").unwrap();
         let r = db.execute("EXPLAIN SELECT x FROM t WHERE x > 1").unwrap();
         match r {
             StatementResult::Explain(tree) => {
-                assert!(tree.contains("Scan(t)"), "{tree}");
-                assert!(tree.contains("Filter"), "{tree}");
+                assert!(tree.contains("FusedScan(t)"), "{tree}");
+                assert!(tree.contains("filter=(#0 > 1)"), "{tree}");
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn explain_verbose_shows_logical_and_physical_trees() {
+        let mut db = PermDb::new();
+        db.execute("CREATE TABLE t (x int)").unwrap();
+        let r = db
+            .execute("EXPLAIN VERBOSE SELECT x FROM t WHERE x > 1")
+            .unwrap();
+        match r {
+            StatementResult::Explain(text) => {
+                assert!(text.contains("== logical (optimized) =="), "{text}");
+                assert!(text.contains("== physical =="), "{text}");
+                assert!(text.contains("Scan(t)"), "{text}");
+                assert!(text.contains("(t.x: int)"), "schema annotations: {text}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_and_update_statements_execute() {
+        let mut db = PermDb::new();
+        db.run_script(
+            "CREATE TABLE t (x int NOT NULL, y text);
+             INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd');",
+        )
+        .unwrap();
+        assert_eq!(
+            db.execute("DELETE FROM t WHERE x % 2 = 0").unwrap(),
+            StatementResult::Deleted(2)
+        );
+        assert_eq!(
+            db.execute("UPDATE t SET y = y || '!' WHERE x = 3").unwrap(),
+            StatementResult::Updated(1)
+        );
+        let rows = db.query("SELECT x, y FROM t ORDER BY x").unwrap();
+        assert_eq!(rows.rows.len(), 2);
+        assert_eq!(rows.row(1), &[Value::Int(3), Value::text("c!")]);
+        // Unconditional DELETE empties the table.
+        assert_eq!(
+            db.execute("DELETE FROM t").unwrap(),
+            StatementResult::Deleted(2)
+        );
+        assert!(db.query("SELECT * FROM t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn dml_keeps_planner_statistics_fresh() {
+        // The cost model reads Table::stats through the unified
+        // estimator; DELETE/UPDATE must invalidate the cache so a plan
+        // built after the DML sees the new row counts.
+        let mut db = PermDb::new();
+        db.execute("CREATE TABLE t (x int)").unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        let snap = db.catalog();
+        assert_eq!(snap.table("t").unwrap().stats().row_count, 50);
+        db.execute("DELETE FROM t WHERE x >= 10").unwrap();
+        let snap = db.catalog();
+        assert_eq!(snap.table("t").unwrap().stats().row_count, 10);
+        db.execute("UPDATE t SET x = 0 WHERE x < 5").unwrap();
+        let snap = db.catalog();
+        let stats = snap.table("t").unwrap().stats();
+        assert_eq!(stats.row_count, 10);
+        assert_eq!(stats.columns[0].n_distinct, 6, "0 and 5..9");
     }
 
     #[test]

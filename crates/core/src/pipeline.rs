@@ -4,11 +4,14 @@
 //! Figure 3 of the paper shows Perm's architecture: *Parser & Analyzer* →
 //! *Provenance Rewriter* → *Planner* → *Executor*, with view unfolding
 //! during analysis and the provenance rewrite in between. [`StageTrace`]
-//! materializes exactly these stages for one statement, which is what the
-//! demo's "rewrite analysis" part walks through.
+//! materializes these stages for one statement, which is what the demo's
+//! "rewrite analysis" part walks through. Since the two-phase optimizer
+//! landed, the Planner stage is split in two: the logical pass (rule
+//! rewrites, column pruning, join reordering) and the *Physical Planner*
+//! (cost-based operator selection), each with its own artifact.
 
 use perm_algebra::{deparse, plan_tree, plan_tree_with_schema, LogicalPlan};
-use perm_exec::optimize;
+use perm_exec::{optimize_with, physical_tree, plan_physical, PhysicalPlan};
 use perm_sql::{parse_statement, Query, QueryBody, Select, Statement, TableRef};
 use perm_types::{PermError, Result};
 
@@ -38,8 +41,11 @@ pub struct StageTrace {
     /// The plan after the provenance rewrite (identical to
     /// `original_plan` if the query requests no provenance) — marker 4.
     pub rewritten_plan: LogicalPlan,
-    /// The optimized plan handed to the executor.
+    /// The optimized logical plan.
     pub optimized_plan: LogicalPlan,
+    /// The physical execution plan (cost-based operator selection) the
+    /// executor dispatches on.
+    pub physical_plan: PhysicalPlan,
     /// The executed result.
     pub result: QueryResult,
 }
@@ -74,10 +80,16 @@ impl StageTrace {
         // Stage 2: analyze *with* the rewriter attached.
         let rewritten_plan = session.bind_sql_on(&snapshot, sql)?;
 
-        // Stage 3: optimize.
-        let optimized_plan = optimize(rewritten_plan.clone());
+        // Stage 3: optimize (logical pass, fed by catalog statistics).
+        let optimized_plan = optimize_with(
+            rewritten_plan.clone(),
+            &crate::db::CatalogCardinalities(&snapshot),
+        );
 
-        // Stage 4: execute.
+        // Stage 4: physical planning (operator selection).
+        let physical_plan = plan_physical(&snapshot, &optimized_plan);
+
+        // Stage 5: execute.
         let (schema, rows) = session.run_plan_on(snapshot, rewritten_plan.clone())?;
         let result = QueryResult::new(&schema, rows);
 
@@ -86,6 +98,7 @@ impl StageTrace {
             original_plan,
             rewritten_plan,
             optimized_plan,
+            physical_plan,
             result,
         })
     }
@@ -95,7 +108,8 @@ impl StageTrace {
         deparse(&self.rewritten_plan)
     }
 
-    /// The four Figure 3 stages with their artifacts.
+    /// The Figure 3 stages (with the Planner split into its logical and
+    /// physical phases) and their artifacts.
     pub fn stages(&self) -> Vec<Stage> {
         vec![
             Stage {
@@ -114,6 +128,11 @@ impl StageTrace {
                 name: "Planner",
                 description: "optimize and transform into plan",
                 artifact: plan_tree(&self.optimized_plan),
+            },
+            Stage {
+                name: "Physical Planner",
+                description: "cost-based operator selection",
+                artifact: physical_tree(&self.physical_plan),
             },
             Stage {
                 name: "Executor",
@@ -190,7 +209,7 @@ mod tests {
     use crate::fixtures::forum_db;
 
     #[test]
-    fn trace_has_four_stages_in_figure_3_order() {
+    fn trace_has_figure_3_stages_plus_physical_planner() {
         let mut db = forum_db();
         let trace = StageTrace::run(&mut db, "SELECT PROVENANCE mid FROM messages").unwrap();
         let stages = trace.stages();
@@ -200,8 +219,15 @@ mod tests {
                 "Parser & Analyzer",
                 "Provenance Rewriter",
                 "Planner",
+                "Physical Planner",
                 "Executor"
             ]
+        );
+        // The physical stage shows chosen operators, not logical ones.
+        assert!(
+            stages[3].artifact.contains("Scan(messages)"),
+            "{}",
+            stages[3].artifact
         );
     }
 

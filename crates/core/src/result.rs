@@ -178,9 +178,14 @@ pub enum StatementResult {
     ViewCreated { name: String },
     /// INSERT (rows inserted).
     Inserted(usize),
+    /// DELETE (rows removed).
+    Deleted(usize),
+    /// UPDATE (rows changed).
+    Updated(usize),
     /// DROP (whether anything was dropped — false only with IF EXISTS).
     Dropped(bool),
-    /// EXPLAIN output: the optimized algebra tree.
+    /// EXPLAIN output: the physical execution plan (plus the optimized
+    /// logical tree under `EXPLAIN VERBOSE`).
     Explain(String),
 }
 

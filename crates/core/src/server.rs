@@ -39,7 +39,9 @@
 use std::sync::Arc;
 
 use perm_algebra::{bind_statement, BoundStatement, LogicalPlan};
-use perm_exec::{optimize, CatalogAdapter, Executor};
+use perm_exec::{
+    optimize_with, physical_tree, plan_physical, CatalogAdapter, Executor, PhysicalPlan,
+};
 use perm_rewrite::Rewriter;
 use perm_sql::{parse_statement, parse_statements, ObjectKind, Statement};
 use perm_storage::{Catalog, CatalogWriteGuard, SharedCatalog, Table};
@@ -158,7 +160,7 @@ impl Session {
     pub fn execute_statement(&self, stmt: &Statement) -> Result<StatementResult> {
         match stmt {
             // Queries never take the write lock.
-            Statement::Query(_) | Statement::Explain(_) => self.execute_read(stmt),
+            Statement::Query(_) | Statement::Explain { .. } => self.execute_read(stmt),
             _ => self.execute_write(stmt),
         }
     }
@@ -187,9 +189,18 @@ impl Session {
     }
 
     /// Convenience: execute a query and return its materialized rows.
+    /// `EXPLAIN [VERBOSE]` works here too, PostgreSQL-style: one
+    /// `QUERY PLAN` text row per plan line.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         match self.execute(sql)? {
             StatementResult::Rows(r) => Ok(r),
+            StatementResult::Explain(text) => Ok(QueryResult {
+                columns: vec!["QUERY PLAN".into()],
+                rows: text
+                    .lines()
+                    .map(|l| Tuple::new(vec![perm_types::Value::text(l)]))
+                    .collect(),
+            }),
             other => Err(PermError::Execution(format!(
                 "statement did not produce rows: {other:?}"
             ))),
@@ -212,14 +223,14 @@ impl Session {
                 )))
             }
         };
-        let optimized = optimize(plan);
+        let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
         let schema = optimized.schema().clone();
         let stream = Executor::new(snapshot).into_stream(&optimized)?;
         Ok(RowStream::new(schema, stream))
     }
 
-    /// Parse, provenance-rewrite and optimize `sql` once, caching the
-    /// result for repeated execution.
+    /// Parse, provenance-rewrite, optimize and physically plan `sql`
+    /// once, caching the result for repeated execution.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
         let stmt = parse_statement(sql)?;
         let snapshot = self.snapshot();
@@ -231,12 +242,14 @@ impl Session {
                 )))
             }
         };
-        let optimized = optimize(plan);
+        let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
+        let physical = plan_physical(&snapshot, &optimized);
         let schema = optimized.schema().clone();
         Ok(Prepared {
             session: self.clone(),
             sql: sql.to_string(),
             plan: Arc::new(optimized),
+            physical: Arc::new(physical),
             schema,
         })
     }
@@ -258,7 +271,7 @@ impl Session {
     pub fn bind_sql_on(&self, catalog: &Catalog, sql: &str) -> Result<LogicalPlan> {
         let stmt = parse_statement(sql)?;
         match self.bind_on(catalog, &stmt)? {
-            BoundStatement::Query(p) | BoundStatement::Explain(p) => Ok(p),
+            BoundStatement::Query(p) | BoundStatement::Explain { plan: p, .. } => Ok(p),
             other => Err(PermError::Analysis(format!(
                 "expected a query, got {other:?}"
             ))),
@@ -277,7 +290,7 @@ impl Session {
         catalog: Arc<Catalog>,
         plan: LogicalPlan,
     ) -> Result<(Schema, Vec<Tuple>)> {
-        let optimized = optimize(plan);
+        let optimized = optimize_with(plan, &CatalogCardinalities(&catalog));
         let schema = optimized.schema().clone();
         let rows = Executor::new(catalog).run(&optimized)?;
         Ok((schema, rows))
@@ -298,16 +311,24 @@ impl Session {
         let snapshot = self.snapshot();
         match self.bind_on(&snapshot, stmt)? {
             BoundStatement::Query(plan) => {
-                let optimized = optimize(plan);
+                let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
                 let schema = optimized.schema().clone();
                 let rows = Executor::new(snapshot).run(&optimized)?;
                 Ok(StatementResult::Rows(QueryResult::new(&schema, rows)))
             }
-            BoundStatement::Explain(plan) => {
-                let optimized = optimize(plan);
-                Ok(StatementResult::Explain(perm_algebra::plan_tree(
-                    &optimized,
-                )))
+            BoundStatement::Explain { plan, verbose } => {
+                let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
+                let physical = plan_physical(&snapshot, &optimized);
+                let text = if verbose {
+                    format!(
+                        "== logical (optimized) ==\n{}\n== physical ==\n{}",
+                        perm_algebra::plan_tree_with_schema(&optimized),
+                        physical_tree(&physical)
+                    )
+                } else {
+                    physical_tree(&physical)
+                };
+                Ok(StatementResult::Explain(text))
             }
             other => Err(PermError::Analysis(format!(
                 "query statement bound to {other:?}"
@@ -337,7 +358,7 @@ impl Session {
                     // The executor's snapshot is dropped before the
                     // mutation below, so make_mut stays in place unless
                     // other sessions hold snapshots.
-                    let optimized = optimize(plan);
+                    let optimized = optimize_with(plan, &CatalogCardinalities(&guard));
                     let schema = optimized.schema().clone();
                     let rows = Executor::new(guard.snapshot()).run(&optimized)?;
                     (schema, rows)
@@ -400,7 +421,68 @@ impl Session {
                 };
                 Ok(StatementResult::Dropped(dropped))
             }
-            BoundStatement::Query(_) | BoundStatement::Explain(_) => {
+            BoundStatement::Delete { table, predicate } => {
+                // Evaluate the predicate against a pre-mutation snapshot,
+                // then delete through the write guard. Storage rebuilds
+                // indexes and invalidates the statistics cache.
+                let doomed = {
+                    let snapshot = guard.snapshot();
+                    let executor = Executor::new(Arc::clone(&snapshot));
+                    let t = snapshot.table(&table)?;
+                    match &predicate {
+                        None => (0..t.row_count()).collect::<Vec<_>>(),
+                        Some(p) => {
+                            let compiled = perm_exec::CompiledExpr::compile(&executor, p);
+                            let mut out = Vec::new();
+                            for (i, row) in t.rows().iter().enumerate() {
+                                let env = perm_exec::eval::Env::new(row, &[]);
+                                if compiled.eval_bool(&executor, &env)? == Some(true) {
+                                    out.push(i);
+                                }
+                            }
+                            out
+                        }
+                    }
+                };
+                let n = guard.table_mut(&table)?.delete_rows(&doomed);
+                Ok(StatementResult::Deleted(n))
+            }
+            BoundStatement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let updates = {
+                    let snapshot = guard.snapshot();
+                    let executor = Executor::new(Arc::clone(&snapshot));
+                    let t = snapshot.table(&table)?;
+                    let compiled_pred = predicate
+                        .as_ref()
+                        .map(|p| perm_exec::CompiledExpr::compile(&executor, p));
+                    let compiled_assign: Vec<(usize, perm_exec::CompiledExpr)> = assignments
+                        .iter()
+                        .map(|(pos, e)| (*pos, perm_exec::CompiledExpr::compile(&executor, e)))
+                        .collect();
+                    let mut out = Vec::new();
+                    for (i, row) in t.rows().iter().enumerate() {
+                        let env = perm_exec::eval::Env::new(row, &[]);
+                        if let Some(p) = &compiled_pred {
+                            if p.eval_bool(&executor, &env)? != Some(true) {
+                                continue;
+                            }
+                        }
+                        let mut vals = row.values().to_vec();
+                        for (pos, e) in &compiled_assign {
+                            vals[*pos] = e.eval(&executor, &env)?;
+                        }
+                        out.push((i, Tuple::new(vals)));
+                    }
+                    out
+                };
+                let n = guard.table_mut(&table)?.update_rows(updates)?;
+                Ok(StatementResult::Updated(n))
+            }
+            BoundStatement::Query(_) | BoundStatement::Explain { .. } => {
                 unreachable!("queries take the read path")
             }
         }
@@ -426,6 +508,7 @@ pub struct Prepared {
     session: Session,
     sql: String,
     plan: Arc<LogicalPlan>,
+    physical: Arc<PhysicalPlan>,
     schema: Schema,
 }
 
@@ -440,21 +523,26 @@ impl Prepared {
         &self.schema
     }
 
-    /// The cached optimized plan.
+    /// The cached optimized logical plan.
     pub fn plan(&self) -> &LogicalPlan {
         &self.plan
     }
 
-    /// Run the cached plan against the current catalog, materializing the
-    /// result.
+    /// The cached physical execution plan.
+    pub fn physical_plan(&self) -> &PhysicalPlan {
+        &self.physical
+    }
+
+    /// Run the cached physical plan against the current catalog,
+    /// materializing the result.
     pub fn execute(&self) -> Result<QueryResult> {
-        let rows = Executor::new(self.session.snapshot()).run(&self.plan)?;
+        let rows = Executor::new(self.session.snapshot()).run_physical(&self.physical)?;
         Ok(QueryResult::new(&self.schema, rows))
     }
 
     /// Run the cached plan cursor-style (see [`Session::query_stream`]).
     pub fn execute_stream(&self) -> Result<RowStream> {
-        let stream = Executor::new(self.session.snapshot()).into_stream(&self.plan)?;
+        let stream = Executor::new(self.session.snapshot()).into_stream_physical(&self.physical)?;
         Ok(RowStream::new(self.schema.clone(), stream))
     }
 }
@@ -636,6 +724,23 @@ mod tests {
         );
         // Earlier DDL really did apply.
         assert_eq!(session.query("SELECT a FROM s1").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn explain_through_query_yields_plan_rows() {
+        let (_, session) = seeded();
+        let r = session
+            .query("EXPLAIN SELECT x FROM t WHERE x = 2")
+            .unwrap();
+        assert_eq!(r.columns, vec!["QUERY PLAN"]);
+        assert!(r.row_count() >= 1);
+        let first = r.row(0)[0].to_string();
+        assert!(first.contains("Scan(t)"), "{first}");
+        // VERBOSE adds the logical tree section.
+        let v = session
+            .query("EXPLAIN VERBOSE SELECT x FROM t WHERE x = 2")
+            .unwrap();
+        assert!(v.row_count() > r.row_count());
     }
 
     #[test]

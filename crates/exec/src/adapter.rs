@@ -1,6 +1,9 @@
-//! Adapter exposing the storage catalog to the analyzer.
+//! Adapters exposing the storage catalog to the analyzer
+//! ([`CatalogAdapter`]) and to the unified cost estimator
+//! ([`CatalogStats`]).
 
 use perm_algebra::catalog::{BaseTableMeta, CatalogProvider};
+use perm_algebra::stats::CardinalityEstimator;
 use perm_sql::Query;
 use perm_storage::{Catalog, Relation};
 
@@ -24,6 +27,31 @@ impl CatalogProvider for CatalogAdapter<'_> {
             Some(Relation::View(v)) => Some(v.definition().clone()),
             _ => None,
         }
+    }
+}
+
+/// Exposes the storage layer's [`perm_storage::stats::TableStats`] and
+/// hash-index availability as the pipeline's unified
+/// [`CardinalityEstimator`] — the single source of cardinality truth for
+/// both the rewrite-strategy chooser and the physical planner.
+pub struct CatalogStats<'a>(pub &'a Catalog);
+
+impl CardinalityEstimator for CatalogStats<'_> {
+    fn table_rows(&self, table: &str) -> Option<f64> {
+        self.0.table(table).ok().map(|t| t.row_count() as f64)
+    }
+
+    fn column_distinct(&self, table: &str, column: usize) -> Option<f64> {
+        let t = self.0.table(table).ok()?;
+        let stats = t.stats();
+        stats.columns.get(column).map(|c| c.n_distinct as f64)
+    }
+
+    fn has_index(&self, table: &str, column: usize) -> bool {
+        self.0
+            .table(table)
+            .ok()
+            .is_some_and(|t| t.index_on(column).is_some())
     }
 }
 
@@ -59,5 +87,34 @@ mod tests {
         assert!(a.view_definition("v").is_some());
         assert!(a.view_definition("p").is_none());
         assert!(a.base_table("missing").is_none());
+    }
+
+    #[test]
+    fn catalog_stats_reports_rows_distincts_and_indexes() {
+        use perm_types::{Tuple, Value};
+        let mut cat = Catalog::new();
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+            ]),
+        );
+        for i in 0..10 {
+            t.insert(Tuple::new(vec![Value::Int(i), Value::Int(i % 3)]))
+                .unwrap();
+        }
+        t.create_index(0).unwrap();
+        cat.create_table(t).unwrap();
+
+        let s = CatalogStats(&cat);
+        assert_eq!(s.table_rows("t"), Some(10.0));
+        assert_eq!(s.column_distinct("t", 0), Some(10.0));
+        assert_eq!(s.column_distinct("t", 1), Some(3.0));
+        assert_eq!(s.column_distinct("t", 9), None);
+        assert!(s.has_index("t", 0));
+        assert!(!s.has_index("t", 1));
+        assert_eq!(s.table_rows("missing"), None);
+        assert!(!s.has_index("missing", 0));
     }
 }

@@ -114,8 +114,12 @@ pub enum CompiledExpr {
         func: ScalarFunc,
         args: Vec<CompiledExpr>,
     },
-    /// Interpreter fallback for subtrees containing sublinks.
-    Interp(ScalarExpr),
+    /// Interpreter fallback for subtrees containing sublinks. The clone
+    /// is shared with the executor's keep-alive arena: the executor's
+    /// per-plan caches key on subplan *addresses*, so the sublink plans
+    /// inside must stay allocated for the executor's whole lifetime even
+    /// after this compiled expression is dropped.
+    Interp(std::sync::Arc<ScalarExpr>),
 }
 
 impl CompiledExpr {
@@ -223,8 +227,10 @@ impl CompiledExpr {
                         .collect(),
                 },
             ),
-            // Sublinks execute subplans; evaluate through the interpreter.
-            ScalarExpr::Subquery(_) => CompiledExpr::Interp(e.clone()),
+            // Sublinks execute subplans; evaluate through the
+            // interpreter. The executor keeps the clone alive so cache
+            // keys derived from its subplan addresses cannot dangle.
+            ScalarExpr::Subquery(_) => CompiledExpr::Interp(exec.keep_alive(e.clone())),
         }
     }
 

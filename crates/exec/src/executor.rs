@@ -1,10 +1,17 @@
-//! The executor ("Executor" stage of Figure 3): interprets an optimized
-//! [`LogicalPlan`] against the storage catalog, operator at a time.
+//! The executor ("Executor" stage of Figure 3): interprets a
+//! [`PhysicalPlan`] against the storage catalog, operator at a time.
+//!
+//! The executor makes **no strategy decisions**: join algorithms, build
+//! sides, index usage and operator fusion are all chosen by the physical
+//! planner ([`crate::physical`]) — this module only runs the operators it
+//! is handed. Callers holding a [`LogicalPlan`] (sublink subplans, tests,
+//! one-shot statements) go through [`Executor::run`], which lowers the
+//! plan once per executor (cached by plan identity) and executes the
+//! result.
 //!
 //! Join and set-operation implementations live in [`crate::operators`];
-//! this module provides the dispatch loop, scans (with hash-index
-//! point-lookup acceleration), filters, projections, sorting, limits and
-//! the subquery result cache.
+//! this module provides the dispatch loop, scans, filters, projections,
+//! sorting, limits and the subquery result cache.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -13,13 +20,14 @@ use std::sync::Arc;
 use perm_types::hash::{set_with_capacity, FxHashSet};
 use perm_types::{PermError, Result, Tuple, Value};
 
-use perm_algebra::expr::{BinOp, ScalarExpr};
+use perm_algebra::expr::ScalarExpr;
 use perm_algebra::plan::LogicalPlan;
 use perm_storage::Catalog;
 
 use crate::compile::{CompiledExpr, CompiledProjection};
 use crate::eval::{eval, Env};
 use crate::operators::{aggregate, join, setop};
+use crate::physical::{PhysicalPlan, PhysicalPlanner};
 
 /// Cached first-column set of an uncorrelated IN subquery: the hashed
 /// non-NULL values plus whether a NULL was present.
@@ -48,6 +56,16 @@ pub struct Executor {
     /// Hashed first-column sets of uncorrelated IN subqueries
     /// (`(values, has_null)`), keyed by plan identity.
     in_set_cache: RefCell<HashMap<usize, InSet>>,
+    /// Physical lowerings of logical plans run through this executor,
+    /// keyed by plan identity (sublink subplans are lowered once, then
+    /// re-executed per outer row).
+    physical_cache: RefCell<HashMap<usize, Arc<PhysicalPlan>>>,
+    /// Expressions cloned by the compiler ([`CompiledExpr::Interp`]),
+    /// kept alive for the executor's lifetime: the three caches above
+    /// key on plan/sublink *addresses*, so a clone must never be freed
+    /// (and its address reused) while this executor can still serve a
+    /// cache hit for it.
+    kept_exprs: RefCell<Vec<Arc<ScalarExpr>>>,
     /// Disable hash joins (ablation benches measuring the join-back
     /// implementation choice of the aggregation rewrite).
     nested_loop_only: bool,
@@ -60,6 +78,8 @@ impl Executor {
             outer: RefCell::new(Arc::new(Vec::new())),
             subquery_cache: RefCell::new(HashMap::new()),
             in_set_cache: RefCell::new(HashMap::new()),
+            physical_cache: RefCell::new(HashMap::new()),
+            kept_exprs: RefCell::new(Vec::new()),
             nested_loop_only: false,
         }
     }
@@ -82,15 +102,93 @@ impl Executor {
         self.nested_loop_only
     }
 
-    /// Execute a plan and materialize its result.
+    /// Register an expression clone that must stay allocated as long as
+    /// this executor lives (see `kept_exprs`), returning it shared.
+    pub(crate) fn keep_alive(&self, e: ScalarExpr) -> Arc<ScalarExpr> {
+        let arc = Arc::new(e);
+        self.kept_exprs.borrow_mut().push(Arc::clone(&arc));
+        arc
+    }
+
+    /// Lower a logical plan through the physical planner, caching by plan
+    /// identity. Sublink subplans are lowered once and re-executed per
+    /// outer row; the cached lowering is only valid while the plan the
+    /// pointer refers to is alive (same contract as the subquery caches).
+    pub fn physical(&self, plan: &LogicalPlan) -> Arc<PhysicalPlan> {
+        let key = plan as *const LogicalPlan as usize;
+        if let Some(hit) = self.physical_cache.borrow().get(&key) {
+            return Arc::clone(hit);
+        }
+        let lowered = Arc::new(
+            PhysicalPlanner::new(&self.catalog)
+                .nested_loop_only(self.nested_loop_only)
+                .plan(plan),
+        );
+        self.physical_cache
+            .borrow_mut()
+            .insert(key, Arc::clone(&lowered));
+        lowered
+    }
+
+    /// Execute a logical plan: lower it (cached), then run the physical
+    /// plan. All strategy decisions happen in the lowering.
     pub fn run(&self, plan: &LogicalPlan) -> Result<Vec<Tuple>> {
+        let physical = self.physical(plan);
+        self.run_physical(&physical)
+    }
+
+    /// Execute a physical plan and materialize its result.
+    pub fn run_physical(&self, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
         match plan {
-            LogicalPlan::Scan { table, schema, .. } => {
+            PhysicalPlan::FusedScanProjectFilter {
+                table,
+                schema,
+                filter,
+                project,
+                ..
+            } => {
                 let t = self.catalog.table(table)?;
                 check_scan_schema(t, table, schema)?;
-                Ok(t.rows().to_vec())
+                if filter.is_none() && project.is_none() {
+                    return Ok(t.rows().to_vec());
+                }
+                let outer = self.outer_stack();
+                self.scan_emit(t.rows().iter(), filter.as_ref(), project.as_deref(), &outer)
             }
-            LogicalPlan::Values { rows, .. } => {
+            PhysicalPlan::IndexScan {
+                table,
+                schema,
+                column,
+                key,
+                residual,
+                project,
+                ..
+            } => {
+                let t = self.catalog.table(table)?;
+                check_scan_schema(t, table, schema)?;
+                let outer = self.outer_stack();
+                match t.index_lookup(*column, key) {
+                    Some(row_ids) => {
+                        let rows = row_ids.iter().map(|&r| &t.rows()[r]);
+                        self.scan_emit(rows, residual.as_ref(), project.as_deref(), &outer)
+                    }
+                    None => {
+                        // The index vanished since planning (e.g. the
+                        // table was rebuilt): fall back to a sequential
+                        // scan with the full predicate.
+                        let full = ScalarExpr::conjunction(
+                            std::iter::once(ScalarExpr::eq(
+                                ScalarExpr::Column(*column),
+                                ScalarExpr::Literal(key.clone()),
+                            ))
+                            .chain(residual.clone())
+                            .collect(),
+                        );
+                        self.scan_emit(t.rows().iter(), Some(&full), project.as_deref(), &outer)
+                    }
+                }
+            }
+            PhysicalPlan::Values { rows, .. } => {
                 // Each expression is evaluated exactly once, so the
                 // interpreter is the right tool here — compilation would
                 // only add overhead.
@@ -107,23 +205,32 @@ impl Executor {
                 }
                 Ok(out)
             }
-            LogicalPlan::Project { input, exprs, .. } => self.run_project(input, exprs),
-            LogicalPlan::Filter { input, predicate } => self.run_filter(input, predicate),
-            LogicalPlan::Join {
-                left,
-                right,
-                kind,
-                condition,
-                ..
-            } => join::run_join(self, left, right, *kind, condition.as_ref()),
-            LogicalPlan::Aggregate {
+            PhysicalPlan::Project { input, exprs } => {
+                let rows = self.run_physical(input)?;
+                let outer = self.outer_stack();
+                let projection = CompiledProjection::compile(self, exprs);
+                let mut out = Vec::with_capacity(rows.len());
+                for t in &rows {
+                    let env = Env::new(t, &outer);
+                    out.push(projection.apply(self, &env)?);
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let rows = self.run_physical(input)?;
+                let outer = self.outer_stack();
+                self.filter_rows(rows, Some(predicate), &outer)
+            }
+            PhysicalPlan::HashJoin { .. }
+            | PhysicalPlan::NLJoin { .. }
+            | PhysicalPlan::IndexNLJoin { .. } => join::run_join(self, plan),
+            PhysicalPlan::HashAggregate {
                 input,
                 group_by,
                 aggs,
-                ..
             } => aggregate::run_aggregate(self, input, group_by, aggs),
-            LogicalPlan::Distinct { input } => {
-                let rows = self.run(input)?;
+            PhysicalPlan::HashDistinct { input } => {
+                let rows = self.run_physical(input)?;
                 let mut seen = set_with_capacity(rows.len());
                 let mut out = Vec::new();
                 for t in rows {
@@ -139,15 +246,14 @@ impl Executor {
                 }
                 Ok(out)
             }
-            LogicalPlan::SetOp {
+            PhysicalPlan::HashSetOp {
                 op,
                 all,
                 left,
                 right,
-                ..
             } => setop::run_setop(self, *op, *all, left, right),
-            LogicalPlan::Sort { input, keys } => {
-                let rows = self.run(input)?;
+            PhysicalPlan::Sort { input, keys } => {
+                let rows = self.run_physical(input)?;
                 let outer = self.outer_stack();
                 let compiled: Vec<CompiledExpr> = keys
                     .iter()
@@ -175,12 +281,12 @@ impl Executor {
                 });
                 Ok(keyed.into_iter().map(|(_, t)| t).collect())
             }
-            LogicalPlan::Limit {
+            PhysicalPlan::Limit {
                 input,
                 limit,
                 offset,
             } => {
-                let rows = self.run(input)?;
+                let rows = self.run_physical(input)?;
                 let start = (*offset as usize).min(rows.len());
                 let end = match limit {
                     Some(l) => (start + *l as usize).min(rows.len()),
@@ -188,129 +294,58 @@ impl Executor {
                 };
                 Ok(rows[start..end].to_vec())
             }
-            // Boundaries are stripped by the planner, but execute
-            // transparently if a caller runs an unoptimized plan.
-            LogicalPlan::Boundary { input, .. } => self.run(input),
         }
     }
 
-    /// A projection, fused with its input when that input is a
-    /// `(Filter over)? Scan` chain: base rows are then read *borrowed* and
-    /// only the projected output rows are materialized — the scan copy and
-    /// the filter's intermediate result vanish. This is the shape the
-    /// provenance rewrites produce for every rewritten base relation.
-    fn run_project(&self, input: &LogicalPlan, exprs: &[ScalarExpr]) -> Result<Vec<Tuple>> {
-        let outer = self.outer_stack();
-        let projection = CompiledProjection::compile(self, exprs);
-
-        // Fusion: a slot-only Project over a Join builds the projected
-        // output rows directly inside the join — the combined
-        // `left ++ right` row is never materialized.
-        if let LogicalPlan::Join {
-            left,
-            right,
-            kind,
-            condition,
-            ..
-        } = input
-        {
-            if let CompiledProjection::Slots {
-                slots,
-                width_needed,
-            } = &projection
-            {
-                if *width_needed <= input.arity() {
-                    return join::run_join_projected(
-                        self,
-                        left,
-                        right,
-                        *kind,
-                        condition.as_ref(),
-                        Some(slots),
-                    );
-                }
-            }
-        }
-
-        // Fusion: Project over Filter over Scan.
-        if let LogicalPlan::Filter {
-            input: finput,
-            predicate,
-        } = input
-        {
-            if let LogicalPlan::Scan { table, schema, .. } = finput.as_ref() {
-                // The index fast path materializes its (small) candidate
-                // set; project that directly.
-                if let Some((rows, residual)) = self.try_index_scan(table, predicate)? {
-                    let rows = self.filter_rows(rows, residual.as_ref(), &outer)?;
-                    let mut out = Vec::with_capacity(rows.len());
-                    for t in &rows {
-                        let env = Env::new(t, &outer);
-                        out.push(projection.apply(self, &env)?);
-                    }
-                    return Ok(out);
-                }
-                let t = self.catalog.table(table)?;
-                check_scan_schema(t, table, schema)?;
-                let compiled = CompiledExpr::compile(self, predicate);
+    /// Emit rows from a borrowed base-row iterator, applying the fused
+    /// residual filter and projection. Base rows are only cloned (or
+    /// projected) when they pass — the scan copy and the filter's
+    /// intermediate result never materialize. The four filter/projection
+    /// combinations get their own loops so the per-row path carries no
+    /// branching.
+    fn scan_emit<'t>(
+        &self,
+        rows: impl Iterator<Item = &'t Tuple>,
+        filter: Option<&ScalarExpr>,
+        project: Option<&[ScalarExpr]>,
+        outer: &[Tuple],
+    ) -> Result<Vec<Tuple>> {
+        let cap = rows.size_hint().0;
+        match (filter, project) {
+            (None, None) => Ok(rows.cloned().collect()),
+            (Some(f), None) => {
+                let f = CompiledExpr::compile(self, f);
                 let mut out = Vec::new();
-                for row in t.rows() {
-                    let env = Env::new(row, &outer);
-                    if compiled.eval_bool(self, &env)? == Some(true) {
-                        out.push(projection.apply(self, &env)?);
+                for row in rows {
+                    let env = Env::new(row, outer);
+                    if f.eval_bool(self, &env)? == Some(true) {
+                        out.push(row.clone());
                     }
                 }
-                return Ok(out);
+                Ok(out)
             }
-        }
-
-        // Fusion: Project directly over Scan.
-        if let LogicalPlan::Scan { table, schema, .. } = input {
-            let t = self.catalog.table(table)?;
-            check_scan_schema(t, table, schema)?;
-            let mut out = Vec::with_capacity(t.row_count());
-            for row in t.rows() {
-                let env = Env::new(row, &outer);
-                out.push(projection.apply(self, &env)?);
-            }
-            return Ok(out);
-        }
-
-        let rows = self.run(input)?;
-        let mut out = Vec::with_capacity(rows.len());
-        for t in &rows {
-            let env = Env::new(t, &outer);
-            out.push(projection.apply(self, &env)?);
-        }
-        Ok(out)
-    }
-
-    /// A filter, with hash-index point-lookup acceleration for
-    /// `indexed_column = literal` conjuncts directly over a base-table scan
-    /// and scan fusion (base rows are read borrowed; only passing rows are
-    /// cloned).
-    fn run_filter(&self, input: &LogicalPlan, predicate: &ScalarExpr) -> Result<Vec<Tuple>> {
-        let outer = self.outer_stack();
-        if let LogicalPlan::Scan { table, schema, .. } = input {
-            // Index fast path.
-            if let Some((rows, residual)) = self.try_index_scan(table, predicate)? {
-                return self.filter_rows(rows, residual.as_ref(), &outer);
-            }
-            // Fused scan+filter: clone only the rows that pass.
-            let t = self.catalog.table(table)?;
-            check_scan_schema(t, table, schema)?;
-            let compiled = CompiledExpr::compile(self, predicate);
-            let mut out = Vec::new();
-            for row in t.rows() {
-                let env = Env::new(row, &outer);
-                if compiled.eval_bool(self, &env)? == Some(true) {
-                    out.push(row.clone());
+            (None, Some(p)) => {
+                let p = CompiledProjection::compile(self, p);
+                let mut out = Vec::with_capacity(cap);
+                for row in rows {
+                    let env = Env::new(row, outer);
+                    out.push(p.apply(self, &env)?);
                 }
+                Ok(out)
             }
-            return Ok(out);
+            (Some(f), Some(p)) => {
+                let f = CompiledExpr::compile(self, f);
+                let p = CompiledProjection::compile(self, p);
+                let mut out = Vec::new();
+                for row in rows {
+                    let env = Env::new(row, outer);
+                    if f.eval_bool(self, &env)? == Some(true) {
+                        out.push(p.apply(self, &env)?);
+                    }
+                }
+                Ok(out)
+            }
         }
-        let rows = self.run(input)?;
-        self.filter_rows(rows, Some(predicate), &outer)
     }
 
     fn filter_rows(
@@ -331,53 +366,6 @@ impl Executor {
             }
         }
         Ok(out)
-    }
-
-    /// If the predicate has an `col = literal` conjunct on an indexed
-    /// column, fetch candidates through the index. Returns the candidate
-    /// rows and the residual predicate still to apply.
-    fn try_index_scan(
-        &self,
-        table: &str,
-        predicate: &ScalarExpr,
-    ) -> Result<Option<(Vec<Tuple>, Option<ScalarExpr>)>> {
-        let t = self.catalog.table(table)?;
-        let conjuncts = predicate.split_conjunction();
-        for (i, c) in conjuncts.iter().enumerate() {
-            let ScalarExpr::Binary {
-                op: BinOp::Eq,
-                left,
-                right,
-            } = c
-            else {
-                continue;
-            };
-            let (col, key) = match (left.as_ref(), right.as_ref()) {
-                (ScalarExpr::Column(c), ScalarExpr::Literal(v))
-                | (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => (*c, v),
-                _ => continue,
-            };
-            if key.is_null() {
-                continue; // `col = NULL` matches nothing; let eval handle it.
-            }
-            let Some(row_ids) = t.index_lookup(col, key) else {
-                continue;
-            };
-            let rows: Vec<Tuple> = row_ids.iter().map(|&r| t.rows()[r].clone()).collect();
-            let residual: Vec<ScalarExpr> = conjuncts
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .map(|(_, e)| (*e).clone())
-                .collect();
-            let residual = if residual.is_empty() {
-                None
-            } else {
-                Some(ScalarExpr::conjunction(residual))
-            };
-            return Ok(Some((rows, residual)));
-        }
-        Ok(None)
     }
 
     /// Execute a (correlated) subplan with an explicit outer-tuple stack.

@@ -4,21 +4,32 @@
 //! Figure 3).
 //!
 //! Because Perm represents provenance computations as ordinary relational
-//! queries, the rewritten plan needs no provenance-specific machinery here:
-//! the planner applies standard rewrites (boundary elimination, projection
-//! merging, filter pushdown) and the executor interprets the plan with
-//! hash joins — including NULL-safe keys for the aggregation join-back —
-//! hash aggregation and hash set operations. Correlated sublinks in
-//! ordinary (non-provenance) queries are evaluated through an outer-tuple
-//! stack with caching for uncorrelated subplans.
+//! queries, the rewritten plan needs no provenance-specific machinery
+//! here — it goes through a conventional **two-phase optimizer**:
+//!
+//! 1. the **logical pass** ([`planner`]) applies rule rewrites (boundary
+//!    elimination, filter merging/pushdown with LEFT→INNER demotion,
+//!    projection merging), prunes unreferenced columns and reorders
+//!    commutable join regions by cost;
+//! 2. the **physical planner** ([`physical`]) lowers the result to an
+//!    explicit [`PhysicalPlan`] — fused scans, index scans, hash joins
+//!    with a chosen build side, index nested-loop joins — using the
+//!    unified [`perm_algebra::stats::CardinalityEstimator`] fed from
+//!    table statistics ([`CatalogStats`]).
+//!
+//! The executor then *interprets* the physical plan without making any
+//! strategy decision of its own — including NULL-safe keys for the
+//! aggregation join-back, hash aggregation and hash set operations.
+//! Correlated sublinks in ordinary (non-provenance) queries are evaluated
+//! through an outer-tuple stack with caching for uncorrelated subplans.
 //!
 //! The per-row hot path runs on **compiled expressions** ([`compile`]):
 //! each operator lowers its bound expressions once — constants folded,
 //! `AND`/`OR` chains flattened, `LIKE` patterns pre-decoded, literal `IN`
-//! lists pre-hashed, columns resolved to slots — and the executor fuses
-//! projection/filter chains into scans and slot-only projections into
-//! join output. Rows themselves are `Arc`-shared ([`perm_types::Tuple`]),
-//! so operators move references, not values.
+//! lists pre-hashed, columns resolved to slots — and the physical plan
+//! fuses projection/filter chains into scans and slot-only projections
+//! into join output. Rows themselves are `Arc`-shared
+//! ([`perm_types::Tuple`]), so operators move references, not values.
 //!
 //! Results can be consumed two ways: [`Executor::run`] materializes the
 //! whole result, while [`Executor::into_stream`] returns a pull-based
@@ -32,13 +43,15 @@ pub mod compile;
 pub mod eval;
 pub mod executor;
 pub mod operators;
+pub mod physical;
 pub mod planner;
 pub mod stream;
 
-pub use adapter::CatalogAdapter;
+pub use adapter::{CatalogAdapter, CatalogStats};
 pub use compile::CompiledExpr;
 pub use executor::Executor;
-pub use planner::optimize;
+pub use physical::{physical_tree, plan_physical, PhysicalPlan, PhysicalPlanner};
+pub use planner::{optimize, optimize_with};
 pub use stream::TupleStream;
 
 #[cfg(test)]

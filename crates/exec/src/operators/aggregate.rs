@@ -6,7 +6,6 @@ use perm_types::ops::{self, ArithOp};
 use perm_types::{PermError, Result, Tuple, Value};
 
 use perm_algebra::expr::{AggCall, AggFunc, ScalarExpr};
-use perm_algebra::plan::LogicalPlan;
 
 use crate::compile::{CompiledExpr, CompiledProjection};
 use crate::eval::Env;
@@ -210,11 +209,11 @@ impl GroupState {
 
 pub fn run_aggregate(
     exec: &Executor,
-    input: &LogicalPlan,
+    input: &crate::physical::PhysicalPlan,
     group_by: &[ScalarExpr],
     aggs: &[AggCall],
 ) -> Result<Vec<Tuple>> {
-    let rows = exec.run(input)?;
+    let rows = exec.run_physical(input)?;
     let outer = exec.outer_stack();
 
     // Group-by keys and aggregate arguments are compiled once, evaluated

@@ -1,74 +1,78 @@
-//! Join execution: hash join for equi-conditions (including the NULL-safe
-//! `IS NOT DISTINCT FROM` keys that Perm's aggregation join-back emits),
-//! nested-loop join for everything else.
+//! Join execution: hash join (with a planner-chosen build side), index
+//! nested-loop join, and nested-loop join.
+//!
+//! The strategy, the extracted equi-keys (including the NULL-safe
+//! `IS NOT DISTINCT FROM` keys Perm's aggregation join-back emits), the
+//! build side and any fused output projection are all decided by the
+//! physical planner ([`crate::physical`]); this module only runs the
+//! operator it is handed.
 
 use perm_types::hash::{map_with_capacity, FxHashMap};
 use perm_types::{Result, Tuple, Value};
 
-use perm_algebra::expr::{BinOp, ScalarExpr};
-use perm_algebra::plan::{JoinType, LogicalPlan};
+use perm_algebra::plan::JoinType;
 
 use crate::compile::CompiledExpr;
 use crate::eval::Env;
-use crate::executor::Executor;
+use crate::executor::{check_scan_schema, Executor};
+use crate::physical::{BuildSide, EquiKey, PhysicalPlan};
 
-/// One extracted equi-key pair: `left_expr ⋈ right_expr`, NULL-safe or not.
-struct EquiKey {
-    left: ScalarExpr,
-    /// Right expression, rebased to the right input's columns.
-    right: ScalarExpr,
-    null_safe: bool,
-}
-
-pub fn run_join(
-    exec: &Executor,
-    left: &LogicalPlan,
-    right: &LogicalPlan,
-    kind: JoinType,
-    condition: Option<&ScalarExpr>,
-) -> Result<Vec<Tuple>> {
-    run_join_projected(exec, left, right, kind, condition, None)
-}
-
-/// Join with an optional fused slot-only output projection: instead of
-/// materializing each `left ++ right` row and re-projecting it one
-/// operator later, output rows are built directly from the two sides.
-/// The provenance rewrites put a column-shuffling projection on top of
-/// every join they emit, so this removes one full row materialization per
-/// join output row. `out_slots` positions are relative to the join's
-/// output (`0..nl` left, `nl..nl+nr` right; for semi/anti joins the
-/// output is the left side alone).
-pub fn run_join_projected(
-    exec: &Executor,
-    left: &LogicalPlan,
-    right: &LogicalPlan,
-    kind: JoinType,
-    condition: Option<&ScalarExpr>,
-    out_slots: Option<&[usize]>,
-) -> Result<Vec<Tuple>> {
-    let lrows = exec.run(left)?;
-    let rrows = exec.run(right)?;
-    let nl = left.arity();
-    let nr = right.arity();
-
-    let (keys, residual) = condition
-        .map(|c| extract_equi_keys(c, nl))
-        .unwrap_or((vec![], None));
-
-    if keys.is_empty() || exec.nested_loop_only() {
-        nested_loop(exec, lrows, rrows, nl, nr, kind, condition, out_slots)
-    } else {
-        hash_join(
-            exec,
-            lrows,
-            rrows,
+/// Execute a physical join node ([`PhysicalPlan::HashJoin`],
+/// [`PhysicalPlan::NLJoin`] or [`PhysicalPlan::IndexNLJoin`]).
+pub fn run_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
+    match plan {
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            kind,
+            keys,
+            residual,
+            build_side,
             nl,
             nr,
-            kind,
-            &keys,
-            residual.as_ref(),
             out_slots,
-        )
+            ..
+        } => {
+            let lrows = exec.run_physical(left)?;
+            let rrows = exec.run_physical(right)?;
+            hash_join(
+                exec,
+                lrows,
+                rrows,
+                *nl,
+                *nr,
+                *kind,
+                keys,
+                residual.as_ref(),
+                *build_side,
+                out_slots.as_deref(),
+            )
+        }
+        PhysicalPlan::NLJoin {
+            left,
+            right,
+            kind,
+            condition,
+            nl,
+            nr,
+            out_slots,
+            ..
+        } => {
+            let lrows = exec.run_physical(left)?;
+            let rrows = exec.run_physical(right)?;
+            nested_loop(
+                exec,
+                lrows,
+                rrows,
+                *nl,
+                *nr,
+                *kind,
+                condition.as_ref(),
+                out_slots.as_deref(),
+            )
+        }
+        PhysicalPlan::IndexNLJoin { .. } => index_nl_join(exec, plan),
+        other => unreachable!("run_join on non-join node {other:?}"),
     }
 }
 
@@ -110,71 +114,6 @@ fn emit_left(l: &Tuple, out_slots: Option<&[usize]>) -> Tuple {
     }
 }
 
-/// Split an ON condition into hashable equi-key pairs and a residual.
-///
-/// A conjunct qualifies if it is `a = b` or `a IS NOT DISTINCT FROM b`
-/// where one side references only left columns and the other only right
-/// columns (and neither contains a sublink).
-fn extract_equi_keys(cond: &ScalarExpr, nl: usize) -> (Vec<EquiKey>, Option<ScalarExpr>) {
-    let mut keys = Vec::new();
-    let mut residual = Vec::new();
-    for c in cond.split_conjunction() {
-        let (op_null_safe, l, r) = match c {
-            ScalarExpr::Binary {
-                op: BinOp::Eq,
-                left,
-                right,
-            } => (false, left, right),
-            ScalarExpr::Binary {
-                op: BinOp::NotDistinctFrom,
-                left,
-                right,
-            } => (true, left, right),
-            other => {
-                residual.push(other.clone());
-                continue;
-            }
-        };
-        if l.contains_subquery() || r.contains_subquery() {
-            residual.push(c.clone());
-            continue;
-        }
-        let side = |e: &ScalarExpr| -> Option<bool> {
-            // Some(true) = pure left, Some(false) = pure right.
-            let cols = e.referenced_columns();
-            if cols.is_empty() {
-                return None; // constant; not usable as a key side marker
-            }
-            if cols.iter().all(|&i| i < nl) {
-                Some(true)
-            } else if cols.iter().all(|&i| i >= nl) {
-                Some(false)
-            } else {
-                None
-            }
-        };
-        match (side(l), side(r)) {
-            (Some(true), Some(false)) => keys.push(EquiKey {
-                left: (**l).clone(),
-                right: r.map_columns(&|i| i - nl),
-                null_safe: op_null_safe,
-            }),
-            (Some(false), Some(true)) => keys.push(EquiKey {
-                left: (**r).clone(),
-                right: l.map_columns(&|i| i - nl),
-                null_safe: op_null_safe,
-            }),
-            _ => residual.push(c.clone()),
-        }
-    }
-    let residual = if residual.is_empty() {
-        None
-    } else {
-        Some(ScalarExpr::conjunction(residual))
-    };
-    (keys, residual)
-}
-
 /// Sentinel wrapper distinguishing "key contains NULL under SQL equality"
 /// (never matches) from a NULL-safe key (NULL matches NULL). Single-column
 /// keys — the overwhelmingly common case — carry the value inline instead
@@ -210,6 +149,32 @@ fn build_key(
     Ok(Some(Key::Many(vals)))
 }
 
+/// Chained hash table over `rows`: one flat `next` array instead of a
+/// per-key vector — exactly one hash-map entry per distinct key and no
+/// per-row allocation. Chains are threaded newest-first and traversed in
+/// reverse, preserving input order per key.
+const NIL: usize = usize::MAX;
+
+fn build_table(
+    exec: &Executor,
+    rows: &[Tuple],
+    exprs: &[CompiledExpr],
+    null_safe: &[bool],
+    outer: &[Tuple],
+) -> Result<(FxHashMap<Key, usize>, Vec<usize>)> {
+    let mut table: FxHashMap<Key, usize> = map_with_capacity(rows.len());
+    let mut next: Vec<usize> = vec![NIL; rows.len()];
+    for (i, r) in rows.iter().enumerate() {
+        let env = Env::new(r, outer);
+        if let Some(k) = build_key(exec, exprs, null_safe, &env)? {
+            let head = table.entry(k).or_insert(NIL);
+            next[i] = *head;
+            *head = i;
+        }
+    }
+    Ok((table, next))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn hash_join(
     exec: &Executor,
@@ -219,7 +184,8 @@ fn hash_join(
     nr: usize,
     kind: JoinType,
     keys: &[EquiKey],
-    residual: Option<&ScalarExpr>,
+    residual: Option<&perm_algebra::expr::ScalarExpr>,
+    build_side: BuildSide,
     out_slots: Option<&[usize]>,
 ) -> Result<Vec<Tuple>> {
     let outer = exec.outer_stack();
@@ -236,22 +202,48 @@ fn hash_join(
     let null_safe: Vec<bool> = keys.iter().map(|k| k.null_safe).collect();
     let residual = residual.map(|r| CompiledExpr::compile(exec, r));
 
-    // Build on the right side. Rows sharing a key are chained through
-    // `next` (one flat array) instead of a per-key vector — the build
-    // pays exactly one hash-map entry per distinct key and no per-row
-    // allocation. Chains are threaded newest-first and emitted in
-    // reverse, preserving right-input order per key.
-    const NIL: usize = usize::MAX;
-    let mut table: FxHashMap<Key, usize> = map_with_capacity(rrows.len());
-    let mut next: Vec<usize> = vec![NIL; rrows.len()];
-    for (i, r) in rrows.iter().enumerate() {
-        let env = Env::new(r, &outer);
-        if let Some(k) = build_key(exec, &right_exprs, &null_safe, &env)? {
-            let head = table.entry(k).or_insert(NIL);
-            next[i] = *head;
-            *head = i;
+    // The planner picks BuildSide::Left only for inner joins (the other
+    // kinds need the unmatched-tracking of the right-build loop).
+    if matches!(build_side, BuildSide::Left) {
+        debug_assert!(matches!(kind, JoinType::Inner));
+        let (table, next) = build_table(exec, &lrows, &left_exprs, &null_safe, &outer)?;
+        let mut out = Vec::with_capacity(rrows.len());
+        let mut chain: Vec<usize> = Vec::new();
+        for r in &rrows {
+            let renv = Env::new(r, &outer);
+            let Some(key) = build_key(exec, &right_exprs, &null_safe, &renv)? else {
+                continue;
+            };
+            let Some(&head) = table.get(&key) else {
+                continue;
+            };
+            chain.clear();
+            let mut i = head;
+            while i != NIL {
+                chain.push(i);
+                i = next[i];
+            }
+            for &li in chain.iter().rev() {
+                let l = &lrows[li];
+                let mut combined = None;
+                if let Some(pred) = &residual {
+                    let c = l.concat(r);
+                    let env = Env::new(&c, &outer);
+                    if pred.eval_bool(exec, &env)? != Some(true) {
+                        continue;
+                    }
+                    combined = Some(c);
+                }
+                out.push(emit_row(l, r, nl, combined, out_slots));
+                exec.check_row_budget(out.len())?;
+            }
         }
+        return Ok(out);
     }
+
+    // Build on the right side (the general path: supports outer, semi and
+    // anti joins through left-probe match tracking).
+    let (table, next) = build_table(exec, &rrows, &right_exprs, &null_safe, &outer)?;
 
     let right_nulls = Tuple::nulls(nr);
     let mut right_matched = vec![false; rrows.len()];
@@ -314,6 +306,112 @@ fn hash_join(
     Ok(out)
 }
 
+/// Index nested-loop join: for each outer row, evaluate the key
+/// expression and probe the inner table's hash index; apply the fused
+/// inner filter/projection and the residual condition to each candidate.
+fn index_nl_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
+    let PhysicalPlan::IndexNLJoin {
+        outer: outer_plan,
+        kind,
+        table,
+        schema,
+        column,
+        key,
+        inner_filter,
+        inner_project,
+        residual,
+        nl,
+        nr: _,
+        out_slots,
+        ..
+    } = plan
+    else {
+        unreachable!("index_nl_join on non-INLJ node");
+    };
+    let lrows = exec.run_physical(outer_plan)?;
+    let t = exec.catalog().table(table)?;
+    check_scan_schema(t, table, schema)?;
+    let outer = exec.outer_stack();
+
+    let key_expr = CompiledExpr::compile(exec, key);
+    let inner_filter = inner_filter
+        .as_ref()
+        .map(|f| CompiledExpr::compile(exec, f));
+    let residual = residual.as_ref().map(|r| CompiledExpr::compile(exec, r));
+    let index = t.index_on(*column);
+
+    // Width of the inner *output* row (after the fused projection).
+    let inner_width = inner_project
+        .as_ref()
+        .map_or(schema.len(), |p: &Vec<usize>| p.len());
+    let right_nulls = Tuple::nulls(inner_width);
+
+    // Fallback candidates when the index vanished since planning: a
+    // linear scan comparing the probe key (same semantics, slower).
+    let mut linear: Vec<usize> = Vec::new();
+
+    let mut out = Vec::new();
+    for l in &lrows {
+        let lenv = Env::new(l, &outer);
+        let key_val = key_expr.eval(exec, &lenv)?;
+        let mut matched = false;
+        if !key_val.is_null() {
+            let candidates: &[usize] = match index {
+                Some(idx) => idx.lookup(&key_val),
+                None => {
+                    linear.clear();
+                    for (i, row) in t.rows().iter().enumerate() {
+                        if !row.get(*column).is_null() && row.get(*column) == &key_val {
+                            linear.push(i);
+                        }
+                    }
+                    &linear
+                }
+            };
+            for &ri in candidates {
+                let base = &t.rows()[ri];
+                if let Some(f) = &inner_filter {
+                    let env = Env::new(base, &outer);
+                    if f.eval_bool(exec, &env)? != Some(true) {
+                        continue;
+                    }
+                }
+                let inner_row = match inner_project {
+                    Some(slots) => base.project(slots),
+                    None => base.clone(),
+                };
+                let mut combined = None;
+                if let Some(pred) = &residual {
+                    let c = l.concat(&inner_row);
+                    let env = Env::new(&c, &outer);
+                    if pred.eval_bool(exec, &env)? != Some(true) {
+                        continue;
+                    }
+                    combined = Some(c);
+                }
+                matched = true;
+                match kind {
+                    JoinType::Semi | JoinType::Anti => {}
+                    _ => out.push(emit_row(l, &inner_row, *nl, combined, out_slots.as_deref())),
+                }
+                exec.check_row_budget(out.len())?;
+                if matches!(kind, JoinType::Semi) {
+                    break;
+                }
+            }
+        }
+        match kind {
+            JoinType::Semi if matched => out.push(emit_left(l, out_slots.as_deref())),
+            JoinType::Anti if !matched => out.push(emit_left(l, out_slots.as_deref())),
+            JoinType::Left if !matched => {
+                out.push(emit_row(l, &right_nulls, *nl, None, out_slots.as_deref()));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn nested_loop(
     exec: &Executor,
@@ -322,7 +420,7 @@ fn nested_loop(
     nl: usize,
     nr: usize,
     kind: JoinType,
-    condition: Option<&ScalarExpr>,
+    condition: Option<&perm_algebra::expr::ScalarExpr>,
     out_slots: Option<&[usize]>,
 ) -> Result<Vec<Tuple>> {
     let outer = exec.outer_stack();

@@ -6,7 +6,7 @@
 use perm_types::hash::{set_with_capacity, FxHashMap, FxHashSet};
 use perm_types::{Result, Tuple};
 
-use perm_algebra::plan::{LogicalPlan, SetOpType};
+use perm_algebra::plan::SetOpType;
 
 use crate::executor::Executor;
 
@@ -14,11 +14,11 @@ pub fn run_setop(
     exec: &Executor,
     op: SetOpType,
     all: bool,
-    left: &LogicalPlan,
-    right: &LogicalPlan,
+    left: &crate::physical::PhysicalPlan,
+    right: &crate::physical::PhysicalPlan,
 ) -> Result<Vec<Tuple>> {
-    let l = exec.run(left)?;
-    let r = exec.run(right)?;
+    let l = exec.run_physical(left)?;
+    let r = exec.run_physical(right)?;
     Ok(match (op, all) {
         (SetOpType::Union, true) => {
             let mut out = l;

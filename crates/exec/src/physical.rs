@@ -1,0 +1,1109 @@
+//! The physical plan IR and the cost-based physical planner — phase 2 of
+//! the two-phase optimizer (phase 1, the logical pass, is
+//! [`crate::planner`]).
+//!
+//! A [`LogicalPlan`] says *what* to compute; a [`PhysicalPlan`] says
+//! *how*. The planner makes every execution-strategy decision **here**,
+//! at plan time, so the executor ([`crate::executor`]) is a pure
+//! interpreter of explicit operators:
+//!
+//! * **Scan fusion** — `Project? → Filter? → Scan` chains collapse into
+//!   one [`PhysicalPlan::FusedScanProjectFilter`] that reads base rows
+//!   borrowed and materializes only its output.
+//! * **Index scans** — a `col = literal` conjunct over an indexed column
+//!   becomes an [`PhysicalPlan::IndexScan`] (point lookup + residual
+//!   predicate).
+//! * **Join strategy** — equi-joins run as [`PhysicalPlan::HashJoin`]
+//!   with a cost-chosen `build_side`, or as
+//!   [`PhysicalPlan::IndexNLJoin`] when the inner side is a (filtered,
+//!   projected) base-table scan with a hash index on the join column and
+//!   the outer side is small; everything else is an
+//!   [`PhysicalPlan::NLJoin`].
+//! * **Projection fusion** — a slot-only projection over a join is folded
+//!   into the join's `out_slots`, so combined rows are never materialized.
+//!
+//! # Cost model
+//!
+//! Costs come from the unified [`CardinalityEstimator`]
+//! (row counts + distinct counts from `perm_storage` table statistics via
+//! [`crate::CatalogStats`] — the same numbers the provenance rewriter's
+//! strategy chooser reads). The formulas are deliberately coarse:
+//!
+//! * hash join: `cost = |build| + |probe|` (build + probe, both linear);
+//! * index NLJ: `cost = |outer| · (1 + |inner| / d(key))` — one lookup
+//!   plus the expected matches per probe;
+//! * the build side of an inner hash join is the smaller input (with a
+//!   2× hysteresis so ties keep the right side, preserving output order).
+
+use std::fmt::Write as _;
+
+use perm_algebra::expr::{AggCall, ScalarExpr};
+use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType, SortKey};
+use perm_algebra::stats::{estimate_rows, CardinalityEstimator};
+use perm_storage::Catalog;
+use perm_types::{Schema, Value};
+
+use crate::adapter::CatalogStats;
+
+/// One hashable equi-key pair of a join: `left_expr ⋈ right_expr`, with
+/// the right expression rebased to the right input's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiKey {
+    pub left: ScalarExpr,
+    pub right: ScalarExpr,
+    pub null_safe: bool,
+}
+
+/// Which input of a [`PhysicalPlan::HashJoin`] the hash table is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSide {
+    Left,
+    Right,
+}
+
+/// A physical query plan: explicit operators with every strategy decision
+/// already made. Produced by [`PhysicalPlanner`], consumed by
+/// [`crate::Executor::run_physical`] and [`crate::stream::TupleStream`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Sequential base-table scan with fused residual filter and output
+    /// projection. With neither, this is a plain `SeqScan`.
+    FusedScanProjectFilter {
+        table: String,
+        /// Expected base schema (staleness check against the catalog).
+        schema: Schema,
+        /// Residual predicate over the base row.
+        filter: Option<ScalarExpr>,
+        /// Output expressions over the base row; `None` emits the row.
+        project: Option<Vec<ScalarExpr>>,
+        est_rows: f64,
+    },
+    /// Hash-index point lookup `column = key`, plus residual predicate
+    /// and fused projection. Falls back to a filtered sequential scan at
+    /// run time if the index has disappeared since planning.
+    IndexScan {
+        table: String,
+        schema: Schema,
+        column: usize,
+        key: Value,
+        residual: Option<ScalarExpr>,
+        project: Option<Vec<ScalarExpr>>,
+        est_rows: f64,
+    },
+    /// Literal rows.
+    Values {
+        rows: Vec<Vec<ScalarExpr>>,
+        arity: usize,
+    },
+    /// Projection over an arbitrary input.
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<ScalarExpr>,
+    },
+    /// Filter over an arbitrary input.
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: ScalarExpr,
+    },
+    /// Hash join on extracted equi-keys.
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        kind: JoinType,
+        keys: Vec<EquiKey>,
+        /// Non-equi conjuncts, evaluated over the combined row.
+        residual: Option<ScalarExpr>,
+        build_side: BuildSide,
+        /// Input arities (left, right).
+        nl: usize,
+        nr: usize,
+        /// Fused slot-only output projection over the join output.
+        out_slots: Option<Vec<usize>>,
+        est_rows: f64,
+    },
+    /// Index nested-loop join: for each outer row, probe the inner base
+    /// table's hash index with the evaluated key expression.
+    IndexNLJoin {
+        outer: Box<PhysicalPlan>,
+        /// Inner | Left | Semi | Anti (left side preserved).
+        kind: JoinType,
+        table: String,
+        schema: Schema,
+        /// Indexed base-table column probed per outer row.
+        column: usize,
+        /// Key expression over the outer row.
+        key: ScalarExpr,
+        /// Fused filter over the inner *base* row.
+        inner_filter: Option<ScalarExpr>,
+        /// Fused slot projection of the inner base row (`None` = whole row).
+        inner_project: Option<Vec<usize>>,
+        /// Remaining join conjuncts over `outer ++ inner-output`.
+        residual: Option<ScalarExpr>,
+        nl: usize,
+        nr: usize,
+        out_slots: Option<Vec<usize>>,
+        est_rows: f64,
+    },
+    /// Nested-loop join (non-equi conditions, cross joins, ablations).
+    NLJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        kind: JoinType,
+        condition: Option<ScalarExpr>,
+        nl: usize,
+        nr: usize,
+        out_slots: Option<Vec<usize>>,
+        est_rows: f64,
+    },
+    /// Hash aggregation.
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<ScalarExpr>,
+        aggs: Vec<AggCall>,
+    },
+    /// Hash duplicate elimination.
+    HashDistinct { input: Box<PhysicalPlan> },
+    /// Set operation (hash-based; `UNION ALL` is a plain append).
+    HashSetOp {
+        op: SetOpType,
+        all: bool,
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        limit: Option<u64>,
+        offset: u64,
+    },
+}
+
+impl PhysicalPlan {
+    /// Direct children.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::FusedScanProjectFilter { .. }
+            | PhysicalPlan::IndexScan { .. }
+            | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::HashDistinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => vec![input],
+            PhysicalPlan::IndexNLJoin { outer, .. } => vec![outer],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NLJoin { left, right, .. }
+            | PhysicalPlan::HashSetOp { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Count of plan nodes (diagnostics and tests).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .into_iter()
+            .map(PhysicalPlan::node_count)
+            .sum::<usize>()
+    }
+
+    /// One-line operator description for [`physical_tree`].
+    fn describe(&self) -> String {
+        fn rows(est: f64) -> String {
+            format!("  (~{} rows)", est.round() as i64)
+        }
+        fn exprs(es: &[ScalarExpr]) -> String {
+            let v: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+            v.join(", ")
+        }
+        match self {
+            PhysicalPlan::FusedScanProjectFilter {
+                table,
+                filter,
+                project,
+                est_rows,
+                ..
+            } => {
+                if filter.is_none() && project.is_none() {
+                    format!("SeqScan({table}){}", rows(*est_rows))
+                } else {
+                    let mut s = format!("FusedScan({table})");
+                    if let Some(f) = filter {
+                        let _ = write!(s, " filter={f}");
+                    }
+                    if let Some(p) = project {
+                        let _ = write!(s, " project=[{}]", exprs(p));
+                    }
+                    s.push_str(&rows(*est_rows));
+                    s
+                }
+            }
+            PhysicalPlan::IndexScan {
+                table,
+                column,
+                key,
+                residual,
+                project,
+                est_rows,
+                ..
+            } => {
+                let mut s = format!("IndexScan({table}.#{column} = {key})");
+                if let Some(r) = residual {
+                    let _ = write!(s, " filter={r}");
+                }
+                if let Some(p) = project {
+                    let _ = write!(s, " project=[{}]", exprs(p));
+                }
+                s.push_str(&rows(*est_rows));
+                s
+            }
+            PhysicalPlan::Values { rows, .. } => format!("Values({} rows)", rows.len()),
+            PhysicalPlan::Project { exprs: es, .. } => format!("Project [{}]", exprs(es)),
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysicalPlan::HashJoin {
+                kind,
+                keys,
+                residual,
+                build_side,
+                out_slots,
+                est_rows,
+                ..
+            } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| {
+                        let op = if k.null_safe { "<=>" } else { "=" };
+                        format!("{} {op} {}", k.left, k.right)
+                    })
+                    .collect();
+                let mut s = format!(
+                    "HashJoin({}, build={}) on [{}]",
+                    kind.name(),
+                    match build_side {
+                        BuildSide::Left => "left",
+                        BuildSide::Right => "right",
+                    },
+                    ks.join(", ")
+                );
+                if let Some(r) = residual {
+                    let _ = write!(s, " residual={r}");
+                }
+                if let Some(slots) = out_slots {
+                    let _ = write!(s, " project={slots:?}");
+                }
+                s.push_str(&rows(*est_rows));
+                s
+            }
+            PhysicalPlan::IndexNLJoin {
+                kind,
+                table,
+                column,
+                key,
+                residual,
+                out_slots,
+                est_rows,
+                ..
+            } => {
+                let mut s = format!(
+                    "IndexNLJoin({}) probe {table}.#{column} = {key}",
+                    kind.name()
+                );
+                if let Some(r) = residual {
+                    let _ = write!(s, " residual={r}");
+                }
+                if let Some(slots) = out_slots {
+                    let _ = write!(s, " project={slots:?}");
+                }
+                s.push_str(&rows(*est_rows));
+                s
+            }
+            PhysicalPlan::NLJoin {
+                kind,
+                condition,
+                out_slots,
+                est_rows,
+                ..
+            } => {
+                let mut s = match condition {
+                    Some(c) => format!("NLJoin({}) on {c}", kind.name()),
+                    None => format!("NLJoin({})", kind.name()),
+                };
+                if let Some(slots) = out_slots {
+                    let _ = write!(s, " project={slots:?}");
+                }
+                s.push_str(&rows(*est_rows));
+                s
+            }
+            PhysicalPlan::HashAggregate { group_by, aggs, .. } => {
+                let g: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
+                let a: Vec<String> = aggs.iter().map(|c| c.to_string()).collect();
+                format!(
+                    "HashAggregate group=[{}] aggs=[{}]",
+                    g.join(", "),
+                    a.join(", ")
+                )
+            }
+            PhysicalPlan::HashDistinct { .. } => "HashDistinct".into(),
+            PhysicalPlan::HashSetOp { op, all, .. } => match (op, all) {
+                (SetOpType::Union, true) => "Append".into(),
+                (op, all) => format!("Hash{}{}", op.name(), if *all { "All" } else { "" }),
+            },
+            PhysicalPlan::Sort { keys, .. } => {
+                let k: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                format!("Sort [{}]", k.join(", "))
+            }
+            PhysicalPlan::Limit { limit, offset, .. } => match limit {
+                Some(l) => format!("Limit {l} offset {offset}"),
+                None => format!("Offset {offset}"),
+            },
+        }
+    }
+}
+
+/// Render a physical plan as an indented ASCII tree (the `EXPLAIN`
+/// artifact).
+pub fn physical_tree(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, "", true, &mut out);
+    out
+}
+
+fn render(plan: &PhysicalPlan, line_prefix: &str, is_last: bool, out: &mut String) {
+    let is_root = out.is_empty();
+    let connector = if is_root {
+        ""
+    } else if is_last {
+        "└── "
+    } else {
+        "├── "
+    };
+    out.push_str(line_prefix);
+    out.push_str(connector);
+    out.push_str(&plan.describe());
+    out.push('\n');
+    let child_prefix = if is_root {
+        String::new()
+    } else if is_last {
+        format!("{line_prefix}    ")
+    } else {
+        format!("{line_prefix}│   ")
+    };
+    let children = plan.children();
+    let n = children.len();
+    for (i, child) in children.into_iter().enumerate() {
+        render(child, &child_prefix, i == n - 1, out);
+    }
+}
+
+/// Split an ON condition into hashable equi-key pairs and a residual.
+///
+/// A conjunct qualifies if it is `a = b` or `a IS NOT DISTINCT FROM b`
+/// where one side references only left columns and the other only right
+/// columns (and neither contains a sublink).
+pub fn extract_equi_keys(cond: &ScalarExpr, nl: usize) -> (Vec<EquiKey>, Option<ScalarExpr>) {
+    use perm_algebra::expr::BinOp;
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    for c in cond.split_conjunction() {
+        let (op_null_safe, l, r) = match c {
+            ScalarExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => (false, left, right),
+            ScalarExpr::Binary {
+                op: BinOp::NotDistinctFrom,
+                left,
+                right,
+            } => (true, left, right),
+            other => {
+                residual.push(other.clone());
+                continue;
+            }
+        };
+        if l.contains_subquery() || r.contains_subquery() {
+            residual.push(c.clone());
+            continue;
+        }
+        let side = |e: &ScalarExpr| -> Option<bool> {
+            // Some(true) = pure left, Some(false) = pure right.
+            let cols = e.referenced_columns();
+            if cols.is_empty() {
+                return None; // constant; not usable as a key side marker
+            }
+            if cols.iter().all(|&i| i < nl) {
+                Some(true)
+            } else if cols.iter().all(|&i| i >= nl) {
+                Some(false)
+            } else {
+                None
+            }
+        };
+        match (side(l), side(r)) {
+            (Some(true), Some(false)) => keys.push(EquiKey {
+                left: (**l).clone(),
+                right: r.map_columns(&|i| i - nl),
+                null_safe: op_null_safe,
+            }),
+            (Some(false), Some(true)) => keys.push(EquiKey {
+                left: (**r).clone(),
+                right: l.map_columns(&|i| i - nl),
+                null_safe: op_null_safe,
+            }),
+            _ => residual.push(c.clone()),
+        }
+    }
+    let residual = if residual.is_empty() {
+        None
+    } else {
+        Some(ScalarExpr::conjunction(residual))
+    };
+    (keys, residual)
+}
+
+/// The physical planner: lowers an optimized [`LogicalPlan`] to a
+/// [`PhysicalPlan`], making all strategy decisions from the catalog's
+/// statistics and indexes.
+pub struct PhysicalPlanner<'a> {
+    catalog: &'a Catalog,
+    nested_loop_only: bool,
+}
+
+/// Lower `plan` against `catalog` (the common entry point).
+pub fn plan_physical(catalog: &Catalog, plan: &LogicalPlan) -> PhysicalPlan {
+    PhysicalPlanner::new(catalog).plan(plan)
+}
+
+impl<'a> PhysicalPlanner<'a> {
+    pub fn new(catalog: &'a Catalog) -> PhysicalPlanner<'a> {
+        PhysicalPlanner {
+            catalog,
+            nested_loop_only: false,
+        }
+    }
+
+    /// Force every join to a nested loop (ablation benches).
+    pub fn nested_loop_only(mut self, v: bool) -> PhysicalPlanner<'a> {
+        self.nested_loop_only = v;
+        self
+    }
+
+    fn stats(&self) -> CatalogStats<'a> {
+        CatalogStats(self.catalog)
+    }
+
+    fn est(&self, plan: &LogicalPlan) -> f64 {
+        estimate_rows(plan, &self.stats())
+    }
+
+    /// Lower a logical plan.
+    pub fn plan(&self, plan: &LogicalPlan) -> PhysicalPlan {
+        match plan {
+            // Boundaries are stripped by the logical pass but lower
+            // transparently if a caller plans an unoptimized tree.
+            LogicalPlan::Boundary { input, .. } => self.plan(input),
+            LogicalPlan::Scan { table, schema, .. } => PhysicalPlan::FusedScanProjectFilter {
+                table: table.clone(),
+                schema: schema.clone(),
+                filter: None,
+                project: None,
+                est_rows: self.est(plan),
+            },
+            LogicalPlan::Values { rows, schema } => PhysicalPlan::Values {
+                rows: rows.clone(),
+                arity: schema.len(),
+            },
+            LogicalPlan::Filter { input, predicate } => {
+                self.plan_filter(input, predicate, None, self.est(plan))
+            }
+            LogicalPlan::Project { input, exprs, .. } => self.plan_project(input, exprs, plan),
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                condition,
+                ..
+            } => self.plan_join(left, right, *kind, condition.as_ref(), None, self.est(plan)),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => PhysicalPlan::HashAggregate {
+                input: Box::new(self.plan(input)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            LogicalPlan::Distinct { input } => PhysicalPlan::HashDistinct {
+                input: Box::new(self.plan(input)),
+            },
+            LogicalPlan::SetOp {
+                op,
+                all,
+                left,
+                right,
+                ..
+            } => PhysicalPlan::HashSetOp {
+                op: *op,
+                all: *all,
+                left: Box::new(self.plan(left)),
+                right: Box::new(self.plan(right)),
+            },
+            LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+                input: Box::new(self.plan(input)),
+                keys: keys.clone(),
+            },
+            LogicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => PhysicalPlan::Limit {
+                input: Box::new(self.plan(input)),
+                limit: *limit,
+                offset: *offset,
+            },
+        }
+    }
+
+    /// Lower `Filter(input)`, fusing into a scan when possible; `project`
+    /// (if given) is an additional projection fused on top.
+    fn plan_filter(
+        &self,
+        input: &LogicalPlan,
+        predicate: &ScalarExpr,
+        project: Option<&[ScalarExpr]>,
+        est_rows: f64,
+    ) -> PhysicalPlan {
+        if let LogicalPlan::Scan { table, schema, .. } = input {
+            // Index point lookup: `col = literal` on an indexed column.
+            if let Some((column, key, residual)) = self.find_index_conjunct(table, predicate) {
+                return PhysicalPlan::IndexScan {
+                    table: table.clone(),
+                    schema: schema.clone(),
+                    column,
+                    key,
+                    residual,
+                    project: project.map(<[ScalarExpr]>::to_vec),
+                    est_rows,
+                };
+            }
+            return PhysicalPlan::FusedScanProjectFilter {
+                table: table.clone(),
+                schema: schema.clone(),
+                filter: Some(predicate.clone()),
+                project: project.map(<[ScalarExpr]>::to_vec),
+                est_rows,
+            };
+        }
+        let filtered = PhysicalPlan::Filter {
+            input: Box::new(self.plan(input)),
+            predicate: predicate.clone(),
+        };
+        match project {
+            Some(exprs) => PhysicalPlan::Project {
+                input: Box::new(filtered),
+                exprs: exprs.to_vec(),
+            },
+            None => filtered,
+        }
+    }
+
+    /// Lower `Project(input)`, fusing into scans and joins.
+    fn plan_project(
+        &self,
+        input: &LogicalPlan,
+        exprs: &[ScalarExpr],
+        whole: &LogicalPlan,
+    ) -> PhysicalPlan {
+        match input {
+            LogicalPlan::Scan { table, schema, .. } => PhysicalPlan::FusedScanProjectFilter {
+                table: table.clone(),
+                schema: schema.clone(),
+                filter: None,
+                project: Some(exprs.to_vec()),
+                est_rows: self.est(whole),
+            },
+            LogicalPlan::Filter {
+                input: finput,
+                predicate,
+            } if matches!(finput.as_ref(), LogicalPlan::Scan { .. }) => {
+                self.plan_filter(finput, predicate, Some(exprs), self.est(whole))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                condition,
+                ..
+            } => {
+                // Slot-only projections fuse into the join output.
+                if let Some(slots) = slot_only(exprs) {
+                    self.plan_join(
+                        left,
+                        right,
+                        *kind,
+                        condition.as_ref(),
+                        Some(slots),
+                        self.est(whole),
+                    )
+                } else {
+                    PhysicalPlan::Project {
+                        input: Box::new(self.plan(input)),
+                        exprs: exprs.to_vec(),
+                    }
+                }
+            }
+            other => PhysicalPlan::Project {
+                input: Box::new(self.plan(other)),
+                exprs: exprs.to_vec(),
+            },
+        }
+    }
+
+    /// Find a `col = literal` conjunct over an indexed column of `table`;
+    /// returns `(column, key, residual predicate)`.
+    fn find_index_conjunct(
+        &self,
+        table: &str,
+        predicate: &ScalarExpr,
+    ) -> Option<(usize, Value, Option<ScalarExpr>)> {
+        use perm_algebra::expr::BinOp;
+        let t = self.catalog.table(table).ok()?;
+        let conjuncts = predicate.split_conjunction();
+        for (i, c) in conjuncts.iter().enumerate() {
+            let ScalarExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = c
+            else {
+                continue;
+            };
+            let (col, key) = match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::Column(c), ScalarExpr::Literal(v))
+                | (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => (*c, v),
+                _ => continue,
+            };
+            if key.is_null() {
+                continue; // `col = NULL` matches nothing; let eval handle it.
+            }
+            if t.index_on(col).is_none() {
+                continue;
+            }
+            let residual: Vec<ScalarExpr> = conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, e)| (*e).clone())
+                .collect();
+            let residual = if residual.is_empty() {
+                None
+            } else {
+                Some(ScalarExpr::conjunction(residual))
+            };
+            return Some((col, key.clone(), residual));
+        }
+        None
+    }
+
+    /// Lower a join, choosing the strategy by cost.
+    fn plan_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        kind: JoinType,
+        condition: Option<&ScalarExpr>,
+        out_slots: Option<Vec<usize>>,
+        est_rows: f64,
+    ) -> PhysicalPlan {
+        let nl = left.arity();
+        let nr = right.arity();
+        let (keys, residual) = condition
+            .map(|c| extract_equi_keys(c, nl))
+            .unwrap_or((vec![], None));
+
+        if keys.is_empty() || self.nested_loop_only {
+            return PhysicalPlan::NLJoin {
+                left: Box::new(self.plan(left)),
+                right: Box::new(self.plan(right)),
+                kind,
+                condition: condition.cloned(),
+                nl,
+                nr,
+                out_slots,
+                est_rows,
+            };
+        }
+
+        let stats = self.stats();
+        let l_est = self.est(left);
+        let r_est = self.est(right);
+
+        // Index nested-loop: the inner (right) side is a base-table scan
+        // (possibly filtered / slot-projected) with a hash index on an
+        // equi-key column, and probing beats building.
+        if matches!(
+            kind,
+            JoinType::Inner | JoinType::Left | JoinType::Semi | JoinType::Anti
+        ) {
+            if let Some((table, schema, inner_filter, inner_project)) = as_scan_chain(right) {
+                if let Some((ki, base_col)) = keys.iter().enumerate().find_map(|(ki, k)| {
+                    if k.null_safe {
+                        return None;
+                    }
+                    let ScalarExpr::Column(j) = k.right else {
+                        return None;
+                    };
+                    let base = inner_project.as_ref().map_or(j, |p| p[j]);
+                    stats.has_index(table, base).then_some((ki, base))
+                }) {
+                    let matches_per_probe = r_est
+                        / stats
+                            .column_distinct(table, base_col)
+                            .unwrap_or_else(|| r_est.sqrt())
+                            .max(1.0);
+                    let inlj_cost = l_est * (1.0 + matches_per_probe);
+                    let hash_cost = l_est + r_est;
+                    if inlj_cost < hash_cost {
+                        // Remaining keys join the residual, over the
+                        // combined `outer ++ inner-output` row.
+                        let mut rest: Vec<ScalarExpr> = keys
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != ki)
+                            .map(|(_, k)| {
+                                let op = if k.null_safe {
+                                    perm_algebra::expr::BinOp::NotDistinctFrom
+                                } else {
+                                    perm_algebra::expr::BinOp::Eq
+                                };
+                                ScalarExpr::binary(
+                                    op,
+                                    k.left.clone(),
+                                    k.right.map_columns(&|i| i + nl),
+                                )
+                            })
+                            .collect();
+                        if let Some(r) = &residual {
+                            rest.push(r.clone());
+                        }
+                        let residual = if rest.is_empty() {
+                            None
+                        } else {
+                            Some(ScalarExpr::conjunction(rest))
+                        };
+                        let key = keys[ki].left.clone();
+                        return PhysicalPlan::IndexNLJoin {
+                            outer: Box::new(self.plan(left)),
+                            kind,
+                            table: table.to_string(),
+                            schema: schema.clone(),
+                            column: base_col,
+                            key,
+                            inner_filter: inner_filter.cloned(),
+                            inner_project,
+                            residual,
+                            nl,
+                            nr,
+                            out_slots,
+                            est_rows,
+                        };
+                    }
+                }
+            }
+        }
+
+        // Hash join. Build on the smaller side for inner joins (the other
+        // kinds need build-side match tracking that only the right-build
+        // implementation provides).
+        let build_side = if matches!(kind, JoinType::Inner) && l_est * 2.0 < r_est {
+            BuildSide::Left
+        } else {
+            BuildSide::Right
+        };
+        PhysicalPlan::HashJoin {
+            left: Box::new(self.plan(left)),
+            right: Box::new(self.plan(right)),
+            kind,
+            keys,
+            residual,
+            build_side,
+            nl,
+            nr,
+            out_slots,
+            est_rows,
+        }
+    }
+}
+
+/// `Some(slots)` if every expression is a plain column reference.
+fn slot_only(exprs: &[ScalarExpr]) -> Option<Vec<usize>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            ScalarExpr::Column(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A recognized scan chain: `(table, schema, filter over base row, slot
+/// projection)`.
+type ScanChain<'a> = (
+    &'a str,
+    &'a Schema,
+    Option<&'a ScalarExpr>,
+    Option<Vec<usize>>,
+);
+
+/// Recognize `Project(slots)? → Filter? → Scan` chains — the shape the
+/// index nested-loop join can probe directly.
+fn as_scan_chain(plan: &LogicalPlan) -> Option<ScanChain<'_>> {
+    fn scan_or_filter(p: &LogicalPlan) -> Option<(&str, &Schema, Option<&ScalarExpr>)> {
+        match p {
+            LogicalPlan::Scan { table, schema, .. } => Some((table, schema, None)),
+            LogicalPlan::Filter { input, predicate } => match input.as_ref() {
+                LogicalPlan::Scan { table, schema, .. } => Some((table, schema, Some(predicate))),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    match plan {
+        LogicalPlan::Project { input, exprs, .. } => {
+            let slots = slot_only(exprs)?;
+            let (t, s, f) = scan_or_filter(input)?;
+            Some((t, s, f, Some(slots)))
+        }
+        other => {
+            let (t, s, f) = scan_or_filter(other)?;
+            Some((t, s, f, None))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_storage::Table;
+    use perm_types::{Column, DataType, Tuple};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut big = Table::new(
+            "big",
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+            ]),
+        );
+        for i in 0..1000 {
+            big.insert(Tuple::new(vec![Value::Int(i), Value::Int(i % 7)]))
+                .unwrap();
+        }
+        big.create_index(0).unwrap();
+        cat.create_table(big).unwrap();
+
+        let mut small = Table::new(
+            "small",
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("w", DataType::Int),
+            ]),
+        );
+        for i in 0..10 {
+            small
+                .insert(Tuple::new(vec![Value::Int(i * 100), Value::Int(i)]))
+                .unwrap();
+        }
+        cat.create_table(small).unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog, name: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: name.into(),
+            schema: cat.table(name).unwrap().schema().clone(),
+            provenance_cols: vec![],
+        }
+    }
+
+    fn eq(a: usize, b: usize) -> ScalarExpr {
+        ScalarExpr::eq(ScalarExpr::Column(a), ScalarExpr::Column(b))
+    }
+
+    #[test]
+    fn plain_scan_lowers_to_seq_scan() {
+        let cat = catalog();
+        let p = plan_physical(&cat, &scan(&cat, "big"));
+        assert!(matches!(
+            p,
+            PhysicalPlan::FusedScanProjectFilter {
+                filter: None,
+                project: None,
+                ..
+            }
+        ));
+        assert!(physical_tree(&p).starts_with("SeqScan(big)"), "{p:?}");
+    }
+
+    #[test]
+    fn indexed_point_filter_lowers_to_index_scan() {
+        let cat = catalog();
+        let f = LogicalPlan::filter(
+            scan(&cat, "big"),
+            ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Literal(Value::Int(7))),
+        );
+        let p = plan_physical(&cat, &f);
+        assert!(
+            matches!(p, PhysicalPlan::IndexScan { column: 0, .. }),
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn unindexed_filter_fuses_into_scan() {
+        let cat = catalog();
+        let f = LogicalPlan::filter(
+            scan(&cat, "big"),
+            ScalarExpr::eq(ScalarExpr::Column(1), ScalarExpr::Literal(Value::Int(7))),
+        );
+        let p = plan_physical(&cat, &f);
+        assert!(
+            matches!(
+                p,
+                PhysicalPlan::FusedScanProjectFilter {
+                    filter: Some(_),
+                    ..
+                }
+            ),
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn small_outer_with_indexed_inner_chooses_index_nl_join() {
+        let cat = catalog();
+        let j = LogicalPlan::join(
+            scan(&cat, "small"),
+            scan(&cat, "big"),
+            JoinType::Inner,
+            Some(eq(0, 2)),
+        )
+        .unwrap();
+        let p = plan_physical(&cat, &j);
+        assert!(
+            matches!(p, PhysicalPlan::IndexNLJoin { column: 0, .. }),
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn large_outer_prefers_hash_join_with_small_build() {
+        let cat = catalog();
+        // big ⋈ small, no index on small: hash join, built on the right
+        // (small) side by default.
+        let j = LogicalPlan::join(
+            scan(&cat, "big"),
+            scan(&cat, "small"),
+            JoinType::Inner,
+            Some(eq(0, 2)),
+        )
+        .unwrap();
+        let p = plan_physical(&cat, &j);
+        assert!(
+            matches!(
+                p,
+                PhysicalPlan::HashJoin {
+                    build_side: BuildSide::Right,
+                    ..
+                }
+            ),
+            "{p:?}"
+        );
+        // small ⋈ big with the index cost beaten: swapped operands put
+        // the small side left; inner build side flips to the left input.
+        let mut cat2 = catalog();
+        cat2.table_mut("big").unwrap().truncate();
+        for i in 0..1000 {
+            cat2.table_mut("big")
+                .unwrap()
+                .insert(Tuple::new(vec![Value::Int(i), Value::Int(i % 7)]))
+                .unwrap();
+        }
+        let j = LogicalPlan::join(
+            scan(&cat2, "small"),
+            scan(&cat2, "big"),
+            JoinType::Inner,
+            Some(ScalarExpr::eq(ScalarExpr::Column(1), ScalarExpr::Column(3))),
+        )
+        .unwrap();
+        let p = plan_physical(&cat2, &j);
+        assert!(
+            matches!(
+                p,
+                PhysicalPlan::HashJoin {
+                    build_side: BuildSide::Left,
+                    ..
+                }
+            ),
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn nested_loop_only_forces_nl_joins() {
+        let cat = catalog();
+        let j = LogicalPlan::join(
+            scan(&cat, "small"),
+            scan(&cat, "big"),
+            JoinType::Inner,
+            Some(eq(0, 2)),
+        )
+        .unwrap();
+        let p = PhysicalPlanner::new(&cat).nested_loop_only(true).plan(&j);
+        assert!(matches!(p, PhysicalPlan::NLJoin { .. }), "{p:?}");
+    }
+
+    #[test]
+    fn slot_projection_fuses_into_join() {
+        let cat = catalog();
+        let j = LogicalPlan::join(
+            scan(&cat, "big"),
+            scan(&cat, "small"),
+            JoinType::Inner,
+            Some(eq(0, 2)),
+        )
+        .unwrap();
+        let proj = LogicalPlan::project_positions(j, &[3, 1]);
+        let p = plan_physical(&cat, &proj);
+        match p {
+            PhysicalPlan::HashJoin { out_slots, .. } => {
+                assert_eq!(out_slots, Some(vec![3, 1]));
+            }
+            other => panic!("expected fused hash join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn physical_tree_draws_joins() {
+        let cat = catalog();
+        let j = LogicalPlan::join(
+            scan(&cat, "big"),
+            scan(&cat, "small"),
+            JoinType::Inner,
+            Some(eq(0, 2)),
+        )
+        .unwrap();
+        let t = physical_tree(&plan_physical(&cat, &j));
+        assert!(t.contains("HashJoin(Inner"), "{t}");
+        assert!(t.contains("├── SeqScan(big)"), "{t}");
+        assert!(t.contains("└── SeqScan(small)"), "{t}");
+    }
+}

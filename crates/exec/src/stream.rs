@@ -2,13 +2,18 @@
 //!
 //! [`TupleStream`] drives a top-level plan cursor-style, the way a
 //! PostgreSQL client consumes a portal: `next()` pulls one row, and the
-//! pipeline-friendly operators — scans, filters, projections, limits —
+//! pipeline-friendly operators — sequential scans (with their fused
+//! filters and projections), standalone filters/projections, limits —
 //! produce it on demand. A `LIMIT k` over a streamable chain therefore
 //! pulls only as many base-table rows as it needs instead of
 //! materializing the whole input first. Blocking operators (joins,
 //! aggregation, sorts, set operations, DISTINCT) have no incremental
 //! form in this executor; a blocking subtree is materialized through
-//! [`Executor::run`] on first pull and drained from its buffer.
+//! [`Executor::run_physical`] on first pull and drained from its buffer.
+//!
+//! The cursor tree is built from the **physical** plan, so every
+//! strategy decision (fusion, index usage, join algorithms inside
+//! blocking subtrees) was already made by the planner.
 //!
 //! The stream owns its [`Executor`] — and through it an immutable catalog
 //! snapshot — so it keeps yielding a consistent result however long the
@@ -22,6 +27,7 @@ use perm_types::{Result, Tuple};
 use crate::compile::{CompiledExpr, CompiledProjection};
 use crate::eval::Env;
 use crate::executor::Executor;
+use crate::physical::PhysicalPlan;
 
 /// A pull-based result: `Iterator<Item = Result<Tuple>>` over a plan.
 ///
@@ -35,9 +41,9 @@ pub struct TupleStream {
 }
 
 impl TupleStream {
-    /// Build a stream over `plan`, validating its base-table scans against
-    /// the executor's catalog snapshot up front.
-    pub fn new(exec: Executor, plan: &LogicalPlan) -> Result<TupleStream> {
+    /// Build a stream over a physical plan, validating its base-table
+    /// scans against the executor's catalog snapshot up front.
+    pub fn new(exec: Executor, plan: &PhysicalPlan) -> Result<TupleStream> {
         let cursor = Cursor::build(&exec, plan)?;
         Ok(TupleStream {
             exec,
@@ -75,19 +81,27 @@ impl Iterator for TupleStream {
 }
 
 impl Executor {
-    /// Consume this executor into a pull-based stream over `plan`.
+    /// Consume this executor into a pull-based stream over `plan` (the
+    /// logical plan is lowered through the physical planner first).
     ///
     /// The plan must be a *top-level* plan (no outer scopes in flight);
     /// streams are built per statement, exactly like [`Executor::run`]
     /// calls at the top level.
     pub fn into_stream(self, plan: &LogicalPlan) -> Result<TupleStream> {
+        let physical = self.physical(plan);
+        TupleStream::new(self, &physical)
+    }
+
+    /// [`Executor::into_stream`] over an already-lowered physical plan
+    /// (prepared statements cache the lowering).
+    pub fn into_stream_physical(self, plan: &PhysicalPlan) -> Result<TupleStream> {
         TupleStream::new(self, plan)
     }
 }
 
 /// One node of the cursor tree. Streamable operators hold just the state
-/// they need (cloned out of the plan, so the stream is self-contained);
-/// everything else lazily materializes via [`Executor::run`].
+/// they need (compiled out of the plan, so the stream is self-contained);
+/// everything else lazily materializes via [`Executor::run_physical`].
 enum Cursor {
     /// Base-table scan: yields `rows()[next]` on each pull. Holds the
     /// pre-folded catalog key so the per-pull re-resolution (the borrow
@@ -112,33 +126,53 @@ enum Cursor {
         remaining: Option<usize>,
     },
     /// A blocking subtree, not yet executed.
-    Pending(Box<LogicalPlan>),
+    Pending(Box<PhysicalPlan>),
     /// A materialized buffer being drained.
     Drained(std::vec::IntoIter<Tuple>),
 }
 
 impl Cursor {
-    fn build(exec: &Executor, plan: &LogicalPlan) -> Result<Cursor> {
+    fn build(exec: &Executor, plan: &PhysicalPlan) -> Result<Cursor> {
         Ok(match plan {
-            LogicalPlan::Scan { table, schema, .. } => {
-                // Same staleness check Executor::run performs, done once at
-                // stream construction (the snapshot cannot change under us).
+            PhysicalPlan::FusedScanProjectFilter {
+                table,
+                schema,
+                filter,
+                project,
+                ..
+            } => {
+                // Same staleness check Executor::run_physical performs,
+                // done once at stream construction (the snapshot cannot
+                // change under us).
                 let t = exec.catalog().table(table)?;
                 crate::executor::check_scan_schema(t, table, schema)?;
-                Cursor::Scan {
+                let mut cursor = Cursor::Scan {
                     key: Catalog::key_of(table),
                     next: 0,
+                };
+                if let Some(f) = filter {
+                    cursor = Cursor::Filter {
+                        input: Box::new(cursor),
+                        predicate: CompiledExpr::compile(exec, f),
+                    };
                 }
+                if let Some(p) = project {
+                    cursor = Cursor::Project {
+                        input: Box::new(cursor),
+                        projection: CompiledProjection::compile(exec, p),
+                    };
+                }
+                cursor
             }
-            LogicalPlan::Filter { input, predicate } => Cursor::Filter {
+            PhysicalPlan::Filter { input, predicate } => Cursor::Filter {
                 input: Box::new(Cursor::build(exec, input)?),
                 predicate: CompiledExpr::compile(exec, predicate),
             },
-            LogicalPlan::Project { input, exprs, .. } => Cursor::Project {
+            PhysicalPlan::Project { input, exprs } => Cursor::Project {
                 input: Box::new(Cursor::build(exec, input)?),
                 projection: CompiledProjection::compile(exec, exprs),
             },
-            LogicalPlan::Limit {
+            PhysicalPlan::Limit {
                 input,
                 limit,
                 offset,
@@ -147,10 +181,9 @@ impl Cursor {
                 skip: *offset as usize,
                 remaining: limit.map(|l| l as usize),
             },
-            // Boundaries are transparent, exactly as in Executor::run.
-            LogicalPlan::Boundary { input, .. } => Cursor::build(exec, input)?,
-            // Joins, aggregates, sorts, set ops, DISTINCT and VALUES are
-            // blocking: materialize on first pull.
+            // Index scans, joins, aggregates, sorts, set ops, DISTINCT and
+            // VALUES are blocking (or already small): materialize on first
+            // pull.
             other => Cursor::Pending(Box::new(other.clone())),
         })
     }
@@ -208,7 +241,7 @@ impl Cursor {
                 input.next(exec, scanned)
             }
             Cursor::Pending(plan) => {
-                let rows = match exec.run(plan) {
+                let rows = match exec.run_physical(plan) {
                     Ok(rows) => rows,
                     Err(e) => return Some(Err(e)),
                 };

@@ -636,6 +636,98 @@ fn index_with_residual_predicate() {
     );
 }
 
+/// Grow the forum tables so the planner's cost model has a real size
+/// imbalance to work with (`users` stays tiny, `approved` gets big).
+fn scaled_catalog() -> Catalog {
+    let mut cat = forum_catalog();
+    let approved = cat.table_mut("approved").unwrap();
+    for i in 0..500 {
+        approved
+            .insert(Tuple::new(vec![Value::Int(i % 3 + 1), Value::Int(i)]))
+            .unwrap();
+    }
+    cat
+}
+
+#[test]
+fn index_nl_join_agrees_with_hash_join() {
+    // Same logical join, once with an index on the inner join column
+    // (the planner picks IndexNLJoin for the small outer) and once
+    // without (hash join). Results must be identical multisets.
+    use crate::physical::{plan_physical, PhysicalPlan};
+    use perm_algebra::plan::{JoinType, LogicalPlan};
+    use perm_algebra::ScalarExpr;
+
+    let scan = |cat: &Catalog, name: &str| LogicalPlan::Scan {
+        table: name.into(),
+        schema: cat.table(name).unwrap().schema().clone(),
+        provenance_cols: vec![],
+    };
+
+    for kind in [
+        JoinType::Inner,
+        JoinType::Left,
+        JoinType::Semi,
+        JoinType::Anti,
+    ] {
+        let mut indexed = scaled_catalog();
+        indexed
+            .table_mut("approved")
+            .unwrap()
+            .create_index(1)
+            .unwrap();
+        let plain = scaled_catalog();
+
+        // messages(mid, text, uid) ⋈ approved(uid, mid) on mid: a tiny
+        // outer probing a big inner on a near-unique indexed key — the
+        // shape where the index nested-loop wins.
+        let plan = |cat: &Catalog| {
+            LogicalPlan::join(
+                scan(cat, "messages"),
+                scan(cat, "approved"),
+                kind,
+                Some(ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Column(4))),
+            )
+            .unwrap()
+        };
+
+        let p_indexed = plan(&indexed);
+        let p_plain = plan(&plain);
+        assert!(
+            matches!(
+                plan_physical(&indexed, &p_indexed),
+                PhysicalPlan::IndexNLJoin { .. }
+            ),
+            "{kind:?}: small outer over indexed inner should pick IndexNLJoin"
+        );
+        assert!(
+            matches!(
+                plan_physical(&plain, &p_plain),
+                PhysicalPlan::HashJoin { .. }
+            ),
+            "{kind:?}: without the index the hash join must be chosen"
+        );
+
+        let via_index = executor(&indexed).run(&p_indexed).unwrap();
+        let via_hash = executor(&plain).run(&p_plain).unwrap();
+        assert_eq!(sorted(via_index), sorted(via_hash), "{kind:?}");
+    }
+}
+
+#[test]
+fn index_nl_join_with_residual_and_projection() {
+    let mut cat = scaled_catalog();
+    cat.table_mut("approved").unwrap().create_index(1).unwrap();
+    // Multi-conjunct ON: the key probes the index, `a.uid > 1` becomes a
+    // fused filter or residual; the SELECT list narrows the output.
+    let sql = "SELECT m.text, a.uid FROM messages m JOIN approved a \
+               ON m.mid = a.mid AND a.uid > 1";
+    let with_index = run_on(&cat, sql).unwrap();
+    let without = run_on(&scaled_catalog(), sql).unwrap();
+    assert!(!with_index.is_empty());
+    assert_eq!(sorted(with_index), sorted(without));
+}
+
 // ----------------------------------------------------------------------
 // Values / no-FROM selects
 // ----------------------------------------------------------------------

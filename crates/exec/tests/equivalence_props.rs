@@ -13,6 +13,12 @@
 //!    plans over random tables must produce identical multisets through
 //!    `Executor::new` (hash joins, fused projections) and
 //!    `Executor::new_nested_loop_only`.
+//! 3. **The two-phase optimizer vs. raw execution** — the same random
+//!    plans (with a random projection on top, and an index on one join
+//!    column) run through the full logical pass (filter pushdown, LEFT
+//!    demotion, column pruning, join reordering) plus the cost-based
+//!    physical planner must produce the multiset the unoptimized
+//!    nested-loop reference produces.
 
 use std::sync::Arc;
 
@@ -21,7 +27,7 @@ use proptest::prelude::*;
 use perm_algebra::expr::{AggCall, AggFunc, BinOp, ScalarExpr, ScalarFunc, UnOp};
 use perm_algebra::plan::{JoinType, LogicalPlan};
 use perm_exec::eval::{eval, Env};
-use perm_exec::{CompiledExpr, Executor};
+use perm_exec::{optimize_with, CatalogStats, CompiledExpr, Executor};
 use perm_storage::{Catalog, Table};
 use perm_types::{Column, DataType, Schema, Tuple, Value};
 
@@ -398,6 +404,51 @@ proptest! {
                 (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
                 _ => prop_assert!(false, "divergence for {} on {}", e, t),
             }
+        }
+    }
+
+    /// The full two-phase optimizer — logical rewrites (pushdown, LEFT
+    /// demotion, column pruning, join reordering) plus cost-based
+    /// physical planning over real table statistics and an index — never
+    /// changes the result multiset of a randomized plan.
+    #[test]
+    fn optimizer_preserves_random_plan_results(
+        case in plan_case(),
+        keep in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let mut cat = Catalog::new();
+        cat.create_table(int_table("t1", ["a", "b"], &case.t1_rows)).unwrap();
+        cat.create_table(int_table("t2", ["c", "d"], &case.t2_rows)).unwrap();
+        // An index on one join column so the planner can (and sometimes
+        // will) pick the index nested-loop strategy.
+        cat.table_mut("t2").unwrap().create_index(0).unwrap();
+        let mut plan = build_plan(&case, &cat);
+        // A random projection on top exercises column pruning and the
+        // fused join output projections.
+        let arity = plan.arity();
+        let positions: Vec<usize> = keep
+            .iter()
+            .enumerate()
+            .filter(|(i, k)| **k && *i < arity)
+            .map(|(i, _)| i)
+            .collect();
+        if !positions.is_empty() {
+            plan = LogicalPlan::project_positions(plan, &positions);
+        }
+
+        let cat = Arc::new(cat);
+        let reference = Executor::new_nested_loop_only(Arc::clone(&cat)).run(&plan);
+        let optimized_plan = optimize_with(plan.clone(), &CatalogStats(&cat));
+        let optimized = Executor::new(Arc::clone(&cat)).run(&optimized_plan);
+        match (reference, optimized) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                sorted(a),
+                sorted(b),
+                "optimizer changed the result for {:?}",
+                case
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "one path failed: raw={:?} optimized={:?}", a, b),
         }
     }
 

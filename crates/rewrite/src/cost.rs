@@ -1,185 +1,12 @@
-//! Lightweight cardinality estimation for cost-based rewrite-strategy
-//! selection.
+//! Cardinality estimation for cost-based rewrite-strategy selection.
 //!
-//! This is deliberately coarser than the executor's planner cost model: the
-//! rewriter only needs to rank *alternative rewrites of the same operator*
-//! against each other, for which relative row counts suffice.
+//! Since the two-phase optimizer landed, the estimator lives in
+//! [`perm_algebra::stats`] and is shared with the executor's physical
+//! planner — the rewrite-strategy chooser and the join planner read the
+//! same cardinality truth. This module re-exports it under the historical
+//! names so rewrite-internal code and downstream users keep working.
 
-use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType};
-
-/// Source of base-table row counts (implemented by the storage catalog).
-pub trait CardinalityEstimator {
-    /// Exact or estimated row count of a base table, if known.
-    fn table_rows(&self, table: &str) -> Option<f64>;
-}
-
-/// An estimator that knows nothing; every table defaults to 1000 rows.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct UnknownCardinality;
-
-impl CardinalityEstimator for UnknownCardinality {
-    fn table_rows(&self, _table: &str) -> Option<f64> {
-        None
-    }
-}
-
-/// Default row count assumed for unknown tables.
-pub const DEFAULT_TABLE_ROWS: f64 = 1000.0;
-
-/// Default selectivity of a filter predicate.
-const FILTER_SELECTIVITY: f64 = 0.5;
-/// Default selectivity of a join condition.
-const JOIN_SELECTIVITY: f64 = 0.1;
-
-/// Estimate the output cardinality of a logical plan.
-pub fn estimate_rows(plan: &LogicalPlan, est: &dyn CardinalityEstimator) -> f64 {
-    match plan {
-        LogicalPlan::Scan { table, .. } => {
-            est.table_rows(table).unwrap_or(DEFAULT_TABLE_ROWS).max(1.0)
-        }
-        LogicalPlan::Values { rows, .. } => rows.len() as f64,
-        LogicalPlan::Project { input, .. }
-        | LogicalPlan::Sort { input, .. }
-        | LogicalPlan::Boundary { input, .. } => estimate_rows(input, est),
-        LogicalPlan::Filter { input, .. } => estimate_rows(input, est) * FILTER_SELECTIVITY,
-        LogicalPlan::Join {
-            left,
-            right,
-            kind,
-            condition,
-            ..
-        } => {
-            let l = estimate_rows(left, est);
-            let r = estimate_rows(right, est);
-            match kind {
-                JoinType::Cross => l * r,
-                JoinType::Semi | JoinType::Anti => l * FILTER_SELECTIVITY,
-                _ if condition.is_none() => l * r,
-                JoinType::Left | JoinType::Full => (l * r * JOIN_SELECTIVITY).max(l),
-                _ => (l * r * JOIN_SELECTIVITY).max(1.0),
-            }
-        }
-        LogicalPlan::Aggregate {
-            input, group_by, ..
-        } => {
-            let n = estimate_rows(input, est);
-            if group_by.is_empty() {
-                1.0
-            } else {
-                // Square-root heuristic for group counts.
-                n.sqrt().max(1.0)
-            }
-        }
-        LogicalPlan::Distinct { input } => estimate_rows(input, est) * 0.8,
-        LogicalPlan::SetOp {
-            op, left, right, ..
-        } => {
-            let l = estimate_rows(left, est);
-            let r = estimate_rows(right, est);
-            match op {
-                SetOpType::Union => l + r,
-                SetOpType::Intersect => l.min(r) * 0.5,
-                SetOpType::Except => l * 0.5,
-            }
-        }
-        LogicalPlan::Limit { input, limit, .. } => {
-            let n = estimate_rows(input, est);
-            match limit {
-                Some(l) => n.min(*l as f64),
-                None => n,
-            }
-        }
-    }
-}
-
-/// Estimate the *processing cost* of a plan: the sum of the rows every
-/// operator touches. This is the quantity the cost-based strategy chooser
-/// compares between alternative rewrites.
-pub fn estimate_cost(plan: &LogicalPlan, est: &dyn CardinalityEstimator) -> f64 {
-    let own = match plan {
-        // Joins cost the product of their input sizes under nested-loop
-        // pessimism, damped for equi-join-friendly shapes.
-        LogicalPlan::Join { left, right, .. } => {
-            let l = estimate_rows(left, est);
-            let r = estimate_rows(right, est);
-            l + r + (l * r).sqrt() * 2.0
-        }
-        other => estimate_rows(other, est),
-    };
-    own + plan
-        .children()
-        .into_iter()
-        .map(|c| estimate_cost(c, est))
-        .sum::<f64>()
-}
-
-/// A fixed per-table cardinality map (tests, benches).
-#[derive(Debug, Default, Clone)]
-pub struct FixedCardinalities(pub std::collections::HashMap<String, f64>);
-
-impl CardinalityEstimator for FixedCardinalities {
-    fn table_rows(&self, table: &str) -> Option<f64> {
-        self.0.get(&table.to_ascii_lowercase()).copied()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use perm_algebra::expr::ScalarExpr;
-    use perm_types::{Column, DataType, Schema, Value};
-
-    fn scan(name: &str) -> LogicalPlan {
-        LogicalPlan::Scan {
-            table: name.into(),
-            schema: Schema::new(vec![Column::new("x", DataType::Int)]),
-            provenance_cols: vec![],
-        }
-    }
-
-    fn fixed(pairs: &[(&str, f64)]) -> FixedCardinalities {
-        FixedCardinalities(pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect())
-    }
-
-    #[test]
-    fn scan_rows_come_from_estimator() {
-        let est = fixed(&[("t", 42.0)]);
-        assert_eq!(estimate_rows(&scan("t"), &est), 42.0);
-        assert_eq!(estimate_rows(&scan("u"), &est), DEFAULT_TABLE_ROWS);
-    }
-
-    #[test]
-    fn filter_halves_and_union_adds() {
-        let est = fixed(&[("a", 100.0), ("b", 300.0)]);
-        let f = LogicalPlan::filter(scan("a"), ScalarExpr::Literal(Value::Bool(true)));
-        assert_eq!(estimate_rows(&f, &est), 50.0);
-        let u = LogicalPlan::SetOp {
-            op: SetOpType::Union,
-            all: true,
-            left: Box::new(scan("a")),
-            right: Box::new(scan("b")),
-            schema: Schema::new(vec![Column::new("x", DataType::Int)]),
-        };
-        assert_eq!(estimate_rows(&u, &est), 400.0);
-    }
-
-    #[test]
-    fn cost_grows_with_plan_size() {
-        let est = fixed(&[("a", 100.0)]);
-        let simple = scan("a");
-        let bigger = LogicalPlan::join(scan("a"), scan("a"), JoinType::Cross, None).unwrap();
-        assert!(estimate_cost(&bigger, &est) > estimate_cost(&simple, &est));
-    }
-
-    #[test]
-    fn global_aggregate_is_one_row() {
-        let est = UnknownCardinality;
-        let agg = LogicalPlan::Aggregate {
-            input: Box::new(scan("a")),
-            group_by: vec![],
-            aggs: vec![],
-            schema: Schema::empty(),
-        };
-        assert_eq!(estimate_rows(&agg, &est), 1.0);
-    }
-}
+pub use perm_algebra::stats::{
+    estimate_cost, estimate_rows, CardinalityEstimator, FixedCardinalities, UnknownCardinality,
+    DEFAULT_TABLE_ROWS,
+};

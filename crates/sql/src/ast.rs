@@ -25,14 +25,27 @@ pub enum Statement {
         columns: Option<Vec<String>>,
         rows: Vec<Vec<Expr>>,
     },
+    /// `DELETE FROM name [WHERE predicate]`.
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
+    /// `UPDATE name SET col = expr, … [WHERE predicate]`.
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        predicate: Option<Expr>,
+    },
     /// `DROP TABLE/VIEW [IF EXISTS] name`.
     Drop {
         kind: ObjectKind,
         name: String,
         if_exists: bool,
     },
-    /// `EXPLAIN query` — show the (rewritten) algebra tree instead of rows.
-    Explain(Query),
+    /// `EXPLAIN [VERBOSE] query` — show the physical execution plan
+    /// instead of rows (`VERBOSE` adds the optimized logical tree with
+    /// schema annotations).
+    Explain { query: Query, verbose: bool },
 }
 
 /// The kind of catalog object a `DROP` refers to.

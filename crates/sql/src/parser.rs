@@ -237,10 +237,58 @@ impl Parser {
         if self.check_keyword("drop") {
             return self.parse_drop();
         }
+        if self.check_keyword("delete") {
+            return self.parse_delete();
+        }
+        if self.check_keyword("update") {
+            return self.parse_update();
+        }
         if self.eat_keyword("explain") {
-            return Ok(Statement::Explain(self.parse_query()?));
+            let verbose = self.eat_keyword("verbose");
+            return Ok(Statement::Explain {
+                query: self.parse_query()?,
+                verbose,
+            });
         }
         Ok(Statement::Query(self.parse_query()?))
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_keyword("delete")?;
+        self.expect_keyword("from")?;
+        let table = self.expect_ident()?;
+        let predicate = if self.eat_keyword("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        self.expect_keyword("update")?;
+        let table = self.expect_ident()?;
+        self.expect_keyword("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push((col, value));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_keyword("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
     }
 
     fn parse_create(&mut self) -> Result<Statement> {

@@ -720,8 +720,45 @@ fn drop_table_if_exists() {
 fn explain_statement() {
     assert!(matches!(
         parse_ok("EXPLAIN SELECT PROVENANCE * FROM t"),
-        Statement::Explain(_)
+        Statement::Explain { verbose: false, .. }
     ));
+    assert!(matches!(
+        parse_ok("EXPLAIN VERBOSE SELECT * FROM t"),
+        Statement::Explain { verbose: true, .. }
+    ));
+}
+
+#[test]
+fn delete_statement() {
+    match parse_ok("DELETE FROM t WHERE x > 3") {
+        Statement::Delete { table, predicate } => {
+            assert_eq!(table, "t");
+            assert!(predicate.is_some());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match parse_ok("DELETE FROM t") {
+        Statement::Delete { predicate, .. } => assert!(predicate.is_none()),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn update_statement() {
+    match parse_ok("UPDATE t SET x = x + 1, y = 'z' WHERE x < 9") {
+        Statement::Update {
+            table,
+            assignments,
+            predicate,
+        } => {
+            assert_eq!(table, "t");
+            assert_eq!(assignments.len(), 2);
+            assert_eq!(assignments[0].0, "x");
+            assert_eq!(assignments[1].0, "y");
+            assert!(predicate.is_some());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
 }
 
 #[test]

@@ -182,6 +182,58 @@ impl Table {
         self.stats.take();
     }
 
+    /// Remove the rows whose positions are in `doomed` (`DELETE`),
+    /// returning how many were removed. Indexes are rebuilt (row ids
+    /// shift) and the statistics cache is invalidated, so the cost model
+    /// never plans against stale row counts.
+    pub fn delete_rows(&mut self, doomed: &[usize]) -> usize {
+        if doomed.is_empty() {
+            return 0;
+        }
+        let mut kill = vec![false; self.rows.len()];
+        for &i in doomed {
+            kill[i] = true;
+        }
+        let before = self.rows.len();
+        let mut it = kill.iter();
+        self.rows
+            .retain(|_| !*it.next().expect("mask covers all rows"));
+        self.rebuild_indexes();
+        self.stats.take();
+        before - self.rows.len()
+    }
+
+    /// Replace the rows at the given positions (`UPDATE`), validating
+    /// each replacement against the schema (types coerced, NOT NULL
+    /// enforced). Indexes are rebuilt and the statistics cache is
+    /// invalidated. Nothing is written if any replacement fails.
+    pub fn update_rows(&mut self, updates: Vec<(usize, Tuple)>) -> Result<usize> {
+        let checked: Vec<(usize, Tuple)> = updates
+            .into_iter()
+            .map(|(i, t)| Ok((i, self.check_tuple(t)?)))
+            .collect::<Result<_>>()?;
+        let n = checked.len();
+        for (i, t) in checked {
+            self.rows[i] = t;
+        }
+        if n > 0 {
+            self.rebuild_indexes();
+            self.stats.take();
+        }
+        Ok(n)
+    }
+
+    /// Rebuild every index from the current rows (after deletes/updates
+    /// shifted or replaced row ids).
+    fn rebuild_indexes(&mut self) {
+        for idx in &mut self.indexes {
+            idx.clear();
+            for (row_id, t) in self.rows.iter().enumerate() {
+                idx.insert(t, row_id);
+            }
+        }
+    }
+
     /// Create a hash index on `column` (idempotent).
     pub fn create_index(&mut self, column: usize) -> Result<()> {
         if column >= self.schema.len() {
@@ -342,5 +394,60 @@ mod tests {
         t.insert(Tuple::new(vec![Value::Int(2), Value::text("b")]))
             .unwrap();
         assert_eq!(t.stats().row_count, 2);
+    }
+
+    fn three_users() -> Table {
+        let mut t = users();
+        t.insert_all([
+            Tuple::new(vec![Value::Int(1), Value::text("a")]),
+            Tuple::new(vec![Value::Int(2), Value::text("b")]),
+            Tuple::new(vec![Value::Int(3), Value::text("c")]),
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn delete_removes_rows_rebuilds_indexes_and_invalidates_stats() {
+        let mut t = three_users();
+        t.create_index(0).unwrap();
+        assert_eq!(t.stats().row_count, 3, "stats cached before the delete");
+        assert_eq!(t.delete_rows(&[0, 2]), 2);
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.rows()[0].get(0), &Value::Int(2));
+        // Row ids shifted: the survivor is now row 0 in the index.
+        assert_eq!(t.index_lookup(0, &Value::Int(2)).unwrap(), &[0]);
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap(), &[] as &[usize]);
+        // The cost model sees the new row count immediately.
+        assert_eq!(t.stats().row_count, 1);
+        assert_eq!(t.delete_rows(&[]), 0, "empty delete is a no-op");
+    }
+
+    #[test]
+    fn update_replaces_rows_rebuilds_indexes_and_invalidates_stats() {
+        let mut t = three_users();
+        t.create_index(0).unwrap();
+        assert_eq!(t.stats().columns[0].n_distinct, 3);
+        t.update_rows(vec![(0, Tuple::new(vec![Value::Int(2), Value::text("z")]))])
+            .unwrap();
+        assert_eq!(t.rows()[0].get(1), &Value::text("z"));
+        // Two rows now share key 2; the old key 1 entry is gone.
+        assert_eq!(t.index_lookup(0, &Value::Int(2)).unwrap(), &[0, 1]);
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap(), &[] as &[usize]);
+        assert_eq!(t.stats().columns[0].n_distinct, 2, "stats recomputed");
+    }
+
+    #[test]
+    fn update_validates_before_writing() {
+        let mut t = three_users();
+        let err = t
+            .update_rows(vec![
+                (0, Tuple::new(vec![Value::Int(9), Value::text("ok")])),
+                (1, Tuple::new(vec![Value::Null, Value::text("bad")])),
+            ])
+            .unwrap_err();
+        assert!(err.message().contains("NOT NULL"), "{err}");
+        // Nothing was written: the first assignment did not apply either.
+        assert_eq!(t.rows()[0].get(0), &Value::Int(1));
     }
 }

@@ -83,6 +83,12 @@ impl Schema {
         &self.columns[i]
     }
 
+    /// The schema of the columns at `positions`, in that order (used by
+    /// the optimizer's column pruning).
+    pub fn project(&self, positions: &[usize]) -> Schema {
+        Schema::new(positions.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
     /// Resolve a possibly-qualified column reference to its index.
     ///
     /// Matching is case-insensitive on both qualifier and name, like

@@ -116,12 +116,13 @@ fn handle_command(cmd: &str, db: &mut PermDb, options: &mut SessionOptions) -> b
 }
 
 fn run_query(db: &mut PermDb, sql: &str) {
-    // Non-query statements (DDL/DML) execute directly; queries get the
-    // full five-panel treatment.
+    // Non-query statements (DDL/DML/EXPLAIN) execute directly; queries
+    // get the full five-panel treatment.
     let is_query = sql.trim_start().to_ascii_lowercase().starts_with("select")
         || sql.trim_start().starts_with('(');
     if !is_query {
         match db.execute(sql) {
+            Ok(perm_core::StatementResult::Explain(tree)) => println!("{tree}"),
             Ok(r) => println!("{r:?}"),
             Err(e) => println!("{e}"),
         }

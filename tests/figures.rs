@@ -167,9 +167,10 @@ fn fig3_pipeline_stages() {
             "Parser & Analyzer",
             "Provenance Rewriter",
             "Planner",
+            "Physical Planner",
             "Executor"
         ],
-        "Figure 3's stage order"
+        "Figure 3's stage order (Planner split into logical + physical)"
     );
     assert_eq!(
         stages.iter().map(|s| s.description).collect::<Vec<_>>(),
@@ -177,14 +178,21 @@ fn fig3_pipeline_stages() {
             "syntactic and semantic analysis, view unfolding",
             "provenance rewrite",
             "optimize and transform into plan",
+            "cost-based operator selection",
             "execute plan and return results"
         ]
     );
     // The rewriter stage introduces the provenance attributes...
     assert!(!stages[0].artifact.contains("prov_public"));
     assert!(stages[1].artifact.contains("prov_public_messages_mid"));
+    // ...the physical stage shows the chosen operators...
+    assert!(
+        stages[3].artifact.contains("Scan(messages)"),
+        "{}",
+        stages[3].artifact
+    );
     // ...and the executor stage shows the result rows.
-    assert!(stages[3].artifact.contains("hi there ..."));
+    assert!(stages[4].artifact.contains("hi there ..."));
 }
 
 #[test]

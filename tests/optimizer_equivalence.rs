@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use perm_core::fixtures::{forum_db, Q1, Q3, SEC24_PROVENANCE_AGG};
-use perm_core::{PermDb, Tuple};
+use perm_core::{PermDb, StatementResult, Tuple};
 use perm_exec::{optimize, Executor};
 
 /// Execute `sql` with and without the optimizer; return both row bags.
@@ -78,10 +78,90 @@ fn repertoire_of_query_shapes() {
          (SELECT mid FROM messages EXCEPT SELECT mid FROM imports) d"
             .into(),
         "SELECT PROVENANCE text FROM messages WHERE mid IN (SELECT mid FROM approved)".into(),
+        // Multi-join provenance shapes: column pruning + join reordering
+        // + strategy selection all fire on these.
+        "SELECT PROVENANCE a.mid, m.text, u.name FROM approved a \
+         JOIN messages m ON a.mid = m.mid JOIN users u ON m.uid = u.uid"
+            .into(),
+        "SELECT PROVENANCE m.text FROM messages m JOIN approved a ON m.mid = a.mid \
+         JOIN users u ON a.uid = u.uid WHERE u.uid >= 2"
+            .into(),
     ];
     for sql in queries {
         assert_equivalent(&mut db, &sql);
     }
+}
+
+/// The PR-4 acceptance shape: `EXPLAIN` on a 3-table provenance query
+/// over skewed table sizes shows (a) a join tree reordered away from the
+/// FROM order and (b) pruned columns (fused slot projections narrower
+/// than the full concatenated width).
+#[test]
+fn explain_shows_reordered_and_pruned_provenance_plan() {
+    let mut db = PermDb::new();
+    db.run_script(
+        "CREATE TABLE fact (k int NOT NULL, j int NOT NULL, payload text);
+         CREATE TABLE dim (k int NOT NULL, name text);
+         CREATE TABLE tiny (j int NOT NULL, tag text);",
+    )
+    .unwrap();
+    {
+        let mut cat = db.catalog_mut();
+        let fact = cat.table_mut("fact").unwrap();
+        for i in 0..400 {
+            fact.push_raw(Tuple::new(vec![
+                perm_core::Value::Int(i % 50),
+                perm_core::Value::Int(i % 4),
+                perm_core::Value::text(format!("p{i}")),
+            ]));
+        }
+        let dim = cat.table_mut("dim").unwrap();
+        for i in 0..50 {
+            dim.push_raw(Tuple::new(vec![
+                perm_core::Value::Int(i),
+                perm_core::Value::text(format!("d{i}")),
+            ]));
+        }
+        let tiny = cat.table_mut("tiny").unwrap();
+        for i in 0..4 {
+            tiny.push_raw(Tuple::new(vec![
+                perm_core::Value::Int(i),
+                perm_core::Value::text(format!("t{i}")),
+            ]));
+        }
+    }
+    // FROM order puts the big fact table first; the reorderer should
+    // start from a smaller relation instead.
+    let sql = "EXPLAIN SELECT PROVENANCE f.payload FROM fact f \
+               JOIN dim d ON f.k = d.k JOIN tiny t ON f.j = t.j";
+    let StatementResult::Explain(tree) = db.execute(sql).unwrap() else {
+        panic!("EXPLAIN did not explain");
+    };
+    let pos = |s: &str| {
+        tree.find(s)
+            .unwrap_or_else(|| panic!("{s} missing in:\n{tree}"))
+    };
+    assert!(
+        pos("Scan(fact)") > pos("Scan(tiny)") || pos("Scan(fact)") > pos("Scan(dim)"),
+        "join tree not reordered:\n{tree}"
+    );
+    // Pruned columns: some join emits a fused slot projection (the
+    // unselected originals were dropped below the top projection).
+    assert!(
+        tree.contains("project="),
+        "no pruned columns visible:\n{tree}"
+    );
+    // And the result of the same query is sane: one witness per fact row
+    // with matching dim and tiny tuples.
+    let rows = db
+        .query(
+            "SELECT PROVENANCE f.payload FROM fact f \
+             JOIN dim d ON f.k = d.k JOIN tiny t ON f.j = t.j",
+        )
+        .unwrap();
+    assert_eq!(rows.row_count(), 400);
+    // payload + provenance of fact(3) + dim(2) + tiny(2).
+    assert_eq!(rows.columns.len(), 1 + 3 + 2 + 2);
 }
 
 #[test]
