@@ -1,0 +1,38 @@
+//! Morsel-driven parallelism scaling: the same prepared provenance
+//! queries at DOP 1, 2 and 4 over the forum workload at
+//! [`hotpath::PARALLEL_SCALE`].
+//!
+//! DOP 1 runs the exact serial operator code (the planner assigns no
+//! parallel pipelines), so `dop1` *is* the no-overhead baseline; `dop2`
+//! and `dop4` measure the worker-pool fan-out. Wall-clock scaling
+//! obviously requires the machine to have that many cores — on a
+//! single-core host the higher DOPs measure coordination overhead
+//! instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use perm_bench::hotpath;
+
+fn parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    let db = hotpath::parallel_db();
+    for (name, sql) in hotpath::parallel_scaling_queries() {
+        for dop in [1usize, 2, 4] {
+            let session = hotpath::parallel_session(&db, dop);
+            let prepared = session.prepare(&sql).expect("scaling query prepares");
+            group.bench_with_input(BenchmarkId::new(name, format!("dop{dop}")), &sql, |b, _| {
+                b.iter(|| black_box(prepared.execute().expect("valid")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_scaling);
+criterion_main!(benches);

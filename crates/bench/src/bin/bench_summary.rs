@@ -53,6 +53,28 @@ fn run_workload(runs: usize) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// The DOP-scaling workload: each query at DOP 1, 2 and 4 over the
+/// larger [`hotpath::PARALLEL_SCALE`] forum. Returns
+/// `(name, [ms at dop 1, 2, 4])` per query.
+fn run_parallel_workload(runs: usize) -> Vec<(String, [f64; 3])> {
+    let db = hotpath::parallel_db();
+    hotpath::parallel_scaling_queries()
+        .into_iter()
+        .map(|(name, sql)| {
+            let mut ms = [0.0f64; 3];
+            for (slot, dop) in [1usize, 2, 4].into_iter().enumerate() {
+                let session = hotpath::parallel_session(&db, dop);
+                let prepared = session
+                    .prepare(&sql)
+                    .unwrap_or_else(|e| panic!("parallel_scaling/{name} fails to prepare: {e}"));
+                ms[slot] = measure(&prepared, runs);
+                eprintln!("parallel_scaling/{name}/dop{dop}: {:.3} ms", ms[slot]);
+            }
+            (name.to_string(), ms)
+        })
+        .collect()
+}
+
 /// Parse the raw `key=ms` baseline format written by `--raw`.
 fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
     text.lines()
@@ -108,12 +130,17 @@ fn main() {
         None => BTreeMap::new(),
     };
 
+    // The DOP-scaling workload (not part of the raw baseline format —
+    // dop1 is its own serial baseline).
+    let parallel = run_parallel_workload(runs.min(7));
+
     let mut body = String::from("{\n");
     body.push_str(&format!(
-        "  \"issue\": 4,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"benches\": {{\n",
+        "  \"issue\": 5,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"benches\": {{\n",
         hotpath::HOTPATH_SCALE,
         hotpath::HOTPATH_SEED,
-        runs
+        runs,
+        perm_exec::auto_parallelism(),
     ));
     for (i, (key, after_ms)) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
@@ -133,6 +160,25 @@ fn main() {
                 sep
             )),
         }
+    }
+    body.push_str("  },\n");
+    body.push_str(&format!(
+        "  \"parallel_scaling\": {{\n    \"workload\": \"forum scale {} seed {}\",\n",
+        hotpath::PARALLEL_SCALE,
+        hotpath::HOTPATH_SEED,
+    ));
+    for (i, (name, ms)) in parallel.iter().enumerate() {
+        let sep = if i + 1 == parallel.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    \"{}\": {{\"dop1_ms\": {:.4}, \"dop2_ms\": {:.4}, \"dop4_ms\": {:.4}, \"speedup_dop2\": {:.2}, \"speedup_dop4\": {:.2}}}{}\n",
+            json_escape(name),
+            ms[0],
+            ms[1],
+            ms[2],
+            ms[0] / ms[1].max(1e-9),
+            ms[0] / ms[2].max(1e-9),
+            sep
+        ));
     }
     body.push_str("  }\n}\n");
 

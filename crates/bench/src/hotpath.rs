@@ -103,6 +103,60 @@ pub fn provenance_join_queries() -> Vec<(&'static str, String)> {
     ]
 }
 
+/// Scale of the parallel-scaling workload: big enough that every
+/// pipeline of the measured queries clears the default parallel row
+/// threshold, so the planner's chosen DOP — not the threshold — is what
+/// the bench varies.
+pub const PARALLEL_SCALE: usize = 40_000;
+
+/// The forum database the `parallel_scaling` bench runs against (same
+/// shape and indexes as [`hotpath_db`], [`PARALLEL_SCALE`] rows).
+pub fn parallel_db() -> PermDb {
+    let mut db = forum(PARALLEL_SCALE, HOTPATH_SEED);
+    {
+        let mut cat = db.catalog_mut();
+        cat.table_mut("users").unwrap().create_index(0).unwrap();
+        cat.table_mut("messages").unwrap().create_index(0).unwrap();
+        cat.table_mut("approved").unwrap().create_index(1).unwrap();
+    }
+    db
+}
+
+/// A session over `db` pinned to `dop` (`1` = the serial baseline).
+pub fn parallel_session(db: &PermDb, dop: usize) -> perm_core::Session {
+    db.server()
+        .session_with_options(perm_core::SessionOptions::default().with_max_parallelism(dop))
+}
+
+/// The DOP-scaling workload: an expression-heavy scan, a wide 3-join
+/// provenance plan (the selective predicate keeps half the users, so the
+/// joins stay large) and the aggregation join-back — the query classes
+/// where the provenance rewrite multiplies per-row work.
+pub fn parallel_scaling_queries() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "scan_project",
+            "SELECT mid * 2 + 1, upper(text), length(text) - 5 FROM messages \
+             WHERE mid % 2 = 0"
+                .to_string(),
+        ),
+        (
+            "prov_3join_wide",
+            "SELECT PROVENANCE a.mid, m.text, u.name FROM approved a \
+             JOIN messages m ON a.mid = m.mid \
+             JOIN users u ON m.uid = u.uid \
+             WHERE u.uid < 2000"
+                .to_string(),
+        ),
+        (
+            "prov_agg_joinback",
+            "SELECT PROVENANCE a.mid, count(*) FROM messages m JOIN approved a ON m.mid = a.mid \
+             GROUP BY a.mid"
+                .to_string(),
+        ),
+    ]
+}
+
 /// All `(group, name, sql)` rows the emitter measures.
 pub fn all_queries() -> Vec<(&'static str, &'static str, String)> {
     let mut out = Vec::new();

@@ -10,12 +10,43 @@
 use perm_rewrite::{ContributionSemantics, RewriteOptions, StrategyMode, UnionStrategy};
 
 /// Per-session configuration of the provenance pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionOptions {
     pub rewrite: RewriteOptions,
+    /// Cap on the degree of parallelism the physical planner may choose
+    /// per pipeline. `0` (the default) means "the machine's available
+    /// parallelism"; `1` plans every operator serial.
+    pub max_parallelism: usize,
+    /// Minimum estimated input rows before a pipeline is parallelized;
+    /// below it queries run serial and pay zero coordination overhead.
+    pub parallel_row_threshold: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> SessionOptions {
+        SessionOptions {
+            rewrite: RewriteOptions::default(),
+            max_parallelism: 0,
+            parallel_row_threshold: perm_exec::DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
 }
 
 impl SessionOptions {
+    /// Cap intra-query parallelism (`0` = auto, `1` = serial).
+    pub fn with_max_parallelism(mut self, n: usize) -> SessionOptions {
+        self.max_parallelism = n;
+        self
+    }
+
+    /// Set the minimum estimated input rows before the planner assigns a
+    /// degree of parallelism > 1 (mainly for tests and benchmarks; the
+    /// default keeps small queries serial).
+    pub fn with_parallel_row_threshold(mut self, rows: usize) -> SessionOptions {
+        self.parallel_row_threshold = rows.max(1);
+        self
+    }
+
     /// Set the default contribution semantics (used when a
     /// `SELECT PROVENANCE` carries no `ON CONTRIBUTION` clause).
     pub fn with_default_semantics(mut self, s: ContributionSemantics) -> SessionOptions {

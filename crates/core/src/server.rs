@@ -39,9 +39,7 @@
 use std::sync::Arc;
 
 use perm_algebra::{bind_statement, BoundStatement, LogicalPlan};
-use perm_exec::{
-    optimize_with, physical_tree, plan_physical, CatalogAdapter, Executor, PhysicalPlan,
-};
+use perm_exec::{optimize_with, physical_tree, CatalogAdapter, Executor, PhysicalPlan};
 use perm_rewrite::Rewriter;
 use perm_sql::{parse_statement, parse_statements, ObjectKind, Statement};
 use perm_storage::{Catalog, CatalogWriteGuard, SharedCatalog, Table};
@@ -132,6 +130,23 @@ impl Session {
     /// A consistent, immutable snapshot of the catalog as of now.
     pub fn snapshot(&self) -> Arc<Catalog> {
         self.catalog.snapshot()
+    }
+
+    /// An executor over `snapshot` carrying this session's parallelism
+    /// options (used whenever the executor lowers logical plans itself).
+    fn executor_on(&self, snapshot: Arc<Catalog>) -> Executor {
+        Executor::new(snapshot).with_parallelism(
+            self.options.max_parallelism,
+            self.options.parallel_row_threshold,
+        )
+    }
+
+    /// A physical planner over `catalog` carrying this session's
+    /// parallelism options.
+    fn planner_on<'c>(&self, catalog: &'c Catalog) -> perm_exec::PhysicalPlanner<'c> {
+        perm_exec::PhysicalPlanner::new(catalog)
+            .max_parallelism(self.options.max_parallelism)
+            .parallel_threshold(self.options.parallel_row_threshold)
     }
 
     /// Exclusive write access to the catalog (index creation, direct
@@ -225,7 +240,7 @@ impl Session {
         };
         let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
         let schema = optimized.schema().clone();
-        let stream = Executor::new(snapshot).into_stream(&optimized)?;
+        let stream = self.executor_on(snapshot).into_stream(&optimized)?;
         Ok(RowStream::new(schema, stream))
     }
 
@@ -243,7 +258,7 @@ impl Session {
             }
         };
         let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
-        let physical = plan_physical(&snapshot, &optimized);
+        let physical = self.planner_on(&snapshot).plan(&optimized);
         let schema = optimized.schema().clone();
         Ok(Prepared {
             session: self.clone(),
@@ -292,7 +307,7 @@ impl Session {
     ) -> Result<(Schema, Vec<Tuple>)> {
         let optimized = optimize_with(plan, &CatalogCardinalities(&catalog));
         let schema = optimized.schema().clone();
-        let rows = Executor::new(catalog).run(&optimized)?;
+        let rows = self.executor_on(catalog).run(&optimized)?;
         Ok((schema, rows))
     }
 
@@ -313,12 +328,12 @@ impl Session {
             BoundStatement::Query(plan) => {
                 let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
                 let schema = optimized.schema().clone();
-                let rows = Executor::new(snapshot).run(&optimized)?;
+                let rows = self.executor_on(snapshot).run(&optimized)?;
                 Ok(StatementResult::Rows(QueryResult::new(&schema, rows)))
             }
             BoundStatement::Explain { plan, verbose } => {
                 let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
-                let physical = plan_physical(&snapshot, &optimized);
+                let physical = self.planner_on(&snapshot).plan(&optimized);
                 let text = if verbose {
                     format!(
                         "== logical (optimized) ==\n{}\n== physical ==\n{}",
@@ -536,13 +551,19 @@ impl Prepared {
     /// Run the cached physical plan against the current catalog,
     /// materializing the result.
     pub fn execute(&self) -> Result<QueryResult> {
-        let rows = Executor::new(self.session.snapshot()).run_physical(&self.physical)?;
+        let rows = self
+            .session
+            .executor_on(self.session.snapshot())
+            .run_physical(&self.physical)?;
         Ok(QueryResult::new(&self.schema, rows))
     }
 
     /// Run the cached plan cursor-style (see [`Session::query_stream`]).
     pub fn execute_stream(&self) -> Result<RowStream> {
-        let stream = Executor::new(self.session.snapshot()).into_stream_physical(&self.physical)?;
+        let stream = self
+            .session
+            .executor_on(self.session.snapshot())
+            .into_stream_physical(&self.physical)?;
         Ok(RowStream::new(self.schema.clone(), stream))
     }
 }

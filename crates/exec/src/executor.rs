@@ -69,6 +69,11 @@ pub struct Executor {
     /// Disable hash joins (ablation benches measuring the join-back
     /// implementation choice of the aggregation rewrite).
     nested_loop_only: bool,
+    /// Parallelism cap handed to the physical planner when this executor
+    /// lowers logical plans itself (`0` = the machine's parallelism).
+    max_parallelism: usize,
+    /// Row threshold below which lowered pipelines stay serial.
+    parallel_threshold: usize,
 }
 
 impl Executor {
@@ -81,7 +86,22 @@ impl Executor {
             physical_cache: RefCell::new(HashMap::new()),
             kept_exprs: RefCell::new(Vec::new()),
             nested_loop_only: false,
+            max_parallelism: 0,
+            parallel_threshold: crate::parallel::DEFAULT_PARALLEL_THRESHOLD,
         }
+    }
+
+    /// Configure the parallelism the physical planner may choose when
+    /// this executor lowers logical plans (`max_parallelism` 0 = auto,
+    /// 1 = serial; `parallel_threshold` = minimum estimated input rows).
+    pub fn with_parallelism(
+        mut self,
+        max_parallelism: usize,
+        parallel_threshold: usize,
+    ) -> Executor {
+        self.max_parallelism = max_parallelism;
+        self.parallel_threshold = parallel_threshold.max(1);
+        self
     }
 
     /// An executor that runs every join as a nested loop (ablations).
@@ -95,6 +115,12 @@ impl Executor {
     /// The catalog snapshot this executor reads from.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// A shared handle on the catalog snapshot (worker threads of
+    /// parallel operators each build their own executor over it).
+    pub fn catalog_arc(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
     }
 
     /// True if hash joins are disabled.
@@ -122,6 +148,8 @@ impl Executor {
         let lowered = Arc::new(
             PhysicalPlanner::new(&self.catalog)
                 .nested_loop_only(self.nested_loop_only)
+                .max_parallelism(self.max_parallelism)
+                .parallel_threshold(self.parallel_threshold)
                 .plan(plan),
         );
         self.physical_cache
@@ -145,12 +173,24 @@ impl Executor {
                 schema,
                 filter,
                 project,
+                dop,
                 ..
             } => {
                 let t = self.catalog.table(table)?;
                 check_scan_schema(t, table, schema)?;
                 if filter.is_none() && project.is_none() {
+                    // A bare scan is a bulk clone of `Arc`-shared rows;
+                    // morsel-parallelism would only contend on refcounts.
                     return Ok(t.rows().to_vec());
+                }
+                if *dop > 1 {
+                    return crate::parallel::scan_parallel(
+                        self,
+                        table,
+                        filter.as_ref(),
+                        project.as_deref(),
+                        *dop,
+                    );
                 }
                 let outer = self.outer_stack();
                 self.scan_emit(t.rows().iter(), filter.as_ref(), project.as_deref(), &outer)
@@ -228,9 +268,13 @@ impl Executor {
                 input,
                 group_by,
                 aggs,
-            } => aggregate::run_aggregate(self, input, group_by, aggs),
-            PhysicalPlan::HashDistinct { input } => {
+                dop,
+            } => aggregate::run_aggregate(self, input, group_by, aggs, *dop),
+            PhysicalPlan::HashDistinct { input, dop } => {
                 let rows = self.run_physical(input)?;
+                if *dop > 1 {
+                    return crate::parallel::distinct_parallel(rows, *dop);
+                }
                 let mut seen = set_with_capacity(rows.len());
                 let mut out = Vec::new();
                 for t in rows {
@@ -251,9 +295,13 @@ impl Executor {
                 all,
                 left,
                 right,
-            } => setop::run_setop(self, *op, *all, left, right),
-            PhysicalPlan::Sort { input, keys } => {
+                dop,
+            } => setop::run_setop(self, *op, *all, left, right, *dop),
+            PhysicalPlan::Sort { input, keys, dop } => {
                 let rows = self.run_physical(input)?;
+                if *dop > 1 {
+                    return crate::parallel::sort_parallel(self, rows, keys, *dop);
+                }
                 let outer = self.outer_stack();
                 let compiled: Vec<CompiledExpr> = keys
                     .iter()
@@ -269,16 +317,7 @@ impl Executor {
                     }
                     keyed.push((ks, t));
                 }
-                keyed.sort_by(|(a, _), (b, _)| {
-                    for (i, k) in keys.iter().enumerate() {
-                        let ord = a[i].sort_cmp(&b[i]);
-                        let ord = if k.desc { ord.reverse() } else { ord };
-                        if ord != std::cmp::Ordering::Equal {
-                            return ord;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
+                keyed.sort_by(|(a, _), (b, _)| crate::parallel::cmp_keys(a, b, keys));
                 Ok(keyed.into_iter().map(|(_, t)| t).collect())
             }
             PhysicalPlan::Limit {
@@ -303,7 +342,7 @@ impl Executor {
     /// intermediate result never materialize. The four filter/projection
     /// combinations get their own loops so the per-row path carries no
     /// branching.
-    fn scan_emit<'t>(
+    pub(crate) fn scan_emit<'t>(
         &self,
         rows: impl Iterator<Item = &'t Tuple>,
         filter: Option<&ScalarExpr>,

@@ -43,6 +43,7 @@ pub mod compile;
 pub mod eval;
 pub mod executor;
 pub mod operators;
+pub mod parallel;
 pub mod physical;
 pub mod planner;
 pub mod stream;
@@ -50,6 +51,7 @@ pub mod stream;
 pub use adapter::{CatalogAdapter, CatalogStats};
 pub use compile::CompiledExpr;
 pub use executor::Executor;
+pub use parallel::{auto_parallelism, DEFAULT_PARALLEL_THRESHOLD, MORSEL_ROWS};
 pub use physical::{physical_tree, plan_physical, PhysicalPlan, PhysicalPlanner};
 pub use planner::{optimize, optimize_with};
 pub use stream::TupleStream;

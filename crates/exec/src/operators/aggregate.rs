@@ -150,6 +150,82 @@ impl AggState {
         Ok(())
     }
 
+    /// Fold `other` — the partial state of a *later* contiguous input
+    /// chunk — into `self`. Comparisons keep the (new value, running
+    /// best) argument order of [`AggState::update`], so a type-mismatch
+    /// error surfaces the same way serial execution raises it. Float
+    /// sums re-associate (partial sums add once per chunk instead of
+    /// once per row), the standard parallel-aggregation trade.
+    fn merge(&mut self, other: AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (
+                AggState::Sum {
+                    int_total,
+                    float_total,
+                    float_seen,
+                    int_overflow,
+                    seen,
+                    ..
+                },
+                AggState::Sum {
+                    int_total: bt,
+                    float_total: bft,
+                    float_seen: bfs,
+                    int_overflow: bio,
+                    seen: bsn,
+                    ..
+                },
+            ) => {
+                *float_total += bft;
+                *float_seen |= bfs;
+                *seen += bsn;
+                if *int_overflow || bio {
+                    // Either side already degraded to float: fold both
+                    // integer remainders in and stay degraded.
+                    *float_total += *int_total as f64 + bt as f64;
+                    *int_total = 0;
+                    *int_overflow = true;
+                } else {
+                    match int_total.checked_add(bt) {
+                        Some(t) => *int_total = t,
+                        None => {
+                            *int_overflow = true;
+                            *float_total += *int_total as f64 + bt as f64;
+                            *int_total = 0;
+                        }
+                    }
+                }
+            }
+            (AggState::MinMax { best, is_min }, AggState::MinMax { best: ob, .. }) => {
+                if let Some(x) = ob {
+                    match best {
+                        None => *best = Some(x),
+                        Some(b) => {
+                            if let Some(ord) = ops::sql_compare(&x, b)? {
+                                let better = if *is_min {
+                                    ord == std::cmp::Ordering::Less
+                                } else {
+                                    ord == std::cmp::Ordering::Greater
+                                };
+                                if better {
+                                    *best = Some(x);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (AggState::AnyValue(slot), AggState::AnyValue(ob)) => {
+                if slot.is_none() {
+                    *slot = ob;
+                }
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c),
@@ -207,15 +283,22 @@ impl GroupState {
     }
 }
 
-pub fn run_aggregate(
+/// Partial aggregation state over one contiguous input range: group keys
+/// in first-appearance order plus their accumulators.
+struct AggPartial {
+    order: Vec<Tuple>,
+    groups: FxHashMap<Tuple, GroupState>,
+}
+
+/// Accumulate `rows` into a fresh partial (the serial hot loop, shared
+/// by the serial path and every parallel worker).
+fn accumulate(
     exec: &Executor,
-    input: &crate::physical::PhysicalPlan,
+    rows: &[Tuple],
     group_by: &[ScalarExpr],
     aggs: &[AggCall],
-) -> Result<Vec<Tuple>> {
-    let rows = exec.run_physical(input)?;
-    let outer = exec.outer_stack();
-
+    outer: &[Tuple],
+) -> Result<AggPartial> {
     // Group-by keys and aggregate arguments are compiled once, evaluated
     // per row (plain-column group keys build by direct slot copy).
     let group_c = CompiledProjection::compile(exec, group_by);
@@ -229,8 +312,8 @@ pub fn run_aggregate(
     let mut order: Vec<Tuple> = Vec::new();
     let mut groups: FxHashMap<Tuple, GroupState> = FxHashMap::default();
 
-    for t in &rows {
-        let env = Env::new(t, &outer);
+    for t in rows {
+        let env = Env::new(t, outer);
         let key = group_c.apply(exec, &env)?;
         // One hash per row: the entry API probes once, and only a *new*
         // group clones its key (a refcount bump) into the order list.
@@ -254,24 +337,95 @@ pub fn run_aggregate(
             state.states[i].update(arg.as_ref())?;
         }
     }
+    Ok(AggPartial { order, groups })
+}
 
-    // A global aggregate over an empty input still yields one row.
-    if group_by.is_empty() && order.is_empty() {
-        let empty_key = Tuple::empty();
-        order.push(empty_key.clone());
-        groups.insert(empty_key, GroupState::new(aggs));
-    }
-
-    let mut out = Vec::with_capacity(order.len());
+/// Fold `later` (a strictly later contiguous chunk) into `into`. New
+/// groups append in `later`'s first-appearance order, so the merged
+/// order is global first-appearance order — exactly the serial order.
+fn merge_partials(into: &mut AggPartial, later: AggPartial) -> Result<()> {
+    let AggPartial { order, mut groups } = later;
     for key in order {
         let state = groups.remove(&key).expect("group registered");
+        match into.groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let target = e.into_mut();
+                debug_assert!(
+                    state.distinct_seen.iter().all(Option::is_none),
+                    "DISTINCT aggregates are planned serial"
+                );
+                for (t, s) in target.states.iter_mut().zip(state.states) {
+                    t.merge(s)?;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                into.order.push(v.key().clone());
+                v.insert(state);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Turn the final partial into output rows.
+fn finish(mut partial: AggPartial, group_by: &[ScalarExpr], aggs: &[AggCall]) -> Vec<Tuple> {
+    // A global aggregate over an empty input still yields one row.
+    if group_by.is_empty() && partial.order.is_empty() {
+        let empty_key = Tuple::empty();
+        partial.order.push(empty_key.clone());
+        partial.groups.insert(empty_key, GroupState::new(aggs));
+    }
+    let mut out = Vec::with_capacity(partial.order.len());
+    for key in partial.order {
+        let state = partial.groups.remove(&key).expect("group registered");
         let mut vals = key.into_values();
         for s in state.states {
             vals.push(s.finish());
         }
         out.push(Tuple::new(vals));
     }
-    Ok(out)
+    out
+}
+
+pub fn run_aggregate(
+    exec: &Executor,
+    input: &crate::physical::PhysicalPlan,
+    group_by: &[ScalarExpr],
+    aggs: &[AggCall],
+    dop: usize,
+) -> Result<Vec<Tuple>> {
+    let rows = exec.run_physical(input)?;
+    let outer = exec.outer_stack();
+
+    if dop > 1 {
+        // Chunk-parallel: each worker accumulates one contiguous chunk
+        // into a private hash table; partials merge in chunk order.
+        use std::sync::Arc;
+        let catalog = exec.catalog_arc();
+        let rows = Arc::new(rows);
+        let total = rows.len();
+        let group_by_owned: Arc<Vec<ScalarExpr>> = Arc::new(group_by.to_vec());
+        let aggs_owned: Arc<Vec<AggCall>> = Arc::new(aggs.to_vec());
+        let partials = {
+            let rows = Arc::clone(&rows);
+            crate::parallel::map_chunks(dop, total, move |range| {
+                let sub = Executor::new(Arc::clone(&catalog));
+                accumulate(&sub, &rows[range], &group_by_owned, &aggs_owned, &outer)
+            })?
+        };
+        let mut iter = partials.into_iter();
+        let mut acc = iter.next().unwrap_or_else(|| AggPartial {
+            order: Vec::new(),
+            groups: FxHashMap::default(),
+        });
+        for p in iter {
+            merge_partials(&mut acc, p)?;
+        }
+        return Ok(finish(acc, group_by, aggs));
+    }
+
+    let partial = accumulate(exec, &rows, group_by, aggs, &outer)?;
+    Ok(finish(partial, group_by, aggs))
 }
 
 /// Integer-preserving addition used by tests to pin sum semantics.

@@ -31,10 +31,26 @@ pub fn run_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
             nl,
             nr,
             out_slots,
+            dop,
             ..
         } => {
             let lrows = exec.run_physical(left)?;
             let rrows = exec.run_physical(right)?;
+            if *dop > 1 {
+                return hash_join_parallel(
+                    exec,
+                    lrows,
+                    rrows,
+                    *nl,
+                    *nr,
+                    *kind,
+                    keys,
+                    residual.as_ref(),
+                    *build_side,
+                    out_slots.as_deref(),
+                    *dop,
+                );
+            }
             hash_join(
                 exec,
                 lrows,
@@ -323,6 +339,7 @@ fn index_nl_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
         nl,
         nr: _,
         out_slots,
+        dop,
         ..
     } = plan
     else {
@@ -331,6 +348,23 @@ fn index_nl_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
     let lrows = exec.run_physical(outer_plan)?;
     let t = exec.catalog().table(table)?;
     check_scan_schema(t, table, schema)?;
+    if *dop > 1 {
+        return index_nl_join_parallel(
+            exec,
+            lrows,
+            *kind,
+            table,
+            *column,
+            key,
+            inner_filter.as_ref(),
+            inner_project.clone(),
+            residual.as_ref(),
+            *nl,
+            schema.len(),
+            out_slots.clone(),
+            *dop,
+        );
+    }
     let outer = exec.outer_stack();
 
     let key_expr = CompiledExpr::compile(exec, key);
@@ -409,6 +443,270 @@ fn index_nl_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
             _ => {}
         }
     }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Morsel-parallel probe phases
+// ----------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use perm_algebra::expr::ScalarExpr;
+
+use crate::parallel::{concat, map_morsels};
+
+/// Parallel hash join: the build phase runs on the calling thread (the
+/// planner put the smaller input there), then probe rows are claimed in
+/// morsels by worker threads against the shared read-only table. Morsel
+/// outputs concatenate in morsel order, so the result — including LEFT
+/// null padding and SEMI/ANTI row selection — is exactly the serial one.
+///
+/// FULL joins track build-side matches *across* probe rows and are never
+/// handed a `dop > 1` by the planner.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_parallel(
+    exec: &Executor,
+    lrows: Vec<Tuple>,
+    rrows: Vec<Tuple>,
+    nl: usize,
+    nr: usize,
+    kind: JoinType,
+    keys: &[EquiKey],
+    residual: Option<&ScalarExpr>,
+    build_side: BuildSide,
+    out_slots: Option<&[usize]>,
+    dop: usize,
+) -> Result<Vec<Tuple>> {
+    debug_assert!(!matches!(kind, JoinType::Full), "FULL joins stay serial");
+    let outer = exec.outer_stack();
+    let left_exprs: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|k| CompiledExpr::compile(exec, &k.left))
+        .collect();
+    let right_exprs: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|k| CompiledExpr::compile(exec, &k.right))
+        .collect();
+    let null_safe: Arc<Vec<bool>> = Arc::new(keys.iter().map(|k| k.null_safe).collect());
+
+    let build_left = matches!(build_side, BuildSide::Left);
+    let (build_rows, probe_rows) = if build_left {
+        (lrows, rrows)
+    } else {
+        (rrows, lrows)
+    };
+    let (table, next) = if build_left {
+        build_table(exec, &build_rows, &left_exprs, &null_safe, &outer)?
+    } else {
+        build_table(exec, &build_rows, &right_exprs, &null_safe, &outer)?
+    };
+
+    // Shared read-only state for the probe workers.
+    let catalog = exec.catalog_arc();
+    let build_rows = Arc::new(build_rows);
+    let probe_rows = Arc::new(probe_rows);
+    let table = Arc::new(table);
+    let next = Arc::new(next);
+    let probe_keys: Arc<Vec<ScalarExpr>> = Arc::new(
+        keys.iter()
+            .map(|k| {
+                if build_left {
+                    k.right.clone()
+                } else {
+                    k.left.clone()
+                }
+            })
+            .collect(),
+    );
+    let residual: Arc<Option<ScalarExpr>> = Arc::new(residual.cloned());
+    let out_slots: Arc<Option<Vec<usize>>> = Arc::new(out_slots.map(<[usize]>::to_vec));
+    let total = probe_rows.len();
+    // Rows emitted by *completed* morsels: each worker checks its local
+    // output against the budget minus everyone else's, so a runaway join
+    // aborts incrementally like the serial loop does instead of after
+    // the full result materialized.
+    let emitted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+    let parts = map_morsels(dop, total, move |range| {
+        let sub = Executor::new(Arc::clone(&catalog));
+        let done_elsewhere = emitted.load(std::sync::atomic::Ordering::Relaxed);
+        let probe_c: Vec<CompiledExpr> = probe_keys
+            .iter()
+            .map(|e| CompiledExpr::compile(&sub, e))
+            .collect();
+        let residual_c = residual
+            .as_ref()
+            .as_ref()
+            .map(|r| CompiledExpr::compile(&sub, r));
+        let out_slots = out_slots.as_ref().as_deref();
+        let right_nulls = Tuple::nulls(nr);
+        let mut out = Vec::new();
+        let mut chain: Vec<usize> = Vec::new();
+        for p in &probe_rows[range] {
+            let penv = Env::new(p, &outer);
+            let key = build_key(&sub, &probe_c, &null_safe, &penv)?;
+            let mut matched = false;
+            if let Some(key) = key {
+                if let Some(&head) = table.get(&key) {
+                    chain.clear();
+                    let mut i = head;
+                    while i != NIL {
+                        chain.push(i);
+                        i = next[i];
+                    }
+                    for &bi in chain.iter().rev() {
+                        let b = &build_rows[bi];
+                        // Orient the combined row as left ++ right.
+                        let (l, r) = if build_left { (b, p) } else { (p, b) };
+                        let mut combined = None;
+                        if let Some(pred) = &residual_c {
+                            let c = l.concat(r);
+                            let env = Env::new(&c, &outer);
+                            if pred.eval_bool(&sub, &env)? != Some(true) {
+                                continue;
+                            }
+                            combined = Some(c);
+                        }
+                        matched = true;
+                        match kind {
+                            JoinType::Semi | JoinType::Anti => {}
+                            _ => out.push(emit_row(l, r, nl, combined, out_slots)),
+                        }
+                        sub.check_row_budget(done_elsewhere + out.len())?;
+                        if matches!(kind, JoinType::Semi) {
+                            break;
+                        }
+                    }
+                }
+            }
+            if !build_left {
+                match kind {
+                    JoinType::Semi if matched => out.push(emit_left(p, out_slots)),
+                    JoinType::Anti if !matched => out.push(emit_left(p, out_slots)),
+                    JoinType::Left if !matched => {
+                        out.push(emit_row(p, &right_nulls, nl, None, out_slots));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        emitted.fetch_add(out.len(), std::sync::atomic::Ordering::Relaxed);
+        Ok(out)
+    })?;
+    let out = concat(parts);
+    exec.check_row_budget(out.len())?;
+    Ok(out)
+}
+
+/// Parallel index nested-loop join: outer rows are probed in morsels,
+/// each worker holding its own compiled expressions and reading the
+/// shared index. Morsel-order concatenation keeps the serial output.
+#[allow(clippy::too_many_arguments)]
+fn index_nl_join_parallel(
+    exec: &Executor,
+    lrows: Vec<Tuple>,
+    kind: JoinType,
+    table: &str,
+    column: usize,
+    key: &ScalarExpr,
+    inner_filter: Option<&ScalarExpr>,
+    inner_project: Option<Vec<usize>>,
+    residual: Option<&ScalarExpr>,
+    nl: usize,
+    schema_len: usize,
+    out_slots: Option<Vec<usize>>,
+    dop: usize,
+) -> Result<Vec<Tuple>> {
+    let catalog = exec.catalog_arc();
+    let outer = exec.outer_stack();
+    let lrows = Arc::new(lrows);
+    let total = lrows.len();
+    let table = table.to_string();
+    let key = key.clone();
+    let inner_filter = inner_filter.cloned();
+    let residual = residual.cloned();
+    let inner_width = inner_project.as_ref().map_or(schema_len, Vec::len);
+    // Shared budget counter, same scheme as hash_join_parallel.
+    let emitted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+    let parts = map_morsels(dop, total, move |range| {
+        let sub = Executor::new(Arc::clone(&catalog));
+        let done_elsewhere = emitted.load(std::sync::atomic::Ordering::Relaxed);
+        let t = sub.catalog().table(&table)?;
+        let index = t.index_on(column);
+        let key_expr = CompiledExpr::compile(&sub, &key);
+        let inner_filter_c = inner_filter
+            .as_ref()
+            .map(|f| CompiledExpr::compile(&sub, f));
+        let residual_c = residual.as_ref().map(|r| CompiledExpr::compile(&sub, r));
+        let right_nulls = Tuple::nulls(inner_width);
+        let out_slots = out_slots.as_deref();
+        let mut linear: Vec<usize> = Vec::new();
+        let mut out = Vec::new();
+        for l in &lrows[range] {
+            let lenv = Env::new(l, &outer);
+            let key_val = key_expr.eval(&sub, &lenv)?;
+            let mut matched = false;
+            if !key_val.is_null() {
+                let candidates: &[usize] = match index {
+                    Some(idx) => idx.lookup(&key_val),
+                    None => {
+                        linear.clear();
+                        for (i, row) in t.rows().iter().enumerate() {
+                            if !row.get(column).is_null() && row.get(column) == &key_val {
+                                linear.push(i);
+                            }
+                        }
+                        &linear
+                    }
+                };
+                for &ri in candidates {
+                    let base = &t.rows()[ri];
+                    if let Some(f) = &inner_filter_c {
+                        let env = Env::new(base, &outer);
+                        if f.eval_bool(&sub, &env)? != Some(true) {
+                            continue;
+                        }
+                    }
+                    let inner_row = match &inner_project {
+                        Some(slots) => base.project(slots),
+                        None => base.clone(),
+                    };
+                    let mut combined = None;
+                    if let Some(pred) = &residual_c {
+                        let c = l.concat(&inner_row);
+                        let env = Env::new(&c, &outer);
+                        if pred.eval_bool(&sub, &env)? != Some(true) {
+                            continue;
+                        }
+                        combined = Some(c);
+                    }
+                    matched = true;
+                    match kind {
+                        JoinType::Semi | JoinType::Anti => {}
+                        _ => out.push(emit_row(l, &inner_row, nl, combined, out_slots)),
+                    }
+                    sub.check_row_budget(done_elsewhere + out.len())?;
+                    if matches!(kind, JoinType::Semi) {
+                        break;
+                    }
+                }
+            }
+            match kind {
+                JoinType::Semi if matched => out.push(emit_left(l, out_slots)),
+                JoinType::Anti if !matched => out.push(emit_left(l, out_slots)),
+                JoinType::Left if !matched => {
+                    out.push(emit_row(l, &right_nulls, nl, None, out_slots));
+                }
+                _ => {}
+            }
+        }
+        emitted.fetch_add(out.len(), std::sync::atomic::Ordering::Relaxed);
+        Ok(out)
+    })?;
+    let out = concat(parts);
+    exec.check_row_budget(out.len())?;
     Ok(out)
 }
 

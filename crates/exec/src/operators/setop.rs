@@ -3,12 +3,15 @@
 //! Tuple equality here is grouping equality (NULL == NULL), matching SQL's
 //! treatment of NULLs in set operations.
 
+use std::sync::Arc;
+
 use perm_types::hash::{set_with_capacity, FxHashMap, FxHashSet};
 use perm_types::{Result, Tuple};
 
 use perm_algebra::plan::SetOpType;
 
 use crate::executor::Executor;
+use crate::parallel::{map_chunks, partition_of, run_workers};
 
 pub fn run_setop(
     exec: &Executor,
@@ -16,9 +19,13 @@ pub fn run_setop(
     all: bool,
     left: &crate::physical::PhysicalPlan,
     right: &crate::physical::PhysicalPlan,
+    dop: usize,
 ) -> Result<Vec<Tuple>> {
     let l = exec.run_physical(left)?;
     let r = exec.run_physical(right)?;
+    if dop > 1 && !(matches!(op, SetOpType::Union) && all) {
+        return setop_parallel(l, r, op, all, dop);
+    }
     Ok(match (op, all) {
         (SetOpType::Union, true) => {
             let mut out = l;
@@ -84,4 +91,115 @@ pub fn run_setop(
             out
         }
     })
+}
+
+/// Hash-partitioned parallel set operation. Equal tuples land in the
+/// same partition, so each partition runs the serial set/bag logic
+/// independently over rows tagged with their global position (`l` before
+/// `r`); the final index sort restores exactly the serial output order.
+fn setop_parallel(
+    l: Vec<Tuple>,
+    r: Vec<Tuple>,
+    op: SetOpType,
+    all: bool,
+    dop: usize,
+) -> Result<Vec<Tuple>> {
+    let roffset = l.len();
+    let lparts = Arc::new(partition_tagged(l, 0, dop)?);
+    let rparts = Arc::new(partition_tagged(r, roffset, dop)?);
+
+    let kept = {
+        let lparts = Arc::clone(&lparts);
+        let rparts = Arc::clone(&rparts);
+        run_workers(dop, move |p| {
+            let lp = &lparts[p];
+            let rp = &rparts[p];
+            let mut out: Vec<(usize, Tuple)> = Vec::new();
+            match (op, all) {
+                (SetOpType::Union, true) => unreachable!("append is not partitioned"),
+                (SetOpType::Union, false) => {
+                    let mut seen = set_with_capacity(lp.len() + rp.len());
+                    for (i, t) in lp.iter().chain(rp) {
+                        if seen.insert(t.clone()) {
+                            out.push((*i, t.clone()));
+                        }
+                    }
+                }
+                (SetOpType::Intersect, false) => {
+                    let rset: FxHashSet<&Tuple> = rp.iter().map(|(_, t)| t).collect();
+                    let mut seen = FxHashSet::default();
+                    for (i, t) in lp {
+                        if rset.contains(t) && seen.insert(t.clone()) {
+                            out.push((*i, t.clone()));
+                        }
+                    }
+                }
+                (SetOpType::Intersect, true) => {
+                    let mut rcount: FxHashMap<&Tuple, usize> = FxHashMap::default();
+                    for (_, t) in rp {
+                        *rcount.entry(t).or_insert(0) += 1;
+                    }
+                    for (i, t) in lp {
+                        if let Some(c) = rcount.get_mut(t) {
+                            if *c > 0 {
+                                *c -= 1;
+                                out.push((*i, t.clone()));
+                            }
+                        }
+                    }
+                }
+                (SetOpType::Except, false) => {
+                    let rset: FxHashSet<&Tuple> = rp.iter().map(|(_, t)| t).collect();
+                    let mut seen = FxHashSet::default();
+                    for (i, t) in lp {
+                        if !rset.contains(t) && seen.insert(t.clone()) {
+                            out.push((*i, t.clone()));
+                        }
+                    }
+                }
+                (SetOpType::Except, true) => {
+                    let mut rcount: FxHashMap<&Tuple, usize> = FxHashMap::default();
+                    for (_, t) in rp {
+                        *rcount.entry(t).or_insert(0) += 1;
+                    }
+                    for (i, t) in lp {
+                        match rcount.get_mut(t) {
+                            Some(c) if *c > 0 => *c -= 1,
+                            _ => out.push((*i, t.clone())),
+                        }
+                    }
+                }
+            }
+            out
+        })
+    };
+    let mut all_rows: Vec<(usize, Tuple)> = kept.into_iter().flatten().collect();
+    all_rows.sort_unstable_by_key(|(i, _)| *i);
+    Ok(all_rows.into_iter().map(|(_, t)| t).collect())
+}
+
+/// Hash-partition `rows` into `parts` buckets in parallel, tagging each
+/// row with `offset +` its input position. Buckets come back sorted by
+/// tag (chunks are contiguous and merge in chunk order).
+fn partition_tagged(
+    rows: Vec<Tuple>,
+    offset: usize,
+    parts: usize,
+) -> Result<Vec<Vec<(usize, Tuple)>>> {
+    let total = rows.len();
+    let rows = Arc::new(rows);
+    let chunked = map_chunks(parts, total, move |range| {
+        let mut buckets: Vec<Vec<(usize, Tuple)>> = vec![Vec::new(); parts];
+        for (i, t) in rows[range.clone()].iter().enumerate() {
+            buckets[partition_of(t, parts)].push((offset + range.start + i, t.clone()));
+        }
+        Ok(buckets)
+    })?;
+    let mut out: Vec<Vec<(usize, Tuple)>> = vec![Vec::new(); parts];
+    for chunk in chunked {
+        for (p, items) in chunk.into_iter().enumerate() {
+            out[p].extend(items);
+        }
+    }
+    Ok(out)
 }

@@ -1,0 +1,647 @@
+//! Morsel-driven parallel execution: the in-tree worker pool, the
+//! channels it communicates over, and the morsel/chunk schedulers the
+//! parallel operators are built from.
+//!
+//! The design follows the morsel-driven model: a pipeline's input is cut
+//! into fixed-size row ranges (*morsels*), a planner-chosen number of
+//! workers pull morsels from a shared queue until it is drained, and the
+//! per-morsel results are reassembled **in morsel order**, so a parallel
+//! operator emits exactly the rows — in exactly the order — its serial
+//! counterpart would. Operators whose merge is order-sensitive
+//! (aggregation, sort) use contiguous *chunks* instead: each worker owns
+//! one contiguous range and partial states merge in chunk order.
+//!
+//! Everything here is built from `std` only (the environment has no
+//! crates.io access): [`Channel`] is a crossbeam-style Mutex + Condvar
+//! MPMC channel, `WorkerPool` a fixed set of detached threads feeding
+//! off an unbounded job channel. The pool is global and lazily created;
+//! tasks submitted to it must be finite (long-lived producers — the
+//! stream exchange operator — spawn dedicated threads instead, see
+//! [`crate::stream`]).
+//!
+//! # Error and determinism contract
+//!
+//! Workers never evaluate expressions containing sublinks (the planner
+//! only assigns a degree of parallelism > 1 to subquery-free pipelines),
+//! so each worker runs against its own lightweight [`Executor`] over the
+//! shared catalog snapshot. A worker that hits an error stops claiming
+//! morsels and the merge step re-raises the error of the
+//! **lowest-indexed** failed morsel — which is exactly the error serial
+//! execution would have raised first, because morsels are claimed in
+//! increasing order and every morsel before the failed one completed
+//! without error.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use perm_types::hash::FxHasher;
+use perm_types::{Result, Tuple};
+
+/// Rows per morsel. Small enough that `LIMIT` over an exchange stops
+/// early and the morsel queue load-balances skewed filters; large enough
+/// that per-morsel setup (an executor, compiled expressions) is noise.
+pub const MORSEL_ROWS: usize = 2048;
+
+/// Default minimum estimated input rows before the planner considers a
+/// pipeline worth parallelizing at all.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 10_000;
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn auto_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Size of the global worker pool: at least 4 threads even on small
+/// machines (so forced-DOP tests exercise real interleavings), capped at
+/// 16. The planner clamps its chosen DOP to this, so an operator never
+/// pays chunk/merge fan-in it cannot actually run concurrently.
+pub fn pool_parallelism() -> usize {
+    auto_parallelism().clamp(4, 16)
+}
+
+// ----------------------------------------------------------------------
+// Channel
+// ----------------------------------------------------------------------
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A crossbeam-style MPMC channel: `Mutex<VecDeque>` + two condvars,
+/// optionally bounded (senders block while full). Closing wakes every
+/// blocked sender and receiver; receivers drain buffered items first.
+pub struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    bound: usize,
+}
+
+impl<T> Channel<T> {
+    pub fn unbounded() -> Channel<T> {
+        Channel::with_bound(usize::MAX)
+    }
+
+    pub fn bounded(bound: usize) -> Channel<T> {
+        Channel::with_bound(bound.max(1))
+    }
+
+    fn with_bound(bound: usize) -> Channel<T> {
+        Channel {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            bound,
+        }
+    }
+
+    /// Send `value`, blocking while the channel is full. Returns
+    /// `Err(value)` if the channel was closed (the receiver went away).
+    pub fn send(&self, value: T) -> std::result::Result<(), T> {
+        let mut st = self.state.lock().expect("channel lock");
+        loop {
+            if st.closed {
+                return Err(value);
+            }
+            if st.queue.len() < self.bound {
+                st.queue.push_back(value);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).expect("channel lock");
+        }
+    }
+
+    /// Receive the next value, blocking while the channel is empty.
+    /// Returns `None` once the channel is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("channel lock");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("channel lock");
+        }
+    }
+
+    /// Close the channel: senders fail fast, receivers drain then stop.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("channel lock");
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Worker pool
+// ----------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The global execution worker pool: a fixed set of detached threads
+/// pulling finite jobs from an unbounded channel. Pool workers never
+/// submit work back into the pool (parallel operators materialize their
+/// inputs on the calling thread first), so a caller blocked on its jobs
+/// always makes progress — there is no nested-parallelism deadlock.
+pub(crate) struct WorkerPool {
+    jobs: Arc<Channel<Job>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let size = pool_parallelism();
+            let jobs: Arc<Channel<Job>> = Arc::new(Channel::unbounded());
+            for i in 0..size {
+                let jobs = Arc::clone(&jobs);
+                std::thread::Builder::new()
+                    .name(format!("perm-exec-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = jobs.recv() {
+                            // Keep the pool alive whatever a job does;
+                            // run_workers re-raises the panic on the
+                            // submitting thread.
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                    })
+                    .expect("spawn pool worker");
+            }
+            WorkerPool { jobs }
+        })
+    }
+
+    fn submit(&self, job: Job) {
+        self.jobs.send(job).ok();
+    }
+}
+
+/// Run `task(0..dop)` on the pool and return the per-worker results in
+/// worker order. Blocks until every worker finished; a panicking worker's
+/// payload is re-raised here after the others completed.
+pub(crate) fn run_workers<T, F>(dop: usize, task: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    debug_assert!(dop >= 1);
+    if dop == 1 {
+        return vec![task(0)];
+    }
+    let task = Arc::new(task);
+    let results: Arc<Channel<(usize, std::thread::Result<T>)>> = Arc::new(Channel::unbounded());
+    let pool = WorkerPool::global();
+    for w in 0..dop {
+        let task = Arc::clone(&task);
+        let results = Arc::clone(&results);
+        pool.submit(Box::new(move || {
+            let r = catch_unwind(AssertUnwindSafe(|| task(w)));
+            let _ = results.send((w, r));
+        }));
+    }
+    let mut out: Vec<Option<T>> = (0..dop).map(|_| None).collect();
+    let mut panic_payload = None;
+    for _ in 0..dop {
+        let (w, r) = results.recv().expect("worker results channel open");
+        match r {
+            Ok(v) => out[w] = Some(v),
+            Err(p) => panic_payload = Some(p),
+        }
+    }
+    if let Some(p) = panic_payload {
+        resume_unwind(p);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every worker reported"))
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Morsel and chunk scheduling
+// ----------------------------------------------------------------------
+
+/// A shared queue of row-range morsels over `0..total`, claimed in
+/// increasing order. `abort` stops further claims (a worker errored);
+/// already-claimed morsels run to completion, which is what makes the
+/// lowest-failed-morsel error rule exact.
+pub(crate) struct MorselQueue {
+    next: AtomicUsize,
+    total: usize,
+    step: usize,
+    abort: AtomicBool,
+}
+
+impl MorselQueue {
+    pub(crate) fn new(total: usize, step: usize) -> MorselQueue {
+        MorselQueue {
+            next: AtomicUsize::new(0),
+            total,
+            step: step.max(1),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Claim the next `(morsel_index, row_range)`, or `None` when drained
+    /// (or aborted).
+    pub(crate) fn claim(&self) -> Option<(usize, Range<usize>)> {
+        if self.abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        let start = self.next.fetch_add(self.step, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        let end = (start + self.step).min(self.total);
+        Some((start / self.step, start..end))
+    }
+
+    pub(crate) fn abort(&self) {
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn morsel_count(&self) -> usize {
+        self.total.div_ceil(self.step)
+    }
+}
+
+/// Run `f` over every [`MORSEL_ROWS`]-sized morsel of `0..total` on `dop`
+/// workers and return the per-morsel results in morsel order. The first
+/// error in morsel order is returned, matching serial row order exactly.
+pub(crate) fn map_morsels<R, F>(dop: usize, total: usize, f: F) -> Result<Vec<R>>
+where
+    R: Send + 'static,
+    F: Fn(Range<usize>) -> Result<R> + Send + Sync + 'static,
+{
+    let queue = Arc::new(MorselQueue::new(total, MORSEL_ROWS));
+    let worker_out = {
+        let queue = Arc::clone(&queue);
+        run_workers(dop, move |_w| {
+            let mut acc: Vec<(usize, Result<R>)> = Vec::new();
+            while let Some((idx, range)) = queue.claim() {
+                let r = f(range);
+                let failed = r.is_err();
+                acc.push((idx, r));
+                if failed {
+                    queue.abort();
+                    break;
+                }
+            }
+            acc
+        })
+    };
+    let mut all: Vec<(usize, Result<R>)> = worker_out.into_iter().flatten().collect();
+    all.sort_unstable_by_key(|(idx, _)| *idx);
+    let mut out = Vec::with_capacity(all.len());
+    for (_, r) in all {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Cut `0..total` into at most `dop` contiguous, non-empty ranges.
+pub(crate) fn chunk_ranges(total: usize, dop: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let n = dop.clamp(1, total);
+    let base = total / n;
+    let extra = total % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `f` over at most `dop` contiguous chunks of `0..total`, one worker
+/// per chunk, returning chunk results in chunk order (first error in
+/// chunk order wins — again exactly serial row order).
+pub(crate) fn map_chunks<R, F>(dop: usize, total: usize, f: F) -> Result<Vec<R>>
+where
+    R: Send + 'static,
+    F: Fn(Range<usize>) -> Result<R> + Send + Sync + 'static,
+{
+    let chunks = chunk_ranges(total, dop);
+    if chunks.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = chunks.len();
+    let chunks = Arc::new(chunks);
+    let results = {
+        let chunks = Arc::clone(&chunks);
+        run_workers(n, move |w| f(chunks[w].clone()))
+    };
+    let mut out = Vec::with_capacity(n);
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Partition index of a tuple: high hash bits, so the per-partition hash
+/// tables built afterwards (which consume the *low* bits for buckets)
+/// don't lose entropy to the partitioning.
+pub(crate) fn partition_of(t: &Tuple, partitions: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    t.hash(&mut h);
+    ((h.finish() >> 32) as usize) % partitions
+}
+
+// ----------------------------------------------------------------------
+// Parallel operators: scan, sort, distinct
+// ----------------------------------------------------------------------
+
+use perm_algebra::expr::ScalarExpr;
+use perm_algebra::plan::SortKey;
+use perm_types::Value;
+
+use crate::compile::CompiledExpr;
+use crate::eval::Env;
+use crate::executor::Executor;
+
+/// Morsel-parallel `FusedScanProjectFilter`: workers claim row ranges of
+/// the base table and run the fused filter/projection over borrowed base
+/// rows; per-morsel outputs concatenate in morsel order, so the result
+/// is byte-identical to the serial scan.
+pub(crate) fn scan_parallel(
+    exec: &Executor,
+    table: &str,
+    filter: Option<&ScalarExpr>,
+    project: Option<&[ScalarExpr]>,
+    dop: usize,
+) -> Result<Vec<Tuple>> {
+    let total = exec.catalog().table(table)?.rows().len();
+    let catalog = exec.catalog_arc();
+    let outer = exec.outer_stack();
+    let table = table.to_string();
+    let filter = filter.cloned();
+    let project: Option<Vec<ScalarExpr>> = project.map(<[ScalarExpr]>::to_vec);
+    let parts = map_morsels(dop, total, move |range| {
+        let sub = Executor::new(Arc::clone(&catalog));
+        let t = sub.catalog().table(&table)?;
+        sub.scan_emit(
+            t.rows()[range].iter(),
+            filter.as_ref(),
+            project.as_deref(),
+            &outer,
+        )
+    })?;
+    Ok(concat(parts))
+}
+
+pub(crate) fn concat(parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    let n: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// The sort comparator over precomputed key rows — the single
+/// definition of sort order, shared by the serial path
+/// ([`Executor::run_physical`]) and the parallel chunk sort + merge so
+/// the two can never drift apart.
+pub(crate) fn cmp_keys(a: &[Value], b: &[Value], keys: &[SortKey]) -> std::cmp::Ordering {
+    for (i, k) in keys.iter().enumerate() {
+        let ord = a[i].sort_cmp(&b[i]);
+        let ord = if k.desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Parallel sort: workers key and stably sort contiguous chunks, then a
+/// serial k-way merge (ties resolved toward the earlier chunk) rebuilds
+/// exactly the order the serial stable sort produces.
+pub(crate) fn sort_parallel(
+    exec: &Executor,
+    rows: Vec<Tuple>,
+    keys: &[SortKey],
+    dop: usize,
+) -> Result<Vec<Tuple>> {
+    let total = rows.len();
+    let rows = Arc::new(rows);
+    let catalog = exec.catalog_arc();
+    let outer = exec.outer_stack();
+    let keys_owned: Arc<Vec<SortKey>> = Arc::new(keys.to_vec());
+    let chunks = {
+        let rows = Arc::clone(&rows);
+        let keys = Arc::clone(&keys_owned);
+        map_chunks(dop, total, move |range| {
+            let sub = Executor::new(Arc::clone(&catalog));
+            let compiled: Vec<CompiledExpr> = keys
+                .iter()
+                .map(|k| CompiledExpr::compile(&sub, &k.expr))
+                .collect();
+            let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(range.len());
+            for t in &rows[range] {
+                let env = Env::new(t, &outer);
+                let mut ks = Vec::with_capacity(compiled.len());
+                for c in &compiled {
+                    ks.push(c.eval(&sub, &env)?);
+                }
+                keyed.push((ks, t.clone()));
+            }
+            keyed.sort_by(|(a, _), (b, _)| cmp_keys(a, b, &keys));
+            Ok(keyed)
+        })?
+    };
+
+    // Stable k-way merge: smallest key wins, ties take the earlier chunk
+    // (chunks are contiguous, so this reproduces the stable serial
+    // order). The chunk count is small (≤ dop), so a linear scan of the
+    // heads beats heap bookkeeping.
+    let mut heads: Vec<usize> = vec![0; chunks.len()];
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (c, chunk) in chunks.iter().enumerate() {
+            if heads[c] >= chunk.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(c),
+                Some(b) => {
+                    let (bk, _) = &chunks[b][heads[b]];
+                    let (ck, _) = &chunk[heads[c]];
+                    if cmp_keys(ck, bk, keys) == std::cmp::Ordering::Less {
+                        Some(c)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(c) = best else { break };
+        let (_, t) = &chunks[c][heads[c]];
+        out.push(t.clone());
+        heads[c] += 1;
+    }
+    drop(chunks);
+    Ok(out)
+}
+
+/// Hash-partitioned parallel DISTINCT. Phase 1 buckets contiguous chunks
+/// by tuple hash (tagging each row with its global index); phase 2
+/// dedups every partition independently, keeping the first occurrence by
+/// global index; the final index sort restores exactly the serial
+/// first-occurrence output order.
+pub(crate) fn distinct_parallel(rows: Vec<Tuple>, dop: usize) -> Result<Vec<Tuple>> {
+    use perm_types::hash::FxHashSet;
+
+    let total = rows.len();
+    let rows = Arc::new(rows);
+    let buckets = {
+        let rows = Arc::clone(&rows);
+        map_chunks(dop, total, move |range| {
+            let mut parts: Vec<Vec<(usize, Tuple)>> = vec![Vec::new(); dop];
+            for (i, t) in rows[range.clone()].iter().enumerate() {
+                parts[partition_of(t, dop)].push((range.start + i, t.clone()));
+            }
+            Ok(parts)
+        })?
+    };
+    let buckets = Arc::new(buckets);
+    let deduped = {
+        let buckets = Arc::clone(&buckets);
+        run_workers(dop, move |p| {
+            let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+            let mut kept: Vec<(usize, Tuple)> = Vec::new();
+            for chunk in buckets.iter() {
+                for (idx, t) in &chunk[p] {
+                    if !seen.contains(t) {
+                        seen.insert(t.clone());
+                        kept.push((*idx, t.clone()));
+                    }
+                }
+            }
+            kept
+        })
+    };
+    let mut all: Vec<(usize, Tuple)> = deduped.into_iter().flatten().collect();
+    all.sort_unstable_by_key(|(idx, _)| *idx);
+    Ok(all.into_iter().map(|(_, t)| t).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_delivers_in_order_and_drains_after_close() {
+        let ch: Channel<u32> = Channel::unbounded();
+        ch.send(1).unwrap();
+        ch.send(2).unwrap();
+        ch.close();
+        assert!(ch.send(3).is_err());
+        assert_eq!(ch.recv(), Some(1));
+        assert_eq!(ch.recv(), Some(2));
+        assert_eq!(ch.recv(), None);
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let ch: Arc<Channel<u32>> = Arc::new(Channel::bounded(2));
+        ch.send(1).unwrap();
+        ch.send(2).unwrap();
+        let sender = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.send(3).is_ok())
+        };
+        // The blocked sender completes once a slot frees up.
+        assert_eq!(ch.recv(), Some(1));
+        assert!(sender.join().unwrap());
+        assert_eq!(ch.recv(), Some(2));
+        assert_eq!(ch.recv(), Some(3));
+    }
+
+    #[test]
+    fn run_workers_returns_results_in_worker_order() {
+        let got = run_workers(4, |w| w * 10);
+        assert_eq!(got, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn run_workers_propagates_panics() {
+        let r = catch_unwind(|| {
+            run_workers(3, |w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+                w
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn morsel_queue_covers_the_range_exactly_once() {
+        let q = MorselQueue::new(10, 4);
+        assert_eq!(q.morsel_count(), 3);
+        assert_eq!(q.claim(), Some((0, 0..4)));
+        assert_eq!(q.claim(), Some((1, 4..8)));
+        assert_eq!(q.claim(), Some((2, 8..10)));
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn map_morsels_reassembles_in_order() {
+        let out = map_morsels(4, MORSEL_ROWS * 3 + 7, |r| Ok(r.start)).unwrap();
+        assert_eq!(out, vec![0, MORSEL_ROWS, MORSEL_ROWS * 2, MORSEL_ROWS * 3]);
+    }
+
+    #[test]
+    fn map_morsels_reports_the_first_error_in_morsel_order() {
+        use perm_types::PermError;
+        let total = MORSEL_ROWS * 6;
+        let out: Result<Vec<usize>> = map_morsels(4, total, |r| {
+            let idx = r.start / MORSEL_ROWS;
+            if idx >= 2 {
+                Err(PermError::Execution(format!("morsel {idx}")))
+            } else {
+                Ok(idx)
+            }
+        });
+        assert_eq!(
+            out.unwrap_err(),
+            PermError::Execution("morsel 2".to_string())
+        );
+    }
+
+    #[test]
+    fn chunk_ranges_are_contiguous_and_cover() {
+        for total in [0usize, 1, 5, 100, 101] {
+            for dop in 1..6 {
+                let ranges = chunk_ranges(total, dop);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+                assert_eq!(expect, total);
+            }
+        }
+    }
+}

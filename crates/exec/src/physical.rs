@@ -44,6 +44,7 @@ use perm_storage::Catalog;
 use perm_types::{Schema, Value};
 
 use crate::adapter::CatalogStats;
+use crate::parallel::{auto_parallelism, pool_parallelism, DEFAULT_PARALLEL_THRESHOLD};
 
 /// One hashable equi-key pair of a join: `left_expr ⋈ right_expr`, with
 /// the right expression rebased to the right input's columns.
@@ -77,6 +78,8 @@ pub enum PhysicalPlan {
         /// Output expressions over the base row; `None` emits the row.
         project: Option<Vec<ScalarExpr>>,
         est_rows: f64,
+        /// Degree of parallelism: morsel-parallel scan when > 1.
+        dop: usize,
     },
     /// Hash-index point lookup `column = key`, plus residual predicate
     /// and fused projection. Falls back to a filtered sequential scan at
@@ -120,6 +123,9 @@ pub enum PhysicalPlan {
         /// Fused slot-only output projection over the join output.
         out_slots: Option<Vec<usize>>,
         est_rows: f64,
+        /// Degree of parallelism: the probe phase runs morsel-parallel
+        /// when > 1 (the build stays on the calling thread).
+        dop: usize,
     },
     /// Index nested-loop join: for each outer row, probe the inner base
     /// table's hash index with the evaluated key expression.
@@ -143,6 +149,8 @@ pub enum PhysicalPlan {
         nr: usize,
         out_slots: Option<Vec<usize>>,
         est_rows: f64,
+        /// Degree of parallelism: outer rows probe morsel-parallel when > 1.
+        dop: usize,
     },
     /// Nested-loop join (non-equi conditions, cross joins, ablations).
     NLJoin {
@@ -160,19 +168,31 @@ pub enum PhysicalPlan {
         input: Box<PhysicalPlan>,
         group_by: Vec<ScalarExpr>,
         aggs: Vec<AggCall>,
+        /// Degree of parallelism: per-worker partial hash tables over
+        /// contiguous input chunks, merged in chunk order, when > 1.
+        dop: usize,
     },
     /// Hash duplicate elimination.
-    HashDistinct { input: Box<PhysicalPlan> },
+    HashDistinct {
+        input: Box<PhysicalPlan>,
+        /// Degree of parallelism: hash-partitioned dedup when > 1.
+        dop: usize,
+    },
     /// Set operation (hash-based; `UNION ALL` is a plain append).
     HashSetOp {
         op: SetOpType,
         all: bool,
         left: Box<PhysicalPlan>,
         right: Box<PhysicalPlan>,
+        /// Degree of parallelism: hash-partitioned set logic when > 1.
+        dop: usize,
     },
     Sort {
         input: Box<PhysicalPlan>,
         keys: Vec<SortKey>,
+        /// Degree of parallelism: parallel chunk sort + stable k-way
+        /// merge when > 1.
+        dop: usize,
     },
     Limit {
         input: Box<PhysicalPlan>,
@@ -191,13 +211,28 @@ impl PhysicalPlan {
             PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::HashAggregate { input, .. }
-            | PhysicalPlan::HashDistinct { input }
+            | PhysicalPlan::HashDistinct { input, .. }
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Limit { input, .. } => vec![input],
             PhysicalPlan::IndexNLJoin { outer, .. } => vec![outer],
             PhysicalPlan::HashJoin { left, right, .. }
             | PhysicalPlan::NLJoin { left, right, .. }
             | PhysicalPlan::HashSetOp { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// The degree of parallelism this node executes with (1 = serial;
+    /// operators without a parallel implementation are always 1).
+    pub fn dop(&self) -> usize {
+        match self {
+            PhysicalPlan::FusedScanProjectFilter { dop, .. }
+            | PhysicalPlan::HashJoin { dop, .. }
+            | PhysicalPlan::IndexNLJoin { dop, .. }
+            | PhysicalPlan::HashAggregate { dop, .. }
+            | PhysicalPlan::HashDistinct { dop, .. }
+            | PhysicalPlan::HashSetOp { dop, .. }
+            | PhysicalPlan::Sort { dop, .. } => *dop,
+            _ => 1,
         }
     }
 
@@ -386,6 +421,9 @@ fn render(plan: &PhysicalPlan, line_prefix: &str, is_last: bool, out: &mut Strin
     out.push_str(line_prefix);
     out.push_str(connector);
     out.push_str(&plan.describe());
+    if plan.dop() > 1 {
+        let _ = write!(out, " [dop={}]", plan.dop());
+    }
     out.push('\n');
     let child_prefix = if is_root {
         String::new()
@@ -473,6 +511,8 @@ pub fn extract_equi_keys(cond: &ScalarExpr, nl: usize) -> (Vec<EquiKey>, Option<
 pub struct PhysicalPlanner<'a> {
     catalog: &'a Catalog,
     nested_loop_only: bool,
+    max_parallelism: usize,
+    parallel_threshold: usize,
 }
 
 /// Lower `plan` against `catalog` (the common entry point).
@@ -485,6 +525,8 @@ impl<'a> PhysicalPlanner<'a> {
         PhysicalPlanner {
             catalog,
             nested_loop_only: false,
+            max_parallelism: auto_parallelism(),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 
@@ -492,6 +534,49 @@ impl<'a> PhysicalPlanner<'a> {
     pub fn nested_loop_only(mut self, v: bool) -> PhysicalPlanner<'a> {
         self.nested_loop_only = v;
         self
+    }
+
+    /// Cap the degree of parallelism per pipeline (`0` = the machine's
+    /// available parallelism, `1` = plan everything serial).
+    pub fn max_parallelism(mut self, n: usize) -> PhysicalPlanner<'a> {
+        self.max_parallelism = if n == 0 { auto_parallelism() } else { n };
+        self
+    }
+
+    /// Minimum estimated input rows before a pipeline is parallelized
+    /// (small queries stay serial and pay zero coordination overhead).
+    pub fn parallel_threshold(mut self, rows: usize) -> PhysicalPlanner<'a> {
+        self.parallel_threshold = rows.max(1);
+        self
+    }
+
+    /// Choose a degree of parallelism for a pipeline over `input_rows`
+    /// estimated rows. `safe` is false when the pipeline evaluates
+    /// expressions a worker thread cannot run (sublinks, which need the
+    /// executor's subquery machinery).
+    fn choose_dop(&self, input_rows: f64, safe: bool) -> usize {
+        if !safe || self.max_parallelism <= 1 || input_rows < self.parallel_threshold as f64 {
+            return 1;
+        }
+        // Enough rows that every worker gets at least half a threshold's
+        // worth of work; at least 2 once past the threshold at all. The
+        // worker pool is what actually runs the morsels, so a DOP beyond
+        // its size would only add chunk/merge fan-in, never concurrency.
+        let per_worker = (self.parallel_threshold / 2).max(1);
+        let cap = self.max_parallelism.min(pool_parallelism()).max(2);
+        ((input_rows as usize) / per_worker).clamp(2, cap)
+    }
+
+    /// True if every expression can be evaluated on a worker thread.
+    fn safe(exprs: &[&ScalarExpr]) -> bool {
+        exprs.iter().all(|e| !e.contains_subquery())
+    }
+
+    /// Base-table row count (the input cardinality of a scan pipeline).
+    fn table_rows(&self, table: &str) -> f64 {
+        self.catalog
+            .table(table)
+            .map_or(0.0, |t| t.row_count() as f64)
     }
 
     fn stats(&self) -> CatalogStats<'a> {
@@ -514,6 +599,7 @@ impl<'a> PhysicalPlanner<'a> {
                 filter: None,
                 project: None,
                 est_rows: self.est(plan),
+                dop: self.choose_dop(self.table_rows(table), true),
             },
             LogicalPlan::Values { rows, schema } => PhysicalPlan::Values {
                 rows: rows.clone(),
@@ -535,13 +621,26 @@ impl<'a> PhysicalPlanner<'a> {
                 group_by,
                 aggs,
                 ..
-            } => PhysicalPlan::HashAggregate {
-                input: Box::new(self.plan(input)),
-                group_by: group_by.clone(),
-                aggs: aggs.clone(),
-            },
+            } => {
+                // Partial-aggregate merging cannot reproduce per-group
+                // DISTINCT filters, and worker threads cannot run
+                // sublinks: both force serial execution.
+                let safe = Self::safe(
+                    &group_by
+                        .iter()
+                        .chain(aggs.iter().filter_map(|a| a.arg.as_ref()))
+                        .collect::<Vec<_>>(),
+                ) && aggs.iter().all(|a| !a.distinct);
+                PhysicalPlan::HashAggregate {
+                    input: Box::new(self.plan(input)),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                    dop: self.choose_dop(self.est(input), safe),
+                }
+            }
             LogicalPlan::Distinct { input } => PhysicalPlan::HashDistinct {
                 input: Box::new(self.plan(input)),
+                dop: self.choose_dop(self.est(input), true),
             },
             LogicalPlan::SetOp {
                 op,
@@ -549,16 +648,26 @@ impl<'a> PhysicalPlanner<'a> {
                 left,
                 right,
                 ..
-            } => PhysicalPlan::HashSetOp {
-                op: *op,
-                all: *all,
-                left: Box::new(self.plan(left)),
-                right: Box::new(self.plan(right)),
-            },
-            LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
-                input: Box::new(self.plan(input)),
-                keys: keys.clone(),
-            },
+            } => {
+                // UNION ALL is a plain append — nothing to parallelize.
+                let append = matches!(op, SetOpType::Union) && *all;
+                let input_rows = self.est(left) + self.est(right);
+                PhysicalPlan::HashSetOp {
+                    op: *op,
+                    all: *all,
+                    left: Box::new(self.plan(left)),
+                    right: Box::new(self.plan(right)),
+                    dop: self.choose_dop(input_rows, !append),
+                }
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let safe = Self::safe(&keys.iter().map(|k| &k.expr).collect::<Vec<_>>());
+                PhysicalPlan::Sort {
+                    input: Box::new(self.plan(input)),
+                    keys: keys.clone(),
+                    dop: self.choose_dop(self.est(input), safe),
+                }
+            }
             LogicalPlan::Limit {
                 input,
                 limit,
@@ -593,12 +702,16 @@ impl<'a> PhysicalPlanner<'a> {
                     est_rows,
                 };
             }
+            let mut exprs: Vec<&ScalarExpr> = vec![predicate];
+            exprs.extend(project.unwrap_or_default());
+            let dop = self.choose_dop(self.table_rows(table), Self::safe(&exprs));
             return PhysicalPlan::FusedScanProjectFilter {
                 table: table.clone(),
                 schema: schema.clone(),
                 filter: Some(predicate.clone()),
                 project: project.map(<[ScalarExpr]>::to_vec),
                 est_rows,
+                dop,
             };
         }
         let filtered = PhysicalPlan::Filter {
@@ -621,6 +734,14 @@ impl<'a> PhysicalPlanner<'a> {
         exprs: &[ScalarExpr],
         whole: &LogicalPlan,
     ) -> PhysicalPlan {
+        // An identity projection (slot i ↦ slot i, full width) only
+        // renames columns — names live in the logical schema, so the
+        // physical operator is dropped entirely.
+        if let Some(slots) = slot_only(exprs) {
+            if slots.len() == input.arity() && slots.iter().copied().eq(0..input.arity()) {
+                return self.plan(input);
+            }
+        }
         match input {
             LogicalPlan::Scan { table, schema, .. } => PhysicalPlan::FusedScanProjectFilter {
                 table: table.clone(),
@@ -628,6 +749,10 @@ impl<'a> PhysicalPlanner<'a> {
                 filter: None,
                 project: Some(exprs.to_vec()),
                 est_rows: self.est(whole),
+                dop: self.choose_dop(
+                    self.table_rows(table),
+                    Self::safe(&exprs.iter().collect::<Vec<_>>()),
+                ),
             },
             LogicalPlan::Filter {
                 input: finput,
@@ -799,6 +924,10 @@ impl<'a> PhysicalPlanner<'a> {
                             Some(ScalarExpr::conjunction(rest))
                         };
                         let key = keys[ki].left.clone();
+                        let mut safety: Vec<&ScalarExpr> = vec![&key];
+                        safety.extend(inner_filter);
+                        safety.extend(&residual);
+                        let dop = self.choose_dop(l_est, Self::safe(&safety));
                         return PhysicalPlan::IndexNLJoin {
                             outer: Box::new(self.plan(left)),
                             kind,
@@ -813,6 +942,7 @@ impl<'a> PhysicalPlanner<'a> {
                             nr,
                             out_slots,
                             est_rows,
+                            dop,
                         };
                     }
                 }
@@ -827,6 +957,21 @@ impl<'a> PhysicalPlanner<'a> {
         } else {
             BuildSide::Right
         };
+        // The probe phase is what parallelizes; FULL joins additionally
+        // track build-side matches across probe rows, so they stay
+        // serial.
+        let probe_est = match build_side {
+            BuildSide::Left => r_est,
+            BuildSide::Right => l_est,
+        };
+        let mut safety: Vec<&ScalarExpr> = Vec::new();
+        for k in &keys {
+            safety.push(&k.left);
+            safety.push(&k.right);
+        }
+        safety.extend(&residual);
+        let safe = !matches!(kind, JoinType::Full) && Self::safe(&safety);
+        let dop = self.choose_dop(probe_est, safe);
         PhysicalPlan::HashJoin {
             left: Box::new(self.plan(left)),
             right: Box::new(self.plan(right)),
@@ -838,6 +983,7 @@ impl<'a> PhysicalPlanner<'a> {
             nr,
             out_slots,
             est_rows,
+            dop,
         }
     }
 }

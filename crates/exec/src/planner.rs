@@ -378,6 +378,16 @@ fn push_filter(plan: LogicalPlan) -> LogicalPlan {
             })),
             schema,
         },
+        // Filter through DISTINCT: a deterministic per-row predicate
+        // commutes with duplicate elimination, and filtering first
+        // shrinks the dedup hash table (the provenance rewrite of a
+        // filtered UNION view is exactly this shape).
+        LogicalPlan::Distinct { input: din } => LogicalPlan::Distinct {
+            input: Box::new(push_filter(LogicalPlan::Filter {
+                input: din,
+                predicate,
+            })),
+        },
         // Filter past sort (sort doesn't change values).
         LogicalPlan::Sort { input: sin, keys } => LogicalPlan::Sort {
             input: Box::new(push_filter(LogicalPlan::Filter {

@@ -20,6 +20,10 @@
 //! consumer takes, even while concurrent sessions run DDL against the
 //! shared catalog.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use perm_algebra::expr::ScalarExpr;
 use perm_algebra::plan::LogicalPlan;
 use perm_storage::Catalog;
 use perm_types::{Result, Tuple};
@@ -27,6 +31,7 @@ use perm_types::{Result, Tuple};
 use crate::compile::{CompiledExpr, CompiledProjection};
 use crate::eval::Env;
 use crate::executor::Executor;
+use crate::parallel::{Channel, MorselQueue, MORSEL_ROWS};
 use crate::physical::PhysicalPlan;
 
 /// A pull-based result: `Iterator<Item = Result<Tuple>>` over a plan.
@@ -129,6 +134,134 @@ enum Cursor {
     Pending(Box<PhysicalPlan>),
     /// A materialized buffer being drained.
     Drained(std::vec::IntoIter<Tuple>),
+    /// A parallel scan behind an exchange: producer threads push morsel
+    /// results through a bounded channel, the consumer reorders them.
+    Exchange(ExchangeCursor),
+}
+
+/// The consumer side of a scan exchange.
+///
+/// `dop` producer threads claim morsels of the base table, run the fused
+/// filter/projection, and send `(morsel index, rows scanned, result)`
+/// through a **bounded** channel — so a consumer that stops pulling
+/// (e.g. a satisfied `LIMIT`) back-pressures the producers after a few
+/// morsels, preserving the early-termination benefit at morsel
+/// granularity. The consumer reassembles morsels in index order, so the
+/// stream yields exactly the serial scan order; dropping the cursor
+/// closes the channel and joins the producers.
+///
+/// Producers are dedicated threads, not pool workers: a stream can stay
+/// open indefinitely, and parking pool workers on it would starve other
+/// queries' parallel operators.
+/// What a producer sends per morsel: `(morsel index, base rows scanned,
+/// filtered/projected result)`.
+type MorselMsg = (usize, usize, Result<Vec<Tuple>>);
+
+pub(crate) struct ExchangeCursor {
+    rx: Arc<Channel<MorselMsg>>,
+    queue: Arc<MorselQueue>,
+    pending: HashMap<usize, (usize, Result<Vec<Tuple>>)>,
+    next_idx: usize,
+    expected: usize,
+    current: std::vec::IntoIter<Tuple>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExchangeCursor {
+    fn spawn(
+        catalog: Arc<Catalog>,
+        table: &str,
+        filter: Option<&ScalarExpr>,
+        project: Option<&[ScalarExpr]>,
+        dop: usize,
+    ) -> Result<ExchangeCursor> {
+        let total = catalog.table(table)?.rows().len();
+        let queue = Arc::new(MorselQueue::new(total, MORSEL_ROWS));
+        let rx: Arc<Channel<MorselMsg>> = Arc::new(Channel::bounded(dop * 2));
+        let expected = queue.morsel_count();
+        let mut handles = Vec::with_capacity(dop);
+        for i in 0..dop {
+            let catalog = Arc::clone(&catalog);
+            let queue = Arc::clone(&queue);
+            let tx = Arc::clone(&rx);
+            let table = table.to_string();
+            let filter = filter.cloned();
+            let project: Option<Vec<ScalarExpr>> = project.map(<[ScalarExpr]>::to_vec);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("perm-exchange-{i}"))
+                    .spawn(move || {
+                        let sub = Executor::new(catalog);
+                        while let Some((idx, range)) = queue.claim() {
+                            let scanned = range.len();
+                            let result = sub.catalog().table(&table).and_then(|t| {
+                                sub.scan_emit(
+                                    t.rows()[range].iter(),
+                                    filter.as_ref(),
+                                    project.as_deref(),
+                                    &[],
+                                )
+                            });
+                            let failed = result.is_err();
+                            if tx.send((idx, scanned, result)).is_err() {
+                                break; // consumer went away
+                            }
+                            if failed {
+                                queue.abort();
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn exchange producer"),
+            );
+        }
+        Ok(ExchangeCursor {
+            rx,
+            queue,
+            pending: HashMap::new(),
+            next_idx: 0,
+            expected,
+            current: Vec::new().into_iter(),
+            handles,
+        })
+    }
+
+    fn next(&mut self, scanned: &mut usize) -> Option<Result<Tuple>> {
+        loop {
+            if let Some(t) = self.current.next() {
+                return Some(Ok(t));
+            }
+            if let Some((n, result)) = self.pending.remove(&self.next_idx) {
+                self.next_idx += 1;
+                *scanned += n;
+                match result {
+                    Ok(rows) => {
+                        self.current = rows.into_iter();
+                        continue;
+                    }
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            if self.next_idx >= self.expected {
+                return None;
+            }
+            // Morsels complete out of order; buffer until ours arrives.
+            // An error aborts the queue, so morsels past it never come —
+            // but every earlier morsel was already claimed and will.
+            let (idx, n, result) = self.rx.recv()?;
+            self.pending.insert(idx, (n, result));
+        }
+    }
+}
+
+impl Drop for ExchangeCursor {
+    fn drop(&mut self) {
+        self.queue.abort();
+        self.rx.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Cursor {
@@ -139,6 +272,7 @@ impl Cursor {
                 schema,
                 filter,
                 project,
+                dop,
                 ..
             } => {
                 // Same staleness check Executor::run_physical performs,
@@ -146,6 +280,15 @@ impl Cursor {
                 // change under us).
                 let t = exec.catalog().table(table)?;
                 crate::executor::check_scan_schema(t, table, schema)?;
+                if *dop > 1 && (filter.is_some() || project.is_some()) {
+                    return Ok(Cursor::Exchange(ExchangeCursor::spawn(
+                        exec.catalog_arc(),
+                        table,
+                        filter.as_ref(),
+                        project.as_deref(),
+                        *dop,
+                    )?));
+                }
                 let mut cursor = Cursor::Scan {
                     key: Catalog::key_of(table),
                     next: 0,
@@ -249,6 +392,7 @@ impl Cursor {
                 self.next(exec, scanned)
             }
             Cursor::Drained(iter) => iter.next().map(Ok),
+            Cursor::Exchange(ex) => ex.next(scanned),
         }
     }
 }

@@ -452,6 +452,77 @@ proptest! {
         }
     }
 
+    /// Morsel-parallel execution (forced DOP 3, parallel threshold 1) is
+    /// observationally identical to serial execution on randomized plans:
+    /// same rows, in the same order, and the same errors — including an
+    /// error raised inside a worker thread (the `div_by_key` variant
+    /// plants a division that blows up on key-0 rows mid-scan), which
+    /// must surface as exactly the `PermError` serial execution raises.
+    #[test]
+    fn parallel_execution_matches_serial(
+        case in plan_case(),
+        div_by_key in any::<bool>(),
+        sort_on_top in any::<bool>(),
+    ) {
+        let mut cat = Catalog::new();
+        cat.create_table(int_table("t1", ["a", "b"], &case.t1_rows)).unwrap();
+        cat.create_table(int_table("t2", ["c", "d"], &case.t2_rows)).unwrap();
+        cat.table_mut("t2").unwrap().create_index(0).unwrap();
+        let mut plan = build_plan(&case, &cat);
+        if div_by_key {
+            // `b / a` raises division-by-zero on any row with a = 0;
+            // pushdown fuses this into the parallel scan pipeline.
+            plan = LogicalPlan::filter(
+                plan,
+                ScalarExpr::binary(
+                    BinOp::GtEq,
+                    ScalarExpr::binary(
+                        BinOp::Div,
+                        ScalarExpr::Column(1),
+                        ScalarExpr::Column(0),
+                    ),
+                    ScalarExpr::Literal(Value::Int(-1000)),
+                ),
+            );
+        }
+        if sort_on_top {
+            plan = LogicalPlan::Sort {
+                keys: vec![perm_algebra::plan::SortKey {
+                    expr: ScalarExpr::Column(0),
+                    desc: true,
+                }],
+                input: Box::new(plan),
+            };
+        }
+
+        let cat = Arc::new(cat);
+        let optimized = optimize_with(plan, &CatalogStats(&cat));
+        let serial = Executor::new(Arc::clone(&cat))
+            .with_parallelism(1, 2)
+            .run(&optimized);
+        let parallel = Executor::new(Arc::clone(&cat))
+            .with_parallelism(3, 1)
+            .run(&optimized);
+        match (serial, parallel) {
+            // Exact equality, order included: every parallel operator
+            // reassembles morsel/chunk results in serial order.
+            (Ok(s), Ok(p)) => prop_assert_eq!(s, p, "parallel diverges for {:?}", case),
+            (Err(s), Err(p)) => prop_assert_eq!(
+                s.to_string(),
+                p.to_string(),
+                "errors diverge for {:?}",
+                case
+            ),
+            (s, p) => prop_assert!(
+                false,
+                "one mode failed: serial={:?} parallel={:?} case={:?}",
+                s,
+                p,
+                case
+            ),
+        }
+    }
+
     /// Hash-based execution (hash joins, fused slot projections, hash
     /// aggregation) and nested-loop execution produce identical multisets
     /// on randomized join/filter/aggregate plans.

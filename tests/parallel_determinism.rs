@@ -1,0 +1,175 @@
+//! Deterministic-results guarantee for morsel-driven parallel execution.
+//!
+//! Representative queries run at DOP 1 and DOP N over the same data:
+//!
+//! * `ORDER BY` queries must produce **exactly** the serial output —
+//!   parallel chunk sorts merge stably, so even rows with equal keys
+//!   keep their serial tie order;
+//! * unordered queries must produce a **stable multiset**: the same rows
+//!   as serial execution, and the identical row *order* on every
+//!   repeated parallel run at a fixed DOP (morsel results reassemble in
+//!   morsel order, so in this engine the order matches serial too).
+
+use perm::{PermServer, SessionOptions, Tuple};
+
+fn forum(scale: i64) -> PermServer {
+    let server = PermServer::new();
+    let session = server.session();
+    session
+        .run_script(
+            "CREATE TABLE messages (mId int NOT NULL, text text, uId int);
+             CREATE TABLE users (uId int NOT NULL, name text);
+             CREATE TABLE approved (uId int NOT NULL, mId int NOT NULL);",
+        )
+        .unwrap();
+    {
+        let mut cat = session.catalog_write();
+        let users = cat.table_mut("users").unwrap();
+        for u in 0..scale / 10 {
+            users.push_raw(Tuple::new(vec![
+                perm::Value::Int(u),
+                perm::Value::text(format!("user{u}")),
+            ]));
+        }
+        let messages = cat.table_mut("messages").unwrap();
+        for m in 0..scale {
+            messages.push_raw(Tuple::new(vec![
+                perm::Value::Int(m),
+                perm::Value::text(format!("text {}", m % 13)),
+                perm::Value::Int(m % (scale / 10)),
+            ]));
+        }
+        let approved = cat.table_mut("approved").unwrap();
+        for a in 0..scale * 2 {
+            approved.push_raw(Tuple::new(vec![
+                perm::Value::Int(a % (scale / 10)),
+                perm::Value::Int(a % (scale / 2)),
+            ]));
+        }
+    }
+    server
+}
+
+/// Representative workload: scans, multi-join provenance, aggregation
+/// join-back, set operations, DISTINCT, sorts — the shapes the rewrite
+/// rules emit. `ordered` marks queries whose output order is contractual.
+fn workload() -> Vec<(&'static str, bool)> {
+    vec![
+        (
+            "SELECT mid * 2, upper(text) FROM messages WHERE mid % 3 = 0",
+            false,
+        ),
+        (
+            "SELECT PROVENANCE m.text, u.name FROM messages m JOIN users u ON m.uid = u.uid \
+             WHERE m.mid % 4 = 0",
+            false,
+        ),
+        (
+            "SELECT PROVENANCE a.mid, count(*) FROM messages m JOIN approved a ON m.mid = a.mid \
+             GROUP BY a.mid",
+            false,
+        ),
+        (
+            "SELECT uid, count(*), sum(mid), min(text), avg(mid) FROM messages \
+             GROUP BY uid ORDER BY uid",
+            true,
+        ),
+        ("SELECT DISTINCT text FROM messages", false),
+        (
+            "SELECT mid FROM messages INTERSECT SELECT mid FROM approved",
+            false,
+        ),
+        (
+            "SELECT mid FROM messages EXCEPT SELECT mid FROM approved",
+            false,
+        ),
+        (
+            "SELECT text, mid FROM messages WHERE uid < 50 ORDER BY text, mid DESC",
+            true,
+        ),
+        (
+            "SELECT u.name, count(*) FROM messages m JOIN users u ON m.uid = u.uid \
+             GROUP BY u.name ORDER BY count(*) DESC, u.name",
+            true,
+        ),
+    ]
+}
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let o = x.sort_cmp(y);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+#[test]
+fn dop1_and_dopn_agree_on_representative_queries() {
+    let server = forum(4000);
+    let dop1 = server.session_with_options(
+        SessionOptions::default()
+            .with_max_parallelism(1)
+            .with_parallel_row_threshold(256),
+    );
+    for dop in [2, 4] {
+        let dopn = server.session_with_options(
+            SessionOptions::default()
+                .with_max_parallelism(dop)
+                .with_parallel_row_threshold(256),
+        );
+        for (sql, ordered) in workload() {
+            let serial = dop1.query(sql).unwrap();
+            let parallel = dopn.query(sql).unwrap();
+            assert_eq!(serial.columns, parallel.columns, "{sql}");
+            if ordered {
+                // ORDER BY output is contractual down to tie order.
+                assert_eq!(serial.rows, parallel.rows, "dop={dop} {sql}");
+            } else {
+                // Unordered: same multiset...
+                assert_eq!(
+                    sorted(serial.rows.clone()),
+                    sorted(parallel.rows.clone()),
+                    "dop={dop} {sql}"
+                );
+                // ...and stable: repeated parallel runs yield the
+                // identical row order.
+                let again = dopn.query(sql).unwrap();
+                assert_eq!(parallel.rows, again.rows, "unstable at dop={dop}: {sql}");
+            }
+            assert!(serial.row_count() > 0, "vacuous: {sql}");
+        }
+    }
+}
+
+#[test]
+fn explain_reports_parallel_pipelines() {
+    let server = forum(4000);
+    let session = server.session_with_options(
+        SessionOptions::default()
+            .with_max_parallelism(4)
+            .with_parallel_row_threshold(256),
+    );
+    let plan = session
+        .query("EXPLAIN SELECT mid * 2 FROM messages WHERE mid % 3 = 0")
+        .unwrap();
+    let text: Vec<String> = plan.rows.iter().map(|r| r.get(0).to_string()).collect();
+    assert!(
+        text.iter().any(|l| l.contains("[dop=")),
+        "EXPLAIN should render the chosen DOP:\n{}",
+        text.join("\n")
+    );
+    // The same query through a serial session carries no annotation.
+    let serial = server
+        .session_with_options(SessionOptions::default().with_max_parallelism(1))
+        .query("EXPLAIN SELECT mid * 2 FROM messages WHERE mid % 3 = 0")
+        .unwrap();
+    assert!(serial
+        .rows
+        .iter()
+        .all(|r| !r.get(0).to_string().contains("[dop=")));
+}

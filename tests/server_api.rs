@@ -267,3 +267,173 @@ fn permdb_and_server_share_a_catalog() {
     session.execute("INSERT INTO t VALUES (1)").unwrap();
     assert_eq!(db.query("SELECT x FROM t").unwrap().row_count(), 1);
 }
+
+// ----------------------------------------------------------------------
+// Parallel execution under concurrency (thread-safety audit)
+// ----------------------------------------------------------------------
+
+/// A server whose tables are big enough that sessions with a lowered
+/// parallel threshold really fan queries out over the worker pool.
+fn big_forum_server() -> PermServer {
+    let server = forum_server();
+    let session = server.session();
+    {
+        let mut cat = session.catalog_write();
+        let messages = cat.table_mut("messages").unwrap();
+        for i in 0..6000i64 {
+            messages.push_raw(Tuple::new(vec![
+                Value::Int(100 + i),
+                Value::text(format!("bulk message {i}")),
+                Value::Int(i % 3 + 1),
+            ]));
+        }
+        let approved = cat.table_mut("approved").unwrap();
+        for i in 0..6000i64 {
+            approved.push_raw(Tuple::new(vec![Value::Int(i % 3 + 1), Value::Int(100 + i)]));
+        }
+    }
+    server
+}
+
+/// Session options that force intra-query parallelism onto every
+/// eligible pipeline of the bulk tables.
+fn parallel_options() -> SessionOptions {
+    SessionOptions::default()
+        .with_max_parallelism(4)
+        .with_parallel_row_threshold(512)
+}
+
+#[test]
+fn concurrent_sessions_with_parallel_execution_agree_with_serial() {
+    let server = big_forum_server();
+    let serial = server.session();
+    let queries = [
+        "SELECT PROVENANCE mid, text FROM messages WHERE mid % 7 = 0",
+        "SELECT PROVENANCE a.mid, count(*) FROM messages m JOIN approved a ON m.mid = a.mid \
+         GROUP BY a.mid",
+        "SELECT uid, count(*) FROM messages GROUP BY uid ORDER BY uid",
+        "SELECT DISTINCT uid FROM messages ORDER BY uid",
+    ];
+    let expected: Vec<_> = queries.iter().map(|q| serial.query(q).unwrap()).collect();
+
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..reader_threads() {
+            let session = server.session_with_options(parallel_options());
+            let expected = expected.clone();
+            handles.push(s.spawn(move || {
+                for i in 0..8 {
+                    let q = (t + i) % queries.len();
+                    let r = session.query(queries[q]).unwrap();
+                    // Parallel merges reproduce the serial output
+                    // exactly — rows and order — from every thread.
+                    assert_eq!(r, expected[q], "{}", queries[q]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn parallel_readers_survive_concurrent_ddl_and_dml() {
+    let server = big_forum_server();
+    let errors = AtomicUsize::new(0);
+
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..reader_threads() {
+            let session = server.session_with_options(parallel_options());
+            let errors = &errors;
+            handles.push(s.spawn(move || {
+                for _ in 0..10 {
+                    // Multi-core provenance query against a snapshot while
+                    // the writer churns: must never error or lose rows.
+                    match session.query("SELECT PROVENANCE mid FROM messages WHERE mid % 2 = 0") {
+                        Ok(r) => {
+                            if r.row_count() == 0 {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }));
+        }
+
+        let writer = server.session();
+        handles.push(s.spawn(move || {
+            for i in 0..12 {
+                writer
+                    .execute(&format!("CREATE TABLE par_scratch_{i} (x int)"))
+                    .unwrap();
+                writer
+                    .execute(&format!(
+                        "INSERT INTO par_scratch_{i} VALUES ({i}), ({i} + 1)"
+                    ))
+                    .unwrap();
+                writer
+                    .execute(&format!("DELETE FROM par_scratch_{i} WHERE x = {i}"))
+                    .unwrap();
+                writer
+                    .execute(&format!("DROP TABLE par_scratch_{i}"))
+                    .unwrap();
+            }
+        }));
+
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    assert_eq!(errors.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn parallel_prepared_statement_shared_across_threads() {
+    let server = big_forum_server();
+    let prepared = server
+        .session_with_options(parallel_options())
+        .prepare(
+            "SELECT PROVENANCE a.mid, count(*) FROM messages m JOIN approved a \
+             ON m.mid = a.mid GROUP BY a.mid",
+        )
+        .unwrap();
+    let expected = prepared.execute().unwrap();
+
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..reader_threads() {
+            let prepared = prepared.clone();
+            let expected = expected.clone();
+            handles.push(s.spawn(move || {
+                for _ in 0..5 {
+                    assert_eq!(prepared.execute().unwrap(), expected);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn parallel_row_stream_limit_short_circuits() {
+    let server = big_forum_server();
+    let session = server.session_with_options(parallel_options());
+    let mut stream = session
+        .query_stream("SELECT mid * 2 FROM messages WHERE mid % 2 = 0 LIMIT 4")
+        .unwrap();
+    let got: Vec<_> = stream.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(got.len(), 4);
+    assert!(
+        stream.rows_scanned() < 6002,
+        "exchange kept scanning: {} rows",
+        stream.rows_scanned()
+    );
+}
