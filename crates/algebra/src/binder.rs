@@ -142,7 +142,14 @@ impl<'a> Binder<'a> {
                                 .into(),
                         )
                     })?;
+                    let original = plan.schema().clone();
                     let rewritten = transform.rewrite_provenance(plan, clause.semantics)?;
+                    crate::verify::verify_provenance_schema(
+                        &original,
+                        &rewritten.plan,
+                        &rewritten.prov_attrs,
+                        "provenance-rewrite",
+                    )?;
                     self.last_provenance = Some(rewritten.prov_attrs);
                     return Ok(rewritten.plan);
                 }
@@ -298,7 +305,14 @@ impl<'a> Binder<'a> {
                     "SELECT PROVENANCE is not available: no provenance rewriter attached".into(),
                 )
             })?;
+            let original = plan.schema().clone();
             let rewritten = transform.rewrite_provenance(plan, clause.semantics)?;
+            crate::verify::verify_provenance_schema(
+                &original,
+                &rewritten.plan,
+                &rewritten.prov_attrs,
+                "provenance-rewrite",
+            )?;
             self.last_provenance = Some(rewritten.prov_attrs);
             plan = rewritten.plan;
         }
@@ -1456,6 +1470,7 @@ pub enum BoundStatement {
     Explain {
         plan: LogicalPlan,
         verbose: bool,
+        verify: bool,
     },
 }
 
@@ -1471,9 +1486,14 @@ pub fn bind_statement(
     };
     match stmt {
         Statement::Query(q) => Ok(BoundStatement::Query(binder.bind_query(q)?)),
-        Statement::Explain { query, verbose } => Ok(BoundStatement::Explain {
+        Statement::Explain {
+            query,
+            verbose,
+            verify,
+        } => Ok(BoundStatement::Explain {
             plan: binder.bind_query(query)?,
             verbose: *verbose,
+            verify: *verify,
         }),
         Statement::Delete { table, predicate } => {
             let meta = catalog

@@ -13,7 +13,12 @@
 //!   the [`catalog::ProvenanceTransform`] trait when `SELECT PROVENANCE`
 //!   appears;
 //! * [`printer`] / [`deparse()`] — the algebra-tree and SQL renderings the
-//!   Perm-browser shows (Figure 4 markers 2–4).
+//!   Perm-browser shows (Figure 4 markers 2–4);
+//! * [`verify`] — the static plan verifier that checks operator/child
+//!   schema consistency, expression typing and the provenance-rewrite
+//!   contract after every plan transformation in debug and test builds.
+
+#![forbid(unsafe_code)]
 
 pub mod binder;
 pub mod catalog;
@@ -23,6 +28,7 @@ pub mod plan;
 pub mod printer;
 pub mod stats;
 pub mod typecheck;
+pub mod verify;
 
 pub use binder::{bind_statement, Binder, BoundStatement};
 pub use catalog::{
@@ -34,3 +40,6 @@ pub use plan::{BoundaryKind, JoinType, LogicalPlan, SetOpType, SortKey};
 pub use printer::{plan_tree, plan_tree_with_schema};
 pub use stats::{CardinalityEstimator, FixedCardinalities, UnknownCardinality};
 pub use typecheck::{agg_type, expr_type};
+pub use verify::{
+    cannot_hold_on_null, verify_logical, verify_provenance_schema, verify_schema_preserved,
+};

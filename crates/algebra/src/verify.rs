@@ -1,0 +1,958 @@
+//! Static verification of logical plans.
+//!
+//! Every plan transformation in the pipeline — binding, the provenance
+//! rewrite, and each optimizer pass — is supposed to hand the next stage a
+//! *well-formed* plan: operator schemas agree with their children, every
+//! expression typechecks against its input, provenance rewrites append
+//! provenance attributes without disturbing the original columns. Until
+//! now those contracts were only enforced dynamically, by executing
+//! queries. This module checks them *statically*, on the plan tree itself,
+//! and names both the violated invariant and the pass that produced the
+//! broken plan:
+//!
+//! ```text
+//! plan error: plan verifier [column-pruning]: expr-type violated at
+//! Project > Filter: predicate #7: column position 7 out of range (3 columns)
+//! ```
+//!
+//! The verifier is cheap (one tree walk, no data access) and runs after
+//! every rewrite/optimizer phase in debug and test builds; see
+//! `perm_exec::optimize_with` and `SessionOptions::verify_plans`.
+
+use perm_types::{DataType, PermError, Result, Schema, Value};
+
+use crate::expr::{AggCall, BinOp, ScalarExpr, UnOp};
+use crate::plan::{JoinType, LogicalPlan};
+use crate::typecheck;
+
+/// Build the uniform verifier error: category `plan`, message naming the
+/// responsible pass, the violated invariant and the node path.
+fn violation(pass: &str, invariant: &str, path: &str, detail: impl std::fmt::Display) -> PermError {
+    PermError::Plan(format!(
+        "plan verifier [{pass}]: {invariant} violated at {path}: {detail}"
+    ))
+}
+
+/// Lenient type compatibility: the engine coerces freely between the
+/// numeric types and `Unknown` (the type of untyped NULL) unifies with
+/// anything, so the verifier only rejects genuinely incompatible pairs.
+fn compatible(a: DataType, b: DataType) -> bool {
+    a == b
+        || matches!(a, DataType::Unknown)
+        || matches!(b, DataType::Unknown)
+        || matches!(
+            (a, b),
+            (DataType::Int, DataType::Float) | (DataType::Float, DataType::Int)
+        )
+}
+
+fn boolish(t: DataType) -> bool {
+    matches!(t, DataType::Bool | DataType::Unknown)
+}
+
+/// Verify that `plan` is internally consistent: every operator's schema
+/// matches its children, every expression (including inside sublink
+/// subplans) typechecks against its input with all slot references in
+/// bounds. `pass` names the transformation that produced the plan and is
+/// included in any error.
+pub fn verify_logical(plan: &LogicalPlan, pass: &str) -> Result<()> {
+    verify_node(plan, pass, "", &[])
+}
+
+/// One checking context: `outer[0]` is the schema of the immediately
+/// enclosing query (for `OuterColumn { levels_up: 1, .. }`), matching the
+/// convention of [`typecheck::expr_type`].
+fn verify_node(plan: &LogicalPlan, pass: &str, path: &str, outer: &[Schema]) -> Result<()> {
+    let name = plan.node_name();
+    let path = if path.is_empty() {
+        name
+    } else {
+        format!("{path} > {name}")
+    };
+
+    match plan {
+        LogicalPlan::Scan {
+            schema,
+            provenance_cols,
+            ..
+        } => {
+            for &i in provenance_cols {
+                if i >= schema.len() {
+                    return Err(violation(
+                        pass,
+                        "slot-bounds",
+                        &path,
+                        format!(
+                            "provenance column {i} out of range ({} columns)",
+                            schema.len()
+                        ),
+                    ));
+                }
+            }
+        }
+        LogicalPlan::Values { rows, schema } => {
+            let empty = Schema::empty();
+            for (r, row) in rows.iter().enumerate() {
+                if row.len() != schema.len() {
+                    return Err(violation(
+                        pass,
+                        "schema-arity",
+                        &path,
+                        format!(
+                            "row {r} has {} expressions but the schema declares {} columns",
+                            row.len(),
+                            schema.len()
+                        ),
+                    ));
+                }
+                for (c, e) in row.iter().enumerate() {
+                    check_expr(
+                        e,
+                        &empty,
+                        outer,
+                        pass,
+                        &path,
+                        &format!("row {r} column {c}"),
+                    )?;
+                }
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            if exprs.len() != schema.len() {
+                return Err(violation(
+                    pass,
+                    "schema-arity",
+                    &path,
+                    format!(
+                        "{} projection expressions but the schema declares {} columns",
+                        exprs.len(),
+                        schema.len()
+                    ),
+                ));
+            }
+            for (i, e) in exprs.iter().enumerate() {
+                let ty = check_expr(e, input.schema(), outer, pass, &path, &format!("expr {i}"))?;
+                let declared = schema.column(i).ty;
+                if !compatible(ty, declared) {
+                    return Err(violation(
+                        pass,
+                        "expr-type",
+                        &path,
+                        format!(
+                            "expr {i} ({e}) has type {ty} but output column '{}' declares {declared}",
+                            schema.column(i).name
+                        ),
+                    ));
+                }
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let ty = check_expr(predicate, input.schema(), outer, pass, &path, "predicate")?;
+            if !boolish(ty) {
+                return Err(violation(
+                    pass,
+                    "expr-type",
+                    &path,
+                    format!("predicate ({predicate}) has non-boolean type {ty}"),
+                ));
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            condition,
+            schema,
+        } => {
+            if condition.is_none() && !matches!(kind, JoinType::Cross) {
+                return Err(violation(
+                    pass,
+                    "join-condition",
+                    &path,
+                    format!("{} join has no condition", kind.name()),
+                ));
+            }
+            // The condition always sees both sides, even for Semi/Anti
+            // joins whose *output* is the left side only.
+            let env = left.schema().join(right.schema());
+            if let Some(c) = condition {
+                let ty = check_expr(c, &env, outer, pass, &path, "condition")?;
+                if !boolish(ty) {
+                    return Err(violation(
+                        pass,
+                        "expr-type",
+                        &path,
+                        format!("condition ({c}) has non-boolean type {ty}"),
+                    ));
+                }
+            }
+            // The node's recorded schema must match what the join kind
+            // derives from the children. Names and types only: the
+            // LEFT→INNER demotion legitimately strips the nullable marks
+            // the LEFT join added.
+            let expected = match kind {
+                JoinType::Semi | JoinType::Anti => left.schema().clone(),
+                _ => env,
+            };
+            check_same_shape(schema, &expected, pass, "schema-consistency", &path)?;
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
+            if group_by.len() + aggs.len() != schema.len() {
+                return Err(violation(
+                    pass,
+                    "schema-arity",
+                    &path,
+                    format!(
+                        "{} group keys + {} aggregates but the schema declares {} columns",
+                        group_by.len(),
+                        aggs.len(),
+                        schema.len()
+                    ),
+                ));
+            }
+            for (i, e) in group_by.iter().enumerate() {
+                let ty = check_expr(
+                    e,
+                    input.schema(),
+                    outer,
+                    pass,
+                    &path,
+                    &format!("group key {i}"),
+                )?;
+                if !compatible(ty, schema.column(i).ty) {
+                    return Err(violation(
+                        pass,
+                        "expr-type",
+                        &path,
+                        format!(
+                            "group key {i} ({e}) has type {ty} but output column declares {}",
+                            schema.column(i).ty
+                        ),
+                    ));
+                }
+            }
+            for (j, call) in aggs.iter().enumerate() {
+                check_agg(call, input.schema(), outer, pass, &path, j)?;
+            }
+        }
+        LogicalPlan::SetOp {
+            left,
+            right,
+            schema,
+            ..
+        } => {
+            if left.arity() != schema.len() || right.arity() != schema.len() {
+                return Err(violation(
+                    pass,
+                    "setop-arity",
+                    &path,
+                    format!(
+                        "sides have {} and {} columns but the schema declares {}",
+                        left.arity(),
+                        right.arity(),
+                        schema.len()
+                    ),
+                ));
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            for (i, k) in keys.iter().enumerate() {
+                check_expr(
+                    &k.expr,
+                    input.schema(),
+                    outer,
+                    pass,
+                    &path,
+                    &format!("sort key {i}"),
+                )?;
+            }
+        }
+        // Pass-through operators: nothing to check beyond their children.
+        LogicalPlan::Distinct { .. } | LogicalPlan::Limit { .. } | LogicalPlan::Boundary { .. } => {
+        }
+    }
+
+    for child in plan.children() {
+        verify_node(child, pass, &path, outer)?;
+    }
+    Ok(())
+}
+
+/// Typecheck one expression against its input schema, then recurse into
+/// any sublink subplans it contains (with this scope's schema pushed onto
+/// the outer stack, so correlated `OuterColumn` references resolve).
+fn check_expr(
+    e: &ScalarExpr,
+    env: &Schema,
+    outer: &[Schema],
+    pass: &str,
+    path: &str,
+    what: &str,
+) -> Result<DataType> {
+    let refs: Vec<&Schema> = outer.iter().collect();
+    let ty = typecheck::expr_type(e, env, &refs).map_err(|err| {
+        // An out-of-range column position is its own invariant (a pass
+        // dropped a column something still references); everything else
+        // is a typing violation.
+        let invariant = if err.message().contains("out of range") {
+            "slot-bounds"
+        } else {
+            "expr-type"
+        };
+        violation(
+            pass,
+            invariant,
+            path,
+            format!("{what} ({e}): {}", err.message()),
+        )
+    })?;
+    let mut nested = Ok(());
+    e.visit(&mut |sub| {
+        if let ScalarExpr::Subquery(sq) = sub {
+            if nested.is_ok() {
+                let mut inner: Vec<Schema> = Vec::with_capacity(outer.len() + 1);
+                inner.push(env.clone());
+                inner.extend(outer.iter().cloned());
+                nested = verify_node(&sq.plan, pass, path, &inner);
+            }
+        }
+    });
+    nested?;
+    Ok(ty)
+}
+
+fn check_agg(
+    call: &AggCall,
+    env: &Schema,
+    outer: &[Schema],
+    pass: &str,
+    path: &str,
+    index: usize,
+) -> Result<()> {
+    let refs: Vec<&Schema> = outer.iter().collect();
+    typecheck::agg_type(call, env, &refs).map_err(|err| {
+        violation(
+            pass,
+            "expr-type",
+            path,
+            format!("aggregate {index} ({call}): {}", err.message()),
+        )
+    })?;
+    if let Some(arg) = &call.arg {
+        // `agg_type` typechecked the argument; still recurse for sublinks.
+        check_expr(
+            arg,
+            env,
+            outer,
+            pass,
+            path,
+            &format!("aggregate {index} argument"),
+        )?;
+    }
+    Ok(())
+}
+
+/// Compare two schemas by arity, column names and (compatible) types,
+/// ignoring nullability and qualifiers.
+fn check_same_shape(
+    got: &Schema,
+    expected: &Schema,
+    pass: &str,
+    invariant: &str,
+    path: &str,
+) -> Result<()> {
+    if got.len() != expected.len() {
+        return Err(violation(
+            pass,
+            invariant,
+            path,
+            format!(
+                "schema has {} columns, expected {}",
+                got.len(),
+                expected.len()
+            ),
+        ));
+    }
+    for i in 0..got.len() {
+        let (g, e) = (got.column(i), expected.column(i));
+        if g.name != e.name {
+            return Err(violation(
+                pass,
+                invariant,
+                path,
+                format!("column {i} is named '{}', expected '{}'", g.name, e.name),
+            ));
+        }
+        if !compatible(g.ty, e.ty) {
+            return Err(violation(
+                pass,
+                invariant,
+                path,
+                format!(
+                    "column {i} ('{}') has type {}, expected {}",
+                    g.name, g.ty, e.ty
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verify that an optimizer pass preserved the plan's output schema:
+/// same arity, names and types as `before`. Nullability is deliberately
+/// not compared — the LEFT→INNER join demotion legitimately reverts the
+/// nullable marks the LEFT join added to its right side.
+pub fn verify_schema_preserved(before: &Schema, after: &LogicalPlan, pass: &str) -> Result<()> {
+    check_same_shape(after.schema(), before, pass, "schema-preservation", "root")
+}
+
+/// Verify the provenance-rewrite contract: the rewritten plan's schema is
+/// the original query's schema with the provenance attributes appended as
+/// a trailing block (`rewritten = original ++ provenance`), the original
+/// columns keep their names and types, and every provenance attribute is
+/// recognizably one — either Perm-named (`prov_<schema>_<relation>_<attr>`)
+/// or an external provenance column carried through with its relation
+/// qualifier (paper §2.2: external provenance propagates untouched).
+pub fn verify_provenance_schema(
+    original: &Schema,
+    rewritten: &LogicalPlan,
+    prov_attrs: &[usize],
+    pass: &str,
+) -> Result<()> {
+    let got = rewritten.schema();
+    let n = original.len();
+    if got.len() != n + prov_attrs.len() {
+        return Err(violation(
+            pass,
+            "provenance-schema",
+            "root",
+            format!(
+                "rewritten schema has {} columns, expected {n} original + {} provenance",
+                got.len(),
+                prov_attrs.len()
+            ),
+        ));
+    }
+    let mut sorted: Vec<usize> = prov_attrs.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != prov_attrs.len() || sorted != (n..got.len()).collect::<Vec<_>>() {
+        return Err(violation(
+            pass,
+            "provenance-schema",
+            "root",
+            format!(
+                "provenance attributes at positions {prov_attrs:?} do not form the \
+                 trailing block {n}..{}",
+                got.len()
+            ),
+        ));
+    }
+    for i in 0..n {
+        let (g, e) = (got.column(i), original.column(i));
+        if g.name != e.name || !compatible(g.ty, e.ty) {
+            return Err(violation(
+                pass,
+                "provenance-schema",
+                "root",
+                format!(
+                    "original column {i} changed from '{}': {} to '{}': {}",
+                    e.name, e.ty, g.name, g.ty
+                ),
+            ));
+        }
+    }
+    for &p in prov_attrs {
+        let c = got.column(p);
+        // Computed provenance attributes follow the Perm naming scheme;
+        // external ones (`FROM t PROVENANCE (cols)`) keep their source
+        // names but are always marked nullable by the rewriter (outer-join
+        // padding), which distinguishes them from a mislabeled original.
+        if !c.name.starts_with("prov_") && c.qualifier.is_none() && !c.nullable {
+            return Err(violation(
+                pass,
+                "provenance-naming",
+                "root",
+                format!(
+                    "provenance column {p} ('{}') follows neither the \
+                     prov_<schema>_<relation>_<attribute> scheme nor the \
+                     external-provenance convention (source name, nullable)",
+                    c.name
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Null-rejection certificate for the LEFT → INNER join demotion
+// ----------------------------------------------------------------------
+
+/// Which SQL truth values a predicate can take, given partial knowledge of
+/// its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Truth {
+    t: bool,
+    f: bool,
+    n: bool,
+}
+
+impl Truth {
+    const ANY: Truth = Truth {
+        t: true,
+        f: true,
+        n: true,
+    };
+    fn just(v: Option<bool>) -> Truth {
+        match v {
+            Some(true) => Truth {
+                t: true,
+                f: false,
+                n: false,
+            },
+            Some(false) => Truth {
+                t: false,
+                f: true,
+                n: false,
+            },
+            None => Truth {
+                t: false,
+                f: false,
+                n: true,
+            },
+        }
+    }
+    fn not(self) -> Truth {
+        Truth {
+            t: self.f,
+            f: self.t,
+            n: self.n,
+        }
+    }
+    /// Three-valued AND over the possible-value sets.
+    fn and(self, o: Truth) -> Truth {
+        Truth {
+            t: self.t && o.t,
+            f: self.f || o.f,
+            n: (self.n && (o.n || o.t)) || (o.n && self.t),
+        }
+    }
+    /// Three-valued OR over the possible-value sets.
+    fn or(self, o: Truth) -> Truth {
+        Truth {
+            t: self.t || o.t,
+            f: self.f && o.f,
+            n: (self.n && (o.n || o.f)) || (o.n && self.f),
+        }
+    }
+}
+
+/// Abstract scalar value: definitely SQL NULL, or unconstrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    Null,
+    Any,
+}
+
+/// True if `pred` can never evaluate to TRUE on a row where every column
+/// selected by `is_target` is NULL — the certificate the LEFT→INNER join
+/// demotion needs (a null-rejecting predicate over the padded side makes
+/// the padding rows unobservable).
+///
+/// Implemented as a small three-valued abstract interpretation, entirely
+/// independent of the optimizer's own syntactic null-rejection test
+/// (`rejects_all_null` in the planner), so the verifier cross-checks the
+/// optimizer rather than re-running it.
+pub fn cannot_hold_on_null(pred: &ScalarExpr, is_target: &dyn Fn(usize) -> bool) -> bool {
+    !truth_on_null(pred, is_target).t
+}
+
+fn value_on_null(e: &ScalarExpr, is_target: &dyn Fn(usize) -> bool) -> AbsVal {
+    match e {
+        ScalarExpr::Column(i) if is_target(*i) => AbsVal::Null,
+        ScalarExpr::Literal(Value::Null) => AbsVal::Null,
+        ScalarExpr::Literal(_) | ScalarExpr::Column(_) | ScalarExpr::OuterColumn { .. } => {
+            AbsVal::Any
+        }
+        // Strict operators: NULL in, NULL out.
+        ScalarExpr::Binary { op, left, right } => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::Concat => {
+                if value_on_null(left, is_target) == AbsVal::Null
+                    || value_on_null(right, is_target) == AbsVal::Null
+                {
+                    AbsVal::Null
+                } else {
+                    AbsVal::Any
+                }
+            }
+            // Boolean-valued operators: consult the truth analysis.
+            _ => {
+                let t = truth_on_null(e, is_target);
+                if t.n && !t.t && !t.f {
+                    AbsVal::Null
+                } else {
+                    AbsVal::Any
+                }
+            }
+        },
+        ScalarExpr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => value_on_null(expr, is_target),
+        ScalarExpr::Cast { expr, .. } => value_on_null(expr, is_target),
+        // Boolean-valued forms used as scalars: consult the truth
+        // analysis (definitely-NULL truth means a NULL value).
+        ScalarExpr::Unary { op: UnOp::Not, .. }
+        | ScalarExpr::IsNull { .. }
+        | ScalarExpr::Like { .. }
+        | ScalarExpr::InList { .. } => {
+            let t = truth_on_null(e, is_target);
+            if t.n && !t.t && !t.f {
+                AbsVal::Null
+            } else {
+                AbsVal::Any
+            }
+        }
+        // Anything else (CASE, COALESCE, sublinks, …) can produce
+        // non-NULL output from NULL input; stay conservative.
+        _ => AbsVal::Any,
+    }
+}
+
+fn truth_on_null(pred: &ScalarExpr, is_target: &dyn Fn(usize) -> bool) -> Truth {
+    match pred {
+        ScalarExpr::Literal(Value::Bool(b)) => Truth::just(Some(*b)),
+        ScalarExpr::Literal(Value::Null) => Truth::just(None),
+        ScalarExpr::Column(i) if is_target(*i) => Truth::just(None),
+        ScalarExpr::Binary { op, left, right } => {
+            let (l, r) = (
+                value_on_null(left, is_target),
+                value_on_null(right, is_target),
+            );
+            match op {
+                BinOp::And => truth_on_null(left, is_target).and(truth_on_null(right, is_target)),
+                BinOp::Or => truth_on_null(left, is_target).or(truth_on_null(right, is_target)),
+                // Ordinary comparisons are strict: NULL operand → NULL.
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                    if l == AbsVal::Null || r == AbsVal::Null {
+                        Truth::just(None)
+                    } else {
+                        Truth::ANY
+                    }
+                }
+                // NULL-safe comparisons never yield NULL.
+                BinOp::NotDistinctFrom => {
+                    if l == AbsVal::Null && r == AbsVal::Null {
+                        Truth::just(Some(true))
+                    } else {
+                        Truth {
+                            t: true,
+                            f: true,
+                            n: false,
+                        }
+                    }
+                }
+                BinOp::DistinctFrom => {
+                    if l == AbsVal::Null && r == AbsVal::Null {
+                        Truth::just(Some(false))
+                    } else {
+                        Truth {
+                            t: true,
+                            f: true,
+                            n: false,
+                        }
+                    }
+                }
+                _ => Truth::ANY,
+            }
+        }
+        ScalarExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => truth_on_null(expr, is_target).not(),
+        ScalarExpr::IsNull { expr, negated } => match value_on_null(expr, is_target) {
+            AbsVal::Null => Truth::just(Some(!*negated)),
+            AbsVal::Any => Truth {
+                t: true,
+                f: true,
+                n: false,
+            },
+        },
+        ScalarExpr::Like { expr, pattern, .. } => {
+            if value_on_null(expr, is_target) == AbsVal::Null
+                || value_on_null(pattern, is_target) == AbsVal::Null
+            {
+                Truth::just(None)
+            } else {
+                Truth::ANY
+            }
+        }
+        ScalarExpr::InList { expr, .. } => {
+            // `NULL IN (…)` / `NULL NOT IN (…)` over a non-empty list is
+            // NULL (three-valued membership); the parser never produces an
+            // empty IN list.
+            if value_on_null(expr, is_target) == AbsVal::Null {
+                Truth::just(None)
+            } else {
+                Truth::ANY
+            }
+        }
+        _ => Truth::ANY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_types::Column;
+
+    fn t_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Text),
+        ])
+    }
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "t".into(),
+            schema: t_schema(),
+            provenance_cols: vec![],
+        }
+    }
+
+    #[test]
+    fn well_formed_plan_passes() {
+        let plan = LogicalPlan::filter(
+            LogicalPlan::project_positions(scan(), &[1, 0]),
+            ScalarExpr::binary(
+                BinOp::Gt,
+                ScalarExpr::Column(1),
+                ScalarExpr::Literal(Value::Int(0)),
+            ),
+        );
+        verify_logical(&plan, "test").unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_slot_is_named() {
+        let plan = LogicalPlan::filter(
+            scan(),
+            ScalarExpr::eq(ScalarExpr::Column(7), ScalarExpr::Literal(Value::Int(1))),
+        );
+        let err = verify_logical(&plan, "rule-rewrites").unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        assert!(err.message().contains("[rule-rewrites]"), "{err}");
+        assert!(err.message().contains("slot-bounds"), "{err}");
+        assert!(err.message().contains("Filter"), "{err}");
+    }
+
+    #[test]
+    fn project_arity_mismatch_is_caught() {
+        let plan = LogicalPlan::Project {
+            input: Box::new(scan()),
+            exprs: vec![ScalarExpr::Column(0)],
+            schema: t_schema(), // two columns declared, one expression
+        };
+        let err = verify_logical(&plan, "column-pruning").unwrap_err();
+        assert!(err.message().contains("schema-arity"), "{err}");
+        assert!(err.message().contains("[column-pruning]"), "{err}");
+    }
+
+    #[test]
+    fn non_boolean_filter_is_rejected() {
+        let plan = LogicalPlan::filter(scan(), ScalarExpr::Column(1));
+        let err = verify_logical(&plan, "test").unwrap_err();
+        assert!(err.message().contains("non-boolean"), "{err}");
+    }
+
+    #[test]
+    fn schema_preservation_catches_dropped_column() {
+        let before = t_schema();
+        let after = LogicalPlan::project_positions(scan(), &[0]);
+        let err = verify_schema_preserved(&before, &after, "column-pruning").unwrap_err();
+        assert!(err.message().contains("schema-preservation"), "{err}");
+        assert!(err.message().contains("[column-pruning]"), "{err}");
+        let same = LogicalPlan::project_positions(scan(), &[0, 1]);
+        verify_schema_preserved(&before, &same, "column-pruning").unwrap();
+    }
+
+    #[test]
+    fn provenance_contract_checks_trailing_block_and_names() {
+        let original = Schema::new(vec![Column::new("a", DataType::Int)]);
+        let rewritten = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("prov_public_t_a", DataType::Int),
+            ]),
+            provenance_cols: vec![],
+        };
+        verify_provenance_schema(&original, &rewritten, &[1], "provenance-rewrite").unwrap();
+
+        // Provenance positions that are not the trailing block.
+        let err = verify_provenance_schema(&original, &rewritten, &[0], "provenance-rewrite")
+            .unwrap_err();
+        assert!(err.message().contains("provenance-schema"), "{err}");
+
+        // A NOT NULL provenance column that is neither Perm-named nor
+        // qualified matches no convention (external provenance attributes
+        // are always nullable).
+        let bad = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("mystery", DataType::Int).not_null(),
+            ]),
+            provenance_cols: vec![],
+        };
+        let err =
+            verify_provenance_schema(&original, &bad, &[1], "provenance-rewrite").unwrap_err();
+        assert!(err.message().contains("provenance-naming"), "{err}");
+
+        // External provenance: source name kept, marked nullable.
+        let external = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("src_system", DataType::Text),
+            ]),
+            provenance_cols: vec![],
+        };
+        verify_provenance_schema(&original, &external, &[1], "provenance-rewrite").unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // cannot_hold_on_null
+    // ------------------------------------------------------------------
+
+    fn target(i: usize) -> bool {
+        i >= 2 // columns 2.. are the "padded side"
+    }
+
+    #[test]
+    fn strict_comparison_rejects_null() {
+        // #2 = 1 is NULL when #2 is NULL → can never be TRUE.
+        let p = ScalarExpr::eq(ScalarExpr::Column(2), ScalarExpr::Literal(Value::Int(1)));
+        assert!(cannot_hold_on_null(&p, &target));
+    }
+
+    #[test]
+    fn is_null_predicate_holds_on_null() {
+        let p = ScalarExpr::IsNull {
+            expr: Box::new(ScalarExpr::Column(2)),
+            negated: false,
+        };
+        assert!(!cannot_hold_on_null(&p, &target));
+        let not_null = ScalarExpr::IsNull {
+            expr: Box::new(ScalarExpr::Column(2)),
+            negated: true,
+        };
+        assert!(cannot_hold_on_null(&not_null, &target));
+    }
+
+    #[test]
+    fn conjunction_needs_only_one_rejecting_side() {
+        // (#0 > 5) AND (#2 = 1): the right conjunct can't be TRUE, so the
+        // whole AND can't be TRUE.
+        let p = ScalarExpr::binary(
+            BinOp::And,
+            ScalarExpr::binary(
+                BinOp::Gt,
+                ScalarExpr::Column(0),
+                ScalarExpr::Literal(Value::Int(5)),
+            ),
+            ScalarExpr::eq(ScalarExpr::Column(2), ScalarExpr::Literal(Value::Int(1))),
+        );
+        assert!(cannot_hold_on_null(&p, &target));
+    }
+
+    #[test]
+    fn disjunction_with_tolerant_side_can_hold() {
+        // (#2 = 1) OR (#0 > 5) can be TRUE via the left-side column.
+        let p = ScalarExpr::binary(
+            BinOp::Or,
+            ScalarExpr::eq(ScalarExpr::Column(2), ScalarExpr::Literal(Value::Int(1))),
+            ScalarExpr::binary(
+                BinOp::Gt,
+                ScalarExpr::Column(0),
+                ScalarExpr::Literal(Value::Int(5)),
+            ),
+        );
+        assert!(!cannot_hold_on_null(&p, &target));
+    }
+
+    #[test]
+    fn null_safe_comparison_tolerates_null() {
+        // #2 IS NOT DISTINCT FROM NULL is TRUE on the padded rows.
+        let p = ScalarExpr::not_distinct(ScalarExpr::Column(2), ScalarExpr::Literal(Value::Null));
+        assert!(!cannot_hold_on_null(&p, &target));
+    }
+
+    #[test]
+    fn coalesce_is_conservative() {
+        // COALESCE(#2, 1) = 1 can be TRUE even when #2 is NULL.
+        let p = ScalarExpr::eq(
+            ScalarExpr::ScalarFn {
+                func: crate::expr::ScalarFunc::Coalesce,
+                args: vec![ScalarExpr::Column(2), ScalarExpr::Literal(Value::Int(1))],
+            },
+            ScalarExpr::Literal(Value::Int(1)),
+        );
+        assert!(!cannot_hold_on_null(&p, &target));
+    }
+
+    #[test]
+    fn not_of_tolerant_predicate() {
+        // NOT (#2 IS NULL) is FALSE on padded rows → rejecting.
+        let p = ScalarExpr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(ScalarExpr::IsNull {
+                expr: Box::new(ScalarExpr::Column(2)),
+                negated: false,
+            }),
+        };
+        assert!(cannot_hold_on_null(&p, &target));
+    }
+
+    #[test]
+    fn strict_arithmetic_propagates_null() {
+        // (#2 + 1) > 0 is NULL when #2 is NULL.
+        let p = ScalarExpr::binary(
+            BinOp::Gt,
+            ScalarExpr::binary(
+                BinOp::Add,
+                ScalarExpr::Column(2),
+                ScalarExpr::Literal(Value::Int(1)),
+            ),
+            ScalarExpr::Literal(Value::Int(0)),
+        );
+        assert!(cannot_hold_on_null(&p, &target));
+    }
+
+    #[test]
+    fn like_and_in_list_are_strict() {
+        let like = ScalarExpr::Like {
+            expr: Box::new(ScalarExpr::Column(2)),
+            pattern: Box::new(ScalarExpr::Literal(Value::text("a%"))),
+            negated: false,
+        };
+        assert!(cannot_hold_on_null(&like, &target));
+        let in_list = ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::Column(2)),
+            list: vec![ScalarExpr::Literal(Value::Int(1))],
+            negated: false,
+        };
+        assert!(cannot_hold_on_null(&in_list, &target));
+    }
+}

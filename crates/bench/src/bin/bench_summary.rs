@@ -89,6 +89,59 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Validate the summary before it is written or printed: a malformed
+/// body or a non-positive measurement must fail the run (exit 1), not
+/// poison the trajectory data downstream tooling ingests.
+fn validate_summary(
+    body: &str,
+    host_parallelism: usize,
+    results: &[(String, f64)],
+    before: &BTreeMap<String, f64>,
+    parallel: &[(String, [f64; 3])],
+) -> Result<(), String> {
+    for key in [
+        "\"issue\"",
+        "\"workload\"",
+        "\"unit\"",
+        "\"host_parallelism\"",
+        "\"benches\"",
+        "\"parallel_scaling\"",
+    ] {
+        if !body.contains(key) {
+            return Err(format!("summary is missing required key {key}"));
+        }
+    }
+    let opens = body.matches('{').count();
+    let closes = body.matches('}').count();
+    if opens != closes {
+        return Err(format!(
+            "unbalanced JSON braces ({opens} open, {closes} close)"
+        ));
+    }
+    if host_parallelism < 1 {
+        return Err("host_parallelism must be >= 1".into());
+    }
+    if results.is_empty() {
+        return Err("no benchmark results emitted".into());
+    }
+    for (key, ms) in results {
+        if !ms.is_finite() || *ms <= 0.0 {
+            return Err(format!("non-positive timing for {key}: {ms}"));
+        }
+        if let Some(b) = before.get(key) {
+            if !b.is_finite() || *b <= 0.0 {
+                return Err(format!("non-positive baseline timing for {key}: {b}"));
+            }
+        }
+    }
+    for (name, ms) in parallel {
+        if ms.iter().any(|m| !m.is_finite() || *m <= 0.0) {
+            return Err(format!("non-positive parallel timing for {name}: {ms:?}"));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut raw_out: Option<String> = None;
@@ -114,6 +167,12 @@ fn main() {
     let results = run_workload(runs);
 
     if let Some(path) = raw_out {
+        for (key, ms) in &results {
+            if !ms.is_finite() || *ms <= 0.0 {
+                eprintln!("bench_summary: non-positive timing for {key}: {ms}");
+                std::process::exit(1);
+            }
+        }
         let body: String = results
             .iter()
             .map(|(k, ms)| format!("{k}={ms}\n"))
@@ -182,11 +241,96 @@ fn main() {
     }
     body.push_str("  }\n}\n");
 
+    if let Err(e) = validate_summary(
+        &body,
+        perm_exec::auto_parallelism(),
+        &results,
+        &before,
+        &parallel,
+    ) {
+        eprintln!("bench_summary: invalid summary: {e}");
+        std::process::exit(1);
+    }
+
     match out {
         Some(path) => {
             std::fs::write(&path, &body).expect("output file is writable");
             eprintln!("wrote summary to {path}");
         }
         None => print!("{body}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_body() -> String {
+        concat!(
+            "{\n  \"issue\": 5,\n  \"workload\": \"w\",\n  \"unit\": \"ms\",\n",
+            "  \"host_parallelism\": 4,\n  \"benches\": {\n",
+            "    \"g/q\": {\"after_ms\": 1.0}\n  },\n",
+            "  \"parallel_scaling\": {\n    \"workload\": \"w\"\n  }\n}\n"
+        )
+        .to_string()
+    }
+
+    fn good_results() -> Vec<(String, f64)> {
+        vec![("g/q".to_string(), 1.0)]
+    }
+
+    #[test]
+    fn well_formed_summary_validates() {
+        let parallel = vec![("q".to_string(), [3.0, 2.0, 1.5])];
+        validate_summary(
+            &good_body(),
+            4,
+            &good_results(),
+            &BTreeMap::new(),
+            &parallel,
+        )
+        .expect("well-formed summary passes validation");
+    }
+
+    #[test]
+    fn missing_required_key_is_rejected() {
+        let body = good_body().replace("\"host_parallelism\"", "\"hp\"");
+        let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[]).unwrap_err();
+        assert!(err.contains("host_parallelism"), "got: {err}");
+    }
+
+    #[test]
+    fn unbalanced_braces_are_rejected() {
+        let body = format!("{}}}", good_body());
+        let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[]).unwrap_err();
+        assert!(err.contains("unbalanced"), "got: {err}");
+    }
+
+    #[test]
+    fn non_positive_timings_are_rejected() {
+        let zero = vec![("g/q".to_string(), 0.0)];
+        let err = validate_summary(&good_body(), 4, &zero, &BTreeMap::new(), &[]).unwrap_err();
+        assert!(err.contains("non-positive timing"), "got: {err}");
+
+        let bad_base: BTreeMap<String, f64> = [("g/q".to_string(), -1.0)].into_iter().collect();
+        let err = validate_summary(&good_body(), 4, &good_results(), &bad_base, &[]).unwrap_err();
+        assert!(err.contains("baseline"), "got: {err}");
+
+        let bad_parallel = vec![("q".to_string(), [3.0, f64::NAN, 1.5])];
+        let err = validate_summary(
+            &good_body(),
+            4,
+            &good_results(),
+            &BTreeMap::new(),
+            &bad_parallel,
+        )
+        .unwrap_err();
+        assert!(err.contains("parallel timing"), "got: {err}");
+    }
+
+    #[test]
+    fn empty_results_are_rejected() {
+        let err = validate_summary(&good_body(), 4, &[], &BTreeMap::new(), &[]).unwrap_err();
+        assert!(err.contains("no benchmark results"), "got: {err}");
     }
 }

@@ -4,6 +4,8 @@
 //! evaluation harness. See `src/bin/harness.rs` for the per-figure
 //! reproduction binary and `benches/` for the Criterion benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod hotpath;
 pub mod tpch;
 pub mod workload;

@@ -64,6 +64,8 @@
 //! ([`pipeline::StageTrace`]) and the browser panels of Figure 4
 //! ([`browser::BrowserPanels`]).
 
+#![forbid(unsafe_code)]
+
 pub mod browser;
 pub mod db;
 pub mod eager;

@@ -20,6 +20,25 @@ pub struct SessionOptions {
     /// Minimum estimated input rows before a pipeline is parallelized;
     /// below it queries run serial and pay zero coordination overhead.
     pub parallel_row_threshold: usize,
+    /// Run the static plan verifier after every optimizer/planner phase,
+    /// even in release builds (debug builds always verify). Defaults to
+    /// the `PERM_VERIFY_PLANS` environment variable (`1`/`true` enables),
+    /// so CI can force verification on a release-mode test run.
+    pub verify_plans: bool,
+}
+
+/// Read `PERM_VERIFY_PLANS` once per process.
+fn verify_plans_env() -> bool {
+    use std::sync::OnceLock;
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PERM_VERIFY_PLANS")
+            .map(|v| {
+                let v = v.trim();
+                !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+            })
+            .unwrap_or(false)
+    })
 }
 
 impl Default for SessionOptions {
@@ -28,6 +47,7 @@ impl Default for SessionOptions {
             rewrite: RewriteOptions::default(),
             max_parallelism: 0,
             parallel_row_threshold: perm_exec::DEFAULT_PARALLEL_THRESHOLD,
+            verify_plans: verify_plans_env(),
         }
     }
 }
@@ -63,6 +83,13 @@ impl SessionOptions {
     /// Force a specific union strategy (browser toggle / ablations).
     pub fn force_union_strategy(self, s: UnionStrategy) -> SessionOptions {
         self.with_union_strategy(StrategyMode::Fixed(s))
+    }
+
+    /// Run the static plan verifier after every optimizer/planner phase
+    /// regardless of build profile (debug builds always verify).
+    pub fn with_verify_plans(mut self, on: bool) -> SessionOptions {
+        self.verify_plans = on;
+        self
     }
 }
 

@@ -135,10 +135,37 @@ impl Session {
     /// An executor over `snapshot` carrying this session's parallelism
     /// options (used whenever the executor lowers logical plans itself).
     fn executor_on(&self, snapshot: Arc<Catalog>) -> Executor {
-        Executor::new(snapshot).with_parallelism(
-            self.options.max_parallelism,
-            self.options.parallel_row_threshold,
-        )
+        Executor::new(snapshot)
+            .with_parallelism(
+                self.options.max_parallelism,
+                self.options.parallel_row_threshold,
+            )
+            .with_verification(self.options.verify_plans)
+    }
+
+    /// Optimize under this session's options: with
+    /// [`SessionOptions::verify_plans`] the static verifier re-checks the
+    /// plan after every optimizer phase and a violation surfaces as an
+    /// error naming the responsible pass (debug builds always verify, but
+    /// panic — a violation is an engine bug, not a user error).
+    fn optimize_on(&self, plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+        let est = CatalogCardinalities(catalog);
+        if self.options.verify_plans {
+            perm_exec::optimize_verified(plan, &est)
+        } else {
+            Ok(optimize_with(plan, &est))
+        }
+    }
+
+    /// Lower to a physical plan under this session's options, verifying
+    /// the lowering when [`SessionOptions::verify_plans`] is set.
+    fn lower_on(&self, catalog: &Catalog, optimized: &LogicalPlan) -> Result<PhysicalPlan> {
+        let planner = self.planner_on(catalog);
+        if self.options.verify_plans {
+            planner.plan_verified(optimized)
+        } else {
+            Ok(planner.plan(optimized))
+        }
     }
 
     /// A physical planner over `catalog` carrying this session's
@@ -238,7 +265,7 @@ impl Session {
                 )))
             }
         };
-        let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
+        let optimized = self.optimize_on(plan, &snapshot)?;
         let schema = optimized.schema().clone();
         let stream = self.executor_on(snapshot).into_stream(&optimized)?;
         Ok(RowStream::new(schema, stream))
@@ -257,8 +284,8 @@ impl Session {
                 )))
             }
         };
-        let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
-        let physical = self.planner_on(&snapshot).plan(&optimized);
+        let optimized = self.optimize_on(plan, &snapshot)?;
+        let physical = self.lower_on(&snapshot, &optimized)?;
         let schema = optimized.schema().clone();
         Ok(Prepared {
             session: self.clone(),
@@ -305,7 +332,7 @@ impl Session {
         catalog: Arc<Catalog>,
         plan: LogicalPlan,
     ) -> Result<(Schema, Vec<Tuple>)> {
-        let optimized = optimize_with(plan, &CatalogCardinalities(&catalog));
+        let optimized = self.optimize_on(plan, &catalog)?;
         let schema = optimized.schema().clone();
         let rows = self.executor_on(catalog).run(&optimized)?;
         Ok((schema, rows))
@@ -326,14 +353,21 @@ impl Session {
         let snapshot = self.snapshot();
         match self.bind_on(&snapshot, stmt)? {
             BoundStatement::Query(plan) => {
-                let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
+                let optimized = self.optimize_on(plan, &snapshot)?;
                 let schema = optimized.schema().clone();
                 let rows = self.executor_on(snapshot).run(&optimized)?;
                 Ok(StatementResult::Rows(QueryResult::new(&schema, rows)))
             }
-            BoundStatement::Explain { plan, verbose } => {
-                let optimized = optimize_with(plan, &CatalogCardinalities(&snapshot));
-                let physical = self.planner_on(&snapshot).plan(&optimized);
+            BoundStatement::Explain {
+                plan,
+                verbose,
+                verify,
+            } => {
+                if verify {
+                    return self.explain_verify(&snapshot, plan, verbose);
+                }
+                let optimized = self.optimize_on(plan, &snapshot)?;
+                let physical = self.lower_on(&snapshot, &optimized)?;
                 let text = if verbose {
                     format!(
                         "== logical (optimized) ==\n{}\n== physical ==\n{}",
@@ -349,6 +383,56 @@ impl Session {
                 "query statement bound to {other:?}"
             ))),
         }
+    }
+
+    /// `EXPLAIN VERIFY`: run the full optimizer pipeline with the static
+    /// plan verifier after every phase — regardless of the session's
+    /// `verify_plans` flag — and report each check before the plan. A
+    /// violation aborts with an error naming the failing invariant and
+    /// the responsible pass.
+    fn explain_verify(
+        &self,
+        snapshot: &Arc<Catalog>,
+        plan: LogicalPlan,
+        verbose: bool,
+    ) -> Result<StatementResult> {
+        let mut report = String::from("== plan verification ==\n");
+        perm_algebra::verify::verify_logical(&plan, "binding")?;
+        report.push_str("binding: ok\n");
+        // The provenance-rewrite contract (schema = original ++ provenance
+        // columns, naming scheme intact) is enforced inside the binder for
+        // every SELECT PROVENANCE; note it when the output carries
+        // provenance columns.
+        let prov = plan
+            .schema()
+            .iter()
+            .filter(|c| c.name.starts_with("prov_"))
+            .count();
+        if prov > 0 {
+            report.push_str(&format!(
+                "provenance-rewrite: ok ({prov} provenance columns, contract checked at bind time)\n"
+            ));
+        }
+        let (optimized, ran) = perm_exec::optimize_traced(plan, &CatalogCardinalities(snapshot))?;
+        for phase in perm_exec::LOGICAL_PHASES {
+            if ran.contains(phase) {
+                report.push_str(&format!("{phase}: ok\n"));
+            } else {
+                report.push_str(&format!("{phase}: skipped (sublink plan)\n"));
+            }
+        }
+        let physical = self.planner_on(snapshot).plan_verified(&optimized)?;
+        report.push_str("physical-planning: ok\n");
+        let text = if verbose {
+            format!(
+                "{report}\n== logical (optimized) ==\n{}\n== physical ==\n{}",
+                perm_algebra::plan_tree_with_schema(&optimized),
+                physical_tree(&physical)
+            )
+        } else {
+            format!("{report}\n== physical ==\n{}", physical_tree(&physical))
+        };
+        Ok(StatementResult::Explain(text))
     }
 
     /// DDL/DML under the catalog write lock. The read part of a compound
@@ -373,9 +457,11 @@ impl Session {
                     // The executor's snapshot is dropped before the
                     // mutation below, so make_mut stays in place unless
                     // other sessions hold snapshots.
-                    let optimized = optimize_with(plan, &CatalogCardinalities(&guard));
+                    let optimized = self.optimize_on(plan, &guard)?;
                     let schema = optimized.schema().clone();
-                    let rows = Executor::new(guard.snapshot()).run(&optimized)?;
+                    let rows = Executor::new(guard.snapshot())
+                        .with_verification(self.options.verify_plans)
+                        .run(&optimized)?;
                     (schema, rows)
                 };
                 // Stored column set loses the source qualifiers.
@@ -762,6 +848,58 @@ mod tests {
             .query("EXPLAIN VERBOSE SELECT x FROM t WHERE x = 2")
             .unwrap();
         assert!(v.row_count() > r.row_count());
+    }
+
+    #[test]
+    fn explain_verify_reports_each_phase() {
+        let (_, session) = seeded();
+        let r = session
+            .query("EXPLAIN VERIFY SELECT x FROM t WHERE x = 2")
+            .unwrap();
+        let text = (0..r.row_count())
+            .map(|i| r.row(i)[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("== plan verification =="), "{text}");
+        assert!(text.contains("binding: ok"), "{text}");
+        assert!(text.contains("column-pruning: ok"), "{text}");
+        assert!(text.contains("physical-planning: ok"), "{text}");
+        assert!(text.contains("Scan(t)"), "{text}");
+
+        // Provenance queries additionally report the rewrite contract.
+        let p = session
+            .query("EXPLAIN VERIFY SELECT PROVENANCE x FROM t")
+            .unwrap();
+        let text = (0..p.row_count())
+            .map(|i| p.row(i)[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("provenance-rewrite: ok"), "{text}");
+    }
+
+    #[test]
+    fn verify_plans_session_runs_clean() {
+        // With verify_plans on, every read path re-checks each optimizer
+        // phase; well-formed queries must be unaffected.
+        let (server, _) = seeded();
+        let s = server.session_with_options(SessionOptions::default().with_verify_plans(true));
+        assert!(s.options().verify_plans);
+        assert_eq!(
+            s.query("SELECT PROVENANCE x, y FROM t WHERE x >= 2")
+                .unwrap()
+                .row_count(),
+            2
+        );
+        let prepared = s.prepare("SELECT x FROM t ORDER BY x").unwrap();
+        assert_eq!(prepared.execute().unwrap().row_count(), 3);
+        assert_eq!(s.query_stream("SELECT x FROM t").unwrap().count(), 3);
+        // Correlated sublinks exercise the per-plan verification memo.
+        assert_eq!(
+            s.query("SELECT x FROM t WHERE x = (SELECT max(x) FROM t)")
+                .unwrap()
+                .row_count(),
+            1
+        );
     }
 
     #[test]

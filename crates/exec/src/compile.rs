@@ -534,6 +534,8 @@ impl CompiledProjection {
                     let bad = slots
                         .iter()
                         .find(|&&i| i >= env.tuple.len())
+                        // INVARIANT: width_needed = max(slots) + 1, so a
+                        // tuple shorter than it has an out-of-range slot.
                         .expect("some slot is out of range");
                     return Err(PermError::Execution(format!(
                         "column position {bad} out of range for tuple of width {}",

@@ -200,6 +200,7 @@ fn eval_subquery(exec: &Executor, sq: &SubqueryExpr, env: &Env<'_>) -> Result<Va
     // Fast path: uncorrelated IN probes a hashed value set instead of
     // scanning the materialized subquery result per outer row.
     if sq.kind == SubqueryKind::In && !sq.correlated {
+        // INVARIANT: the binder attaches an operand to every IN sublink.
         let operand = sq.operand.as_deref().expect("IN has operand");
         let needle = eval(exec, operand, env)?;
         if needle.is_null() {
@@ -234,6 +235,7 @@ fn eval_subquery(exec: &Executor, sq: &SubqueryExpr, env: &Env<'_>) -> Result<Va
             ))),
         },
         SubqueryKind::In => {
+            // INVARIANT: the binder attaches an operand to every IN sublink.
             let operand = sq.operand.as_deref().expect("IN has operand");
             let needle = eval(exec, operand, env)?;
             let r = in_semantics(&needle, rows.iter().map(|t| t.get(0)))?;

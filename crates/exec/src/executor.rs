@@ -74,6 +74,11 @@ pub struct Executor {
     max_parallelism: usize,
     /// Row threshold below which lowered pipelines stay serial.
     parallel_threshold: usize,
+    /// Run the static plan verifier on every plan this executor lowers,
+    /// even in release builds (debug builds verify inside the planner
+    /// regardless). Each plan identity is verified at most once.
+    verify: bool,
+    verified: RefCell<FxHashSet<usize>>,
 }
 
 impl Executor {
@@ -88,6 +93,8 @@ impl Executor {
             nested_loop_only: false,
             max_parallelism: 0,
             parallel_threshold: crate::parallel::DEFAULT_PARALLEL_THRESHOLD,
+            verify: false,
+            verified: RefCell::new(FxHashSet::default()),
         }
     }
 
@@ -101,6 +108,14 @@ impl Executor {
     ) -> Executor {
         self.max_parallelism = max_parallelism;
         self.parallel_threshold = parallel_threshold.max(1);
+        self
+    }
+
+    /// Re-verify every plan this executor lowers ([`crate::verify`]), even
+    /// in release builds; a violation surfaces as a planner error naming
+    /// the failing invariant instead of executing a corrupt plan.
+    pub fn with_verification(mut self, on: bool) -> Executor {
+        self.verify = on;
         self
     }
 
@@ -158,10 +173,28 @@ impl Executor {
         lowered
     }
 
+    /// Verify a lowering once per plan identity when this executor was
+    /// built [`Executor::with_verification`]. Correlated sublink subplans
+    /// re-run per outer row, so the memo keeps the hot path at one hash
+    /// probe.
+    pub(crate) fn check_lowering(&self, plan: &LogicalPlan, physical: &PhysicalPlan) -> Result<()> {
+        if !self.verify {
+            return Ok(());
+        }
+        let key = plan as *const LogicalPlan as usize;
+        if self.verified.borrow().contains(&key) {
+            return Ok(());
+        }
+        crate::verify::verify_physical(physical, "physical-planning")?;
+        self.verified.borrow_mut().insert(key);
+        Ok(())
+    }
+
     /// Execute a logical plan: lower it (cached), then run the physical
     /// plan. All strategy decisions happen in the lowering.
     pub fn run(&self, plan: &LogicalPlan) -> Result<Vec<Tuple>> {
         let physical = self.physical(plan);
+        self.check_lowering(plan, &physical)?;
         self.run_physical(&physical)
     }
 

@@ -37,6 +37,15 @@
 //! over a streamable operator chain reads only the base rows it needs).
 //! The executor owns an `Arc` catalog snapshot, making plans, executors
 //! and streams `Send` — the foundation of the concurrent `PermServer`.
+//!
+//! Every phase of the two-phase optimizer is backed by a **static plan
+//! verifier** ([`verify`], plus the logical side in
+//! [`perm_algebra::verify`]): in debug and test builds (or with
+//! `SessionOptions::verify_plans`) each optimizer/parallelizer pass is
+//! re-checked for schema consistency, slot bounds/typing and the
+//! parallel-legality rules, and a violation names the responsible pass.
+
+#![forbid(unsafe_code)]
 
 pub mod adapter;
 pub mod compile;
@@ -47,14 +56,16 @@ pub mod parallel;
 pub mod physical;
 pub mod planner;
 pub mod stream;
+pub mod verify;
 
 pub use adapter::{CatalogAdapter, CatalogStats};
 pub use compile::CompiledExpr;
 pub use executor::Executor;
 pub use parallel::{auto_parallelism, DEFAULT_PARALLEL_THRESHOLD, MORSEL_ROWS};
 pub use physical::{physical_tree, plan_physical, PhysicalPlan, PhysicalPlanner};
-pub use planner::{optimize, optimize_with};
+pub use planner::{optimize, optimize_traced, optimize_verified, optimize_with, LOGICAL_PHASES};
 pub use stream::TupleStream;
+pub use verify::verify_physical;
 
 #[cfg(test)]
 mod tests;

@@ -86,6 +86,7 @@ impl AggState {
                 seen,
                 ..
             } => {
+                // INVARIANT: the binder rejects argument-less SUM/AVG.
                 let x = v.expect("sum/avg have an argument");
                 if x.is_null() {
                     return Ok(());
@@ -120,6 +121,7 @@ impl AggState {
                 *seen += 1;
             }
             AggState::MinMax { best, is_min } => {
+                // INVARIANT: the binder rejects argument-less MIN/MAX.
                 let x = v.expect("min/max have an argument");
                 if x.is_null() {
                     return Ok(());
@@ -141,6 +143,7 @@ impl AggState {
                 }
             }
             AggState::AnyValue(slot) => {
+                // INVARIANT: the binder rejects argument-less ANY_VALUE.
                 let x = v.expect("any_value has an argument");
                 if slot.is_none() && !x.is_null() {
                     *slot = Some(x.clone());
@@ -346,6 +349,7 @@ fn accumulate(
 fn merge_partials(into: &mut AggPartial, later: AggPartial) -> Result<()> {
     let AggPartial { order, mut groups } = later;
     for key in order {
+        // INVARIANT: `order` holds exactly the keys of `groups`.
         let state = groups.remove(&key).expect("group registered");
         match into.groups.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
@@ -377,6 +381,7 @@ fn finish(mut partial: AggPartial, group_by: &[ScalarExpr], aggs: &[AggCall]) ->
     }
     let mut out = Vec::with_capacity(partial.order.len());
     for key in partial.order {
+        // INVARIANT: `order` holds exactly the keys of `groups`.
         let state = partial.groups.remove(&key).expect("group registered");
         let mut vals = key.into_values();
         for s in state.states {

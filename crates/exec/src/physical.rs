@@ -588,11 +588,35 @@ impl<'a> PhysicalPlanner<'a> {
     }
 
     /// Lower a logical plan.
+    ///
+    /// In debug and test builds the resulting physical tree is re-checked
+    /// by the static plan verifier ([`crate::verify`]) and a violation
+    /// panics; release builds skip the check unless they opt in through
+    /// [`PhysicalPlanner::plan_verified`].
     pub fn plan(&self, plan: &LogicalPlan) -> PhysicalPlan {
+        let physical = self.plan_node(plan);
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::verify::verify_physical(&physical, "physical-planning") {
+            panic!("{e}");
+        }
+        physical
+    }
+
+    /// Lower a logical plan and run the static plan verifier on the
+    /// result regardless of build profile, returning (instead of
+    /// panicking on) the first violation. Entry point behind
+    /// `SessionOptions::verify_plans` and `EXPLAIN VERIFY`.
+    pub fn plan_verified(&self, plan: &LogicalPlan) -> perm_types::Result<PhysicalPlan> {
+        let physical = self.plan_node(plan);
+        crate::verify::verify_physical(&physical, "physical-planning")?;
+        Ok(physical)
+    }
+
+    fn plan_node(&self, plan: &LogicalPlan) -> PhysicalPlan {
         match plan {
             // Boundaries are stripped by the logical pass but lower
             // transparently if a caller plans an unoptimized tree.
-            LogicalPlan::Boundary { input, .. } => self.plan(input),
+            LogicalPlan::Boundary { input, .. } => self.plan_node(input),
             LogicalPlan::Scan { table, schema, .. } => PhysicalPlan::FusedScanProjectFilter {
                 table: table.clone(),
                 schema: schema.clone(),
@@ -632,14 +656,14 @@ impl<'a> PhysicalPlanner<'a> {
                         .collect::<Vec<_>>(),
                 ) && aggs.iter().all(|a| !a.distinct);
                 PhysicalPlan::HashAggregate {
-                    input: Box::new(self.plan(input)),
+                    input: Box::new(self.plan_node(input)),
                     group_by: group_by.clone(),
                     aggs: aggs.clone(),
                     dop: self.choose_dop(self.est(input), safe),
                 }
             }
             LogicalPlan::Distinct { input } => PhysicalPlan::HashDistinct {
-                input: Box::new(self.plan(input)),
+                input: Box::new(self.plan_node(input)),
                 dop: self.choose_dop(self.est(input), true),
             },
             LogicalPlan::SetOp {
@@ -655,15 +679,15 @@ impl<'a> PhysicalPlanner<'a> {
                 PhysicalPlan::HashSetOp {
                     op: *op,
                     all: *all,
-                    left: Box::new(self.plan(left)),
-                    right: Box::new(self.plan(right)),
+                    left: Box::new(self.plan_node(left)),
+                    right: Box::new(self.plan_node(right)),
                     dop: self.choose_dop(input_rows, !append),
                 }
             }
             LogicalPlan::Sort { input, keys } => {
                 let safe = Self::safe(&keys.iter().map(|k| &k.expr).collect::<Vec<_>>());
                 PhysicalPlan::Sort {
-                    input: Box::new(self.plan(input)),
+                    input: Box::new(self.plan_node(input)),
                     keys: keys.clone(),
                     dop: self.choose_dop(self.est(input), safe),
                 }
@@ -673,7 +697,7 @@ impl<'a> PhysicalPlanner<'a> {
                 limit,
                 offset,
             } => PhysicalPlan::Limit {
-                input: Box::new(self.plan(input)),
+                input: Box::new(self.plan_node(input)),
                 limit: *limit,
                 offset: *offset,
             },
@@ -715,7 +739,7 @@ impl<'a> PhysicalPlanner<'a> {
             };
         }
         let filtered = PhysicalPlan::Filter {
-            input: Box::new(self.plan(input)),
+            input: Box::new(self.plan_node(input)),
             predicate: predicate.clone(),
         };
         match project {
@@ -739,7 +763,7 @@ impl<'a> PhysicalPlanner<'a> {
         // physical operator is dropped entirely.
         if let Some(slots) = slot_only(exprs) {
             if slots.len() == input.arity() && slots.iter().copied().eq(0..input.arity()) {
-                return self.plan(input);
+                return self.plan_node(input);
             }
         }
         match input {
@@ -779,13 +803,13 @@ impl<'a> PhysicalPlanner<'a> {
                     )
                 } else {
                     PhysicalPlan::Project {
-                        input: Box::new(self.plan(input)),
+                        input: Box::new(self.plan_node(input)),
                         exprs: exprs.to_vec(),
                     }
                 }
             }
             other => PhysicalPlan::Project {
-                input: Box::new(self.plan(other)),
+                input: Box::new(self.plan_node(other)),
                 exprs: exprs.to_vec(),
             },
         }
@@ -855,8 +879,8 @@ impl<'a> PhysicalPlanner<'a> {
 
         if keys.is_empty() || self.nested_loop_only {
             return PhysicalPlan::NLJoin {
-                left: Box::new(self.plan(left)),
-                right: Box::new(self.plan(right)),
+                left: Box::new(self.plan_node(left)),
+                right: Box::new(self.plan_node(right)),
                 kind,
                 condition: condition.cloned(),
                 nl,
@@ -929,7 +953,7 @@ impl<'a> PhysicalPlanner<'a> {
                         safety.extend(&residual);
                         let dop = self.choose_dop(l_est, Self::safe(&safety));
                         return PhysicalPlan::IndexNLJoin {
-                            outer: Box::new(self.plan(left)),
+                            outer: Box::new(self.plan_node(left)),
                             kind,
                             table: table.to_string(),
                             schema: schema.clone(),
@@ -973,8 +997,8 @@ impl<'a> PhysicalPlanner<'a> {
         let safe = !matches!(kind, JoinType::Full) && Self::safe(&safety);
         let dop = self.choose_dop(probe_est, safe);
         PhysicalPlan::HashJoin {
-            left: Box::new(self.plan(left)),
-            right: Box::new(self.plan(right)),
+            left: Box::new(self.plan_node(left)),
+            right: Box::new(self.plan_node(right)),
             kind,
             keys,
             residual,

@@ -38,6 +38,7 @@
 use perm_algebra::expr::{BinOp, ScalarExpr, UnOp};
 use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType};
 use perm_algebra::stats::{estimate_rows, CardinalityEstimator, UnknownCardinality};
+use perm_types::{Result, Schema};
 
 /// Number of optimization passes. The rules are applied bottom-up; two
 /// passes reach a fixpoint for everything the rewriter emits.
@@ -55,21 +56,101 @@ pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
 }
 
 /// Optimize a bound plan, feeding cost-based decisions from `est`.
+///
+/// In debug and test builds every optimizer phase is re-checked by the
+/// static plan verifier ([`perm_algebra::verify`]) and a violation
+/// panics, naming the responsible phase; release builds skip the checks
+/// unless they opt in through [`optimize_verified`].
 pub fn optimize_with(plan: LogicalPlan, est: &dyn CardinalityEstimator) -> LogicalPlan {
+    if cfg!(debug_assertions) {
+        let mut verifier = verifying_observer(plan.schema().clone());
+        match optimize_observed(plan, est, &mut verifier) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    } else {
+        let mut noop = |_: &'static str, _: &LogicalPlan| Ok(());
+        match optimize_observed(plan, est, &mut noop) {
+            Ok(p) => p,
+            // The no-op observer never fails.
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// Optimize a bound plan and run the static plan verifier after every
+/// phase regardless of build profile, returning (instead of panicking on)
+/// the first violation. This is the entry point behind
+/// `SessionOptions::verify_plans` and `EXPLAIN VERIFY`.
+pub fn optimize_verified(plan: LogicalPlan, est: &dyn CardinalityEstimator) -> Result<LogicalPlan> {
+    let mut verifier = verifying_observer(plan.schema().clone());
+    optimize_observed(plan, est, &mut verifier)
+}
+
+/// [`optimize_verified`] that additionally records which phases actually
+/// ran (sublink-bearing plans skip the pruning/reordering phases) — the
+/// basis of the `EXPLAIN VERIFY` report.
+pub fn optimize_traced(
+    plan: LogicalPlan,
+    est: &dyn CardinalityEstimator,
+) -> Result<(LogicalPlan, Vec<&'static str>)> {
+    let mut verifier = verifying_observer(plan.schema().clone());
+    let mut phases = Vec::new();
+    let mut observe = |phase: &'static str, p: &LogicalPlan| {
+        verifier(phase, p)?;
+        phases.push(phase);
+        Ok(())
+    };
+    let optimized = optimize_observed(plan, est, &mut observe)?;
+    Ok((optimized, phases))
+}
+
+/// The names of the logical optimizer's phases, in execution order. Used
+/// by the verifying observer and the `EXPLAIN VERIFY` report.
+pub const LOGICAL_PHASES: &[&str] = &[
+    "boundary-elimination",
+    "rule-rewrites",
+    "column-pruning",
+    "join-reordering",
+    "cleanup-rewrites",
+];
+
+/// An observer that re-verifies the plan after each phase: internal
+/// consistency plus preservation of the original output schema.
+fn verifying_observer(original: Schema) -> impl FnMut(&'static str, &LogicalPlan) -> Result<()> {
+    move |phase, plan| {
+        perm_algebra::verify::verify_logical(plan, phase)?;
+        perm_algebra::verify::verify_schema_preserved(&original, plan, phase)
+    }
+}
+
+/// The optimizer pipeline with a phase observer: `observe(phase, plan)`
+/// runs after each named phase and aborts optimization by returning an
+/// error (the verifying observer does; the no-op observer never does).
+fn optimize_observed(
+    plan: LogicalPlan,
+    est: &dyn CardinalityEstimator,
+    observe: &mut dyn FnMut(&'static str, &LogicalPlan) -> Result<()>,
+) -> Result<LogicalPlan> {
     let mut p = strip_boundaries(plan);
+    observe("boundary-elimination", &p)?;
     for _ in 0..PASSES {
         p = rewrite_bottom_up(p);
     }
+    observe("rule-rewrites", &p)?;
     if !plan_has_sublinks(&p) {
         let arity = p.arity();
         p = prune_columns(p);
         debug_assert_eq!(p.arity(), arity, "pruning must not change the root schema");
+        observe("column-pruning", &p)?;
         p = reorder_joins(p, est);
+        observe("join-reordering", &p)?;
         for _ in 0..2 {
             p = rewrite_bottom_up(p);
         }
+        observe("cleanup-rewrites", &p)?;
     }
-    p
+    Ok(p)
 }
 
 /// True if any expression anywhere in the plan contains a sublink.
@@ -318,6 +399,14 @@ fn push_filter(plan: LogicalPlan) -> LogicalPlan {
                 .iter()
                 .any(|c| rejects_all_null(c, &|i| i >= nl));
             if demote {
+                // Cross-check the demotion certificate with the verifier's
+                // independent three-valued analysis: the whole predicate
+                // must be unable to hold on a null-extended row.
+                debug_assert!(
+                    perm_algebra::verify::cannot_hold_on_null(&predicate, &|i| i >= nl),
+                    "plan verifier [rule-rewrites]: LEFT→INNER demotion without a \
+                     null-rejecting predicate: {predicate}"
+                );
                 let join = LogicalPlan::join(*left, *right, JoinType::Inner, condition)
                     .expect("LEFT join carries a condition");
                 return push_filter(LogicalPlan::Filter {

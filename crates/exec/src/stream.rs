@@ -94,6 +94,7 @@ impl Executor {
     /// calls at the top level.
     pub fn into_stream(self, plan: &LogicalPlan) -> Result<TupleStream> {
         let physical = self.physical(plan);
+        self.check_lowering(plan, &physical)?;
         TupleStream::new(self, &physical)
     }
 

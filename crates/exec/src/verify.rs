@@ -1,0 +1,773 @@
+//! Static verification of physical plans.
+//!
+//! The physical planner makes every execution-strategy decision at plan
+//! time — fused scans, join algorithms and build sides, slot-only output
+//! projections, and a per-pipeline degree of parallelism. This module
+//! checks the resulting [`PhysicalPlan`] tree *statically*, before any
+//! row is touched:
+//!
+//! * **Schema/arity consistency** — each operator's recorded input
+//!   arities (`nl`/`nr`) match what its children actually produce, and
+//!   fused `out_slots` projections stay in bounds;
+//! * **Slot typing** — every expression typechecks against a schema
+//!   derived bottom-up from the scans, so a slot reference that is out of
+//!   bounds or of the wrong [`perm_types::Value`] type is caught at plan
+//!   time (the same expressions are later compiled by
+//!   [`crate::compile`]);
+//! * **Parallel legality** — the PR 5 rules the parallel runtime relies
+//!   on: sublink-carrying pipelines stay serial, FULL joins stay serial,
+//!   DISTINCT aggregates stay serial, `UNION ALL` appends stay serial,
+//!   and every `dop` is between 1 and the worker-pool size.
+//!
+//! Like the logical verifier ([`perm_algebra::verify`]), errors name the
+//! responsible pass, the violated invariant and the node path.
+
+use perm_algebra::expr::ScalarExpr;
+use perm_algebra::plan::JoinType;
+use perm_algebra::typecheck;
+use perm_types::{Column, DataType, PermError, Result, Schema};
+
+use crate::parallel::pool_parallelism;
+use crate::physical::PhysicalPlan;
+
+fn violation(pass: &str, invariant: &str, path: &str, detail: impl std::fmt::Display) -> PermError {
+    PermError::Plan(format!(
+        "plan verifier [{pass}]: {invariant} violated at {path}: {detail}"
+    ))
+}
+
+/// Verify a physical plan tree: arity/slot consistency, expression
+/// typing over schemas derived bottom-up, and the parallel-legality
+/// rules. `pass` names the transformation that produced the plan.
+pub fn verify_physical(plan: &PhysicalPlan, pass: &str) -> Result<()> {
+    verify_node(plan, pass, "").map(|_| ())
+}
+
+/// Short operator label for node paths.
+fn label(plan: &PhysicalPlan) -> &'static str {
+    match plan {
+        PhysicalPlan::FusedScanProjectFilter { .. } => "FusedScan",
+        PhysicalPlan::IndexScan { .. } => "IndexScan",
+        PhysicalPlan::Values { .. } => "Values",
+        PhysicalPlan::Project { .. } => "Project",
+        PhysicalPlan::Filter { .. } => "Filter",
+        PhysicalPlan::HashJoin { .. } => "HashJoin",
+        PhysicalPlan::IndexNLJoin { .. } => "IndexNLJoin",
+        PhysicalPlan::NLJoin { .. } => "NLJoin",
+        PhysicalPlan::HashAggregate { .. } => "HashAggregate",
+        PhysicalPlan::HashDistinct { .. } => "HashDistinct",
+        PhysicalPlan::HashSetOp { .. } => "HashSetOp",
+        PhysicalPlan::Sort { .. } => "Sort",
+        PhysicalPlan::Limit { .. } => "Limit",
+    }
+}
+
+fn synthesized(types: Vec<DataType>) -> Schema {
+    Schema::new(
+        types
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| Column::new(format!("c{i}"), ty))
+            .collect(),
+    )
+}
+
+fn boolish(t: DataType) -> bool {
+    matches!(t, DataType::Bool | DataType::Unknown)
+}
+
+fn compatible(a: DataType, b: DataType) -> bool {
+    a == b
+        || matches!(a, DataType::Unknown)
+        || matches!(b, DataType::Unknown)
+        || matches!(
+            (a, b),
+            (DataType::Int, DataType::Float) | (DataType::Float, DataType::Int)
+        )
+}
+
+/// Typecheck `e` against `env`; out-of-range slots are reported as
+/// `slot-bounds`, other failures as `expr-type`.
+fn check_expr(
+    e: &ScalarExpr,
+    env: &Schema,
+    pass: &str,
+    path: &str,
+    what: &str,
+) -> Result<DataType> {
+    match typecheck::expr_type(e, env, &[]) {
+        Ok(ty) => Ok(ty),
+        // The subplan of a correlated sublink is lowered on its own, so
+        // its outer references cannot be resolved here (the executor
+        // supplies the enclosing tuples at run time). Fall back to a
+        // bounds-only check of the depth-0 slots.
+        Err(err) if err.message().contains("outer reference") => {
+            let mut out_of_range = None;
+            e.for_each_column(&mut |i| {
+                if i >= env.len() {
+                    out_of_range = Some(i);
+                }
+            });
+            match out_of_range {
+                Some(i) => Err(violation(
+                    pass,
+                    "slot-bounds",
+                    path,
+                    format!(
+                        "{what} ({e}): slot {i} out of range ({} columns)",
+                        env.len()
+                    ),
+                )),
+                None => Ok(DataType::Unknown),
+            }
+        }
+        Err(err) => {
+            let invariant = if err.message().contains("out of range") {
+                "slot-bounds"
+            } else {
+                "expr-type"
+            };
+            Err(violation(
+                pass,
+                invariant,
+                path,
+                format!("{what} ({e}): {}", err.message()),
+            ))
+        }
+    }
+}
+
+fn check_bool_expr(e: &ScalarExpr, env: &Schema, pass: &str, path: &str, what: &str) -> Result<()> {
+    let ty = check_expr(e, env, pass, path, what)?;
+    if !boolish(ty) {
+        return Err(violation(
+            pass,
+            "expr-type",
+            path,
+            format!("{what} ({e}) has non-boolean type {ty}"),
+        ));
+    }
+    Ok(())
+}
+
+fn check_slots(slots: &[usize], width: usize, pass: &str, path: &str, what: &str) -> Result<()> {
+    for &s in slots {
+        if s >= width {
+            return Err(violation(
+                pass,
+                "slot-bounds",
+                path,
+                format!("{what} slot {s} out of range ({width} columns)"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The parallel-legality rules: a node may only run with `dop > 1` when
+/// the planner proved it safe, and never beyond the worker-pool size.
+fn check_dop(
+    plan: &PhysicalPlan,
+    node_exprs: &[&ScalarExpr],
+    pass: &str,
+    path: &str,
+) -> Result<()> {
+    let dop = plan.dop();
+    if dop == 0 {
+        return Err(violation(pass, "parallel-legality", path, "dop is 0"));
+    }
+    let pool = pool_parallelism();
+    if dop > pool {
+        return Err(violation(
+            pass,
+            "parallel-legality",
+            path,
+            format!("dop {dop} exceeds the worker-pool size {pool}"),
+        ));
+    }
+    if dop > 1 {
+        // Sublink pipelines must stay serial: subquery evaluation runs
+        // through the executor's per-thread caches and outer stack.
+        if node_exprs.iter().any(|e| e.contains_subquery()) {
+            return Err(violation(
+                pass,
+                "parallel-legality",
+                path,
+                format!("dop {dop} on a pipeline containing a sublink (must be serial)"),
+            ));
+        }
+        match plan {
+            PhysicalPlan::HashJoin {
+                kind: JoinType::Full,
+                ..
+            } => {
+                return Err(violation(
+                    pass,
+                    "parallel-legality",
+                    path,
+                    format!("dop {dop} on a FULL hash join (must be serial)"),
+                ));
+            }
+            PhysicalPlan::HashAggregate { aggs, .. } if aggs.iter().any(|a| a.distinct) => {
+                return Err(violation(
+                    pass,
+                    "parallel-legality",
+                    path,
+                    format!("dop {dop} on a DISTINCT aggregate (must be serial)"),
+                ));
+            }
+            PhysicalPlan::HashSetOp {
+                op: perm_algebra::plan::SetOpType::Union,
+                all: true,
+                ..
+            } => {
+                return Err(violation(
+                    pass,
+                    "parallel-legality",
+                    path,
+                    format!("dop {dop} on a UNION ALL append (must be serial)"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Verify one node and return its output schema (types derived bottom-up;
+/// synthetic column names).
+fn verify_node(plan: &PhysicalPlan, pass: &str, path: &str) -> Result<Schema> {
+    let name = label(plan);
+    let path = if path.is_empty() {
+        name.to_string()
+    } else {
+        format!("{path} > {name}")
+    };
+    let path = path.as_str();
+
+    match plan {
+        PhysicalPlan::FusedScanProjectFilter {
+            schema,
+            filter,
+            project,
+            ..
+        } => {
+            let mut exprs: Vec<&ScalarExpr> = Vec::new();
+            if let Some(f) = filter {
+                check_bool_expr(f, schema, pass, path, "fused filter")?;
+                exprs.push(f);
+            }
+            let out = match project {
+                Some(ps) => {
+                    let mut types = Vec::with_capacity(ps.len());
+                    for (i, p) in ps.iter().enumerate() {
+                        types.push(check_expr(
+                            p,
+                            schema,
+                            pass,
+                            path,
+                            &format!("projection {i}"),
+                        )?);
+                        exprs.push(p);
+                    }
+                    synthesized(types)
+                }
+                None => schema.clone(),
+            };
+            check_dop(plan, &exprs, pass, path)?;
+            Ok(out)
+        }
+        PhysicalPlan::IndexScan {
+            schema,
+            column,
+            key,
+            residual,
+            project,
+            ..
+        } => {
+            if *column >= schema.len() {
+                return Err(violation(
+                    pass,
+                    "slot-bounds",
+                    path,
+                    format!(
+                        "index column {column} out of range ({} columns)",
+                        schema.len()
+                    ),
+                ));
+            }
+            let key_ty = key.data_type();
+            let col_ty = schema.column(*column).ty;
+            if !compatible(key_ty, col_ty) {
+                return Err(violation(
+                    pass,
+                    "expr-type",
+                    path,
+                    format!("lookup key {key} has type {key_ty} but the column is {col_ty}"),
+                ));
+            }
+            if let Some(r) = residual {
+                check_bool_expr(r, schema, pass, path, "residual filter")?;
+            }
+            match project {
+                Some(ps) => {
+                    let mut types = Vec::with_capacity(ps.len());
+                    for (i, p) in ps.iter().enumerate() {
+                        types.push(check_expr(
+                            p,
+                            schema,
+                            pass,
+                            path,
+                            &format!("projection {i}"),
+                        )?);
+                    }
+                    Ok(synthesized(types))
+                }
+                None => Ok(schema.clone()),
+            }
+        }
+        PhysicalPlan::Values { rows, arity } => {
+            let empty = Schema::empty();
+            for (r, row) in rows.iter().enumerate() {
+                if row.len() != *arity {
+                    return Err(violation(
+                        pass,
+                        "schema-arity",
+                        path,
+                        format!("row {r} has {} expressions, arity is {arity}", row.len()),
+                    ));
+                }
+                for (c, e) in row.iter().enumerate() {
+                    check_expr(e, &empty, pass, path, &format!("row {r} column {c}"))?;
+                }
+            }
+            Ok(synthesized(vec![DataType::Unknown; *arity]))
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let in_schema = verify_node(input, pass, path)?;
+            let mut refs: Vec<&ScalarExpr> = Vec::with_capacity(exprs.len());
+            let mut types = Vec::with_capacity(exprs.len());
+            for (i, e) in exprs.iter().enumerate() {
+                types.push(check_expr(e, &in_schema, pass, path, &format!("expr {i}"))?);
+                refs.push(e);
+            }
+            check_dop(plan, &refs, pass, path)?;
+            Ok(synthesized(types))
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let in_schema = verify_node(input, pass, path)?;
+            check_bool_expr(predicate, &in_schema, pass, path, "predicate")?;
+            check_dop(plan, &[predicate], pass, path)?;
+            Ok(in_schema)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            kind,
+            keys,
+            residual,
+            nl,
+            nr,
+            out_slots,
+            ..
+        } => {
+            let ls = verify_node(left, pass, path)?;
+            let rs = verify_node(right, pass, path)?;
+            if ls.len() != *nl || rs.len() != *nr {
+                return Err(violation(
+                    pass,
+                    "schema-arity",
+                    path,
+                    format!(
+                        "recorded input arities ({nl}, {nr}) but children produce ({}, {})",
+                        ls.len(),
+                        rs.len()
+                    ),
+                ));
+            }
+            let mut exprs: Vec<&ScalarExpr> = Vec::new();
+            for (i, k) in keys.iter().enumerate() {
+                let lt = check_expr(&k.left, &ls, pass, path, &format!("equi-key {i} (left)"))?;
+                let rt = check_expr(&k.right, &rs, pass, path, &format!("equi-key {i} (right)"))?;
+                if !compatible(lt, rt) {
+                    return Err(violation(
+                        pass,
+                        "expr-type",
+                        path,
+                        format!(
+                            "equi-key {i} compares {} ({lt}) with {} ({rt})",
+                            k.left, k.right
+                        ),
+                    ));
+                }
+                exprs.push(&k.left);
+                exprs.push(&k.right);
+            }
+            let combined = ls.join(&rs);
+            if let Some(r) = residual {
+                check_bool_expr(r, &combined, pass, path, "residual")?;
+                exprs.push(r);
+            }
+            check_dop(plan, &exprs, pass, path)?;
+            let base = if kind.produces_both_sides() {
+                combined
+            } else {
+                ls
+            };
+            finish_join_output(base, out_slots.as_deref(), pass, path)
+        }
+        PhysicalPlan::IndexNLJoin {
+            outer,
+            kind,
+            schema,
+            column,
+            key,
+            inner_filter,
+            inner_project,
+            residual,
+            nl,
+            nr,
+            out_slots,
+            ..
+        } => {
+            let os = verify_node(outer, pass, path)?;
+            if os.len() != *nl {
+                return Err(violation(
+                    pass,
+                    "schema-arity",
+                    path,
+                    format!(
+                        "recorded outer arity {nl} but the outer child produces {}",
+                        os.len()
+                    ),
+                ));
+            }
+            if matches!(kind, JoinType::Full) {
+                return Err(violation(
+                    pass,
+                    "schema-consistency",
+                    path,
+                    "index nested-loop join cannot implement a FULL join",
+                ));
+            }
+            if *column >= schema.len() {
+                return Err(violation(
+                    pass,
+                    "slot-bounds",
+                    path,
+                    format!(
+                        "index column {column} out of range ({} columns)",
+                        schema.len()
+                    ),
+                ));
+            }
+            let mut exprs: Vec<&ScalarExpr> = vec![key];
+            check_expr(key, &os, pass, path, "probe key")?;
+            if let Some(f) = inner_filter {
+                check_bool_expr(f, schema, pass, path, "inner filter")?;
+                exprs.push(f);
+            }
+            let inner_out = match inner_project {
+                Some(slots) => {
+                    check_slots(slots, schema.len(), pass, path, "inner projection")?;
+                    schema.project(slots)
+                }
+                None => schema.clone(),
+            };
+            if inner_out.len() != *nr {
+                return Err(violation(
+                    pass,
+                    "schema-arity",
+                    path,
+                    format!(
+                        "recorded inner arity {nr} but the inner side produces {}",
+                        inner_out.len()
+                    ),
+                ));
+            }
+            let combined = os.join(&inner_out);
+            if let Some(r) = residual {
+                check_bool_expr(r, &combined, pass, path, "residual")?;
+                exprs.push(r);
+            }
+            check_dop(plan, &exprs, pass, path)?;
+            let base = if kind.produces_both_sides() {
+                combined
+            } else {
+                os
+            };
+            finish_join_output(base, out_slots.as_deref(), pass, path)
+        }
+        PhysicalPlan::NLJoin {
+            left,
+            right,
+            kind,
+            condition,
+            nl,
+            nr,
+            out_slots,
+            ..
+        } => {
+            let ls = verify_node(left, pass, path)?;
+            let rs = verify_node(right, pass, path)?;
+            if ls.len() != *nl || rs.len() != *nr {
+                return Err(violation(
+                    pass,
+                    "schema-arity",
+                    path,
+                    format!(
+                        "recorded input arities ({nl}, {nr}) but children produce ({}, {})",
+                        ls.len(),
+                        rs.len()
+                    ),
+                ));
+            }
+            if condition.is_none() && !matches!(kind, JoinType::Cross) {
+                return Err(violation(
+                    pass,
+                    "schema-consistency",
+                    path,
+                    format!("{} nested-loop join has no condition", kind.name()),
+                ));
+            }
+            let combined = ls.join(&rs);
+            if let Some(c) = condition {
+                check_bool_expr(c, &combined, pass, path, "condition")?;
+            }
+            let base = if kind.produces_both_sides() {
+                combined
+            } else {
+                ls
+            };
+            finish_join_output(base, out_slots.as_deref(), pass, path)
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let in_schema = verify_node(input, pass, path)?;
+            let mut exprs: Vec<&ScalarExpr> = Vec::new();
+            let mut types = Vec::with_capacity(group_by.len() + aggs.len());
+            for (i, g) in group_by.iter().enumerate() {
+                types.push(check_expr(
+                    g,
+                    &in_schema,
+                    pass,
+                    path,
+                    &format!("group key {i}"),
+                )?);
+                exprs.push(g);
+            }
+            for (j, call) in aggs.iter().enumerate() {
+                let ty = typecheck::agg_type(call, &in_schema, &[]).map_err(|err| {
+                    let invariant = if err.message().contains("out of range") {
+                        "slot-bounds"
+                    } else {
+                        "expr-type"
+                    };
+                    violation(
+                        pass,
+                        invariant,
+                        path,
+                        format!("aggregate {j} ({call}): {}", err.message()),
+                    )
+                })?;
+                types.push(ty);
+                if let Some(arg) = &call.arg {
+                    exprs.push(arg);
+                }
+            }
+            check_dop(plan, &exprs, pass, path)?;
+            Ok(synthesized(types))
+        }
+        PhysicalPlan::HashDistinct { input, .. } => {
+            let in_schema = verify_node(input, pass, path)?;
+            check_dop(plan, &[], pass, path)?;
+            Ok(in_schema)
+        }
+        PhysicalPlan::HashSetOp { left, right, .. } => {
+            let ls = verify_node(left, pass, path)?;
+            let rs = verify_node(right, pass, path)?;
+            if ls.len() != rs.len() {
+                return Err(violation(
+                    pass,
+                    "setop-arity",
+                    path,
+                    format!("sides have {} and {} columns", ls.len(), rs.len()),
+                ));
+            }
+            check_dop(plan, &[], pass, path)?;
+            Ok(ls)
+        }
+        PhysicalPlan::Sort { input, keys, .. } => {
+            let in_schema = verify_node(input, pass, path)?;
+            let mut exprs: Vec<&ScalarExpr> = Vec::with_capacity(keys.len());
+            for (i, k) in keys.iter().enumerate() {
+                check_expr(&k.expr, &in_schema, pass, path, &format!("sort key {i}"))?;
+                exprs.push(&k.expr);
+            }
+            check_dop(plan, &exprs, pass, path)?;
+            Ok(in_schema)
+        }
+        PhysicalPlan::Limit { input, .. } => verify_node(input, pass, path),
+    }
+}
+
+/// Bounds-check a fused `out_slots` projection and apply it to the join's
+/// base output schema.
+fn finish_join_output(
+    base: Schema,
+    out_slots: Option<&[usize]>,
+    pass: &str,
+    path: &str,
+) -> Result<Schema> {
+    match out_slots {
+        Some(slots) => {
+            check_slots(slots, base.len(), pass, path, "fused output projection")?;
+            Ok(base.project(slots))
+        }
+        None => Ok(base),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::expr::{AggCall, AggFunc, BinOp};
+    use perm_algebra::plan::SetOpType;
+    use perm_types::Value;
+
+    fn scan(dop: usize) -> PhysicalPlan {
+        PhysicalPlan::FusedScanProjectFilter {
+            table: "t".into(),
+            schema: Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Text),
+            ]),
+            filter: None,
+            project: None,
+            est_rows: 100.0,
+            dop,
+        }
+    }
+
+    #[test]
+    fn well_formed_physical_plan_passes() {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan(1)),
+            predicate: ScalarExpr::binary(
+                BinOp::Gt,
+                ScalarExpr::Column(0),
+                ScalarExpr::Literal(Value::Int(3)),
+            ),
+        };
+        verify_physical(&plan, "physical-planning").unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_projection_slot_is_caught() {
+        let plan = PhysicalPlan::Project {
+            input: Box::new(scan(1)),
+            exprs: vec![ScalarExpr::Column(5)],
+        };
+        let err = verify_physical(&plan, "physical-planning").unwrap_err();
+        assert!(err.message().contains("slot-bounds"), "{err}");
+        assert!(err.message().contains("[physical-planning]"), "{err}");
+        assert!(err.message().contains("Project"), "{err}");
+    }
+
+    #[test]
+    fn dop_zero_and_oversized_dop_are_illegal() {
+        let err = verify_physical(&scan(0), "parallelization").unwrap_err();
+        assert!(err.message().contains("parallel-legality"), "{err}");
+        let err = verify_physical(&scan(10_000), "parallelization").unwrap_err();
+        assert!(err.message().contains("worker-pool size"), "{err}");
+    }
+
+    #[test]
+    fn full_hash_join_must_be_serial() {
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan(1)),
+            right: Box::new(scan(1)),
+            kind: JoinType::Full,
+            keys: vec![crate::physical::EquiKey {
+                left: ScalarExpr::Column(0),
+                right: ScalarExpr::Column(0),
+                null_safe: false,
+            }],
+            residual: None,
+            build_side: crate::physical::BuildSide::Right,
+            nl: 2,
+            nr: 2,
+            out_slots: None,
+            est_rows: 100.0,
+            dop: 2,
+        };
+        let err = verify_physical(&plan, "parallelization").unwrap_err();
+        assert!(err.message().contains("FULL hash join"), "{err}");
+    }
+
+    #[test]
+    fn distinct_aggregate_must_be_serial() {
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(scan(1)),
+            group_by: vec![ScalarExpr::Column(0)],
+            aggs: vec![AggCall {
+                func: AggFunc::Count,
+                arg: Some(ScalarExpr::Column(1)),
+                distinct: true,
+            }],
+            dop: 2,
+        };
+        let err = verify_physical(&plan, "parallelization").unwrap_err();
+        assert!(err.message().contains("DISTINCT aggregate"), "{err}");
+    }
+
+    #[test]
+    fn union_all_append_must_be_serial() {
+        let plan = PhysicalPlan::HashSetOp {
+            op: SetOpType::Union,
+            all: true,
+            left: Box::new(scan(1)),
+            right: Box::new(scan(1)),
+            dop: 2,
+        };
+        let err = verify_physical(&plan, "parallelization").unwrap_err();
+        assert!(err.message().contains("UNION ALL"), "{err}");
+    }
+
+    #[test]
+    fn join_arity_mismatch_is_caught() {
+        let plan = PhysicalPlan::NLJoin {
+            left: Box::new(scan(1)),
+            right: Box::new(scan(1)),
+            kind: JoinType::Cross,
+            condition: None,
+            nl: 2,
+            nr: 3, // child produces 2
+            out_slots: None,
+            est_rows: 100.0,
+        };
+        let err = verify_physical(&plan, "physical-planning").unwrap_err();
+        assert!(err.message().contains("schema-arity"), "{err}");
+    }
+
+    #[test]
+    fn setop_arity_mismatch_is_caught() {
+        let narrow = PhysicalPlan::Project {
+            input: Box::new(scan(1)),
+            exprs: vec![ScalarExpr::Column(0)],
+        };
+        let plan = PhysicalPlan::HashSetOp {
+            op: SetOpType::Intersect,
+            all: false,
+            left: Box::new(scan(1)),
+            right: Box::new(narrow),
+            dop: 1,
+        };
+        let err = verify_physical(&plan, "physical-planning").unwrap_err();
+        assert!(err.message().contains("setop-arity"), "{err}");
+    }
+}

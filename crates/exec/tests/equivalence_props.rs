@@ -27,7 +27,7 @@ use proptest::prelude::*;
 use perm_algebra::expr::{AggCall, AggFunc, BinOp, ScalarExpr, ScalarFunc, UnOp};
 use perm_algebra::plan::{JoinType, LogicalPlan};
 use perm_exec::eval::{eval, Env};
-use perm_exec::{optimize_with, CatalogStats, CompiledExpr, Executor};
+use perm_exec::{optimize_verified, CatalogStats, CompiledExpr, Executor};
 use perm_storage::{Catalog, Table};
 use perm_types::{Column, DataType, Schema, Tuple, Value};
 
@@ -438,7 +438,17 @@ proptest! {
 
         let cat = Arc::new(cat);
         let reference = Executor::new_nested_loop_only(Arc::clone(&cat)).run(&plan);
-        let optimized_plan = optimize_with(plan.clone(), &CatalogStats(&cat));
+        // The static verifier re-checks every optimizer phase on the way
+        // (schema preservation, slot bounds, typing) and rejects the plan
+        // with the responsible pass named.
+        let optimized_plan = match optimize_verified(plan.clone(), &CatalogStats(&cat)) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("verifier: {e}"))),
+        };
+        // The cost-based lowering must satisfy the physical invariants too.
+        if let Err(e) = perm_exec::PhysicalPlanner::new(&cat).plan_verified(&optimized_plan) {
+            return Err(TestCaseError::fail(format!("physical verifier: {e}")));
+        }
         let optimized = Executor::new(Arc::clone(&cat)).run(&optimized_plan);
         match (reference, optimized) {
             (Ok(a), Ok(b)) => prop_assert_eq!(
@@ -496,7 +506,19 @@ proptest! {
         }
 
         let cat = Arc::new(cat);
-        let optimized = optimize_with(plan, &CatalogStats(&cat));
+        let optimized = match optimize_verified(plan, &CatalogStats(&cat)) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("verifier: {e}"))),
+        };
+        // Verify the *parallelized* lowering (forced DOP, threshold 1):
+        // dop bounds, serial-only operators, sublink pipelines.
+        if let Err(e) = perm_exec::PhysicalPlanner::new(&cat)
+            .max_parallelism(3)
+            .parallel_threshold(1)
+            .plan_verified(&optimized)
+        {
+            return Err(TestCaseError::fail(format!("parallel verifier: {e}")));
+        }
         let serial = Executor::new(Arc::clone(&cat))
             .with_parallelism(1, 2)
             .run(&optimized);
@@ -532,6 +554,11 @@ proptest! {
         cat.create_table(int_table("t1", ["a", "b"], &case.t1_rows)).unwrap();
         cat.create_table(int_table("t2", ["c", "d"], &case.t2_rows)).unwrap();
         let plan = build_plan(&case, &cat);
+        // Every generated plan must satisfy the logical invariants before
+        // it is meaningful to compare executors on it.
+        if let Err(e) = perm_algebra::verify::verify_logical(&plan, "binding") {
+            return Err(TestCaseError::fail(format!("generator produced an invalid plan: {e}")));
+        }
 
         let cat = Arc::new(cat);
         let hash = Executor::new(Arc::clone(&cat)).run(&plan);

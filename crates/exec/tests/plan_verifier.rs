@@ -1,0 +1,403 @@
+//! Negative-test corpus for the static plan verifier.
+//!
+//! Each test hand-corrupts a plan the way a buggy optimizer,
+//! parallelizer or provenance-rewrite pass would, and asserts that the
+//! verifier rejects it with an error naming BOTH the violated invariant
+//! and the responsible pass — the contract that makes a verifier failure
+//! actionable ("column-pruning dropped a referenced slot") instead of a
+//! generic "bad plan".
+//!
+//! The corpus spans both verifier layers:
+//! * logical ([`perm_algebra::verify`]): slot bounds, expression typing,
+//!   schema arity/preservation, join conditions, the provenance-rewrite
+//!   contract;
+//! * physical ([`perm_exec::verify_physical`]): operator arity plumbing
+//!   and the parallel-legality rules of the morsel runtime (sublink
+//!   pipelines, FULL joins, DISTINCT aggregates and UNION ALL appends
+//!   must be serial; dop is bounded by the worker pool).
+
+use perm_algebra::expr::{AggCall, AggFunc, ScalarExpr, SubqueryExpr, SubqueryKind};
+use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType};
+use perm_algebra::verify::{verify_logical, verify_provenance_schema, verify_schema_preserved};
+use perm_exec::physical::{BuildSide, EquiKey, PhysicalPlan};
+use perm_exec::verify_physical;
+use perm_types::{Column, DataType, Schema, Value};
+
+fn two_col_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("a", DataType::Int),
+        Column::new("b", DataType::Text),
+    ])
+}
+
+fn scan() -> LogicalPlan {
+    LogicalPlan::Scan {
+        table: "t".into(),
+        schema: two_col_schema(),
+        provenance_cols: vec![],
+    }
+}
+
+/// A one-column literal input for physical operators under test.
+fn values(n: usize) -> Box<PhysicalPlan> {
+    Box::new(PhysicalPlan::Values {
+        rows: vec![vec![ScalarExpr::Literal(Value::Int(1)); n]],
+        arity: n,
+    })
+}
+
+fn exists_sublink() -> ScalarExpr {
+    ScalarExpr::Subquery(SubqueryExpr {
+        kind: SubqueryKind::Exists,
+        plan: Box::new(LogicalPlan::Values {
+            rows: vec![vec![ScalarExpr::Literal(Value::Int(1))]],
+            schema: Schema::new(vec![Column::new("v", DataType::Int)]),
+        }),
+        negated: false,
+        operand: None,
+        correlated: false,
+    })
+}
+
+/// Assert the error names the invariant, the responsible pass, and comes
+/// from the verifier (uniform message shape).
+fn assert_names(err: &perm_types::PermError, invariant: &str, pass: &str) {
+    let msg = err.message().to_string();
+    assert!(msg.contains("plan verifier"), "not a verifier error: {msg}");
+    assert!(
+        msg.contains(invariant),
+        "missing invariant '{invariant}': {msg}"
+    );
+    assert!(
+        msg.contains(&format!("[{pass}]")),
+        "missing pass '{pass}': {msg}"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Logical corruptions
+// ----------------------------------------------------------------------
+
+#[test]
+fn dropped_column_is_schema_preservation_violation() {
+    // "Column pruning" that silently drops an output column.
+    let before = two_col_schema();
+    let pruned = LogicalPlan::project_positions(scan(), &[0]);
+    let err = verify_schema_preserved(&before, &pruned, "column-pruning").unwrap_err();
+    assert_names(&err, "schema-preservation", "column-pruning");
+}
+
+#[test]
+fn out_of_bounds_slot_is_slot_bounds_violation() {
+    // A projection referencing slot 5 of a two-column input — the shape a
+    // pruning bug produces when it renumbers slots but misses a use.
+    let plan = LogicalPlan::Project {
+        input: Box::new(scan()),
+        exprs: vec![ScalarExpr::Column(5)],
+        schema: Schema::new(vec![Column::new("x", DataType::Int)]),
+    };
+    let err = verify_logical(&plan, "column-pruning").unwrap_err();
+    assert_names(&err, "slot-bounds", "column-pruning");
+}
+
+#[test]
+fn project_arity_mismatch_is_schema_arity_violation() {
+    let plan = LogicalPlan::Project {
+        input: Box::new(scan()),
+        exprs: vec![ScalarExpr::Column(0)],
+        schema: two_col_schema(), // two columns recorded, one produced
+    };
+    let err = verify_logical(&plan, "rule-rewrites").unwrap_err();
+    assert_names(&err, "schema-arity", "rule-rewrites");
+}
+
+#[test]
+fn non_boolean_filter_is_expr_type_violation() {
+    let plan = LogicalPlan::Filter {
+        input: Box::new(scan()),
+        predicate: ScalarExpr::Literal(Value::Int(7)),
+    };
+    let err = verify_logical(&plan, "rule-rewrites").unwrap_err();
+    assert_names(&err, "expr-type", "rule-rewrites");
+}
+
+#[test]
+fn inner_join_without_condition_is_join_condition_violation() {
+    // The `join()` builder refuses this; a broken reordering pass that
+    // drops a condition while re-bracketing would construct it directly.
+    let plan = LogicalPlan::Join {
+        left: Box::new(scan()),
+        right: Box::new(scan()),
+        kind: JoinType::Inner,
+        condition: None,
+        schema: two_col_schema().join(&two_col_schema()),
+    };
+    let err = verify_logical(&plan, "join-reordering").unwrap_err();
+    assert_names(&err, "join-condition", "join-reordering");
+}
+
+#[test]
+fn join_schema_drift_is_schema_consistency_violation() {
+    // Join node whose recorded schema does not match its children —
+    // reordering swapped inputs without rebuilding the schema.
+    let plan = LogicalPlan::Join {
+        left: Box::new(scan()),
+        right: Box::new(scan()),
+        kind: JoinType::Inner,
+        condition: Some(ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Column(2))),
+        schema: two_col_schema(), // half the width
+    };
+    let err = verify_logical(&plan, "join-reordering").unwrap_err();
+    assert_names(&err, "schema-consistency", "join-reordering");
+}
+
+// ----------------------------------------------------------------------
+// Provenance-rewrite contract corruptions
+// ----------------------------------------------------------------------
+
+#[test]
+fn provenance_columns_not_trailing_is_rejected() {
+    let original = Schema::new(vec![Column::new("a", DataType::Int)]);
+    let rewritten = LogicalPlan::Scan {
+        table: "t".into(),
+        schema: Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("prov_public_t_a", DataType::Int),
+        ]),
+        provenance_cols: vec![],
+    };
+    // Provenance attribute claimed at position 0: interleaved, not
+    // appended.
+    let err =
+        verify_provenance_schema(&original, &rewritten, &[0], "provenance-rewrite").unwrap_err();
+    assert_names(&err, "provenance-schema", "provenance-rewrite");
+}
+
+#[test]
+fn provenance_rewrite_that_renames_originals_is_rejected() {
+    let original = Schema::new(vec![Column::new("a", DataType::Int)]);
+    let rewritten = LogicalPlan::Scan {
+        table: "t".into(),
+        schema: Schema::new(vec![
+            Column::new("renamed", DataType::Int), // original lost its name
+            Column::new("prov_public_t_a", DataType::Int),
+        ]),
+        provenance_cols: vec![],
+    };
+    let err =
+        verify_provenance_schema(&original, &rewritten, &[1], "provenance-rewrite").unwrap_err();
+    assert_names(&err, "provenance-schema", "provenance-rewrite");
+}
+
+#[test]
+fn provenance_rewrite_with_wrong_arity_is_rejected() {
+    let original = two_col_schema();
+    // Rewrite "lost" one provenance column: schema is original ++ 1 but
+    // two provenance positions are claimed.
+    let rewritten = LogicalPlan::Scan {
+        table: "t".into(),
+        schema: Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Text),
+            Column::new("prov_public_t_a", DataType::Int),
+        ]),
+        provenance_cols: vec![],
+    };
+    let err =
+        verify_provenance_schema(&original, &rewritten, &[2, 3], "provenance-rewrite").unwrap_err();
+    assert_names(&err, "provenance-schema", "provenance-rewrite");
+}
+
+#[test]
+fn misnamed_provenance_column_is_naming_violation() {
+    let original = Schema::new(vec![Column::new("a", DataType::Int)]);
+    let rewritten = LogicalPlan::Scan {
+        table: "t".into(),
+        schema: Schema::new(vec![
+            Column::new("a", DataType::Int),
+            // Neither prov_-prefixed, nor qualified, nor nullable-external.
+            Column::new("mystery", DataType::Int).not_null(),
+        ]),
+        provenance_cols: vec![],
+    };
+    let err =
+        verify_provenance_schema(&original, &rewritten, &[1], "provenance-rewrite").unwrap_err();
+    assert_names(&err, "provenance-naming", "provenance-rewrite");
+}
+
+// ----------------------------------------------------------------------
+// Physical / parallel-legality corruptions
+// ----------------------------------------------------------------------
+
+#[test]
+fn physical_out_of_bounds_projection_slot() {
+    let plan = PhysicalPlan::Project {
+        input: values(2),
+        exprs: vec![ScalarExpr::Column(7)],
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "slot-bounds", "physical-planning");
+}
+
+#[test]
+fn parallel_scan_over_sublink_pipeline_is_illegal() {
+    // PR 5 rule: pipelines evaluating sublinks run serial (the sublink
+    // cache is per-executor). A dop > 1 here is a parallelizer bug.
+    let plan = PhysicalPlan::FusedScanProjectFilter {
+        table: "t".into(),
+        schema: two_col_schema(),
+        filter: Some(exists_sublink()),
+        project: None,
+        est_rows: 1e6,
+        dop: 2,
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "parallel-legality", "physical-planning");
+    assert!(err.message().contains("sublink"), "{err}");
+}
+
+#[test]
+fn parallel_full_join_is_illegal() {
+    let plan = PhysicalPlan::HashJoin {
+        left: values(1),
+        right: values(1),
+        kind: JoinType::Full,
+        keys: vec![EquiKey {
+            left: ScalarExpr::Column(0),
+            right: ScalarExpr::Column(0),
+            null_safe: false,
+        }],
+        residual: None,
+        build_side: BuildSide::Right,
+        nl: 1,
+        nr: 1,
+        out_slots: None,
+        est_rows: 1.0,
+        dop: 2,
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "parallel-legality", "physical-planning");
+    assert!(err.message().contains("FULL"), "{err}");
+}
+
+#[test]
+fn parallel_distinct_aggregate_is_illegal() {
+    let plan = PhysicalPlan::HashAggregate {
+        input: values(1),
+        group_by: vec![],
+        aggs: vec![AggCall {
+            func: AggFunc::Count,
+            arg: Some(ScalarExpr::Column(0)),
+            distinct: true,
+        }],
+        dop: 2,
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "parallel-legality", "physical-planning");
+    assert!(err.message().contains("DISTINCT"), "{err}");
+}
+
+#[test]
+fn parallel_union_all_append_is_illegal() {
+    let plan = PhysicalPlan::HashSetOp {
+        op: SetOpType::Union,
+        all: true,
+        left: values(1),
+        right: values(1),
+        dop: 2,
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "parallel-legality", "physical-planning");
+}
+
+#[test]
+fn dop_beyond_worker_pool_is_illegal() {
+    let plan = PhysicalPlan::FusedScanProjectFilter {
+        table: "t".into(),
+        schema: two_col_schema(),
+        filter: None,
+        project: None,
+        est_rows: 1e6,
+        dop: 10_000,
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "parallel-legality", "physical-planning");
+}
+
+#[test]
+fn hash_setop_arity_mismatch_is_rejected() {
+    let plan = PhysicalPlan::HashSetOp {
+        op: SetOpType::Except,
+        all: false,
+        left: values(1),
+        right: values(2), // different width
+        dop: 1,
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "setop-arity", "physical-planning");
+}
+
+#[test]
+fn hash_join_child_width_mismatch_is_rejected() {
+    let plan = PhysicalPlan::HashJoin {
+        left: values(1),
+        right: values(1),
+        kind: JoinType::Inner,
+        keys: vec![EquiKey {
+            left: ScalarExpr::Column(0),
+            right: ScalarExpr::Column(0),
+            null_safe: false,
+        }],
+        residual: None,
+        build_side: BuildSide::Right,
+        nl: 3, // claimed left arity does not match the child
+        nr: 1,
+        out_slots: None,
+        est_rows: 1.0,
+        dop: 1,
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "schema-arity", "physical-planning");
+}
+
+// ----------------------------------------------------------------------
+// Sanity: well-formed plans pass both layers, and errors carry node paths
+// ----------------------------------------------------------------------
+
+#[test]
+fn well_formed_plans_verify_clean() {
+    let logical = LogicalPlan::Filter {
+        input: Box::new(scan()),
+        predicate: ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Literal(Value::Int(1))),
+    };
+    verify_logical(&logical, "rule-rewrites").unwrap();
+
+    let physical = PhysicalPlan::FusedScanProjectFilter {
+        table: "t".into(),
+        schema: two_col_schema(),
+        filter: Some(ScalarExpr::eq(
+            ScalarExpr::Column(0),
+            ScalarExpr::Literal(Value::Int(1)),
+        )),
+        project: Some(vec![ScalarExpr::Column(1)]),
+        est_rows: 10.0,
+        dop: 1,
+    };
+    verify_physical(&physical, "physical-planning").unwrap();
+}
+
+#[test]
+fn violations_name_the_node_path() {
+    // The failing node is two levels deep; the error must spell the path
+    // from the root so the offending operator is findable in a big plan.
+    let plan = PhysicalPlan::HashDistinct {
+        input: Box::new(PhysicalPlan::Project {
+            input: values(2),
+            exprs: vec![ScalarExpr::Column(9)],
+        }),
+        dop: 1,
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    let msg = err.message().to_string();
+    assert!(msg.contains("HashDistinct > Project"), "{msg}");
+}

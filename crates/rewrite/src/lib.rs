@@ -27,6 +27,8 @@
 //! * **Nested subqueries**: uncorrelated `[NOT] IN` / `[NOT] EXISTS`
 //!   sublinks ([`sublink`]).
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod copy;
 pub mod cost;

@@ -42,10 +42,15 @@ pub enum Statement {
         name: String,
         if_exists: bool,
     },
-    /// `EXPLAIN [VERBOSE] query` — show the physical execution plan
-    /// instead of rows (`VERBOSE` adds the optimized logical tree with
-    /// schema annotations).
-    Explain { query: Query, verbose: bool },
+    /// `EXPLAIN [VERIFY] [VERBOSE] query` — show the physical execution
+    /// plan instead of rows (`VERBOSE` adds the optimized logical tree
+    /// with schema annotations; `VERIFY` runs the static plan verifier
+    /// after every optimizer phase and reports each check).
+    Explain {
+        query: Query,
+        verbose: bool,
+        verify: bool,
+    },
 }
 
 /// The kind of catalog object a `DROP` refers to.

@@ -292,6 +292,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
+    // Diagnostic accessor kept for error-reporting call sites and tests.
     #[allow(dead_code)]
     fn src(&self) -> &str {
         self.src

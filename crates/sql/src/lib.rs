@@ -17,6 +17,8 @@
 //! information, but also query provenance information, store it as a view,
 //! etc.").
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod parser;

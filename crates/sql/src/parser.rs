@@ -244,10 +244,12 @@ impl Parser {
             return self.parse_update();
         }
         if self.eat_keyword("explain") {
+            let verify = self.eat_keyword("verify");
             let verbose = self.eat_keyword("verbose");
             return Ok(Statement::Explain {
                 query: self.parse_query()?,
                 verbose,
+                verify,
             });
         }
         Ok(Statement::Query(self.parse_query()?))

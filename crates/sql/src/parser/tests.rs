@@ -720,11 +720,45 @@ fn drop_table_if_exists() {
 fn explain_statement() {
     assert!(matches!(
         parse_ok("EXPLAIN SELECT PROVENANCE * FROM t"),
-        Statement::Explain { verbose: false, .. }
+        Statement::Explain {
+            verbose: false,
+            verify: false,
+            ..
+        }
     ));
     assert!(matches!(
         parse_ok("EXPLAIN VERBOSE SELECT * FROM t"),
-        Statement::Explain { verbose: true, .. }
+        Statement::Explain {
+            verbose: true,
+            verify: false,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn explain_verify_statement() {
+    assert!(matches!(
+        parse_ok("EXPLAIN VERIFY SELECT * FROM t"),
+        Statement::Explain {
+            verbose: false,
+            verify: true,
+            ..
+        }
+    ));
+    // VERIFY must precede VERBOSE, like PostgreSQL option order.
+    assert!(matches!(
+        parse_ok("EXPLAIN VERIFY VERBOSE SELECT PROVENANCE * FROM t"),
+        Statement::Explain {
+            verbose: true,
+            verify: true,
+            ..
+        }
+    ));
+    // `verify` is not reserved: still fine as an identifier.
+    assert!(matches!(
+        parse_ok("SELECT verify FROM t"),
+        Statement::Query(_)
     ));
 }
 

@@ -21,6 +21,8 @@
 //! and execute lock-free against immutable snapshots while writers apply
 //! DDL/DML through a write guard.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod index;
 pub mod shared;

@@ -1,0 +1,533 @@
+//! `cargo run -p xtask -- lint` — in-tree static source lints.
+//!
+//! Line-oriented checks over `crates/**/*.rs` that encode the engine's
+//! concurrency and hot-path discipline (the rules a reviewer would
+//! otherwise enforce by hand):
+//!
+//! 1. **No `.unwrap()`** in non-test code of executor/operator hot-path
+//!    files — a panic inside the per-row loop takes the whole worker pool
+//!    down; hot paths must return `Result` or justify with `.expect`.
+//! 2. **`.expect(` in hot-path files needs an `// INVARIANT:` comment**
+//!    (same or preceding line) stating why the failure is impossible.
+//! 3. **No thread spawns outside `parallel.rs` / `stream.rs`** — every
+//!    worker thread must go through the morsel pool or the stream
+//!    prefetcher so shutdown and panic propagation stay centralized.
+//! 4. **No `Rc` in Send-exposed crates** (`types`, `storage`, `exec`,
+//!    `core`) — their types cross threads; a stray `Rc` makes a struct
+//!    silently `!Send` far from where it is embedded.
+//! 5. **Every `unsafe` needs a `// SAFETY:` comment** on the same or the
+//!    directly preceding line.
+//! 6. **`#[allow(dead_code)]` needs a justification comment** on the same
+//!    or the directly preceding line.
+//!
+//! Test code (files under a `tests` directory, `*/tests.rs`, and
+//! `#[cfg(test)]` modules, tracked by brace depth) is exempt from rules
+//! 1–3: tests may unwrap and spawn freely.
+//!
+//! Deliberately `std`-only and line-based: the handful of false-positive
+//! shapes a real parser would handle (braces in string literals are
+//! already accounted for) do not occur in this tree, and the lint must
+//! build from a cold cache in seconds.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files whose per-row loops are the engine's hot path (rules 1–2).
+const HOT_PATHS: &[&str] = &[
+    "crates/exec/src/executor.rs",
+    "crates/exec/src/eval.rs",
+    "crates/exec/src/compile.rs",
+    "crates/exec/src/operators/",
+];
+
+/// The only modules allowed to start worker threads (rule 3).
+const SPAWN_ALLOWED: &[&str] = &["crates/exec/src/parallel.rs", "crates/exec/src/stream.rs"];
+
+/// Crates whose types are exposed across threads (rule 4).
+const SEND_EXPOSED: &[&str] = &[
+    "crates/types/",
+    "crates/storage/",
+    "crates/exec/",
+    "crates/core/",
+];
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.get(1).map(String::as_str)),
+        Some(other) => {
+            eprintln!("unknown task '{other}'; available tasks: lint [root]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [root]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(root: Option<&str>) -> ExitCode {
+    let root = root.map(PathBuf::from).unwrap_or_else(workspace_root);
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    collect_rs_files(&crates, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!("xtask lint: no .rs files under {}", crates.display());
+        return ExitCode::FAILURE;
+    }
+    let mut findings = Vec::new();
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        lint_file(&rel, &source, &mut findings);
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("xtask lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: this file is compiled in-tree, so the manifest dir
+/// of the `xtask` package is `<root>/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// A whole file that only contains test code (integration tests, in-tree
+/// `tests.rs` modules): exempt from the hot-path and spawn rules.
+fn is_test_file(rel: &str) -> bool {
+    rel.contains("/tests/") || rel.ends_with("/tests.rs") || rel.ends_with("/benches.rs")
+}
+
+fn matches_any(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes
+        .iter()
+        .any(|p| rel == *p || (p.ends_with('/') && rel.starts_with(p)) || rel.starts_with(p))
+}
+
+fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+    let test_file = is_test_file(rel);
+    let hot = matches_any(rel, HOT_PATHS);
+    let spawn_ok = matches_any(rel, SPAWN_ALLOWED);
+    let send_exposed = matches_any(rel, SEND_EXPOSED);
+
+    let lines: Vec<&str> = source.lines().collect();
+    // `#[cfg(test)]` module tracking: once the attribute's item opens a
+    // brace, everything until the matching close is test code.
+    let mut depth: i32 = 0;
+    let mut cfg_test_pending = false;
+    let mut test_mod_depth: Option<i32> = None;
+
+    for (idx, &raw) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = strip_comments_and_strings(raw);
+
+        // `#[cfg(test)]` tracking first, so a single-line test module
+        // (`mod t { ... }`) is already exempt on its own line.
+        if code.contains("#[cfg(test)]") {
+            cfg_test_pending = true;
+        }
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+        if cfg_test_pending && opens > 0 {
+            if test_mod_depth.is_none() {
+                test_mod_depth = Some(depth);
+            }
+            cfg_test_pending = false;
+        } else if cfg_test_pending && code.trim_end().ends_with(';') {
+            // `#[cfg(test)]` on a braceless item (use, macro call).
+            cfg_test_pending = false;
+        }
+        let in_test = test_file || test_mod_depth.is_some();
+
+        let mut report = |rule: &'static str, message: String| {
+            findings.push(Finding {
+                file: PathBuf::from(rel),
+                line: lineno,
+                rule,
+                message,
+            });
+        };
+
+        // Rule 5: unsafe needs // SAFETY: on the same or preceding line.
+        if has_word(&code, "unsafe")
+            && !raw.contains("SAFETY:")
+            && !prev_comment_contains(&lines, idx, "SAFETY:")
+        {
+            report(
+                "unsafe-safety-comment",
+                "`unsafe` without a `// SAFETY:` comment on the same or preceding line".into(),
+            );
+        }
+
+        // Rule 6: #[allow(dead_code)] needs a justification comment.
+        if raw.contains("#[allow(dead_code)]")
+            && !raw.contains("//")
+            && !prev_comment_exists(&lines, idx)
+        {
+            report(
+                "dead-code-justification",
+                "`#[allow(dead_code)]` without a justification comment".into(),
+            );
+        }
+
+        // Rule 4: no Rc in Send-exposed crates (test code included — a
+        // test helper type can leak into cross-thread assertions too, and
+        // tests have no use for Rc over Arc here).
+        if send_exposed && has_word(&code, "Rc") {
+            report(
+                "no-rc-in-send-crates",
+                "`Rc` in a crate whose types are exposed across threads; use `Arc`".into(),
+            );
+        }
+
+        if !in_test {
+            // Rule 3: thread spawns only in the sanctioned modules.
+            if !spawn_ok && (code.contains("thread::spawn") || code.contains("thread::Builder")) {
+                report(
+                    "spawn-outside-parallel",
+                    "thread spawn outside parallel.rs/stream.rs; route workers through the \
+                     morsel pool"
+                        .into(),
+                );
+            }
+
+            if hot {
+                // Rule 1: no unwrap on the hot path.
+                if code.contains(".unwrap()") {
+                    report(
+                        "no-unwrap-in-hot-path",
+                        "`.unwrap()` in an executor/operator hot path; return a Result or \
+                         justify with `.expect` + `// INVARIANT:`"
+                            .into(),
+                    );
+                }
+                // Rule 2: expect needs an INVARIANT comment.
+                if code.contains(".expect(")
+                    && !raw.contains("INVARIANT:")
+                    && !prev_comment_contains(&lines, idx, "INVARIANT:")
+                {
+                    report(
+                        "expect-needs-invariant",
+                        "`.expect(` in a hot path without an `// INVARIANT:` comment stating \
+                         why it cannot fail"
+                            .into(),
+                    );
+                }
+            }
+        }
+
+        depth += opens - closes;
+        if let Some(d) = test_mod_depth {
+            if depth <= d {
+                test_mod_depth = None;
+            }
+        }
+    }
+}
+
+/// True when `word` occurs in `code` as a standalone identifier.
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let end = at + word.len();
+        let left_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Does any line in the contiguous comment block directly above `idx`
+/// contain `needle`?
+fn prev_comment_contains(lines: &[&str], idx: usize, needle: &str) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") {
+            if t.contains(needle) {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.is_empty() {
+            // Attributes may sit between the comment and the item.
+            continue;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Is the line directly above `idx` (skipping attributes) a comment?
+fn prev_comment_exists(lines: &[&str], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") {
+            return true;
+        }
+        if t.starts_with("#[") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Blank out line comments, string literals and char literals so that
+/// pattern matches and brace counts only see code. (Block comments are
+/// not used in this tree; `//` handling covers doc comments too.)
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                    out.push(' ');
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => out.push(' '),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            '\'' => {
+                // Char literal (or lifetime — lifetimes have no closing
+                // quote within 3 chars and pass through unchanged).
+                let mut lookahead = chars.clone();
+                let a = lookahead.next();
+                let b = lookahead.next();
+                let c2 = lookahead.next();
+                let is_char_lit = matches!((a, b), (Some('\\'), _) if c2 == Some('\''))
+                    || matches!((a, b), (Some(_), Some('\'')));
+                if is_char_lit {
+                    out.push('\'');
+                    if a == Some('\\') {
+                        chars.next();
+                        chars.next();
+                        chars.next();
+                        out.push_str("  '");
+                    } else {
+                        chars.next();
+                        chars.next();
+                        out.push_str(" '");
+                    }
+                } else {
+                    out.push('\'');
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<String> {
+        let mut findings = Vec::new();
+        lint_file(rel, src, &mut findings);
+        findings.iter().map(|f| f.rule.to_string()).collect()
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_is_flagged() {
+        let rules = run(
+            "crates/exec/src/eval.rs",
+            "fn f() { let x = g().unwrap(); }\n",
+        );
+        assert_eq!(rules, ["no-unwrap-in-hot-path"]);
+    }
+
+    #[test]
+    fn unwrap_outside_hot_path_is_fine() {
+        assert!(run("crates/sql/src/lexer.rs", "fn f() { g().unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_fine() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn t() { g().unwrap(); }\n}\n";
+        assert!(run("crates/exec/src/eval.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n  fn t() { g().unwrap(); }\n}\nfn f() { g().unwrap(); }\n";
+        assert_eq!(
+            run("crates/exec/src/eval.rs", src),
+            ["no-unwrap-in-hot-path"]
+        );
+    }
+
+    #[test]
+    fn expect_requires_invariant_comment() {
+        let bad = "fn f() { g().expect(\"boom\"); }\n";
+        assert_eq!(
+            run("crates/exec/src/operators/join.rs", bad),
+            ["expect-needs-invariant"]
+        );
+        let good = "// INVARIANT: g is Some, checked above.\nfn f() { g().expect(\"boom\"); }\n";
+        assert!(run("crates/exec/src/operators/join.rs", good).is_empty());
+        let inline = "fn f() { g().expect(\"boom\"); } // INVARIANT: checked above\n";
+        assert!(run("crates/exec/src/operators/join.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn spawn_only_in_parallel_and_stream() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            run("crates/exec/src/executor.rs", src),
+            ["spawn-outside-parallel"]
+        );
+        assert!(run("crates/exec/src/parallel.rs", src).is_empty());
+        assert!(run("crates/exec/src/stream.rs", src).is_empty());
+        let builder = "fn f() { thread::Builder::new(); }\n";
+        assert_eq!(
+            run("crates/core/src/server.rs", builder),
+            ["spawn-outside-parallel"]
+        );
+    }
+
+    #[test]
+    fn rc_flagged_only_in_send_exposed_crates() {
+        let src = "use std::rc::Rc;\nfn f() -> Rc<u32> { Rc::new(1) }\n";
+        let rules = run("crates/exec/src/executor.rs", src);
+        assert!(rules.iter().all(|r| r == "no-rc-in-send-crates"));
+        assert_eq!(rules.len(), 2);
+        assert!(run("crates/sql/src/parser.rs", src).is_empty());
+        // Arc must not trip the word match.
+        assert!(run("crates/exec/src/executor.rs", "use std::sync::Arc;\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        assert_eq!(
+            run("crates/types/src/tuple.rs", bad),
+            ["unsafe-safety-comment"]
+        );
+        let good = "// SAFETY: bounds checked by the caller.\nfn f() { unsafe { g() } }\n";
+        assert!(run("crates/types/src/tuple.rs", good).is_empty());
+        // `forbid(unsafe_code)` is not the `unsafe` keyword.
+        assert!(run("crates/sql/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn dead_code_allow_requires_comment() {
+        let bad = "#[allow(dead_code)]\nfn f() {}\n";
+        assert_eq!(
+            run("crates/sql/src/lexer.rs", bad),
+            ["dead-code-justification"]
+        );
+        let good = "/// Kept for the recursive-descent symmetry.\n#[allow(dead_code)]\nfn f() {}\n";
+        assert!(run("crates/sql/src/lexer.rs", good).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "fn f() { let s = \".unwrap()\"; } // .unwrap() in comment\n";
+        assert!(run("crates/exec/src/eval.rs", src).is_empty());
+        let braces =
+            "fn f() { let s = \"{{{\"; }\n#[cfg(test)]\nmod tests { fn t() { g().unwrap(); } }\n";
+        assert!(run("crates/exec/src/eval.rs", braces).is_empty());
+    }
+
+    #[test]
+    fn whole_tree_lints_clean() {
+        // The repository itself must satisfy its own lint rules.
+        let root = workspace_root();
+        let mut files = Vec::new();
+        collect_rs_files(&root.join("crates"), &mut files);
+        assert!(!files.is_empty(), "no crate sources found");
+        let mut findings = Vec::new();
+        for file in &files {
+            let source = std::fs::read_to_string(file).unwrap();
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/");
+            lint_file(&rel, &source, &mut findings);
+        }
+        let report: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        assert!(report.is_empty(), "lint violations:\n{}", report.join("\n"));
+    }
+}
