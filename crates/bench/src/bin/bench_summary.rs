@@ -14,6 +14,11 @@
 //!
 //! The raw format is one `group/name=milliseconds` line per query; the
 //! JSON summary records before/after medians and the speedup factor.
+//!
+//! `--memory-budget BYTES` caps the server-wide execution memory pool
+//! for the run (0 = unbounded), so the spilling paths can be measured
+//! under the same harness. The summary always records the budget and
+//! the pool's observed peak (`memory_budget` / `peak_pool_bytes`).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -37,10 +42,16 @@ fn measure(prepared: &perm_core::Prepared, runs: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn run_workload(runs: usize) -> Vec<(String, f64)> {
+/// Run the hot-path workload under `memory_budget` (0 = unbounded).
+/// Returns the per-query medians plus the pool's peak usage in bytes.
+fn run_workload(runs: usize, memory_budget: usize) -> (Vec<(String, f64)>, usize) {
     let db = hotpath::hotpath_db();
-    let session = db.server().session();
-    hotpath::all_queries()
+    let server = db.server();
+    if memory_budget > 0 {
+        server.set_memory_budget(Some(memory_budget));
+    }
+    let session = server.session();
+    let results = hotpath::all_queries()
         .into_iter()
         .map(|(group, name, sql)| {
             let prepared = session
@@ -50,14 +61,18 @@ fn run_workload(runs: usize) -> Vec<(String, f64)> {
             eprintln!("{group}/{name}: {ms:.3} ms");
             (format!("{group}/{name}"), ms)
         })
-        .collect()
+        .collect();
+    (results, server.memory_pool().peak())
 }
 
 /// The DOP-scaling workload: each query at DOP 1, 2 and 4 over the
 /// larger [`hotpath::PARALLEL_SCALE`] forum. Returns
 /// `(name, [ms at dop 1, 2, 4])` per query.
-fn run_parallel_workload(runs: usize) -> Vec<(String, [f64; 3])> {
+fn run_parallel_workload(runs: usize, memory_budget: usize) -> Vec<(String, [f64; 3])> {
     let db = hotpath::parallel_db();
+    if memory_budget > 0 {
+        db.server().set_memory_budget(Some(memory_budget));
+    }
     hotpath::parallel_scaling_queries()
         .into_iter()
         .map(|(name, sql)| {
@@ -98,18 +113,28 @@ fn validate_summary(
     results: &[(String, f64)],
     before: &BTreeMap<String, f64>,
     parallel: &[(String, [f64; 3])],
+    memory_budget: usize,
+    peak_pool_bytes: usize,
 ) -> Result<(), String> {
     for key in [
         "\"issue\"",
         "\"workload\"",
         "\"unit\"",
         "\"host_parallelism\"",
+        "\"memory_budget\"",
+        "\"peak_pool_bytes\"",
         "\"benches\"",
         "\"parallel_scaling\"",
     ] {
         if !body.contains(key) {
             return Err(format!("summary is missing required key {key}"));
         }
+    }
+    if memory_budget > 0 && peak_pool_bytes > memory_budget {
+        return Err(format!(
+            "pool peak {peak_pool_bytes} exceeds the {memory_budget}-byte budget; \
+             the budget is supposed to be a hard ceiling"
+        ));
     }
     let opens = body.matches('{').count();
     let closes = body.matches('}').count();
@@ -148,6 +173,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut out: Option<String> = None;
     let mut runs = 11usize;
+    let mut memory_budget = 0usize;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--raw" => raw_out = Some(args.next().expect("--raw takes a path")),
@@ -160,11 +186,18 @@ fn main() {
                     .parse()
                     .expect("--runs takes an integer")
             }
+            "--memory-budget" => {
+                memory_budget = args
+                    .next()
+                    .expect("--memory-budget takes a byte count")
+                    .parse()
+                    .expect("--memory-budget takes an integer (0 = unbounded)")
+            }
             other => panic!("unknown argument {other:?} (see module docs)"),
         }
     }
 
-    let results = run_workload(runs);
+    let (results, peak_pool_bytes) = run_workload(runs, memory_budget);
 
     if let Some(path) = raw_out {
         for (key, ms) in &results {
@@ -191,15 +224,17 @@ fn main() {
 
     // The DOP-scaling workload (not part of the raw baseline format —
     // dop1 is its own serial baseline).
-    let parallel = run_parallel_workload(runs.min(7));
+    let parallel = run_parallel_workload(runs.min(7), memory_budget);
 
     let mut body = String::from("{\n");
     body.push_str(&format!(
-        "  \"issue\": 5,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"benches\": {{\n",
+        "  \"issue\": 5,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"memory_budget\": {},\n  \"peak_pool_bytes\": {},\n  \"benches\": {{\n",
         hotpath::HOTPATH_SCALE,
         hotpath::HOTPATH_SEED,
         runs,
         perm_exec::auto_parallelism(),
+        memory_budget,
+        peak_pool_bytes,
     ));
     for (i, (key, after_ms)) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
@@ -247,6 +282,8 @@ fn main() {
         &results,
         &before,
         &parallel,
+        memory_budget,
+        peak_pool_bytes,
     ) {
         eprintln!("bench_summary: invalid summary: {e}");
         std::process::exit(1);
@@ -268,7 +305,9 @@ mod tests {
     fn good_body() -> String {
         concat!(
             "{\n  \"issue\": 5,\n  \"workload\": \"w\",\n  \"unit\": \"ms\",\n",
-            "  \"host_parallelism\": 4,\n  \"benches\": {\n",
+            "  \"host_parallelism\": 4,\n",
+            "  \"memory_budget\": 0,\n  \"peak_pool_bytes\": 4096,\n",
+            "  \"benches\": {\n",
             "    \"g/q\": {\"after_ms\": 1.0}\n  },\n",
             "  \"parallel_scaling\": {\n    \"workload\": \"w\"\n  }\n}\n"
         )
@@ -288,32 +327,80 @@ mod tests {
             &good_results(),
             &BTreeMap::new(),
             &parallel,
+            0,
+            4096,
         )
         .expect("well-formed summary passes validation");
     }
 
     #[test]
     fn missing_required_key_is_rejected() {
-        let body = good_body().replace("\"host_parallelism\"", "\"hp\"");
-        let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[]).unwrap_err();
-        assert!(err.contains("host_parallelism"), "got: {err}");
+        for key in [
+            "\"host_parallelism\"",
+            "\"memory_budget\"",
+            "\"peak_pool_bytes\"",
+        ] {
+            let body = good_body().replace(key, "\"renamed\"");
+            let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[], 0, 0)
+                .unwrap_err();
+            assert!(err.contains(key.trim_matches('"')), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn peak_above_a_nonzero_budget_is_rejected() {
+        let err = validate_summary(
+            &good_body(),
+            4,
+            &good_results(),
+            &BTreeMap::new(),
+            &[],
+            1024,
+            4096,
+        )
+        .unwrap_err();
+        assert!(err.contains("hard ceiling"), "got: {err}");
+        // Unbounded (0) accepts any peak; a peak within budget passes.
+        validate_summary(
+            &good_body(),
+            4,
+            &good_results(),
+            &BTreeMap::new(),
+            &[],
+            0,
+            4096,
+        )
+        .expect("unbounded budget accepts any peak");
+        validate_summary(
+            &good_body(),
+            4,
+            &good_results(),
+            &BTreeMap::new(),
+            &[],
+            8192,
+            4096,
+        )
+        .expect("peak within budget passes");
     }
 
     #[test]
     fn unbalanced_braces_are_rejected() {
         let body = format!("{}}}", good_body());
-        let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[]).unwrap_err();
+        let err =
+            validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[], 0, 0).unwrap_err();
         assert!(err.contains("unbalanced"), "got: {err}");
     }
 
     #[test]
     fn non_positive_timings_are_rejected() {
         let zero = vec![("g/q".to_string(), 0.0)];
-        let err = validate_summary(&good_body(), 4, &zero, &BTreeMap::new(), &[]).unwrap_err();
+        let err =
+            validate_summary(&good_body(), 4, &zero, &BTreeMap::new(), &[], 0, 0).unwrap_err();
         assert!(err.contains("non-positive timing"), "got: {err}");
 
         let bad_base: BTreeMap<String, f64> = [("g/q".to_string(), -1.0)].into_iter().collect();
-        let err = validate_summary(&good_body(), 4, &good_results(), &bad_base, &[]).unwrap_err();
+        let err =
+            validate_summary(&good_body(), 4, &good_results(), &bad_base, &[], 0, 0).unwrap_err();
         assert!(err.contains("baseline"), "got: {err}");
 
         let bad_parallel = vec![("q".to_string(), [3.0, f64::NAN, 1.5])];
@@ -323,6 +410,8 @@ mod tests {
             &good_results(),
             &BTreeMap::new(),
             &bad_parallel,
+            0,
+            0,
         )
         .unwrap_err();
         assert!(err.contains("parallel timing"), "got: {err}");
@@ -330,7 +419,7 @@ mod tests {
 
     #[test]
     fn empty_results_are_rejected() {
-        let err = validate_summary(&good_body(), 4, &[], &BTreeMap::new(), &[]).unwrap_err();
+        let err = validate_summary(&good_body(), 4, &[], &BTreeMap::new(), &[], 0, 0).unwrap_err();
         assert!(err.contains("no benchmark results"), "got: {err}");
     }
 }

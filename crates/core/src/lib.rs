@@ -66,6 +66,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod browser;
 pub mod db;
 pub mod eager;
@@ -76,6 +77,7 @@ pub mod result;
 pub mod server;
 pub mod sqlgen;
 
+pub use admission::{AdmissionPermit, ResourceGovernor, ADMISSION_QUEUE_BOUND};
 pub use browser::BrowserPanels;
 pub use db::{CatalogCardinalities, PermDb};
 pub use eager::materialize_provenance;
@@ -85,6 +87,7 @@ pub use result::{QueryResult, RowStream, StatementResult};
 pub use server::{PermServer, Prepared, Session};
 
 // Re-export the pieces users touch through the facade.
+pub use perm_exec::{MemoryPool, QueryMemory};
 pub use perm_rewrite::{
     ContributionSemantics, CopyMode, RewriteOptions, StrategyMode, UnionStrategy,
 };

@@ -25,7 +25,24 @@ pub struct SessionOptions {
     /// the `PERM_VERIFY_PLANS` environment variable (`1`/`true` enables),
     /// so CI can force verification on a release-mode test run.
     pub verify_plans: bool,
+    /// Per-query cap on tracked execution memory, in bytes (`0`, the
+    /// default, means uncapped). Unlike server pool pressure — which
+    /// makes operators spill — exceeding this cap is the query's own
+    /// fault and fails it with [`perm_types::PermError::ResourceExhausted`].
+    pub memory_budget: usize,
+    /// Most queries from sessions with this option that may *execute*
+    /// concurrently (`0`, the default, means unlimited). Excess queries
+    /// wait in the server's bounded admission queue.
+    pub max_concurrent_queries: usize,
+    /// How long a query may wait in the admission queue before failing
+    /// with a typed resource error, in milliseconds.
+    pub admission_timeout_ms: u64,
 }
+
+/// Default [`SessionOptions::admission_timeout_ms`]: long enough that
+/// transient contention queues instead of failing, short enough that a
+/// wedged server surfaces as an error rather than a hang.
+pub const DEFAULT_ADMISSION_TIMEOUT_MS: u64 = 10_000;
 
 /// Read `PERM_VERIFY_PLANS` once per process.
 fn verify_plans_env() -> bool {
@@ -48,6 +65,9 @@ impl Default for SessionOptions {
             max_parallelism: 0,
             parallel_row_threshold: perm_exec::DEFAULT_PARALLEL_THRESHOLD,
             verify_plans: verify_plans_env(),
+            memory_budget: 0,
+            max_concurrent_queries: 0,
+            admission_timeout_ms: DEFAULT_ADMISSION_TIMEOUT_MS,
         }
     }
 }
@@ -89,6 +109,27 @@ impl SessionOptions {
     /// regardless of build profile (debug builds always verify).
     pub fn with_verify_plans(mut self, on: bool) -> SessionOptions {
         self.verify_plans = on;
+        self
+    }
+
+    /// Cap one query's tracked execution memory (`0` = uncapped). Going
+    /// over the cap fails the query; contrast with the server pool
+    /// budget, which makes operators spill instead.
+    pub fn with_memory_budget(mut self, bytes: usize) -> SessionOptions {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Cap how many of this session's queries execute at once (`0` =
+    /// unlimited); excess queries queue for admission.
+    pub fn with_max_concurrent_queries(mut self, n: usize) -> SessionOptions {
+        self.max_concurrent_queries = n;
+        self
+    }
+
+    /// How long a query may wait for admission before failing.
+    pub fn with_admission_timeout_ms(mut self, ms: u64) -> SessionOptions {
+        self.admission_timeout_ms = ms;
         self
     }
 }

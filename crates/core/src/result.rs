@@ -8,6 +8,8 @@ use std::fmt;
 use perm_exec::TupleStream;
 use perm_types::{Result, Schema, Tuple, Value};
 
+use crate::admission::AdmissionPermit;
+
 /// A materialized query result: column names plus rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -114,6 +116,10 @@ pub struct RowStream {
     columns: Vec<String>,
     schema: Schema,
     inner: TupleStream,
+    /// The stream's admission slot; releasing it (on drop) lets queued
+    /// queries run, so a stream counts as "running" until the consumer
+    /// is done with it — not just until its rows are produced.
+    permit: Option<AdmissionPermit>,
 }
 
 impl RowStream {
@@ -122,7 +128,14 @@ impl RowStream {
             columns: schema.names().iter().map(|s| s.to_string()).collect(),
             schema,
             inner,
+            permit: None,
         }
+    }
+
+    /// Attach the admission permit this stream holds until dropped.
+    pub(crate) fn with_permit(mut self, permit: AdmissionPermit) -> RowStream {
+        self.permit = Some(permit);
+        self
     }
 
     /// The output schema of the query.

@@ -37,14 +37,19 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use perm_algebra::{bind_statement, BoundStatement, LogicalPlan};
-use perm_exec::{optimize_with, physical_tree, CatalogAdapter, Executor, PhysicalPlan};
+use perm_exec::{
+    estimated_peak_bytes, optimize_with, physical_tree, physical_tree_verbose, CatalogAdapter,
+    Executor, MemoryPool, PhysicalPlan, QueryMemory,
+};
 use perm_rewrite::Rewriter;
 use perm_sql::{parse_statement, parse_statements, ObjectKind, Statement};
 use perm_storage::{Catalog, CatalogWriteGuard, SharedCatalog, Table};
 use perm_types::{Column, PermError, Result, Schema, Tuple};
 
+use crate::admission::{AdmissionPermit, ResourceGovernor};
 use crate::db::CatalogCardinalities;
 use crate::options::SessionOptions;
 use crate::result::{QueryResult, RowStream, StatementResult};
@@ -57,6 +62,7 @@ use crate::result::{QueryResult, RowStream, StatementResult};
 #[derive(Debug, Default, Clone)]
 pub struct PermServer {
     catalog: SharedCatalog,
+    governor: Arc<ResourceGovernor>,
 }
 
 impl PermServer {
@@ -69,6 +75,7 @@ impl PermServer {
     pub fn with_catalog(catalog: Catalog) -> PermServer {
         PermServer {
             catalog: SharedCatalog::new(catalog),
+            governor: Arc::default(),
         }
     }
 
@@ -81,6 +88,7 @@ impl PermServer {
     pub fn session_with_options(&self, options: SessionOptions) -> Session {
         Session {
             catalog: self.catalog.clone(),
+            governor: Arc::clone(&self.governor),
             options,
         }
     }
@@ -88,6 +96,26 @@ impl PermServer {
     /// A consistent snapshot of the current catalog.
     pub fn snapshot(&self) -> Arc<Catalog> {
         self.catalog.snapshot()
+    }
+
+    /// The server-wide execution memory pool every session's queries
+    /// charge against. Unbounded by default; see
+    /// [`PermServer::set_memory_budget`].
+    pub fn memory_pool(&self) -> &MemoryPool {
+        self.governor.pool()
+    }
+
+    /// Budget the server's execution memory (`None` = unbounded).
+    /// Under pressure, buffering operators spill to disk and incoming
+    /// queries whose estimates do not fit queue for admission — takes
+    /// effect for queries admitted after the call.
+    pub fn set_memory_budget(&self, bytes: Option<usize>) {
+        self.governor.pool().set_budget(bytes);
+    }
+
+    /// The admission gate shared by this server's sessions.
+    pub fn governor(&self) -> &Arc<ResourceGovernor> {
+        &self.governor
     }
 }
 
@@ -100,6 +128,7 @@ impl PermServer {
 #[derive(Debug, Clone)]
 pub struct Session {
     catalog: SharedCatalog,
+    governor: Arc<ResourceGovernor>,
     options: SessionOptions,
 }
 
@@ -124,6 +153,7 @@ impl Session {
     pub fn server(&self) -> PermServer {
         PermServer {
             catalog: self.catalog.clone(),
+            governor: Arc::clone(&self.governor),
         }
     }
 
@@ -133,7 +163,8 @@ impl Session {
     }
 
     /// An executor over `snapshot` carrying this session's parallelism
-    /// options (used whenever the executor lowers logical plans itself).
+    /// and memory options (used whenever the executor lowers logical
+    /// plans itself).
     fn executor_on(&self, snapshot: Arc<Catalog>) -> Executor {
         Executor::new(snapshot)
             .with_parallelism(
@@ -141,6 +172,25 @@ impl Session {
                 self.options.parallel_row_threshold,
             )
             .with_verification(self.options.verify_plans)
+            .with_memory(self.query_memory())
+    }
+
+    /// A fresh per-query memory view: the server pool plus this
+    /// session's per-query cap ([`SessionOptions::memory_budget`]).
+    fn query_memory(&self) -> QueryMemory {
+        let cap = (self.options.memory_budget > 0).then_some(self.options.memory_budget);
+        QueryMemory::new(self.governor.pool().clone(), cap)
+    }
+
+    /// Admit one execution of `physical` through the server's governor,
+    /// waiting (bounded) if its estimated peak memory does not currently
+    /// fit. The permit must stay alive for the duration of execution.
+    fn admit(&self, physical: &PhysicalPlan) -> Result<AdmissionPermit> {
+        self.governor.admit(
+            estimated_peak_bytes(physical),
+            self.options.max_concurrent_queries,
+            Duration::from_millis(self.options.admission_timeout_ms),
+        )
     }
 
     /// Optimize under this session's options: with
@@ -267,8 +317,12 @@ impl Session {
         };
         let optimized = self.optimize_on(plan, &snapshot)?;
         let schema = optimized.schema().clone();
-        let stream = self.executor_on(snapshot).into_stream(&optimized)?;
-        Ok(RowStream::new(schema, stream))
+        let physical = self.lower_on(&snapshot, &optimized)?;
+        // The stream holds the permit: admission lasts until the
+        // consumer drops it, however few rows it pulls.
+        let permit = self.admit(&physical)?;
+        let stream = self.executor_on(snapshot).into_stream_physical(&physical)?;
+        Ok(RowStream::new(schema, stream).with_permit(permit))
     }
 
     /// Parse, provenance-rewrite, optimize and physically plan `sql`
@@ -334,7 +388,9 @@ impl Session {
     ) -> Result<(Schema, Vec<Tuple>)> {
         let optimized = self.optimize_on(plan, &catalog)?;
         let schema = optimized.schema().clone();
-        let rows = self.executor_on(catalog).run(&optimized)?;
+        let physical = self.lower_on(&catalog, &optimized)?;
+        let _permit = self.admit(&physical)?;
+        let rows = self.executor_on(catalog).run_physical(&physical)?;
         Ok((schema, rows))
     }
 
@@ -355,7 +411,9 @@ impl Session {
             BoundStatement::Query(plan) => {
                 let optimized = self.optimize_on(plan, &snapshot)?;
                 let schema = optimized.schema().clone();
-                let rows = self.executor_on(snapshot).run(&optimized)?;
+                let physical = self.lower_on(&snapshot, &optimized)?;
+                let _permit = self.admit(&physical)?;
+                let rows = self.executor_on(snapshot).run_physical(&physical)?;
                 Ok(StatementResult::Rows(QueryResult::new(&schema, rows)))
             }
             BoundStatement::Explain {
@@ -366,13 +424,16 @@ impl Session {
                 if verify {
                     return self.explain_verify(&snapshot, plan, verbose);
                 }
+                // EXPLAIN never executes, so it skips admission.
                 let optimized = self.optimize_on(plan, &snapshot)?;
                 let physical = self.lower_on(&snapshot, &optimized)?;
                 let text = if verbose {
+                    // VERBOSE annotates each buffering operator with its
+                    // estimated peak memory and spill configuration.
                     format!(
                         "== logical (optimized) ==\n{}\n== physical ==\n{}",
                         perm_algebra::plan_tree_with_schema(&optimized),
-                        physical_tree(&physical)
+                        physical_tree_verbose(&physical)
                     )
                 } else {
                     physical_tree(&physical)
@@ -635,8 +696,10 @@ impl Prepared {
     }
 
     /// Run the cached physical plan against the current catalog,
-    /// materializing the result.
+    /// materializing the result. Every execution is individually
+    /// admitted through the server's governor.
     pub fn execute(&self) -> Result<QueryResult> {
+        let _permit = self.session.admit(&self.physical)?;
         let rows = self
             .session
             .executor_on(self.session.snapshot())
@@ -646,11 +709,12 @@ impl Prepared {
 
     /// Run the cached plan cursor-style (see [`Session::query_stream`]).
     pub fn execute_stream(&self) -> Result<RowStream> {
+        let permit = self.session.admit(&self.physical)?;
         let stream = self
             .session
             .executor_on(self.session.snapshot())
             .into_stream_physical(&self.physical)?;
-        Ok(RowStream::new(self.schema.clone(), stream))
+        Ok(RowStream::new(self.schema.clone(), stream).with_permit(permit))
     }
 }
 

@@ -1,0 +1,228 @@
+//! Memory-governance behavior through the server API: reservation
+//! hygiene (the pool always drains back to zero, however a query ends),
+//! the typed resource errors, admission queueing, and the `EXPLAIN
+//! VERBOSE` memory estimates.
+
+use perm_core::{PermServer, Session, SessionOptions};
+
+/// A server with `big(x int, y int)` holding `n` rows.
+fn server_with_rows(n: i64) -> (PermServer, Session) {
+    let server = PermServer::new();
+    let session = server.session();
+    session.execute("CREATE TABLE big (x int, y int)").unwrap();
+    {
+        let mut w = session.catalog_write();
+        let t = w.table_mut("big").unwrap();
+        for i in 0..n {
+            t.push_raw(perm_core::Tuple::new(vec![
+                perm_core::Value::Int(i % 97),
+                perm_core::Value::Int(i),
+            ]));
+        }
+    }
+    (server, session)
+}
+
+// ----------------------------------------------------------------------
+// Reservation hygiene: the pool drains to zero on every exit path
+// ----------------------------------------------------------------------
+
+#[test]
+fn pool_drains_after_stream_dropped_mid_limit() {
+    let (server, session) = server_with_rows(2_000);
+    let mut stream = session
+        .query_stream("SELECT x FROM big ORDER BY x DESC LIMIT 5")
+        .unwrap();
+    assert!(stream.next().unwrap().is_ok(), "one row pulled");
+    drop(stream); // abandon the rest
+    let pool = server.memory_pool();
+    assert_eq!(pool.used(), 0, "abandoned stream must release everything");
+    assert!(pool.peak() > 0, "the sort buffered (and was tracked)");
+}
+
+#[test]
+fn pool_drains_after_mid_query_error() {
+    let (server, session) = server_with_rows(500);
+    // The group-key division blows up on x = 7 rows *after* the
+    // aggregate charged its input.
+    let err = session
+        .query("SELECT y / (x - 7) FROM big GROUP BY y / (x - 7)")
+        .unwrap_err();
+    assert_eq!(err.kind(), "value", "{err}");
+    let pool = server.memory_pool();
+    assert_eq!(pool.used(), 0, "error unwind must release everything");
+    assert!(pool.peak() > 0, "the aggregate charged before the error");
+}
+
+#[test]
+fn pool_drains_after_parallel_execution() {
+    let (server, _) = server_with_rows(3_000);
+    let session = server.session_with_options(
+        SessionOptions::default()
+            .with_max_parallelism(3)
+            .with_parallel_row_threshold(1),
+    );
+    let r = session
+        .query("SELECT x, count(*) FROM big GROUP BY x ORDER BY x")
+        .unwrap();
+    assert_eq!(r.row_count(), 97);
+    let pool = server.memory_pool();
+    assert_eq!(
+        pool.used(),
+        0,
+        "DOP>1 workers share one drained reservation"
+    );
+    assert!(pool.peak() > 0);
+}
+
+#[test]
+fn over_budget_queries_spill_and_still_answer_exactly() {
+    let (server, session) = server_with_rows(2_000);
+    let sql = "SELECT x, count(*), sum(y) FROM big GROUP BY x ORDER BY x";
+    let unconstrained = session.query(sql).unwrap();
+    server.set_memory_budget(Some(1));
+    let spilled = session.query(sql).unwrap();
+    assert_eq!(spilled, unconstrained, "spilling must be invisible");
+    assert_eq!(server.memory_pool().used(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Typed resource errors
+// ----------------------------------------------------------------------
+
+#[test]
+fn per_query_cap_fails_with_typed_error_naming_operator() {
+    // A 16-byte per-query cap cannot even hold the spill working set:
+    // the failure is the query's own, and names the operator + budget.
+    let (server, _) = server_with_rows(1_000);
+    let session = server.session_with_options(SessionOptions::default().with_memory_budget(16));
+    let err = session
+        .query("SELECT x, count(*) FROM big GROUP BY x")
+        .unwrap_err();
+    assert_eq!(err.kind(), "resource", "{err}");
+    assert!(err.message().contains("HashAggregate"), "{err}");
+    assert!(err.message().contains("budget is 16 bytes"), "{err}");
+    assert_eq!(server.memory_pool().used(), 0);
+}
+
+#[test]
+fn full_join_over_budget_fails_with_typed_error() {
+    // FULL hash joins are non-spillable by design (spill=never in the
+    // plan): pool pressure surfaces the typed error instead of a
+    // silent degradation.
+    let (server, session) = server_with_rows(200);
+    server.set_memory_budget(Some(1));
+    let err = session
+        .query("SELECT * FROM big b1 FULL OUTER JOIN big b2 ON b1.x = b2.x")
+        .unwrap_err();
+    assert_eq!(err.kind(), "resource", "{err}");
+    assert!(err.message().contains("HashJoin build"), "{err}");
+    assert_eq!(server.memory_pool().used(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Admission control
+// ----------------------------------------------------------------------
+
+#[test]
+fn streams_hold_their_admission_slot_until_dropped() {
+    let (server, _) = server_with_rows(100);
+    let session =
+        server.session_with_options(SessionOptions::default().with_max_concurrent_queries(1));
+    let stream = session.query_stream("SELECT x FROM big").unwrap();
+    assert_eq!(server.governor().running(), 1);
+    drop(stream);
+    assert_eq!(server.governor().running(), 0);
+}
+
+#[test]
+fn admission_queues_until_the_running_query_finishes() {
+    let (server, _) = server_with_rows(100);
+    let session = server.session_with_options(
+        SessionOptions::default()
+            .with_max_concurrent_queries(1)
+            .with_admission_timeout_ms(30_000),
+    );
+    let stream = session.query_stream("SELECT x FROM big").unwrap();
+    let s2 = session.clone();
+    let waiter = std::thread::spawn(move || s2.query("SELECT count(*) FROM big"));
+    while server.governor().waiting() == 0 {
+        std::thread::yield_now();
+    }
+    drop(stream); // frees the slot; the queued query must now run
+    let r = waiter.join().unwrap().unwrap();
+    assert_eq!(r.row(0)[0], perm_core::Value::Int(100));
+    assert_eq!(server.governor().running(), 0);
+}
+
+#[test]
+fn admission_timeout_yields_typed_error() {
+    let (server, _) = server_with_rows(100);
+    let session = server.session_with_options(
+        SessionOptions::default()
+            .with_max_concurrent_queries(1)
+            .with_admission_timeout_ms(10),
+    );
+    let _stream = session.query_stream("SELECT x FROM big").unwrap();
+    let err = session.query("SELECT count(*) FROM big").unwrap_err();
+    assert_eq!(err.kind(), "resource", "{err}");
+    assert!(err.message().contains("admission"), "{err}");
+}
+
+#[test]
+fn a_lone_over_estimate_query_is_admitted_and_spills() {
+    // With nothing else running the governor always admits: a lone
+    // too-big query spills rather than queueing forever.
+    let (server, session) = server_with_rows(2_000);
+    server.set_memory_budget(Some(1));
+    let r = session
+        .query("SELECT DISTINCT x FROM big ORDER BY x")
+        .unwrap();
+    assert_eq!(r.row_count(), 97);
+    assert_eq!(server.governor().running(), 0);
+    assert_eq!(server.memory_pool().used(), 0);
+}
+
+#[test]
+fn explain_skips_admission() {
+    let (server, _) = server_with_rows(100);
+    let session = server.session_with_options(
+        SessionOptions::default()
+            .with_max_concurrent_queries(1)
+            .with_admission_timeout_ms(10),
+    );
+    let _stream = session.query_stream("SELECT x FROM big").unwrap();
+    // The slot is taken, but EXPLAIN never executes, so it needs none.
+    let r = session.query("EXPLAIN SELECT count(*) FROM big").unwrap();
+    assert!(r.row_count() >= 1);
+}
+
+// ----------------------------------------------------------------------
+// EXPLAIN VERBOSE memory estimates
+// ----------------------------------------------------------------------
+
+#[test]
+fn explain_verbose_reports_operator_memory_estimates() {
+    let (_, session) = server_with_rows(1_000);
+    let r = session
+        .query(
+            "EXPLAIN VERBOSE SELECT b1.x, count(*) FROM big b1, big b2 \
+             WHERE b1.x = b2.x GROUP BY b1.x ORDER BY b1.x",
+        )
+        .unwrap();
+    let text = (0..r.row_count())
+        .map(|i| r.row(i)[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("est_mem≈"), "{text}");
+    assert!(text.contains("[spill="), "{text}");
+    // Plain EXPLAIN stays terse.
+    let plain = session
+        .query("EXPLAIN SELECT x, count(*) FROM big GROUP BY x")
+        .unwrap();
+    let plain_text = (0..plain.row_count())
+        .map(|i| plain.row(i)[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(!plain_text.contains("est_mem"), "{plain_text}");
+}

@@ -1,0 +1,128 @@
+//! Many-session stress under a deliberately tiny memory budget: every
+//! query must still answer correctly (spilling and queueing, never
+//! aborting), the pool must respect its budget at all times, and the
+//! accounting must drain back to zero when the storm passes.
+//!
+//! CI runs this in release mode with `PERM_VERIFY_PLANS=1` (the
+//! `memory-stress` job) so the static verifier also re-checks every
+//! plan the storm produces.
+
+use perm_core::{PermServer, QueryResult, SessionOptions};
+
+const BUDGET: usize = 64 * 1024;
+const THREADS: usize = 8;
+const ROUNDS: usize = 5;
+
+fn seeded_server() -> PermServer {
+    let server = PermServer::new();
+    let session = server.session();
+    session
+        .run_script("CREATE TABLE facts (k int, v int, tag text);")
+        .unwrap();
+    {
+        let mut w = session.catalog_write();
+        let t = w.table_mut("facts").unwrap();
+        for i in 0..4_000i64 {
+            t.push_raw(perm_core::Tuple::new(vec![
+                perm_core::Value::Int(i % 53),
+                perm_core::Value::Int(i),
+                perm_core::Value::text(format!("tag-{}", i % 7)),
+            ]));
+        }
+    }
+    server
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT k, count(*), sum(v) FROM facts GROUP BY k ORDER BY k",
+    "SELECT DISTINCT k FROM facts ORDER BY k",
+    "SELECT a.k, count(*) FROM facts a JOIN facts b ON a.v = b.v \
+     GROUP BY a.k ORDER BY a.k",
+    "SELECT tag, max(v) FROM facts GROUP BY tag ORDER BY tag",
+    "SELECT k FROM facts INTERSECT SELECT k + 1 FROM facts ORDER BY k",
+];
+
+#[test]
+fn concurrent_sessions_under_tiny_budget_never_abort() {
+    // Reference answers from a separate, unconstrained server, so the
+    // stressed server's pool peak reflects only the storm.
+    let baseline: Vec<QueryResult> = {
+        let s = seeded_server().session();
+        QUERIES.iter().map(|q| s.query(q).unwrap()).collect()
+    };
+
+    let server = seeded_server();
+    server.set_memory_budget(Some(BUDGET));
+    let opts = SessionOptions::default()
+        .with_max_concurrent_queries(3)
+        .with_admission_timeout_ms(60_000);
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let session = server.session_with_options(opts);
+            let baseline = baseline.clone();
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let q = (w + round) % QUERIES.len();
+                    let got = session
+                        .query(QUERIES[q])
+                        .unwrap_or_else(|e| panic!("worker {w} round {round}: {e}"));
+                    assert_eq!(got, baseline[q], "worker {w} round {round} diverged");
+                }
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join().unwrap();
+    }
+
+    let pool = server.memory_pool();
+    assert_eq!(pool.used(), 0, "the pool must drain after the storm");
+    assert_eq!(server.governor().running(), 0);
+    assert_eq!(server.governor().waiting(), 0);
+    assert!(
+        pool.peak() > 0,
+        "the storm must actually have charged memory"
+    );
+    assert!(
+        pool.peak() <= BUDGET,
+        "the budget is a hard ceiling: peak {} > {BUDGET}",
+        pool.peak()
+    );
+}
+
+#[test]
+fn stream_heavy_storm_releases_all_permits() {
+    // Streams that are dropped half-read hold admission permits and
+    // (briefly) buffered state; a storm of them must still drain fully.
+    let server = seeded_server();
+    server.set_memory_budget(Some(BUDGET));
+    let opts = SessionOptions::default()
+        .with_max_concurrent_queries(2)
+        .with_admission_timeout_ms(60_000);
+
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let session = server.session_with_options(opts);
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let mut stream = session
+                        .query_stream("SELECT k, v FROM facts ORDER BY v DESC")
+                        .unwrap_or_else(|e| panic!("worker {w} round {round}: {e}"));
+                    // Pull a prefix, then abandon the stream.
+                    for _ in 0..=w + round {
+                        if stream.next().is_none() {
+                            break;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join().unwrap();
+    }
+
+    assert_eq!(server.memory_pool().used(), 0);
+    assert_eq!(server.governor().running(), 0);
+}

@@ -26,7 +26,8 @@ use perm_storage::Catalog;
 
 use crate::compile::{CompiledExpr, CompiledProjection};
 use crate::eval::{eval, Env};
-use crate::operators::{aggregate, join, setop};
+use crate::memory::{grow_batched, QueryMemory};
+use crate::operators::{aggregate, join, setop, spill};
 use crate::physical::{PhysicalPlan, PhysicalPlanner};
 
 /// Cached first-column set of an uncorrelated IN subquery: the hashed
@@ -79,6 +80,9 @@ pub struct Executor {
     /// regardless). Each plan identity is verified at most once.
     verify: bool,
     verified: RefCell<FxHashSet<usize>>,
+    /// This query's view of the server memory pool. Buffering operators
+    /// register reservations here; the default is unbounded.
+    memory: QueryMemory,
 }
 
 impl Executor {
@@ -95,7 +99,21 @@ impl Executor {
             parallel_threshold: crate::parallel::DEFAULT_PARALLEL_THRESHOLD,
             verify: false,
             verified: RefCell::new(FxHashSet::default()),
+            memory: QueryMemory::default(),
         }
+    }
+
+    /// Attach tracked execution memory: buffering operators charge their
+    /// state against `memory` (and through it the server pool) and
+    /// switch to their spill paths when a grow is denied.
+    pub fn with_memory(mut self, memory: QueryMemory) -> Executor {
+        self.memory = memory;
+        self
+    }
+
+    /// This query's memory accounting.
+    pub fn memory(&self) -> &QueryMemory {
+        &self.memory
     }
 
     /// Configure the parallelism the physical planner may choose when
@@ -302,9 +320,22 @@ impl Executor {
                 group_by,
                 aggs,
                 dop,
-            } => aggregate::run_aggregate(self, input, group_by, aggs, *dop),
-            PhysicalPlan::HashDistinct { input, dop } => {
+                spill,
+            } => aggregate::run_aggregate(self, input, group_by, aggs, *dop, *spill),
+            PhysicalPlan::HashDistinct { input, dop, spill } => {
                 let rows = self.run_physical(input)?;
+                // The dedup set holds (at worst) every input row: charge
+                // input bytes; a denial switches to the partitioned
+                // on-disk dedup, which holds one partition at a time.
+                let reservation = self.memory.register("HashDistinct");
+                if let Err(denied) = grow_batched(&reservation, rows.iter().map(Tuple::size_bytes))
+                {
+                    reservation.free();
+                    let Some(parts) = spill else {
+                        return Err(denied.into_error());
+                    };
+                    return spill::distinct_spill(rows, *parts, &reservation);
+                }
                 if *dop > 1 {
                     return crate::parallel::distinct_parallel(rows, *dop);
                 }
@@ -329,9 +360,27 @@ impl Executor {
                 left,
                 right,
                 dop,
-            } => setop::run_setop(self, *op, *all, left, right, *dop),
-            PhysicalPlan::Sort { input, keys, dop } => {
+                spill,
+            } => setop::run_setop(self, *op, *all, left, right, *dop, *spill),
+            PhysicalPlan::Sort {
+                input,
+                keys,
+                dop,
+                spill,
+            } => {
                 let rows = self.run_physical(input)?;
+                // The sort buffer holds every input row plus its
+                // computed keys: charge input bytes; a denial switches
+                // to the external run-sort + k-way merge.
+                let reservation = self.memory.register("Sort");
+                if let Err(denied) = grow_batched(&reservation, rows.iter().map(Tuple::size_bytes))
+                {
+                    reservation.free();
+                    let Some(parts) = spill else {
+                        return Err(denied.into_error());
+                    };
+                    return spill::sort_spill(self, rows, keys, *parts, &reservation);
+                }
                 if *dop > 1 {
                     return crate::parallel::sort_parallel(self, rows, keys, *dop);
                 }

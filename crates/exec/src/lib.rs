@@ -38,6 +38,13 @@
 //! The executor owns an `Arc` catalog snapshot, making plans, executors
 //! and streams `Send` — the foundation of the concurrent `PermServer`.
 //!
+//! Execution memory is **governed** ([`memory`]): buffering operators
+//! grow a per-query [`MemoryReservation`] as they build hash tables and
+//! sort buffers, and a denied grow switches them to a partitioned
+//! spill-to-disk path ([`operators::spill`], files written through
+//! [`perm_storage::spill`]) whose results are identical — rows, order
+//! and errors — to the in-memory path.
+//!
 //! Every phase of the two-phase optimizer is backed by a **static plan
 //! verifier** ([`verify`], plus the logical side in
 //! [`perm_algebra::verify`]): in debug and test builds (or with
@@ -51,6 +58,7 @@ pub mod adapter;
 pub mod compile;
 pub mod eval;
 pub mod executor;
+pub mod memory;
 pub mod operators;
 pub mod parallel;
 pub mod physical;
@@ -61,8 +69,12 @@ pub mod verify;
 pub use adapter::{CatalogAdapter, CatalogStats};
 pub use compile::CompiledExpr;
 pub use executor::Executor;
+pub use memory::{MemoryPool, MemoryReservation, QueryMemory};
 pub use parallel::{auto_parallelism, DEFAULT_PARALLEL_THRESHOLD, MORSEL_ROWS};
-pub use physical::{physical_tree, plan_physical, PhysicalPlan, PhysicalPlanner};
+pub use physical::{
+    estimated_peak_bytes, physical_tree, physical_tree_verbose, plan_physical, PhysicalPlan,
+    PhysicalPlanner, SPILL_PARTITIONS,
+};
 pub use planner::{optimize, optimize_traced, optimize_verified, optimize_with, LOGICAL_PHASES};
 pub use stream::TupleStream;
 pub use verify::verify_physical;

@@ -1,6 +1,7 @@
 //! Hash aggregation with SQL NULL semantics, `DISTINCT` aggregates and the
 //! `any_value` leniency aggregate.
 
+use perm_storage::SpillPartitions;
 use perm_types::hash::{FxHashMap, FxHashSet};
 use perm_types::ops::{self, ArithOp};
 use perm_types::{PermError, Result, Tuple, Value};
@@ -10,6 +11,7 @@ use perm_algebra::expr::{AggCall, AggFunc, ScalarExpr};
 use crate::compile::{CompiledExpr, CompiledProjection};
 use crate::eval::Env;
 use crate::executor::Executor;
+use crate::memory::{grow_batched, MemoryDenied, MemoryReservation};
 
 /// Running state of one aggregate within one group.
 enum AggState {
@@ -398,39 +400,207 @@ pub fn run_aggregate(
     group_by: &[ScalarExpr],
     aggs: &[AggCall],
     dop: usize,
+    spill: Option<usize>,
 ) -> Result<Vec<Tuple>> {
-    let rows = exec.run_physical(input)?;
+    let mut rows = exec.run_physical(input)?;
     let outer = exec.outer_stack();
+
+    // Global aggregates keep O(1) state regardless of input size:
+    // nothing to charge, nothing to spill. Grouped aggregation charges
+    // the input bytes — the hash table's keys and states are bounded by
+    // them — and a denial switches to the partitioned on-disk path.
+    let charge = !group_by.is_empty();
+    let reservation = exec.memory().register("HashAggregate");
 
     if dop > 1 {
         // Chunk-parallel: each worker accumulates one contiguous chunk
-        // into a private hash table; partials merge in chunk order.
+        // into a private hash table; partials merge in chunk order. The
+        // workers share one reservation (clones share accounting), so
+        // concurrent chunks charge the same query budget.
         use std::sync::Arc;
         let catalog = exec.catalog_arc();
-        let rows = Arc::new(rows);
-        let total = rows.len();
+        let rows_arc = Arc::new(rows);
+        let total = rows_arc.len();
         let group_by_owned: Arc<Vec<ScalarExpr>> = Arc::new(group_by.to_vec());
         let aggs_owned: Arc<Vec<AggCall>> = Arc::new(aggs.to_vec());
         let partials = {
-            let rows = Arc::clone(&rows);
+            let rows = Arc::clone(&rows_arc);
+            let outer = outer.clone();
+            let shared = reservation.clone();
             crate::parallel::map_chunks(dop, total, move |range| {
+                if charge {
+                    grow_batched(&shared, rows[range.clone()].iter().map(Tuple::size_bytes))
+                        .map_err(MemoryDenied::into_error)?;
+                }
                 let sub = Executor::new(Arc::clone(&catalog));
                 accumulate(&sub, &rows[range], &group_by_owned, &aggs_owned, &outer)
-            })?
+            })
         };
-        let mut iter = partials.into_iter();
-        let mut acc = iter.next().unwrap_or_else(|| AggPartial {
-            order: Vec::new(),
-            groups: FxHashMap::default(),
-        });
-        for p in iter {
-            merge_partials(&mut acc, p)?;
+        // The worker closures hold reservation clones and are dropped
+        // *asynchronously* by the pool threads, so every exit from this
+        // branch frees the shared accounting explicitly — relying on the
+        // last clone's Drop would leave the pool charged for a moment
+        // after the query returns.
+        match partials {
+            Ok(partials) => {
+                let mut iter = partials.into_iter();
+                let mut acc = iter.next().unwrap_or_else(|| AggPartial {
+                    order: Vec::new(),
+                    groups: FxHashMap::default(),
+                });
+                let mut merged = Ok(());
+                for p in iter {
+                    if let Err(e) = merge_partials(&mut acc, p) {
+                        merged = Err(e);
+                        break;
+                    }
+                }
+                reservation.free();
+                merged?;
+                return Ok(finish(acc, group_by, aggs));
+            }
+            // A denied worker reservation falls back to the serial spill
+            // path — legal because parallel aggregation is exactly
+            // equivalent to serial. Parallel aggregates are sublink-free
+            // (the legality rules keep sublink pipelines serial), so a
+            // "resource" error here can only be our own denial.
+            Err(e) if e.kind() == "resource" && spill.is_some() => {
+                reservation.free();
+                rows = Arc::try_unwrap(rows_arc).unwrap_or_else(|a| (*a).clone());
+                // INVARIANT: the guard above checked `spill.is_some()`.
+                let parts = spill.expect("guard checked is_some");
+                let result =
+                    aggregate_spill(exec, rows, group_by, aggs, &outer, parts, &reservation);
+                reservation.free();
+                return result;
+            }
+            Err(e) => {
+                reservation.free();
+                return Err(e);
+            }
         }
-        return Ok(finish(acc, group_by, aggs));
     }
 
+    if charge {
+        if let Err(denied) = grow_batched(&reservation, rows.iter().map(Tuple::size_bytes)) {
+            reservation.free();
+            let Some(parts) = spill else {
+                return Err(denied.into_error());
+            };
+            return aggregate_spill(exec, rows, group_by, aggs, &outer, parts, &reservation);
+        }
+    }
     let partial = accumulate(exec, &rows, group_by, aggs, &outer)?;
     Ok(finish(partial, group_by, aggs))
+}
+
+/// Spilled grouped aggregation: input rows scatter to partition files by
+/// group-key hash, tagged with their input position. Each partition then
+/// runs the serial accumulate loop in tag order, remembering every
+/// group's *first* tag; sorting the finished groups by that tag restores
+/// global first-appearance order — exactly the serial output.
+///
+/// Error ordering matches serial execution: the serial loop evaluates a
+/// row's group key, then its aggregate arguments, before looking at the
+/// next row. A key error at input position `i` therefore stops the
+/// scatter (later rows can't matter), but the partitions still run over
+/// the rows before `i` — an argument error among them wins. Across
+/// partitions the error with the smallest input position wins.
+fn aggregate_spill(
+    exec: &Executor,
+    rows: Vec<Tuple>,
+    group_by: &[ScalarExpr],
+    aggs: &[AggCall],
+    outer: &[Tuple],
+    parts: usize,
+    res: &MemoryReservation,
+) -> Result<Vec<Tuple>> {
+    debug_assert!(!group_by.is_empty(), "global aggregates never spill");
+    debug_assert!(
+        aggs.iter().all(|c| !c.distinct),
+        "DISTINCT aggregates never spill"
+    );
+    let group_c = CompiledProjection::compile(exec, group_by);
+    let arg_c: Vec<Option<CompiledExpr>> = aggs
+        .iter()
+        .map(|call| call.arg.as_ref().map(|e| CompiledExpr::compile(exec, e)))
+        .collect();
+
+    let mut files = SpillPartitions::create(parts)?;
+    let mut best_err: Option<(u64, PermError)> = None;
+    for (i, t) in rows.iter().enumerate() {
+        let env = Env::new(t, outer);
+        match group_c.apply(exec, &env) {
+            Ok(key) => files.push(crate::parallel::partition_of(&key, parts), i as u64, t)?,
+            Err(e) => {
+                best_err = Some((i as u64, e));
+                break;
+            }
+        }
+    }
+    drop(rows);
+
+    let mut out: Vec<(u64, Tuple)> = Vec::new();
+    for reader in files.into_readers()? {
+        let mut charged = 0usize;
+        // (first tag, key) in this partition's first-appearance order.
+        let mut order: Vec<(u64, Tuple)> = Vec::new();
+        let mut groups: FxHashMap<Tuple, GroupState> = FxHashMap::default();
+        'row: for rec in reader {
+            let (tag, t) = rec?;
+            if matches!(&best_err, Some((bt, _)) if *bt <= tag) {
+                break 'row;
+            }
+            let env = Env::new(&t, outer);
+            // Re-evaluation of the (deterministic) key that already
+            // succeeded during the scatter.
+            let key = group_c.apply(exec, &env)?;
+            let state = match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    // Group state (key + accumulators) is the memory the
+                    // in-memory path would hold per group.
+                    let bytes = v.key().size_bytes() + 32 * aggs.len().max(1);
+                    res.grow_unpooled(bytes)?;
+                    charged += bytes;
+                    order.push((tag, v.key().clone()));
+                    v.insert(GroupState::new(aggs))
+                }
+            };
+            for (i, arg_expr) in arg_c.iter().enumerate() {
+                let arg = match arg_expr {
+                    Some(e) => match e.eval(exec, &env) {
+                        Ok(v) => Some(v),
+                        Err(e) => {
+                            best_err = Some((tag, e));
+                            break 'row;
+                        }
+                    },
+                    None => None,
+                };
+                if let Err(e) = state.states[i].update(arg.as_ref()) {
+                    best_err = Some((tag, e));
+                    break 'row;
+                }
+            }
+        }
+        for (tag, key) in order {
+            // INVARIANT: `order` holds exactly the keys of `groups`.
+            let state = groups.remove(&key).expect("group registered");
+            let mut vals = key.into_values();
+            for s in state.states {
+                vals.push(s.finish());
+            }
+            out.push((tag, Tuple::new(vals)));
+        }
+        res.shrink(charged);
+    }
+    if let Some((_, e)) = best_err {
+        return Err(e);
+    }
+    // First-appearance tags are unique across partitions.
+    out.sort_unstable_by_key(|(t, _)| *t);
+    Ok(out.into_iter().map(|(_, t)| t).collect())
 }
 
 /// Integer-preserving addition used by tests to pin sum semantics.

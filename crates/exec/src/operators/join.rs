@@ -7,14 +7,16 @@
 //! physical planner ([`crate::physical`]); this module only runs the
 //! operator it is handed.
 
-use perm_types::hash::{map_with_capacity, FxHashMap};
-use perm_types::{Result, Tuple, Value};
+use perm_storage::SpillPartitions;
+use perm_types::hash::{map_with_capacity, FxHashMap, FxHasher};
+use perm_types::{PermError, Result, Tuple, Value};
 
 use perm_algebra::plan::JoinType;
 
 use crate::compile::CompiledExpr;
 use crate::eval::Env;
 use crate::executor::{check_scan_schema, Executor};
+use crate::memory::{grow_batched, MemoryReservation};
 use crate::physical::{BuildSide, EquiKey, PhysicalPlan};
 
 /// Execute a physical join node ([`PhysicalPlan::HashJoin`],
@@ -32,10 +34,39 @@ pub fn run_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
             nr,
             out_slots,
             dop,
+            spill,
             ..
         } => {
             let lrows = exec.run_physical(left)?;
             let rrows = exec.run_physical(right)?;
+            // Charge the build side before building: the hash table
+            // retains every build row (plus key copies). A denial turns
+            // the join into a Grace join over spill partitions.
+            let reservation = exec.memory().register("HashJoin build");
+            let build = match build_side {
+                BuildSide::Left => &lrows,
+                BuildSide::Right => &rrows,
+            };
+            if let Err(denied) = grow_batched(&reservation, build.iter().map(Tuple::size_bytes)) {
+                reservation.free();
+                let Some(parts) = spill else {
+                    return Err(denied.into_error());
+                };
+                return hash_join_spill(
+                    exec,
+                    lrows,
+                    rrows,
+                    *nl,
+                    *nr,
+                    *kind,
+                    keys,
+                    residual.as_ref(),
+                    *build_side,
+                    out_slots.as_deref(),
+                    *parts,
+                    &reservation,
+                );
+            }
             if *dop > 1 {
                 return hash_join_parallel(
                     exec,
@@ -320,6 +351,192 @@ fn hash_join(
         }
     }
     Ok(out)
+}
+
+/// Partition a join key the same way [`crate::parallel::partition_of`]
+/// partitions whole rows: high hash bits modulo the partition count.
+fn key_partition(key: &Key, parts: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    ((h.finish() >> 32) as usize) % parts
+}
+
+/// Grace hash join over spill partitions — the fallback when the build
+/// side's reservation is denied. Both sides scatter to disk by key hash
+/// (equal keys colocate), each partition re-runs the serial build+probe
+/// with probe rows tagged by their input position, and a final stable
+/// sort by probe tag restores the serial output order (within one probe
+/// row, emissions already occur in serial candidate order).
+///
+/// Error ordering also matches the serial path. Build-key errors surface
+/// during the build scatter, in build-row order, before any probe work —
+/// exactly when the in-memory build loop raises them. A probe-side
+/// key error at row `j` stops the probe scatter but lets the partitions
+/// (holding only rows before `j`) run: a residual error at an earlier
+/// probe row beats it, and across partitions the smallest probe position
+/// wins.
+///
+/// FULL joins track unmatched build rows across the whole build side and
+/// are planned with `spill: None`; they never reach this path.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_spill(
+    exec: &Executor,
+    lrows: Vec<Tuple>,
+    rrows: Vec<Tuple>,
+    nl: usize,
+    nr: usize,
+    kind: JoinType,
+    keys: &[EquiKey],
+    residual: Option<&perm_algebra::expr::ScalarExpr>,
+    build_side: BuildSide,
+    out_slots: Option<&[usize]>,
+    parts: usize,
+    res: &MemoryReservation,
+) -> Result<Vec<Tuple>> {
+    debug_assert!(!matches!(kind, JoinType::Full), "FULL joins never spill");
+    let outer = exec.outer_stack();
+    let left_exprs: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|k| CompiledExpr::compile(exec, &k.left))
+        .collect();
+    let right_exprs: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|k| CompiledExpr::compile(exec, &k.right))
+        .collect();
+    let null_safe: Vec<bool> = keys.iter().map(|k| k.null_safe).collect();
+    let residual = residual.map(|r| CompiledExpr::compile(exec, r));
+
+    let build_left = matches!(build_side, BuildSide::Left);
+    let (build_rows, probe_rows) = if build_left {
+        (lrows, rrows)
+    } else {
+        (rrows, lrows)
+    };
+    let (build_exprs, probe_exprs) = if build_left {
+        (&left_exprs, &right_exprs)
+    } else {
+        (&right_exprs, &left_exprs)
+    };
+
+    // Scatter the build side by key hash. Rows whose key is NULL under
+    // plain equality match nothing, and for non-FULL joins an unmatched
+    // build row is never emitted: drop them here.
+    let mut bfiles = SpillPartitions::create(parts)?;
+    for (i, row) in build_rows.iter().enumerate() {
+        let env = Env::new(row, &outer);
+        if let Some(key) = build_key(exec, build_exprs, &null_safe, &env)? {
+            bfiles.push(key_partition(&key, parts), i as u64, row)?;
+        }
+    }
+    drop(build_rows);
+
+    // Scatter the probe side, tagged with probe position. NULL-key probe
+    // rows match nothing but still drive the LEFT/ANTI epilogue, so they
+    // land in partition 0 (any partition works) — except when the build
+    // side is the left one: that is inner-join-only, no epilogue.
+    let mut pfiles = SpillPartitions::create(parts)?;
+    let mut best_err: Option<(u64, PermError)> = None;
+    for (j, row) in probe_rows.iter().enumerate() {
+        let env = Env::new(row, &outer);
+        match build_key(exec, probe_exprs, &null_safe, &env) {
+            Ok(Some(key)) => pfiles.push(key_partition(&key, parts), j as u64, row)?,
+            Ok(None) if !build_left => pfiles.push(0, j as u64, row)?,
+            Ok(None) => {}
+            Err(e) => {
+                best_err = Some((j as u64, e));
+                break;
+            }
+        }
+    }
+    drop(probe_rows);
+
+    let right_nulls = Tuple::nulls(nr);
+    let mut emitted: Vec<(u64, Tuple)> = Vec::new();
+    for (breader, preader) in bfiles
+        .into_readers()?
+        .into_iter()
+        .zip(pfiles.into_readers()?)
+    {
+        // Rebuild this partition's chained hash table; records read back
+        // in build order, so per-key chains match the in-memory table's.
+        // The partition's rows are this path's working memory: charged
+        // to the per-query cap only, released when the partition ends.
+        let mut charged = 0usize;
+        let mut part_build: Vec<Tuple> = Vec::with_capacity(breader.remaining());
+        for rec in breader {
+            let (_, row) = rec?;
+            let bytes = row.size_bytes();
+            res.grow_unpooled(bytes)?;
+            charged += bytes;
+            part_build.push(row);
+        }
+        // Re-evaluation of (deterministic) keys that already succeeded
+        // during the scatter.
+        let (table, next) = build_table(exec, &part_build, build_exprs, &null_safe, &outer)?;
+        let mut chain: Vec<usize> = Vec::new();
+        'probe: for rec in preader {
+            let (j, p) = rec?;
+            if matches!(&best_err, Some((bj, _)) if *bj <= j) {
+                break 'probe;
+            }
+            let env = Env::new(&p, &outer);
+            let key = build_key(exec, probe_exprs, &null_safe, &env)?;
+            let mut matched = false;
+            if let Some(key) = key {
+                if let Some(&head) = table.get(&key) {
+                    chain.clear();
+                    let mut i = head;
+                    while i != NIL {
+                        chain.push(i);
+                        i = next[i];
+                    }
+                    for &bi in chain.iter().rev() {
+                        let b = &part_build[bi];
+                        let (l, r) = if build_left { (b, &p) } else { (&p, b) };
+                        let mut combined = None;
+                        if let Some(pred) = &residual {
+                            let c = l.concat(r);
+                            let cenv = Env::new(&c, &outer);
+                            match pred.eval_bool(exec, &cenv) {
+                                Err(e) => {
+                                    best_err = Some((j, e));
+                                    break 'probe;
+                                }
+                                Ok(v) if v != Some(true) => continue,
+                                Ok(_) => combined = Some(c),
+                            }
+                        }
+                        matched = true;
+                        match kind {
+                            JoinType::Semi | JoinType::Anti => {}
+                            _ => emitted.push((j, emit_row(l, r, nl, combined, out_slots))),
+                        }
+                        exec.check_row_budget(emitted.len())?;
+                        if matches!(kind, JoinType::Semi) {
+                            break;
+                        }
+                    }
+                }
+            }
+            if !build_left {
+                match kind {
+                    JoinType::Semi if matched => emitted.push((j, emit_left(&p, out_slots))),
+                    JoinType::Anti if !matched => emitted.push((j, emit_left(&p, out_slots))),
+                    JoinType::Left if !matched => {
+                        emitted.push((j, emit_row(&p, &right_nulls, nl, None, out_slots)));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        res.shrink(charged);
+    }
+    if let Some((_, e)) = best_err {
+        return Err(e);
+    }
+    emitted.sort_by_key(|(j, _)| *j);
+    Ok(emitted.into_iter().map(|(_, t)| t).collect())
 }
 
 /// Index nested-loop join: for each outer row, evaluate the key

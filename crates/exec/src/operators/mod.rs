@@ -3,3 +3,4 @@
 pub mod aggregate;
 pub mod join;
 pub mod setop;
+pub mod spill;

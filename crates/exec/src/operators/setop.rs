@@ -5,12 +5,14 @@
 
 use std::sync::Arc;
 
+use perm_storage::SpillPartitions;
 use perm_types::hash::{set_with_capacity, FxHashMap, FxHashSet};
 use perm_types::{Result, Tuple};
 
 use perm_algebra::plan::SetOpType;
 
 use crate::executor::Executor;
+use crate::memory::{grow_batched, MemoryReservation};
 use crate::parallel::{map_chunks, partition_of, run_workers};
 
 pub fn run_setop(
@@ -20,18 +22,36 @@ pub fn run_setop(
     left: &crate::physical::PhysicalPlan,
     right: &crate::physical::PhysicalPlan,
     dop: usize,
+    spill: Option<usize>,
 ) -> Result<Vec<Tuple>> {
     let l = exec.run_physical(left)?;
     let r = exec.run_physical(right)?;
-    if dop > 1 && !(matches!(op, SetOpType::Union) && all) {
+    if matches!(op, SetOpType::Union) && all {
+        // Plain append holds no operator state: nothing to charge or
+        // spill.
+        let mut out = l;
+        out.extend(r);
+        return Ok(out);
+    }
+    // Every other variant hashes both sides, so the whole input is
+    // charged up front; a denial switches to the partitioned on-disk
+    // strategy instead of failing.
+    let reservation = exec.memory().register("HashSetOp");
+    if let Err(denied) = grow_batched(
+        &reservation,
+        l.iter().chain(r.iter()).map(Tuple::size_bytes),
+    ) {
+        reservation.free();
+        let Some(parts) = spill else {
+            return Err(denied.into_error());
+        };
+        return setop_spill(l, r, op, all, parts, &reservation);
+    }
+    if dop > 1 {
         return setop_parallel(l, r, op, all, dop);
     }
     Ok(match (op, all) {
-        (SetOpType::Union, true) => {
-            let mut out = l;
-            out.extend(r);
-            out
-        }
+        (SetOpType::Union, true) => unreachable!("append handled above"),
         (SetOpType::Union, false) => {
             // Single-probe insert: UNION inputs are mostly distinct, so
             // one hash plus a refcount-bump clone beats a double probe.
@@ -202,4 +222,117 @@ fn partition_tagged(
         }
     }
     Ok(out)
+}
+
+/// Spilled set operation: the on-disk mirror of [`setop_parallel`].
+/// Both sides scatter to partition files by row hash, tagged with their
+/// global position (`l` before `r`); each partition loads back (charged
+/// to the per-query cap only) and runs the serial set/bag logic, and the
+/// final tag sort restores the serial output order exactly.
+fn setop_spill(
+    l: Vec<Tuple>,
+    r: Vec<Tuple>,
+    op: SetOpType,
+    all: bool,
+    parts: usize,
+    res: &MemoryReservation,
+) -> Result<Vec<Tuple>> {
+    debug_assert!(
+        !(matches!(op, SetOpType::Union) && all),
+        "append never spills"
+    );
+    let roffset = l.len() as u64;
+    let mut lfiles = SpillPartitions::create(parts)?;
+    for (i, t) in l.iter().enumerate() {
+        lfiles.push(partition_of(t, parts), i as u64, t)?;
+    }
+    drop(l);
+    let mut rfiles = SpillPartitions::create(parts)?;
+    for (i, t) in r.iter().enumerate() {
+        rfiles.push(partition_of(t, parts), roffset + i as u64, t)?;
+    }
+    drop(r);
+
+    let mut all_rows: Vec<(u64, Tuple)> = Vec::new();
+    for (lreader, rreader) in lfiles
+        .into_readers()?
+        .into_iter()
+        .zip(rfiles.into_readers()?)
+    {
+        let mut charged = 0usize;
+        let mut lp: Vec<(u64, Tuple)> = Vec::with_capacity(lreader.remaining());
+        for rec in lreader {
+            let (tag, row) = rec?;
+            let bytes = row.size_bytes();
+            res.grow_unpooled(bytes)?;
+            charged += bytes;
+            lp.push((tag, row));
+        }
+        let mut rp: Vec<(u64, Tuple)> = Vec::with_capacity(rreader.remaining());
+        for rec in rreader {
+            let (tag, row) = rec?;
+            let bytes = row.size_bytes();
+            res.grow_unpooled(bytes)?;
+            charged += bytes;
+            rp.push((tag, row));
+        }
+        match (op, all) {
+            (SetOpType::Union, true) => unreachable!("append is not partitioned"),
+            (SetOpType::Union, false) => {
+                let mut seen = set_with_capacity(lp.len() + rp.len());
+                for (i, t) in lp.iter().chain(&rp) {
+                    if seen.insert(t.clone()) {
+                        all_rows.push((*i, t.clone()));
+                    }
+                }
+            }
+            (SetOpType::Intersect, false) => {
+                let rset: FxHashSet<&Tuple> = rp.iter().map(|(_, t)| t).collect();
+                let mut seen = FxHashSet::default();
+                for (i, t) in &lp {
+                    if rset.contains(t) && seen.insert(t.clone()) {
+                        all_rows.push((*i, t.clone()));
+                    }
+                }
+            }
+            (SetOpType::Intersect, true) => {
+                let mut rcount: FxHashMap<&Tuple, usize> = FxHashMap::default();
+                for (_, t) in &rp {
+                    *rcount.entry(t).or_insert(0) += 1;
+                }
+                for (i, t) in &lp {
+                    if let Some(c) = rcount.get_mut(t) {
+                        if *c > 0 {
+                            *c -= 1;
+                            all_rows.push((*i, t.clone()));
+                        }
+                    }
+                }
+            }
+            (SetOpType::Except, false) => {
+                let rset: FxHashSet<&Tuple> = rp.iter().map(|(_, t)| t).collect();
+                let mut seen = FxHashSet::default();
+                for (i, t) in &lp {
+                    if !rset.contains(t) && seen.insert(t.clone()) {
+                        all_rows.push((*i, t.clone()));
+                    }
+                }
+            }
+            (SetOpType::Except, true) => {
+                let mut rcount: FxHashMap<&Tuple, usize> = FxHashMap::default();
+                for (_, t) in &rp {
+                    *rcount.entry(t).or_insert(0) += 1;
+                }
+                for (i, t) in &lp {
+                    match rcount.get_mut(t) {
+                        Some(c) if *c > 0 => *c -= 1,
+                        _ => all_rows.push((*i, t.clone())),
+                    }
+                }
+            }
+        }
+        res.shrink(charged);
+    }
+    all_rows.sort_unstable_by_key(|(i, _)| *i);
+    Ok(all_rows.into_iter().map(|(_, t)| t).collect())
 }

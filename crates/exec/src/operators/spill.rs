@@ -1,0 +1,228 @@
+//! Spill-to-disk execution paths for buffering operators.
+//!
+//! When a buffering operator's memory reservation is denied
+//! ([`crate::memory`]), it switches to a partitioned on-disk strategy
+//! built on [`perm_storage::spill`]'s length-prefixed row files. The
+//! contract is exact equivalence: a spilled execution produces the same
+//! rows, in the same order, raising the same errors, as the in-memory
+//! path it replaces. The per-operator strategies:
+//!
+//! * **Sort** (here, `sort_spill`) — external sort: contiguous runs
+//!   are keyed, stably sorted and written out, then merged k-way with
+//!   ties resolved toward the earlier run (= the serial stable order).
+//! * **Distinct** (here, `distinct_spill`) — rows hash-partition to
+//!   disk tagged with their input position; each partition dedups in tag
+//!   order and a final sort by tag restores first-occurrence order.
+//! * **Hash join** ([`super::join`]) — Grace join: both sides partition
+//!   by key hash, each partition re-runs the serial build+probe, output
+//!   rows sort by probe position.
+//! * **Aggregation** ([`super::aggregate`]) — input partitions by
+//!   group-key hash; groups track their first input position and the
+//!   output sorts by it, recovering first-appearance order.
+//! * **Set operations** ([`super::setop`]) — both sides partition by row
+//!   hash with global position tags, mirroring the parallel set logic.
+//!
+//! While spilling, an operator's bounded working memory (one partition
+//! at a time) is charged to the per-query cap only
+//! ([`crate::memory::MemoryReservation::grow_unpooled`]): pool pressure
+//! makes queries spill, never fail.
+
+use perm_algebra::plan::SortKey;
+use perm_storage::{SpillPartitions, SpillReader, SpillWriter};
+use perm_types::hash::set_with_capacity;
+use perm_types::{Result, Tuple, Value};
+
+use crate::compile::CompiledExpr;
+use crate::eval::Env;
+use crate::executor::Executor;
+use crate::memory::MemoryReservation;
+use crate::parallel::{chunk_ranges, cmp_keys, partition_of};
+
+/// External sort: key + stably sort + spill contiguous runs, then k-way
+/// merge. Runs cover the input in order, so key-evaluation errors
+/// surface in input-row order exactly as the serial path raises them,
+/// and merge ties resolve toward the earlier (lower-input-position) run,
+/// matching the serial stable sort.
+pub(crate) fn sort_spill(
+    exec: &Executor,
+    rows: Vec<Tuple>,
+    keys: &[SortKey],
+    parts: usize,
+    res: &MemoryReservation,
+) -> Result<Vec<Tuple>> {
+    let outer = exec.outer_stack();
+    let compiled: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|k| CompiledExpr::compile(exec, &k.expr))
+        .collect();
+    let kn = keys.len();
+
+    let mut writers: Vec<SpillWriter> = Vec::new();
+    for range in chunk_ranges(rows.len(), parts) {
+        let mut charged = 0usize;
+        let mut keyed: Vec<(Vec<Value>, &Tuple)> = Vec::with_capacity(range.len());
+        for t in &rows[range] {
+            let env = Env::new(t, &outer);
+            let mut ks = Vec::with_capacity(kn);
+            for c in &compiled {
+                ks.push(c.eval(exec, &env)?);
+            }
+            let bytes = t.size_bytes() + ks.iter().map(Value::size_bytes).sum::<usize>();
+            res.grow_unpooled(bytes)?;
+            charged += bytes;
+            keyed.push((ks, t));
+        }
+        keyed.sort_by(|(a, _), (b, _)| cmp_keys(a, b, keys));
+        let mut w = SpillWriter::create()?;
+        for (ks, t) in keyed {
+            // Composite record: the computed keys, then the row — split
+            // back apart at read time.
+            let composite: Tuple = ks.into_iter().chain(t.iter().cloned()).collect();
+            w.push(0, &composite)?;
+        }
+        res.shrink(charged);
+        writers.push(w);
+    }
+    drop(rows);
+
+    let mut readers: Vec<SpillReader> = writers
+        .into_iter()
+        .map(SpillWriter::into_reader)
+        .collect::<Result<_>>()?;
+    let split = |row: Tuple| -> (Vec<Value>, Tuple) {
+        let mut vals = row.into_values();
+        let rest = vals.split_off(kn);
+        (vals, Tuple::new(rest))
+    };
+    let mut heads: Vec<Option<(Vec<Value>, Tuple)>> = Vec::with_capacity(readers.len());
+    let mut total = 0usize;
+    for r in &mut readers {
+        total += r.remaining() + usize::from(r.remaining() > 0);
+        heads.push(match r.next() {
+            Some(rec) => Some(split(rec?.1)),
+            None => None,
+        });
+    }
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..heads.len() {
+            let Some((hk, _)) = &heads[i] else { continue };
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    // INVARIANT: heads[b] is Some — b was picked above.
+                    let (bk, _) = heads[b].as_ref().expect("best head present");
+                    if cmp_keys(hk, bk, keys) == std::cmp::Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        // INVARIANT: `best` was only ever set to an index whose head is
+        // Some in the selection loop above.
+        let (_, row) = heads[b].take().expect("best head present");
+        out.push(row);
+        heads[b] = match readers[b].next() {
+            Some(rec) => Some(split(rec?.1)),
+            None => None,
+        };
+    }
+    Ok(out)
+}
+
+/// Partitioned on-disk duplicate elimination: rows scatter by their own
+/// hash tagged with their input position, each partition keeps first
+/// occurrences (in tag order), and the final sort by tag restores the
+/// serial first-occurrence output exactly.
+pub(crate) fn distinct_spill(
+    rows: Vec<Tuple>,
+    parts: usize,
+    res: &MemoryReservation,
+) -> Result<Vec<Tuple>> {
+    let mut files = SpillPartitions::create(parts)?;
+    for (i, t) in rows.iter().enumerate() {
+        files.push(partition_of(t, parts), i as u64, t)?;
+    }
+    drop(rows);
+
+    let mut kept: Vec<(u64, Tuple)> = Vec::new();
+    for reader in files.into_readers()? {
+        let mut charged = 0usize;
+        let mut seen = set_with_capacity(reader.remaining());
+        for rec in reader {
+            let (tag, row) = rec?;
+            if !seen.contains(&row) {
+                let bytes = row.size_bytes();
+                res.grow_unpooled(bytes)?;
+                charged += bytes;
+                seen.insert(row.clone());
+                kept.push((tag, row));
+            }
+        }
+        res.shrink(charged);
+    }
+    kept.sort_unstable_by_key(|(i, _)| *i);
+    Ok(kept.into_iter().map(|(_, t)| t).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{MemoryPool, QueryMemory};
+    use perm_storage::Catalog;
+    use std::sync::Arc;
+
+    fn res() -> (QueryMemory, MemoryReservation) {
+        let q = QueryMemory::new(MemoryPool::with_budget(1), None);
+        let r = q.register("test");
+        (q, r)
+    }
+
+    fn rows(vals: &[i64]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|&v| Tuple::new(vec![Value::Int(v), Value::Int(v % 3)]))
+            .collect()
+    }
+
+    #[test]
+    fn external_sort_matches_in_memory_stable_sort() {
+        let exec = Executor::new(Arc::new(Catalog::new()));
+        let (_q, r) = res();
+        let input = rows(&[5, 3, 8, 3, 1, 9, 3, 7, 2, 5, 0, 6]);
+        let keys = vec![SortKey {
+            expr: perm_algebra::expr::ScalarExpr::Column(1),
+            desc: false,
+        }];
+        let mut expected = input.clone();
+        expected.sort_by_key(|t| match t.get(1) {
+            Value::Int(i) => *i,
+            _ => unreachable!(),
+        });
+        let got = sort_spill(&exec, input, &keys, 4, &r).unwrap();
+        assert_eq!(got, expected, "stable order must survive the spill");
+        assert_eq!(r.size(), 0, "working memory fully released");
+    }
+
+    #[test]
+    fn spilled_distinct_keeps_first_occurrence_order() {
+        let (_q, r) = res();
+        let input = rows(&[4, 1, 4, 2, 1, 3, 2, 4]);
+        let got = distinct_spill(input, 3, &r).unwrap();
+        assert_eq!(got, rows(&[4, 1, 2, 3]));
+        assert_eq!(r.size(), 0);
+    }
+
+    #[test]
+    fn empty_input_spills_to_empty_output() {
+        let exec = Executor::new(Arc::new(Catalog::new()));
+        let (_q, r) = res();
+        assert!(sort_spill(&exec, Vec::new(), &[], 4, &r)
+            .unwrap()
+            .is_empty());
+        assert!(distinct_spill(Vec::new(), 4, &r).unwrap().is_empty());
+    }
+}

@@ -46,6 +46,14 @@ use perm_types::{Schema, Value};
 use crate::adapter::CatalogStats;
 use crate::parallel::{auto_parallelism, pool_parallelism, DEFAULT_PARALLEL_THRESHOLD};
 
+/// Partition count buffering operators use when they spill to disk.
+///
+/// The planner stamps this into every spillable operator's
+/// `spill: Some(n)` field; the plan verifier checks that all spill
+/// counts in one plan agree, so a partitioned row written by one
+/// operator phase is always found by the matching read phase.
+pub const SPILL_PARTITIONS: usize = 8;
+
 /// One hashable equi-key pair of a join: `left_expr ⋈ right_expr`, with
 /// the right expression rebased to the right input's columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +134,10 @@ pub enum PhysicalPlan {
         /// Degree of parallelism: the probe phase runs morsel-parallel
         /// when > 1 (the build stays on the calling thread).
         dop: usize,
+        /// Partition count for the Grace-join spill path when the build
+        /// side's memory reservation is denied; `None` = must not spill
+        /// (FULL joins, sublink pipelines).
+        spill: Option<usize>,
     },
     /// Index nested-loop join: for each outer row, probe the inner base
     /// table's hash index with the evaluated key expression.
@@ -171,12 +183,18 @@ pub enum PhysicalPlan {
         /// Degree of parallelism: per-worker partial hash tables over
         /// contiguous input chunks, merged in chunk order, when > 1.
         dop: usize,
+        /// Partition count for the grouped spill path when the hash
+        /// table's memory reservation is denied; `None` = must not spill
+        /// (DISTINCT aggregates, sublink pipelines).
+        spill: Option<usize>,
     },
     /// Hash duplicate elimination.
     HashDistinct {
         input: Box<PhysicalPlan>,
         /// Degree of parallelism: hash-partitioned dedup when > 1.
         dop: usize,
+        /// Partition count for the partitioned dedup spill path.
+        spill: Option<usize>,
     },
     /// Set operation (hash-based; `UNION ALL` is a plain append).
     HashSetOp {
@@ -186,6 +204,9 @@ pub enum PhysicalPlan {
         right: Box<PhysicalPlan>,
         /// Degree of parallelism: hash-partitioned set logic when > 1.
         dop: usize,
+        /// Partition count for the partitioned spill path; `None` = must
+        /// not spill (`UNION ALL` append streams, it never buffers).
+        spill: Option<usize>,
     },
     Sort {
         input: Box<PhysicalPlan>,
@@ -193,6 +214,10 @@ pub enum PhysicalPlan {
         /// Degree of parallelism: parallel chunk sort + stable k-way
         /// merge when > 1.
         dop: usize,
+        /// Run count for the external-sort spill path when the sort
+        /// buffer's memory reservation is denied; `None` = must not
+        /// spill (sublink sort keys).
+        spill: Option<usize>,
     },
     Limit {
         input: Box<PhysicalPlan>,
@@ -233,6 +258,21 @@ impl PhysicalPlan {
             | PhysicalPlan::HashSetOp { dop, .. }
             | PhysicalPlan::Sort { dop, .. } => *dop,
             _ => 1,
+        }
+    }
+
+    /// The spill partition count this node may fall back to when a
+    /// memory reservation is denied (`None`: the node never spills —
+    /// either it does not buffer, or the planner's legality rules keep
+    /// it in memory).
+    pub fn spill(&self) -> Option<usize> {
+        match self {
+            PhysicalPlan::HashJoin { spill, .. }
+            | PhysicalPlan::HashAggregate { spill, .. }
+            | PhysicalPlan::HashDistinct { spill, .. }
+            | PhysicalPlan::HashSetOp { spill, .. }
+            | PhysicalPlan::Sort { spill, .. } => *spill,
+            _ => None,
         }
     }
 
@@ -405,11 +445,22 @@ impl PhysicalPlan {
 /// artifact).
 pub fn physical_tree(plan: &PhysicalPlan) -> String {
     let mut out = String::new();
-    render(plan, "", true, &mut out);
+    render(plan, "", true, false, &mut out);
     out
 }
 
-fn render(plan: &PhysicalPlan, line_prefix: &str, is_last: bool, out: &mut String) {
+/// Like [`physical_tree`], but every buffering operator's line also
+/// carries its estimated peak memory (`[est_mem≈…]`, from the same
+/// cardinality estimates the cost model uses) and its spill partition
+/// count when the operator may spill. This is the `EXPLAIN VERBOSE`
+/// artifact.
+pub fn physical_tree_verbose(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, "", true, true, &mut out);
+    out
+}
+
+fn render(plan: &PhysicalPlan, line_prefix: &str, is_last: bool, verbose: bool, out: &mut String) {
     let is_root = out.is_empty();
     let connector = if is_root {
         ""
@@ -424,6 +475,18 @@ fn render(plan: &PhysicalPlan, line_prefix: &str, is_last: bool, out: &mut Strin
     if plan.dop() > 1 {
         let _ = write!(out, " [dop={}]", plan.dop());
     }
+    if verbose {
+        let peak = node_peak_bytes(plan);
+        if peak > 0.0 {
+            let _ = write!(out, " [est_mem≈{}]", fmt_bytes(peak));
+            match plan.spill() {
+                Some(p) => {
+                    let _ = write!(out, " [spill={p}]");
+                }
+                None => out.push_str(" [spill=never]"),
+            }
+        }
+    }
     out.push('\n');
     let child_prefix = if is_root {
         String::new()
@@ -435,7 +498,152 @@ fn render(plan: &PhysicalPlan, line_prefix: &str, is_last: bool, out: &mut Strin
     let children = plan.children();
     let n = children.len();
     for (i, child) in children.into_iter().enumerate() {
-        render(child, &child_prefix, i == n - 1, out);
+        render(child, &child_prefix, i == n - 1, verbose, out);
+    }
+}
+
+/// Coarse per-value heap cost of the plan-time memory model (matches
+/// the order of magnitude of [`perm_types::Value::size_bytes`]).
+const EST_VALUE_BYTES: f64 = 24.0;
+/// Per-row overhead (shared-slice header) in the same model.
+const EST_ROW_OVERHEAD: f64 = 16.0;
+
+fn est_row_bytes(width: usize) -> f64 {
+    EST_ROW_OVERHEAD + EST_VALUE_BYTES * width.max(1) as f64
+}
+
+/// Output arity of a physical node (exact — every operator knows its
+/// output width structurally).
+fn out_arity(plan: &PhysicalPlan) -> usize {
+    match plan {
+        PhysicalPlan::FusedScanProjectFilter {
+            schema, project, ..
+        } => project.as_ref().map_or(schema.len(), Vec::len),
+        PhysicalPlan::IndexScan {
+            schema, project, ..
+        } => project.as_ref().map_or(schema.len(), Vec::len),
+        PhysicalPlan::Values { arity, .. } => *arity,
+        PhysicalPlan::Project { exprs, .. } => exprs.len(),
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::HashDistinct { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. } => out_arity(input),
+        PhysicalPlan::HashJoin {
+            nl, nr, out_slots, ..
+        }
+        | PhysicalPlan::IndexNLJoin {
+            nl, nr, out_slots, ..
+        }
+        | PhysicalPlan::NLJoin {
+            nl, nr, out_slots, ..
+        } => out_slots.as_ref().map_or(nl + nr, Vec::len),
+        PhysicalPlan::HashAggregate { group_by, aggs, .. } => group_by.len() + aggs.len(),
+        PhysicalPlan::HashSetOp { left, .. } => out_arity(left),
+    }
+}
+
+/// Estimated output rows of a physical node: the planner's recorded
+/// estimate where one exists, coarse selectivity rules elsewhere.
+fn est_out_rows(plan: &PhysicalPlan) -> f64 {
+    match plan {
+        PhysicalPlan::FusedScanProjectFilter { est_rows, .. }
+        | PhysicalPlan::IndexScan { est_rows, .. }
+        | PhysicalPlan::HashJoin { est_rows, .. }
+        | PhysicalPlan::IndexNLJoin { est_rows, .. }
+        | PhysicalPlan::NLJoin { est_rows, .. } => *est_rows,
+        PhysicalPlan::Values { rows, .. } => rows.len() as f64,
+        PhysicalPlan::Project { input, .. } => est_out_rows(input),
+        PhysicalPlan::Filter { input, .. } => est_out_rows(input) * 0.5,
+        PhysicalPlan::HashAggregate {
+            input, group_by, ..
+        } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                (est_out_rows(input) * 0.1).max(1.0)
+            }
+        }
+        PhysicalPlan::HashDistinct { input, .. } => (est_out_rows(input) * 0.5).max(1.0),
+        PhysicalPlan::HashSetOp {
+            op, left, right, ..
+        } => {
+            let (l, r) = (est_out_rows(left), est_out_rows(right));
+            match op {
+                SetOpType::Union => l + r,
+                SetOpType::Intersect => l.min(r),
+                SetOpType::Except => l,
+            }
+        }
+        PhysicalPlan::Sort { input, .. } => est_out_rows(input),
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let cap = limit.map_or(f64::INFINITY, |l| (l + offset) as f64);
+            est_out_rows(input).min(cap)
+        }
+    }
+}
+
+/// Estimated peak buffered bytes of one node — 0 for streaming
+/// operators, which hold no more than a row at a time.
+fn node_peak_bytes(plan: &PhysicalPlan) -> f64 {
+    match plan {
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            keys,
+            build_side,
+            nl,
+            nr,
+            ..
+        } => {
+            let (build, width) = match build_side {
+                BuildSide::Left => (left, *nl),
+                BuildSide::Right => (right, *nr),
+            };
+            est_out_rows(build) * est_row_bytes(width + keys.len())
+        }
+        PhysicalPlan::HashAggregate { .. } => est_out_rows(plan) * est_row_bytes(out_arity(plan)),
+        PhysicalPlan::HashDistinct { .. } => est_out_rows(plan) * est_row_bytes(out_arity(plan)),
+        PhysicalPlan::HashSetOp {
+            op,
+            all,
+            left,
+            right,
+            ..
+        } => {
+            if matches!(op, SetOpType::Union) && *all {
+                return 0.0; // plain append: streams, never buffers
+            }
+            (est_out_rows(left) + est_out_rows(right)) * est_row_bytes(out_arity(plan))
+        }
+        PhysicalPlan::Sort { input, keys, .. } => {
+            est_out_rows(input) * est_row_bytes(out_arity(plan) + keys.len())
+        }
+        _ => 0.0,
+    }
+}
+
+/// Estimated peak memory of a whole plan in bytes: the sum of every
+/// buffering operator's estimate. Coarse by design — admission control
+/// uses it to decide *queueing*, never correctness; actual enforcement
+/// happens at run time through [`crate::memory::MemoryReservation`].
+pub fn estimated_peak_bytes(plan: &PhysicalPlan) -> u64 {
+    fn sum(plan: &PhysicalPlan) -> f64 {
+        node_peak_bytes(plan) + plan.children().into_iter().map(sum).sum::<f64>()
+    }
+    sum(plan).min(u64::MAX as f64).max(0.0) as u64
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{} B", b.round() as u64)
     }
 }
 
@@ -660,11 +868,16 @@ impl<'a> PhysicalPlanner<'a> {
                     group_by: group_by.clone(),
                     aggs: aggs.clone(),
                     dop: self.choose_dop(self.est(input), safe),
+                    // The grouped spill path re-partitions and re-merges
+                    // like the parallel path does, so it shares the same
+                    // legality condition.
+                    spill: safe.then_some(SPILL_PARTITIONS),
                 }
             }
             LogicalPlan::Distinct { input } => PhysicalPlan::HashDistinct {
                 input: Box::new(self.plan_node(input)),
                 dop: self.choose_dop(self.est(input), true),
+                spill: Some(SPILL_PARTITIONS),
             },
             LogicalPlan::SetOp {
                 op,
@@ -682,6 +895,7 @@ impl<'a> PhysicalPlanner<'a> {
                     left: Box::new(self.plan_node(left)),
                     right: Box::new(self.plan_node(right)),
                     dop: self.choose_dop(input_rows, !append),
+                    spill: (!append).then_some(SPILL_PARTITIONS),
                 }
             }
             LogicalPlan::Sort { input, keys } => {
@@ -690,6 +904,7 @@ impl<'a> PhysicalPlanner<'a> {
                     input: Box::new(self.plan_node(input)),
                     keys: keys.clone(),
                     dop: self.choose_dop(self.est(input), safe),
+                    spill: safe.then_some(SPILL_PARTITIONS),
                 }
             }
             LogicalPlan::Limit {
@@ -1008,6 +1223,10 @@ impl<'a> PhysicalPlanner<'a> {
             out_slots,
             est_rows,
             dop,
+            // Grace-join repartitioning shares the parallel-probe
+            // legality condition: FULL joins and sublink keys stay
+            // serial *and* in memory.
+            spill: safe.then_some(SPILL_PARTITIONS),
         }
     }
 }
@@ -1259,6 +1478,37 @@ mod tests {
             }
             other => panic!("expected fused hash join, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn verbose_tree_annotates_buffering_operators() {
+        let cat = catalog();
+        let j = LogicalPlan::join(
+            scan(&cat, "big"),
+            scan(&cat, "small"),
+            JoinType::Inner,
+            Some(eq(0, 2)),
+        )
+        .unwrap();
+        let p = plan_physical(&cat, &j);
+        let t = physical_tree_verbose(&p);
+        assert!(t.contains("est_mem≈"), "{t}");
+        assert!(t.contains(&format!("[spill={SPILL_PARTITIONS}]")), "{t}");
+        // The plain tree stays free of the verbose annotations.
+        assert!(!physical_tree(&p).contains("est_mem"), "{t}");
+        assert!(estimated_peak_bytes(&p) > 0);
+
+        // A FULL join must never spill, and the verbose tree says so.
+        let f = LogicalPlan::join(
+            scan(&cat, "big"),
+            scan(&cat, "small"),
+            JoinType::Full,
+            Some(eq(0, 2)),
+        )
+        .unwrap();
+        let pf = plan_physical(&cat, &f);
+        assert_eq!(pf.spill(), None, "{pf:?}");
+        assert!(physical_tree_verbose(&pf).contains("[spill=never]"));
     }
 
     #[test]

@@ -40,7 +40,8 @@ fn violation(pass: &str, invariant: &str, path: &str, detail: impl std::fmt::Dis
 /// typing over schemas derived bottom-up, and the parallel-legality
 /// rules. `pass` names the transformation that produced the plan.
 pub fn verify_physical(plan: &PhysicalPlan, pass: &str) -> Result<()> {
-    verify_node(plan, pass, "").map(|_| ())
+    verify_node(plan, pass, "")?;
+    check_spill_partitions(plan, pass, "", &mut None)
 }
 
 /// Short operator label for node paths.
@@ -164,8 +165,9 @@ fn check_slots(slots: &[usize], width: usize, pass: &str, path: &str, what: &str
     Ok(())
 }
 
-/// The parallel-legality rules: a node may only run with `dop > 1` when
-/// the planner proved it safe, and never beyond the worker-pool size.
+/// The parallel-legality rules — a node may only run with `dop > 1` when
+/// the planner proved it safe, and never beyond the worker-pool size —
+/// plus the per-node spill-legality rules that mirror them.
 fn check_dop(
     plan: &PhysicalPlan,
     node_exprs: &[&ScalarExpr],
@@ -230,6 +232,117 @@ fn check_dop(
             }
             _ => {}
         }
+    }
+    // Spill legality mirrors the serial rules exactly: the operators the
+    // parallel-legality rules keep serial — sublink pipelines, FULL hash
+    // joins, DISTINCT aggregates and (streaming) UNION ALL appends — run
+    // whole-input in-memory algorithms and must not carry a spill
+    // strategy.
+    if let Some(p) = plan.spill() {
+        if p < 2 {
+            return Err(violation(
+                pass,
+                "spill-consistency",
+                path,
+                format!("spill partition count is {p} (at least 2 required)"),
+            ));
+        }
+        if node_exprs.iter().any(|e| e.contains_subquery()) {
+            return Err(violation(
+                pass,
+                "spill-legality",
+                path,
+                "spill enabled on a pipeline containing a sublink (must stay in memory)",
+            ));
+        }
+        match plan {
+            PhysicalPlan::HashJoin {
+                kind: JoinType::Full,
+                ..
+            } => {
+                return Err(violation(
+                    pass,
+                    "spill-legality",
+                    path,
+                    "spill enabled on a FULL hash join (must stay in memory)",
+                ));
+            }
+            PhysicalPlan::HashAggregate { aggs, .. } if aggs.iter().any(|a| a.distinct) => {
+                return Err(violation(
+                    pass,
+                    "spill-legality",
+                    path,
+                    "spill enabled on a DISTINCT aggregate (must stay in memory)",
+                ));
+            }
+            PhysicalPlan::HashSetOp {
+                op: perm_algebra::plan::SetOpType::Union,
+                all: true,
+                ..
+            } => {
+                return Err(violation(
+                    pass,
+                    "spill-legality",
+                    path,
+                    "spill enabled on a UNION ALL append (streaming, holds no state)",
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Immediate children of a physical node, for structural walks.
+fn children(plan: &PhysicalPlan) -> Vec<&PhysicalPlan> {
+    match plan {
+        PhysicalPlan::FusedScanProjectFilter { .. }
+        | PhysicalPlan::IndexScan { .. }
+        | PhysicalPlan::Values { .. } => Vec::new(),
+        PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::HashAggregate { input, .. }
+        | PhysicalPlan::HashDistinct { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. } => vec![input],
+        PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::NLJoin { left, right, .. }
+        | PhysicalPlan::HashSetOp { left, right, .. } => vec![left, right],
+        PhysicalPlan::IndexNLJoin { outer, .. } => vec![outer],
+    }
+}
+
+/// Every spill-enabled operator in one plan must agree on the partition
+/// count: the planner stamps a single [`crate::physical::SPILL_PARTITIONS`]
+/// plan-wide, and a mismatch means a pass rewrote one node but not its
+/// siblings.
+fn check_spill_partitions(
+    plan: &PhysicalPlan,
+    pass: &str,
+    path: &str,
+    seen: &mut Option<(usize, String)>,
+) -> Result<()> {
+    let path = if path.is_empty() {
+        label(plan).to_string()
+    } else {
+        format!("{path} > {}", label(plan))
+    };
+    if let Some(p) = plan.spill() {
+        match seen {
+            None => *seen = Some((p, path.clone())),
+            Some((q, first)) if *q != p => {
+                return Err(violation(
+                    pass,
+                    "spill-consistency",
+                    &path,
+                    format!("spill partition count {p} differs from {q} at {first}"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    for child in children(plan) {
+        check_spill_partitions(child, pass, &path, seen)?;
     }
     Ok(())
 }
@@ -704,6 +817,7 @@ mod tests {
             out_slots: None,
             est_rows: 100.0,
             dop: 2,
+            spill: None,
         };
         let err = verify_physical(&plan, "parallelization").unwrap_err();
         assert!(err.message().contains("FULL hash join"), "{err}");
@@ -720,6 +834,7 @@ mod tests {
                 distinct: true,
             }],
             dop: 2,
+            spill: None,
         };
         let err = verify_physical(&plan, "parallelization").unwrap_err();
         assert!(err.message().contains("DISTINCT aggregate"), "{err}");
@@ -733,6 +848,7 @@ mod tests {
             left: Box::new(scan(1)),
             right: Box::new(scan(1)),
             dop: 2,
+            spill: None,
         };
         let err = verify_physical(&plan, "parallelization").unwrap_err();
         assert!(err.message().contains("UNION ALL"), "{err}");
@@ -766,8 +882,101 @@ mod tests {
             left: Box::new(scan(1)),
             right: Box::new(narrow),
             dop: 1,
+            spill: Some(8),
         };
         let err = verify_physical(&plan, "physical-planning").unwrap_err();
         assert!(err.message().contains("setop-arity"), "{err}");
+    }
+
+    #[test]
+    fn spill_partition_count_below_two_is_inconsistent() {
+        let plan = PhysicalPlan::HashDistinct {
+            input: Box::new(scan(1)),
+            dop: 1,
+            spill: Some(1),
+        };
+        let err = verify_physical(&plan, "physical-planning").unwrap_err();
+        assert!(err.message().contains("spill-consistency"), "{err}");
+        assert!(err.message().contains("at least 2"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_spill_partition_counts_are_caught() {
+        // A pass that re-stamps one operator's partition count but not
+        // its siblings' would break partition-wise processing.
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::HashDistinct {
+                input: Box::new(scan(1)),
+                dop: 1,
+                spill: Some(8),
+            }),
+            keys: vec![perm_algebra::plan::SortKey {
+                expr: ScalarExpr::Column(0),
+                desc: false,
+            }],
+            dop: 1,
+            spill: Some(4),
+        };
+        let err = verify_physical(&plan, "physical-planning").unwrap_err();
+        assert!(err.message().contains("spill-consistency"), "{err}");
+        assert!(err.message().contains("differs"), "{err}");
+    }
+
+    #[test]
+    fn spill_on_serial_only_operators_is_illegal() {
+        // FULL hash join: tracks unmatched build rows across the whole
+        // build side — must stay in memory.
+        let full = PhysicalPlan::HashJoin {
+            left: Box::new(scan(1)),
+            right: Box::new(scan(1)),
+            kind: JoinType::Full,
+            keys: vec![crate::physical::EquiKey {
+                left: ScalarExpr::Column(0),
+                right: ScalarExpr::Column(0),
+                null_safe: false,
+            }],
+            residual: None,
+            build_side: crate::physical::BuildSide::Right,
+            nl: 2,
+            nr: 2,
+            out_slots: None,
+            est_rows: 100.0,
+            dop: 1,
+            spill: Some(8),
+        };
+        let err = verify_physical(&full, "physical-planning").unwrap_err();
+        assert!(err.message().contains("spill-legality"), "{err}");
+        assert!(err.message().contains("FULL"), "{err}");
+
+        // DISTINCT aggregates carry per-group seen-sets keyed on the
+        // whole input.
+        let distinct = PhysicalPlan::HashAggregate {
+            input: Box::new(scan(1)),
+            group_by: vec![ScalarExpr::Column(0)],
+            aggs: vec![AggCall {
+                func: AggFunc::Count,
+                arg: Some(ScalarExpr::Column(1)),
+                distinct: true,
+            }],
+            dop: 1,
+            spill: Some(8),
+        };
+        let err = verify_physical(&distinct, "physical-planning").unwrap_err();
+        assert!(err.message().contains("spill-legality"), "{err}");
+        assert!(err.message().contains("DISTINCT"), "{err}");
+
+        // UNION ALL append streams and holds no state — spilling it is a
+        // planner bug.
+        let append = PhysicalPlan::HashSetOp {
+            op: SetOpType::Union,
+            all: true,
+            left: Box::new(scan(1)),
+            right: Box::new(scan(1)),
+            dop: 1,
+            spill: Some(8),
+        };
+        let err = verify_physical(&append, "physical-planning").unwrap_err();
+        assert!(err.message().contains("spill-legality"), "{err}");
+        assert!(err.message().contains("UNION ALL"), "{err}");
     }
 }

@@ -25,9 +25,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use perm_algebra::expr::{AggCall, AggFunc, BinOp, ScalarExpr, ScalarFunc, UnOp};
-use perm_algebra::plan::{JoinType, LogicalPlan};
+use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType};
 use perm_exec::eval::{eval, Env};
-use perm_exec::{optimize_verified, CatalogStats, CompiledExpr, Executor};
+use perm_exec::{optimize_verified, CatalogStats, CompiledExpr, Executor, MemoryPool, QueryMemory};
 use perm_storage::{Catalog, Table};
 use perm_types::{Column, DataType, Schema, Tuple, Value};
 
@@ -543,6 +543,124 @@ proptest! {
                 case
             ),
         }
+    }
+
+    /// A query forced over budget — every buffering operator's memory
+    /// reservation is denied by a 1-byte pool, so hash joins Grace-
+    /// partition, aggregates/distincts/set-ops partition to disk, and
+    /// sorts run externally — produces *exactly* what the in-memory
+    /// execution produces: the same rows, in the same order, or the same
+    /// error. Checked at DOP 1 and DOP 3 (parallel threshold 1), and the
+    /// pool must drain back to zero bytes afterwards either way.
+    #[test]
+    fn spilling_execution_matches_in_memory(
+        case in plan_case(),
+        div_by_key in any::<bool>(),
+        shape in 0..6usize,
+        parallel in any::<bool>(),
+    ) {
+        // FULL hash joins are deliberately non-spillable (the planner
+        // stamps `spill: None`): under pool pressure they fail with the
+        // typed resource error rather than degrade — pinned by
+        // `full_join_over_budget_fails_with_typed_error` in
+        // tests/memory_governance.rs. The equivalence property covers
+        // the spillable plans, so remap FULL to LEFT here.
+        let case = PlanCase {
+            kind: if case.kind == JoinType::Full { JoinType::Left } else { case.kind },
+            ..case
+        };
+        let mut cat = Catalog::new();
+        cat.create_table(int_table("t1", ["a", "b"], &case.t1_rows)).unwrap();
+        cat.create_table(int_table("t2", ["c", "d"], &case.t2_rows)).unwrap();
+        let mut plan = match shape {
+            // Set operations need equal arities: run them straight over
+            // the two base tables (union distinct, intersect all and
+            // except all cover all three hash set-op families).
+            3..=5 => {
+                let scan = |name: &str| LogicalPlan::Scan {
+                    table: name.into(),
+                    schema: cat.table(name).unwrap().schema().clone(),
+                    provenance_cols: vec![],
+                };
+                let (op, all) = match shape {
+                    3 => (SetOpType::Union, false),
+                    4 => (SetOpType::Intersect, true),
+                    _ => (SetOpType::Except, true),
+                };
+                let left = scan("t1");
+                let schema = left.schema().clone();
+                LogicalPlan::SetOp {
+                    op,
+                    all,
+                    left: Box::new(left),
+                    right: Box::new(scan("t2")),
+                    schema,
+                }
+            }
+            _ => build_plan(&case, &cat),
+        };
+        if div_by_key && shape < 3 {
+            // Plants a division that errors on key-0 rows: the spilled
+            // execution must raise exactly the same error.
+            plan = LogicalPlan::filter(
+                plan,
+                ScalarExpr::binary(
+                    BinOp::GtEq,
+                    ScalarExpr::binary(
+                        BinOp::Div,
+                        ScalarExpr::Column(1),
+                        ScalarExpr::Column(0),
+                    ),
+                    ScalarExpr::Literal(Value::Int(-1000)),
+                ),
+            );
+        }
+        match shape {
+            1 => {
+                plan = LogicalPlan::Sort {
+                    keys: vec![perm_algebra::plan::SortKey {
+                        expr: ScalarExpr::Column(0),
+                        desc: true,
+                    }],
+                    input: Box::new(plan),
+                };
+            }
+            2 => plan = LogicalPlan::Distinct { input: Box::new(plan) },
+            _ => {}
+        }
+
+        let cat = Arc::new(cat);
+        let optimized = match optimize_verified(plan, &CatalogStats(&cat)) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("verifier: {e}"))),
+        };
+        let (dop, threshold) = if parallel { (3, 1) } else { (1, 2) };
+        let in_memory = Executor::new(Arc::clone(&cat))
+            .with_parallelism(dop, threshold)
+            .run(&optimized);
+        let pool = MemoryPool::with_budget(1);
+        let spilled = Executor::new(Arc::clone(&cat))
+            .with_parallelism(dop, threshold)
+            .with_memory(QueryMemory::new(pool.clone(), None))
+            .run(&optimized);
+        match (in_memory, spilled) {
+            // Exact equality, order included — spilling is invisible.
+            (Ok(m), Ok(s)) => prop_assert_eq!(m, s, "spill diverges for {:?}", case),
+            (Err(m), Err(s)) => prop_assert_eq!(
+                m.to_string(),
+                s.to_string(),
+                "errors diverge for {:?}",
+                case
+            ),
+            (m, s) => prop_assert!(
+                false,
+                "one mode failed: in_memory={:?} spilled={:?} case={:?}",
+                m,
+                s,
+                case
+            ),
+        }
+        prop_assert_eq!(pool.used(), 0, "pool must drain to zero after the query");
     }
 
     /// Hash-based execution (hash joins, fused slot projections, hash

@@ -17,7 +17,7 @@
 //!   must be serial; dop is bounded by the worker pool).
 
 use perm_algebra::expr::{AggCall, AggFunc, ScalarExpr, SubqueryExpr, SubqueryKind};
-use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType};
+use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType, SortKey};
 use perm_algebra::verify::{verify_logical, verify_provenance_schema, verify_schema_preserved};
 use perm_exec::physical::{BuildSide, EquiKey, PhysicalPlan};
 use perm_exec::verify_physical;
@@ -274,6 +274,7 @@ fn parallel_full_join_is_illegal() {
         out_slots: None,
         est_rows: 1.0,
         dop: 2,
+        spill: None,
     };
     let err = verify_physical(&plan, "physical-planning").unwrap_err();
     assert_names(&err, "parallel-legality", "physical-planning");
@@ -291,6 +292,7 @@ fn parallel_distinct_aggregate_is_illegal() {
             distinct: true,
         }],
         dop: 2,
+        spill: None,
     };
     let err = verify_physical(&plan, "physical-planning").unwrap_err();
     assert_names(&err, "parallel-legality", "physical-planning");
@@ -305,6 +307,7 @@ fn parallel_union_all_append_is_illegal() {
         left: values(1),
         right: values(1),
         dop: 2,
+        spill: None,
     };
     let err = verify_physical(&plan, "physical-planning").unwrap_err();
     assert_names(&err, "parallel-legality", "physical-planning");
@@ -325,6 +328,25 @@ fn dop_beyond_worker_pool_is_illegal() {
 }
 
 #[test]
+fn spilling_sublink_sort_is_illegal() {
+    // Sublink pipelines run through the executor's per-query caches and
+    // outer stack; the planner keeps them serial AND in memory. A spill
+    // strategy here is a planner bug.
+    let plan = PhysicalPlan::Sort {
+        input: values(1),
+        keys: vec![SortKey {
+            expr: exists_sublink(),
+            desc: false,
+        }],
+        dop: 1,
+        spill: Some(8),
+    };
+    let err = verify_physical(&plan, "physical-planning").unwrap_err();
+    assert_names(&err, "spill-legality", "physical-planning");
+    assert!(err.message().contains("sublink"), "{err}");
+}
+
+#[test]
 fn hash_setop_arity_mismatch_is_rejected() {
     let plan = PhysicalPlan::HashSetOp {
         op: SetOpType::Except,
@@ -332,6 +354,7 @@ fn hash_setop_arity_mismatch_is_rejected() {
         left: values(1),
         right: values(2), // different width
         dop: 1,
+        spill: Some(8),
     };
     let err = verify_physical(&plan, "physical-planning").unwrap_err();
     assert_names(&err, "setop-arity", "physical-planning");
@@ -355,6 +378,7 @@ fn hash_join_child_width_mismatch_is_rejected() {
         out_slots: None,
         est_rows: 1.0,
         dop: 1,
+        spill: Some(8),
     };
     let err = verify_physical(&plan, "physical-planning").unwrap_err();
     assert_names(&err, "schema-arity", "physical-planning");
@@ -396,6 +420,7 @@ fn violations_name_the_node_path() {
             exprs: vec![ScalarExpr::Column(9)],
         }),
         dop: 1,
+        spill: Some(8),
     };
     let err = verify_physical(&plan, "physical-planning").unwrap_err();
     let msg = err.message().to_string();

@@ -16,6 +16,10 @@
 //!   analyzer unfolds them per use, which is what lets the rewriter either
 //!   descend into the view (default) or stop at it (`BASERELATION`).
 //!
+//! The one on-disk codepath is [`spill`]: length-prefixed row files the
+//! executor's buffering operators scatter partitions into when a memory
+//! reservation is denied, read back partition by partition.
+//!
 //! For concurrent servers, [`shared::SharedCatalog`] wraps a [`Catalog`]
 //! in copy-on-write snapshots behind a reader/writer lock: readers plan
 //! and execute lock-free against immutable snapshots while writers apply
@@ -26,6 +30,7 @@
 pub mod catalog;
 pub mod index;
 pub mod shared;
+pub mod spill;
 pub mod stats;
 pub mod table;
 pub mod view;
@@ -33,6 +38,7 @@ pub mod view;
 pub use catalog::{Catalog, Relation};
 pub use index::HashIndex;
 pub use shared::{CatalogWriteGuard, SharedCatalog};
+pub use spill::{SpillPartitions, SpillReader, SpillWriter};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
 pub use view::View;

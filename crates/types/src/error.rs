@@ -1,5 +1,6 @@
 //! The error type shared by every layer of the engine.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Convenience alias used throughout the workspace.
@@ -23,6 +24,14 @@ pub enum PermError {
     Catalog(String),
     /// Value-level failure (overflow, division by zero, bad cast, ...).
     Value(String),
+    /// A memory reservation (or query admission) could not be satisfied:
+    /// `operator` names the component that asked, `requested` the grow in
+    /// bytes, `budget` the limit it ran into.
+    ResourceExhausted {
+        operator: String,
+        requested: u64,
+        budget: u64,
+    },
 }
 
 impl PermError {
@@ -36,6 +45,7 @@ impl PermError {
             PermError::Execution(_) => "execution",
             PermError::Catalog(_) => "catalog",
             PermError::Value(_) => "value",
+            PermError::ResourceExhausted { .. } => "resource",
         }
     }
 
@@ -52,11 +62,20 @@ impl PermError {
             PermError::Execution(m) => PermError::Execution(wrap(m)),
             PermError::Catalog(m) => PermError::Catalog(wrap(m)),
             PermError::Value(m) => PermError::Value(wrap(m)),
+            PermError::ResourceExhausted {
+                operator,
+                requested,
+                budget,
+            } => PermError::ResourceExhausted {
+                operator: wrap(operator),
+                requested,
+                budget,
+            },
         }
     }
 
     /// The human-readable message, without the category prefix.
-    pub fn message(&self) -> &str {
+    pub fn message(&self) -> Cow<'_, str> {
         match self {
             PermError::Parse(m)
             | PermError::Analysis(m)
@@ -64,7 +83,14 @@ impl PermError {
             | PermError::Plan(m)
             | PermError::Execution(m)
             | PermError::Catalog(m)
-            | PermError::Value(m) => m,
+            | PermError::Value(m) => Cow::Borrowed(m),
+            PermError::ResourceExhausted {
+                operator,
+                requested,
+                budget,
+            } => Cow::Owned(format!(
+                "{operator}: requested {requested} bytes, budget is {budget} bytes"
+            )),
         }
     }
 }
@@ -98,6 +124,23 @@ mod tests {
     }
 
     #[test]
+    fn resource_exhausted_names_operator_and_budgets() {
+        let e = PermError::ResourceExhausted {
+            operator: "HashJoin build".into(),
+            requested: 4096,
+            budget: 1024,
+        };
+        assert_eq!(e.kind(), "resource");
+        assert_eq!(
+            e.to_string(),
+            "resource error: HashJoin build: requested 4096 bytes, budget is 1024 bytes"
+        );
+        let e = e.with_context("session 3");
+        assert_eq!(e.kind(), "resource");
+        assert!(e.message().starts_with("session 3: HashJoin build"), "{e}");
+    }
+
+    #[test]
     fn kinds_are_distinct() {
         let errs = [
             PermError::Parse(String::new()),
@@ -107,6 +150,11 @@ mod tests {
             PermError::Execution(String::new()),
             PermError::Catalog(String::new()),
             PermError::Value(String::new()),
+            PermError::ResourceExhausted {
+                operator: String::new(),
+                requested: 0,
+                budget: 0,
+            },
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

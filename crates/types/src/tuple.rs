@@ -96,6 +96,14 @@ impl Tuple {
     pub fn iter(&self) -> std::slice::Iter<'_, Value> {
         self.values.iter()
     }
+
+    /// Approximate heap footprint of this row in bytes (see
+    /// [`Value::size_bytes`]): the shared value slice plus its `Arc`
+    /// refcount header, charged to every holder. This is what buffering
+    /// operators grow their memory reservations by per stored row.
+    pub fn size_bytes(&self) -> usize {
+        2 * std::mem::size_of::<usize>() + self.values.iter().map(Value::size_bytes).sum::<usize>()
+    }
 }
 
 impl Default for Tuple {
@@ -184,6 +192,21 @@ mod tests {
         let kept = a.clone();
         assert_eq!(a.into_values(), vec![Value::Int(7), Value::text("x")]);
         assert_eq!(kept.get(0), &Value::Int(7));
+    }
+
+    #[test]
+    fn size_accounting_charges_text_payloads() {
+        let narrow = Tuple::new(vec![Value::Int(1), Value::Null]);
+        let wide = Tuple::new(vec![Value::Int(1), Value::text("0123456789")]);
+        assert!(narrow.size_bytes() > 0);
+        assert!(
+            wide.size_bytes() >= narrow.size_bytes() + 10,
+            "text payload must be charged: {} vs {}",
+            wide.size_bytes(),
+            narrow.size_bytes()
+        );
+        // Clones share storage but each holder is charged in full.
+        assert_eq!(wide.clone().size_bytes(), wide.size_bytes());
     }
 
     #[test]

@@ -48,6 +48,20 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Approximate heap footprint of this value in bytes, the unit the
+    /// executor's memory reservations account in. The inline enum costs
+    /// [`size_of::<Value>()`]; text additionally charges its payload (plus
+    /// the `Arc` refcount header) to *every* holder — shared payloads are
+    /// deliberately counted once per reference, which over-approximates
+    /// rather than under-approximates pressure.
+    pub fn size_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        match self {
+            Value::Text(s) => inline + s.len() + 2 * std::mem::size_of::<usize>(),
+            _ => inline,
+        }
+    }
+
     /// Convenience constructor for text values (accepts `&str`, `String`
     /// or an existing `Arc<str>`).
     pub fn text(s: impl Into<Arc<str>>) -> Value {

@@ -19,6 +19,11 @@
 //!    directly preceding line.
 //! 6. **`#[allow(dead_code)]` needs a justification comment** on the same
 //!    or the directly preceding line.
+//! 7. **No temp-file creation outside the spill module** — every scratch
+//!    file must go through `perm_storage::spill` so spill files share one
+//!    naming scheme, are tracked by the memory accounting, and are
+//!    deleted on drop; a stray `temp_dir()` elsewhere leaks files the
+//!    governor cannot see.
 //!
 //! Test code (files under a `tests` directory, `*/tests.rs`, and
 //! `#[cfg(test)]` modules, tracked by brace depth) is exempt from rules
@@ -51,6 +56,9 @@ const SEND_EXPOSED: &[&str] = &[
     "crates/exec/",
     "crates/core/",
 ];
+
+/// The only module allowed to create temp files (rule 7).
+const TEMP_FILES_ALLOWED: &[&str] = &["crates/storage/src/spill.rs"];
 
 struct Finding {
     file: PathBuf,
@@ -163,6 +171,7 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let hot = matches_any(rel, HOT_PATHS);
     let spawn_ok = matches_any(rel, SPAWN_ALLOWED);
     let send_exposed = matches_any(rel, SEND_EXPOSED);
+    let temp_files_ok = matches_any(rel, TEMP_FILES_ALLOWED);
 
     let lines: Vec<&str> = source.lines().collect();
     // `#[cfg(test)]` module tracking: once the attribute's item opens a
@@ -235,6 +244,17 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         }
 
         if !in_test {
+            // Rule 7: temp files only via the spill module (tests may
+            // scratch freely — their files do not outlive the run).
+            if !temp_files_ok && (has_word(&code, "temp_dir") || code.contains("tempfile")) {
+                report(
+                    "temp-files-only-in-spill",
+                    "temp-file creation outside crates/storage/src/spill.rs; route scratch \
+                     files through the spill module so they are tracked and reclaimed"
+                        .into(),
+                );
+            }
+
             // Rule 3: thread spawns only in the sanctioned modules.
             if !spawn_ok && (code.contains("thread::spawn") || code.contains("thread::Builder")) {
                 report(
@@ -508,6 +528,20 @@ mod tests {
         let braces =
             "fn f() { let s = \"{{{\"; }\n#[cfg(test)]\nmod tests { fn t() { g().unwrap(); } }\n";
         assert!(run("crates/exec/src/eval.rs", braces).is_empty());
+    }
+
+    #[test]
+    fn temp_files_only_in_the_spill_module() {
+        let src = "fn f() { let p = std::env::temp_dir().join(\"x\"); }\n";
+        assert_eq!(
+            run("crates/exec/src/operators/sort.rs", src),
+            ["temp-files-only-in-spill"]
+        );
+        assert!(run("crates/storage/src/spill.rs", src).is_empty());
+        // Tests may create scratch files freely.
+        assert!(run("crates/core/tests/spill_roundtrip.rs", src).is_empty());
+        let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(run("crates/exec/src/operators/sort.rs", &in_test_mod).is_empty());
     }
 
     #[test]
