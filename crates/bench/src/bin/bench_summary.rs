@@ -24,6 +24,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use perm_bench::hotpath;
+use perm_core::{DurabilityOptions, FsyncPolicy, PermServer};
 
 /// Median wall-clock milliseconds of `runs` prepared executions (two
 /// warm-up runs are discarded).
@@ -90,6 +91,93 @@ fn run_parallel_workload(runs: usize, memory_budget: usize) -> Vec<(String, [f64
         .collect()
 }
 
+/// How many statements each durability micro-bench covers.
+const WAL_APPEND_BATCH: usize = 100;
+const RECOVERY_REPLAY_STATEMENTS: usize = 200;
+
+/// The durability micro-benches (PR 8): `wal_append` measures the
+/// logical-WAL commit path (append + frame + rollback bookkeeping,
+/// fsync off so the framing cost is visible, not the disk), and
+/// `recovery_replay` measures a cold `PermServer::open` replaying a
+/// WAL tail through the full parse → plan → execute pipeline.
+fn run_durability_workload(runs: usize) -> Vec<(String, f64)> {
+    let dir = std::env::temp_dir().join(format!("perm-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = DurabilityOptions::default()
+        .with_fsync(FsyncPolicy::Never)
+        .with_checkpoint_every(0);
+
+    // wal_append: one batch of single-row INSERT commits per sample.
+    let server = PermServer::open_with(&dir, opts.clone()).expect("durability bench dir opens");
+    let session = server.session();
+    session
+        .execute("CREATE TABLE bench_wal (id int, payload text)")
+        .expect("bench table creates");
+    let mut append_samples: Vec<f64> = Vec::new();
+    for run in 0..runs + 2 {
+        let start = Instant::now();
+        for i in 0..WAL_APPEND_BATCH {
+            session
+                .execute(&format!(
+                    "INSERT INTO bench_wal VALUES ({i}, 'payload-{i}')"
+                ))
+                .expect("bench insert commits");
+        }
+        // Two warm-up batches are discarded.
+        if run >= 2 {
+            append_samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    append_samples.sort_by(|a, b| a.total_cmp(b));
+    let wal_append_ms = append_samples[append_samples.len() / 2];
+    eprintln!("durability/wal_append: {wal_append_ms:.3} ms per {WAL_APPEND_BATCH} commits");
+    drop(session);
+    drop(server);
+
+    // recovery_replay: a fixed WAL tail, re-opened cold per sample.
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let server = PermServer::open_with(&dir, opts.clone()).expect("replay bench dir opens");
+        let session = server.session();
+        session
+            .execute("CREATE TABLE bench_replay (id int, payload text)")
+            .expect("replay table creates");
+        for i in 0..RECOVERY_REPLAY_STATEMENTS - 1 {
+            session
+                .execute(&format!(
+                    "INSERT INTO bench_replay VALUES ({i}, 'payload-{i}')"
+                ))
+                .expect("replay insert commits");
+        }
+    }
+    let mut replay_samples: Vec<f64> = Vec::new();
+    for run in 0..runs + 2 {
+        let start = Instant::now();
+        let server = PermServer::open_with(&dir, opts.clone()).expect("replay bench re-opens");
+        assert!(!server.is_read_only(), "replay bench WAL must be clean");
+        if run >= 2 {
+            replay_samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    replay_samples.sort_by(|a, b| a.total_cmp(b));
+    let replay_ms = replay_samples[replay_samples.len() / 2];
+    eprintln!(
+        "durability/recovery_replay: {replay_ms:.3} ms per {RECOVERY_REPLAY_STATEMENTS} statements"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    vec![
+        (
+            format!("wal_append/{WAL_APPEND_BATCH}_commits"),
+            wal_append_ms,
+        ),
+        (
+            format!("recovery_replay/{RECOVERY_REPLAY_STATEMENTS}_statements"),
+            replay_ms,
+        ),
+    ]
+}
+
 /// Parse the raw `key=ms` baseline format written by `--raw`.
 fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
     text.lines()
@@ -107,12 +195,17 @@ fn json_escape(s: &str) -> String {
 /// Validate the summary before it is written or printed: a malformed
 /// body or a non-positive measurement must fail the run (exit 1), not
 /// poison the trajectory data downstream tooling ingests.
+///
+/// One parameter per summary section keeps the checks independent;
+/// bundling them into a struct would only move the argument list.
+#[allow(clippy::too_many_arguments)]
 fn validate_summary(
     body: &str,
     host_parallelism: usize,
     results: &[(String, f64)],
     before: &BTreeMap<String, f64>,
     parallel: &[(String, [f64; 3])],
+    durability: &[(String, f64)],
     memory_budget: usize,
     peak_pool_bytes: usize,
 ) -> Result<(), String> {
@@ -125,6 +218,7 @@ fn validate_summary(
         "\"peak_pool_bytes\"",
         "\"benches\"",
         "\"parallel_scaling\"",
+        "\"durability\"",
     ] {
         if !body.contains(key) {
             return Err(format!("summary is missing required key {key}"));
@@ -162,6 +256,11 @@ fn validate_summary(
     for (name, ms) in parallel {
         if ms.iter().any(|m| !m.is_finite() || *m <= 0.0) {
             return Err(format!("non-positive parallel timing for {name}: {ms:?}"));
+        }
+    }
+    for (name, ms) in durability {
+        if !ms.is_finite() || *ms <= 0.0 {
+            return Err(format!("non-positive durability timing for {name}: {ms}"));
         }
     }
     Ok(())
@@ -226,9 +325,14 @@ fn main() {
     // dop1 is its own serial baseline).
     let parallel = run_parallel_workload(runs.min(7), memory_budget);
 
+    // The durability micro-benches (not part of the raw baseline
+    // format either — they measure the commit and recovery paths, not
+    // query execution).
+    let durability = run_durability_workload(runs.min(7));
+
     let mut body = String::from("{\n");
     body.push_str(&format!(
-        "  \"issue\": 5,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"memory_budget\": {},\n  \"peak_pool_bytes\": {},\n  \"benches\": {{\n",
+        "  \"issue\": 8,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"memory_budget\": {},\n  \"peak_pool_bytes\": {},\n  \"benches\": {{\n",
         hotpath::HOTPATH_SCALE,
         hotpath::HOTPATH_SEED,
         runs,
@@ -274,6 +378,17 @@ fn main() {
             sep
         ));
     }
+    body.push_str("  },\n");
+    body.push_str("  \"durability\": {\n");
+    for (i, (name, ms)) in durability.iter().enumerate() {
+        let sep = if i + 1 == durability.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    \"{}\": {{\"after_ms\": {:.4}}}{}\n",
+            json_escape(name),
+            ms,
+            sep
+        ));
+    }
     body.push_str("  }\n}\n");
 
     if let Err(e) = validate_summary(
@@ -282,6 +397,7 @@ fn main() {
         &results,
         &before,
         &parallel,
+        &durability,
         memory_budget,
         peak_pool_bytes,
     ) {
@@ -309,7 +425,8 @@ mod tests {
             "  \"memory_budget\": 0,\n  \"peak_pool_bytes\": 4096,\n",
             "  \"benches\": {\n",
             "    \"g/q\": {\"after_ms\": 1.0}\n  },\n",
-            "  \"parallel_scaling\": {\n    \"workload\": \"w\"\n  }\n}\n"
+            "  \"parallel_scaling\": {\n    \"workload\": \"w\"\n  },\n",
+            "  \"durability\": {\n    \"wal_append/100_commits\": {\"after_ms\": 1.0}\n  }\n}\n"
         )
         .to_string()
     }
@@ -327,6 +444,7 @@ mod tests {
             &good_results(),
             &BTreeMap::new(),
             &parallel,
+            &[],
             0,
             4096,
         )
@@ -339,9 +457,10 @@ mod tests {
             "\"host_parallelism\"",
             "\"memory_budget\"",
             "\"peak_pool_bytes\"",
+            "\"durability\"",
         ] {
             let body = good_body().replace(key, "\"renamed\"");
-            let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[], 0, 0)
+            let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[], &[], 0, 0)
                 .unwrap_err();
             assert!(err.contains(key.trim_matches('"')), "got: {err}");
         }
@@ -355,6 +474,7 @@ mod tests {
             &good_results(),
             &BTreeMap::new(),
             &[],
+            &[],
             1024,
             4096,
         )
@@ -367,6 +487,7 @@ mod tests {
             &good_results(),
             &BTreeMap::new(),
             &[],
+            &[],
             0,
             4096,
         )
@@ -377,6 +498,7 @@ mod tests {
             &good_results(),
             &BTreeMap::new(),
             &[],
+            &[],
             8192,
             4096,
         )
@@ -386,8 +508,8 @@ mod tests {
     #[test]
     fn unbalanced_braces_are_rejected() {
         let body = format!("{}}}", good_body());
-        let err =
-            validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[], 0, 0).unwrap_err();
+        let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[], &[], 0, 0)
+            .unwrap_err();
         assert!(err.contains("unbalanced"), "got: {err}");
     }
 
@@ -395,12 +517,12 @@ mod tests {
     fn non_positive_timings_are_rejected() {
         let zero = vec![("g/q".to_string(), 0.0)];
         let err =
-            validate_summary(&good_body(), 4, &zero, &BTreeMap::new(), &[], 0, 0).unwrap_err();
+            validate_summary(&good_body(), 4, &zero, &BTreeMap::new(), &[], &[], 0, 0).unwrap_err();
         assert!(err.contains("non-positive timing"), "got: {err}");
 
         let bad_base: BTreeMap<String, f64> = [("g/q".to_string(), -1.0)].into_iter().collect();
-        let err =
-            validate_summary(&good_body(), 4, &good_results(), &bad_base, &[], 0, 0).unwrap_err();
+        let err = validate_summary(&good_body(), 4, &good_results(), &bad_base, &[], &[], 0, 0)
+            .unwrap_err();
         assert!(err.contains("baseline"), "got: {err}");
 
         let bad_parallel = vec![("q".to_string(), [3.0, f64::NAN, 1.5])];
@@ -410,6 +532,7 @@ mod tests {
             &good_results(),
             &BTreeMap::new(),
             &bad_parallel,
+            &[],
             0,
             0,
         )
@@ -418,8 +541,26 @@ mod tests {
     }
 
     #[test]
+    fn non_positive_durability_timing_is_rejected() {
+        let bad = vec![("wal_append/100_commits".to_string(), 0.0)];
+        let err = validate_summary(
+            &good_body(),
+            4,
+            &good_results(),
+            &BTreeMap::new(),
+            &[],
+            &bad,
+            0,
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("durability timing"), "got: {err}");
+    }
+
+    #[test]
     fn empty_results_are_rejected() {
-        let err = validate_summary(&good_body(), 4, &[], &BTreeMap::new(), &[], 0, 0).unwrap_err();
+        let err =
+            validate_summary(&good_body(), 4, &[], &BTreeMap::new(), &[], &[], 0, 0).unwrap_err();
         assert!(err.contains("no benchmark results"), "got: {err}");
     }
 }

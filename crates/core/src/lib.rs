@@ -81,7 +81,7 @@ pub use admission::{AdmissionPermit, ResourceGovernor, ADMISSION_QUEUE_BOUND};
 pub use browser::BrowserPanels;
 pub use db::{CatalogCardinalities, PermDb};
 pub use eager::materialize_provenance;
-pub use options::SessionOptions;
+pub use options::{DurabilityOptions, SessionOptions, DEFAULT_CHECKPOINT_EVERY};
 pub use pipeline::{Stage, StageTrace};
 pub use result::{QueryResult, RowStream, StatementResult};
 pub use server::{PermServer, Prepared, Session};
@@ -91,4 +91,5 @@ pub use perm_exec::{MemoryPool, QueryMemory};
 pub use perm_rewrite::{
     ContributionSemantics, CopyMode, RewriteOptions, StrategyMode, UnionStrategy,
 };
+pub use perm_storage::FsyncPolicy;
 pub use perm_types::{PermError, Result, Tuple, Value};

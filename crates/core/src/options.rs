@@ -8,6 +8,63 @@
 //! makes session handles cheap to clone and hand across threads.
 
 use perm_rewrite::{ContributionSemantics, RewriteOptions, StrategyMode, UnionStrategy};
+use perm_storage::FsyncPolicy;
+
+/// Configuration of a durable server ([`crate::server::PermServer::open_with`]):
+/// fsync policy, checkpoint cadence and fault injection. Unlike
+/// [`SessionOptions`] this is per *server*, not per session, and is not
+/// `Copy` (it carries the failpoint spec string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// When the WAL is fsynced. [`FsyncPolicy::Always`] (the default)
+    /// makes every committed statement crash-durable; `Never` trades that
+    /// for speed (tests, bulk loads).
+    pub fsync: FsyncPolicy,
+    /// Checkpoint the catalog after this many WAL records since the last
+    /// checkpoint (`0` disables automatic checkpoints; explicit
+    /// [`crate::server::PermServer::checkpoint`] still works).
+    pub checkpoint_every: u64,
+    /// Deterministic fault-injection spec (same grammar as the
+    /// `PERM_FAILPOINTS` environment variable, which is used when this is
+    /// `None`): `site=action[@N[+]]` entries separated by `;`.
+    pub failpoints: Option<String>,
+}
+
+/// Default [`DurabilityOptions::checkpoint_every`]: frequent enough that
+/// recovery replays a short tail, rare enough that checkpointing cost is
+/// amortized over many commits.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 256;
+
+impl Default for DurabilityOptions {
+    fn default() -> DurabilityOptions {
+        DurabilityOptions {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            failpoints: None,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// Set the WAL fsync policy.
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> DurabilityOptions {
+        self.fsync = policy;
+        self
+    }
+
+    /// Checkpoint after `n` WAL records (`0` = only explicit checkpoints).
+    pub fn with_checkpoint_every(mut self, n: u64) -> DurabilityOptions {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Install a failpoint spec for this server's process (overrides
+    /// `PERM_FAILPOINTS`).
+    pub fn with_failpoints(mut self, spec: impl Into<String>) -> DurabilityOptions {
+        self.failpoints = Some(spec.into());
+        self
+    }
+}
 
 /// Per-session configuration of the provenance pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

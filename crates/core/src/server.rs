@@ -36,7 +36,8 @@
 //! assert_eq!(other.query("SELECT x FROM t").unwrap().row_count(), 2);
 //! ```
 
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use perm_algebra::{bind_statement, BoundStatement, LogicalPlan};
@@ -46,13 +47,79 @@ use perm_exec::{
 };
 use perm_rewrite::Rewriter;
 use perm_sql::{parse_statement, parse_statements, ObjectKind, Statement};
-use perm_storage::{Catalog, CatalogWriteGuard, SharedCatalog, Table};
+use perm_storage::{failpoint, Catalog, CatalogWriteGuard, SharedCatalog, Table};
+use perm_storage::{DurableStore, WalRecord, WAL_FILE};
 use perm_types::{Column, PermError, Result, Schema, Tuple};
 
 use crate::admission::{AdmissionPermit, ResourceGovernor};
 use crate::db::CatalogCardinalities;
-use crate::options::SessionOptions;
+use crate::options::{DurabilityOptions, SessionOptions};
 use crate::result::{QueryResult, RowStream, StatementResult};
+use crate::sqlgen::{query_to_sql, statement_to_sql};
+
+/// The durability side of a server opened with [`PermServer::open`]: the
+/// WAL + checkpoint store behind a mutex, plus the recovery verdict.
+///
+/// Lock order is catalog write lock → store mutex, everywhere: the WAL
+/// append of a committing statement and an explicit checkpoint both hold
+/// the catalog lock first, so the log always records the same statement
+/// order the catalog applied.
+#[derive(Debug)]
+struct Durability {
+    /// `None` after unrecoverable corruption — the server is read-only.
+    store: Mutex<Option<DurableStore>>,
+    /// Auto-checkpoint after this many WAL records (`0` = never).
+    checkpoint_every: u64,
+    /// Why recovery degraded to read-only, when it did.
+    recovery_error: Option<PermError>,
+}
+
+impl Durability {
+    fn store(&self) -> std::sync::MutexGuard<'_, Option<DurableStore>> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fail fast before a write statement runs: read-only servers and
+    /// poisoned logs refuse commits.
+    fn check_writable(&self) -> Result<()> {
+        match &*self.store() {
+            Some(s) if s.is_poisoned() => Err(PermError::Execution(
+                "write-ahead log disabled by an unrecovered append failure; \
+                 reopen the server to repair the log tail"
+                    .into(),
+            )),
+            Some(_) => Ok(()),
+            None => Err(match &self.recovery_error {
+                Some(e) => e
+                    .clone()
+                    .with_context("server is read-only after recovery failure"),
+                None => PermError::Execution("server is read-only".into()),
+            }),
+        }
+    }
+
+    /// Make one committed statement durable.
+    fn log(&self, rec: &WalRecord) -> Result<()> {
+        match self.store().as_mut() {
+            Some(s) => s.append(rec),
+            None => Err(PermError::Execution("server is read-only".into())),
+        }
+    }
+
+    /// Checkpoint if the log has grown past the configured cadence. A
+    /// failure here is non-fatal to the committing statement — it is
+    /// already durable in the WAL; the next commit retries.
+    fn maybe_checkpoint(&self, catalog: &Catalog) {
+        if self.checkpoint_every == 0 {
+            return;
+        }
+        if let Some(s) = self.store().as_mut() {
+            if s.records_since_checkpoint() >= self.checkpoint_every {
+                let _ = s.checkpoint(catalog);
+            }
+        }
+    }
+}
 
 /// The server: one shared catalog, many sessions.
 ///
@@ -63,6 +130,7 @@ use crate::result::{QueryResult, RowStream, StatementResult};
 pub struct PermServer {
     catalog: SharedCatalog,
     governor: Arc<ResourceGovernor>,
+    durability: Option<Arc<Durability>>,
 }
 
 impl PermServer {
@@ -76,6 +144,106 @@ impl PermServer {
         PermServer {
             catalog: SharedCatalog::new(catalog),
             governor: Arc::default(),
+            durability: None,
+        }
+    }
+
+    /// Open (or create) a durable server over a data directory, with
+    /// default durability options (fsync every commit, periodic
+    /// checkpoints).
+    ///
+    /// Recovery loads the last checkpoint and replays the WAL tail through
+    /// the full parse→plan→execute pipeline. A torn final record (a crash
+    /// mid-append) is truncated silently; anything worse degrades the
+    /// server to read-only over the last good prefix, with the typed
+    /// [`PermError::Corruption`] available from
+    /// [`PermServer::recovery_error`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<PermServer> {
+        PermServer::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`PermServer::open`] with explicit [`DurabilityOptions`].
+    pub fn open_with(dir: impl AsRef<Path>, options: DurabilityOptions) -> Result<PermServer> {
+        match &options.failpoints {
+            Some(spec) => failpoint::configure(spec)?,
+            None => failpoint::configure_from_env()?,
+        }
+        let dir = dir.as_ref();
+        let outcome = DurableStore::open(dir, options.fsync)?;
+        let mut store = outcome.store;
+        let mut corruption = outcome.corruption;
+
+        // Replay through a plain (non-durable) server: recovered
+        // statements must not be re-logged, and a plain server's write
+        // path is exactly the commit path minus the WAL append.
+        let replay_server = PermServer::with_catalog(outcome.base);
+        let session = replay_server.session();
+        for (offset, record) in &outcome.replay {
+            let applied = match record {
+                WalRecord::Statement(sql) => session.execute(sql).map(|_| ()),
+                WalRecord::CreateIndex { table, column } => session.create_index(table, column),
+            };
+            if let Err(e) = applied {
+                // A logged statement committed once and must re-apply
+                // cleanly; failure means the log (or snapshot) lies.
+                // Writes through execute are atomic, so the catalog holds
+                // exactly the records before this one.
+                corruption = Some(PermError::Corruption {
+                    path: dir.join(WAL_FILE).display().to_string(),
+                    offset: *offset,
+                    detail: format!("logged statement failed to re-apply: {}", e.message()),
+                });
+                store = None;
+                break;
+            }
+        }
+
+        Ok(PermServer {
+            catalog: replay_server.catalog,
+            governor: Arc::default(),
+            durability: Some(Arc::new(Durability {
+                store: Mutex::new(store),
+                checkpoint_every: options.checkpoint_every,
+                recovery_error: corruption,
+            })),
+        })
+    }
+
+    /// True when recovery degraded this server to read-only (see
+    /// [`PermServer::recovery_error`]); always false for in-memory
+    /// servers.
+    pub fn is_read_only(&self) -> bool {
+        self.durability
+            .as_ref()
+            .is_some_and(|d| d.store().is_none())
+    }
+
+    /// The corruption that made recovery degrade to read-only, if any.
+    pub fn recovery_error(&self) -> Option<PermError> {
+        self.durability
+            .as_ref()
+            .and_then(|d| d.recovery_error.clone())
+    }
+
+    /// Write a durable snapshot of the current catalog and truncate the
+    /// WAL. Errors if the server is in-memory or read-only; on checkpoint
+    /// I/O failure the previous snapshot (and the full log) stay intact.
+    pub fn checkpoint(&self) -> Result<()> {
+        let d = self.durability.as_ref().ok_or_else(|| {
+            PermError::Execution("checkpoint requires a durable server (PermServer::open)".into())
+        })?;
+        // The write lock pins the catalog ↔ WAL correspondence.
+        let guard = self.catalog.write();
+        let snapshot = guard.snapshot();
+        let mut store = d.store();
+        match store.as_mut() {
+            Some(s) => s.checkpoint(&snapshot),
+            None => {
+                // check_writable re-locks the store mutex; release ours
+                // first (the scrutinee guard would otherwise deadlock).
+                drop(store);
+                d.check_writable()
+            }
         }
     }
 
@@ -89,6 +257,7 @@ impl PermServer {
         Session {
             catalog: self.catalog.clone(),
             governor: Arc::clone(&self.governor),
+            durability: self.durability.clone(),
             options,
         }
     }
@@ -129,6 +298,7 @@ impl PermServer {
 pub struct Session {
     catalog: SharedCatalog,
     governor: Arc<ResourceGovernor>,
+    durability: Option<Arc<Durability>>,
     options: SessionOptions,
 }
 
@@ -154,6 +324,7 @@ impl Session {
         PermServer {
             catalog: self.catalog.clone(),
             governor: Arc::clone(&self.governor),
+            durability: self.durability.clone(),
         }
     }
 
@@ -496,14 +667,85 @@ impl Session {
         Ok(StatementResult::Explain(text))
     }
 
+    /// Create a hash index on `table(column)`.
+    ///
+    /// There is no SQL syntax for this (as in the demo, indexes are an
+    /// executor concern); the call is logged to the WAL like any other
+    /// committed write, so indexes survive restarts.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
+        if let Some(d) = &self.durability {
+            d.check_writable()?;
+        }
+        let mut guard = self.catalog.write();
+        let before = guard.snapshot();
+        let applied = (|| {
+            let t = guard.table_mut(table)?;
+            let pos = t.schema().resolve(None, column)?;
+            t.create_index(pos)
+        })();
+        if let Err(e) = applied {
+            guard.restore(before);
+            return Err(e);
+        }
+        if let Some(d) = &self.durability {
+            if let Err(e) = d.log(&WalRecord::CreateIndex {
+                table: table.to_string(),
+                column: column.to_string(),
+            }) {
+                guard.restore(before);
+                return Err(e);
+            }
+            d.maybe_checkpoint(&guard.snapshot());
+        }
+        Ok(())
+    }
+
     /// DDL/DML under the catalog write lock. The read part of a compound
     /// statement (the query of `CREATE TABLE AS`, the row expressions of
     /// `INSERT`) runs against a pre-mutation snapshot taken under the same
     /// lock, then the mutation applies through copy-on-write — concurrent
     /// readers keep whatever snapshot they already hold.
+    ///
+    /// Statements are *atomic*: the pre-statement snapshot is restored on
+    /// any failure (a multi-row `INSERT` with one bad row inserts
+    /// nothing), which is also what lets WAL recovery equate "logged" with
+    /// "fully applied". On a durable server the statement is appended to
+    /// the log (and fsynced, per policy) after it applies in memory and
+    /// before `execute` returns; if the append fails, the statement rolls
+    /// back and the error surfaces to the caller — no committed statement
+    /// is ever missing from the log.
     fn execute_write(&self, stmt: &Statement) -> Result<StatementResult> {
+        if let Some(d) = &self.durability {
+            d.check_writable()?;
+        }
         let mut guard = self.catalog.write();
-        let bound = self.bind_on(&guard, stmt)?;
+        let before = guard.snapshot();
+        let result = match self.apply_write(&mut guard, stmt) {
+            Ok(r) => r,
+            Err(e) => {
+                guard.restore(before);
+                return Err(e);
+            }
+        };
+        if let Some(d) = &self.durability {
+            if let Err(e) = d.log(&WalRecord::Statement(statement_to_sql(stmt))) {
+                guard.restore(before);
+                return Err(e);
+            }
+            d.maybe_checkpoint(&guard.snapshot());
+        }
+        Ok(result)
+    }
+
+    /// The in-memory part of [`Session::execute_write`]: bind and apply
+    /// one write statement through the guard. The caller owns atomicity
+    /// (snapshot + restore) and durability (WAL append).
+    fn apply_write(
+        &self,
+        guard: &mut CatalogWriteGuard<'_>,
+        stmt: &Statement,
+    ) -> Result<StatementResult> {
+        let bound = self.bind_on(guard, stmt)?;
         match bound {
             BoundStatement::CreateTable { name, schema } => {
                 guard.create_table(Table::new(name.clone(), schema))?;
@@ -518,7 +760,7 @@ impl Session {
                     // The executor's snapshot is dropped before the
                     // mutation below, so make_mut stays in place unless
                     // other sessions hold snapshots.
-                    let optimized = self.optimize_on(plan, &guard)?;
+                    let optimized = self.optimize_on(plan, guard)?;
                     let schema = optimized.schema().clone();
                     let rows = Executor::new(guard.snapshot())
                         .with_verification(self.options.verify_plans)
@@ -550,7 +792,10 @@ impl Session {
                 Ok(StatementResult::TableCreated { name, rows: n })
             }
             BoundStatement::CreateView { name, definition } => {
-                guard.create_view(name.clone(), definition)?;
+                // Remember the defining SQL so durable checkpoints can
+                // persist the view (the AST itself is not serialized).
+                let sql = query_to_sql(&definition);
+                guard.create_view_with_sql(name.clone(), definition, sql)?;
                 Ok(StatementResult::ViewCreated { name })
             }
             BoundStatement::Insert { table, rows } => {
@@ -967,6 +1212,18 @@ mod tests {
     }
 
     #[test]
+    fn insert_is_atomic() {
+        // One bad row in a multi-row INSERT must leave no trace — the
+        // property WAL recovery relies on (logged ⇔ fully applied).
+        let (_, session) = seeded();
+        let err = session
+            .execute("INSERT INTO t VALUES (7, 'g'), ('oops', 'h')")
+            .unwrap_err();
+        assert_eq!(err.kind(), "catalog", "binder rejects the mistyped row");
+        assert_eq!(session.query("SELECT x FROM t").unwrap().row_count(), 3);
+    }
+
+    #[test]
     fn per_session_options_are_independent() {
         use perm_rewrite::ContributionSemantics;
         let (server, s1) = seeded();
@@ -981,5 +1238,225 @@ mod tests {
             s2.options().rewrite.default_semantics,
             ContributionSemantics::Lineage
         );
+    }
+
+    mod durability {
+        use super::*;
+        use crate::options::DurabilityOptions;
+        use std::path::PathBuf;
+        use std::sync::{Mutex, MutexGuard, PoisonError};
+
+        /// Failpoint state is process-global; durability tests serialize
+        /// on this lock and clear the registry on both ends.
+        fn fp_lock() -> MutexGuard<'static, ()> {
+            static LOCK: Mutex<()> = Mutex::new(());
+            let g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+            failpoint::clear();
+            g
+        }
+
+        struct TempDir(PathBuf);
+        impl TempDir {
+            fn new(name: &str) -> TempDir {
+                let p = std::env::temp_dir()
+                    .join(format!("perm-server-dur-{}-{name}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&p);
+                TempDir(p)
+            }
+        }
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                failpoint::clear();
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+
+        /// Fast options for tests: no fsync, no auto-checkpoint.
+        fn opts() -> DurabilityOptions {
+            DurabilityOptions::default()
+                .with_fsync(perm_storage::FsyncPolicy::Never)
+                .with_checkpoint_every(0)
+        }
+
+        #[test]
+        fn reopen_recovers_ddl_dml_and_indexes() {
+            let _g = fp_lock();
+            let dir = TempDir::new("reopen");
+            {
+                let server = PermServer::open_with(&dir.0, opts()).unwrap();
+                assert!(!server.is_read_only());
+                let s = server.session();
+                s.run_script(
+                    "CREATE TABLE t (x int NOT NULL, y text);
+                     INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c');
+                     CREATE VIEW v AS SELECT x FROM t WHERE x > 1;
+                     UPDATE t SET y = 'z' WHERE x = 2;
+                     DELETE FROM t WHERE x = 3;
+                     CREATE TABLE p AS SELECT PROVENANCE y FROM t;",
+                )
+                .unwrap();
+                s.create_index("t", "x").unwrap();
+            }
+            let server = PermServer::open_with(&dir.0, opts()).unwrap();
+            assert!(!server.is_read_only());
+            let s = server.session();
+            let r = s.query("SELECT x, y FROM t ORDER BY x").unwrap();
+            assert_eq!(r.row_count(), 2);
+            assert_eq!(r.row(1)[1], Value::text("z"));
+            assert_eq!(s.query("SELECT x FROM v").unwrap().row_count(), 1);
+            // The index and the eager-provenance metadata survived.
+            assert_eq!(s.snapshot().table("t").unwrap().index_columns(), vec![0]);
+            // `SELECT PROVENANCE y FROM t` emits y plus one provenance
+            // attribute per column of t, so columns 1 and 2 of p are
+            // provenance.
+            assert_eq!(
+                s.snapshot().table("p").unwrap().provenance_columns(),
+                &[1, 2],
+                "CREATE TABLE AS provenance columns recovered"
+            );
+        }
+
+        #[test]
+        fn checkpoint_truncates_wal_and_recovery_uses_snapshot() {
+            let _g = fp_lock();
+            let dir = TempDir::new("ckpt");
+            {
+                let server = PermServer::open_with(&dir.0, opts()).unwrap();
+                let s = server.session();
+                s.execute("CREATE TABLE t (x int)").unwrap();
+                for i in 0..10 {
+                    s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+                }
+                let before = std::fs::metadata(dir.0.join(WAL_FILE)).unwrap().len();
+                server.checkpoint().unwrap();
+                let after = std::fs::metadata(dir.0.join(WAL_FILE)).unwrap().len();
+                assert!(
+                    after < before,
+                    "checkpoint truncates the log ({before} -> {after})"
+                );
+                // Post-checkpoint commits land in the fresh log.
+                s.execute("INSERT INTO t VALUES (99)").unwrap();
+            }
+            let server = PermServer::open_with(&dir.0, opts()).unwrap();
+            let s = server.session();
+            assert_eq!(s.query("SELECT x FROM t").unwrap().row_count(), 11);
+        }
+
+        #[test]
+        fn auto_checkpoint_fires_at_cadence() {
+            let _g = fp_lock();
+            let dir = TempDir::new("autockpt");
+            let server = PermServer::open_with(&dir.0, opts().with_checkpoint_every(3)).unwrap();
+            let s = server.session();
+            s.execute("CREATE TABLE t (x int)").unwrap();
+            s.execute("INSERT INTO t VALUES (1)").unwrap();
+            assert!(
+                !dir.0.join(perm_storage::CHECKPOINT_FILE).exists(),
+                "2 records: below cadence"
+            );
+            s.execute("INSERT INTO t VALUES (2)").unwrap();
+            assert!(
+                dir.0.join(perm_storage::CHECKPOINT_FILE).exists(),
+                "3rd record triggers the checkpoint"
+            );
+        }
+
+        #[test]
+        fn wal_append_failure_rolls_back_the_statement() {
+            let _g = fp_lock();
+            let dir = TempDir::new("appendfail");
+            let server = PermServer::open_with(&dir.0, opts()).unwrap();
+            let s = server.session();
+            s.execute("CREATE TABLE t (x int)").unwrap();
+            s.execute("INSERT INTO t VALUES (1)").unwrap();
+
+            failpoint::configure("wal.append.write=io_err").unwrap();
+            let err = s.execute("INSERT INTO t VALUES (2)").unwrap_err();
+            assert_eq!(err.kind(), "io");
+            // Not applied in memory (no phantom row a crash would lose) …
+            assert_eq!(s.query("SELECT x FROM t").unwrap().row_count(), 1);
+            failpoint::clear();
+
+            // … and the log tail is intact: later commits and recovery work.
+            s.execute("INSERT INTO t VALUES (3)").unwrap();
+            drop(server);
+            let server = PermServer::open_with(&dir.0, opts()).unwrap();
+            let r = server
+                .session()
+                .query("SELECT x FROM t ORDER BY x")
+                .unwrap();
+            assert_eq!(r.row_count(), 2);
+            assert_eq!(r.row(1)[0], Value::Int(3));
+        }
+
+        #[test]
+        fn mid_log_corruption_degrades_to_read_only() {
+            let _g = fp_lock();
+            let dir = TempDir::new("corrupt");
+            {
+                let server = PermServer::open_with(&dir.0, opts()).unwrap();
+                let s = server.session();
+                s.execute("CREATE TABLE t (x int)").unwrap();
+                s.execute("INSERT INTO t VALUES (1)").unwrap();
+            }
+            // Flip a payload byte of the *first* record: a mid-log checksum
+            // mismatch, which recovery must not truncate away.
+            let wal_path = dir.0.join(WAL_FILE);
+            let mut bytes = std::fs::read(&wal_path).unwrap();
+            bytes[16 + 8 + 1] ^= 0x40;
+            std::fs::write(&wal_path, &bytes).unwrap();
+
+            let server = PermServer::open_with(&dir.0, opts()).unwrap();
+            assert!(server.is_read_only());
+            let err = server.recovery_error().expect("typed corruption");
+            assert_eq!(err.kind(), "corruption");
+            assert!(err.message().contains("offset 16"), "{err}");
+
+            // Reads serve the last good prefix (nothing, here); writes fail
+            // with the recovery error, not a panic.
+            let s = server.session();
+            assert!(s.query("SELECT x FROM t").is_err(), "t was never recovered");
+            let err = s.execute("CREATE TABLE u (a int)").unwrap_err();
+            assert_eq!(err.kind(), "corruption");
+            assert!(err.message().contains("read-only"), "{err}");
+            assert!(server.checkpoint().is_err(), "no checkpoint while degraded");
+        }
+
+        #[test]
+        fn torn_final_record_is_truncated_not_fatal() {
+            let _g = fp_lock();
+            let dir = TempDir::new("torn");
+            {
+                let server = PermServer::open_with(&dir.0, opts()).unwrap();
+                let s = server.session();
+                s.execute("CREATE TABLE t (x int)").unwrap();
+                s.execute("INSERT INTO t VALUES (1)").unwrap();
+            }
+            // Chop the last record mid-payload: a crash during append.
+            let wal_path = dir.0.join(WAL_FILE);
+            let bytes = std::fs::read(&wal_path).unwrap();
+            std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+
+            let server = PermServer::open_with(&dir.0, opts()).unwrap();
+            assert!(!server.is_read_only(), "a torn tail is expected, not fatal");
+            let s = server.session();
+            assert_eq!(
+                s.query("SELECT x FROM t").unwrap().row_count(),
+                0,
+                "the torn INSERT never committed"
+            );
+            // The repaired log accepts new commits at the truncated tail.
+            s.execute("INSERT INTO t VALUES (7)").unwrap();
+            drop(server);
+            let server = PermServer::open_with(&dir.0, opts()).unwrap();
+            assert_eq!(
+                server
+                    .session()
+                    .query("SELECT x FROM t")
+                    .unwrap()
+                    .row_count(),
+                1
+            );
+        }
     }
 }

@@ -6,10 +6,99 @@
 //! an equal AST (see the round-trip tests).
 
 use perm_sql::{
-    ContributionSemantics, CopyMode, Expr, JoinKind, Query, QueryBody, Select, SelectItem,
-    SetOpKind, TableRef,
+    ContributionSemantics, CopyMode, Expr, JoinKind, ObjectKind, Query, QueryBody, Select,
+    SelectItem, SetOpKind, Statement, TableRef,
 };
 use perm_types::Value;
+
+/// Render a statement as SQL. This is what the write-ahead log records:
+/// a committed DDL/DML statement is deparsed here and re-parsed through
+/// the full pipeline on recovery, so the output must re-parse to an equal
+/// AST (see the round-trip tests).
+pub fn statement_to_sql(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Query(q) => query_to_sql(q),
+        Statement::CreateTable { name, columns } => {
+            let cols: Vec<String> = columns
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{} {}{}",
+                        c.name,
+                        c.ty,
+                        if c.not_null { " NOT NULL" } else { "" }
+                    )
+                })
+                .collect();
+            format!("CREATE TABLE {name} ({})", cols.join(", "))
+        }
+        Statement::CreateTableAs { name, query } => {
+            format!("CREATE TABLE {name} AS {}", query_to_sql(query))
+        }
+        Statement::CreateView { name, query } => {
+            format!("CREATE VIEW {name} AS {}", query_to_sql(query))
+        }
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let cols = match columns {
+                Some(cs) => format!(" ({})", cs.join(", ")),
+                None => String::new(),
+            };
+            let tuples: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    let vals: Vec<String> = row.iter().map(expr_to_sql).collect();
+                    format!("({})", vals.join(", "))
+                })
+                .collect();
+            format!("INSERT INTO {table}{cols} VALUES {}", tuples.join(", "))
+        }
+        Statement::Delete { table, predicate } => match predicate {
+            Some(p) => format!("DELETE FROM {table} WHERE {}", expr_to_sql(p)),
+            None => format!("DELETE FROM {table}"),
+        },
+        Statement::Update {
+            table,
+            assignments,
+            predicate,
+        } => {
+            let sets: Vec<String> = assignments
+                .iter()
+                .map(|(col, e)| format!("{col} = {}", expr_to_sql(e)))
+                .collect();
+            let mut s = format!("UPDATE {table} SET {}", sets.join(", "));
+            if let Some(p) = predicate {
+                s.push_str(&format!(" WHERE {}", expr_to_sql(p)));
+            }
+            s
+        }
+        Statement::Drop {
+            kind,
+            name,
+            if_exists,
+        } => format!(
+            "DROP {} {}{name}",
+            match kind {
+                ObjectKind::Table => "TABLE",
+                ObjectKind::View => "VIEW",
+            },
+            if *if_exists { "IF EXISTS " } else { "" }
+        ),
+        Statement::Explain {
+            query,
+            verbose,
+            verify,
+        } => format!(
+            "EXPLAIN {}{}{}",
+            if *verify { "VERIFY " } else { "" },
+            if *verbose { "VERBOSE " } else { "" },
+            query_to_sql(query)
+        ),
+    }
+}
 
 /// Render a query as SQL.
 pub fn query_to_sql(q: &Query) -> String {
@@ -367,6 +456,33 @@ mod tests {
             "SELECT (SELECT max(x) FROM u) FROM t WHERE y IS NOT NULL",
         ] {
             roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn statement_roundtrips() {
+        for sql in [
+            "CREATE TABLE t (a int NOT NULL, b text, c float, d bool)",
+            "CREATE TABLE p AS SELECT PROVENANCE text FROM messages",
+            "CREATE VIEW v AS SELECT a, b FROM t WHERE a > 1",
+            "INSERT INTO t VALUES (1, 'x', 2.5, TRUE), (2, NULL, 3.0, FALSE)",
+            "INSERT INTO t (a, b) VALUES (1, 'it''s')",
+            "DELETE FROM t",
+            "DELETE FROM t WHERE a = 1 AND b IS NOT NULL",
+            "UPDATE t SET a = a + 1, b = 'y' WHERE a < 10",
+            "DROP TABLE t",
+            "DROP VIEW IF EXISTS v",
+            "EXPLAIN SELECT 1",
+            "EXPLAIN VERIFY VERBOSE SELECT a FROM t",
+        ] {
+            let s1 = parse_statement(sql).unwrap();
+            let rendered = statement_to_sql(&s1);
+            let s2 = parse_statement(&rendered)
+                .unwrap_or_else(|e| panic!("rendered SQL does not re-parse: {rendered}\n{e}"));
+            assert_eq!(
+                s1, s2,
+                "round-trip changed the AST for {sql:?}:\n{rendered}"
+            );
         }
     }
 

@@ -72,8 +72,9 @@ pub use executor::Executor;
 pub use memory::{MemoryPool, MemoryReservation, QueryMemory};
 pub use parallel::{auto_parallelism, DEFAULT_PARALLEL_THRESHOLD, MORSEL_ROWS};
 pub use physical::{
-    estimated_peak_bytes, physical_tree, physical_tree_verbose, plan_physical, PhysicalPlan,
-    PhysicalPlanner, SPILL_PARTITIONS,
+    estimated_peak_bytes, physical_tree, physical_tree_verbose, plan_physical,
+    spill_fanout_for_rows, PhysicalPlan, PhysicalPlanner, MAX_SPILL_PARTITIONS, SPILL_PARTITIONS,
+    SPILL_PARTITION_TARGET_ROWS,
 };
 pub use planner::{optimize, optimize_traced, optimize_verified, optimize_with, LOGICAL_PHASES};
 pub use stream::TupleStream;

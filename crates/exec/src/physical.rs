@@ -46,13 +46,39 @@ use perm_types::{Schema, Value};
 use crate::adapter::CatalogStats;
 use crate::parallel::{auto_parallelism, pool_parallelism, DEFAULT_PARALLEL_THRESHOLD};
 
-/// Partition count buffering operators use when they spill to disk.
+/// Minimum partition count buffering operators use when they spill to
+/// disk.
 ///
-/// The planner stamps this into every spillable operator's
-/// `spill: Some(n)` field; the plan verifier checks that all spill
-/// counts in one plan agree, so a partitioned row written by one
+/// The planner stamps one plan-wide fanout (this value, scaled up by
+/// [`spill_fanout_for_rows`] for large inputs) into every spillable
+/// operator's `spill: Some(n)` field; the plan verifier checks that all
+/// spill counts in one plan agree, so a partitioned row written by one
 /// operator phase is always found by the matching read phase.
 pub const SPILL_PARTITIONS: usize = 8;
+
+/// Largest spill fanout the planner will pick. Each partition costs one
+/// open file per buffering operator, so the fanout is bounded even for
+/// huge inputs (partitions can recursively re-partition at run time).
+pub const MAX_SPILL_PARTITIONS: usize = 64;
+
+/// Rows one spilled partition should hold so that reading it back fits
+/// comfortably in memory; drives [`spill_fanout_for_rows`].
+pub const SPILL_PARTITION_TARGET_ROWS: f64 = 65_536.0;
+
+/// The spill partition fanout for a plan whose largest operator input is
+/// `rows` estimated rows: the smallest power of two giving at most
+/// [`SPILL_PARTITION_TARGET_ROWS`] per partition, clamped to
+/// [`SPILL_PARTITIONS`]`..=`[`MAX_SPILL_PARTITIONS`]. Sizing from the
+/// cardinality estimate keeps small queries at a small, cheap fanout
+/// while a huge build side gets enough partitions that each one fits in
+/// memory when read back.
+pub fn spill_fanout_for_rows(rows: f64) -> usize {
+    let wanted = (rows / SPILL_PARTITION_TARGET_ROWS).ceil();
+    if !wanted.is_finite() || wanted <= SPILL_PARTITIONS as f64 {
+        return SPILL_PARTITIONS;
+    }
+    ((wanted as usize).next_power_of_two()).min(MAX_SPILL_PARTITIONS)
+}
 
 /// One hashable equi-key pair of a join: `left_expr ⋈ right_expr`, with
 /// the right expression rebased to the right input's columns.
@@ -721,6 +747,11 @@ pub struct PhysicalPlanner<'a> {
     nested_loop_only: bool,
     max_parallelism: usize,
     parallel_threshold: usize,
+    /// Plan-wide spill fanout, sized from the cardinality estimates at
+    /// the top of [`PhysicalPlanner::plan`] (a `Cell` because lowering
+    /// takes `&self`). One value per plan keeps the verifier's
+    /// spill-consistency invariant trivially true.
+    spill_fanout: std::cell::Cell<usize>,
 }
 
 /// Lower `plan` against `catalog` (the common entry point).
@@ -735,6 +766,7 @@ impl<'a> PhysicalPlanner<'a> {
             nested_loop_only: false,
             max_parallelism: auto_parallelism(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            spill_fanout: std::cell::Cell::new(SPILL_PARTITIONS),
         }
     }
 
@@ -802,6 +834,8 @@ impl<'a> PhysicalPlanner<'a> {
     /// panics; release builds skip the check unless they opt in through
     /// [`PhysicalPlanner::plan_verified`].
     pub fn plan(&self, plan: &LogicalPlan) -> PhysicalPlan {
+        self.spill_fanout
+            .set(spill_fanout_for_rows(self.max_est(plan)));
         let physical = self.plan_node(plan);
         #[cfg(debug_assertions)]
         if let Err(e) = crate::verify::verify_physical(&physical, "physical-planning") {
@@ -815,9 +849,21 @@ impl<'a> PhysicalPlanner<'a> {
     /// panicking on) the first violation. Entry point behind
     /// `SessionOptions::verify_plans` and `EXPLAIN VERIFY`.
     pub fn plan_verified(&self, plan: &LogicalPlan) -> perm_types::Result<PhysicalPlan> {
+        self.spill_fanout
+            .set(spill_fanout_for_rows(self.max_est(plan)));
         let physical = self.plan_node(plan);
         crate::verify::verify_physical(&physical, "physical-planning")?;
         Ok(physical)
+    }
+
+    /// The largest estimated row count of any node in the logical tree —
+    /// a proxy for the biggest thing a buffering operator in this plan
+    /// might have to hold (and therefore spill).
+    fn max_est(&self, plan: &LogicalPlan) -> f64 {
+        plan.children()
+            .into_iter()
+            .map(|c| self.max_est(c))
+            .fold(self.est(plan), f64::max)
     }
 
     fn plan_node(&self, plan: &LogicalPlan) -> PhysicalPlan {
@@ -871,13 +917,13 @@ impl<'a> PhysicalPlanner<'a> {
                     // The grouped spill path re-partitions and re-merges
                     // like the parallel path does, so it shares the same
                     // legality condition.
-                    spill: safe.then_some(SPILL_PARTITIONS),
+                    spill: safe.then_some(self.spill_fanout.get()),
                 }
             }
             LogicalPlan::Distinct { input } => PhysicalPlan::HashDistinct {
                 input: Box::new(self.plan_node(input)),
                 dop: self.choose_dop(self.est(input), true),
-                spill: Some(SPILL_PARTITIONS),
+                spill: Some(self.spill_fanout.get()),
             },
             LogicalPlan::SetOp {
                 op,
@@ -895,7 +941,7 @@ impl<'a> PhysicalPlanner<'a> {
                     left: Box::new(self.plan_node(left)),
                     right: Box::new(self.plan_node(right)),
                     dop: self.choose_dop(input_rows, !append),
-                    spill: (!append).then_some(SPILL_PARTITIONS),
+                    spill: (!append).then_some(self.spill_fanout.get()),
                 }
             }
             LogicalPlan::Sort { input, keys } => {
@@ -904,7 +950,7 @@ impl<'a> PhysicalPlanner<'a> {
                     input: Box::new(self.plan_node(input)),
                     keys: keys.clone(),
                     dop: self.choose_dop(self.est(input), safe),
-                    spill: safe.then_some(SPILL_PARTITIONS),
+                    spill: safe.then_some(self.spill_fanout.get()),
                 }
             }
             LogicalPlan::Limit {
@@ -1226,7 +1272,7 @@ impl<'a> PhysicalPlanner<'a> {
             // Grace-join repartitioning shares the parallel-probe
             // legality condition: FULL joins and sublink keys stay
             // serial *and* in memory.
-            spill: safe.then_some(SPILL_PARTITIONS),
+            spill: safe.then_some(self.spill_fanout.get()),
         }
     }
 }
@@ -1509,6 +1555,44 @@ mod tests {
         let pf = plan_physical(&cat, &f);
         assert_eq!(pf.spill(), None, "{pf:?}");
         assert!(physical_tree_verbose(&pf).contains("[spill=never]"));
+    }
+
+    #[test]
+    fn spill_fanout_scales_with_estimated_rows() {
+        assert_eq!(spill_fanout_for_rows(0.0), SPILL_PARTITIONS);
+        assert_eq!(spill_fanout_for_rows(1000.0), SPILL_PARTITIONS);
+        // Up to 8 target-sized partitions stay at the floor.
+        assert_eq!(
+            spill_fanout_for_rows(8.0 * SPILL_PARTITION_TARGET_ROWS),
+            SPILL_PARTITIONS
+        );
+        assert_eq!(spill_fanout_for_rows(9.0 * SPILL_PARTITION_TARGET_ROWS), 16);
+        assert_eq!(spill_fanout_for_rows(1e12), MAX_SPILL_PARTITIONS);
+        assert_eq!(spill_fanout_for_rows(f64::INFINITY), SPILL_PARTITIONS);
+    }
+
+    #[test]
+    fn huge_build_side_picks_a_larger_spill_fanout() {
+        let mut cat = catalog();
+        let mut huge = Table::new("huge", Schema::new(vec![Column::new("k", DataType::Int)]));
+        for i in 0..600_000 {
+            huge.push_raw(Tuple::new(vec![Value::Int(i)]));
+        }
+        cat.create_table(huge).unwrap();
+
+        // A small plan keeps the cheap floor fanout …
+        let small = LogicalPlan::Distinct {
+            input: Box::new(scan(&cat, "big")),
+        };
+        assert_eq!(plan_physical(&cat, &small).spill(), Some(SPILL_PARTITIONS));
+
+        // … while 600k estimated rows get 16 partitions, so each spilled
+        // partition still fits in memory when read back.
+        let big = LogicalPlan::Distinct {
+            input: Box::new(scan(&cat, "huge")),
+        };
+        let p = plan_physical(&cat, &big);
+        assert_eq!(p.spill(), Some(16), "{p:?}");
     }
 
     #[test]

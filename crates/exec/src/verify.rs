@@ -313,9 +313,10 @@ fn children(plan: &PhysicalPlan) -> Vec<&PhysicalPlan> {
 }
 
 /// Every spill-enabled operator in one plan must agree on the partition
-/// count: the planner stamps a single [`crate::physical::SPILL_PARTITIONS`]
-/// plan-wide, and a mismatch means a pass rewrote one node but not its
-/// siblings.
+/// count: the planner stamps a single stats-sized fanout (between
+/// [`crate::physical::SPILL_PARTITIONS`] and
+/// [`crate::physical::MAX_SPILL_PARTITIONS`], a power of two) plan-wide,
+/// and a mismatch means a pass rewrote one node but not its siblings.
 fn check_spill_partitions(
     plan: &PhysicalPlan,
     pass: &str,
@@ -328,6 +329,18 @@ fn check_spill_partitions(
         format!("{path} > {}", label(plan))
     };
     if let Some(p) = plan.spill() {
+        let (lo, hi) = (
+            crate::physical::SPILL_PARTITIONS,
+            crate::physical::MAX_SPILL_PARTITIONS,
+        );
+        if p < lo || p > hi || !p.is_power_of_two() {
+            return Err(violation(
+                pass,
+                "spill-consistency",
+                &path,
+                format!("spill partition count {p} outside the planner's range {lo}..={hi} (power of two)"),
+            ));
+        }
         match seen {
             None => *seen = Some((p, path.clone())),
             Some((q, first)) if *q != p => {
@@ -915,7 +928,9 @@ mod tests {
                 desc: false,
             }],
             dop: 1,
-            spill: Some(4),
+            // In range (8..=64, power of two) but differing from the
+            // sibling's 8 — the mismatch check must catch it.
+            spill: Some(16),
         };
         let err = verify_physical(&plan, "physical-planning").unwrap_err();
         assert!(err.message().contains("spill-consistency"), "{err}");

@@ -61,14 +61,31 @@ impl Catalog {
     /// Register a new view.
     pub fn create_view(&mut self, name: impl Into<String>, definition: Query) -> Result<()> {
         let name = name.into();
-        let key = Self::key(&name);
+        let view = View::new(name, definition);
+        self.install_view(view)
+    }
+
+    /// Register a new view that remembers its defining SQL text, which is
+    /// what lets durable checkpoints persist it.
+    pub fn create_view_with_sql(
+        &mut self,
+        name: impl Into<String>,
+        definition: Query,
+        sql: impl Into<String>,
+    ) -> Result<()> {
+        let view = View::with_sql(name, definition, sql);
+        self.install_view(view)
+    }
+
+    fn install_view(&mut self, view: View) -> Result<()> {
+        let key = Self::key(view.name());
         if self.relations.contains_key(&key) {
             return Err(PermError::Catalog(format!(
-                "relation '{name}' already exists"
+                "relation '{}' already exists",
+                view.name()
             )));
         }
-        self.relations
-            .insert(key, Relation::View(View::new(name, definition)));
+        self.relations.insert(key, Relation::View(view));
         Ok(())
     }
 
@@ -169,6 +186,12 @@ impl Catalog {
     /// Names of all relations, sorted.
     pub fn relation_names(&self) -> Vec<&str> {
         self.relations.values().map(Relation::name).collect()
+    }
+
+    /// Every relation, in sorted key order (deterministic — checkpoints
+    /// of equal catalogs are byte-identical).
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
     }
 
     pub fn len(&self) -> usize {

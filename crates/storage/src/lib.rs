@@ -16,9 +16,17 @@
 //!   analyzer unfolds them per use, which is what lets the rewriter either
 //!   descend into the view (default) or stop at it (`BASERELATION`).
 //!
-//! The one on-disk codepath is [`spill`]: length-prefixed row files the
-//! executor's buffering operators scatter partitions into when a memory
-//! reservation is denied, read back partition by partition.
+//! On-disk codepaths:
+//!
+//! * [`spill`]: length-prefixed row files the executor's buffering
+//!   operators scatter partitions into when a memory reservation is
+//!   denied, read back partition by partition.
+//! * [`wal`] + [`durable`]: the durability subsystem — a checksummed
+//!   write-ahead log of committed statements, snapshot checkpoints of
+//!   the catalog (atomic rename + log truncation), and crash recovery
+//!   that replays the log tail and truncates torn final records.
+//! * [`failpoint`]: deterministic fault injection (`PERM_FAILPOINTS`)
+//!   every write/fsync/rename/read in the above goes through.
 //!
 //! For concurrent servers, [`shared::SharedCatalog`] wraps a [`Catalog`]
 //! in copy-on-write snapshots behind a reader/writer lock: readers plan
@@ -28,17 +36,22 @@
 #![forbid(unsafe_code)]
 
 pub mod catalog;
+pub mod durable;
+pub mod failpoint;
 pub mod index;
 pub mod shared;
 pub mod spill;
 pub mod stats;
 pub mod table;
 pub mod view;
+pub mod wal;
 
 pub use catalog::{Catalog, Relation};
+pub use durable::{DurableStore, OpenOutcome, CHECKPOINT_FILE, CHECKPOINT_TMP, WAL_FILE};
 pub use index::HashIndex;
 pub use shared::{CatalogWriteGuard, SharedCatalog};
 pub use spill::{SpillPartitions, SpillReader, SpillWriter};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
 pub use view::View;
+pub use wal::{FsyncPolicy, TailState, WalRecord, WalWriter};

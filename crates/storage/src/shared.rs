@@ -79,6 +79,14 @@ impl CatalogWriteGuard<'_> {
     pub fn snapshot(&self) -> Arc<Catalog> {
         Arc::clone(&self.0)
     }
+
+    /// Replace the catalog with a previously-taken snapshot
+    /// (see [`CatalogWriteGuard::snapshot`]): the rollback half of an
+    /// atomic statement. Any mutation made through this guard since that
+    /// snapshot is discarded in O(1).
+    pub fn restore(&mut self, snapshot: Arc<Catalog>) {
+        *self.0 = snapshot;
+    }
 }
 
 impl Deref for CatalogWriteGuard<'_> {
@@ -150,6 +158,25 @@ mod tests {
         assert!(a.ptr_eq(&b));
         a.write().create_table(table("t")).unwrap();
         assert!(b.snapshot().table("t").is_ok());
+    }
+
+    #[test]
+    fn restore_rolls_back_to_a_snapshot() {
+        let shared = SharedCatalog::default();
+        shared.write().create_table(table("t")).unwrap();
+        {
+            let mut w = shared.write();
+            let before = w.snapshot();
+            w.table_mut("t")
+                .unwrap()
+                .insert(Tuple::new(vec![Value::Int(1)]))
+                .unwrap();
+            w.create_table(table("u")).unwrap();
+            w.restore(before);
+        }
+        let c = shared.snapshot();
+        assert_eq!(c.table("t").unwrap().row_count(), 0, "insert rolled back");
+        assert!(c.table("u").is_err(), "DDL rolled back");
     }
 
     #[test]

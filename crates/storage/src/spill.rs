@@ -20,24 +20,112 @@
 //! Floats round-trip by bit pattern — a spilled-and-reloaded row is
 //! byte-identical to the row that was written, which is what lets the
 //! spilling operators promise results identical to the in-memory path.
+//! The same value codec serializes table rows in durable checkpoints
+//! (see `durable`).
 //!
 //! Files live in the OS temp directory under process-unique names and
 //! are deleted when the `SpillFile` handle drops (including on error
-//! unwind). This module is the only place in the engine allowed to
-//! create temp files; `xtask lint` enforces that.
+//! unwind). This module is one of the few places in the engine allowed
+//! to create files; `xtask lint` enforces that.
+//!
+//! I/O failures surface as typed [`PermError::Io`] naming the operator
+//! and file path. Reads additionally retry transient failures a bounded
+//! number of times (with a short backoff) before failing the query —
+//! a spill read error never takes down the server, only the one query.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::PathBuf;
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use perm_types::{PermError, Result, Tuple, Value};
 
+use crate::failpoint;
+
 /// Process-wide counter making spill file names unique.
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
-fn io_err(what: &str, e: std::io::Error) -> PermError {
-    PermError::Execution(format!("spill {what}: {e}"))
+/// Transient read failures are retried this many times (after the first
+/// attempt) before the error is surfaced to the query.
+const SPILL_READ_RETRIES: u32 = 3;
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> PermError {
+    PermError::Io {
+        operator: format!("spill {what}"),
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// Encode one value in the spill codec (shared with checkpoints).
+/// Invalid data (text longer than `u32::MAX`) maps to
+/// [`ErrorKind::InvalidData`].
+pub(crate) fn write_value(out: &mut impl Write, v: &Value) -> std::io::Result<()> {
+    match v {
+        Value::Null => out.write_all(&[0x00]),
+        Value::Bool(b) => out.write_all(&[0x01, u8::from(*b)]),
+        Value::Int(i) => out
+            .write_all(&[0x02])
+            .and_then(|()| out.write_all(&i.to_le_bytes())),
+        Value::Float(f) => out
+            .write_all(&[0x03])
+            .and_then(|()| out.write_all(&f.to_bits().to_le_bytes())),
+        Value::Text(s) => {
+            let len = u32::try_from(s.len()).map_err(|_| {
+                std::io::Error::new(ErrorKind::InvalidData, "text value too long to encode")
+            })?;
+            out.write_all(&[0x04])
+                .and_then(|()| out.write_all(&len.to_le_bytes()))
+                .and_then(|()| out.write_all(s.as_bytes()))
+        }
+    }
+}
+
+/// Decode one value in the spill codec. Unknown tags and invalid UTF-8
+/// map to [`ErrorKind::InvalidData`].
+pub(crate) fn read_value(input: &mut impl Read) -> std::io::Result<Value> {
+    let mut b1 = [0u8; 1];
+    let mut b4 = [0u8; 4];
+    let mut b8 = [0u8; 8];
+    input.read_exact(&mut b1)?;
+    match b1[0] {
+        0x00 => Ok(Value::Null),
+        0x01 => {
+            input.read_exact(&mut b1)?;
+            Ok(Value::Bool(b1[0] != 0))
+        }
+        0x02 => {
+            input.read_exact(&mut b8)?;
+            Ok(Value::Int(i64::from_le_bytes(b8)))
+        }
+        0x03 => {
+            input.read_exact(&mut b8)?;
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(b8))))
+        }
+        0x04 => {
+            input.read_exact(&mut b4)?;
+            let len = u32::from_le_bytes(b4) as usize;
+            let mut buf = vec![0u8; len];
+            input.read_exact(&mut buf)?;
+            String::from_utf8(buf)
+                .map(Value::text)
+                .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "invalid UTF-8 text"))
+        }
+        other => Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("unknown value tag {other:#04x}"),
+        )),
+    }
+}
+
+/// Encoded byte length of one value in the spill codec.
+pub(crate) fn value_encoded_len(v: &Value) -> u64 {
+    match v {
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) | Value::Float(_) => 9,
+        Value::Text(s) => 5 + s.len() as u64,
+    }
 }
 
 /// A temp file owned by a spill partition; removed from disk on drop.
@@ -55,7 +143,7 @@ impl SpillFile {
             .write(true)
             .create_new(true)
             .open(&path)
-            .map_err(|e| io_err("create", e))?;
+            .map_err(|e| io_err("create", &path, e))?;
         Ok((SpillFile { path }, file))
     }
 }
@@ -87,32 +175,22 @@ impl SpillWriter {
 
     /// Append one `(tag, row)` record.
     pub fn push(&mut self, tag: u64, row: &Tuple) -> Result<()> {
+        let path = &self.file.path;
         let out = &mut self.out;
         out.write_all(&tag.to_le_bytes())
-            .map_err(|e| io_err("write", e))?;
+            .map_err(|e| io_err("write", path, e))?;
         let n = u32::try_from(row.len())
             .map_err(|_| PermError::Execution("spill write: row too wide".into()))?;
         out.write_all(&n.to_le_bytes())
-            .map_err(|e| io_err("write", e))?;
+            .map_err(|e| io_err("write", path, e))?;
         for v in row.iter() {
-            let r = match v {
-                Value::Null => out.write_all(&[0x00]),
-                Value::Bool(b) => out.write_all(&[0x01, u8::from(*b)]),
-                Value::Int(i) => out
-                    .write_all(&[0x02])
-                    .and_then(|()| out.write_all(&i.to_le_bytes())),
-                Value::Float(f) => out
-                    .write_all(&[0x03])
-                    .and_then(|()| out.write_all(&f.to_bits().to_le_bytes())),
-                Value::Text(s) => {
-                    let len = u32::try_from(s.len())
-                        .map_err(|_| PermError::Execution("spill write: text too long".into()))?;
-                    out.write_all(&[0x04])
-                        .and_then(|()| out.write_all(&len.to_le_bytes()))
-                        .and_then(|()| out.write_all(s.as_bytes()))
+            write_value(out, v).map_err(|e| {
+                if e.kind() == ErrorKind::InvalidData {
+                    PermError::Execution(format!("spill write: {e}"))
+                } else {
+                    io_err("write", path, e)
                 }
-            };
-            r.map_err(|e| io_err("write", e))?;
+            })?;
         }
         self.records += 1;
         Ok(())
@@ -131,12 +209,14 @@ impl SpillWriter {
     /// Flush and reopen the partition for reading. Records come back in
     /// the order they were pushed.
     pub fn into_reader(mut self) -> Result<SpillReader> {
-        self.out.flush().map_err(|e| io_err("flush", e))?;
-        let handle = File::open(&self.file.path).map_err(|e| io_err("reopen", e))?;
+        let path = &self.file.path;
+        self.out.flush().map_err(|e| io_err("flush", path, e))?;
+        let handle = File::open(path).map_err(|e| io_err("reopen", path, e))?;
         Ok(SpillReader {
             file: self.file,
             input: BufReader::new(handle),
             remaining: self.records,
+            offset: 0,
         })
     }
 }
@@ -146,10 +226,12 @@ impl SpillWriter {
 /// drops.
 #[derive(Debug)]
 pub struct SpillReader {
-    #[allow(dead_code)] // held for its Drop: removes the temp file
     file: SpillFile,
     input: BufReader<File>,
     remaining: usize,
+    /// Byte offset of the next unread record; lets a failed read seek
+    /// back to the record boundary and retry.
+    offset: u64,
 }
 
 impl SpillReader {
@@ -158,51 +240,65 @@ impl SpillReader {
         self.remaining
     }
 
-    fn read_record(&mut self) -> Result<(u64, Tuple)> {
+    /// One read attempt from the current position. I/O errors come back
+    /// as typed `Io`; decode failures (which a retry cannot fix) as
+    /// `Execution`.
+    fn try_read_record(&mut self) -> Result<(u64, Tuple)> {
+        let path = &self.file.path;
+        if failpoint::hit("spill.read").is_some() {
+            return Err(PermError::Io {
+                operator: "spill read".into(),
+                path: path.display().to_string(),
+                detail: "injected read error (failpoint)".into(),
+            });
+        }
         let input = &mut self.input;
         let mut b8 = [0u8; 8];
         let mut b4 = [0u8; 4];
-        let mut b1 = [0u8; 1];
-        input.read_exact(&mut b8).map_err(|e| io_err("read", e))?;
+        input
+            .read_exact(&mut b8)
+            .map_err(|e| io_err("read", path, e))?;
         let tag = u64::from_le_bytes(b8);
-        input.read_exact(&mut b4).map_err(|e| io_err("read", e))?;
+        input
+            .read_exact(&mut b4)
+            .map_err(|e| io_err("read", path, e))?;
         let n = u32::from_le_bytes(b4) as usize;
         let mut values = Vec::with_capacity(n);
         for _ in 0..n {
-            input.read_exact(&mut b1).map_err(|e| io_err("read", e))?;
-            let v = match b1[0] {
-                0x00 => Value::Null,
-                0x01 => {
-                    input.read_exact(&mut b1).map_err(|e| io_err("read", e))?;
-                    Value::Bool(b1[0] != 0)
+            let v = read_value(input).map_err(|e| {
+                if e.kind() == ErrorKind::InvalidData {
+                    PermError::Execution(format!("spill read: {e}"))
+                } else {
+                    io_err("read", path, e)
                 }
-                0x02 => {
-                    input.read_exact(&mut b8).map_err(|e| io_err("read", e))?;
-                    Value::Int(i64::from_le_bytes(b8))
-                }
-                0x03 => {
-                    input.read_exact(&mut b8).map_err(|e| io_err("read", e))?;
-                    Value::Float(f64::from_bits(u64::from_le_bytes(b8)))
-                }
-                0x04 => {
-                    input.read_exact(&mut b4).map_err(|e| io_err("read", e))?;
-                    let len = u32::from_le_bytes(b4) as usize;
-                    let mut buf = vec![0u8; len];
-                    input.read_exact(&mut buf).map_err(|e| io_err("read", e))?;
-                    let s = String::from_utf8(buf).map_err(|_| {
-                        PermError::Execution("spill read: invalid UTF-8 text".into())
-                    })?;
-                    Value::text(s)
-                }
-                other => {
-                    return Err(PermError::Execution(format!(
-                        "spill read: unknown value tag {other:#04x}"
-                    )))
-                }
-            };
+            })?;
             values.push(v);
         }
         Ok((tag, Tuple::new(values)))
+    }
+
+    /// Read the next record, retrying transient I/O failures a bounded
+    /// number of times from the record boundary before giving up.
+    fn read_record(&mut self) -> Result<(u64, Tuple)> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_read_record() {
+                Ok((tag, row)) => {
+                    self.offset += 12 + row.iter().map(value_encoded_len).sum::<u64>();
+                    return Ok((tag, row));
+                }
+                // Decode errors are deterministic; retrying cannot help.
+                Err(e) if e.kind() != "io" => return Err(e),
+                Err(e) if attempt >= SPILL_READ_RETRIES => return Err(e),
+                Err(_) => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                    self.input
+                        .seek(SeekFrom::Start(self.offset))
+                        .map_err(|e| io_err("seek", &self.file.path, e))?;
+                }
+            }
+        }
     }
 }
 
@@ -355,5 +451,50 @@ mod tests {
         let mut r = w.into_reader().unwrap();
         assert_eq!(r.remaining(), 0);
         assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn transient_read_error_is_retried() {
+        let _g = crate::failpoint::test_guard();
+        crate::failpoint::configure("spill.read=read_err@1").unwrap();
+        let mut w = SpillWriter::create().unwrap();
+        w.push(7, &Tuple::new(vec![Value::Int(7), Value::text("x")]))
+            .unwrap();
+        w.push(8, &Tuple::new(vec![Value::Int(8), Value::Null]))
+            .unwrap();
+        let got: Vec<(u64, Tuple)> = w.into_reader().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 2, "one transient failure must be absorbed");
+        assert_eq!(got[0].0, 7);
+        assert_eq!(got[1].0, 8);
+        assert_eq!(crate::failpoint::fired_count("spill.read"), 1);
+        crate::failpoint::clear();
+    }
+
+    #[test]
+    fn persistent_read_error_fails_query_with_typed_io() {
+        let _g = crate::failpoint::test_guard();
+        crate::failpoint::configure("spill.read=read_err").unwrap();
+        let mut w = SpillWriter::create().unwrap();
+        w.push(7, &Tuple::new(vec![Value::Int(7)])).unwrap();
+        let err = w.into_reader().unwrap().next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert!(err.message().contains("injected read error"), "{err}");
+        assert_eq!(
+            crate::failpoint::fired_count("spill.read"),
+            1 + SPILL_READ_RETRIES as u64,
+            "bounded retries, then give up"
+        );
+        crate::failpoint::clear();
+    }
+
+    #[test]
+    fn encoded_len_matches_codec() {
+        for row in sample_rows() {
+            for v in row.iter() {
+                let mut buf = Vec::new();
+                write_value(&mut buf, v).unwrap();
+                assert_eq!(buf.len() as u64, value_encoded_len(v), "{v:?}");
+            }
+        }
     }
 }

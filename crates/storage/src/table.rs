@@ -197,6 +197,8 @@ impl Table {
         let before = self.rows.len();
         let mut it = kill.iter();
         self.rows
+            // INVARIANT: `kill` was built with one entry per row, so the
+            // iterator cannot run out before `retain` does.
             .retain(|_| !*it.next().expect("mask covers all rows"));
         self.rebuild_indexes();
         self.stats.take();
@@ -252,6 +254,12 @@ impl Table {
         }
         self.indexes.push(idx);
         Ok(())
+    }
+
+    /// The columns that carry a hash index, in creation order (used by
+    /// checkpoints to rebuild indexes on recovery).
+    pub fn index_columns(&self) -> Vec<usize> {
+        self.indexes.iter().map(HashIndex::column).collect()
     }
 
     /// The hash index on `column`, if one exists.

@@ -14,6 +14,11 @@ use perm_sql::Query;
 pub struct View {
     name: String,
     definition: Query,
+    /// The defining query as SQL text, when the creator had it (views
+    /// made through the server always do). Checkpoints persist views by
+    /// this text and re-parse it on recovery, so the storage layer never
+    /// needs its own AST serializer.
+    sql: Option<String>,
 }
 
 impl View {
@@ -21,6 +26,17 @@ impl View {
         View {
             name: name.into(),
             definition,
+            sql: None,
+        }
+    }
+
+    /// A view that remembers its defining SQL text (required for
+    /// durable checkpoints).
+    pub fn with_sql(name: impl Into<String>, definition: Query, sql: impl Into<String>) -> View {
+        View {
+            name: name.into(),
+            definition,
+            sql: Some(sql.into()),
         }
     }
 
@@ -31,6 +47,11 @@ impl View {
     /// The defining query, as parsed.
     pub fn definition(&self) -> &Query {
         &self.definition
+    }
+
+    /// The defining query as SQL text, if recorded at creation.
+    pub fn sql(&self) -> Option<&str> {
+        self.sql.as_deref()
     }
 }
 

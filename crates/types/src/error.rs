@@ -32,6 +32,25 @@ pub enum PermError {
         requested: u64,
         budget: u64,
     },
+    /// An I/O operation on the storage layer failed: `operator` names the
+    /// component that was reading or writing (spill partition, WAL
+    /// appender, checkpointer), `path` the file involved, `detail` the
+    /// underlying OS error.
+    Io {
+        operator: String,
+        path: String,
+        detail: String,
+    },
+    /// On-disk state failed validation during recovery (bad checksum,
+    /// impossible record length, a statement that no longer replays):
+    /// `path` names the file, `offset` the byte position of the first bad
+    /// record. Recovery degrades to a read-only server over the last
+    /// good state instead of panicking.
+    Corruption {
+        path: String,
+        offset: u64,
+        detail: String,
+    },
 }
 
 impl PermError {
@@ -46,6 +65,8 @@ impl PermError {
             PermError::Catalog(_) => "catalog",
             PermError::Value(_) => "value",
             PermError::ResourceExhausted { .. } => "resource",
+            PermError::Io { .. } => "io",
+            PermError::Corruption { .. } => "corruption",
         }
     }
 
@@ -71,6 +92,24 @@ impl PermError {
                 requested,
                 budget,
             },
+            PermError::Io {
+                operator,
+                path,
+                detail,
+            } => PermError::Io {
+                operator: wrap(operator),
+                path,
+                detail,
+            },
+            PermError::Corruption {
+                path,
+                offset,
+                detail,
+            } => PermError::Corruption {
+                path,
+                offset,
+                detail: wrap(detail),
+            },
         }
     }
 
@@ -91,6 +130,16 @@ impl PermError {
             } => Cow::Owned(format!(
                 "{operator}: requested {requested} bytes, budget is {budget} bytes"
             )),
+            PermError::Io {
+                operator,
+                path,
+                detail,
+            } => Cow::Owned(format!("{operator}: {path}: {detail}")),
+            PermError::Corruption {
+                path,
+                offset,
+                detail,
+            } => Cow::Owned(format!("{path} at offset {offset}: {detail}")),
         }
     }
 }
@@ -141,6 +190,36 @@ mod tests {
     }
 
     #[test]
+    fn io_error_names_operator_and_path() {
+        let e = PermError::Io {
+            operator: "wal append".into(),
+            path: "/data/wal.log".into(),
+            detail: "No space left on device (os error 28)".into(),
+        };
+        assert_eq!(e.kind(), "io");
+        assert_eq!(
+            e.to_string(),
+            "io error: wal append: /data/wal.log: No space left on device (os error 28)"
+        );
+        let e = e.with_context("commit");
+        assert!(e.message().starts_with("commit: wal append"), "{e}");
+    }
+
+    #[test]
+    fn corruption_error_names_path_and_offset() {
+        let e = PermError::Corruption {
+            path: "/data/wal.log".into(),
+            offset: 128,
+            detail: "checksum mismatch".into(),
+        };
+        assert_eq!(e.kind(), "corruption");
+        assert_eq!(
+            e.to_string(),
+            "corruption error: /data/wal.log at offset 128: checksum mismatch"
+        );
+    }
+
+    #[test]
     fn kinds_are_distinct() {
         let errs = [
             PermError::Parse(String::new()),
@@ -154,6 +233,16 @@ mod tests {
                 operator: String::new(),
                 requested: 0,
                 budget: 0,
+            },
+            PermError::Io {
+                operator: String::new(),
+                path: String::new(),
+                detail: String::new(),
+            },
+            PermError::Corruption {
+                path: String::new(),
+                offset: 0,
+                detail: String::new(),
             },
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();

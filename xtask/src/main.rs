@@ -24,6 +24,15 @@
 //!    naming scheme, are tracked by the memory accounting, and are
 //!    deleted on drop; a stray `temp_dir()` elsewhere leaks files the
 //!    governor cannot see.
+//! 8. **No file creation in `perm-storage` outside spill/wal/durable** —
+//!    the storage crate owns exactly three kinds of files (spill
+//!    partitions, the write-ahead log, checkpoint snapshots); a
+//!    `File::create` anywhere else would dodge both the durability
+//!    protocol and the spill accounting.
+//! 9. **No raw file I/O in the durability modules** — every write, sync,
+//!    rename and truncate in `wal.rs`/`durable.rs` must go through the
+//!    `failpoint::` wrappers so each durability write site carries a
+//!    named failpoint and stays covered by the crash-recovery matrix.
 //!
 //! Test code (files under a `tests` directory, `*/tests.rs`, and
 //! `#[cfg(test)]` modules, tracked by brace depth) is exempt from rules
@@ -39,11 +48,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Files whose per-row loops are the engine's hot path (rules 1–2).
+/// `crates/storage/src/` is included: spill partitions and the WAL sit
+/// on the same per-row and per-commit paths as the operators.
 const HOT_PATHS: &[&str] = &[
     "crates/exec/src/executor.rs",
     "crates/exec/src/eval.rs",
     "crates/exec/src/compile.rs",
     "crates/exec/src/operators/",
+    "crates/storage/src/",
 ];
 
 /// The only modules allowed to start worker threads (rule 3).
@@ -57,8 +69,36 @@ const SEND_EXPOSED: &[&str] = &[
     "crates/core/",
 ];
 
-/// The only module allowed to create temp files (rule 7).
-const TEMP_FILES_ALLOWED: &[&str] = &["crates/storage/src/spill.rs"];
+/// The only modules allowed to create temp files (rule 7): the spill
+/// module, and the bench harness's scratch data directories for the
+/// durability micro-benches (cleaned up within the run).
+const TEMP_FILES_ALLOWED: &[&str] = &[
+    "crates/storage/src/spill.rs",
+    "crates/bench/src/bin/bench_summary.rs",
+];
+
+/// The only storage modules allowed to create files (rule 8): spill
+/// partitions, the write-ahead log, and checkpoint snapshots.
+const STORAGE_FILE_CREATION_ALLOWED: &[&str] = &[
+    "crates/storage/src/spill.rs",
+    "crates/storage/src/wal.rs",
+    "crates/storage/src/durable.rs",
+];
+
+/// Durability modules whose file I/O must go through the `failpoint::`
+/// wrappers (rule 9), so every write site has a named failpoint.
+const FAILPOINT_WRAPPED: &[&str] = &["crates/storage/src/wal.rs", "crates/storage/src/durable.rs"];
+
+/// Raw I/O calls that rule 9 bans in the durability modules. The
+/// leading `.` (or `fs::` path) distinguishes a raw method call from
+/// the sanctioned `failpoint::write_all(...)`-style wrappers.
+const RAW_DURABLE_IO: &[&str] = &[
+    ".write_all(",
+    ".sync_all(",
+    ".sync_data(",
+    "fs::rename(",
+    ".set_len(",
+];
 
 struct Finding {
     file: PathBuf,
@@ -172,6 +212,9 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let spawn_ok = matches_any(rel, SPAWN_ALLOWED);
     let send_exposed = matches_any(rel, SEND_EXPOSED);
     let temp_files_ok = matches_any(rel, TEMP_FILES_ALLOWED);
+    let storage_file_creation_checked =
+        rel.starts_with("crates/storage/src/") && !matches_any(rel, STORAGE_FILE_CREATION_ALLOWED);
+    let failpoint_wrapped = matches_any(rel, FAILPOINT_WRAPPED);
 
     let lines: Vec<&str> = source.lines().collect();
     // `#[cfg(test)]` module tracking: once the attribute's item opens a
@@ -253,6 +296,35 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
                      files through the spill module so they are tracked and reclaimed"
                         .into(),
                 );
+            }
+
+            // Rule 8: file creation in perm-storage only through the
+            // spill, WAL or checkpoint modules.
+            if storage_file_creation_checked
+                && (code.contains("File::create(") || code.contains("OpenOptions::new("))
+            {
+                report(
+                    "storage-file-creation-confined",
+                    "file creation in perm-storage outside spill.rs/wal.rs/durable.rs; \
+                     storage owns only spill, WAL and checkpoint files"
+                        .into(),
+                );
+            }
+
+            // Rule 9: durability modules must use the failpoint wrappers
+            // for every write/sync/rename/truncate.
+            if failpoint_wrapped {
+                for pat in RAW_DURABLE_IO {
+                    if code.contains(pat) {
+                        report(
+                            "durable-io-needs-failpoint",
+                            format!(
+                                "raw `{pat}..)` in a durability module; use the matching \
+                                 `failpoint::` wrapper so the write site has a named failpoint"
+                            ),
+                        );
+                    }
+                }
             }
 
             // Rule 3: thread spawns only in the sanctioned modules.
@@ -542,6 +614,61 @@ mod tests {
         assert!(run("crates/core/tests/spill_roundtrip.rs", src).is_empty());
         let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
         assert!(run("crates/exec/src/operators/sort.rs", &in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn storage_file_creation_is_confined() {
+        let src = "fn f() { let _ = std::fs::File::create(\"x\"); }\n";
+        assert_eq!(
+            run("crates/storage/src/catalog.rs", src),
+            ["storage-file-creation-confined"]
+        );
+        let opts = "fn f() { let _ = OpenOptions::new().append(true); }\n";
+        assert_eq!(
+            run("crates/storage/src/table.rs", opts),
+            ["storage-file-creation-confined"]
+        );
+        // The three sanctioned modules may create their own files.
+        assert!(run("crates/storage/src/spill.rs", src).is_empty());
+        assert!(run("crates/storage/src/wal.rs", opts).is_empty());
+        assert!(run("crates/storage/src/durable.rs", src).is_empty());
+        // Other crates are out of scope for rule 8.
+        assert!(run("crates/core/src/server.rs", src).is_empty());
+        // Tests may scratch freely.
+        let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(run("crates/storage/src/catalog.rs", &in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn durability_io_must_use_failpoint_wrappers() {
+        let raw = "fn f(file: &mut File) { file.write_all(b\"x\"); file.sync_all(); }\n";
+        let rules = run("crates/storage/src/wal.rs", raw);
+        assert_eq!(
+            rules,
+            ["durable-io-needs-failpoint", "durable-io-needs-failpoint"]
+        );
+        let rename = "fn f() { std::fs::rename(\"a\", \"b\"); }\n";
+        assert_eq!(
+            run("crates/storage/src/durable.rs", rename),
+            ["durable-io-needs-failpoint"]
+        );
+        // The failpoint wrappers themselves are the sanctioned call shape.
+        let wrapped = "fn f(file: &mut File) { failpoint::write_all(\"wal.append.write\", \
+                       file, b\"x\", \"wal\", path) }\n";
+        assert!(run("crates/storage/src/wal.rs", wrapped).is_empty());
+        // failpoint.rs holds the raw calls by design; spill.rs has its
+        // own error mapping — neither is in scope for rule 9.
+        assert!(run("crates/storage/src/failpoint.rs", raw).is_empty());
+        assert!(run("crates/storage/src/spill.rs", raw).is_empty());
+    }
+
+    #[test]
+    fn storage_is_a_hot_path() {
+        let src = "fn f() { g().unwrap(); }\n";
+        assert_eq!(
+            run("crates/storage/src/table.rs", src),
+            ["no-unwrap-in-hot-path"]
+        );
     }
 
     #[test]
