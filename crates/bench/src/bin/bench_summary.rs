@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use perm_bench::hotpath;
-use perm_core::{DurabilityOptions, FsyncPolicy, PermServer};
+use perm_core::{DurabilityOptions, FsyncPolicy, PermServer, SessionOptions};
 
 /// Median wall-clock milliseconds of `runs` prepared executions (two
 /// warm-up runs are discarded).
@@ -64,6 +64,35 @@ fn run_workload(runs: usize, memory_budget: usize) -> (Vec<(String, f64)>, usize
         })
         .collect();
     (results, server.memory_pool().peak())
+}
+
+/// The columnar A/B workload: every hot-path query once with batch
+/// execution (the default) and once with the row interpreter
+/// ([`SessionOptions::with_columnar`] off), on the same server. The
+/// row path is the reference semantics, so this section is the
+/// measured answer to "what does the batch layer buy per bench".
+fn run_columnar_workload(runs: usize) -> Vec<(String, [f64; 2])> {
+    let db = hotpath::hotpath_db();
+    let server = db.server();
+    let batch_session = server.session();
+    let row_session = server.session_with_options(SessionOptions::default().with_columnar(false));
+    hotpath::all_queries()
+        .into_iter()
+        .map(|(group, name, sql)| {
+            let mut ms = [0.0f64; 2];
+            for (slot, session) in [&row_session, &batch_session].into_iter().enumerate() {
+                let prepared = session
+                    .prepare(&sql)
+                    .unwrap_or_else(|e| panic!("columnar/{group}/{name} fails to prepare: {e}"));
+                ms[slot] = measure(&prepared, runs);
+            }
+            eprintln!(
+                "columnar/{group}/{name}: row {:.3} ms, batch {:.3} ms",
+                ms[0], ms[1]
+            );
+            (format!("{group}/{name}"), ms)
+        })
+        .collect()
 }
 
 /// The DOP-scaling workload: each query at DOP 1, 2 and 4 over the
@@ -206,6 +235,7 @@ fn validate_summary(
     before: &BTreeMap<String, f64>,
     parallel: &[(String, [f64; 3])],
     durability: &[(String, f64)],
+    columnar: &[(String, [f64; 2])],
     memory_budget: usize,
     peak_pool_bytes: usize,
 ) -> Result<(), String> {
@@ -219,6 +249,7 @@ fn validate_summary(
         "\"benches\"",
         "\"parallel_scaling\"",
         "\"durability\"",
+        "\"columnar\"",
     ] {
         if !body.contains(key) {
             return Err(format!("summary is missing required key {key}"));
@@ -262,6 +293,58 @@ fn validate_summary(
         if !ms.is_finite() || *ms <= 0.0 {
             return Err(format!("non-positive durability timing for {name}: {ms}"));
         }
+    }
+    for (name, ms) in columnar {
+        if ms.iter().any(|m| !m.is_finite() || *m <= 0.0) {
+            return Err(format!("non-positive columnar timing for {name}: {ms:?}"));
+        }
+    }
+    check_joinback_regression(results)?;
+    Ok(())
+}
+
+/// How many times slower than its sibling provenance benches
+/// `prov_agg_joinback` may run before the summary is rejected.
+///
+/// The joinback query (hash join → grouped aggregate → join-back, the
+/// aggregation rewrite of the Perm paper's Figure 10) runs over the same
+/// forum data as the other `provenance_join` benches, so the *ratio*
+/// between them is host-speed-independent. Per-row overhead that creeps
+/// into its longer pipeline shows up here first: the PR 7–8 regression
+/// (9.8 ms → 15.9 ms) pushed the ratio to 13.2× while every absolute
+/// number still looked plausible on a faster host.
+const JOINBACK_RATIO_LIMIT: f64 = 12.0;
+
+/// Regression guard for `provenance_join/prov_agg_joinback`: compare it
+/// against the median of the other `provenance_join` benches and reject
+/// the summary when the ratio exceeds [`JOINBACK_RATIO_LIMIT`]. Skipped
+/// when the workload lacks the bench or has fewer than two siblings to
+/// form a meaningful median.
+fn check_joinback_regression(results: &[(String, f64)]) -> Result<(), String> {
+    const JOINBACK: &str = "provenance_join/prov_agg_joinback";
+    let Some(&(_, joinback)) = results.iter().find(|(k, _)| k == JOINBACK) else {
+        return Ok(());
+    };
+    let mut siblings: Vec<f64> = results
+        .iter()
+        .filter(|(k, _)| k.starts_with("provenance_join/") && k != JOINBACK)
+        .map(|&(_, ms)| ms)
+        .collect();
+    if siblings.len() < 2 {
+        return Ok(());
+    }
+    siblings.sort_by(|a, b| a.total_cmp(b));
+    let mid = siblings.len() / 2;
+    let median = if siblings.len() % 2 == 0 {
+        (siblings[mid - 1] + siblings[mid]) / 2.0
+    } else {
+        siblings[mid]
+    };
+    let ratio = joinback / median.max(1e-9);
+    if ratio > JOINBACK_RATIO_LIMIT {
+        return Err(format!(
+            "{JOINBACK} at {joinback:.3} ms is {ratio:.1}x the {median:.3} ms median of its              sibling provenance benches (limit {JOINBACK_RATIO_LIMIT}x); per-row overhead has              crept into the joinback pipeline"
+        ));
     }
     Ok(())
 }
@@ -330,9 +413,13 @@ fn main() {
     // query execution).
     let durability = run_durability_workload(runs.min(7));
 
+    // The columnar A/B workload (row interpreter vs batch kernels over
+    // the same prepared queries — the measured value of issue 9).
+    let columnar = run_columnar_workload(runs.min(7));
+
     let mut body = String::from("{\n");
     body.push_str(&format!(
-        "  \"issue\": 8,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"memory_budget\": {},\n  \"peak_pool_bytes\": {},\n  \"benches\": {{\n",
+        "  \"issue\": 9,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"memory_budget\": {},\n  \"peak_pool_bytes\": {},\n  \"benches\": {{\n",
         hotpath::HOTPATH_SCALE,
         hotpath::HOTPATH_SEED,
         runs,
@@ -389,6 +476,19 @@ fn main() {
             sep
         ));
     }
+    body.push_str("  },\n");
+    body.push_str("  \"columnar\": {\n");
+    for (i, (name, ms)) in columnar.iter().enumerate() {
+        let sep = if i + 1 == columnar.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    \"{}\": {{\"row_ms\": {:.4}, \"batch_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            json_escape(name),
+            ms[0],
+            ms[1],
+            ms[0] / ms[1].max(1e-9),
+            sep
+        ));
+    }
     body.push_str("  }\n}\n");
 
     if let Err(e) = validate_summary(
@@ -398,6 +498,7 @@ fn main() {
         &before,
         &parallel,
         &durability,
+        &columnar,
         memory_budget,
         peak_pool_bytes,
     ) {
@@ -426,7 +527,8 @@ mod tests {
             "  \"benches\": {\n",
             "    \"g/q\": {\"after_ms\": 1.0}\n  },\n",
             "  \"parallel_scaling\": {\n    \"workload\": \"w\"\n  },\n",
-            "  \"durability\": {\n    \"wal_append/100_commits\": {\"after_ms\": 1.0}\n  }\n}\n"
+            "  \"durability\": {\n    \"wal_append/100_commits\": {\"after_ms\": 1.0}\n  },\n",
+            "  \"columnar\": {\n    \"g/q\": {\"row_ms\": 2.0, \"batch_ms\": 1.0, \"speedup\": 2.00}\n  }\n}\n"
         )
         .to_string()
     }
@@ -445,6 +547,7 @@ mod tests {
             &BTreeMap::new(),
             &parallel,
             &[],
+            &[],
             0,
             4096,
         )
@@ -458,10 +561,21 @@ mod tests {
             "\"memory_budget\"",
             "\"peak_pool_bytes\"",
             "\"durability\"",
+            "\"columnar\"",
         ] {
             let body = good_body().replace(key, "\"renamed\"");
-            let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[], &[], 0, 0)
-                .unwrap_err();
+            let err = validate_summary(
+                &body,
+                4,
+                &good_results(),
+                &BTreeMap::new(),
+                &[],
+                &[],
+                &[],
+                0,
+                0,
+            )
+            .unwrap_err();
             assert!(err.contains(key.trim_matches('"')), "got: {err}");
         }
     }
@@ -473,6 +587,7 @@ mod tests {
             4,
             &good_results(),
             &BTreeMap::new(),
+            &[],
             &[],
             &[],
             1024,
@@ -488,6 +603,7 @@ mod tests {
             &BTreeMap::new(),
             &[],
             &[],
+            &[],
             0,
             4096,
         )
@@ -499,6 +615,7 @@ mod tests {
             &BTreeMap::new(),
             &[],
             &[],
+            &[],
             8192,
             4096,
         )
@@ -508,21 +625,51 @@ mod tests {
     #[test]
     fn unbalanced_braces_are_rejected() {
         let body = format!("{}}}", good_body());
-        let err = validate_summary(&body, 4, &good_results(), &BTreeMap::new(), &[], &[], 0, 0)
-            .unwrap_err();
+        let err = validate_summary(
+            &body,
+            4,
+            &good_results(),
+            &BTreeMap::new(),
+            &[],
+            &[],
+            &[],
+            0,
+            0,
+        )
+        .unwrap_err();
         assert!(err.contains("unbalanced"), "got: {err}");
     }
 
     #[test]
     fn non_positive_timings_are_rejected() {
         let zero = vec![("g/q".to_string(), 0.0)];
-        let err =
-            validate_summary(&good_body(), 4, &zero, &BTreeMap::new(), &[], &[], 0, 0).unwrap_err();
+        let err = validate_summary(
+            &good_body(),
+            4,
+            &zero,
+            &BTreeMap::new(),
+            &[],
+            &[],
+            &[],
+            0,
+            0,
+        )
+        .unwrap_err();
         assert!(err.contains("non-positive timing"), "got: {err}");
 
         let bad_base: BTreeMap<String, f64> = [("g/q".to_string(), -1.0)].into_iter().collect();
-        let err = validate_summary(&good_body(), 4, &good_results(), &bad_base, &[], &[], 0, 0)
-            .unwrap_err();
+        let err = validate_summary(
+            &good_body(),
+            4,
+            &good_results(),
+            &bad_base,
+            &[],
+            &[],
+            &[],
+            0,
+            0,
+        )
+        .unwrap_err();
         assert!(err.contains("baseline"), "got: {err}");
 
         let bad_parallel = vec![("q".to_string(), [3.0, f64::NAN, 1.5])];
@@ -532,6 +679,7 @@ mod tests {
             &good_results(),
             &BTreeMap::new(),
             &bad_parallel,
+            &[],
             &[],
             0,
             0,
@@ -550,6 +698,7 @@ mod tests {
             &BTreeMap::new(),
             &[],
             &bad,
+            &[],
             0,
             0,
         )
@@ -558,9 +707,62 @@ mod tests {
     }
 
     #[test]
+    fn non_positive_columnar_timing_is_rejected() {
+        let bad = vec![("g/q".to_string(), [2.0, 0.0])];
+        let err = validate_summary(
+            &good_body(),
+            4,
+            &good_results(),
+            &BTreeMap::new(),
+            &[],
+            &[],
+            &bad,
+            0,
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("columnar timing"), "got: {err}");
+    }
+
+    /// Results with the joinback bench at a controllable multiple of
+    /// its three 1.0 ms provenance siblings.
+    fn joinback_results(joinback_ms: f64) -> Vec<(String, f64)> {
+        vec![
+            ("provenance_join/prov_two_joins".to_string(), 1.0),
+            ("provenance_join/prov_left_join".to_string(), 1.0),
+            ("provenance_join/prov_union".to_string(), 1.0),
+            ("provenance_join/prov_agg_joinback".to_string(), joinback_ms),
+        ]
+    }
+
+    #[test]
+    fn joinback_regression_beyond_ratio_limit_is_rejected() {
+        // 13.2x the sibling median — the shape of the PR 7-8 regression.
+        let err = check_joinback_regression(&joinback_results(13.2)).unwrap_err();
+        assert!(err.contains("prov_agg_joinback"), "got: {err}");
+        assert!(err.contains("13.2x"), "got: {err}");
+    }
+
+    #[test]
+    fn joinback_within_ratio_limit_passes() {
+        check_joinback_regression(&joinback_results(10.4))
+            .expect("a healthy joinback ratio passes");
+    }
+
+    #[test]
+    fn joinback_guard_needs_enough_siblings() {
+        // With fewer than two sibling provenance benches (or without the
+        // joinback bench at all) the median is meaningless: skip.
+        let mut partial = joinback_results(99.0);
+        partial.drain(..2);
+        check_joinback_regression(&partial).expect("one sibling is not enough to judge");
+        check_joinback_regression(&good_results()).expect("no joinback bench, nothing to guard");
+    }
+
+    #[test]
     fn empty_results_are_rejected() {
-        let err =
-            validate_summary(&good_body(), 4, &[], &BTreeMap::new(), &[], &[], 0, 0).unwrap_err();
+        let err = validate_summary(&good_body(), 4, &[], &BTreeMap::new(), &[], &[], &[], 0, 0)
+            .unwrap_err();
         assert!(err.contains("no benchmark results"), "got: {err}");
     }
 }

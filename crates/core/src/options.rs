@@ -94,6 +94,11 @@ pub struct SessionOptions {
     /// How long a query may wait in the admission queue before failing
     /// with a typed resource error, in milliseconds.
     pub admission_timeout_ms: u64,
+    /// Run vectorizable scans/filters/projections over columnar batches
+    /// (on by default). Off = the row interpreter everywhere: the
+    /// reference semantics, and the baseline the `columnar` bench
+    /// section and the batch/row equivalence property compare against.
+    pub columnar: bool,
 }
 
 /// Default [`SessionOptions::admission_timeout_ms`]: long enough that
@@ -125,6 +130,7 @@ impl Default for SessionOptions {
             memory_budget: 0,
             max_concurrent_queries: 0,
             admission_timeout_ms: DEFAULT_ADMISSION_TIMEOUT_MS,
+            columnar: true,
         }
     }
 }
@@ -187,6 +193,12 @@ impl SessionOptions {
     /// How long a query may wait for admission before failing.
     pub fn with_admission_timeout_ms(mut self, ms: u64) -> SessionOptions {
         self.admission_timeout_ms = ms;
+        self
+    }
+
+    /// Enable or disable columnar batch execution (on by default).
+    pub fn with_columnar(mut self, on: bool) -> SessionOptions {
+        self.columnar = on;
         self
     }
 }

@@ -344,6 +344,7 @@ impl Session {
             )
             .with_verification(self.options.verify_plans)
             .with_memory(self.query_memory())
+            .with_columnar(self.options.columnar)
     }
 
     /// A fresh per-query memory view: the server pool plus this
@@ -395,6 +396,7 @@ impl Session {
         perm_exec::PhysicalPlanner::new(catalog)
             .max_parallelism(self.options.max_parallelism)
             .parallel_threshold(self.options.parallel_row_threshold)
+            .columnar(self.options.columnar)
     }
 
     /// Exclusive write access to the catalog (index creation, direct
@@ -764,6 +766,7 @@ impl Session {
                     let schema = optimized.schema().clone();
                     let rows = Executor::new(guard.snapshot())
                         .with_verification(self.options.verify_plans)
+                        .with_columnar(self.options.columnar)
                         .run(&optimized)?;
                     (schema, rows)
                 };

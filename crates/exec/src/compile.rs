@@ -712,8 +712,9 @@ fn try_hash_list(compiled: &[CompiledExpr]) -> Option<(FxHashSet<Value>, bool, V
 }
 
 /// Hash-probe `IN` with the interpreter's three-valued semantics,
-/// including its error on incomparable operand types.
-fn hashed_in(
+/// including its error on incomparable operand types. Shared with the
+/// vectorized kernels ([`crate::kernels`]).
+pub(crate) fn hashed_in(
     needle: &Value,
     set: &FxHashSet<Value>,
     has_null: bool,

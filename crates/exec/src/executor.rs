@@ -26,6 +26,7 @@ use perm_storage::Catalog;
 
 use crate::compile::{CompiledExpr, CompiledProjection};
 use crate::eval::{eval, Env};
+use crate::kernels::{BatchPredicate, BatchScan, VecKeys, BATCH_ROWS};
 use crate::memory::{grow_batched, QueryMemory};
 use crate::operators::{aggregate, join, setop, spill};
 use crate::physical::{PhysicalPlan, PhysicalPlanner};
@@ -83,6 +84,11 @@ pub struct Executor {
     /// This query's view of the server memory pool. Buffering operators
     /// register reservations here; the default is unbounded.
     memory: QueryMemory,
+    /// Run vectorizable scans/filters/projections over columnar batches
+    /// ([`crate::kernels`]); off = the row interpreter everywhere (the
+    /// reference semantics, and the baseline the equivalence property
+    /// pins the batch path against).
+    columnar: bool,
 }
 
 impl Executor {
@@ -100,6 +106,7 @@ impl Executor {
             verify: false,
             verified: RefCell::new(FxHashSet::default()),
             memory: QueryMemory::default(),
+            columnar: true,
         }
     }
 
@@ -127,6 +134,19 @@ impl Executor {
         self.max_parallelism = max_parallelism;
         self.parallel_threshold = parallel_threshold.max(1);
         self
+    }
+
+    /// Enable or disable columnar batch execution (on by default). With
+    /// it off every operator runs the row interpreter — the reference
+    /// semantics the batch path is pinned against.
+    pub fn with_columnar(mut self, on: bool) -> Executor {
+        self.columnar = on;
+        self
+    }
+
+    /// True if vectorizable pipelines run over columnar batches.
+    pub fn columnar(&self) -> bool {
+        self.columnar
     }
 
     /// Re-verify every plan this executor lowers ([`crate::verify`]), even
@@ -183,6 +203,7 @@ impl Executor {
                 .nested_loop_only(self.nested_loop_only)
                 .max_parallelism(self.max_parallelism)
                 .parallel_threshold(self.parallel_threshold)
+                .columnar(self.columnar)
                 .plan(plan),
         );
         self.physical_cache
@@ -225,6 +246,7 @@ impl Executor {
                 filter,
                 project,
                 dop,
+                batch,
                 ..
             } => {
                 let t = self.catalog.table(table)?;
@@ -241,10 +263,17 @@ impl Executor {
                         filter.as_ref(),
                         project.as_deref(),
                         *dop,
+                        batch.is_batch(),
                     );
                 }
                 let outer = self.outer_stack();
-                self.scan_emit(t.rows().iter(), filter.as_ref(), project.as_deref(), &outer)
+                self.scan_emit(
+                    t.rows().iter(),
+                    filter.as_ref(),
+                    project.as_deref(),
+                    &outer,
+                    batch.is_batch(),
+                )
             }
             PhysicalPlan::IndexScan {
                 table,
@@ -261,7 +290,10 @@ impl Executor {
                 match t.index_lookup(*column, key) {
                     Some(row_ids) => {
                         let rows = row_ids.iter().map(|&r| &t.rows()[r]);
-                        self.scan_emit(rows, residual.as_ref(), project.as_deref(), &outer)
+                        // IndexScan is unstamped (point lookups return a
+                        // handful of rows); the executor-level switch
+                        // alone decides.
+                        self.scan_emit(rows, residual.as_ref(), project.as_deref(), &outer, true)
                     }
                     None => {
                         // The index vanished since planning (e.g. the
@@ -275,7 +307,13 @@ impl Executor {
                             .chain(residual.clone())
                             .collect(),
                         );
-                        self.scan_emit(t.rows().iter(), Some(&full), project.as_deref(), &outer)
+                        self.scan_emit(
+                            t.rows().iter(),
+                            Some(&full),
+                            project.as_deref(),
+                            &outer,
+                            true,
+                        )
                     }
                 }
             }
@@ -296,10 +334,27 @@ impl Executor {
                 }
                 Ok(out)
             }
-            PhysicalPlan::Project { input, exprs } => {
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                batch,
+            } => {
                 let rows = self.run_physical(input)?;
                 let outer = self.outer_stack();
                 let projection = CompiledProjection::compile(self, exprs);
+                if self.columnar && batch.is_batch() {
+                    if let Some(scan) = BatchScan::lower(None, Some(&projection)) {
+                        let cap = rows.len();
+                        return self.scan_emit_batched(
+                            rows.iter(),
+                            &scan,
+                            None,
+                            Some(&projection),
+                            &outer,
+                            cap,
+                        );
+                    }
+                }
                 let mut out = Vec::with_capacity(rows.len());
                 for t in &rows {
                     let env = Env::new(t, &outer);
@@ -307,10 +362,14 @@ impl Executor {
                 }
                 Ok(out)
             }
-            PhysicalPlan::Filter { input, predicate } => {
+            PhysicalPlan::Filter {
+                input,
+                predicate,
+                batch,
+            } => {
                 let rows = self.run_physical(input)?;
                 let outer = self.outer_stack();
-                self.filter_rows(rows, Some(predicate), &outer)
+                self.filter_rows(rows, Some(predicate), &outer, batch.is_batch())
             }
             PhysicalPlan::HashJoin { .. }
             | PhysicalPlan::NLJoin { .. }
@@ -367,6 +426,7 @@ impl Executor {
                 keys,
                 dop,
                 spill,
+                batch,
             } => {
                 let rows = self.run_physical(input)?;
                 // The sort buffer holds every input row plus its
@@ -382,23 +442,23 @@ impl Executor {
                     return spill::sort_spill(self, rows, keys, *parts, &reservation);
                 }
                 if *dop > 1 {
-                    return crate::parallel::sort_parallel(self, rows, keys, *dop);
+                    return crate::parallel::sort_parallel(
+                        self,
+                        rows,
+                        keys,
+                        *dop,
+                        batch.is_batch(),
+                    );
                 }
                 let outer = self.outer_stack();
                 let compiled: Vec<CompiledExpr> = keys
                     .iter()
                     .map(|k| CompiledExpr::compile(self, &k.expr))
                     .collect();
-                // Precompute sort keys, then sort stably.
-                let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(rows.len());
-                for t in rows {
-                    let env = Env::new(&t, &outer);
-                    let mut ks = Vec::with_capacity(compiled.len());
-                    for c in &compiled {
-                        ks.push(c.eval(self, &env)?);
-                    }
-                    keyed.push((ks, t));
-                }
+                // Precompute sort keys (batched when columnar), then
+                // sort stably.
+                let key_rows = self.compute_keys(&rows, &compiled, &outer, batch.is_batch())?;
+                let mut keyed: Vec<(Vec<Value>, Tuple)> = key_rows.into_iter().zip(rows).collect();
                 keyed.sort_by(|(a, _), (b, _)| crate::parallel::cmp_keys(a, b, keys));
                 Ok(keyed.into_iter().map(|(_, t)| t).collect())
             }
@@ -421,21 +481,34 @@ impl Executor {
     /// Emit rows from a borrowed base-row iterator, applying the fused
     /// residual filter and projection. Base rows are only cloned (or
     /// projected) when they pass — the scan copy and the filter's
-    /// intermediate result never materialize. The four filter/projection
-    /// combinations get their own loops so the per-row path carries no
-    /// branching.
+    /// intermediate result never materialize.
+    ///
+    /// When the executor is columnar and the expressions lower to
+    /// vectorized kernels, rows run through [`BatchScan`] a batch at a
+    /// time; a batch whose kernels error is re-run through the row path
+    /// below, which reproduces the interpreter's first error in row
+    /// order (or succeeds, if narrowing had already masked the lane).
+    /// Otherwise the four filter/projection combinations get their own
+    /// row loops so the per-row path carries no branching.
     pub(crate) fn scan_emit<'t>(
         &self,
         rows: impl Iterator<Item = &'t Tuple>,
         filter: Option<&ScalarExpr>,
         project: Option<&[ScalarExpr]>,
         outer: &[Tuple],
+        allow_batch: bool,
     ) -> Result<Vec<Tuple>> {
         let cap = rows.size_hint().0;
-        match (filter, project) {
+        let f = filter.map(|f| CompiledExpr::compile(self, f));
+        let p = project.map(|p| CompiledProjection::compile(self, p));
+        if self.columnar && allow_batch {
+            if let Some(scan) = BatchScan::lower(f.as_ref(), p.as_ref()) {
+                return self.scan_emit_batched(rows, &scan, f.as_ref(), p.as_ref(), outer, cap);
+            }
+        }
+        match (f, p) {
             (None, None) => Ok(rows.cloned().collect()),
             (Some(f), None) => {
-                let f = CompiledExpr::compile(self, f);
                 let mut out = Vec::new();
                 for row in rows {
                     let env = Env::new(row, outer);
@@ -446,7 +519,6 @@ impl Executor {
                 Ok(out)
             }
             (None, Some(p)) => {
-                let p = CompiledProjection::compile(self, p);
                 let mut out = Vec::with_capacity(cap);
                 for row in rows {
                     let env = Env::new(row, outer);
@@ -455,8 +527,6 @@ impl Executor {
                 Ok(out)
             }
             (Some(f), Some(p)) => {
-                let f = CompiledExpr::compile(self, f);
-                let p = CompiledProjection::compile(self, p);
                 let mut out = Vec::new();
                 for row in rows {
                     let env = Env::new(row, outer);
@@ -469,16 +539,139 @@ impl Executor {
         }
     }
 
+    /// The columnar scan loop: batches of [`BATCH_ROWS`] borrowed rows
+    /// through the lowered kernels, with the row interpreter as the
+    /// per-batch fallback (values, row order and first-error equivalence
+    /// with the row path are pinned by the batch/row property tests).
+    fn scan_emit_batched<'t>(
+        &self,
+        mut rows: impl Iterator<Item = &'t Tuple>,
+        scan: &BatchScan,
+        f: Option<&CompiledExpr>,
+        p: Option<&CompiledProjection>,
+        outer: &[Tuple],
+        cap: usize,
+    ) -> Result<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(if f.is_none() { cap } else { 0 });
+        let mut buf: Vec<&Tuple> = Vec::with_capacity(BATCH_ROWS);
+        loop {
+            buf.clear();
+            buf.extend(rows.by_ref().take(BATCH_ROWS));
+            if buf.is_empty() {
+                return Ok(out);
+            }
+            let before = out.len();
+            if scan.run_batch(&buf, outer, &mut out).is_err() {
+                // Discard the batch's partial output and replay it row
+                // by row: same rows in, same rows (or same error) out.
+                out.truncate(before);
+                for row in &buf {
+                    let env = Env::new(row, outer);
+                    let pass = match f {
+                        Some(f) => f.eval_bool(self, &env)? == Some(true),
+                        None => true,
+                    };
+                    if pass {
+                        out.push(match p {
+                            Some(p) => p.apply(self, &env)?,
+                            None => (*row).clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate `compiled` (sort keys) for every row, one key row per
+    /// input row in input order — batched through [`VecKeys`] when
+    /// columnar, with the interpreter as the per-batch fallback. Shared
+    /// by the serial sort and the parallel chunk sort.
+    pub(crate) fn compute_keys(
+        &self,
+        rows: &[Tuple],
+        compiled: &[CompiledExpr],
+        outer: &[Tuple],
+        allow_batch: bool,
+    ) -> Result<Vec<Vec<Value>>> {
+        let mut out: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        let vk = if self.columnar && allow_batch {
+            VecKeys::lower(compiled)
+        } else {
+            None
+        };
+        match vk {
+            Some(vk) => {
+                let mut refs: Vec<&Tuple> = Vec::with_capacity(BATCH_ROWS);
+                for chunk in rows.chunks(BATCH_ROWS) {
+                    refs.clear();
+                    refs.extend(chunk.iter());
+                    match vk.eval_batch(&refs, outer) {
+                        Ok(cols) => {
+                            for i in 0..chunk.len() {
+                                out.push(cols.iter().map(|c| c.get(i)).collect());
+                            }
+                        }
+                        Err(_) => self.keys_rowwise(chunk, compiled, outer, &mut out)?,
+                    }
+                }
+            }
+            None => self.keys_rowwise(rows, compiled, outer, &mut out)?,
+        }
+        Ok(out)
+    }
+
+    fn keys_rowwise(
+        &self,
+        rows: &[Tuple],
+        compiled: &[CompiledExpr],
+        outer: &[Tuple],
+        out: &mut Vec<Vec<Value>>,
+    ) -> Result<()> {
+        for t in rows {
+            let env = Env::new(t, outer);
+            let mut ks = Vec::with_capacity(compiled.len());
+            for c in compiled {
+                ks.push(c.eval(self, &env)?);
+            }
+            out.push(ks);
+        }
+        Ok(())
+    }
+
     fn filter_rows(
         &self,
         rows: Vec<Tuple>,
         predicate: Option<&ScalarExpr>,
         outer: &[Tuple],
+        allow_batch: bool,
     ) -> Result<Vec<Tuple>> {
         let Some(pred) = predicate else {
             return Ok(rows);
         };
         let compiled = CompiledExpr::compile(self, pred);
+        if self.columnar && allow_batch {
+            if let Some(vp) = BatchPredicate::lower(&compiled) {
+                // Batched mask over borrowed rows, then an in-place
+                // order-preserving retain of the owned tuples — the
+                // passing rows move exactly as on the row path.
+                let mut mask: Vec<bool> = Vec::with_capacity(rows.len());
+                let mut refs: Vec<&Tuple> = Vec::with_capacity(BATCH_ROWS);
+                for chunk in rows.chunks(BATCH_ROWS) {
+                    refs.clear();
+                    refs.extend(chunk.iter());
+                    if vp.mask_batch(&refs, outer, &mut mask).is_err() {
+                        for t in chunk {
+                            let env = Env::new(t, outer);
+                            mask.push(compiled.eval_bool(self, &env)? == Some(true));
+                        }
+                    }
+                }
+                let mut rows = rows;
+                let mut pass = mask.into_iter();
+                rows.retain(|_| pass.next().unwrap_or(false));
+                return Ok(rows);
+            }
+        }
         let mut out = Vec::new();
         for t in rows {
             let env = Env::new(&t, outer);

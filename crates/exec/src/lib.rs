@@ -58,6 +58,7 @@ pub mod adapter;
 pub mod compile;
 pub mod eval;
 pub mod executor;
+pub mod kernels;
 pub mod memory;
 pub mod operators;
 pub mod parallel;

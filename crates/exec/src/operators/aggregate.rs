@@ -288,11 +288,44 @@ impl GroupState {
     }
 }
 
+/// A group's hash key. Single-expression `GROUP BY` — the common case —
+/// keys on the bare [`Value`], skipping the per-row `Tuple` allocation
+/// the general shape pays.
+#[derive(PartialEq, Eq, Hash, Clone)]
+enum GroupKey {
+    One(Value),
+    Many(Tuple),
+}
+
+/// Compiled group-key plan matching [`GroupKey`]'s two shapes.
+enum KeyPlan {
+    One(CompiledExpr),
+    Many(CompiledProjection),
+}
+
+impl KeyPlan {
+    fn compile(exec: &Executor, group_by: &[ScalarExpr]) -> KeyPlan {
+        if let [e] = group_by {
+            KeyPlan::One(CompiledExpr::compile(exec, e))
+        } else {
+            KeyPlan::Many(CompiledProjection::compile(exec, group_by))
+        }
+    }
+
+    #[inline]
+    fn apply(&self, exec: &Executor, env: &Env<'_>) -> Result<GroupKey> {
+        match self {
+            KeyPlan::One(e) => Ok(GroupKey::One(e.eval(exec, env)?)),
+            KeyPlan::Many(p) => Ok(GroupKey::Many(p.apply(exec, env)?)),
+        }
+    }
+}
+
 /// Partial aggregation state over one contiguous input range: group keys
 /// in first-appearance order plus their accumulators.
 struct AggPartial {
-    order: Vec<Tuple>,
-    groups: FxHashMap<Tuple, GroupState>,
+    order: Vec<GroupKey>,
+    groups: FxHashMap<GroupKey, GroupState>,
 }
 
 /// Accumulate `rows` into a fresh partial (the serial hot loop, shared
@@ -306,7 +339,7 @@ fn accumulate(
 ) -> Result<AggPartial> {
     // Group-by keys and aggregate arguments are compiled once, evaluated
     // per row (plain-column group keys build by direct slot copy).
-    let group_c = CompiledProjection::compile(exec, group_by);
+    let group_c = KeyPlan::compile(exec, group_by);
     let arg_c: Vec<Option<CompiledExpr>> = aggs
         .iter()
         .map(|call| call.arg.as_ref().map(|e| CompiledExpr::compile(exec, e)))
@@ -314,8 +347,8 @@ fn accumulate(
 
     // Group order: first appearance (deterministic output for tests; final
     // ordering comes from ORDER BY anyway).
-    let mut order: Vec<Tuple> = Vec::new();
-    let mut groups: FxHashMap<Tuple, GroupState> = FxHashMap::default();
+    let mut order: Vec<GroupKey> = Vec::new();
+    let mut groups: FxHashMap<GroupKey, GroupState> = FxHashMap::default();
 
     for t in rows {
         let env = Env::new(t, outer);
@@ -377,7 +410,7 @@ fn merge_partials(into: &mut AggPartial, later: AggPartial) -> Result<()> {
 fn finish(mut partial: AggPartial, group_by: &[ScalarExpr], aggs: &[AggCall]) -> Vec<Tuple> {
     // A global aggregate over an empty input still yields one row.
     if group_by.is_empty() && partial.order.is_empty() {
-        let empty_key = Tuple::empty();
+        let empty_key = GroupKey::Many(Tuple::empty());
         partial.order.push(empty_key.clone());
         partial.groups.insert(empty_key, GroupState::new(aggs));
     }
@@ -385,7 +418,14 @@ fn finish(mut partial: AggPartial, group_by: &[ScalarExpr], aggs: &[AggCall]) ->
     for key in partial.order {
         // INVARIANT: `order` holds exactly the keys of `groups`.
         let state = partial.groups.remove(&key).expect("group registered");
-        let mut vals = key.into_values();
+        let mut vals = match key {
+            GroupKey::One(v) => {
+                let mut vs = Vec::with_capacity(1 + aggs.len());
+                vs.push(v);
+                vs
+            }
+            GroupKey::Many(t) => t.into_values(),
+        };
         for s in state.states {
             vals.push(s.finish());
         }

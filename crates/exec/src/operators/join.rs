@@ -196,10 +196,51 @@ fn build_key(
     Ok(Some(Key::Many(vals)))
 }
 
+/// Precomputed key-evaluation plan. The single-`Slot` key — the
+/// overwhelmingly common shape after equi-key extraction — reads the
+/// value straight out of the row, skipping the per-row `Env` and the
+/// compiled-expression dispatch; every other shape falls back to
+/// [`build_key`]. A row narrower than the slot also falls back, so the
+/// out-of-range error comes from the reference path.
+struct KeyBuilder<'e> {
+    exprs: &'e [CompiledExpr],
+    null_safe: &'e [bool],
+    slot: Option<usize>,
+}
+
+impl<'e> KeyBuilder<'e> {
+    fn new(exprs: &'e [CompiledExpr], null_safe: &'e [bool]) -> KeyBuilder<'e> {
+        let slot = match exprs {
+            [CompiledExpr::Slot(i)] => Some(*i),
+            _ => None,
+        };
+        KeyBuilder {
+            exprs,
+            null_safe,
+            slot,
+        }
+    }
+
+    #[inline]
+    fn key(&self, exec: &Executor, row: &Tuple, outer: &[Tuple]) -> Result<Option<Key>> {
+        if let Some(s) = self.slot {
+            if let Some(v) = row.values().get(s) {
+                if v.is_null() && !self.null_safe[0] {
+                    return Ok(None);
+                }
+                return Ok(Some(Key::One(v.clone())));
+            }
+        }
+        let env = Env::new(row, outer);
+        build_key(exec, self.exprs, self.null_safe, &env)
+    }
+}
+
 /// Chained hash table over `rows`: one flat `next` array instead of a
 /// per-key vector — exactly one hash-map entry per distinct key and no
-/// per-row allocation. Chains are threaded newest-first and traversed in
-/// reverse, preserving input order per key.
+/// per-row allocation. The map holds each key's `(head, tail)`; new rows
+/// append at the tail, so probing walks `next` in input order directly,
+/// with no scratch chain vector.
 const NIL: usize = usize::MAX;
 
 fn build_table(
@@ -208,15 +249,22 @@ fn build_table(
     exprs: &[CompiledExpr],
     null_safe: &[bool],
     outer: &[Tuple],
-) -> Result<(FxHashMap<Key, usize>, Vec<usize>)> {
-    let mut table: FxHashMap<Key, usize> = map_with_capacity(rows.len());
+) -> Result<(FxHashMap<Key, (usize, usize)>, Vec<usize>)> {
+    let kb = KeyBuilder::new(exprs, null_safe);
+    let mut table: FxHashMap<Key, (usize, usize)> = map_with_capacity(rows.len());
     let mut next: Vec<usize> = vec![NIL; rows.len()];
     for (i, r) in rows.iter().enumerate() {
-        let env = Env::new(r, outer);
-        if let Some(k) = build_key(exec, exprs, null_safe, &env)? {
-            let head = table.entry(k).or_insert(NIL);
-            next[i] = *head;
-            *head = i;
+        if let Some(k) = kb.key(exec, r, outer)? {
+            match table.entry(k) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((i, i));
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let (_, tail) = *o.get();
+                    next[tail] = i;
+                    o.get_mut().1 = i;
+                }
+            }
         }
     }
     Ok((table, next))
@@ -254,24 +302,20 @@ fn hash_join(
     if matches!(build_side, BuildSide::Left) {
         debug_assert!(matches!(kind, JoinType::Inner));
         let (table, next) = build_table(exec, &lrows, &left_exprs, &null_safe, &outer)?;
+        let kb = KeyBuilder::new(&right_exprs, &null_safe);
         let mut out = Vec::with_capacity(rrows.len());
-        let mut chain: Vec<usize> = Vec::new();
         for r in &rrows {
-            let renv = Env::new(r, &outer);
-            let Some(key) = build_key(exec, &right_exprs, &null_safe, &renv)? else {
+            let Some(key) = kb.key(exec, r, &outer)? else {
                 continue;
             };
-            let Some(&head) = table.get(&key) else {
+            let Some(&(head, _)) = table.get(&key) else {
                 continue;
             };
-            chain.clear();
-            let mut i = head;
-            while i != NIL {
-                chain.push(i);
-                i = next[i];
-            }
-            for &li in chain.iter().rev() {
+            let mut li = head;
+            while li != NIL {
                 let l = &lrows[li];
+                // Advance before the body: a residual miss `continue`s.
+                li = next[li];
                 let mut combined = None;
                 if let Some(pred) = &residual {
                     let c = l.concat(r);
@@ -292,28 +336,26 @@ fn hash_join(
     // anti joins through left-probe match tracking).
     let (table, next) = build_table(exec, &rrows, &right_exprs, &null_safe, &outer)?;
 
+    let kb = KeyBuilder::new(&left_exprs, &null_safe);
     let right_nulls = Tuple::nulls(nr);
-    let mut right_matched = vec![false; rrows.len()];
+    let is_full = matches!(kind, JoinType::Full);
+    let mut right_matched = vec![false; if is_full { rrows.len() } else { 0 }];
     let mut out = Vec::with_capacity(lrows.len());
-    let mut chain: Vec<usize> = Vec::new();
     for l in &lrows {
-        let lenv = Env::new(l, &outer);
-        let key = build_key(exec, &left_exprs, &null_safe, &lenv)?;
+        let key = kb.key(exec, l, &outer)?;
         let mut matched = false;
         if let Some(key) = key {
-            if let Some(&head) = table.get(&key) {
-                chain.clear();
-                let mut i = head;
-                while i != NIL {
-                    chain.push(i);
-                    i = next[i];
-                }
-                for &ri in chain.iter().rev() {
+            if let Some(&(head, _)) = table.get(&key) {
+                let mut ri = head;
+                while ri != NIL {
+                    let cur = ri;
+                    // Advance before the body: a residual miss `continue`s.
+                    ri = next[cur];
                     // The combined row is only materialized when the
                     // residual predicate needs an environment to run in.
                     let mut combined = None;
                     if let Some(pred) = &residual {
-                        let c = l.concat(&rrows[ri]);
+                        let c = l.concat(&rrows[cur]);
                         let env = Env::new(&c, &outer);
                         if pred.eval_bool(exec, &env)? != Some(true) {
                             continue;
@@ -321,10 +363,12 @@ fn hash_join(
                         combined = Some(c);
                     }
                     matched = true;
-                    right_matched[ri] = true;
+                    if is_full {
+                        right_matched[cur] = true;
+                    }
                     match kind {
                         JoinType::Semi | JoinType::Anti => {}
-                        _ => out.push(emit_row(l, &rrows[ri], nl, combined, out_slots)),
+                        _ => out.push(emit_row(l, &rrows[cur], nl, combined, out_slots)),
                     }
                     exec.check_row_budget(out.len())?;
                     if matches!(kind, JoinType::Semi) {
@@ -474,7 +518,6 @@ fn hash_join_spill(
         // Re-evaluation of (deterministic) keys that already succeeded
         // during the scatter.
         let (table, next) = build_table(exec, &part_build, build_exprs, &null_safe, &outer)?;
-        let mut chain: Vec<usize> = Vec::new();
         'probe: for rec in preader {
             let (j, p) = rec?;
             if matches!(&best_err, Some((bj, _)) if *bj <= j) {
@@ -484,15 +527,13 @@ fn hash_join_spill(
             let key = build_key(exec, probe_exprs, &null_safe, &env)?;
             let mut matched = false;
             if let Some(key) = key {
-                if let Some(&head) = table.get(&key) {
-                    chain.clear();
-                    let mut i = head;
-                    while i != NIL {
-                        chain.push(i);
-                        i = next[i];
-                    }
-                    for &bi in chain.iter().rev() {
-                        let b = &part_build[bi];
+                if let Some(&(head, _)) = table.get(&key) {
+                    let mut bi = head;
+                    while bi != NIL {
+                        let cur = bi;
+                        // Advance before the body: residual misses skip.
+                        bi = next[cur];
+                        let b = &part_build[cur];
                         let (l, r) = if build_left { (b, &p) } else { (&p, b) };
                         let mut combined = None;
                         if let Some(pred) = &residual {
@@ -758,22 +799,19 @@ fn hash_join_parallel(
             .map(|r| CompiledExpr::compile(&sub, r));
         let out_slots = out_slots.as_ref().as_deref();
         let right_nulls = Tuple::nulls(nr);
+        let kb = KeyBuilder::new(&probe_c, &null_safe);
         let mut out = Vec::new();
-        let mut chain: Vec<usize> = Vec::new();
         for p in &probe_rows[range] {
-            let penv = Env::new(p, &outer);
-            let key = build_key(&sub, &probe_c, &null_safe, &penv)?;
+            let key = kb.key(&sub, p, &outer)?;
             let mut matched = false;
             if let Some(key) = key {
-                if let Some(&head) = table.get(&key) {
-                    chain.clear();
-                    let mut i = head;
-                    while i != NIL {
-                        chain.push(i);
-                        i = next[i];
-                    }
-                    for &bi in chain.iter().rev() {
-                        let b = &build_rows[bi];
+                if let Some(&(head, _)) = table.get(&key) {
+                    let mut bi = head;
+                    while bi != NIL {
+                        let cur = bi;
+                        // Advance before the body: residual misses skip.
+                        bi = next[cur];
+                        let b = &build_rows[cur];
                         // Orient the combined row as left ++ right.
                         let (l, r) = if build_left { (b, p) } else { (p, b) };
                         let mut combined = None;

@@ -374,7 +374,6 @@ use perm_algebra::plan::SortKey;
 use perm_types::Value;
 
 use crate::compile::CompiledExpr;
-use crate::eval::Env;
 use crate::executor::Executor;
 
 /// Morsel-parallel `FusedScanProjectFilter`: workers claim row ranges of
@@ -387,6 +386,7 @@ pub(crate) fn scan_parallel(
     filter: Option<&ScalarExpr>,
     project: Option<&[ScalarExpr]>,
     dop: usize,
+    allow_batch: bool,
 ) -> Result<Vec<Tuple>> {
     let total = exec.catalog().table(table)?.rows().len();
     let catalog = exec.catalog_arc();
@@ -394,14 +394,16 @@ pub(crate) fn scan_parallel(
     let table = table.to_string();
     let filter = filter.cloned();
     let project: Option<Vec<ScalarExpr>> = project.map(<[ScalarExpr]>::to_vec);
+    let columnar = exec.columnar();
     let parts = map_morsels(dop, total, move |range| {
-        let sub = Executor::new(Arc::clone(&catalog));
+        let sub = Executor::new(Arc::clone(&catalog)).with_columnar(columnar);
         let t = sub.catalog().table(&table)?;
         sub.scan_emit(
             t.rows()[range].iter(),
             filter.as_ref(),
             project.as_deref(),
             &outer,
+            allow_batch,
         )
     })?;
     Ok(concat(parts))
@@ -439,30 +441,29 @@ pub(crate) fn sort_parallel(
     rows: Vec<Tuple>,
     keys: &[SortKey],
     dop: usize,
+    allow_batch: bool,
 ) -> Result<Vec<Tuple>> {
     let total = rows.len();
     let rows = Arc::new(rows);
     let catalog = exec.catalog_arc();
     let outer = exec.outer_stack();
     let keys_owned: Arc<Vec<SortKey>> = Arc::new(keys.to_vec());
+    let columnar = exec.columnar();
     let chunks = {
         let rows = Arc::clone(&rows);
         let keys = Arc::clone(&keys_owned);
         map_chunks(dop, total, move |range| {
-            let sub = Executor::new(Arc::clone(&catalog));
+            let sub = Executor::new(Arc::clone(&catalog)).with_columnar(columnar);
             let compiled: Vec<CompiledExpr> = keys
                 .iter()
                 .map(|k| CompiledExpr::compile(&sub, &k.expr))
                 .collect();
-            let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(range.len());
-            for t in &rows[range] {
-                let env = Env::new(t, &outer);
-                let mut ks = Vec::with_capacity(compiled.len());
-                for c in &compiled {
-                    ks.push(c.eval(&sub, &env)?);
-                }
-                keyed.push((ks, t.clone()));
-            }
+            let key_rows =
+                sub.compute_keys(&rows[range.clone()], &compiled, &outer, allow_batch)?;
+            let mut keyed: Vec<(Vec<Value>, Tuple)> = key_rows
+                .into_iter()
+                .zip(rows[range].iter().cloned())
+                .collect();
             keyed.sort_by(|(a, _), (b, _)| cmp_keys(a, b, &keys));
             Ok(keyed)
         })?

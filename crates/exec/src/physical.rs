@@ -89,6 +89,38 @@ pub struct EquiKey {
     pub null_safe: bool,
 }
 
+/// How a vectorizable operator evaluates its expressions: row-at-a-time
+/// through the compiled interpreter, or over columnar batches via the
+/// kernels in [`crate::kernels`].
+///
+/// The planner stamps `Batch` in a post-pass ([`PhysicalPlanner::plan`])
+/// when every expression of the node is
+/// [`ScalarExpr::vectorizable`] — the stamp is *permission*, not
+/// obligation: the executor may still run a `Batch` node row-wise (its
+/// own columnar switch is off, or the kernel lowering declines, e.g. a
+/// pure-slot projection with nothing to compute), and row execution is
+/// always the reference semantics. `width` declares the arity of the
+/// rows the node's kernels read (its *input* schema), making the
+/// row↔batch pivot boundary explicit in the plan; the verifier checks
+/// both legality and width (`batch-legality` / `batch-width`
+/// invariants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Row-at-a-time through the compiled interpreter (the reference
+    /// path; always legal).
+    Row,
+    /// The node's expressions may run over columnar batches of
+    /// `width`-column input rows.
+    Batch { width: usize },
+}
+
+impl BatchMode {
+    /// True for [`BatchMode::Batch`].
+    pub fn is_batch(self) -> bool {
+        matches!(self, BatchMode::Batch { .. })
+    }
+}
+
 /// Which input of a [`PhysicalPlan::HashJoin`] the hash table is built on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BuildSide {
@@ -114,6 +146,9 @@ pub enum PhysicalPlan {
         est_rows: f64,
         /// Degree of parallelism: morsel-parallel scan when > 1.
         dop: usize,
+        /// Columnar execution stamp for the fused filter/projection
+        /// (`width` = base schema arity).
+        batch: BatchMode,
     },
     /// Hash-index point lookup `column = key`, plus residual predicate
     /// and fused projection. Falls back to a filtered sequential scan at
@@ -136,11 +171,15 @@ pub enum PhysicalPlan {
     Project {
         input: Box<PhysicalPlan>,
         exprs: Vec<ScalarExpr>,
+        /// Columnar execution stamp (`width` = input arity).
+        batch: BatchMode,
     },
     /// Filter over an arbitrary input.
     Filter {
         input: Box<PhysicalPlan>,
         predicate: ScalarExpr,
+        /// Columnar execution stamp (`width` = input arity).
+        batch: BatchMode,
     },
     /// Hash join on extracted equi-keys.
     HashJoin {
@@ -244,6 +283,9 @@ pub enum PhysicalPlan {
         /// buffer's memory reservation is denied; `None` = must not
         /// spill (sublink sort keys).
         spill: Option<usize>,
+        /// Columnar execution stamp for sort-key evaluation (`width` =
+        /// input arity).
+        batch: BatchMode,
     },
     Limit {
         input: Box<PhysicalPlan>,
@@ -269,6 +311,18 @@ impl PhysicalPlan {
             PhysicalPlan::HashJoin { left, right, .. }
             | PhysicalPlan::NLJoin { left, right, .. }
             | PhysicalPlan::HashSetOp { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// This node's columnar execution stamp ([`BatchMode::Row`] for
+    /// operators without a batch implementation).
+    pub fn batch(&self) -> BatchMode {
+        match self {
+            PhysicalPlan::FusedScanProjectFilter { batch, .. }
+            | PhysicalPlan::Project { batch, .. }
+            | PhysicalPlan::Filter { batch, .. }
+            | PhysicalPlan::Sort { batch, .. } => *batch,
+            _ => BatchMode::Row,
         }
     }
 
@@ -501,6 +555,9 @@ fn render(plan: &PhysicalPlan, line_prefix: &str, is_last: bool, verbose: bool, 
     if plan.dop() > 1 {
         let _ = write!(out, " [dop={}]", plan.dop());
     }
+    if let BatchMode::Batch { width } = plan.batch() {
+        let _ = write!(out, " [batch w={width}]");
+    }
     if verbose {
         let peak = node_peak_bytes(plan);
         if peak > 0.0 {
@@ -538,9 +595,84 @@ fn est_row_bytes(width: usize) -> f64 {
     EST_ROW_OVERHEAD + EST_VALUE_BYTES * width.max(1) as f64
 }
 
+/// Planner post-pass: stamp [`BatchMode::Batch`] on every operator whose
+/// expressions all lower to vectorized kernels
+/// ([`ScalarExpr::vectorizable`]), recording as `width` the arity of the
+/// rows its kernels read (the input schema). A fused scan with neither
+/// filter nor projection has no expressions to vectorize and stays
+/// [`BatchMode::Row`], as does everything non-vectorizable.
+/// Construction sites always build `Row`; only this pass (and verifier
+/// tests) write `Batch`, so the planner's stamp, the verifier's
+/// re-check and the kernel lowering cannot drift apart.
+fn stamp_batch(plan: &mut PhysicalPlan) {
+    match plan {
+        PhysicalPlan::FusedScanProjectFilter {
+            schema,
+            filter,
+            project,
+            batch,
+            ..
+        } => {
+            let any_work = filter.is_some() || project.is_some();
+            let vectorizable = filter.iter().all(ScalarExpr::vectorizable)
+                && project.iter().flatten().all(ScalarExpr::vectorizable);
+            if any_work && vectorizable {
+                *batch = BatchMode::Batch {
+                    width: schema.len(),
+                };
+            }
+        }
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            batch,
+        } => {
+            stamp_batch(input);
+            if exprs.iter().all(ScalarExpr::vectorizable) {
+                *batch = BatchMode::Batch {
+                    width: out_arity(input),
+                };
+            }
+        }
+        PhysicalPlan::Filter {
+            input,
+            predicate,
+            batch,
+        } => {
+            stamp_batch(input);
+            if predicate.vectorizable() {
+                *batch = BatchMode::Batch {
+                    width: out_arity(input),
+                };
+            }
+        }
+        PhysicalPlan::Sort {
+            input, keys, batch, ..
+        } => {
+            stamp_batch(input);
+            if keys.iter().all(|k| k.expr.vectorizable()) {
+                *batch = BatchMode::Batch {
+                    width: out_arity(input),
+                };
+            }
+        }
+        PhysicalPlan::IndexScan { .. } | PhysicalPlan::Values { .. } => {}
+        PhysicalPlan::HashAggregate { input, .. }
+        | PhysicalPlan::HashDistinct { input, .. }
+        | PhysicalPlan::Limit { input, .. } => stamp_batch(input),
+        PhysicalPlan::IndexNLJoin { outer, .. } => stamp_batch(outer),
+        PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::NLJoin { left, right, .. }
+        | PhysicalPlan::HashSetOp { left, right, .. } => {
+            stamp_batch(left);
+            stamp_batch(right);
+        }
+    }
+}
+
 /// Output arity of a physical node (exact — every operator knows its
 /// output width structurally).
-fn out_arity(plan: &PhysicalPlan) -> usize {
+pub(crate) fn out_arity(plan: &PhysicalPlan) -> usize {
     match plan {
         PhysicalPlan::FusedScanProjectFilter {
             schema, project, ..
@@ -555,14 +687,34 @@ fn out_arity(plan: &PhysicalPlan) -> usize {
         | PhysicalPlan::Sort { input, .. }
         | PhysicalPlan::Limit { input, .. } => out_arity(input),
         PhysicalPlan::HashJoin {
-            nl, nr, out_slots, ..
+            kind,
+            nl,
+            nr,
+            out_slots,
+            ..
         }
         | PhysicalPlan::IndexNLJoin {
-            nl, nr, out_slots, ..
+            kind,
+            nl,
+            nr,
+            out_slots,
+            ..
         }
         | PhysicalPlan::NLJoin {
-            nl, nr, out_slots, ..
-        } => out_slots.as_ref().map_or(nl + nr, Vec::len),
+            kind,
+            nl,
+            nr,
+            out_slots,
+            ..
+        } => out_slots.as_ref().map_or(
+            // Semi/Anti joins emit only the left schema.
+            if kind.produces_both_sides() {
+                nl + nr
+            } else {
+                *nl
+            },
+            Vec::len,
+        ),
         PhysicalPlan::HashAggregate { group_by, aggs, .. } => group_by.len() + aggs.len(),
         PhysicalPlan::HashSetOp { left, .. } => out_arity(left),
     }
@@ -752,6 +904,9 @@ pub struct PhysicalPlanner<'a> {
     /// takes `&self`). One value per plan keeps the verifier's
     /// spill-consistency invariant trivially true.
     spill_fanout: std::cell::Cell<usize>,
+    /// Stamp [`BatchMode::Batch`] on vectorizable operators (on by
+    /// default; off plans everything [`BatchMode::Row`]).
+    columnar: bool,
 }
 
 /// Lower `plan` against `catalog` (the common entry point).
@@ -767,7 +922,16 @@ impl<'a> PhysicalPlanner<'a> {
             max_parallelism: auto_parallelism(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             spill_fanout: std::cell::Cell::new(SPILL_PARTITIONS),
+            columnar: true,
         }
+    }
+
+    /// Enable or disable [`BatchMode`] stamping (on by default). Off,
+    /// every operator is planned [`BatchMode::Row`] — the reference
+    /// interpreter everywhere.
+    pub fn columnar(mut self, on: bool) -> PhysicalPlanner<'a> {
+        self.columnar = on;
+        self
     }
 
     /// Force every join to a nested loop (ablation benches).
@@ -836,7 +1000,10 @@ impl<'a> PhysicalPlanner<'a> {
     pub fn plan(&self, plan: &LogicalPlan) -> PhysicalPlan {
         self.spill_fanout
             .set(spill_fanout_for_rows(self.max_est(plan)));
-        let physical = self.plan_node(plan);
+        let mut physical = self.plan_node(plan);
+        if self.columnar {
+            stamp_batch(&mut physical);
+        }
         #[cfg(debug_assertions)]
         if let Err(e) = crate::verify::verify_physical(&physical, "physical-planning") {
             panic!("{e}");
@@ -851,7 +1018,10 @@ impl<'a> PhysicalPlanner<'a> {
     pub fn plan_verified(&self, plan: &LogicalPlan) -> perm_types::Result<PhysicalPlan> {
         self.spill_fanout
             .set(spill_fanout_for_rows(self.max_est(plan)));
-        let physical = self.plan_node(plan);
+        let mut physical = self.plan_node(plan);
+        if self.columnar {
+            stamp_batch(&mut physical);
+        }
         crate::verify::verify_physical(&physical, "physical-planning")?;
         Ok(physical)
     }
@@ -878,6 +1048,7 @@ impl<'a> PhysicalPlanner<'a> {
                 project: None,
                 est_rows: self.est(plan),
                 dop: self.choose_dop(self.table_rows(table), true),
+                batch: BatchMode::Row,
             },
             LogicalPlan::Values { rows, schema } => PhysicalPlan::Values {
                 rows: rows.clone(),
@@ -951,6 +1122,7 @@ impl<'a> PhysicalPlanner<'a> {
                     keys: keys.clone(),
                     dop: self.choose_dop(self.est(input), safe),
                     spill: safe.then_some(self.spill_fanout.get()),
+                    batch: BatchMode::Row,
                 }
             }
             LogicalPlan::Limit {
@@ -997,16 +1169,19 @@ impl<'a> PhysicalPlanner<'a> {
                 project: project.map(<[ScalarExpr]>::to_vec),
                 est_rows,
                 dop,
+                batch: BatchMode::Row,
             };
         }
         let filtered = PhysicalPlan::Filter {
             input: Box::new(self.plan_node(input)),
             predicate: predicate.clone(),
+            batch: BatchMode::Row,
         };
         match project {
             Some(exprs) => PhysicalPlan::Project {
                 input: Box::new(filtered),
                 exprs: exprs.to_vec(),
+                batch: BatchMode::Row,
             },
             None => filtered,
         }
@@ -1038,6 +1213,7 @@ impl<'a> PhysicalPlanner<'a> {
                     self.table_rows(table),
                     Self::safe(&exprs.iter().collect::<Vec<_>>()),
                 ),
+                batch: BatchMode::Row,
             },
             LogicalPlan::Filter {
                 input: finput,
@@ -1066,12 +1242,14 @@ impl<'a> PhysicalPlanner<'a> {
                     PhysicalPlan::Project {
                         input: Box::new(self.plan_node(input)),
                         exprs: exprs.to_vec(),
+                        batch: BatchMode::Row,
                     }
                 }
             }
             other => PhysicalPlan::Project {
                 input: Box::new(self.plan_node(other)),
                 exprs: exprs.to_vec(),
+                batch: BatchMode::Row,
             },
         }
     }

@@ -175,6 +175,7 @@ impl ExchangeCursor {
         filter: Option<&ScalarExpr>,
         project: Option<&[ScalarExpr]>,
         dop: usize,
+        columnar: bool,
     ) -> Result<ExchangeCursor> {
         let total = catalog.table(table)?.rows().len();
         let queue = Arc::new(MorselQueue::new(total, MORSEL_ROWS));
@@ -192,7 +193,7 @@ impl ExchangeCursor {
                 std::thread::Builder::new()
                     .name(format!("perm-exchange-{i}"))
                     .spawn(move || {
-                        let sub = Executor::new(catalog);
+                        let sub = Executor::new(catalog).with_columnar(columnar);
                         while let Some((idx, range)) = queue.claim() {
                             let scanned = range.len();
                             let result = sub.catalog().table(&table).and_then(|t| {
@@ -201,6 +202,7 @@ impl ExchangeCursor {
                                     filter.as_ref(),
                                     project.as_deref(),
                                     &[],
+                                    true,
                                 )
                             });
                             let failed = result.is_err();
@@ -274,6 +276,7 @@ impl Cursor {
                 filter,
                 project,
                 dop,
+                batch,
                 ..
             } => {
                 // Same staleness check Executor::run_physical performs,
@@ -288,6 +291,7 @@ impl Cursor {
                         filter.as_ref(),
                         project.as_deref(),
                         *dop,
+                        exec.columnar() && batch.is_batch(),
                     )?));
                 }
                 let mut cursor = Cursor::Scan {
@@ -308,11 +312,13 @@ impl Cursor {
                 }
                 cursor
             }
-            PhysicalPlan::Filter { input, predicate } => Cursor::Filter {
+            PhysicalPlan::Filter {
+                input, predicate, ..
+            } => Cursor::Filter {
                 input: Box::new(Cursor::build(exec, input)?),
                 predicate: CompiledExpr::compile(exec, predicate),
             },
-            PhysicalPlan::Project { input, exprs } => Cursor::Project {
+            PhysicalPlan::Project { input, exprs, .. } => Cursor::Project {
                 input: Box::new(Cursor::build(exec, input)?),
                 projection: CompiledProjection::compile(exec, exprs),
             },

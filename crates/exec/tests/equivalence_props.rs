@@ -19,6 +19,11 @@
 //!    demotion, column pruning, join reordering) plus the cost-based
 //!    physical planner must produce the multiset the unoptimized
 //!    nested-loop reference produces.
+//! 4. **Columnar batches vs. the row interpreter** — the same random
+//!    plans, decorated with expression-heavy projections and computed
+//!    sort keys, must produce identical results (values *and* errors,
+//!    order included) with the columnar switch on and off, at DOP 1 and
+//!    DOP 3, in memory and spilling, under plan verification.
 
 use std::sync::Arc;
 
@@ -661,6 +666,155 @@ proptest! {
             ),
         }
         prop_assert_eq!(pool.used(), 0, "pool must drain to zero after the query");
+    }
+
+    /// Columnar batch execution is observationally identical to the row
+    /// interpreter — the reference-semantics oracle the batch kernels
+    /// are pinned against. The same optimized logical plan runs through
+    /// two executors that differ only in their columnar switch: the
+    /// row lowering stamps every operator `BatchMode::Row`, the batch
+    /// lowering stamps vectorizable operators `BatchMode::Batch` and
+    /// routes them through the kernels. Same rows, in the same order,
+    /// and the same errors (the `div_by_key` variant plants a division
+    /// that blows up mid-batch; the kernel abort must replay row-wise
+    /// and surface exactly the row path's first error) — at DOP 1 and
+    /// DOP 3, in memory and under a 1-byte pool that forces every
+    /// buffering operator to spill, with both lowerings re-verified by
+    /// the static plan verifier (the `PERM_VERIFY_PLANS=1` posture).
+    #[test]
+    fn batch_execution_matches_row(
+        case in plan_case(),
+        div_by_key in any::<bool>(),
+        sort_on_top in any::<bool>(),
+        parallel in any::<bool>(),
+        spill in any::<bool>(),
+    ) {
+        // FULL hash joins are non-spillable by design (see
+        // spilling_execution_matches_in_memory): remap to LEFT when this
+        // case runs under the starved pool.
+        let case = PlanCase {
+            kind: if spill && case.kind == JoinType::Full { JoinType::Left } else { case.kind },
+            ..case
+        };
+        let mut cat = Catalog::new();
+        cat.create_table(int_table("t1", ["a", "b"], &case.t1_rows)).unwrap();
+        cat.create_table(int_table("t2", ["c", "d"], &case.t2_rows)).unwrap();
+        cat.table_mut("t2").unwrap().create_index(0).unwrap();
+        let mut plan = build_plan(&case, &cat);
+        if div_by_key {
+            // `b / a` raises division-by-zero on any row with a = 0;
+            // pushdown fuses this into the scan pipeline, where the
+            // batch path must abort the batch and replay row-wise.
+            plan = LogicalPlan::filter(
+                plan,
+                ScalarExpr::binary(
+                    BinOp::GtEq,
+                    ScalarExpr::binary(
+                        BinOp::Div,
+                        ScalarExpr::Column(1),
+                        ScalarExpr::Column(0),
+                    ),
+                    ScalarExpr::Literal(Value::Int(-1000)),
+                ),
+            );
+        }
+        // An expression-heavy projection on top drives the typed
+        // arithmetic/comparison/LIKE kernels (columns 0 and 1 exist in
+        // every generated shape, including Semi/Anti joins).
+        let exprs = vec![
+            ScalarExpr::binary(BinOp::Add, ScalarExpr::Column(0), ScalarExpr::Column(1)),
+            ScalarExpr::binary(
+                BinOp::Mul,
+                ScalarExpr::Column(0),
+                ScalarExpr::Literal(Value::Int(3)),
+            ),
+            ScalarExpr::Like {
+                expr: Box::new(ScalarExpr::Cast {
+                    expr: Box::new(ScalarExpr::Column(1)),
+                    ty: DataType::Text,
+                }),
+                pattern: Box::new(ScalarExpr::Literal(Value::text("%1%"))),
+                negated: false,
+            },
+        ];
+        let schema = Schema::new(vec![
+            Column::new("s", DataType::Int),
+            Column::new("m", DataType::Int),
+            Column::new("l", DataType::Bool),
+        ]);
+        plan = LogicalPlan::Project { input: Box::new(plan), exprs, schema };
+        if sort_on_top {
+            // A computed sort key exercises the batched key evaluation.
+            plan = LogicalPlan::Sort {
+                keys: vec![perm_algebra::plan::SortKey {
+                    expr: ScalarExpr::binary(
+                        BinOp::Sub,
+                        ScalarExpr::Column(1),
+                        ScalarExpr::Column(0),
+                    ),
+                    desc: true,
+                }],
+                input: Box::new(plan),
+            };
+        }
+
+        let cat = Arc::new(cat);
+        let optimized = match optimize_verified(plan, &CatalogStats(&cat)) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("verifier: {e}"))),
+        };
+        let (dop, threshold) = if parallel { (3, 1) } else { (1, 2) };
+        // Both lowerings must satisfy the physical invariants — the
+        // batch one includes the batch-legality/batch-width stamps.
+        for columnar in [false, true] {
+            if let Err(e) = perm_exec::PhysicalPlanner::new(&cat)
+                .columnar(columnar)
+                .max_parallelism(dop)
+                .parallel_threshold(threshold)
+                .plan_verified(&optimized)
+            {
+                return Err(TestCaseError::fail(format!(
+                    "physical verifier (columnar={columnar}): {e}"
+                )));
+            }
+        }
+        let run = |columnar: bool| {
+            let exec = Executor::new(Arc::clone(&cat))
+                .with_parallelism(dop, threshold)
+                .with_columnar(columnar)
+                .with_verification(true);
+            if spill {
+                let pool = MemoryPool::with_budget(1);
+                let r = exec
+                    .with_memory(QueryMemory::new(pool.clone(), None))
+                    .run(&optimized);
+                (r, Some(pool))
+            } else {
+                (exec.run(&optimized), None)
+            }
+        };
+        let (row, row_pool) = run(false);
+        let (batch, batch_pool) = run(true);
+        match (row, batch) {
+            // Exact equality, order included: batching is invisible.
+            (Ok(r), Ok(b)) => prop_assert_eq!(r, b, "batch diverges for {:?}", case),
+            (Err(r), Err(b)) => prop_assert_eq!(
+                r.to_string(),
+                b.to_string(),
+                "errors diverge for {:?}",
+                case
+            ),
+            (r, b) => prop_assert!(
+                false,
+                "one mode failed: row={:?} batch={:?} case={:?}",
+                r,
+                b,
+                case
+            ),
+        }
+        for pool in [row_pool, batch_pool].into_iter().flatten() {
+            prop_assert_eq!(pool.used(), 0, "pool must drain to zero after the query");
+        }
     }
 
     /// Hash-based execution (hash joins, fused slot projections, hash

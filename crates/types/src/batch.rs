@@ -1,0 +1,486 @@
+//! Columnar batches: the unit of vectorized execution.
+//!
+//! A [`Batch`] holds up to ~[`DEFAULT_BATCH_ROWS`] rows pivoted into
+//! per-column typed vectors ([`ColumnVec`]) with [`NullBitmap`]s, the way
+//! arrow-style engines lay out execution memory. The executor gathers row
+//! slices into batches at pivot boundaries, runs tight typed kernels over
+//! the columns, and scatters back to [`Tuple`]s where the plan stays
+//! row-based (sublinks, FULL joins, output).
+//!
+//! Columns are adaptively typed: a gather starts from the values it sees,
+//! so a column whose non-null values are all `Int` becomes
+//! [`ColumnVec::Ints`] and mixed-type columns degrade to the generic
+//! [`ColumnVec::Vals`] — never an error, just a slower lane. Column data
+//! is `Arc`-shared, which makes [`Batch::slice`] zero-copy.
+
+use std::sync::Arc;
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Target number of rows per batch: small enough that a batch's working
+/// set stays cache-resident, large enough to amortize per-batch setup.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// A validity bitmap: bit `i` is **set** when lane `i` is NULL (the less
+/// common case, so an all-valid column is an all-zero — cheaply tested —
+/// bitmap).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+    nulls: usize,
+}
+
+impl NullBitmap {
+    /// An all-valid bitmap over `len` lanes.
+    pub fn new_valid(len: usize) -> NullBitmap {
+        NullBitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            nulls: 0,
+        }
+    }
+
+    /// Number of lanes covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mark lane `i` NULL.
+    pub fn set_null(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.nulls += 1;
+        }
+    }
+
+    /// True when lane `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// True when no lane is NULL (the hot-loop fast path: kernels skip
+    /// the per-lane bitmap probe entirely).
+    #[inline]
+    pub fn none_null(&self) -> bool {
+        self.nulls == 0
+    }
+
+    /// True when every lane is NULL.
+    pub fn all_null(&self) -> bool {
+        self.nulls == self.len
+    }
+
+    /// Number of NULL lanes.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+}
+
+/// One column of a batch: typed storage plus a null bitmap. The payload
+/// vector always has one slot per lane; NULL lanes hold an arbitrary
+/// placeholder the bitmap masks out (kernels must consult the bitmap
+/// before trusting a lane).
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    /// Every lane holds the same value (broadcast constants, outer refs).
+    Const(Value, usize),
+    Ints(Vec<i64>, NullBitmap),
+    Floats(Vec<f64>, NullBitmap),
+    Bools(Vec<bool>, NullBitmap),
+    Texts(Vec<Arc<str>>, NullBitmap),
+    /// Mixed-type escape hatch: plain values, evaluated lane-at-a-time.
+    Vals(Vec<Value>),
+}
+
+impl ColumnVec {
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Const(_, n) => *n,
+            ColumnVec::Ints(v, _) => v.len(),
+            ColumnVec::Floats(v, _) => v.len(),
+            ColumnVec::Bools(v, _) => v.len(),
+            ColumnVec::Texts(v, _) => v.len(),
+            ColumnVec::Vals(v) => v.len(),
+        }
+    }
+
+    /// True when the column covers no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when lane `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnVec::Const(v, _) => v.is_null(),
+            ColumnVec::Ints(_, n)
+            | ColumnVec::Floats(_, n)
+            | ColumnVec::Bools(_, n)
+            | ColumnVec::Texts(_, n) => n.is_null(i),
+            ColumnVec::Vals(v) => v[i].is_null(),
+        }
+    }
+
+    /// Materialize lane `i` as a [`Value`] (a refcount bump for text).
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Const(v, _) => v.clone(),
+            ColumnVec::Ints(v, n) => {
+                if n.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Int(v[i])
+                }
+            }
+            ColumnVec::Floats(v, n) => {
+                if n.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Float(v[i])
+                }
+            }
+            ColumnVec::Bools(v, n) => {
+                if n.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Bool(v[i])
+                }
+            }
+            ColumnVec::Texts(v, n) => {
+                if n.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Text(Arc::clone(&v[i]))
+                }
+            }
+            ColumnVec::Vals(v) => v[i].clone(),
+        }
+    }
+
+    /// Consume the column into one [`Value`] per lane. Unlike a
+    /// [`ColumnVec::get`] loop this *moves* text payloads (no refcount
+    /// traffic), which is what the executor's batch-to-row pivot wants
+    /// for uniquely-owned result columns.
+    pub fn into_vals(self) -> Vec<Value> {
+        fn expand<T>(v: Vec<T>, nulls: &NullBitmap, wrap: impl Fn(T) -> Value) -> Vec<Value> {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    if nulls.is_null(i) {
+                        Value::Null
+                    } else {
+                        wrap(x)
+                    }
+                })
+                .collect()
+        }
+        match self {
+            ColumnVec::Const(v, n) => vec![v; n],
+            ColumnVec::Ints(v, nulls) => expand(v, &nulls, Value::Int),
+            ColumnVec::Floats(v, nulls) => expand(v, &nulls, Value::Float),
+            ColumnVec::Bools(v, nulls) => expand(v, &nulls, Value::Bool),
+            ColumnVec::Texts(v, nulls) => expand(v, &nulls, Value::Text),
+            ColumnVec::Vals(v) => v,
+        }
+    }
+
+    /// Gather slot `slot` of each row into a typed column. Rows narrower
+    /// than `slot + 1` gather as NULL — slot-bound errors are the row
+    /// path's to raise, and the executor only batches verified plans.
+    pub fn gather(rows: &[&Tuple], slot: usize) -> ColumnVec {
+        // Probe for the first non-null value to pick the typed layout;
+        // a type change mid-column restarts into the generic layout.
+        let n = rows.len();
+        let first = rows
+            .iter()
+            .map(|t| if slot < t.len() { t.get(slot) } else { &Value::Null })
+            .find(|v| !v.is_null());
+        match first {
+            None => {
+                // All-NULL column.
+                let mut nulls = NullBitmap::new_valid(n);
+                for i in 0..n {
+                    nulls.set_null(i);
+                }
+                ColumnVec::Ints(vec![0; n], nulls)
+            }
+            Some(Value::Int(_)) => gather_typed(rows, slot, 0i64, |v| match v {
+                Value::Int(x) => Some(*x),
+                _ => None,
+            })
+            .map_or_else(|| gather_vals(rows, slot), |(v, n)| ColumnVec::Ints(v, n)),
+            Some(Value::Float(_)) => gather_typed(rows, slot, 0f64, |v| match v {
+                Value::Float(x) => Some(*x),
+                _ => None,
+            })
+            .map_or_else(|| gather_vals(rows, slot), |(v, n)| ColumnVec::Floats(v, n)),
+            Some(Value::Bool(_)) => gather_typed(rows, slot, false, |v| match v {
+                Value::Bool(x) => Some(*x),
+                _ => None,
+            })
+            .map_or_else(|| gather_vals(rows, slot), |(v, n)| ColumnVec::Bools(v, n)),
+            Some(Value::Text(_)) => {
+                let empty: Arc<str> = Arc::from("");
+                gather_typed(rows, slot, empty, |v| match v {
+                    Value::Text(s) => Some(Arc::clone(s)),
+                    _ => None,
+                })
+                .map_or_else(|| gather_vals(rows, slot), |(v, n)| ColumnVec::Texts(v, n))
+            }
+            Some(Value::Null) => unreachable!("find() skips nulls"),
+        }
+    }
+}
+
+/// Typed gather worker: `None` when a non-null lane does not match the
+/// probed type (mixed column).
+fn gather_typed<T: Clone>(
+    rows: &[&Tuple],
+    slot: usize,
+    placeholder: T,
+    extract: impl Fn(&Value) -> Option<T>,
+) -> Option<(Vec<T>, NullBitmap)> {
+    let n = rows.len();
+    let mut out = Vec::with_capacity(n);
+    let mut nulls = NullBitmap::new_valid(n);
+    for (i, t) in rows.iter().enumerate() {
+        let v = if slot < t.len() { t.get(slot) } else { &Value::Null };
+        if v.is_null() {
+            nulls.set_null(i);
+            out.push(placeholder.clone());
+        } else {
+            out.push(extract(v)?);
+        }
+    }
+    Some((out, nulls))
+}
+
+fn gather_vals(rows: &[&Tuple], slot: usize) -> ColumnVec {
+    ColumnVec::Vals(
+        rows.iter()
+            .map(|t| {
+                if slot < t.len() {
+                    t.get(slot).clone()
+                } else {
+                    Value::Null
+                }
+            })
+            .collect(),
+    )
+}
+
+/// A columnar batch: `Arc`-shared columns over a common lane range, so
+/// [`Batch::slice`] is zero-copy. Columns are gathered per referenced
+/// slot; unreferenced slots stay `None` (never materialized).
+#[derive(Debug, Clone)]
+pub struct Batch {
+    cols: Vec<Option<Arc<ColumnVec>>>,
+    offset: usize,
+    len: usize,
+}
+
+impl Batch {
+    /// Pivot `rows` into a batch, gathering only the slots for which
+    /// `wanted` is true (`wanted.len()` fixes the batch width).
+    pub fn from_rows(rows: &[&Tuple], wanted: &[bool]) -> Batch {
+        let cols = wanted
+            .iter()
+            .enumerate()
+            .map(|(slot, want)| want.then(|| Arc::new(ColumnVec::gather(rows, slot))))
+            .collect();
+        Batch {
+            cols,
+            offset: 0,
+            len: rows.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of column slots (gathered or not).
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// First lane of this batch's view into the shared columns.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The gathered column for `slot`, if it was requested.
+    pub fn col(&self, slot: usize) -> Option<&ColumnVec> {
+        self.cols.get(slot).and_then(|c| c.as_deref())
+    }
+
+    /// A zero-copy sub-range view: columns are shared, only the window
+    /// moves. Lane `i` of the slice is lane `offset + from + i` of the
+    /// underlying columns.
+    pub fn slice(&self, from: usize, len: usize) -> Batch {
+        assert!(from + len <= self.len, "slice out of range");
+        Batch {
+            cols: self.cols.clone(),
+            offset: self.offset + from,
+            len,
+        }
+    }
+
+    /// Materialize row `i` (of this view) from the gathered columns;
+    /// ungathered slots come back NULL.
+    pub fn row(&self, i: usize) -> Tuple {
+        assert!(i < self.len);
+        self.cols
+            .iter()
+            .map(|c| match c {
+                Some(col) => col.get(self.offset + i),
+                None => Value::Null,
+            })
+            .collect()
+    }
+
+    /// Materialize every row of this view.
+    pub fn to_rows(&self) -> Vec<Tuple> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn empty_batch_has_no_lanes() {
+        let rows: Vec<&Tuple> = Vec::new();
+        let b = Batch::from_rows(&rows, &[true, true]);
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.width(), 2);
+        assert!(b.to_rows().is_empty());
+        let c = b.col(0).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn all_null_column_gathers_with_full_bitmap() {
+        let rows = [t(vec![Value::Null]), t(vec![Value::Null])];
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        let b = Batch::from_rows(&refs, &[true]);
+        let c = b.col(0).unwrap();
+        match c {
+            ColumnVec::Ints(_, nulls) => {
+                assert!(nulls.all_null());
+                assert_eq!(nulls.null_count(), 2);
+                assert!(!nulls.none_null());
+            }
+            other => panic!("expected placeholder Ints column, got {other:?}"),
+        }
+        assert_eq!(c.get(0), Value::Null);
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn typed_gather_with_interleaved_nulls() {
+        let rows = [
+            t(vec![Value::Int(1)]),
+            t(vec![Value::Null]),
+            t(vec![Value::Int(3)]),
+        ];
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        let b = Batch::from_rows(&refs, &[true]);
+        match b.col(0).unwrap() {
+            ColumnVec::Ints(v, nulls) => {
+                assert_eq!(v[0], 1);
+                assert!(nulls.is_null(1));
+                assert!(!nulls.is_null(2));
+                assert_eq!(nulls.null_count(), 1);
+            }
+            other => panic!("expected Ints, got {other:?}"),
+        }
+        assert_eq!(b.row(1), t(vec![Value::Null]));
+    }
+
+    #[test]
+    fn mixed_types_degrade_to_vals() {
+        let rows = [t(vec![Value::Int(1)]), t(vec![Value::text("x")])];
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        let b = Batch::from_rows(&refs, &[true]);
+        match b.col(0).unwrap() {
+            ColumnVec::Vals(v) => assert_eq!(v[1], Value::text("x")),
+            other => panic!("expected Vals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwanted_slots_stay_ungathered() {
+        let rows = [t(vec![Value::Int(1), Value::Int(2)])];
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        let b = Batch::from_rows(&refs, &[false, true]);
+        assert!(b.col(0).is_none());
+        assert!(b.col(1).is_some());
+        // Materializing through an ungathered slot yields NULL.
+        assert_eq!(b.row(0), t(vec![Value::Null, Value::Int(2)]));
+    }
+
+    #[test]
+    fn slicing_is_a_window_over_shared_columns() {
+        let rows: Vec<Tuple> = (0..10).map(|i| t(vec![Value::Int(i)])).collect();
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        let b = Batch::from_rows(&refs, &[true]);
+        let s = b.slice(4, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.offset(), 4);
+        assert_eq!(s.row(0), t(vec![Value::Int(4)]));
+        assert_eq!(s.row(2), t(vec![Value::Int(6)]));
+        // The column is shared, not copied.
+        assert!(std::ptr::eq(
+            b.col(0).unwrap() as *const ColumnVec,
+            s.col(0).unwrap() as *const ColumnVec
+        ));
+        let ss = s.slice(1, 1);
+        assert_eq!(ss.row(0), t(vec![Value::Int(5)]));
+    }
+
+    #[test]
+    fn short_rows_gather_as_null() {
+        let rows = [t(vec![Value::Int(1), Value::Int(2)]), t(vec![Value::Int(3)])];
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        let b = Batch::from_rows(&refs, &[true, true]);
+        assert!(b.col(1).unwrap().is_null(1));
+        assert_eq!(b.col(1).unwrap().get(0), Value::Int(2));
+    }
+
+    #[test]
+    fn const_columns_broadcast() {
+        let c = ColumnVec::Const(Value::text("k"), 5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.get(4), Value::text("k"));
+        assert!(!c.is_null(0));
+        let n = ColumnVec::Const(Value::Null, 2);
+        assert!(n.is_null(1));
+    }
+}

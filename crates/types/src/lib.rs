@@ -12,6 +12,7 @@
 //! provenance name (`prov_<schema>_<relation>_<attribute>`) and are tracked
 //! positionally by the rewrite layer.
 
+pub mod batch;
 pub mod error;
 pub mod hash;
 pub mod ops;
@@ -20,6 +21,7 @@ pub mod tuple;
 pub mod types;
 pub mod value;
 
+pub use batch::{Batch, ColumnVec, NullBitmap, DEFAULT_BATCH_ROWS};
 pub use error::{PermError, Result};
 pub use schema::{Column, Schema};
 pub use tuple::Tuple;

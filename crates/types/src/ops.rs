@@ -149,7 +149,10 @@ pub enum ArithOp {
     Mod,
 }
 
-fn arith_int(op: ArithOp, x: i64, y: i64) -> Result<Value> {
+/// Integer arithmetic on unwrapped operands — the typed-kernel entry the
+/// columnar executor uses so batch and row paths share one semantics
+/// (truncating division, checked overflow, identical error text).
+pub fn arith_int(op: ArithOp, x: i64, y: i64) -> Result<Value> {
     let checked = match op {
         ArithOp::Add => x.checked_add(y),
         ArithOp::Sub => x.checked_sub(y),
@@ -242,28 +245,95 @@ fn like_match(v: &str, p: &str) -> bool {
 /// A pre-compiled `LIKE` pattern: the pattern's scalar values are decoded
 /// once, so matching many rows against a constant pattern — the executor's
 /// compiled-expression path — only pays for the value side per row.
+///
+/// Patterns made of a literal plus leading/trailing `%` — the
+/// overwhelmingly common shapes — are classified once into direct
+/// `==`/`starts_with`/`ends_with`/`contains` string probes. Everything
+/// else runs the general backtracking matcher, which walks the value's
+/// bytes in place for ASCII patterns and only falls back to a decoded
+/// `char` buffer when the pattern itself is non-ASCII.
 #[derive(Debug, Clone)]
 pub struct LikeMatcher {
     pattern: Vec<char>,
+    ascii_pattern: bool,
+    shape: LikeShape,
+}
+
+/// Pre-classified pattern shape (literal payloads carry no wildcards).
+#[derive(Debug, Clone)]
+enum LikeShape {
+    /// No wildcards at all: plain equality.
+    Exact(String),
+    /// `lit%`
+    Prefix(String),
+    /// `%lit`
+    Suffix(String),
+    /// `%lit%`
+    Contains(String),
+    /// Anything with `_`, interior `%`, or several literal runs.
+    Generic,
+}
+
+fn classify(pattern: &str) -> LikeShape {
+    if pattern.contains('_') {
+        return LikeShape::Generic;
+    }
+    let starts = pattern.starts_with('%');
+    let ends = pattern.ends_with('%') && pattern.len() > 1;
+    let inner = &pattern[usize::from(starts)..pattern.len() - usize::from(ends)];
+    if inner.contains('%') {
+        // Interior `%` (covers `%%`-runs too): keep the general matcher.
+        return LikeShape::Generic;
+    }
+    match (starts, ends) {
+        (false, false) => LikeShape::Exact(inner.to_string()),
+        (false, true) => LikeShape::Prefix(inner.to_string()),
+        (true, false) => LikeShape::Suffix(inner.to_string()),
+        (true, true) => LikeShape::Contains(inner.to_string()),
+    }
 }
 
 impl LikeMatcher {
     pub fn new(pattern: &str) -> LikeMatcher {
         LikeMatcher {
             pattern: pattern.chars().collect(),
+            ascii_pattern: pattern.is_ascii(),
+            shape: classify(pattern),
         }
     }
 
     /// True if `v` matches the pattern (`%` = any run, `_` = any single
     /// char). Matching is over Unicode scalar values.
     pub fn matches(&self, v: &str) -> bool {
-        let vc: Vec<char> = v.chars().collect();
+        match &self.shape {
+            LikeShape::Exact(lit) => v == lit,
+            LikeShape::Prefix(lit) => v.starts_with(lit.as_str()),
+            LikeShape::Suffix(lit) => v.ends_with(lit.as_str()),
+            LikeShape::Contains(lit) => v.contains(lit.as_str()),
+            LikeShape::Generic => {
+                if self.ascii_pattern && v.is_ascii() {
+                    // `_` must match one *scalar value*; all-ASCII on both
+                    // sides makes bytes and scalars coincide, so the match
+                    // can walk the value in place without decoding.
+                    self.matches_generic(v.as_bytes(), |p| p as u8)
+                } else {
+                    let vc: Vec<char> = v.chars().collect();
+                    self.matches_generic(&vc, |p| p)
+                }
+            }
+        }
+    }
+
+    /// Classic iterative wildcard matcher with backtracking for `%`,
+    /// generic over the symbol representation (bytes for ASCII, decoded
+    /// chars otherwise). `conv` maps a pattern char into that
+    /// representation.
+    fn matches_generic<T: PartialEq + Copy>(&self, vc: &[T], conv: impl Fn(char) -> T) -> bool {
         let pc = &self.pattern;
-        // Classic iterative wildcard matcher with backtracking for '%'.
         let (mut vi, mut pi) = (0usize, 0usize);
         let (mut star_p, mut star_v): (Option<usize>, usize) = (None, 0);
         while vi < vc.len() {
-            if pi < pc.len() && (pc[pi] == '_' || pc[pi] == vc[vi]) {
+            if pi < pc.len() && (pc[pi] == '_' || conv(pc[pi]) == vc[vi]) {
                 vi += 1;
                 pi += 1;
             } else if pi < pc.len() && pc[pi] == '%' {
@@ -419,6 +489,31 @@ mod tests {
                 Value::Bool(expect),
                 "'{v}' LIKE '{p}'"
             );
+        }
+    }
+
+    #[test]
+    fn like_shape_fast_paths_agree_with_generic() {
+        // Each case exercises one pre-classified shape plus tricky
+        // boundaries (`%`, `%%`, empty literal, unicode).
+        let cases = [
+            ("hello", "hello", true),      // Exact
+            ("hello", "hell", false),      // Exact (shorter)
+            ("message body 1x", "message body 1%", true), // Prefix
+            ("message body 2x", "message body 1%", false),
+            ("abc.txt", "%.txt", true),    // Suffix
+            ("abc.txtx", "%.txt", false),
+            ("xx-core-yy", "%core%", true), // Contains
+            ("xx-cor-yy", "%core%", false),
+            ("anything", "%", true),
+            ("", "%", true),
+            ("anything", "%%", true),
+            ("naïve", "na_ve", true),       // Generic, non-ASCII value
+            ("naïve", "naï%", true),        // Prefix with non-ASCII literal
+            ("a_b", "a%b", true),           // interior % stays generic
+        ];
+        for (v, p, expect) in cases {
+            assert_eq!(LikeMatcher::new(p).matches(v), expect, "'{v}' LIKE '{p}'");
         }
     }
 

@@ -33,6 +33,14 @@
 //!    rename and truncate in `wal.rs`/`durable.rs` must go through the
 //!    `failpoint::` wrappers so each durability write site carries a
 //!    named failpoint and stays covered by the crash-recovery matrix.
+//! 10. **No per-row `Vec`/`Arc` allocation inside kernel hot loops** —
+//!    the whole point of the batch kernels (`kernels.rs`) is to amortize
+//!    allocation to batch granularity; a `Vec::new`/`Arc::new`/
+//!    `.collect()` inside a lane loop silently reverts a kernel to
+//!    row-at-a-time cost. Deliberate batch-granularity buffers are
+//!    annotated `// batch-alloc:` and deliberate per-lane allocations
+//!    (e.g. building the output strings of a text kernel)
+//!    `// per-lane alloc:`, on the same or the preceding line.
 //!
 //! Test code (files under a `tests` directory, `*/tests.rs`, and
 //! `#[cfg(test)]` modules, tracked by brace depth) is exempt from rules
@@ -54,8 +62,25 @@ const HOT_PATHS: &[&str] = &[
     "crates/exec/src/executor.rs",
     "crates/exec/src/eval.rs",
     "crates/exec/src/compile.rs",
+    "crates/exec/src/kernels.rs",
     "crates/exec/src/operators/",
     "crates/storage/src/",
+];
+
+/// Files whose loops are vectorized kernel loops (rule 10): allocation
+/// inside a loop body needs a `batch-alloc:`/`per-lane alloc:`
+/// justification.
+const KERNEL_LOOP_FILES: &[&str] = &["crates/exec/src/kernels.rs"];
+
+/// Allocation shapes rule 10 bans inside kernel loops. Line-based like
+/// the other rules: each pattern is an allocator call, not a type name.
+const KERNEL_LOOP_ALLOCS: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    "with_capacity(",
+    "Arc::new(",
+    ".to_vec(",
+    ".collect(",
 ];
 
 /// The only modules allowed to start worker threads (rule 3).
@@ -215,6 +240,7 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let storage_file_creation_checked =
         rel.starts_with("crates/storage/src/") && !matches_any(rel, STORAGE_FILE_CREATION_ALLOWED);
     let failpoint_wrapped = matches_any(rel, FAILPOINT_WRAPPED);
+    let kernel_loops_checked = matches_any(rel, KERNEL_LOOP_FILES);
 
     let lines: Vec<&str> = source.lines().collect();
     // `#[cfg(test)]` module tracking: once the attribute's item opens a
@@ -222,6 +248,11 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let mut depth: i32 = 0;
     let mut cfg_test_pending = false;
     let mut test_mod_depth: Option<i32> = None;
+    // Loop-body tracking for rule 10: the depth at which each active
+    // loop body opened. A multi-line loop header (rustfmt-wrapped) sets
+    // `loop_pending` until its `{` arrives.
+    let mut loop_stack: Vec<i32> = Vec::new();
+    let mut loop_pending = false;
 
     for (idx, &raw) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -244,6 +275,26 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
             cfg_test_pending = false;
         }
         let in_test = test_file || test_mod_depth.is_some();
+
+        // Rule 10 looks at whether this line sits inside an already-open
+        // loop body, *before* any loop this line itself starts: the
+        // iterator expression of a `for` header runs once, not per lane.
+        let in_loop_body = !loop_stack.is_empty();
+        let starts_loop = (has_word(&code, "for") && code.contains(" in "))
+            || has_word(&code, "while")
+            || has_word(&code, "loop")
+            // The kernels' lane-iteration macro is a loop in disguise.
+            || code.contains("for_lanes!");
+        if starts_loop {
+            loop_pending = true;
+        }
+        if loop_pending && opens > 0 {
+            loop_stack.push(depth);
+            loop_pending = false;
+        } else if loop_pending && code.trim_end().ends_with(';') {
+            // Not a loop after all (`break 'outer;`, a `for` in a path).
+            loop_pending = false;
+        }
 
         let mut report = |rule: &'static str, message: String| {
             findings.push(Finding {
@@ -337,6 +388,29 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
                 );
             }
 
+            // Rule 10: no per-row allocation inside kernel loops
+            // without a batch-alloc / per-lane alloc justification.
+            if kernel_loops_checked
+                && in_loop_body
+                && !raw.contains("batch-alloc:")
+                && !raw.contains("per-lane alloc:")
+                && !prev_comment_contains(&lines, idx, "batch-alloc:")
+                && !prev_comment_contains(&lines, idx, "per-lane alloc:")
+            {
+                for pat in KERNEL_LOOP_ALLOCS {
+                    if code.contains(pat) {
+                        report(
+                            "no-alloc-in-kernel-loops",
+                            format!(
+                                "`{pat}..)` inside a kernel loop; hoist the allocation to \
+                                 batch granularity, or justify with `// batch-alloc:` or \
+                                 `// per-lane alloc:`"
+                            ),
+                        );
+                    }
+                }
+            }
+
             if hot {
                 // Rule 1: no unwrap on the hot path.
                 if code.contains(".unwrap()") {
@@ -367,6 +441,9 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
             if depth <= d {
                 test_mod_depth = None;
             }
+        }
+        while loop_stack.last().is_some_and(|&d| depth <= d) {
+            loop_stack.pop();
         }
     }
 }
@@ -660,6 +737,55 @@ mod tests {
         // own error mapping — neither is in scope for rule 9.
         assert!(run("crates/storage/src/failpoint.rs", raw).is_empty());
         assert!(run("crates/storage/src/spill.rs", raw).is_empty());
+    }
+
+    #[test]
+    fn kernel_loop_allocation_is_flagged() {
+        let bad = "fn f() {\n  for i in 0..n {\n    let v = Vec::new();\n  }\n}\n";
+        assert_eq!(
+            run("crates/exec/src/kernels.rs", bad),
+            ["no-alloc-in-kernel-loops"]
+        );
+        // The same shape is fine outside the kernel file.
+        assert!(run("crates/exec/src/eval.rs", bad).is_empty());
+        // Allocation before the loop is batch-granularity by construction.
+        let hoisted =
+            "fn f() {\n  let mut v = vec![0i64; n];\n  for i in 0..n {\n    v[i] = 1;\n  }\n}\n";
+        assert!(run("crates/exec/src/kernels.rs", hoisted).is_empty());
+        // The `for` header's iterator expression runs once, not per lane.
+        let header = "fn f() {\n  for i in make_idx().to_vec() {\n    g(i);\n  }\n}\n";
+        assert!(run("crates/exec/src/kernels.rs", header).is_empty());
+        // The kernels' lane macro counts as a loop.
+        let lanes = "fn f() {\n  for_lanes!(&sel, i => {\n    let v = x.to_vec();\n  });\n}\n";
+        assert_eq!(
+            run("crates/exec/src/kernels.rs", lanes),
+            ["no-alloc-in-kernel-loops"]
+        );
+    }
+
+    #[test]
+    fn kernel_loop_allocation_allows_justified_sites() {
+        let same_line = "fn f() {\n  while go() {\n    let s = x.to_vec(); // per-lane alloc: result row\n  }\n}\n";
+        assert!(run("crates/exec/src/kernels.rs", same_line).is_empty());
+        let prev_line = "fn f() {\n  loop {\n    // batch-alloc: selection buffer reused across lanes.\n    let s: Vec<u32> = Vec::with_capacity(n);\n    break;\n  }\n}\n";
+        assert!(run("crates/exec/src/kernels.rs", prev_line).is_empty());
+    }
+
+    #[test]
+    fn kernel_loop_tracking_handles_nesting_and_exits() {
+        // After the loop closes, allocation is legal again.
+        let after = "fn f() {\n  for i in 0..n {\n    g(i);\n  }\n  let v = Vec::new();\n}\n";
+        assert!(run("crates/exec/src/kernels.rs", after).is_empty());
+        // A nested loop's body is still inside the outer loop.
+        let nested = "fn f() {\n  for i in 0..n {\n    for j in 0..m {\n      let v = vec![j];\n    }\n  }\n}\n";
+        assert_eq!(
+            run("crates/exec/src/kernels.rs", nested),
+            ["no-alloc-in-kernel-loops"]
+        );
+        // Test code may allocate freely.
+        let in_test_mod =
+            "#[cfg(test)]\nmod tests {\n  fn t() {\n    for i in 0..3 {\n      let v = Vec::new();\n    }\n  }\n}\n";
+        assert!(run("crates/exec/src/kernels.rs", in_test_mod).is_empty());
     }
 
     #[test]
