@@ -120,6 +120,63 @@ fn run_parallel_workload(runs: usize, memory_budget: usize) -> Vec<(String, [f64
         .collect()
 }
 
+/// How many cancellation-latency samples the lifecycle workload takes.
+const CANCEL_SAMPLES: usize = 30;
+
+/// The query-lifecycle workload (PR 10): how fast a cancel lands.
+///
+/// A wide streaming provenance join over the [`hotpath::PARALLEL_SCALE`]
+/// forum is started as a stream at DOP 2; after the first row arrives a
+/// [`perm_core::CancelHandle`] fires and the clock runs until the typed
+/// `cancelled` error surfaces — the end-to-end cancellation latency
+/// through the cooperative checks (morsel claims, batch boundaries, the
+/// stream's pull loop). Returns `[p50_ms, p95_ms]` over
+/// [`CANCEL_SAMPLES`] runs.
+///
+/// The *cost* side of the lifecycle machinery needs no run of its own:
+/// the per-batch/per-row token checks are always on, so their overhead
+/// is visible as the delta of `scan_project_filter/filter_arith` and
+/// `provenance_join/prov_agg_joinback` in `benches` against the
+/// previous issue's summary (`BENCH_9.json`).
+fn run_lifecycle_workload() -> [f64; 2] {
+    let db = hotpath::parallel_db();
+    let session = hotpath::parallel_session(&db, 2);
+    let sql = hotpath::parallel_scaling_queries()
+        .into_iter()
+        .find(|(name, _)| *name == "prov_3join_wide")
+        .map(|(_, sql)| sql)
+        .expect("the scaling workload includes prov_3join_wide");
+    let mut lat: Vec<f64> = (0..CANCEL_SAMPLES)
+        .map(|_| {
+            let mut stream = session.query_stream(&sql).expect("lifecycle query streams");
+            let first = stream
+                .next()
+                .expect("the join yields rows")
+                .expect("first row is not an error");
+            std::hint::black_box(first);
+            let handle = stream.cancel_handle();
+            let start = Instant::now();
+            handle.cancel();
+            loop {
+                match stream.next() {
+                    Some(Ok(_)) => continue,
+                    Some(Err(e)) => {
+                        assert_eq!(e.kind(), "cancelled", "{e}");
+                        break;
+                    }
+                    None => panic!("stream ended without surfacing the cancellation"),
+                }
+            }
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let p50 = lat[lat.len() / 2];
+    let p95 = lat[(lat.len() * 95 / 100).min(lat.len() - 1)];
+    eprintln!("lifecycle/cancel_latency: p50 {p50:.3} ms, p95 {p95:.3} ms");
+    [p50, p95]
+}
+
 /// How many statements each durability micro-bench covers.
 const WAL_APPEND_BATCH: usize = 100;
 const RECOVERY_REPLAY_STATEMENTS: usize = 200;
@@ -250,6 +307,7 @@ fn validate_summary(
         "\"parallel_scaling\"",
         "\"durability\"",
         "\"columnar\"",
+        "\"lifecycle\"",
     ] {
         if !body.contains(key) {
             return Err(format!("summary is missing required key {key}"));
@@ -303,6 +361,22 @@ fn validate_summary(
     Ok(())
 }
 
+/// Validate the lifecycle section's cancellation-latency percentiles: a
+/// non-positive or non-finite latency means the measurement loop broke,
+/// and p95 below p50 means the percentile math did.
+fn check_cancel_latency(lat: &[f64; 2]) -> Result<(), String> {
+    if lat.iter().any(|ms| !ms.is_finite() || *ms <= 0.0) {
+        return Err(format!("non-positive cancellation latency: {lat:?}"));
+    }
+    if lat[1] < lat[0] {
+        return Err(format!(
+            "cancellation latency p95 {:.4} below p50 {:.4}",
+            lat[1], lat[0]
+        ));
+    }
+    Ok(())
+}
+
 /// How many times slower than its sibling provenance benches
 /// `prov_agg_joinback` may run before the summary is rejected.
 ///
@@ -335,7 +409,7 @@ fn check_joinback_regression(results: &[(String, f64)]) -> Result<(), String> {
     }
     siblings.sort_by(|a, b| a.total_cmp(b));
     let mid = siblings.len() / 2;
-    let median = if siblings.len() % 2 == 0 {
+    let median = if siblings.len().is_multiple_of(2) {
         (siblings[mid - 1] + siblings[mid]) / 2.0
     } else {
         siblings[mid]
@@ -417,9 +491,13 @@ fn main() {
     // the same prepared queries — the measured value of issue 9).
     let columnar = run_columnar_workload(runs.min(7));
 
+    // The cancellation-latency workload (the measured value of issue
+    // 10; the check *cost* shows up as the benches deltas vs BENCH_9).
+    let lifecycle = run_lifecycle_workload();
+
     let mut body = String::from("{\n");
     body.push_str(&format!(
-        "  \"issue\": 9,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"memory_budget\": {},\n  \"peak_pool_bytes\": {},\n  \"benches\": {{\n",
+        "  \"issue\": 10,\n  \"workload\": \"forum scale {} seed {}\",\n  \"unit\": \"ms (median of {} prepared executions)\",\n  \"host_parallelism\": {},\n  \"memory_budget\": {},\n  \"peak_pool_bytes\": {},\n  \"benches\": {{\n",
         hotpath::HOTPATH_SCALE,
         hotpath::HOTPATH_SEED,
         runs,
@@ -489,8 +567,16 @@ fn main() {
             sep
         ));
     }
-    body.push_str("  }\n}\n");
+    body.push_str("  },\n");
+    body.push_str(&format!(
+        "  \"lifecycle\": {{\n    \"cancel_latency\": {{\"query\": \"parallel_scaling/prov_3join_wide\", \"dop\": 2, \"samples\": {CANCEL_SAMPLES}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}}}\n  }}\n}}\n",
+        lifecycle[0], lifecycle[1],
+    ));
 
+    if let Err(e) = check_cancel_latency(&lifecycle) {
+        eprintln!("bench_summary: invalid summary: {e}");
+        std::process::exit(1);
+    }
     if let Err(e) = validate_summary(
         &body,
         perm_exec::auto_parallelism(),
@@ -528,7 +614,8 @@ mod tests {
             "    \"g/q\": {\"after_ms\": 1.0}\n  },\n",
             "  \"parallel_scaling\": {\n    \"workload\": \"w\"\n  },\n",
             "  \"durability\": {\n    \"wal_append/100_commits\": {\"after_ms\": 1.0}\n  },\n",
-            "  \"columnar\": {\n    \"g/q\": {\"row_ms\": 2.0, \"batch_ms\": 1.0, \"speedup\": 2.00}\n  }\n}\n"
+            "  \"columnar\": {\n    \"g/q\": {\"row_ms\": 2.0, \"batch_ms\": 1.0, \"speedup\": 2.00}\n  },\n",
+            "  \"lifecycle\": {\n    \"cancel_latency\": {\"p50_ms\": 0.5, \"p95_ms\": 1.0}\n  }\n}\n"
         )
         .to_string()
     }
@@ -562,6 +649,7 @@ mod tests {
             "\"peak_pool_bytes\"",
             "\"durability\"",
             "\"columnar\"",
+            "\"lifecycle\"",
         ] {
             let body = good_body().replace(key, "\"renamed\"");
             let err = validate_summary(
@@ -757,6 +845,18 @@ mod tests {
         partial.drain(..2);
         check_joinback_regression(&partial).expect("one sibling is not enough to judge");
         check_joinback_regression(&good_results()).expect("no joinback bench, nothing to guard");
+    }
+
+    #[test]
+    fn cancel_latency_validation() {
+        check_cancel_latency(&[0.5, 1.0]).expect("healthy percentiles pass");
+        check_cancel_latency(&[0.5, 0.5]).expect("equal percentiles pass");
+        let err = check_cancel_latency(&[0.0, 1.0]).unwrap_err();
+        assert!(err.contains("non-positive"), "got: {err}");
+        let err = check_cancel_latency(&[0.5, f64::NAN]).unwrap_err();
+        assert!(err.contains("non-positive"), "got: {err}");
+        let err = check_cancel_latency(&[2.0, 1.0]).unwrap_err();
+        assert!(err.contains("below p50"), "got: {err}");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use perm_exec::MemoryPool;
-use perm_types::{PermError, Result};
+use perm_types::{PermError, QueryContext, Result};
 
 /// Most queries that may wait for admission at once; one more fails
 /// immediately instead of queueing.
@@ -101,12 +101,21 @@ impl ResourceGovernor {
     /// concurrency cap is saturated. Waiters are served FIFO. Errors are
     /// typed [`PermError::ResourceExhausted`]: immediately when the
     /// admission queue is full, otherwise only after the timeout.
+    ///
+    /// The wait is cancellable: a query cancelled (or whose stream is
+    /// dropped) while still queued has its ticket removed immediately —
+    /// waking the waiters behind it — and fails with the typed
+    /// cancellation error instead of occupying a queue slot until its
+    /// admission timeout.
     pub fn admit(
         self: &Arc<Self>,
+        ctx: &QueryContext,
         estimate: u64,
         max_concurrent: usize,
         timeout: Duration,
     ) -> Result<AdmissionPermit> {
+        ctx.check()?;
+        perm_fault::exec_point("exec.admission.wait", "admission")?;
         let mut st = lock(&self.state);
         // Fast path: nobody queued ahead and the query fits now.
         if !(st.queue.is_empty() && self.fits(&st, estimate, max_concurrent)) {
@@ -121,7 +130,19 @@ impl ResourceGovernor {
             st.next_ticket += 1;
             st.queue.push_back(ticket);
             let deadline = Instant::now() + timeout;
+            // Condvar wakeups only fire when a permit drops; cancellation
+            // can happen at any time, so wait in bounded slices and
+            // re-check the context each wakeup.
+            const CANCEL_SLICE: Duration = Duration::from_millis(10);
             let admitted = loop {
+                if let Err(cancelled) = ctx.check() {
+                    st.queue.retain(|t| *t != ticket);
+                    drop(st);
+                    // The next ticket may be admissible now that this one
+                    // stopped blocking the head of the queue.
+                    self.waiters.notify_all();
+                    return Err(cancelled);
+                }
                 if st.queue.front() == Some(&ticket) && self.fits(&st, estimate, max_concurrent) {
                     st.queue.pop_front();
                     break true;
@@ -131,7 +152,7 @@ impl ResourceGovernor {
                 };
                 let (guard, _) = self
                     .waiters
-                    .wait_timeout(st, left)
+                    .wait_timeout(st, left.min(CANCEL_SLICE))
                     .unwrap_or_else(|e| e.into_inner());
                 st = guard;
             };
@@ -190,11 +211,15 @@ mod tests {
         g
     }
 
+    fn detached() -> QueryContext {
+        QueryContext::detached()
+    }
+
     #[test]
     fn unbounded_governor_admits_everything() {
         let g = governor(None);
-        let a = g.admit(u64::MAX, 0, Duration::ZERO).unwrap();
-        let b = g.admit(u64::MAX, 0, Duration::ZERO).unwrap();
+        let a = g.admit(&detached(), u64::MAX, 0, Duration::ZERO).unwrap();
+        let b = g.admit(&detached(), u64::MAX, 0, Duration::ZERO).unwrap();
         assert_eq!(g.running(), 2);
         drop((a, b));
         assert_eq!(g.running(), 0);
@@ -203,7 +228,7 @@ mod tests {
     #[test]
     fn lone_query_is_admitted_over_budget() {
         let g = governor(Some(100));
-        let big = g.admit(1_000_000, 0, Duration::ZERO).unwrap();
+        let big = g.admit(&detached(), 1_000_000, 0, Duration::ZERO).unwrap();
         assert_eq!(g.running(), 1, "running==0 always admits");
         drop(big);
     }
@@ -211,8 +236,10 @@ mod tests {
     #[test]
     fn over_budget_follower_times_out_with_typed_error() {
         let g = governor(Some(100));
-        let _first = g.admit(80, 0, Duration::ZERO).unwrap();
-        let err = g.admit(80, 0, Duration::from_millis(10)).unwrap_err();
+        let _first = g.admit(&detached(), 80, 0, Duration::ZERO).unwrap();
+        let err = g
+            .admit(&detached(), 80, 0, Duration::from_millis(10))
+            .unwrap_err();
         assert_eq!(err.kind(), "resource");
         assert!(err.message().contains("admission"), "{err}");
         assert!(err.message().contains("80 bytes"), "{err}");
@@ -222,9 +249,12 @@ mod tests {
     #[test]
     fn concurrency_cap_queues_until_a_permit_frees() {
         let g = governor(None);
-        let first = g.admit(0, 1, Duration::ZERO).unwrap();
+        let first = g.admit(&detached(), 0, 1, Duration::ZERO).unwrap();
         let g2 = Arc::clone(&g);
-        let waiter = std::thread::spawn(move || g2.admit(0, 1, Duration::from_secs(30)).map(drop));
+        let waiter = std::thread::spawn(move || {
+            g2.admit(&detached(), 0, 1, Duration::from_secs(30))
+                .map(drop)
+        });
         while g.waiting() == 0 {
             std::thread::yield_now();
         }
@@ -236,13 +266,66 @@ mod tests {
     #[test]
     fn released_budget_admits_the_next_query() {
         let g = governor(Some(100));
-        let first = g.admit(90, 0, Duration::ZERO).unwrap();
+        let first = g.admit(&detached(), 90, 0, Duration::ZERO).unwrap();
         let g2 = Arc::clone(&g);
-        let waiter = std::thread::spawn(move || g2.admit(90, 0, Duration::from_secs(30)).map(drop));
+        let waiter = std::thread::spawn(move || {
+            g2.admit(&detached(), 90, 0, Duration::from_secs(30))
+                .map(drop)
+        });
         while g.waiting() == 0 {
             std::thread::yield_now();
         }
         drop(first);
         waiter.join().unwrap().unwrap();
+    }
+
+    /// Regression (issue 10): a query cancelled while still *queued* —
+    /// e.g. its `RowStream` future was dropped, which cancels the
+    /// context — must leave the FIFO queue immediately. Before the fix
+    /// the dead ticket sat at the head until its admission timeout,
+    /// starving every waiter behind it.
+    #[test]
+    fn cancelled_queued_query_frees_the_slot_for_the_next_waiter() {
+        let g = governor(None);
+        // Saturate the concurrency cap so followers queue.
+        let first = g.admit(&detached(), 0, 1, Duration::ZERO).unwrap();
+
+        // Head-of-queue waiter that gets cancelled while queued.
+        let cancelled_ctx = QueryContext::new(1, None, None);
+        let handle = cancelled_ctx.handle();
+        let g2 = Arc::clone(&g);
+        let doomed = std::thread::spawn(move || {
+            g2.admit(&cancelled_ctx, 0, 1, Duration::from_secs(30))
+                .map(drop)
+        });
+        while g.waiting() == 0 {
+            std::thread::yield_now();
+        }
+
+        // Second waiter, behind the doomed one in FIFO order.
+        let g3 = Arc::clone(&g);
+        let next = std::thread::spawn(move || {
+            g3.admit(&detached(), 0, 1, Duration::from_secs(30))
+                .map(drop)
+        });
+        while g.waiting() < 2 {
+            std::thread::yield_now();
+        }
+
+        // Cancel the head waiter: it must fail typed and leave the queue
+        // without waiting out its 30s admission timeout.
+        handle.cancel();
+        let err = doomed.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        while g.waiting() > 1 {
+            std::thread::yield_now();
+        }
+
+        // With the dead ticket gone, releasing the running permit admits
+        // the surviving waiter promptly.
+        drop(first);
+        next.join().unwrap().unwrap();
+        assert_eq!(g.running(), 0);
+        assert_eq!(g.waiting(), 0, "no ghost tickets left behind");
     }
 }

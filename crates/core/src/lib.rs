@@ -92,4 +92,4 @@ pub use perm_rewrite::{
     ContributionSemantics, CopyMode, RewriteOptions, StrategyMode, UnionStrategy,
 };
 pub use perm_storage::FsyncPolicy;
-pub use perm_types::{PermError, Result, Tuple, Value};
+pub use perm_types::{CancelHandle, CancelReason, PermError, QueryContext, Result, Tuple, Value};

@@ -94,6 +94,13 @@ pub struct SessionOptions {
     /// How long a query may wait in the admission queue before failing
     /// with a typed resource error, in milliseconds.
     pub admission_timeout_ms: u64,
+    /// Statement deadline, in milliseconds (`0`, the default, disables
+    /// it). A statement running past the deadline is cancelled at its
+    /// next cooperative check and fails with the typed
+    /// [`perm_types::PermError::Cancelled`] (`reason: DeadlineExceeded`).
+    /// The clock starts when the statement starts (admission wait
+    /// included) — a statement queued past its deadline never runs.
+    pub statement_timeout_ms: u64,
     /// Run vectorizable scans/filters/projections over columnar batches
     /// (on by default). Off = the row interpreter everywhere: the
     /// reference semantics, and the baseline the `columnar` bench
@@ -130,6 +137,7 @@ impl Default for SessionOptions {
             memory_budget: 0,
             max_concurrent_queries: 0,
             admission_timeout_ms: DEFAULT_ADMISSION_TIMEOUT_MS,
+            statement_timeout_ms: 0,
             columnar: true,
         }
     }
@@ -193,6 +201,14 @@ impl SessionOptions {
     /// How long a query may wait for admission before failing.
     pub fn with_admission_timeout_ms(mut self, ms: u64) -> SessionOptions {
         self.admission_timeout_ms = ms;
+        self
+    }
+
+    /// Cancel any statement that runs longer than `ms` milliseconds
+    /// (`0` = no deadline). The statement fails with the typed
+    /// cancellation error, reason `DeadlineExceeded`.
+    pub fn with_statement_timeout_ms(mut self, ms: u64) -> SessionOptions {
+        self.statement_timeout_ms = ms;
         self
     }
 

@@ -6,7 +6,7 @@
 use std::fmt;
 
 use perm_exec::TupleStream;
-use perm_types::{Result, Schema, Tuple, Value};
+use perm_types::{CancelHandle, QueryContext, Result, Schema, Tuple, Value};
 
 use crate::admission::AdmissionPermit;
 
@@ -116,6 +116,11 @@ pub struct RowStream {
     columns: Vec<String>,
     schema: Schema,
     inner: TupleStream,
+    /// The query's lifecycle context: the stream hands out cancel
+    /// handles ([`RowStream::cancel_handle`]) and cancels the query
+    /// itself when dropped, so a consumer that walks away mid-result
+    /// stops the exchange producers instead of orphaning them.
+    ctx: QueryContext,
     /// The stream's admission slot; releasing it (on drop) lets queued
     /// queries run, so a stream counts as "running" until the consumer
     /// is done with it — not just until its rows are produced.
@@ -123,11 +128,12 @@ pub struct RowStream {
 }
 
 impl RowStream {
-    pub(crate) fn new(schema: Schema, inner: TupleStream) -> RowStream {
+    pub(crate) fn new(schema: Schema, inner: TupleStream, ctx: QueryContext) -> RowStream {
         RowStream {
             columns: schema.names().iter().map(|s| s.to_string()).collect(),
             schema,
             inner,
+            ctx,
             permit: None,
         }
     }
@@ -136,6 +142,14 @@ impl RowStream {
     pub(crate) fn with_permit(mut self, permit: AdmissionPermit) -> RowStream {
         self.permit = Some(permit);
         self
+    }
+
+    /// A handle that cancels this query from any thread. The next
+    /// cooperative check (a morsel claim, a batch boundary, a spill
+    /// partition boundary, the stream's own pull loop) observes it and
+    /// the stream yields the typed `cancelled` error, then fuses.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.ctx.handle()
     }
 
     /// The output schema of the query.
@@ -155,10 +169,14 @@ impl RowStream {
     }
 
     /// Drain the stream into a materialized [`QueryResult`].
-    pub fn collect_result(self) -> Result<QueryResult> {
-        let columns = self.columns;
-        let rows = self.inner.collect::<Result<Vec<Tuple>>>()?;
-        Ok(QueryResult { columns, rows })
+    pub fn collect_result(mut self) -> Result<QueryResult> {
+        // By-ref drain: RowStream has a Drop impl, so its fields cannot
+        // be moved out.
+        let rows = (&mut self.inner).collect::<Result<Vec<Tuple>>>()?;
+        Ok(QueryResult {
+            columns: std::mem::take(&mut self.columns),
+            rows,
+        })
     }
 }
 
@@ -167,6 +185,16 @@ impl Iterator for RowStream {
 
     fn next(&mut self) -> Option<Result<Tuple>> {
         self.inner.next()
+    }
+}
+
+impl Drop for RowStream {
+    fn drop(&mut self) {
+        // A dropped stream is a disconnected consumer: cancel the query
+        // so exchange producers stop scanning, and — if the query was
+        // still queued for admission — its ticket leaves the queue
+        // immediately. Cancelling an already-finished query is a no-op.
+        self.ctx.handle().cancel();
     }
 }
 

@@ -37,6 +37,7 @@
 //! ```
 
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
@@ -49,7 +50,7 @@ use perm_rewrite::Rewriter;
 use perm_sql::{parse_statement, parse_statements, ObjectKind, Statement};
 use perm_storage::{failpoint, Catalog, CatalogWriteGuard, SharedCatalog, Table};
 use perm_storage::{DurableStore, WalRecord, WAL_FILE};
-use perm_types::{Column, PermError, Result, Schema, Tuple};
+use perm_types::{Column, PermError, QueryContext, Result, Schema, Tuple};
 
 use crate::admission::{AdmissionPermit, ResourceGovernor};
 use crate::db::CatalogCardinalities;
@@ -131,6 +132,13 @@ pub struct PermServer {
     catalog: SharedCatalog,
     governor: Arc<ResourceGovernor>,
     durability: Option<Arc<Durability>>,
+    /// Set by [`PermServer::shutdown`]; every statement context carries a
+    /// clone, so in-flight queries observe it at their next cooperative
+    /// check and fail typed (`reason: ServerShutdown`).
+    shutting_down: Arc<AtomicBool>,
+    /// Server-wide statement id allocator; ids appear in cancellation
+    /// errors so a client can tell *which* query was cancelled.
+    next_query_id: Arc<AtomicU64>,
 }
 
 impl PermServer {
@@ -145,6 +153,8 @@ impl PermServer {
             catalog: SharedCatalog::new(catalog),
             governor: Arc::default(),
             durability: None,
+            shutting_down: Arc::default(),
+            next_query_id: Arc::default(),
         }
     }
 
@@ -179,6 +189,10 @@ impl PermServer {
         let replay_server = PermServer::with_catalog(outcome.base);
         let session = replay_server.session();
         for (offset, record) in &outcome.replay {
+            // Chaos site: an injected fault here aborts recovery with a
+            // typed error (the on-disk log is intact — reopening retries),
+            // exercising the bounded-termination property of replay.
+            perm_fault::exec_point("exec.replay.statement", "WAL replay")?;
             let applied = match record {
                 WalRecord::Statement(sql) => session.execute(sql).map(|_| ()),
                 WalRecord::CreateIndex { table, column } => session.create_index(table, column),
@@ -206,6 +220,8 @@ impl PermServer {
                 checkpoint_every: options.checkpoint_every,
                 recovery_error: corruption,
             })),
+            shutting_down: Arc::default(),
+            next_query_id: Arc::default(),
         })
     }
 
@@ -258,6 +274,8 @@ impl PermServer {
             catalog: self.catalog.clone(),
             governor: Arc::clone(&self.governor),
             durability: self.durability.clone(),
+            shutting_down: Arc::clone(&self.shutting_down),
+            next_query_id: Arc::clone(&self.next_query_id),
             options,
         }
     }
@@ -286,6 +304,21 @@ impl PermServer {
     pub fn governor(&self) -> &Arc<ResourceGovernor> {
         &self.governor
     }
+
+    /// Begin server shutdown: every in-flight statement observes it at
+    /// its next cooperative check and fails with the typed cancellation
+    /// error (`reason: ServerShutdown`); queued statements leave the
+    /// admission queue. Statements started after this call fail on their
+    /// first check. Idempotent; the catalog itself stays readable through
+    /// existing snapshots.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`PermServer::shutdown`] been called (on any handle)?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
+    }
 }
 
 /// One session against a [`PermServer`]: the unit of concurrency.
@@ -299,6 +332,8 @@ pub struct Session {
     catalog: SharedCatalog,
     governor: Arc<ResourceGovernor>,
     durability: Option<Arc<Durability>>,
+    shutting_down: Arc<AtomicBool>,
+    next_query_id: Arc<AtomicU64>,
     options: SessionOptions,
 }
 
@@ -325,6 +360,8 @@ impl Session {
             catalog: self.catalog.clone(),
             governor: Arc::clone(&self.governor),
             durability: self.durability.clone(),
+            shutting_down: Arc::clone(&self.shutting_down),
+            next_query_id: Arc::clone(&self.next_query_id),
         }
     }
 
@@ -333,10 +370,23 @@ impl Session {
         self.catalog.snapshot()
     }
 
+    /// A fresh per-statement lifecycle context: unique query id, the
+    /// session's statement deadline (clock starts now, admission wait
+    /// included), and the server's shutdown flag.
+    fn query_context(&self) -> QueryContext {
+        let timeout = (self.options.statement_timeout_ms > 0)
+            .then(|| Duration::from_millis(self.options.statement_timeout_ms));
+        QueryContext::new(
+            self.next_query_id.fetch_add(1, Ordering::Relaxed) + 1,
+            timeout,
+            Some(Arc::clone(&self.shutting_down)),
+        )
+    }
+
     /// An executor over `snapshot` carrying this session's parallelism
-    /// and memory options (used whenever the executor lowers logical
-    /// plans itself).
-    fn executor_on(&self, snapshot: Arc<Catalog>) -> Executor {
+    /// and memory options plus the statement's lifecycle context (used
+    /// whenever the executor lowers logical plans itself).
+    fn executor_on(&self, snapshot: Arc<Catalog>, ctx: QueryContext) -> Executor {
         Executor::new(snapshot)
             .with_parallelism(
                 self.options.max_parallelism,
@@ -345,6 +395,7 @@ impl Session {
             .with_verification(self.options.verify_plans)
             .with_memory(self.query_memory())
             .with_columnar(self.options.columnar)
+            .with_context(ctx)
     }
 
     /// A fresh per-query memory view: the server pool plus this
@@ -357,8 +408,11 @@ impl Session {
     /// Admit one execution of `physical` through the server's governor,
     /// waiting (bounded) if its estimated peak memory does not currently
     /// fit. The permit must stay alive for the duration of execution.
-    fn admit(&self, physical: &PhysicalPlan) -> Result<AdmissionPermit> {
+    /// The wait is cancellable through `ctx` (deadline and shutdown
+    /// included): a cancelled waiter leaves the queue immediately.
+    fn admit(&self, ctx: &QueryContext, physical: &PhysicalPlan) -> Result<AdmissionPermit> {
         self.governor.admit(
+            ctx,
             estimated_peak_bytes(physical),
             self.options.max_concurrent_queries,
             Duration::from_millis(self.options.admission_timeout_ms),
@@ -492,10 +546,15 @@ impl Session {
         let schema = optimized.schema().clone();
         let physical = self.lower_on(&snapshot, &optimized)?;
         // The stream holds the permit: admission lasts until the
-        // consumer drops it, however few rows it pulls.
-        let permit = self.admit(&physical)?;
-        let stream = self.executor_on(snapshot).into_stream_physical(&physical)?;
-        Ok(RowStream::new(schema, stream).with_permit(permit))
+        // consumer drops it, however few rows it pulls. The context
+        // outlives execution inside the stream, which cancels it on
+        // drop and hands out cancel handles.
+        let ctx = self.query_context();
+        let permit = self.admit(&ctx, &physical)?;
+        let stream = self
+            .executor_on(snapshot, ctx.clone())
+            .into_stream_physical(&physical)?;
+        Ok(RowStream::new(schema, stream, ctx).with_permit(permit))
     }
 
     /// Parse, provenance-rewrite, optimize and physically plan `sql`
@@ -562,8 +621,9 @@ impl Session {
         let optimized = self.optimize_on(plan, &catalog)?;
         let schema = optimized.schema().clone();
         let physical = self.lower_on(&catalog, &optimized)?;
-        let _permit = self.admit(&physical)?;
-        let rows = self.executor_on(catalog).run_physical(&physical)?;
+        let ctx = self.query_context();
+        let _permit = self.admit(&ctx, &physical)?;
+        let rows = self.executor_on(catalog, ctx).run_physical(&physical)?;
         Ok((schema, rows))
     }
 
@@ -585,8 +645,9 @@ impl Session {
                 let optimized = self.optimize_on(plan, &snapshot)?;
                 let schema = optimized.schema().clone();
                 let physical = self.lower_on(&snapshot, &optimized)?;
-                let _permit = self.admit(&physical)?;
-                let rows = self.executor_on(snapshot).run_physical(&physical)?;
+                let ctx = self.query_context();
+                let _permit = self.admit(&ctx, &physical)?;
+                let rows = self.executor_on(snapshot, ctx).run_physical(&physical)?;
                 Ok(StatementResult::Rows(QueryResult::new(&schema, rows)))
             }
             BoundStatement::Explain {
@@ -764,9 +825,12 @@ impl Session {
                     // other sessions hold snapshots.
                     let optimized = self.optimize_on(plan, guard)?;
                     let schema = optimized.schema().clone();
+                    // CTAS runs a full query: give it a statement context
+                    // so deadlines and shutdown cover the read part.
                     let rows = Executor::new(guard.snapshot())
                         .with_verification(self.options.verify_plans)
                         .with_columnar(self.options.columnar)
+                        .with_context(self.query_context())
                         .run(&optimized)?;
                     (schema, rows)
                 };
@@ -947,22 +1011,24 @@ impl Prepared {
     /// materializing the result. Every execution is individually
     /// admitted through the server's governor.
     pub fn execute(&self) -> Result<QueryResult> {
-        let _permit = self.session.admit(&self.physical)?;
+        let ctx = self.session.query_context();
+        let _permit = self.session.admit(&ctx, &self.physical)?;
         let rows = self
             .session
-            .executor_on(self.session.snapshot())
+            .executor_on(self.session.snapshot(), ctx)
             .run_physical(&self.physical)?;
         Ok(QueryResult::new(&self.schema, rows))
     }
 
     /// Run the cached plan cursor-style (see [`Session::query_stream`]).
     pub fn execute_stream(&self) -> Result<RowStream> {
-        let permit = self.session.admit(&self.physical)?;
+        let ctx = self.session.query_context();
+        let permit = self.session.admit(&ctx, &self.physical)?;
         let stream = self
             .session
-            .executor_on(self.session.snapshot())
+            .executor_on(self.session.snapshot(), ctx.clone())
             .into_stream_physical(&self.physical)?;
-        Ok(RowStream::new(self.schema.clone(), stream).with_permit(permit))
+        Ok(RowStream::new(self.schema.clone(), stream, ctx).with_permit(permit))
     }
 }
 

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use perm_types::hash::{set_with_capacity, FxHashSet};
-use perm_types::{PermError, Result, Tuple, Value};
+use perm_types::{PermError, QueryContext, Result, Tuple, Value};
 
 use perm_algebra::expr::ScalarExpr;
 use perm_algebra::plan::LogicalPlan;
@@ -89,6 +89,10 @@ pub struct Executor {
     /// reference semantics, and the baseline the equivalence property
     /// pins the batch path against).
     columnar: bool,
+    /// This statement's lifecycle context: cancellation token + optional
+    /// deadline, checked cooperatively at batch boundaries and operator
+    /// loops. The default detached context never cancels.
+    context: QueryContext,
 }
 
 impl Executor {
@@ -107,7 +111,31 @@ impl Executor {
             verified: RefCell::new(FxHashSet::default()),
             memory: QueryMemory::default(),
             columnar: true,
+            context: QueryContext::detached(),
         }
+    }
+
+    /// Attach the statement's lifecycle context (cancellation token and
+    /// deadline). Every long-running loop below this executor checks it
+    /// cooperatively, so `cancel()` stops the statement within a bounded
+    /// amount of work.
+    pub fn with_context(mut self, ctx: QueryContext) -> Executor {
+        self.context = ctx;
+        self
+    }
+
+    /// The statement's lifecycle context (parallel workers and streams
+    /// clone it into their sub-executors).
+    pub fn context(&self) -> &QueryContext {
+        &self.context
+    }
+
+    /// Cooperative cancellation point: the typed `Cancelled` error once
+    /// this statement is cancelled or past its deadline. One relaxed
+    /// atomic load while the statement is live.
+    #[inline]
+    pub fn check_cancelled(&self) -> Result<()> {
+        self.context.check()
     }
 
     /// Attach tracked execution memory: buffering operators charge their
@@ -356,7 +384,11 @@ impl Executor {
                     }
                 }
                 let mut out = Vec::with_capacity(rows.len());
-                for t in &rows {
+                for (i, t) in rows.iter().enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if i % 4096 == 0 {
+                        self.check_cancelled()?;
+                    }
                     let env = Env::new(t, &outer);
                     out.push(projection.apply(self, &env)?);
                 }
@@ -393,14 +425,18 @@ impl Executor {
                     let Some(parts) = spill else {
                         return Err(denied.into_error());
                     };
-                    return spill::distinct_spill(rows, *parts, &reservation);
+                    return spill::distinct_spill(&self.context, rows, *parts, &reservation);
                 }
                 if *dop > 1 {
-                    return crate::parallel::distinct_parallel(rows, *dop);
+                    return crate::parallel::distinct_parallel(&self.context, rows, *dop);
                 }
                 let mut seen = set_with_capacity(rows.len());
                 let mut out = Vec::new();
-                for t in rows {
+                for (i, t) in rows.into_iter().enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if i % 4096 == 0 {
+                        self.check_cancelled()?;
+                    }
                     // Membership first: DISTINCT inputs are duplicate-heavy
                     // (that is what the operator is for), and a duplicate
                     // then costs one probe and no clone. Contrast with
@@ -510,7 +546,11 @@ impl Executor {
             (None, None) => Ok(rows.cloned().collect()),
             (Some(f), None) => {
                 let mut out = Vec::new();
-                for row in rows {
+                for (i, row) in rows.enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if i % 4096 == 0 {
+                        self.check_cancelled()?;
+                    }
                     let env = Env::new(row, outer);
                     if f.eval_bool(self, &env)? == Some(true) {
                         out.push(row.clone());
@@ -520,7 +560,11 @@ impl Executor {
             }
             (None, Some(p)) => {
                 let mut out = Vec::with_capacity(cap);
-                for row in rows {
+                for (i, row) in rows.enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if i % 4096 == 0 {
+                        self.check_cancelled()?;
+                    }
                     let env = Env::new(row, outer);
                     out.push(p.apply(self, &env)?);
                 }
@@ -528,7 +572,11 @@ impl Executor {
             }
             (Some(f), Some(p)) => {
                 let mut out = Vec::new();
-                for row in rows {
+                for (i, row) in rows.enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if i % 4096 == 0 {
+                        self.check_cancelled()?;
+                    }
                     let env = Env::new(row, outer);
                     if f.eval_bool(self, &env)? == Some(true) {
                         out.push(p.apply(self, &env)?);
@@ -560,6 +608,9 @@ impl Executor {
             if buf.is_empty() {
                 return Ok(out);
             }
+            // Batch boundary: cancellation point + chaos site.
+            self.check_cancelled()?;
+            perm_fault::exec_point("exec.kernel.batch", "batch scan")?;
             let before = out.len();
             if scan.run_batch(&buf, outer, &mut out).is_err() {
                 // Discard the batch's partial output and replay it row
@@ -603,6 +654,8 @@ impl Executor {
             Some(vk) => {
                 let mut refs: Vec<&Tuple> = Vec::with_capacity(BATCH_ROWS);
                 for chunk in rows.chunks(BATCH_ROWS) {
+                    // Batch boundary: cancellation point.
+                    self.check_cancelled()?;
                     refs.clear();
                     refs.extend(chunk.iter());
                     match vk.eval_batch(&refs, outer) {
@@ -627,7 +680,11 @@ impl Executor {
         outer: &[Tuple],
         out: &mut Vec<Vec<Value>>,
     ) -> Result<()> {
-        for t in rows {
+        for (i, t) in rows.iter().enumerate() {
+            // Masked cancellation check per 4096 rows.
+            if i % 4096 == 0 {
+                self.check_cancelled()?;
+            }
             let env = Env::new(t, outer);
             let mut ks = Vec::with_capacity(compiled.len());
             for c in compiled {
@@ -657,6 +714,8 @@ impl Executor {
                 let mut mask: Vec<bool> = Vec::with_capacity(rows.len());
                 let mut refs: Vec<&Tuple> = Vec::with_capacity(BATCH_ROWS);
                 for chunk in rows.chunks(BATCH_ROWS) {
+                    // Batch boundary: cancellation point.
+                    self.check_cancelled()?;
                     refs.clear();
                     refs.extend(chunk.iter());
                     if vp.mask_batch(&refs, outer, &mut mask).is_err() {
@@ -673,7 +732,11 @@ impl Executor {
             }
         }
         let mut out = Vec::new();
-        for t in rows {
+        for (i, t) in rows.into_iter().enumerate() {
+            // Masked cancellation check per 4096 rows.
+            if i % 4096 == 0 {
+                self.check_cancelled()?;
+            }
             let env = Env::new(&t, outer);
             if compiled.eval_bool(self, &env)? == Some(true) {
                 out.push(t);

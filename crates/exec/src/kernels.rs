@@ -1,6 +1,6 @@
 //! Vectorized expression kernels: the columnar half of the executor.
 //!
-//! A [`CompiledExpr`] lowers once per operator into a [`VecExpr`], which
+//! A [`CompiledExpr`] lowers once per operator into a `VecExpr`, which
 //! evaluates an entire batch of rows per call — typed `i64`/`&str` loops
 //! for the common arithmetic/comparison/`LIKE`/`IN` shapes, a
 //! lane-at-a-time generic path (through the very same [`ops`] functions
@@ -302,7 +302,7 @@ impl VecExpr {
                             });
                             Ok(Arc::new(ColumnVec::Bools(out, nulls.clone())))
                         }
-                        _ => lanewise1(&c, sel, n, |v| ops::not(v)),
+                        _ => lanewise1(&c, sel, n, ops::not),
                     },
                     UnOp::Neg => match int_src(&c) {
                         Some(IntSrc::Null) => Ok(Arc::new(ColumnVec::Const(Value::Null, n))),
@@ -322,7 +322,7 @@ impl VecExpr {
                             });
                             Ok(Arc::new(ColumnVec::Ints(out, nulls)))
                         }
-                        None => lanewise1(&c, sel, n, |v| ops::neg(v)),
+                        None => lanewise1(&c, sel, n, ops::neg),
                     },
                 }
             }
@@ -657,8 +657,8 @@ fn eval_binary(
             }
             let mut out = vec![false; n];
             if matches!(sel, Sel::All(_)) && ls.none_null() && rs.none_null() {
-                for i in 0..n {
-                    out[i] = match ls.dense(i).cmp(&rs.dense(i)) {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = match ls.dense(i).cmp(&rs.dense(i)) {
                         Less => on_lt,
                         Equal => on_eq,
                         Greater => on_gt,

@@ -298,6 +298,19 @@ impl MemoryReservation {
     /// Charge `bytes` against the per-query cap *and* the shared pool.
     /// A denial charges nothing and names the layer that refused.
     pub fn try_grow(&self, bytes: usize) -> std::result::Result<(), MemoryDenied> {
+        // Chaos site: an injected denial drives the same spill/deny
+        // machinery as real pool pressure; a stall holds an allocation
+        // mid-flight so cancellation under memory pressure is exercised.
+        match perm_fault::hit("exec.memory.grow") {
+            Some(perm_fault::FailAction::Stall(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Some(perm_fault::FailAction::Panic) => {
+                panic!("failpoint exec.memory.grow: injected panic")
+            }
+            Some(_) => return Err(self.denied(bytes, 0, DeniedBy::Pool)),
+            None => {}
+        }
         let q = &self.inner.query;
         if !try_charge(&q.used, &q.peak, q.cap, bytes) {
             return Err(self.denied(bytes, q.cap, DeniedBy::QueryCap));

@@ -350,7 +350,11 @@ fn accumulate(
     let mut order: Vec<GroupKey> = Vec::new();
     let mut groups: FxHashMap<GroupKey, GroupState> = FxHashMap::default();
 
-    for t in rows {
+    for (ri, t) in rows.iter().enumerate() {
+        // Masked cancellation check per 4096 accumulated rows.
+        if ri % 4096 == 0 {
+            exec.check_cancelled()?;
+        }
         let env = Env::new(t, outer);
         let key = group_c.apply(exec, &env)?;
         // One hash per row: the entry API probes once, and only a *new*
@@ -362,6 +366,7 @@ fn accumulate(
                 v.insert(GroupState::new(aggs))
             }
         };
+        // no-cancel: bounded by the aggregate-call count.
         for (i, arg_expr) in arg_c.iter().enumerate() {
             let arg = match arg_expr {
                 Some(e) => Some(e.eval(exec, &env)?),
@@ -383,6 +388,7 @@ fn accumulate(
 /// order is global first-appearance order — exactly the serial order.
 fn merge_partials(into: &mut AggPartial, later: AggPartial) -> Result<()> {
     let AggPartial { order, mut groups } = later;
+    // no-cancel: merge of already-computed partial states.
     for key in order {
         // INVARIANT: `order` holds exactly the keys of `groups`.
         let state = groups.remove(&key).expect("group registered");
@@ -393,6 +399,7 @@ fn merge_partials(into: &mut AggPartial, later: AggPartial) -> Result<()> {
                     state.distinct_seen.iter().all(Option::is_none),
                     "DISTINCT aggregates are planned serial"
                 );
+                // no-cancel: bounded by the aggregate-call count.
                 for (t, s) in target.states.iter_mut().zip(state.states) {
                     t.merge(s)?;
                 }
@@ -415,6 +422,7 @@ fn finish(mut partial: AggPartial, group_by: &[ScalarExpr], aggs: &[AggCall]) ->
         partial.groups.insert(empty_key, GroupState::new(aggs));
     }
     let mut out = Vec::with_capacity(partial.order.len());
+    // no-cancel: output assembly from already-computed group states.
     for key in partial.order {
         // INVARIANT: `order` holds exactly the keys of `groups`.
         let state = partial.groups.remove(&key).expect("group registered");
@@ -426,6 +434,7 @@ fn finish(mut partial: AggPartial, group_by: &[ScalarExpr], aggs: &[AggCall]) ->
             }
             GroupKey::Many(t) => t.into_values(),
         };
+        // no-cancel: bounded by the aggregate-call count.
         for s in state.states {
             vals.push(s.finish());
         }
@@ -463,16 +472,18 @@ pub fn run_aggregate(
         let total = rows_arc.len();
         let group_by_owned: Arc<Vec<ScalarExpr>> = Arc::new(group_by.to_vec());
         let aggs_owned: Arc<Vec<AggCall>> = Arc::new(aggs.to_vec());
+        let ctx = exec.context().clone();
         let partials = {
             let rows = Arc::clone(&rows_arc);
             let outer = outer.clone();
             let shared = reservation.clone();
-            crate::parallel::map_chunks(dop, total, move |range| {
+            let sub_ctx = ctx.clone();
+            crate::parallel::map_chunks(&ctx, dop, total, move |range| {
                 if charge {
                     grow_batched(&shared, rows[range.clone()].iter().map(Tuple::size_bytes))
                         .map_err(MemoryDenied::into_error)?;
                 }
-                let sub = Executor::new(Arc::clone(&catalog));
+                let sub = Executor::new(Arc::clone(&catalog)).with_context(sub_ctx.clone());
                 accumulate(&sub, &rows[range], &group_by_owned, &aggs_owned, &outer)
             })
         };
@@ -489,6 +500,8 @@ pub fn run_aggregate(
                     groups: FxHashMap::default(),
                 });
                 let mut merged = Ok(());
+                // no-cancel: merge of already-computed partials, bounded
+                // by dop.
                 for p in iter {
                     if let Err(e) = merge_partials(&mut acc, p) {
                         merged = Err(e);
@@ -569,6 +582,10 @@ fn aggregate_spill(
     let mut files = SpillPartitions::create(parts)?;
     let mut best_err: Option<(u64, PermError)> = None;
     for (i, t) in rows.iter().enumerate() {
+        // Masked cancellation check per 4096 scattered rows.
+        if i % 4096 == 0 {
+            exec.check_cancelled()?;
+        }
         let env = Env::new(t, outer);
         match group_c.apply(exec, &env) {
             Ok(key) => files.push(crate::parallel::partition_of(&key, parts), i as u64, t)?,
@@ -582,11 +599,18 @@ fn aggregate_spill(
 
     let mut out: Vec<(u64, Tuple)> = Vec::new();
     for reader in files.into_readers()? {
+        // Partition boundary: cancellation point (temp files are cleaned
+        // by the readers' Drop even on the early-return path).
+        exec.check_cancelled()?;
         let mut charged = 0usize;
         // (first tag, key) in this partition's first-appearance order.
         let mut order: Vec<(u64, Tuple)> = Vec::new();
         let mut groups: FxHashMap<Tuple, GroupState> = FxHashMap::default();
-        'row: for rec in reader {
+        'row: for (ri, rec) in reader.enumerate() {
+            // Masked cancellation check per 4096 reloaded rows.
+            if ri % 4096 == 0 {
+                exec.check_cancelled()?;
+            }
             let (tag, t) = rec?;
             if matches!(&best_err, Some((bt, _)) if *bt <= tag) {
                 break 'row;
@@ -607,6 +631,7 @@ fn aggregate_spill(
                     v.insert(GroupState::new(aggs))
                 }
             };
+            // no-cancel: bounded by the aggregate-call count.
             for (i, arg_expr) in arg_c.iter().enumerate() {
                 let arg = match arg_expr {
                     Some(e) => match e.eval(exec, &env) {
@@ -624,10 +649,12 @@ fn aggregate_spill(
                 }
             }
         }
+        // no-cancel: output assembly from already-computed group states.
         for (tag, key) in order {
             // INVARIANT: `order` holds exactly the keys of `groups`.
             let state = groups.remove(&key).expect("group registered");
             let mut vals = key.into_values();
+            // no-cancel: bounded by the aggregate-call count.
             for s in state.states {
                 vals.push(s.finish());
             }

@@ -186,6 +186,7 @@ fn build_key(
         return Ok(Some(Key::One(v)));
     }
     let mut vals = Vec::with_capacity(exprs.len());
+    // no-cancel: bounded by the key arity (a handful of columns per row).
     for (e, &ns) in exprs.iter().zip(null_safe) {
         let v = e.eval(exec, env)?;
         if v.is_null() && !ns {
@@ -243,17 +244,25 @@ impl<'e> KeyBuilder<'e> {
 /// with no scratch chain vector.
 const NIL: usize = usize::MAX;
 
+/// Build-side index: each key's `(head, tail)` chain anchors plus the
+/// flat `next` links (see [`build_table`]).
+type JoinTable = (FxHashMap<Key, (usize, usize)>, Vec<usize>);
+
 fn build_table(
     exec: &Executor,
     rows: &[Tuple],
     exprs: &[CompiledExpr],
     null_safe: &[bool],
     outer: &[Tuple],
-) -> Result<(FxHashMap<Key, (usize, usize)>, Vec<usize>)> {
+) -> Result<JoinTable> {
     let kb = KeyBuilder::new(exprs, null_safe);
     let mut table: FxHashMap<Key, (usize, usize)> = map_with_capacity(rows.len());
     let mut next: Vec<usize> = vec![NIL; rows.len()];
     for (i, r) in rows.iter().enumerate() {
+        // Masked cancellation check per 4096 build rows.
+        if i % 4096 == 0 {
+            exec.check_cancelled()?;
+        }
         if let Some(k) = kb.key(exec, r, outer)? {
             match table.entry(k) {
                 std::collections::hash_map::Entry::Vacant(v) => {
@@ -304,7 +313,11 @@ fn hash_join(
         let (table, next) = build_table(exec, &lrows, &left_exprs, &null_safe, &outer)?;
         let kb = KeyBuilder::new(&right_exprs, &null_safe);
         let mut out = Vec::with_capacity(rrows.len());
-        for r in &rrows {
+        for (pi, r) in rrows.iter().enumerate() {
+            // Masked cancellation check per 4096 probe rows.
+            if pi % 4096 == 0 {
+                exec.check_cancelled()?;
+            }
             let Some(key) = kb.key(exec, r, &outer)? else {
                 continue;
             };
@@ -312,6 +325,8 @@ fn hash_join(
                 continue;
             };
             let mut li = head;
+            // no-cancel: chain walk; emission calls check_row_budget and
+            // the probe loop above checks per row batch.
             while li != NIL {
                 let l = &lrows[li];
                 // Advance before the body: a residual miss `continue`s.
@@ -341,12 +356,18 @@ fn hash_join(
     let is_full = matches!(kind, JoinType::Full);
     let mut right_matched = vec![false; if is_full { rrows.len() } else { 0 }];
     let mut out = Vec::with_capacity(lrows.len());
-    for l in &lrows {
+    for (pi, l) in lrows.iter().enumerate() {
+        // Masked cancellation check per 4096 probe rows.
+        if pi % 4096 == 0 {
+            exec.check_cancelled()?;
+        }
         let key = kb.key(exec, l, &outer)?;
         let mut matched = false;
         if let Some(key) = key {
             if let Some(&(head, _)) = table.get(&key) {
                 let mut ri = head;
+                // no-cancel: chain walk; emission calls check_row_budget
+                // and the probe loop above checks per row batch.
                 while ri != NIL {
                     let cur = ri;
                     // Advance before the body: a residual miss `continue`s.
@@ -389,6 +410,10 @@ fn hash_join(
     if matches!(kind, JoinType::Full) {
         let left_nulls = Tuple::nulls(nl);
         for (i, r) in rrows.iter().enumerate() {
+            // Masked cancellation check per 4096 epilogue rows.
+            if i % 4096 == 0 {
+                exec.check_cancelled()?;
+            }
             if !right_matched[i] {
                 out.push(emit_row(&left_nulls, r, nl, None, out_slots));
             }
@@ -468,6 +493,10 @@ fn hash_join_spill(
     // build row is never emitted: drop them here.
     let mut bfiles = SpillPartitions::create(parts)?;
     for (i, row) in build_rows.iter().enumerate() {
+        // Masked cancellation check per 4096 scattered rows.
+        if i % 4096 == 0 {
+            exec.check_cancelled()?;
+        }
         let env = Env::new(row, &outer);
         if let Some(key) = build_key(exec, build_exprs, &null_safe, &env)? {
             bfiles.push(key_partition(&key, parts), i as u64, row)?;
@@ -482,6 +511,10 @@ fn hash_join_spill(
     let mut pfiles = SpillPartitions::create(parts)?;
     let mut best_err: Option<(u64, PermError)> = None;
     for (j, row) in probe_rows.iter().enumerate() {
+        // Masked cancellation check per 4096 scattered rows.
+        if j % 4096 == 0 {
+            exec.check_cancelled()?;
+        }
         let env = Env::new(row, &outer);
         match build_key(exec, probe_exprs, &null_safe, &env) {
             Ok(Some(key)) => pfiles.push(key_partition(&key, parts), j as u64, row)?,
@@ -502,13 +535,20 @@ fn hash_join_spill(
         .into_iter()
         .zip(pfiles.into_readers()?)
     {
+        // Partition boundary: cancellation point (temp files are cleaned
+        // by the readers' Drop even on the early-return path).
+        exec.check_cancelled()?;
         // Rebuild this partition's chained hash table; records read back
         // in build order, so per-key chains match the in-memory table's.
         // The partition's rows are this path's working memory: charged
         // to the per-query cap only, released when the partition ends.
         let mut charged = 0usize;
         let mut part_build: Vec<Tuple> = Vec::with_capacity(breader.remaining());
-        for rec in breader {
+        for (bi, rec) in breader.enumerate() {
+            // Masked cancellation check per 4096 reloaded rows.
+            if bi % 4096 == 0 {
+                exec.check_cancelled()?;
+            }
             let (_, row) = rec?;
             let bytes = row.size_bytes();
             res.grow_unpooled(bytes)?;
@@ -518,7 +558,11 @@ fn hash_join_spill(
         // Re-evaluation of (deterministic) keys that already succeeded
         // during the scatter.
         let (table, next) = build_table(exec, &part_build, build_exprs, &null_safe, &outer)?;
-        'probe: for rec in preader {
+        'probe: for (qi, rec) in preader.enumerate() {
+            // Masked cancellation check per 4096 probe records.
+            if qi % 4096 == 0 {
+                exec.check_cancelled()?;
+            }
             let (j, p) = rec?;
             if matches!(&best_err, Some((bj, _)) if *bj <= j) {
                 break 'probe;
@@ -529,6 +573,9 @@ fn hash_join_spill(
             if let Some(key) = key {
                 if let Some(&(head, _)) = table.get(&key) {
                     let mut bi = head;
+                    // no-cancel: chain walk; emission calls
+                    // check_row_budget and the probe loop checks per
+                    // record batch.
                     while bi != NIL {
                         let cur = bi;
                         // Advance before the body: residual misses skip.
@@ -643,7 +690,11 @@ fn index_nl_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
     let mut linear: Vec<usize> = Vec::new();
 
     let mut out = Vec::new();
-    for l in &lrows {
+    for (pi, l) in lrows.iter().enumerate() {
+        // Masked cancellation check per 4096 outer rows.
+        if pi % 4096 == 0 {
+            exec.check_cancelled()?;
+        }
         let lenv = Env::new(l, &outer);
         let key_val = key_expr.eval(exec, &lenv)?;
         let mut matched = false;
@@ -652,6 +703,8 @@ fn index_nl_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
                 Some(idx) => idx.lookup(&key_val),
                 None => {
                     linear.clear();
+                    // no-cancel: index-vanished fallback scan; the outer
+                    // loop checks per row batch.
                     for (i, row) in t.rows().iter().enumerate() {
                         if !row.get(*column).is_null() && row.get(*column) == &key_val {
                             linear.push(i);
@@ -660,6 +713,8 @@ fn index_nl_join(exec: &Executor, plan: &PhysicalPlan) -> Result<Vec<Tuple>> {
                     &linear
                 }
             };
+            // no-cancel: candidate walk; emission calls check_row_budget
+            // and the outer loop checks per row batch.
             for &ri in candidates {
                 let base = &t.rows()[ri];
                 if let Some(f) = &inner_filter {
@@ -786,8 +841,10 @@ fn hash_join_parallel(
     // the full result materialized.
     let emitted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
 
-    let parts = map_morsels(dop, total, move |range| {
-        let sub = Executor::new(Arc::clone(&catalog));
+    let ctx = exec.context().clone();
+    let sub_ctx = ctx.clone();
+    let parts = map_morsels(&ctx, dop, total, move |range| {
+        let sub = Executor::new(Arc::clone(&catalog)).with_context(sub_ctx.clone());
         let done_elsewhere = emitted.load(std::sync::atomic::Ordering::Relaxed);
         let probe_c: Vec<CompiledExpr> = probe_keys
             .iter()
@@ -801,12 +858,16 @@ fn hash_join_parallel(
         let right_nulls = Tuple::nulls(nr);
         let kb = KeyBuilder::new(&probe_c, &null_safe);
         let mut out = Vec::new();
+        // no-cancel: morsel body (≤ MORSEL_ROWS rows); map_morsels checks
+        // per claim.
         for p in &probe_rows[range] {
             let key = kb.key(&sub, p, &outer)?;
             let mut matched = false;
             if let Some(key) = key {
                 if let Some(&(head, _)) = table.get(&key) {
                     let mut bi = head;
+                    // no-cancel: chain walk; emission calls
+                    // check_row_budget, claims check per morsel.
                     while bi != NIL {
                         let cur = bi;
                         // Advance before the body: residual misses skip.
@@ -885,8 +946,10 @@ fn index_nl_join_parallel(
     // Shared budget counter, same scheme as hash_join_parallel.
     let emitted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
 
-    let parts = map_morsels(dop, total, move |range| {
-        let sub = Executor::new(Arc::clone(&catalog));
+    let ctx = exec.context().clone();
+    let sub_ctx = ctx.clone();
+    let parts = map_morsels(&ctx, dop, total, move |range| {
+        let sub = Executor::new(Arc::clone(&catalog)).with_context(sub_ctx.clone());
         let done_elsewhere = emitted.load(std::sync::atomic::Ordering::Relaxed);
         let t = sub.catalog().table(&table)?;
         let index = t.index_on(column);
@@ -899,6 +962,8 @@ fn index_nl_join_parallel(
         let out_slots = out_slots.as_deref();
         let mut linear: Vec<usize> = Vec::new();
         let mut out = Vec::new();
+        // no-cancel: morsel body (≤ MORSEL_ROWS rows); map_morsels checks
+        // per claim.
         for l in &lrows[range] {
             let lenv = Env::new(l, &outer);
             let key_val = key_expr.eval(&sub, &lenv)?;
@@ -908,6 +973,8 @@ fn index_nl_join_parallel(
                     Some(idx) => idx.lookup(&key_val),
                     None => {
                         linear.clear();
+                        // no-cancel: index-vanished fallback scan; claims
+                        // check per morsel.
                         for (i, row) in t.rows().iter().enumerate() {
                             if !row.get(column).is_null() && row.get(column) == &key_val {
                                 linear.push(i);
@@ -916,6 +983,8 @@ fn index_nl_join_parallel(
                         &linear
                     }
                 };
+                // no-cancel: candidate walk; emission calls
+                // check_row_budget, claims check per morsel.
                 for &ri in candidates {
                     let base = &t.rows()[ri];
                     if let Some(f) = &inner_filter_c {
@@ -981,9 +1050,20 @@ fn nested_loop(
     let right_nulls = Tuple::nulls(nr);
     let mut right_matched = vec![false; rrows.len()];
     let mut out = Vec::new();
+    let mut pairs = 0usize;
     for l in &lrows {
+        // Masked cancellation check per 4096 evaluated pairs (the inner
+        // loop advances the same counter, so the quadratic worst case
+        // still observes cancellation promptly).
+        if pairs.is_multiple_of(4096) {
+            exec.check_cancelled()?;
+        }
         let mut matched = false;
         for (ri, r) in rrows.iter().enumerate() {
+            if pairs.is_multiple_of(4096) {
+                exec.check_cancelled()?;
+            }
+            pairs += 1;
             let mut combined = None;
             let ok = match &condition {
                 None => true,
@@ -1021,6 +1101,10 @@ fn nested_loop(
     if matches!(kind, JoinType::Full) {
         let left_nulls = Tuple::nulls(nl);
         for (i, r) in rrows.iter().enumerate() {
+            // Masked cancellation check per 4096 epilogue rows.
+            if i % 4096 == 0 {
+                exec.check_cancelled()?;
+            }
             if !right_matched[i] {
                 out.push(emit_row(&left_nulls, r, nl, None, out_slots));
             }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use perm_storage::SpillPartitions;
 use perm_types::hash::{set_with_capacity, FxHashMap, FxHashSet};
-use perm_types::{Result, Tuple};
+use perm_types::{QueryContext, Result, Tuple};
 
 use perm_algebra::plan::SetOpType;
 
@@ -45,10 +45,10 @@ pub fn run_setop(
         let Some(parts) = spill else {
             return Err(denied.into_error());
         };
-        return setop_spill(l, r, op, all, parts, &reservation);
+        return setop_spill(exec.context(), l, r, op, all, parts, &reservation);
     }
     if dop > 1 {
-        return setop_parallel(l, r, op, all, dop);
+        return setop_parallel(exec.context(), l, r, op, all, dop);
     }
     Ok(match (op, all) {
         (SetOpType::Union, true) => unreachable!("append handled above"),
@@ -57,7 +57,11 @@ pub fn run_setop(
             // one hash plus a refcount-bump clone beats a double probe.
             let mut seen = set_with_capacity(l.len() + r.len());
             let mut out = Vec::new();
-            for t in l.into_iter().chain(r) {
+            for (i, t) in l.into_iter().chain(r).enumerate() {
+                // Masked cancellation check per 4096 rows.
+                if i % 4096 == 0 {
+                    exec.check_cancelled()?;
+                }
                 if seen.insert(t.clone()) {
                     out.push(t);
                 }
@@ -74,11 +78,19 @@ pub fn run_setop(
         (SetOpType::Intersect, true) => {
             // Bag intersection: each tuple appears min(countL, countR) times.
             let mut rcount: FxHashMap<Tuple, usize> = FxHashMap::default();
-            for t in r {
+            for (i, t) in r.into_iter().enumerate() {
+                // Masked cancellation check per 4096 rows.
+                if i % 4096 == 0 {
+                    exec.check_cancelled()?;
+                }
                 *rcount.entry(t).or_insert(0) += 1;
             }
             let mut out = Vec::new();
-            for t in l {
+            for (i, t) in l.into_iter().enumerate() {
+                // Masked cancellation check per 4096 rows.
+                if i % 4096 == 0 {
+                    exec.check_cancelled()?;
+                }
                 if let Some(c) = rcount.get_mut(&t) {
                     if *c > 0 {
                         *c -= 1;
@@ -98,11 +110,19 @@ pub fn run_setop(
         (SetOpType::Except, true) => {
             // Bag difference: countL - countR occurrences survive.
             let mut rcount: FxHashMap<Tuple, usize> = FxHashMap::default();
-            for t in r {
+            for (i, t) in r.into_iter().enumerate() {
+                // Masked cancellation check per 4096 rows.
+                if i % 4096 == 0 {
+                    exec.check_cancelled()?;
+                }
                 *rcount.entry(t).or_insert(0) += 1;
             }
             let mut out = Vec::new();
-            for t in l {
+            for (i, t) in l.into_iter().enumerate() {
+                // Masked cancellation check per 4096 rows.
+                if i % 4096 == 0 {
+                    exec.check_cancelled()?;
+                }
                 match rcount.get_mut(&t) {
                     Some(c) if *c > 0 => *c -= 1,
                     _ => out.push(t),
@@ -118,6 +138,7 @@ pub fn run_setop(
 /// independently over rows tagged with their global position (`l` before
 /// `r`); the final index sort restores exactly the serial output order.
 fn setop_parallel(
+    ctx: &QueryContext,
     l: Vec<Tuple>,
     r: Vec<Tuple>,
     op: SetOpType,
@@ -125,13 +146,14 @@ fn setop_parallel(
     dop: usize,
 ) -> Result<Vec<Tuple>> {
     let roffset = l.len();
-    let lparts = Arc::new(partition_tagged(l, 0, dop)?);
-    let rparts = Arc::new(partition_tagged(r, roffset, dop)?);
+    let lparts = Arc::new(partition_tagged(ctx, l, 0, dop)?);
+    let rparts = Arc::new(partition_tagged(ctx, r, roffset, dop)?);
 
     let kept = {
         let lparts = Arc::clone(&lparts);
         let rparts = Arc::clone(&rparts);
-        run_workers(dop, move |p| {
+        let ctx = ctx.clone();
+        run_workers(dop, move |p| -> Result<Vec<(usize, Tuple)>> {
             let lp = &lparts[p];
             let rp = &rparts[p];
             let mut out: Vec<(usize, Tuple)> = Vec::new();
@@ -139,7 +161,11 @@ fn setop_parallel(
                 (SetOpType::Union, true) => unreachable!("append is not partitioned"),
                 (SetOpType::Union, false) => {
                     let mut seen = set_with_capacity(lp.len() + rp.len());
-                    for (i, t) in lp.iter().chain(rp) {
+                    for (k, (i, t)) in lp.iter().chain(rp).enumerate() {
+                        // Masked cancellation check per 4096 rows.
+                        if k % 4096 == 0 {
+                            ctx.check()?;
+                        }
                         if seen.insert(t.clone()) {
                             out.push((*i, t.clone()));
                         }
@@ -148,7 +174,11 @@ fn setop_parallel(
                 (SetOpType::Intersect, false) => {
                     let rset: FxHashSet<&Tuple> = rp.iter().map(|(_, t)| t).collect();
                     let mut seen = FxHashSet::default();
-                    for (i, t) in lp {
+                    for (k, (i, t)) in lp.iter().enumerate() {
+                        // Masked cancellation check per 4096 rows.
+                        if k % 4096 == 0 {
+                            ctx.check()?;
+                        }
                         if rset.contains(t) && seen.insert(t.clone()) {
                             out.push((*i, t.clone()));
                         }
@@ -156,10 +186,18 @@ fn setop_parallel(
                 }
                 (SetOpType::Intersect, true) => {
                     let mut rcount: FxHashMap<&Tuple, usize> = FxHashMap::default();
-                    for (_, t) in rp {
+                    for (k, (_, t)) in rp.iter().enumerate() {
+                        // Masked cancellation check per 4096 rows.
+                        if k % 4096 == 0 {
+                            ctx.check()?;
+                        }
                         *rcount.entry(t).or_insert(0) += 1;
                     }
-                    for (i, t) in lp {
+                    for (k, (i, t)) in lp.iter().enumerate() {
+                        // Masked cancellation check per 4096 rows.
+                        if k % 4096 == 0 {
+                            ctx.check()?;
+                        }
                         if let Some(c) = rcount.get_mut(t) {
                             if *c > 0 {
                                 *c -= 1;
@@ -171,7 +209,11 @@ fn setop_parallel(
                 (SetOpType::Except, false) => {
                     let rset: FxHashSet<&Tuple> = rp.iter().map(|(_, t)| t).collect();
                     let mut seen = FxHashSet::default();
-                    for (i, t) in lp {
+                    for (k, (i, t)) in lp.iter().enumerate() {
+                        // Masked cancellation check per 4096 rows.
+                        if k % 4096 == 0 {
+                            ctx.check()?;
+                        }
                         if !rset.contains(t) && seen.insert(t.clone()) {
                             out.push((*i, t.clone()));
                         }
@@ -179,10 +221,18 @@ fn setop_parallel(
                 }
                 (SetOpType::Except, true) => {
                     let mut rcount: FxHashMap<&Tuple, usize> = FxHashMap::default();
-                    for (_, t) in rp {
+                    for (k, (_, t)) in rp.iter().enumerate() {
+                        // Masked cancellation check per 4096 rows.
+                        if k % 4096 == 0 {
+                            ctx.check()?;
+                        }
                         *rcount.entry(t).or_insert(0) += 1;
                     }
-                    for (i, t) in lp {
+                    for (k, (i, t)) in lp.iter().enumerate() {
+                        // Masked cancellation check per 4096 rows.
+                        if k % 4096 == 0 {
+                            ctx.check()?;
+                        }
                         match rcount.get_mut(t) {
                             Some(c) if *c > 0 => *c -= 1,
                             _ => out.push((*i, t.clone())),
@@ -190,10 +240,14 @@ fn setop_parallel(
                     }
                 }
             }
-            out
-        })
+            Ok(out)
+        })?
     };
-    let mut all_rows: Vec<(usize, Tuple)> = kept.into_iter().flatten().collect();
+    let mut all_rows: Vec<(usize, Tuple)> = Vec::new();
+    // no-cancel: reassembly of already-computed partition outputs.
+    for part in kept {
+        all_rows.extend(part?);
+    }
     all_rows.sort_unstable_by_key(|(i, _)| *i);
     Ok(all_rows.into_iter().map(|(_, t)| t).collect())
 }
@@ -202,21 +256,29 @@ fn setop_parallel(
 /// row with `offset +` its input position. Buckets come back sorted by
 /// tag (chunks are contiguous and merge in chunk order).
 fn partition_tagged(
+    ctx: &QueryContext,
     rows: Vec<Tuple>,
     offset: usize,
     parts: usize,
 ) -> Result<Vec<Vec<(usize, Tuple)>>> {
     let total = rows.len();
     let rows = Arc::new(rows);
-    let chunked = map_chunks(parts, total, move |range| {
+    let worker_ctx = ctx.clone();
+    let chunked = map_chunks(ctx, parts, total, move |range| {
         let mut buckets: Vec<Vec<(usize, Tuple)>> = vec![Vec::new(); parts];
         for (i, t) in rows[range.clone()].iter().enumerate() {
+            // Masked cancellation check per 4096 scattered rows.
+            if i % 4096 == 0 {
+                worker_ctx.check()?;
+            }
             buckets[partition_of(t, parts)].push((offset + range.start + i, t.clone()));
         }
         Ok(buckets)
     })?;
     let mut out: Vec<Vec<(usize, Tuple)>> = vec![Vec::new(); parts];
+    // no-cancel: reassembly of already-computed buckets.
     for chunk in chunked {
+        // no-cancel: bounded by the partition count.
         for (p, items) in chunk.into_iter().enumerate() {
             out[p].extend(items);
         }
@@ -230,6 +292,7 @@ fn partition_tagged(
 /// to the per-query cap only) and runs the serial set/bag logic, and the
 /// final tag sort restores the serial output order exactly.
 fn setop_spill(
+    ctx: &QueryContext,
     l: Vec<Tuple>,
     r: Vec<Tuple>,
     op: SetOpType,
@@ -244,11 +307,19 @@ fn setop_spill(
     let roffset = l.len() as u64;
     let mut lfiles = SpillPartitions::create(parts)?;
     for (i, t) in l.iter().enumerate() {
+        // Masked cancellation check per 4096 scattered rows.
+        if i % 4096 == 0 {
+            ctx.check()?;
+        }
         lfiles.push(partition_of(t, parts), i as u64, t)?;
     }
     drop(l);
     let mut rfiles = SpillPartitions::create(parts)?;
     for (i, t) in r.iter().enumerate() {
+        // Masked cancellation check per 4096 scattered rows.
+        if i % 4096 == 0 {
+            ctx.check()?;
+        }
         rfiles.push(partition_of(t, parts), roffset + i as u64, t)?;
     }
     drop(r);
@@ -259,9 +330,16 @@ fn setop_spill(
         .into_iter()
         .zip(rfiles.into_readers()?)
     {
+        // Partition boundary: cancellation point (temp files are cleaned
+        // by the readers' Drop even on the early-return path).
+        ctx.check()?;
         let mut charged = 0usize;
         let mut lp: Vec<(u64, Tuple)> = Vec::with_capacity(lreader.remaining());
-        for rec in lreader {
+        for (k, rec) in lreader.enumerate() {
+            // Masked cancellation check per 4096 reloaded rows.
+            if k % 4096 == 0 {
+                ctx.check()?;
+            }
             let (tag, row) = rec?;
             let bytes = row.size_bytes();
             res.grow_unpooled(bytes)?;
@@ -269,7 +347,11 @@ fn setop_spill(
             lp.push((tag, row));
         }
         let mut rp: Vec<(u64, Tuple)> = Vec::with_capacity(rreader.remaining());
-        for rec in rreader {
+        for (k, rec) in rreader.enumerate() {
+            // Masked cancellation check per 4096 reloaded rows.
+            if k % 4096 == 0 {
+                ctx.check()?;
+            }
             let (tag, row) = rec?;
             let bytes = row.size_bytes();
             res.grow_unpooled(bytes)?;
@@ -280,7 +362,11 @@ fn setop_spill(
             (SetOpType::Union, true) => unreachable!("append is not partitioned"),
             (SetOpType::Union, false) => {
                 let mut seen = set_with_capacity(lp.len() + rp.len());
-                for (i, t) in lp.iter().chain(&rp) {
+                for (k, (i, t)) in lp.iter().chain(&rp).enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if k % 4096 == 0 {
+                        ctx.check()?;
+                    }
                     if seen.insert(t.clone()) {
                         all_rows.push((*i, t.clone()));
                     }
@@ -289,7 +375,11 @@ fn setop_spill(
             (SetOpType::Intersect, false) => {
                 let rset: FxHashSet<&Tuple> = rp.iter().map(|(_, t)| t).collect();
                 let mut seen = FxHashSet::default();
-                for (i, t) in &lp {
+                for (k, (i, t)) in lp.iter().enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if k % 4096 == 0 {
+                        ctx.check()?;
+                    }
                     if rset.contains(t) && seen.insert(t.clone()) {
                         all_rows.push((*i, t.clone()));
                     }
@@ -297,10 +387,18 @@ fn setop_spill(
             }
             (SetOpType::Intersect, true) => {
                 let mut rcount: FxHashMap<&Tuple, usize> = FxHashMap::default();
-                for (_, t) in &rp {
+                for (k, (_, t)) in rp.iter().enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if k % 4096 == 0 {
+                        ctx.check()?;
+                    }
                     *rcount.entry(t).or_insert(0) += 1;
                 }
-                for (i, t) in &lp {
+                for (k, (i, t)) in lp.iter().enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if k % 4096 == 0 {
+                        ctx.check()?;
+                    }
                     if let Some(c) = rcount.get_mut(t) {
                         if *c > 0 {
                             *c -= 1;
@@ -312,7 +410,11 @@ fn setop_spill(
             (SetOpType::Except, false) => {
                 let rset: FxHashSet<&Tuple> = rp.iter().map(|(_, t)| t).collect();
                 let mut seen = FxHashSet::default();
-                for (i, t) in &lp {
+                for (k, (i, t)) in lp.iter().enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if k % 4096 == 0 {
+                        ctx.check()?;
+                    }
                     if !rset.contains(t) && seen.insert(t.clone()) {
                         all_rows.push((*i, t.clone()));
                     }
@@ -320,10 +422,18 @@ fn setop_spill(
             }
             (SetOpType::Except, true) => {
                 let mut rcount: FxHashMap<&Tuple, usize> = FxHashMap::default();
-                for (_, t) in &rp {
+                for (k, (_, t)) in rp.iter().enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if k % 4096 == 0 {
+                        ctx.check()?;
+                    }
                     *rcount.entry(t).or_insert(0) += 1;
                 }
-                for (i, t) in &lp {
+                for (k, (i, t)) in lp.iter().enumerate() {
+                    // Masked cancellation check per 4096 rows.
+                    if k % 4096 == 0 {
+                        ctx.check()?;
+                    }
                     match rcount.get_mut(t) {
                         Some(c) if *c > 0 => *c -= 1,
                         _ => all_rows.push((*i, t.clone())),

@@ -29,8 +29,11 @@
 
 use perm_algebra::plan::SortKey;
 use perm_storage::{SpillPartitions, SpillReader, SpillWriter};
+// End-of-test assertion helper: no spill temp file from this process
+// left on disk (cancellation and panic paths included).
+pub use perm_storage::spill_dir_is_clean;
 use perm_types::hash::set_with_capacity;
-use perm_types::{Result, Tuple, Value};
+use perm_types::{QueryContext, Result, Tuple, Value};
 
 use crate::compile::CompiledExpr;
 use crate::eval::Env;
@@ -59,11 +62,19 @@ pub(crate) fn sort_spill(
 
     let mut writers: Vec<SpillWriter> = Vec::new();
     for range in chunk_ranges(rows.len(), parts) {
+        // Run boundary: cancellation point (written runs are temp files
+        // cleaned by Drop even on the early-return path).
+        exec.check_cancelled()?;
         let mut charged = 0usize;
         let mut keyed: Vec<(Vec<Value>, &Tuple)> = Vec::with_capacity(range.len());
-        for t in &rows[range] {
+        for (ri, t) in rows[range].iter().enumerate() {
+            // Masked cancellation check per 4096 keyed rows.
+            if ri % 4096 == 0 {
+                exec.check_cancelled()?;
+            }
             let env = Env::new(t, &outer);
             let mut ks = Vec::with_capacity(kn);
+            // no-cancel: bounded by the sort-key count.
             for c in &compiled {
                 ks.push(c.eval(exec, &env)?);
             }
@@ -74,7 +85,11 @@ pub(crate) fn sort_spill(
         }
         keyed.sort_by(|(a, _), (b, _)| cmp_keys(a, b, keys));
         let mut w = SpillWriter::create()?;
-        for (ks, t) in keyed {
+        for (wi, (ks, t)) in keyed.into_iter().enumerate() {
+            // Masked cancellation check per 4096 written rows.
+            if wi % 4096 == 0 {
+                exec.check_cancelled()?;
+            }
             // Composite record: the computed keys, then the row — split
             // back apart at read time.
             let composite: Tuple = ks.into_iter().chain(t.iter().cloned()).collect();
@@ -96,6 +111,7 @@ pub(crate) fn sort_spill(
     };
     let mut heads: Vec<Option<(Vec<Value>, Tuple)>> = Vec::with_capacity(readers.len());
     let mut total = 0usize;
+    // no-cancel: head priming, bounded by the run count.
     for r in &mut readers {
         total += r.remaining() + usize::from(r.remaining() > 0);
         heads.push(match r.next() {
@@ -105,7 +121,12 @@ pub(crate) fn sort_spill(
     }
     let mut out = Vec::with_capacity(total);
     loop {
+        // Masked cancellation check per 4096 merged rows.
+        if out.len() % 4096 == 0 {
+            exec.check_cancelled()?;
+        }
         let mut best: Option<usize> = None;
+        // no-cancel: head scan, bounded by the run count.
         for i in 0..heads.len() {
             let Some((hk, _)) = &heads[i] else { continue };
             best = match best {
@@ -139,21 +160,33 @@ pub(crate) fn sort_spill(
 /// occurrences (in tag order), and the final sort by tag restores the
 /// serial first-occurrence output exactly.
 pub(crate) fn distinct_spill(
+    ctx: &QueryContext,
     rows: Vec<Tuple>,
     parts: usize,
     res: &MemoryReservation,
 ) -> Result<Vec<Tuple>> {
     let mut files = SpillPartitions::create(parts)?;
     for (i, t) in rows.iter().enumerate() {
+        // Masked cancellation check per 4096 scattered rows.
+        if i % 4096 == 0 {
+            ctx.check()?;
+        }
         files.push(partition_of(t, parts), i as u64, t)?;
     }
     drop(rows);
 
     let mut kept: Vec<(u64, Tuple)> = Vec::new();
     for reader in files.into_readers()? {
+        // Partition boundary: cancellation point (temp files are cleaned
+        // by the readers' Drop even on the early-return path).
+        ctx.check()?;
         let mut charged = 0usize;
         let mut seen = set_with_capacity(reader.remaining());
-        for rec in reader {
+        for (k, rec) in reader.enumerate() {
+            // Masked cancellation check per 4096 reloaded rows.
+            if k % 4096 == 0 {
+                ctx.check()?;
+            }
             let (tag, row) = rec?;
             if !seen.contains(&row) {
                 let bytes = row.size_bytes();
@@ -211,7 +244,7 @@ mod tests {
     fn spilled_distinct_keeps_first_occurrence_order() {
         let (_q, r) = res();
         let input = rows(&[4, 1, 4, 2, 1, 3, 2, 4]);
-        let got = distinct_spill(input, 3, &r).unwrap();
+        let got = distinct_spill(&QueryContext::detached(), input, 3, &r).unwrap();
         assert_eq!(got, rows(&[4, 1, 2, 3]));
         assert_eq!(r.size(), 0);
     }
@@ -223,6 +256,27 @@ mod tests {
         assert!(sort_spill(&exec, Vec::new(), &[], 4, &r)
             .unwrap()
             .is_empty());
-        assert!(distinct_spill(Vec::new(), 4, &r).unwrap().is_empty());
+        assert!(distinct_spill(&QueryContext::detached(), Vec::new(), 4, &r)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn cancelled_spill_sort_cleans_its_temp_files() {
+        let exec_dir_empty = crate::operators::spill::spill_dir_is_clean;
+        let ctx = QueryContext::new(11, None, None);
+        ctx.handle().cancel();
+        let catalog = Arc::new(Catalog::new());
+        let exec = Executor::new(catalog).with_context(ctx);
+        let (_q, r) = res();
+        let input = rows(&[5, 3, 8, 3, 1, 9, 3, 7, 2, 5, 0, 6]);
+        let keys = vec![SortKey {
+            expr: perm_algebra::expr::ScalarExpr::Column(1),
+            desc: false,
+        }];
+        let err = sort_spill(&exec, input, &keys, 4, &r).unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        assert_eq!(r.size(), 0, "working memory released on cancellation");
+        assert!(exec_dir_empty(), "cancelled sort left spill temp files");
     }
 }

@@ -30,15 +30,25 @@
 //! execution would have raised first, because morsels are claimed in
 //! increasing order and every morsel before the failed one completed
 //! without error.
+//!
+//! # Lifecycle contract
+//!
+//! Every morsel claim is a cooperative cancellation point
+//! ([`QueryContext::check`]), so a cancelled statement stops within a
+//! bounded number of morsels per worker. Worker panics are **contained**:
+//! `run_workers` converts a panicking worker into a typed
+//! `PermError::Execution` for the submitting query only — the pool
+//! threads stay alive (each job runs under `catch_unwind`) and sibling
+//! queries never observe the panic.
 
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use perm_types::hash::FxHasher;
-use perm_types::{Result, Tuple};
+use perm_types::{PermError, QueryContext, Result, Tuple};
 
 /// Rows per morsel. Small enough that `LIMIT` over an exchange stops
 /// early and the morsel queue load-balances skewed filters; large enough
@@ -108,6 +118,8 @@ impl<T> Channel<T> {
     /// `Err(value)` if the channel was closed (the receiver went away).
     pub fn send(&self, value: T) -> std::result::Result<(), T> {
         let mut st = self.state.lock().expect("channel lock");
+        // no-cancel: condvar wait loop; a cancelled consumer closes the
+        // channel, which wakes and releases every blocked sender.
         loop {
             if st.closed {
                 return Err(value);
@@ -125,6 +137,8 @@ impl<T> Channel<T> {
     /// Returns `None` once the channel is closed *and* drained.
     pub fn recv(&self) -> Option<T> {
         let mut st = self.state.lock().expect("channel lock");
+        // no-cancel: condvar wait loop; producers observe cancellation at
+        // their morsel claims and close/drain the channel promptly.
         loop {
             if let Some(v) = st.queue.pop_front() {
                 self.not_full.notify_one();
@@ -167,15 +181,18 @@ impl WorkerPool {
         POOL.get_or_init(|| {
             let size = pool_parallelism();
             let jobs: Arc<Channel<Job>> = Arc::new(Channel::unbounded());
+            // no-cancel: pool construction, bounded by the pool size.
             for i in 0..size {
                 let jobs = Arc::clone(&jobs);
                 std::thread::Builder::new()
                     .name(format!("perm-exec-{i}"))
                     .spawn(move || {
+                        // no-cancel: the pool outlives every query; jobs
+                        // observe cancellation via their own contexts.
                         while let Some(job) = jobs.recv() {
                             // Keep the pool alive whatever a job does;
-                            // run_workers re-raises the panic on the
-                            // submitting thread.
+                            // run_workers reports the panic as a typed
+                            // error to the submitting thread.
                             let _ = catch_unwind(AssertUnwindSafe(job));
                         }
                     })
@@ -190,44 +207,80 @@ impl WorkerPool {
     }
 }
 
+/// Convert a worker's panic payload into a typed, *contained* error:
+/// the query that submitted the work fails with an `Execution` error
+/// naming the panic; the pool threads and every sibling query are
+/// unaffected.
+pub(crate) fn panic_error(payload: Box<dyn std::any::Any + Send>) -> PermError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    PermError::Execution(format!("worker panicked (contained): {msg}"))
+}
+
 /// Run `task(0..dop)` on the pool and return the per-worker results in
-/// worker order. Blocks until every worker finished; a panicking worker's
-/// payload is re-raised here after the others completed.
-pub(crate) fn run_workers<T, F>(dop: usize, task: F) -> Vec<T>
+/// worker order. Blocks until every worker finished. A panicking worker
+/// is contained: after the other workers complete, the panic surfaces as
+/// a typed `Execution` error — never as an unwind into the caller.
+pub(crate) fn run_workers<T, F>(dop: usize, task: F) -> Result<Vec<T>>
 where
     T: Send + 'static,
     F: Fn(usize) -> T + Send + Sync + 'static,
 {
     debug_assert!(dop >= 1);
     if dop == 1 {
-        return vec![task(0)];
+        return match catch_unwind(AssertUnwindSafe(|| task(0))) {
+            Ok(v) => Ok(vec![v]),
+            Err(p) => Err(panic_error(p)),
+        };
     }
     let task = Arc::new(task);
     let results: Arc<Channel<(usize, std::thread::Result<T>)>> = Arc::new(Channel::unbounded());
     let pool = WorkerPool::global();
+    // no-cancel: job submission, bounded by dop.
     for w in 0..dop {
         let task = Arc::clone(&task);
         let results = Arc::clone(&results);
         pool.submit(Box::new(move || {
-            let r = catch_unwind(AssertUnwindSafe(|| task(w)));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                // Chaos site: a `panic` action exercises containment, a
+                // `stall` a slow worker. (Error actions surface through
+                // `exec.morsel.claim`, which returns `Result`.)
+                if let Err(e) = perm_fault::exec_point("exec.worker.start", "pool worker") {
+                    panic!("{e}");
+                }
+                task(w)
+            }));
             let _ = results.send((w, r));
         }));
     }
     let mut out: Vec<Option<T>> = (0..dop).map(|_| None).collect();
-    let mut panic_payload = None;
+    let mut first_panic: Option<PermError> = None;
+    // no-cancel: result collection, bounded by dop; each worker observes
+    // cancellation through the query context inside its task.
     for _ in 0..dop {
         let (w, r) = results.recv().expect("worker results channel open");
         match r {
             Ok(v) => out[w] = Some(v),
-            Err(p) => panic_payload = Some(p),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(panic_error(p));
+                }
+            }
         }
     }
-    if let Some(p) = panic_payload {
-        resume_unwind(p);
+    if let Some(e) = first_panic {
+        return Err(e);
     }
-    out.into_iter()
-        .map(|o| o.expect("every worker reported"))
-        .collect()
+    Ok(out
+        .into_iter()
+        .map(|o| {
+            // INVARIANT: no panic occurred, so every worker sent Ok.
+            o.expect("every worker reported")
+        })
+        .collect())
 }
 
 // ----------------------------------------------------------------------
@@ -281,7 +334,14 @@ impl MorselQueue {
 /// Run `f` over every [`MORSEL_ROWS`]-sized morsel of `0..total` on `dop`
 /// workers and return the per-morsel results in morsel order. The first
 /// error in morsel order is returned, matching serial row order exactly.
-pub(crate) fn map_morsels<R, F>(dop: usize, total: usize, f: F) -> Result<Vec<R>>
+/// Every claim is a cooperative cancellation point: a cancelled `ctx`
+/// stops each worker before its next morsel.
+pub(crate) fn map_morsels<R, F>(
+    ctx: &QueryContext,
+    dop: usize,
+    total: usize,
+    f: F,
+) -> Result<Vec<R>>
 where
     R: Send + 'static,
     F: Fn(Range<usize>) -> Result<R> + Send + Sync + 'static,
@@ -289,10 +349,15 @@ where
     let queue = Arc::new(MorselQueue::new(total, MORSEL_ROWS));
     let worker_out = {
         let queue = Arc::clone(&queue);
+        let ctx = ctx.clone();
         run_workers(dop, move |_w| {
             let mut acc: Vec<(usize, Result<R>)> = Vec::new();
             while let Some((idx, range)) = queue.claim() {
-                let r = f(range);
+                // Cancellation check + chaos site, once per claim.
+                let r = ctx
+                    .check()
+                    .and_then(|()| perm_fault::exec_point("exec.morsel.claim", "morsel worker"))
+                    .and_then(|()| f(range));
                 let failed = r.is_err();
                 acc.push((idx, r));
                 if failed {
@@ -302,10 +367,11 @@ where
             }
             acc
         })
-    };
+    }?;
     let mut all: Vec<(usize, Result<R>)> = worker_out.into_iter().flatten().collect();
     all.sort_unstable_by_key(|(idx, _)| *idx);
     let mut out = Vec::with_capacity(all.len());
+    // no-cancel: reassembly of already-computed morsel results.
     for (_, r) in all {
         out.push(r?);
     }
@@ -322,6 +388,7 @@ pub(crate) fn chunk_ranges(total: usize, dop: usize) -> Vec<Range<usize>> {
     let extra = total % n;
     let mut out = Vec::with_capacity(n);
     let mut start = 0;
+    // no-cancel: range arithmetic, bounded by dop.
     for i in 0..n {
         let len = base + usize::from(i < extra);
         out.push(start..start + len);
@@ -332,8 +399,9 @@ pub(crate) fn chunk_ranges(total: usize, dop: usize) -> Vec<Range<usize>> {
 
 /// Run `f` over at most `dop` contiguous chunks of `0..total`, one worker
 /// per chunk, returning chunk results in chunk order (first error in
-/// chunk order wins — again exactly serial row order).
-pub(crate) fn map_chunks<R, F>(dop: usize, total: usize, f: F) -> Result<Vec<R>>
+/// chunk order wins — again exactly serial row order). Each chunk starts
+/// with a cancellation check; long chunk bodies carry their own checks.
+pub(crate) fn map_chunks<R, F>(ctx: &QueryContext, dop: usize, total: usize, f: F) -> Result<Vec<R>>
 where
     R: Send + 'static,
     F: Fn(Range<usize>) -> Result<R> + Send + Sync + 'static,
@@ -346,9 +414,11 @@ where
     let chunks = Arc::new(chunks);
     let results = {
         let chunks = Arc::clone(&chunks);
-        run_workers(n, move |w| f(chunks[w].clone()))
-    };
+        let ctx = ctx.clone();
+        run_workers(n, move |w| ctx.check().and_then(|()| f(chunks[w].clone())))
+    }?;
     let mut out = Vec::with_capacity(n);
+    // no-cancel: reassembly of already-computed chunk results.
     for r in results {
         out.push(r?);
     }
@@ -395,8 +465,12 @@ pub(crate) fn scan_parallel(
     let filter = filter.cloned();
     let project: Option<Vec<ScalarExpr>> = project.map(<[ScalarExpr]>::to_vec);
     let columnar = exec.columnar();
-    let parts = map_morsels(dop, total, move |range| {
-        let sub = Executor::new(Arc::clone(&catalog)).with_columnar(columnar);
+    let ctx = exec.context().clone();
+    let sub_ctx = ctx.clone();
+    let parts = map_morsels(&ctx, dop, total, move |range| {
+        let sub = Executor::new(Arc::clone(&catalog))
+            .with_columnar(columnar)
+            .with_context(sub_ctx.clone());
         let t = sub.catalog().table(&table)?;
         sub.scan_emit(
             t.rows()[range].iter(),
@@ -412,6 +486,7 @@ pub(crate) fn scan_parallel(
 pub(crate) fn concat(parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
     let n: usize = parts.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(n);
+    // no-cancel: reassembly of already-computed morsel outputs.
     for p in parts {
         out.extend(p);
     }
@@ -423,6 +498,7 @@ pub(crate) fn concat(parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
 /// ([`Executor::run_physical`]) and the parallel chunk sort + merge so
 /// the two can never drift apart.
 pub(crate) fn cmp_keys(a: &[Value], b: &[Value], keys: &[SortKey]) -> std::cmp::Ordering {
+    // no-cancel: bounded by the (tiny) sort-key count.
     for (i, k) in keys.iter().enumerate() {
         let ord = a[i].sort_cmp(&b[i]);
         let ord = if k.desc { ord.reverse() } else { ord };
@@ -449,11 +525,15 @@ pub(crate) fn sort_parallel(
     let outer = exec.outer_stack();
     let keys_owned: Arc<Vec<SortKey>> = Arc::new(keys.to_vec());
     let columnar = exec.columnar();
+    let ctx = exec.context().clone();
     let chunks = {
         let rows = Arc::clone(&rows);
         let keys = Arc::clone(&keys_owned);
-        map_chunks(dop, total, move |range| {
-            let sub = Executor::new(Arc::clone(&catalog)).with_columnar(columnar);
+        let sub_ctx = ctx.clone();
+        map_chunks(&ctx, dop, total, move |range| {
+            let sub = Executor::new(Arc::clone(&catalog))
+                .with_columnar(columnar)
+                .with_context(sub_ctx.clone());
             let compiled: Vec<CompiledExpr> = keys
                 .iter()
                 .map(|k| CompiledExpr::compile(&sub, &k.expr))
@@ -476,7 +556,13 @@ pub(crate) fn sort_parallel(
     let mut heads: Vec<usize> = vec![0; chunks.len()];
     let mut out = Vec::with_capacity(total);
     loop {
+        // Masked cancellation check: once per 4096 merged rows keeps the
+        // hot merge loop cheap while still bounding cancel latency.
+        if out.len() % 4096 == 0 {
+            ctx.check()?;
+        }
         let mut best: Option<usize> = None;
+        // no-cancel: head scan, bounded by dop.
         for (c, chunk) in chunks.iter().enumerate() {
             if heads[c] >= chunk.len() {
                 continue;
@@ -508,16 +594,25 @@ pub(crate) fn sort_parallel(
 /// dedups every partition independently, keeping the first occurrence by
 /// global index; the final index sort restores exactly the serial
 /// first-occurrence output order.
-pub(crate) fn distinct_parallel(rows: Vec<Tuple>, dop: usize) -> Result<Vec<Tuple>> {
+pub(crate) fn distinct_parallel(
+    ctx: &QueryContext,
+    rows: Vec<Tuple>,
+    dop: usize,
+) -> Result<Vec<Tuple>> {
     use perm_types::hash::FxHashSet;
 
     let total = rows.len();
     let rows = Arc::new(rows);
     let buckets = {
         let rows = Arc::clone(&rows);
-        map_chunks(dop, total, move |range| {
+        let ctx = ctx.clone();
+        map_chunks(&ctx.clone(), dop, total, move |range| {
             let mut parts: Vec<Vec<(usize, Tuple)>> = vec![Vec::new(); dop];
             for (i, t) in rows[range.clone()].iter().enumerate() {
+                // Masked cancellation check per 4096 scattered rows.
+                if i % 4096 == 0 {
+                    ctx.check()?;
+                }
                 parts[partition_of(t, dop)].push((range.start + i, t.clone()));
             }
             Ok(parts)
@@ -526,21 +621,32 @@ pub(crate) fn distinct_parallel(rows: Vec<Tuple>, dop: usize) -> Result<Vec<Tupl
     let buckets = Arc::new(buckets);
     let deduped = {
         let buckets = Arc::clone(&buckets);
-        run_workers(dop, move |p| {
+        let ctx = ctx.clone();
+        run_workers(dop, move |p| -> Result<Vec<(usize, Tuple)>> {
             let mut seen: FxHashSet<Tuple> = FxHashSet::default();
             let mut kept: Vec<(usize, Tuple)> = Vec::new();
+            let mut scanned = 0usize;
             for chunk in buckets.iter() {
                 for (idx, t) in &chunk[p] {
+                    // Masked cancellation check per 4096 probed rows.
+                    if scanned.is_multiple_of(4096) {
+                        ctx.check()?;
+                    }
+                    scanned += 1;
                     if !seen.contains(t) {
                         seen.insert(t.clone());
                         kept.push((*idx, t.clone()));
                     }
                 }
             }
-            kept
-        })
+            Ok(kept)
+        })?
     };
-    let mut all: Vec<(usize, Tuple)> = deduped.into_iter().flatten().collect();
+    let mut all: Vec<(usize, Tuple)> = Vec::new();
+    // no-cancel: reassembly of already-computed partition outputs.
+    for part in deduped {
+        all.extend(part?);
+    }
     all.sort_unstable_by_key(|(idx, _)| *idx);
     Ok(all.into_iter().map(|(_, t)| t).collect())
 }
@@ -579,21 +685,24 @@ mod tests {
 
     #[test]
     fn run_workers_returns_results_in_worker_order() {
-        let got = run_workers(4, |w| w * 10);
+        let got = run_workers(4, |w| w * 10).unwrap();
         assert_eq!(got, vec![0, 10, 20, 30]);
     }
 
     #[test]
-    fn run_workers_propagates_panics() {
-        let r = catch_unwind(|| {
-            run_workers(3, |w| {
-                if w == 1 {
-                    panic!("boom");
-                }
-                w
-            })
+    fn run_workers_contains_panics_as_typed_errors() {
+        let r = run_workers(3, |w| {
+            if w == 1 {
+                panic!("boom");
+            }
+            w
         });
-        assert!(r.is_err());
+        let err = r.unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        assert!(err.to_string().contains("contained"), "{err}");
+        assert!(err.to_string().contains("boom"), "{err}");
+        // The pool stays healthy: the next submission runs normally.
+        assert_eq!(run_workers(2, |w| w).unwrap(), vec![0, 1]);
     }
 
     #[test]
@@ -608,7 +717,8 @@ mod tests {
 
     #[test]
     fn map_morsels_reassembles_in_order() {
-        let out = map_morsels(4, MORSEL_ROWS * 3 + 7, |r| Ok(r.start)).unwrap();
+        let ctx = QueryContext::detached();
+        let out = map_morsels(&ctx, 4, MORSEL_ROWS * 3 + 7, |r| Ok(r.start)).unwrap();
         assert_eq!(out, vec![0, MORSEL_ROWS, MORSEL_ROWS * 2, MORSEL_ROWS * 3]);
     }
 
@@ -616,7 +726,8 @@ mod tests {
     fn map_morsels_reports_the_first_error_in_morsel_order() {
         use perm_types::PermError;
         let total = MORSEL_ROWS * 6;
-        let out: Result<Vec<usize>> = map_morsels(4, total, |r| {
+        let ctx = QueryContext::detached();
+        let out: Result<Vec<usize>> = map_morsels(&ctx, 4, total, |r| {
             let idx = r.start / MORSEL_ROWS;
             if idx >= 2 {
                 Err(PermError::Execution(format!("morsel {idx}")))
@@ -628,6 +739,16 @@ mod tests {
             out.unwrap_err(),
             PermError::Execution("morsel 2".to_string())
         );
+    }
+
+    #[test]
+    fn map_morsels_observes_cancellation_at_the_next_claim() {
+        let ctx = QueryContext::new(7, None, None);
+        ctx.handle().cancel();
+        let out: Result<Vec<usize>> = map_morsels(&ctx, 4, MORSEL_ROWS * 8, |r| Ok(r.start));
+        let err = out.unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        assert!(err.to_string().contains("query 7"), "{err}");
     }
 
     #[test]

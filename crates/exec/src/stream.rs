@@ -42,6 +42,7 @@ pub struct TupleStream {
     exec: Executor,
     cursor: Cursor,
     rows_scanned: usize,
+    pulls: usize,
     done: bool,
 }
 
@@ -54,6 +55,7 @@ impl TupleStream {
             exec,
             cursor,
             rows_scanned: 0,
+            pulls: 0,
             done: false,
         })
     }
@@ -75,6 +77,16 @@ impl Iterator for TupleStream {
     fn next(&mut self) -> Option<Result<Tuple>> {
         if self.done {
             return None;
+        }
+        // Masked cancellation check per 1024 pulls: covers the cursor
+        // variants with no per-row check of their own (plain scans,
+        // drained buffers).
+        self.pulls += 1;
+        if self.pulls.is_multiple_of(1024) {
+            if let Err(e) = self.exec.check_cancelled() {
+                self.done = true;
+                return Some(Err(e));
+            }
         }
         let item = self.cursor.next(&self.exec, &mut self.rows_scanned);
         match &item {
@@ -170,13 +182,14 @@ pub(crate) struct ExchangeCursor {
 
 impl ExchangeCursor {
     fn spawn(
-        catalog: Arc<Catalog>,
+        exec: &Executor,
         table: &str,
         filter: Option<&ScalarExpr>,
         project: Option<&[ScalarExpr]>,
         dop: usize,
         columnar: bool,
     ) -> Result<ExchangeCursor> {
+        let catalog = exec.catalog_arc();
         let total = catalog.table(table)?.rows().len();
         let queue = Arc::new(MorselQueue::new(total, MORSEL_ROWS));
         let rx: Arc<Channel<MorselMsg>> = Arc::new(Channel::bounded(dop * 2));
@@ -186,6 +199,7 @@ impl ExchangeCursor {
             let catalog = Arc::clone(&catalog);
             let queue = Arc::clone(&queue);
             let tx = Arc::clone(&rx);
+            let ctx = exec.context().clone();
             let table = table.to_string();
             let filter = filter.cloned();
             let project: Option<Vec<ScalarExpr>> = project.map(<[ScalarExpr]>::to_vec);
@@ -193,18 +207,36 @@ impl ExchangeCursor {
                 std::thread::Builder::new()
                     .name(format!("perm-exchange-{i}"))
                     .spawn(move || {
-                        let sub = Executor::new(catalog).with_columnar(columnar);
+                        let sub = Executor::new(catalog)
+                            .with_columnar(columnar)
+                            .with_context(ctx.clone());
+                        // Cancellation is observed at every morsel claim;
+                        // a producer panic is contained to this query as a
+                        // typed error sent through the channel.
                         while let Some((idx, range)) = queue.claim() {
                             let scanned = range.len();
-                            let result = sub.catalog().table(&table).and_then(|t| {
-                                sub.scan_emit(
-                                    t.rows()[range].iter(),
-                                    filter.as_ref(),
-                                    project.as_deref(),
-                                    &[],
-                                    true,
-                                )
-                            });
+                            let result = ctx
+                                .check()
+                                .and_then(|()| {
+                                    perm_fault::exec_point(
+                                        "exec.exchange.send",
+                                        "exchange producer",
+                                    )
+                                })
+                                .and_then(|()| {
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        sub.catalog().table(&table).and_then(|t| {
+                                            sub.scan_emit(
+                                                t.rows()[range].iter(),
+                                                filter.as_ref(),
+                                                project.as_deref(),
+                                                &[],
+                                                true,
+                                            )
+                                        })
+                                    }))
+                                    .unwrap_or_else(|p| Err(crate::parallel::panic_error(p)))
+                                });
                             let failed = result.is_err();
                             if tx.send((idx, scanned, result)).is_err() {
                                 break; // consumer went away
@@ -230,6 +262,9 @@ impl ExchangeCursor {
     }
 
     fn next(&mut self, scanned: &mut usize) -> Option<Result<Tuple>> {
+        // no-cancel: producers check at every morsel claim; a cancelled
+        // producer delivers the typed error through the channel, which
+        // this loop surfaces in morsel order.
         loop {
             if let Some(t) = self.current.next() {
                 return Some(Ok(t));
@@ -261,6 +296,7 @@ impl Drop for ExchangeCursor {
     fn drop(&mut self) {
         self.queue.abort();
         self.rx.close();
+        // no-cancel: joining producers after abort, bounded by dop.
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -286,7 +322,7 @@ impl Cursor {
                 crate::executor::check_scan_schema(t, table, schema)?;
                 if *dop > 1 && (filter.is_some() || project.is_some()) {
                     return Ok(Cursor::Exchange(ExchangeCursor::spawn(
-                        exec.catalog_arc(),
+                        exec,
                         table,
                         filter.as_ref(),
                         project.as_deref(),
@@ -351,6 +387,11 @@ impl Cursor {
                 Some(Ok(row))
             }
             Cursor::Filter { input, predicate } => loop {
+                // A selective predicate can reject rows for a long time
+                // without yielding: check cancellation on every pull.
+                if let Err(e) = exec.check_cancelled() {
+                    return Some(Err(e));
+                }
                 let t = match input.next(exec, scanned)? {
                     Ok(t) => t,
                     Err(e) => return Some(Err(e)),
@@ -376,7 +417,12 @@ impl Cursor {
                 skip,
                 remaining,
             } => {
+                // OFFSET burns rows without yielding any: check
+                // cancellation on every skipped pull.
                 while *skip > 0 {
+                    if let Err(e) = exec.check_cancelled() {
+                        return Some(Err(e));
+                    }
                     match input.next(exec, scanned)? {
                         Ok(_) => *skip -= 1,
                         Err(e) => return Some(Err(e)),

@@ -24,8 +24,15 @@
 //!    sort keys, must produce identical results (values *and* errors,
 //!    order included) with the columnar switch on and off, at DOP 1 and
 //!    DOP 3, in memory and spilling, under plan verification.
+//! 5. **Cancellation at random points** — the same random plans run
+//!    under a query context whose deadline fires at a random instant
+//!    (including "immediately"), serial and parallel, in memory and
+//!    spilling: the result is either exactly the reference answer or
+//!    the typed `cancelled` error — never a panic, never a wrong or
+//!    truncated answer — and the memory pool always drains to zero.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
 
@@ -34,7 +41,7 @@ use perm_algebra::plan::{JoinType, LogicalPlan, SetOpType};
 use perm_exec::eval::{eval, Env};
 use perm_exec::{optimize_verified, CatalogStats, CompiledExpr, Executor, MemoryPool, QueryMemory};
 use perm_storage::{Catalog, Table};
-use perm_types::{Column, DataType, Schema, Tuple, Value};
+use perm_types::{Column, DataType, QueryContext, Schema, Tuple, Value};
 
 // ----------------------------------------------------------------------
 // Value / tuple generators
@@ -814,6 +821,73 @@ proptest! {
         }
         for pool in [row_pool, batch_pool].into_iter().flatten() {
             prop_assert_eq!(pool.used(), 0, "pool must drain to zero after the query");
+        }
+    }
+
+    /// A query cancelled at a random instant — via a context deadline
+    /// that may fire before the first operator, mid-pipeline, or never —
+    /// either completes with exactly the reference answer or fails with
+    /// the typed `cancelled` error. No other outcome is acceptable: no
+    /// panic, no wrong or truncated result. And whichever way the race
+    /// goes, the memory pool drains back to zero — the unwind path
+    /// releases every reservation and deletes every spill temp file.
+    #[test]
+    fn random_cancel_points_never_leak_or_corrupt(
+        case in plan_case(),
+        cancel_after_us in 0u64..300,
+        parallel in any::<bool>(),
+        spill in any::<bool>(),
+    ) {
+        // FULL hash joins are non-spillable by design (see
+        // spilling_execution_matches_in_memory): remap to LEFT when this
+        // case runs under the starved pool.
+        let case = PlanCase {
+            kind: if spill && case.kind == JoinType::Full { JoinType::Left } else { case.kind },
+            ..case
+        };
+        let mut cat = Catalog::new();
+        cat.create_table(int_table("t1", ["a", "b"], &case.t1_rows)).unwrap();
+        cat.create_table(int_table("t2", ["c", "d"], &case.t2_rows)).unwrap();
+        let plan = build_plan(&case, &cat);
+        let cat = Arc::new(cat);
+        let reference = Executor::new_nested_loop_only(Arc::clone(&cat))
+            .run(&plan)
+            .expect("generated plans have no failing expressions");
+        let optimized = match optimize_verified(plan, &CatalogStats(&cat)) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("verifier: {e}"))),
+        };
+        let (dop, threshold) = if parallel { (3, 1) } else { (1, 2) };
+        let ctx = QueryContext::new(42, Some(Duration::from_micros(cancel_after_us)), None);
+        let exec = Executor::new(Arc::clone(&cat))
+            .with_parallelism(dop, threshold)
+            .with_context(ctx);
+        let (result, pool) = if spill {
+            let pool = MemoryPool::with_budget(1);
+            let r = exec
+                .with_memory(QueryMemory::new(pool.clone(), None))
+                .run(&optimized);
+            (r, Some(pool))
+        } else {
+            (exec.run(&optimized), None)
+        };
+        match result {
+            Ok(rows) => prop_assert_eq!(
+                sorted(rows),
+                sorted(reference),
+                "query outran its deadline but answered wrong: {:?}",
+                case
+            ),
+            Err(e) => prop_assert!(
+                e.kind() == "cancelled",
+                "cancellation surfaced as `{}` ({}) for {:?}",
+                e.kind(),
+                e,
+                case
+            ),
+        }
+        if let Some(pool) = pool {
+            prop_assert_eq!(pool.used(), 0, "pool must drain after cancellation");
         }
     }
 

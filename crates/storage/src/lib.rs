@@ -50,7 +50,7 @@ pub use catalog::{Catalog, Relation};
 pub use durable::{DurableStore, OpenOutcome, CHECKPOINT_FILE, CHECKPOINT_TMP, WAL_FILE};
 pub use index::HashIndex;
 pub use shared::{CatalogWriteGuard, SharedCatalog};
-pub use spill::{SpillPartitions, SpillReader, SpillWriter};
+pub use spill::{spill_dir_is_clean, SpillPartitions, SpillReader, SpillWriter};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
 pub use view::View;

@@ -314,6 +314,22 @@ impl Iterator for SpillReader {
     }
 }
 
+/// True when no spill temp file created by this process remains on
+/// disk. Spill files are owned by handles that remove them on drop —
+/// including error unwind and cancellation paths — so between
+/// statements the spill directory must be clean. Tests and the chaos
+/// harness assert this after every run to catch leaked temp files.
+pub fn spill_dir_is_clean() -> bool {
+    let prefix = format!("perm-spill-{}-", std::process::id());
+    match std::fs::read_dir(std::env::temp_dir()) {
+        Ok(entries) => !entries
+            .flatten()
+            .any(|e| e.file_name().to_string_lossy().starts_with(&prefix)),
+        // An unreadable temp dir can't hide a leak we could observe.
+        Err(_) => true,
+    }
+}
+
 /// A fixed set of spill partitions an operator scatters rows into, then
 /// reads back partition by partition.
 #[derive(Debug)]

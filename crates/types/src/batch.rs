@@ -207,7 +207,13 @@ impl ColumnVec {
         let n = rows.len();
         let first = rows
             .iter()
-            .map(|t| if slot < t.len() { t.get(slot) } else { &Value::Null })
+            .map(|t| {
+                if slot < t.len() {
+                    t.get(slot)
+                } else {
+                    &Value::Null
+                }
+            })
             .find(|v| !v.is_null());
         match first {
             None => {
@@ -258,7 +264,11 @@ fn gather_typed<T: Clone>(
     let mut out = Vec::with_capacity(n);
     let mut nulls = NullBitmap::new_valid(n);
     for (i, t) in rows.iter().enumerate() {
-        let v = if slot < t.len() { t.get(slot) } else { &Value::Null };
+        let v = if slot < t.len() {
+            t.get(slot)
+        } else {
+            &Value::Null
+        };
         if v.is_null() {
             nulls.set_null(i);
             out.push(placeholder.clone());
@@ -467,7 +477,10 @@ mod tests {
 
     #[test]
     fn short_rows_gather_as_null() {
-        let rows = [t(vec![Value::Int(1), Value::Int(2)]), t(vec![Value::Int(3)])];
+        let rows = [
+            t(vec![Value::Int(1), Value::Int(2)]),
+            t(vec![Value::Int(3)]),
+        ];
         let refs: Vec<&Tuple> = rows.iter().collect();
         let b = Batch::from_rows(&refs, &[true, true]);
         assert!(b.col(1).unwrap().is_null(1));

@@ -3,6 +3,8 @@
 use std::borrow::Cow;
 use std::fmt;
 
+use crate::lifecycle::CancelReason;
+
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, PermError>;
 
@@ -51,6 +53,11 @@ pub enum PermError {
         offset: u64,
         detail: String,
     },
+    /// The statement was cancelled cooperatively before it finished:
+    /// by its `CancelHandle`, by an expired statement deadline, or by
+    /// server shutdown. `query_id` names the statement (server-unique),
+    /// `reason` which of the three paths fired first.
+    Cancelled { query_id: u64, reason: CancelReason },
 }
 
 impl PermError {
@@ -67,6 +74,7 @@ impl PermError {
             PermError::ResourceExhausted { .. } => "resource",
             PermError::Io { .. } => "io",
             PermError::Corruption { .. } => "corruption",
+            PermError::Cancelled { .. } => "cancelled",
         }
     }
 
@@ -110,6 +118,9 @@ impl PermError {
                 offset,
                 detail: wrap(detail),
             },
+            // Cancellation is a verdict on the statement, not a failure
+            // inside one component: the context adds nothing.
+            PermError::Cancelled { .. } => self,
         }
     }
 
@@ -140,6 +151,9 @@ impl PermError {
                 offset,
                 detail,
             } => Cow::Owned(format!("{path} at offset {offset}: {detail}")),
+            PermError::Cancelled { query_id, reason } => {
+                Cow::Owned(format!("query {query_id} cancelled ({reason})"))
+            }
         }
     }
 }
@@ -220,6 +234,28 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_error_names_query_and_reason() {
+        let e = PermError::Cancelled {
+            query_id: 42,
+            reason: CancelReason::DeadlineExceeded,
+        };
+        assert_eq!(e.kind(), "cancelled");
+        assert_eq!(
+            e.to_string(),
+            "cancelled error: query 42 cancelled (deadline exceeded)"
+        );
+        // Context tagging keeps the typed payload intact.
+        let e = e.with_context("statement 1 of 1");
+        assert_eq!(
+            e,
+            PermError::Cancelled {
+                query_id: 42,
+                reason: CancelReason::DeadlineExceeded,
+            }
+        );
+    }
+
+    #[test]
     fn kinds_are_distinct() {
         let errs = [
             PermError::Parse(String::new()),
@@ -243,6 +279,10 @@ mod tests {
                 path: String::new(),
                 offset: 0,
                 detail: String::new(),
+            },
+            PermError::Cancelled {
+                query_id: 0,
+                reason: CancelReason::UserRequested,
             },
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();

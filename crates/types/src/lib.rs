@@ -15,6 +15,7 @@
 pub mod batch;
 pub mod error;
 pub mod hash;
+pub mod lifecycle;
 pub mod ops;
 pub mod schema;
 pub mod tuple;
@@ -23,6 +24,7 @@ pub mod value;
 
 pub use batch::{Batch, ColumnVec, NullBitmap, DEFAULT_BATCH_ROWS};
 pub use error::{PermError, Result};
+pub use lifecycle::{CancelHandle, CancelReason, QueryContext};
 pub use schema::{Column, Schema};
 pub use tuple::Tuple;
 pub use types::DataType;

@@ -1,0 +1,307 @@
+//! Query lifecycle control: cooperative cancellation tokens and
+//! statement deadlines.
+//!
+//! A [`QueryContext`] is created once per statement and threaded through
+//! every execution layer. Long-running loops call [`QueryContext::check`]
+//! at batch/morsel granularity; when the statement has been cancelled —
+//! by its [`CancelHandle`], by an expired deadline, or by server
+//! shutdown — the check returns a typed
+//! [`PermError::Cancelled`] and the operator unwinds through its normal
+//! error path, so reservations drain, spill files delete, and admission
+//! permits release exactly as they do for any other execution error.
+//!
+//! The fast path is a single relaxed atomic load: a context with no
+//! deadline and no shutdown flag (the [`QueryContext::detached`]
+//! default) costs one predictable-branch load per check, cheap enough
+//! for per-batch placement in vectorized loops.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::{PermError, Result};
+
+/// Why a statement was cancelled, carried inside
+/// [`PermError::Cancelled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// [`CancelHandle::cancel`] was called.
+    UserRequested,
+    /// The statement ran past `SessionOptions::statement_timeout_ms`.
+    DeadlineExceeded,
+    /// The server is shutting down.
+    ServerShutdown,
+}
+
+impl CancelReason {
+    /// Short machine-readable name, used in messages and tests.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CancelReason::UserRequested => "user requested",
+            CancelReason::DeadlineExceeded => "deadline exceeded",
+            CancelReason::ServerShutdown => "server shutdown",
+        }
+    }
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Cancellation state: the first writer wins (compare-exchange from LIVE),
+// so every check after the first failure reports one stable reason.
+const LIVE: u8 = 0;
+const USER: u8 = 1;
+const DEADLINE: u8 = 2;
+const SHUTDOWN: u8 = 3;
+
+fn reason_of(state: u8) -> CancelReason {
+    match state {
+        USER => CancelReason::UserRequested,
+        DEADLINE => CancelReason::DeadlineExceeded,
+        _ => CancelReason::ServerShutdown,
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    query_id: u64,
+    cancelled: AtomicU8,
+    deadline: Option<Instant>,
+    server_down: Option<Arc<AtomicBool>>,
+}
+
+impl Inner {
+    fn error(&self, state: u8) -> PermError {
+        PermError::Cancelled {
+            query_id: self.query_id,
+            reason: reason_of(state),
+        }
+    }
+
+    /// Record `state` if still live; return the winning state either way.
+    fn set(&self, state: u8) -> u8 {
+        match self
+            .cancelled
+            .compare_exchange(LIVE, state, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => state,
+            Err(prior) => prior,
+        }
+    }
+}
+
+/// Per-statement cancellation token + deadline + query id, shared by the
+/// session, the executor, every worker thread and the
+/// [`CancelHandle`] given to the caller. Cloning is an `Arc` bump.
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    inner: Arc<Inner>,
+}
+
+impl QueryContext {
+    /// A context for query `query_id` with an optional deadline and an
+    /// optional server-wide shutdown flag.
+    pub fn new(
+        query_id: u64,
+        timeout: Option<Duration>,
+        server_down: Option<Arc<AtomicBool>>,
+    ) -> QueryContext {
+        QueryContext {
+            inner: Arc::new(Inner {
+                query_id,
+                cancelled: AtomicU8::new(LIVE),
+                deadline: timeout.map(|t| Instant::now() + t),
+                server_down,
+            }),
+        }
+    }
+
+    /// A context that can only be cancelled through its handle — no
+    /// deadline, no shutdown flag. This is the default an `Executor`
+    /// runs under when no session wired a statement context in;
+    /// `check()` on it is a single relaxed load.
+    pub fn detached() -> QueryContext {
+        QueryContext::new(0, None, None)
+    }
+
+    /// The statement's id, unique per server.
+    pub fn query_id(&self) -> u64 {
+        self.inner.query_id
+    }
+
+    /// A cheap handle that can cancel this statement from any thread.
+    pub fn handle(&self) -> CancelHandle {
+        CancelHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Cooperative cancellation point: returns
+    /// [`PermError::Cancelled`] once the statement is cancelled, its
+    /// deadline has passed, or the server is shutting down. Called at
+    /// batch/morsel granularity by every long-running loop.
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        let state = self.inner.cancelled.load(Ordering::Relaxed);
+        if state != LIVE {
+            return Err(self.inner.error(state));
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.inner.error(self.inner.set(DEADLINE)));
+            }
+        }
+        if let Some(down) = &self.inner.server_down {
+            if down.load(Ordering::Relaxed) {
+                return Err(self.inner.error(self.inner.set(SHUTDOWN)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Has the statement been cancelled (any reason)? Deadline and
+    /// shutdown are only observed by [`QueryContext::check`]; this is a
+    /// pure flag read for tests and drop paths.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed) != LIVE
+    }
+}
+
+impl Default for QueryContext {
+    fn default() -> QueryContext {
+        QueryContext::detached()
+    }
+}
+
+/// Cancels one statement. Clonable, sendable, and valid after the
+/// statement finishes (cancelling a finished statement is a no-op).
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    inner: Arc<Inner>,
+}
+
+impl CancelHandle {
+    /// Request cancellation. The running statement observes it at its
+    /// next cooperative check and fails with
+    /// [`PermError::Cancelled`] (`reason: UserRequested`); if it was
+    /// already cancelled for another reason, that reason wins.
+    pub fn cancel(&self) {
+        self.inner.set(USER);
+    }
+
+    /// Cancel with an explicit reason (used by the server for shutdown
+    /// propagation and by drop paths).
+    pub fn cancel_for(&self, reason: CancelReason) {
+        let state = match reason {
+            CancelReason::UserRequested => USER,
+            CancelReason::DeadlineExceeded => DEADLINE,
+            CancelReason::ServerShutdown => SHUTDOWN,
+        };
+        self.inner.set(state);
+    }
+
+    /// The statement's id, unique per server.
+    pub fn query_id(&self) -> u64 {
+        self.inner.query_id
+    }
+
+    /// Has the statement been cancelled (any reason)?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed) != LIVE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_context_never_cancels() {
+        let ctx = QueryContext::detached();
+        assert!(ctx.check().is_ok());
+        assert!(!ctx.is_cancelled());
+    }
+
+    #[test]
+    fn handle_cancels_with_user_reason() {
+        let ctx = QueryContext::new(7, None, None);
+        let handle = ctx.handle();
+        assert!(ctx.check().is_ok());
+        handle.cancel();
+        let err = ctx.check().unwrap_err();
+        assert_eq!(
+            err,
+            PermError::Cancelled {
+                query_id: 7,
+                reason: CancelReason::UserRequested
+            }
+        );
+        assert!(handle.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_and_reports_deadline_reason() {
+        let ctx = QueryContext::new(3, Some(Duration::from_millis(0)), None);
+        std::thread::sleep(Duration::from_millis(2));
+        let err = ctx.check().unwrap_err();
+        assert_eq!(
+            err,
+            PermError::Cancelled {
+                query_id: 3,
+                reason: CancelReason::DeadlineExceeded
+            }
+        );
+        // A later user cancel does not rewrite the recorded reason.
+        ctx.handle().cancel();
+        assert_eq!(
+            ctx.check().unwrap_err(),
+            PermError::Cancelled {
+                query_id: 3,
+                reason: CancelReason::DeadlineExceeded
+            }
+        );
+    }
+
+    #[test]
+    fn server_shutdown_flag_cancels_every_query() {
+        let down = Arc::new(AtomicBool::new(false));
+        let a = QueryContext::new(1, None, Some(Arc::clone(&down)));
+        let b = QueryContext::new(2, None, Some(Arc::clone(&down)));
+        assert!(a.check().is_ok() && b.check().is_ok());
+        down.store(true, Ordering::Relaxed);
+        assert_eq!(
+            a.check().unwrap_err(),
+            PermError::Cancelled {
+                query_id: 1,
+                reason: CancelReason::ServerShutdown
+            }
+        );
+        assert_eq!(
+            b.check().unwrap_err(),
+            PermError::Cancelled {
+                query_id: 2,
+                reason: CancelReason::ServerShutdown
+            }
+        );
+    }
+
+    #[test]
+    fn first_cancel_reason_wins_across_clones() {
+        let ctx = QueryContext::new(9, None, None);
+        let h1 = ctx.handle();
+        let h2 = ctx.handle();
+        h1.cancel_for(CancelReason::ServerShutdown);
+        h2.cancel();
+        assert_eq!(
+            ctx.check().unwrap_err(),
+            PermError::Cancelled {
+                query_id: 9,
+                reason: CancelReason::ServerShutdown
+            }
+        );
+    }
+}

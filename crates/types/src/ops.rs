@@ -497,20 +497,20 @@ mod tests {
         // Each case exercises one pre-classified shape plus tricky
         // boundaries (`%`, `%%`, empty literal, unicode).
         let cases = [
-            ("hello", "hello", true),      // Exact
-            ("hello", "hell", false),      // Exact (shorter)
+            ("hello", "hello", true),                     // Exact
+            ("hello", "hell", false),                     // Exact (shorter)
             ("message body 1x", "message body 1%", true), // Prefix
             ("message body 2x", "message body 1%", false),
-            ("abc.txt", "%.txt", true),    // Suffix
+            ("abc.txt", "%.txt", true), // Suffix
             ("abc.txtx", "%.txt", false),
             ("xx-core-yy", "%core%", true), // Contains
             ("xx-cor-yy", "%core%", false),
             ("anything", "%", true),
             ("", "%", true),
             ("anything", "%%", true),
-            ("naïve", "na_ve", true),       // Generic, non-ASCII value
-            ("naïve", "naï%", true),        // Prefix with non-ASCII literal
-            ("a_b", "a%b", true),           // interior % stays generic
+            ("naïve", "na_ve", true), // Generic, non-ASCII value
+            ("naïve", "naï%", true),  // Prefix with non-ASCII literal
+            ("a_b", "a%b", true),     // interior % stays generic
         ];
         for (v, p, expect) in cases {
             assert_eq!(LikeMatcher::new(p).matches(v), expect, "'{v}' LIKE '{p}'");

@@ -34,13 +34,23 @@
 //!    `failpoint::` wrappers so each durability write site carries a
 //!    named failpoint and stays covered by the crash-recovery matrix.
 //! 10. **No per-row `Vec`/`Arc` allocation inside kernel hot loops** —
-//!    the whole point of the batch kernels (`kernels.rs`) is to amortize
-//!    allocation to batch granularity; a `Vec::new`/`Arc::new`/
-//!    `.collect()` inside a lane loop silently reverts a kernel to
-//!    row-at-a-time cost. Deliberate batch-granularity buffers are
-//!    annotated `// batch-alloc:` and deliberate per-lane allocations
-//!    (e.g. building the output strings of a text kernel)
-//!    `// per-lane alloc:`, on the same or the preceding line.
+//!     the whole point of the batch kernels (`kernels.rs`) is to amortize
+//!     allocation to batch granularity; a `Vec::new`/`Arc::new`/
+//!     `.collect()` inside a lane loop silently reverts a kernel to
+//!     row-at-a-time cost. Deliberate batch-granularity buffers are
+//!     annotated `// batch-alloc:` and deliberate per-lane allocations
+//!     (e.g. building the output strings of a text kernel)
+//!     `// per-lane alloc:`, on the same or the preceding line.
+//! 11. **Every loop in the cancellation-checked files must contain a
+//!     cooperative cancellation check** (`check_cancelled` or `.check()`)
+//!     or justify its absence with a `// no-cancel:` comment on the same
+//!     or the preceding line of the loop header. The files are the ones
+//!     whose loops can run long — the morsel pool, the stream/exchange
+//!     pipeline, and the operator build/probe/spill paths — where a
+//!     missed check turns "cancel" into "hang until the query finishes".
+//!     A check inside a nested loop satisfies the enclosing loops (the
+//!     inner body is on the outer loop's path), but an outer check never
+//!     satisfies an inner loop.
 //!
 //! Test code (files under a `tests` directory, `*/tests.rs`, and
 //! `#[cfg(test)]` modules, tracked by brace depth) is exempt from rules
@@ -113,6 +123,19 @@ const STORAGE_FILE_CREATION_ALLOWED: &[&str] = &[
 /// Durability modules whose file I/O must go through the `failpoint::`
 /// wrappers (rule 9), so every write site has a named failpoint.
 const FAILPOINT_WRAPPED: &[&str] = &["crates/storage/src/wal.rs", "crates/storage/src/durable.rs"];
+
+/// Files whose loops must carry a cooperative cancellation check
+/// (rule 11): the morsel pool, the stream/exchange pipeline, and the
+/// operator build/probe/spill paths.
+const CANCEL_CHECK_FILES: &[&str] = &[
+    "crates/exec/src/parallel.rs",
+    "crates/exec/src/stream.rs",
+    "crates/exec/src/operators/",
+];
+
+/// Calls that count as a cooperative cancellation check (rule 11):
+/// `Executor::check_cancelled` and `QueryContext::check`.
+const CANCEL_CHECKS: &[&str] = &["check_cancelled", ".check()"];
 
 /// Raw I/O calls that rule 9 bans in the durability modules. The
 /// leading `.` (or `fs::` path) distinguishes a raw method call from
@@ -241,6 +264,7 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         rel.starts_with("crates/storage/src/") && !matches_any(rel, STORAGE_FILE_CREATION_ALLOWED);
     let failpoint_wrapped = matches_any(rel, FAILPOINT_WRAPPED);
     let kernel_loops_checked = matches_any(rel, KERNEL_LOOP_FILES);
+    let cancel_checked = !test_file && matches_any(rel, CANCEL_CHECK_FILES);
 
     let lines: Vec<&str> = source.lines().collect();
     // `#[cfg(test)]` module tracking: once the attribute's item opens a
@@ -253,6 +277,20 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     // `loop_pending` until its `{` arrives.
     let mut loop_stack: Vec<i32> = Vec::new();
     let mut loop_pending = false;
+    // Rule 11 tracking: each open loop in a cancellation-checked file
+    // remembers its header line, the depth its body opened at, and
+    // whether a check (or a `no-cancel:` justification on the header)
+    // has been seen. Violations are reported at the header line when
+    // the loop closes, so they are collected here and appended after
+    // the scan.
+    struct OpenLoop {
+        header: usize,
+        depth: i32,
+        ok: bool,
+    }
+    let mut cancel_stack: Vec<OpenLoop> = Vec::new();
+    let mut cancel_pending: Option<(usize, bool)> = None;
+    let mut cancel_violations: Vec<usize> = Vec::new();
 
     for (idx, &raw) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -287,13 +325,34 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
             || code.contains("for_lanes!");
         if starts_loop {
             loop_pending = true;
+            if cancel_checked && !in_test && cancel_pending.is_none() {
+                let justified =
+                    raw.contains("no-cancel:") || prev_comment_contains(&lines, idx, "no-cancel:");
+                cancel_pending = Some((lineno, justified));
+            }
         }
         if loop_pending && opens > 0 {
             loop_stack.push(depth);
             loop_pending = false;
+            if let Some((header, justified)) = cancel_pending.take() {
+                cancel_stack.push(OpenLoop {
+                    header,
+                    depth,
+                    ok: justified,
+                });
+            }
         } else if loop_pending && code.trim_end().ends_with(';') {
             // Not a loop after all (`break 'outer;`, a `for` in a path).
             loop_pending = false;
+            cancel_pending = None;
+        }
+
+        // Rule 11: a cancellation check satisfies every loop it is
+        // nested in — the innermost body is on all of their paths.
+        if cancel_checked && CANCEL_CHECKS.iter().any(|c| code.contains(c)) {
+            for l in &mut cancel_stack {
+                l.ok = true;
+            }
         }
 
         let mut report = |rule: &'static str, message: String| {
@@ -445,6 +504,28 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         while loop_stack.last().is_some_and(|&d| depth <= d) {
             loop_stack.pop();
         }
+        while cancel_stack.last().is_some_and(|l| depth <= l.depth) {
+            // INVARIANT-free pop: the is_some_and guard above proves
+            // the stack is non-empty.
+            if let Some(l) = cancel_stack.pop() {
+                if !l.ok {
+                    cancel_violations.push(l.header);
+                }
+            }
+        }
+    }
+
+    cancel_violations.sort_unstable();
+    for header in cancel_violations {
+        findings.push(Finding {
+            file: PathBuf::from(rel),
+            line: header,
+            rule: "loop-needs-cancel-check",
+            message: "loop on a cancellation-checked path without a cooperative check \
+                      (`check_cancelled` / `.check()`); add one, or justify a bounded \
+                      loop with `// no-cancel:` on or above the header"
+                .into(),
+        });
     }
 }
 
@@ -786,6 +867,53 @@ mod tests {
         let in_test_mod =
             "#[cfg(test)]\nmod tests {\n  fn t() {\n    for i in 0..3 {\n      let v = Vec::new();\n    }\n  }\n}\n";
         assert!(run("crates/exec/src/kernels.rs", in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn loops_on_cancel_paths_need_a_check() {
+        let bad = "fn f() {\n  while go() {\n    step();\n  }\n}\n";
+        assert_eq!(
+            run("crates/exec/src/operators/join.rs", bad),
+            ["loop-needs-cancel-check"]
+        );
+        // The same shape is fine outside the cancellation-checked files.
+        assert!(run("crates/exec/src/executor.rs", bad).is_empty());
+        let checked =
+            "fn f() {\n  while go() {\n    exec.check_cancelled()?;\n    step();\n  }\n}\n";
+        assert!(run("crates/exec/src/operators/join.rs", checked).is_empty());
+        let ctx_checked = "fn f() {\n  loop {\n    ctx.check()?;\n    step();\n  }\n}\n";
+        assert!(run("crates/exec/src/parallel.rs", ctx_checked).is_empty());
+    }
+
+    #[test]
+    fn cancel_rule_accepts_no_cancel_justifications() {
+        let inline = "fn f() {\n  for x in xs { g(x); } // no-cancel: bounded by the batch\n}\n";
+        assert!(run("crates/exec/src/operators/aggregate.rs", inline).is_empty());
+        let prev = "fn f() {\n  // no-cancel: bounded by the partition count.\n  for x in xs {\n    g(x);\n  }\n}\n";
+        assert!(run("crates/exec/src/operators/spill.rs", prev).is_empty());
+        // The justification covers its own loop, not a sibling.
+        let sibling = "fn f() {\n  // no-cancel: bounded.\n  for x in xs { g(x); }\n  for y in ys {\n    g(y);\n  }\n}\n";
+        assert_eq!(
+            run("crates/exec/src/operators/setop.rs", sibling),
+            ["loop-needs-cancel-check"]
+        );
+    }
+
+    #[test]
+    fn inner_checks_satisfy_outer_loops_but_not_vice_versa() {
+        // A check in the inner loop is on the outer loop's path.
+        let inner =
+            "fn f() {\n  for x in xs {\n    for y in ys {\n      ctx.check()?;\n    }\n  }\n}\n";
+        assert!(run("crates/exec/src/operators/join.rs", inner).is_empty());
+        // An outer check never bounds the inner loop's latency.
+        let outer = "fn f() {\n  for x in xs {\n    ctx.check()?;\n    for y in ys {\n      g(y);\n    }\n  }\n}\n";
+        assert_eq!(
+            run("crates/exec/src/operators/join.rs", outer),
+            ["loop-needs-cancel-check"]
+        );
+        // Test code may loop freely.
+        let in_test_mod = "#[cfg(test)]\nmod tests {\n  fn t() {\n    for i in 0..3 {\n      g(i);\n    }\n  }\n}\n";
+        assert!(run("crates/exec/src/operators/join.rs", in_test_mod).is_empty());
     }
 
     #[test]
